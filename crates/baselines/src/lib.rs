@@ -1,0 +1,35 @@
+//! Baseline package recommenders.
+//!
+//! The introduction and related-work sections of the paper position the
+//! elicitation-based recommender against three earlier approaches, and
+//! Section 2.1 dismisses a fourth (refitting the Gaussian mixture with EM
+//! after every feedback) as too expensive.  To reproduce those comparisons the
+//! crate implements all of them on top of `pkgrec-core`'s data model:
+//!
+//! * [`skyline`] — all *skyline packages* of a fixed cardinality (Zhang &
+//!   Chomicki; Li et al.), whose sheer number is the paper's motivation for a
+//!   quantitative ranking,
+//! * [`hard_constraint`] — "optimise one aggregate subject to a budget on
+//!   another" (Xie et al., RecSys 2010), the hard-constraint alternative whose
+//!   budget sensitivity the introduction criticises,
+//! * [`exhaustive`] — re-export of the exhaustive top-k package solver used as
+//!   ground truth,
+//! * [`em_refit`] — the EM-refit elicitation baseline: after every feedback the
+//!   posterior is re-approximated by fitting a fresh Gaussian mixture to
+//!   constrained samples, instead of maintaining the sample pool directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod em_refit;
+pub mod hard_constraint;
+pub mod skyline;
+
+/// Exhaustive top-k package enumeration (ground truth for small instances).
+pub mod exhaustive {
+    pub use pkgrec_core::search::exhaustive::top_k_packages_exhaustive;
+}
+
+pub use em_refit::{EmRefitRecommender, EmRefitStats};
+pub use hard_constraint::{hard_constraint_top_k, BudgetConstraint};
+pub use skyline::{skyline_packages, SkylineStats};

@@ -1,0 +1,44 @@
+//! Criterion benchmark behind Figure 4: cost of drawing valid weight samples
+//! under rejection, importance and MCMC sampling, for a fixed small feedback
+//! set in two dimensions (the regime the paper's scatter plots illustrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pkgrec_bench::workload::{Workload, WorkloadConfig};
+use pkgrec_core::sampler::{
+    ImportanceSampler, McmcSampler, RejectionSampler, SamplerKind, WeightSampler,
+};
+
+fn samplers() -> Vec<(&'static str, SamplerKind)> {
+    vec![
+        ("RS", SamplerKind::Rejection(RejectionSampler::default())),
+        ("IS", SamplerKind::Importance(ImportanceSampler::default())),
+        ("MS", SamplerKind::Mcmc(McmcSampler::default())),
+    ]
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let workload = Workload::build(WorkloadConfig {
+        rows: 1_000,
+        features: 2,
+        preferences: 2,
+        seed: 4,
+        ..WorkloadConfig::default()
+    });
+    let checker = workload.checker();
+    let mut group = c.benchmark_group("fig4_sampling_methods");
+    for (name, sampler) in samplers() {
+        group.bench_with_input(BenchmarkId::new(name, "100_valid_samples"), &sampler, |b, s| {
+            b.iter(|| {
+                let mut rng = workload.rng(1);
+                s.generate(&workload.prior, &checker, 100, &mut rng)
+                    .expect("figure-4 workloads admit valid samples")
+                    .pool
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

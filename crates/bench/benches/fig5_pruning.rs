@@ -1,0 +1,61 @@
+//! Criterion benchmark behind Figure 5: checking a pool of sampled weight
+//! vectors against the feedback constraints before and after transitive
+//! reduction of the preference DAG.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pkgrec_bench::workload::{consistent_preferences, Workload, WorkloadConfig};
+use pkgrec_core::constraints::{ConstraintChecker, ConstraintSource};
+use pkgrec_core::preferences::PreferenceStore;
+use pkgrec_core::sampler::{RejectionSampler, WeightSampler};
+
+fn bench_fig5(c: &mut Criterion) {
+    let workload = Workload::build(WorkloadConfig {
+        rows: 1_000,
+        features: 5,
+        preferences: 0,
+        seed: 5,
+        ..WorkloadConfig::default()
+    });
+    // Build a preference store with redundant chains: pairwise preferences
+    // among a ranked pool of packages.
+    let mut rng = workload.rng(2);
+    let raw = consistent_preferences(
+        &workload.context,
+        &workload.catalog,
+        &workload.ground_truth,
+        400,
+        &mut rng,
+    );
+    let mut store = PreferenceStore::new();
+    for (i, p) in raw.iter().enumerate() {
+        // Key packages by their position so chains can share endpoints.
+        let better_key = format!("p{}", i % 40);
+        let worse_key = format!("p{}", 40 + (i % 60));
+        let _ = store.add(better_key, &p.better, worse_key, &p.worse);
+    }
+    let sampler = RejectionSampler::default();
+    let empty = ConstraintChecker::from_constraints(5, vec![], ConstraintSource::Full);
+    let mut rng = workload.rng(3);
+    let pool = sampler
+        .generate(&workload.prior, &empty, 1_000, &mut rng)
+        .expect("unconstrained sampling succeeds")
+        .pool;
+
+    let full = ConstraintChecker::full(&store, 5);
+    let reduced = ConstraintChecker::reduced(&store, 5);
+    let mut group = c.benchmark_group("fig5_constraint_pruning");
+    for (name, checker) in [("before_pruning", &full), ("after_pruning", &reduced)] {
+        group.bench_with_input(BenchmarkId::new(name, pool.len()), checker, |b, ch| {
+            b.iter(|| {
+                pool.samples()
+                    .iter()
+                    .filter(|s| ch.is_valid(&s.weights))
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

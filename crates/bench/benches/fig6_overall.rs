@@ -1,0 +1,56 @@
+//! Criterion benchmark behind Figure 6: the two cost components of one
+//! recommendation round — generating valid weight samples and generating the
+//! top-k packages from them — per sampling strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pkgrec_bench::fig6::top_k_phase;
+use pkgrec_bench::workload::{DatasetId, Workload, WorkloadConfig};
+use pkgrec_core::sampler::{McmcSampler, RejectionSampler, SamplerKind, WeightSampler};
+
+fn bench_fig6(c: &mut Criterion) {
+    let workload = Workload::build(WorkloadConfig {
+        dataset: DatasetId::Uni,
+        rows: 1_000,
+        features: 4,
+        max_package_size: 3,
+        preferences: 5,
+        seed: 6,
+        ..WorkloadConfig::default()
+    });
+    let checker = workload.checker();
+    let samplers = vec![
+        ("RS", SamplerKind::Rejection(RejectionSampler::default())),
+        ("MS", SamplerKind::Mcmc(McmcSampler::default())),
+    ];
+
+    let mut group = c.benchmark_group("fig6_sample_generation");
+    group.sample_size(10);
+    for (name, sampler) in &samplers {
+        group.bench_with_input(BenchmarkId::new(*name, "200_samples"), sampler, |b, s| {
+            b.iter(|| {
+                let mut rng = workload.rng(4);
+                s.generate(&workload.prior, &checker, 200, &mut rng)
+                    .expect("sampling succeeds")
+                    .pool
+                    .len()
+            })
+        });
+    }
+    group.finish();
+
+    // The top-k package phase over a fixed pool of 20 samples.
+    let mut rng = workload.rng(5);
+    let pool = SamplerKind::Mcmc(McmcSampler::default())
+        .generate(&workload.prior, &checker, 20, &mut rng)
+        .expect("sampling succeeds")
+        .pool;
+    let mut group = c.benchmark_group("fig6_top_k_packages");
+    group.sample_size(10);
+    group.bench_function("EXP_top5_over_20_samples", |b| {
+        b.iter(|| top_k_phase(&workload, &pool, 5))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmark behind Figure 7: locating the samples a new preference
+//! invalidates, with the naive scan, the TA scan and the hybrid of
+//! Algorithm 1, in the two regimes the paper contrasts (few vs many
+//! violations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pkgrec_core::maintenance::{find_violating, index_pool, MaintenanceStrategy};
+use pkgrec_core::preferences::Preference;
+use pkgrec_core::sampler::{SamplePool, WeightSample};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn pool(n: usize, dim: usize, seed: u64) -> SamplePool {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SamplePool::from_samples(
+        (0..n)
+            .map(|_| WeightSample::unweighted((0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()))
+            .collect(),
+    )
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let pool = pool(10_000, 5, 7);
+    let index = index_pool(&pool);
+    // Few violations: the "better" package dominates, so almost every sample
+    // already agrees with the preference.
+    let few = Preference::new(vec![0.9, 0.9, 0.9, 0.9, 0.9], vec![0.1, 0.1, 0.1, 0.1, 0.1]);
+    // Many violations: the preference contradicts most of the random pool.
+    let many = Preference::new(vec![0.1, 0.1, 0.1, 0.1, 0.1], vec![0.9, 0.9, 0.9, 0.9, 0.9]);
+
+    let strategies = [
+        ("naive", MaintenanceStrategy::Naive),
+        ("topk", MaintenanceStrategy::TopK),
+        ("hybrid", MaintenanceStrategy::Hybrid { gamma: 0.025 }),
+    ];
+    let mut group = c.benchmark_group("fig7_sample_maintenance");
+    for (regime, pref) in [("few_violations", &few), ("many_violations", &many)] {
+        for (name, strategy) in &strategies {
+            group.bench_with_input(
+                BenchmarkId::new(*name, regime),
+                &(pref, strategy),
+                |b, (pref, strategy)| {
+                    b.iter(|| find_violating(&pool, Some(&index), pref, **strategy).violating.len())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benchmark behind Figure 8: the cost of one full elicitation
+//! session (present → click → learn until the top-k list stabilises) against
+//! a hidden ground-truth utility.  The workload is a scaled-down UNI catalog
+//! so the session fits a micro-benchmark; the full NBA-scale study is run by
+//! the `experiments fig8` harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pkgrec_bench::workload::{build_dataset, dataset_catalog, experiment_profile, DatasetId};
+use pkgrec_core::elicitation::{
+    random_ground_truth_weights, run_elicitation, ElicitationConfig, SimulatedUser,
+};
+use pkgrec_core::engine::{EngineConfig, RecommenderEngine};
+use pkgrec_core::LinearUtility;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig8(c: &mut Criterion) {
+    let dataset = build_dataset(DatasetId::Uni, 800, 8);
+    let mut group = c.benchmark_group("fig8_elicitation_session");
+    group.sample_size(10);
+    for features in [2usize, 6] {
+        let catalog = dataset_catalog(&dataset, features);
+        let profile = experiment_profile(catalog.num_features());
+        group.bench_with_input(
+            BenchmarkId::new("session", features),
+            &features,
+            |b, &features| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(800 + features as u64);
+                    let mut engine = RecommenderEngine::new(
+                        catalog.clone(),
+                        profile.clone(),
+                        3,
+                        EngineConfig {
+                            k: 5,
+                            num_random: 5,
+                            num_samples: 40,
+                            ..EngineConfig::default()
+                        },
+                    )
+                    .expect("valid configuration");
+                    let truth = random_ground_truth_weights(catalog.num_features(), &mut rng);
+                    let utility = LinearUtility::new(engine.context().clone(), truth)
+                        .expect("dimensions match");
+                    let user = SimulatedUser::new(utility);
+                    run_elicitation(
+                        &mut engine,
+                        &user,
+                        ElicitationConfig {
+                            max_rounds: 6,
+                            stable_rounds: 2,
+                        },
+                        &mut rng,
+                    )
+                    .expect("session runs")
+                    .clicks
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

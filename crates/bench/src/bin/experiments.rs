@@ -1,0 +1,150 @@
+//! End-to-end experiment runner.
+//!
+//! Reproduces every figure of the paper's evaluation section and prints the
+//! resulting tables (GitHub markdown, ready to paste into `EXPERIMENTS.md`).
+//! Individual experiments can be selected by name; `--quick` shrinks the
+//! workloads so the whole suite finishes in a couple of minutes.
+//!
+//! ```text
+//! cargo run --release -p pkgrec-bench --bin experiments -- [--quick] [fig4 fig5 fig6 fig7 fig8 quality]
+//! ```
+//!
+//! With `--json <path>` the raw measurements are also written as JSON.
+
+use std::collections::BTreeMap;
+
+use pkgrec_bench::{fig4, fig5, fig6, fig7, fig8, quality};
+use pkgrec_bench::workload::DatasetId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != json_path.as_deref())
+        .cloned()
+        .collect();
+    let wants = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
+
+    let mut json = BTreeMap::new();
+
+    if wants("fig4") {
+        let config = if quick {
+            fig4::Fig4Config {
+                samples: 100,
+                rows: 500,
+                ..fig4::Fig4Config::default()
+            }
+        } else {
+            fig4::Fig4Config::default()
+        };
+        let result = fig4::run(&config);
+        println!("{}", result.table());
+        json.insert("fig4".to_string(), serde_json::to_value(&result).unwrap());
+    }
+
+    if wants("fig5") {
+        let config = if quick {
+            fig5::Fig5Config {
+                preferences: 1_000,
+                samples: 300,
+                rows: 1_000,
+                sample_sweep: vec![100, 300],
+                feature_sweep: vec![3, 5, 7],
+                gaussian_sweep: vec![1, 3, 5],
+                ..fig5::Fig5Config::default()
+            }
+        } else {
+            fig5::Fig5Config::default()
+        };
+        let result = fig5::run(&config);
+        for table in result.tables() {
+            println!("{table}");
+        }
+        json.insert("fig5".to_string(), serde_json::to_value(&result).unwrap());
+    }
+
+    if wants("fig6") {
+        let config = if quick {
+            fig6::Fig6Config {
+                datasets: vec![DatasetId::Uni, DatasetId::Nba],
+                rows: 2_000,
+                sample_sweep: vec![200, 500],
+                feature_sweep: vec![2, 6, 10],
+                default_samples: 200,
+                k: 3,
+                ..fig6::Fig6Config::default()
+            }
+        } else {
+            fig6::Fig6Config::default()
+        };
+        let result = fig6::run(&config);
+        for table in result.tables() {
+            println!("{table}");
+        }
+        json.insert("fig6".to_string(), serde_json::to_value(&result).unwrap());
+    }
+
+    if wants("fig7") {
+        let config = if quick {
+            fig7::Fig7Config {
+                pool_size: 2_000,
+                preferences: 200,
+                ..fig7::Fig7Config::default()
+            }
+        } else {
+            fig7::Fig7Config::default()
+        };
+        let result = fig7::run(&config);
+        for table in result.tables() {
+            println!("{table}");
+        }
+        json.insert("fig7".to_string(), serde_json::to_value(&result).unwrap());
+    }
+
+    if wants("fig8") {
+        let config = if quick {
+            fig8::Fig8Config {
+                dataset: DatasetId::Nba,
+                feature_sweep: vec![2, 6, 10],
+                ground_truths: 5,
+                num_samples: 60,
+                max_rounds: 15,
+                ..fig8::Fig8Config::default()
+            }
+        } else {
+            fig8::Fig8Config::default()
+        };
+        let result = fig8::run(&config);
+        println!("{}", result.table());
+        json.insert("fig8".to_string(), serde_json::to_value(&result).unwrap());
+    }
+
+    if wants("quality") {
+        let config = if quick {
+            quality::QualityConfig {
+                samples: 500,
+                rows: 1_000,
+                ..quality::QualityConfig::default()
+            }
+        } else {
+            quality::QualityConfig::default()
+        };
+        let result = quality::run(&config);
+        for table in result.tables() {
+            println!("{table}");
+        }
+        json.insert("quality".to_string(), serde_json::to_value(&result).unwrap());
+    }
+
+    if let Some(path) = json_path {
+        let payload = serde_json::to_string_pretty(&json).expect("results serialise");
+        std::fs::write(&path, payload).expect("write JSON results");
+        eprintln!("raw results written to {path}");
+    }
+}

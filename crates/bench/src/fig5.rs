@@ -1,0 +1,342 @@
+//! Figure 5 — efficiency of the transitive-reduction pruning strategy.
+//!
+//! The experiment measures the total time needed to check a pool of sampled
+//! weight vectors against all received preference constraints, before and
+//! after the preference DAG is transitively reduced (Section 3.3).  The paper
+//! sweeps the number of features (3–7), the number of samples (1000–5000) and
+//! the number of Gaussians in the prior (1–5) while the remaining parameters
+//! stay at their defaults (10 000 preferences, 5000 packages, 1 Gaussian,
+//! 5 features, 1000 samples) and reports ≥10% improvement throughout.
+//!
+//! Redundant preferences only exist if the feedback contains chains
+//! (`a ≻ b ≻ c` plus `a ≻ c`), so the workload generates clicks over rounds of
+//! presented packages exactly like the elicitation loop does: each click on a
+//! package that also appears in a later round's comparisons produces the
+//! transitive chains the reduction removes.
+
+use pkgrec_core::constraints::ConstraintChecker;
+use pkgrec_core::preferences::PreferenceStore;
+use pkgrec_core::sampler::{RejectionSampler, WeightSampler};
+use pkgrec_core::LinearUtility;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::report::{seconds, timed, Table};
+use crate::workload::{random_package, Workload, WorkloadConfig};
+
+/// Configuration of the Figure 5 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Config {
+    /// Default number of preferences (paper: 10 000).
+    pub preferences: usize,
+    /// Default number of samples to check (paper: 1000).
+    pub samples: usize,
+    /// Default number of features (paper: 5).
+    pub features: usize,
+    /// Default number of Gaussians (paper: 1).
+    pub gaussians: usize,
+    /// Catalog size used to build packages (paper: 5000 packages).
+    pub rows: usize,
+    /// Feature counts swept in Figure 5(a).
+    pub feature_sweep: Vec<usize>,
+    /// Sample counts swept in Figure 5(b).
+    pub sample_sweep: Vec<usize>,
+    /// Gaussian counts swept in Figure 5(c).
+    pub gaussian_sweep: Vec<usize>,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for Fig5Config {
+    fn default() -> Self {
+        Fig5Config {
+            preferences: 10_000,
+            samples: 1_000,
+            features: 5,
+            gaussians: 1,
+            rows: 5_000,
+            feature_sweep: vec![3, 4, 5, 6, 7],
+            sample_sweep: vec![1_000, 2_000, 3_000, 4_000, 5_000],
+            gaussian_sweep: vec![1, 2, 3, 4, 5],
+            seed: 5,
+        }
+    }
+}
+
+/// One measured point of the pruning experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PruningPoint {
+    /// The swept parameter's value (features, samples or Gaussians).
+    pub x: usize,
+    /// Constraints before transitive reduction.
+    pub constraints_before: usize,
+    /// Constraints after transitive reduction.
+    pub constraints_after: usize,
+    /// Checking time over all samples, before pruning (seconds).
+    pub time_before: f64,
+    /// Checking time over all samples, after pruning (seconds).
+    pub time_after: f64,
+}
+
+impl PruningPoint {
+    /// Relative improvement of the pruned checker (`1 - after/before`).
+    pub fn improvement(&self) -> f64 {
+        if self.time_before <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.time_after / self.time_before
+        }
+    }
+}
+
+/// Full result of the Figure 5 experiment: one series per swept parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Result {
+    /// Figure 5(a): varying the number of features.
+    pub by_features: Vec<PruningPoint>,
+    /// Figure 5(b): varying the number of samples.
+    pub by_samples: Vec<PruningPoint>,
+    /// Figure 5(c): varying the number of Gaussians in the prior.
+    pub by_gaussians: Vec<PruningPoint>,
+}
+
+/// Builds a preference store containing transitive chains: packages are
+/// compared in rounds, and each round's winner is also preferred to the
+/// packages of the next round, creating redundant shortcut edges.
+fn chained_preference_store(
+    workload: &Workload,
+    count: usize,
+    rng: &mut impl Rng,
+) -> PreferenceStore {
+    let utility = LinearUtility::new(workload.context.clone(), workload.ground_truth.clone())
+        .expect("ground truth matches the catalog");
+    let mut store = PreferenceStore::new();
+    let phi = workload.context.max_package_size();
+    // Build a pool of candidate packages ranked by the ground-truth utility.
+    let pool_size = (count / 2).clamp(16, 512);
+    let mut pool: Vec<(pkgrec_core::Package, Vec<f64>, f64)> = Vec::with_capacity(pool_size);
+    while pool.len() < pool_size {
+        let p = random_package(workload.catalog.len(), phi, rng);
+        if pool.iter().any(|(q, _, _)| *q == p) {
+            continue;
+        }
+        let v = workload
+            .context
+            .package_vector(&workload.catalog, &p)
+            .expect("random packages respect φ");
+        let u = utility.of_vector(&v);
+        pool.push((p, v, u));
+    }
+    pool.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    // Preferences: better-ranked pool entries over worse-ranked ones, drawn at
+    // random; chains arise naturally and many of them are redundant.
+    let mut added = 0usize;
+    let mut guard = 0usize;
+    while added < count && guard < count * 20 {
+        guard += 1;
+        let i = rng.gen_range(0..pool.len());
+        let j = rng.gen_range(0..pool.len());
+        if i == j {
+            continue;
+        }
+        let (hi, lo) = if pool[i].2 > pool[j].2 { (i, j) } else { (j, i) };
+        if pool[hi].2 <= pool[lo].2 {
+            continue;
+        }
+        match store.add(
+            pool[hi].0.key(),
+            &pool[hi].1,
+            pool[lo].0.key(),
+            &pool[lo].1,
+        ) {
+            Ok(true) => added += 1,
+            _ => continue,
+        }
+    }
+    store
+}
+
+fn measure(
+    workload: &Workload,
+    store: &PreferenceStore,
+    samples: usize,
+    x: usize,
+) -> PruningPoint {
+    let dim = workload.catalog.num_features();
+    // The samples to check are drawn from the unconstrained prior: the cost
+    // being measured is the validity check itself.
+    let sampler = RejectionSampler::default();
+    let empty = ConstraintChecker::from_constraints(dim, vec![], pkgrec_core::ConstraintSource::Full);
+    let mut rng = workload.rng(7);
+    let pool = sampler
+        .generate(&workload.prior, &empty, samples, &mut rng)
+        .expect("unconstrained sampling cannot fail")
+        .pool;
+
+    let full = ConstraintChecker::full(store, dim);
+    let reduced = ConstraintChecker::reduced(store, dim);
+    let (_, time_before) = timed(|| {
+        pool.samples()
+            .iter()
+            .filter(|s| full.is_valid(&s.weights))
+            .count()
+    });
+    let (_, time_after) = timed(|| {
+        pool.samples()
+            .iter()
+            .filter(|s| reduced.is_valid(&s.weights))
+            .count()
+    });
+    PruningPoint {
+        x,
+        constraints_before: full.len(),
+        constraints_after: reduced.len(),
+        time_before: time_before.as_secs_f64(),
+        time_after: time_after.as_secs_f64(),
+    }
+}
+
+/// Runs the Figure 5 experiment.
+pub fn run(config: &Fig5Config) -> Fig5Result {
+    let base = |features: usize, gaussians: usize| WorkloadConfig {
+        rows: config.rows,
+        features,
+        gaussians,
+        preferences: 0, // preferences are generated by chained_preference_store
+        seed: config.seed,
+        ..WorkloadConfig::default()
+    };
+
+    let mut by_features = Vec::new();
+    for &features in &config.feature_sweep {
+        let workload = Workload::build(base(features, config.gaussians));
+        let mut rng = workload.rng(11);
+        let store = chained_preference_store(&workload, config.preferences, &mut rng);
+        by_features.push(measure(&workload, &store, config.samples, features));
+    }
+
+    let workload = Workload::build(base(config.features, config.gaussians));
+    let mut rng = workload.rng(12);
+    let store = chained_preference_store(&workload, config.preferences, &mut rng);
+    let mut by_samples = Vec::new();
+    for &samples in &config.sample_sweep {
+        by_samples.push(measure(&workload, &store, samples, samples));
+    }
+
+    let mut by_gaussians = Vec::new();
+    for &gaussians in &config.gaussian_sweep {
+        let workload = Workload::build(base(config.features, gaussians));
+        let mut rng = workload.rng(13);
+        let store = chained_preference_store(&workload, config.preferences, &mut rng);
+        by_gaussians.push(measure(&workload, &store, config.samples, gaussians));
+    }
+
+    Fig5Result {
+        by_features,
+        by_samples,
+        by_gaussians,
+    }
+}
+
+fn series_table(title: &str, x_name: &str, points: &[PruningPoint]) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            x_name,
+            "constraints before",
+            "constraints after",
+            "time before (s)",
+            "time after (s)",
+            "improvement",
+        ],
+    );
+    for p in points {
+        table.push_row(vec![
+            p.x.to_string(),
+            p.constraints_before.to_string(),
+            p.constraints_after.to_string(),
+            seconds(std::time::Duration::from_secs_f64(p.time_before)),
+            seconds(std::time::Duration::from_secs_f64(p.time_after)),
+            format!("{:.1}%", p.improvement() * 100.0),
+        ]);
+    }
+    table
+}
+
+impl Fig5Result {
+    /// Renders the three sub-figures as tables.
+    pub fn tables(&self) -> Vec<Table> {
+        vec![
+            series_table("Figure 5(a): varying number of features", "features", &self.by_features),
+            series_table("Figure 5(b): varying number of samples", "samples", &self.by_samples),
+            series_table(
+                "Figure 5(c): varying number of Gaussians",
+                "gaussians",
+                &self.by_gaussians,
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Fig5Config {
+        Fig5Config {
+            preferences: 200,
+            samples: 100,
+            rows: 100,
+            feature_sweep: vec![3, 4],
+            sample_sweep: vec![50, 100],
+            gaussian_sweep: vec![1, 2],
+            ..Fig5Config::default()
+        }
+    }
+
+    #[test]
+    fn produces_all_three_series() {
+        let result = run(&tiny_config());
+        assert_eq!(result.by_features.len(), 2);
+        assert_eq!(result.by_samples.len(), 2);
+        assert_eq!(result.by_gaussians.len(), 2);
+        assert_eq!(result.tables().len(), 3);
+    }
+
+    #[test]
+    fn transitive_reduction_removes_constraints() {
+        let result = run(&tiny_config());
+        for p in result
+            .by_features
+            .iter()
+            .chain(&result.by_samples)
+            .chain(&result.by_gaussians)
+        {
+            assert!(p.constraints_after <= p.constraints_before);
+            assert!(p.constraints_before > 0);
+        }
+        // At least one point should show a genuine reduction (the chained
+        // click workload always contains redundant shortcut edges).
+        assert!(result
+            .by_features
+            .iter()
+            .any(|p| p.constraints_after < p.constraints_before));
+    }
+
+    #[test]
+    fn improvement_is_computed_from_times() {
+        let p = PruningPoint {
+            x: 5,
+            constraints_before: 100,
+            constraints_after: 60,
+            time_before: 2.0,
+            time_after: 1.5,
+        };
+        assert!((p.improvement() - 0.25).abs() < 1e-12);
+        let degenerate = PruningPoint {
+            time_before: 0.0,
+            ..p
+        };
+        assert_eq!(degenerate.improvement(), 0.0);
+    }
+}

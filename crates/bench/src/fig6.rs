@@ -1,0 +1,305 @@
+//! Figure 6 — overall time performance of sample generation and top-k package
+//! search across the five datasets.
+//!
+//! The paper's Figure 6 plots, per dataset, the wall-clock cost of (a)
+//! generating the required number of valid weight samples with RS / IS / MS
+//! and (b) generating the top-k packages from those samples, while sweeping
+//! the number of samples (1000–5000, sub-figures a–e) and the number of
+//! features (2–10, sub-figures f–j, importance sampling excluded above five
+//! features because its grid is exponential in the dimensionality).
+
+use pkgrec_core::ranking::{aggregate, PerSampleRanking, RankingSemantics};
+use pkgrec_core::sampler::{
+    ImportanceSampler, McmcSampler, RejectionSampler, SamplerKind, SamplePool, WeightSampler,
+};
+use pkgrec_core::search::top_k_packages;
+use pkgrec_core::LinearUtility;
+use serde::{Deserialize, Serialize};
+
+use crate::report::{seconds, timed, Table};
+use crate::workload::{DatasetId, Workload, WorkloadConfig};
+
+/// Configuration of the Figure 6 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Config {
+    /// Datasets to run (all five by default).
+    pub datasets: Vec<DatasetId>,
+    /// Number of rows for synthetic datasets (paper: 100 000).
+    pub rows: usize,
+    /// Sample counts swept in Figure 6(a)–(e).
+    pub sample_sweep: Vec<usize>,
+    /// Feature counts swept in Figure 6(f)–(j).
+    pub feature_sweep: Vec<usize>,
+    /// Default number of samples for the feature sweep.
+    pub default_samples: usize,
+    /// Default number of features for the sample sweep (paper default: 5).
+    pub default_features: usize,
+    /// Number of pairwise preferences constraining the weight region.
+    pub preferences: usize,
+    /// k of the generated top-k package list.
+    pub k: usize,
+    /// Features above which importance sampling is skipped (paper: 5).
+    pub importance_feature_limit: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for Fig6Config {
+    fn default() -> Self {
+        Fig6Config {
+            datasets: DatasetId::all().to_vec(),
+            rows: 20_000,
+            sample_sweep: vec![1_000, 2_000, 3_000, 4_000, 5_000],
+            feature_sweep: vec![2, 4, 6, 8, 10],
+            default_samples: 1_000,
+            default_features: 5,
+            preferences: 10,
+            k: 5,
+            importance_feature_limit: 5,
+            seed: 6,
+        }
+    }
+}
+
+/// One measured point: a dataset, a sampler, a swept value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverallPoint {
+    /// Dataset short name.
+    pub dataset: String,
+    /// Sampler short name (RS / IS / MS).
+    pub sampler: String,
+    /// The swept value (number of samples or number of features).
+    pub x: usize,
+    /// Seconds spent generating the valid samples.
+    pub sample_generation_secs: f64,
+    /// Seconds spent generating the top-k packages from the samples.
+    pub top_k_secs: f64,
+    /// Whether the sampler was skipped (importance sampling above its feature
+    /// limit, or a sampler error).
+    pub skipped: bool,
+}
+
+/// Full result of the Figure 6 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Result {
+    /// Figure 6(a)–(e): sweeping the number of samples.
+    pub by_samples: Vec<OverallPoint>,
+    /// Figure 6(f)–(j): sweeping the number of features.
+    pub by_features: Vec<OverallPoint>,
+}
+
+fn samplers() -> Vec<(&'static str, SamplerKind)> {
+    vec![
+        ("RS", SamplerKind::Rejection(RejectionSampler::default())),
+        ("IS", SamplerKind::Importance(ImportanceSampler::default())),
+        ("MS", SamplerKind::Mcmc(McmcSampler::default())),
+    ]
+}
+
+/// Generates the top-k packages for every sample in the pool and aggregates
+/// them under EXP — the "Top-k Pkg" cost component of Figure 6.
+pub fn top_k_phase(workload: &Workload, pool: &SamplePool, k: usize) -> usize {
+    let mut results = Vec::with_capacity(pool.len());
+    for sample in pool.samples() {
+        let utility = LinearUtility::new(workload.context.clone(), sample.weights.clone())
+            .expect("samples share the catalog dimensionality");
+        let search = top_k_packages(&utility, &workload.catalog, k)
+            .expect("search cannot fail on a valid catalog");
+        results.push(PerSampleRanking::new(sample.importance, search.packages));
+    }
+    aggregate(RankingSemantics::Exp, &results, k).len()
+}
+
+fn measure_point(
+    workload: &Workload,
+    sampler_name: &str,
+    sampler: &SamplerKind,
+    samples: usize,
+    k: usize,
+    x: usize,
+) -> OverallPoint {
+    let checker = workload.checker();
+    let mut rng = workload.rng(17);
+    let (outcome, generation_time) =
+        timed(|| sampler.generate(&workload.prior, &checker, samples, &mut rng));
+    match outcome {
+        Err(_) => OverallPoint {
+            dataset: workload.config.dataset.name().to_string(),
+            sampler: sampler_name.to_string(),
+            x,
+            sample_generation_secs: generation_time.as_secs_f64(),
+            top_k_secs: 0.0,
+            skipped: true,
+        },
+        Ok(outcome) => {
+            let (_, topk_time) = timed(|| top_k_phase(workload, &outcome.pool, k));
+            OverallPoint {
+                dataset: workload.config.dataset.name().to_string(),
+                sampler: sampler_name.to_string(),
+                x,
+                sample_generation_secs: generation_time.as_secs_f64(),
+                top_k_secs: topk_time.as_secs_f64(),
+                skipped: false,
+            }
+        }
+    }
+}
+
+/// Runs the Figure 6 experiment.
+pub fn run(config: &Fig6Config) -> Fig6Result {
+    let mut by_samples = Vec::new();
+    let mut by_features = Vec::new();
+    for &dataset in &config.datasets {
+        // Sweep the number of samples at the default feature count.
+        let workload = Workload::build(WorkloadConfig {
+            dataset,
+            rows: config.rows,
+            features: config.default_features,
+            preferences: config.preferences,
+            seed: config.seed,
+            ..WorkloadConfig::default()
+        });
+        for &samples in &config.sample_sweep {
+            for (name, sampler) in samplers() {
+                by_samples.push(measure_point(&workload, name, &sampler, samples, config.k, samples));
+            }
+        }
+        // Sweep the number of features at the default sample count.
+        for &features in &config.feature_sweep {
+            let workload = Workload::build(WorkloadConfig {
+                dataset,
+                rows: config.rows,
+                features,
+                preferences: config.preferences,
+                seed: config.seed,
+                ..WorkloadConfig::default()
+            });
+            for (name, sampler) in samplers() {
+                if name == "IS" && features > config.importance_feature_limit {
+                    by_features.push(OverallPoint {
+                        dataset: dataset.name().to_string(),
+                        sampler: name.to_string(),
+                        x: features,
+                        sample_generation_secs: 0.0,
+                        top_k_secs: 0.0,
+                        skipped: true,
+                    });
+                    continue;
+                }
+                by_features.push(measure_point(
+                    &workload,
+                    name,
+                    &sampler,
+                    config.default_samples,
+                    config.k,
+                    features,
+                ));
+            }
+        }
+    }
+    Fig6Result {
+        by_samples,
+        by_features,
+    }
+}
+
+fn points_table(title: &str, x_name: &str, points: &[OverallPoint]) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "dataset",
+            "sampler",
+            x_name,
+            "sample generation (s)",
+            "top-k packages (s)",
+            "skipped",
+        ],
+    );
+    for p in points {
+        table.push_row(vec![
+            p.dataset.clone(),
+            p.sampler.clone(),
+            p.x.to_string(),
+            seconds(std::time::Duration::from_secs_f64(p.sample_generation_secs)),
+            seconds(std::time::Duration::from_secs_f64(p.top_k_secs)),
+            if p.skipped { "yes".into() } else { "no".into() },
+        ]);
+    }
+    table
+}
+
+impl Fig6Result {
+    /// Renders the two sweeps as tables.
+    pub fn tables(&self) -> Vec<Table> {
+        vec![
+            points_table(
+                "Figure 6(a)-(e): overall time, varying number of samples",
+                "samples",
+                &self.by_samples,
+            ),
+            points_table(
+                "Figure 6(f)-(j): overall time, varying number of features",
+                "features",
+                &self.by_features,
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Fig6Config {
+        Fig6Config {
+            datasets: vec![DatasetId::Uni],
+            rows: 300,
+            sample_sweep: vec![50],
+            feature_sweep: vec![2, 6],
+            default_samples: 50,
+            default_features: 3,
+            preferences: 3,
+            k: 3,
+            ..Fig6Config::default()
+        }
+    }
+
+    #[test]
+    fn produces_points_for_every_sampler_and_sweep_value() {
+        let result = run(&tiny_config());
+        // 1 dataset x 1 sample value x 3 samplers.
+        assert_eq!(result.by_samples.len(), 3);
+        // 1 dataset x 2 feature values x 3 samplers.
+        assert_eq!(result.by_features.len(), 6);
+        assert_eq!(result.tables().len(), 2);
+    }
+
+    #[test]
+    fn importance_sampling_is_skipped_above_the_feature_limit() {
+        let result = run(&tiny_config());
+        let is_high_dim = result
+            .by_features
+            .iter()
+            .find(|p| p.sampler == "IS" && p.x == 6)
+            .unwrap();
+        assert!(is_high_dim.skipped);
+        let is_low_dim = result
+            .by_features
+            .iter()
+            .find(|p| p.sampler == "IS" && p.x == 2)
+            .unwrap();
+        assert!(!is_low_dim.skipped);
+    }
+
+    #[test]
+    fn measured_times_are_non_negative_and_topk_runs_for_unskipped_points() {
+        let result = run(&tiny_config());
+        for p in result.by_samples.iter().chain(&result.by_features) {
+            assert!(p.sample_generation_secs >= 0.0);
+            assert!(p.top_k_secs >= 0.0);
+            if !p.skipped {
+                assert!(p.top_k_secs > 0.0, "{p:?}");
+            }
+        }
+    }
+}

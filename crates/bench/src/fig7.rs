@@ -1,0 +1,294 @@
+//! Figure 7 — cost of the sample-maintenance strategies.
+//!
+//! Figure 7(a) buckets maintenance cost by the number of samples a new
+//! preference invalidates (0, 1, 5, 20, 50, 200, 1000) and compares naive
+//! scanning, the TA-based scan and the hybrid of Algorithm 1 over a pool of
+//! 10 000 previously generated samples.  Figure 7(b) sweeps the hybrid's
+//! fallback parameter γ ∈ {0, 0.025, 0.05, 0.075, 0.1} and reports each
+//! strategy's cost as a ratio of the naive cost.
+
+use pkgrec_core::maintenance::{find_violating, index_pool, MaintenanceStrategy};
+use pkgrec_core::preferences::Preference;
+use pkgrec_core::sampler::{SamplePool, WeightSample};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::report::{timed, Table};
+use crate::workload::{Workload, WorkloadConfig};
+
+/// Configuration of the Figure 7 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Config {
+    /// Number of samples in the maintained pool (paper: 10 000).
+    pub pool_size: usize,
+    /// Number of random preferences evaluated (paper: 1000).
+    pub preferences: usize,
+    /// Number of features.
+    pub features: usize,
+    /// Bucket upper bounds on the number of violating samples (paper buckets).
+    pub buckets: Vec<usize>,
+    /// γ values swept in Figure 7(b).
+    pub gammas: Vec<f64>,
+    /// γ used for the hybrid strategy in Figure 7(a).
+    pub default_gamma: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for Fig7Config {
+    fn default() -> Self {
+        Fig7Config {
+            pool_size: 10_000,
+            preferences: 1_000,
+            features: 5,
+            buckets: vec![0, 1, 5, 20, 50, 200, 1_000],
+            gammas: vec![0.0, 0.025, 0.05, 0.075, 0.1],
+            default_gamma: 0.025,
+            seed: 7,
+        }
+    }
+}
+
+/// Aggregate cost of the three strategies within one violation bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketCost {
+    /// Upper bound of the bucket (maximum number of violating samples).
+    pub max_violations: usize,
+    /// Number of preferences that fell into this bucket.
+    pub count: usize,
+    /// Mean naive-scan time in seconds.
+    pub naive_secs: f64,
+    /// Mean TA-scan time in seconds.
+    pub topk_secs: f64,
+    /// Mean hybrid-scan time in seconds.
+    pub hybrid_secs: f64,
+}
+
+/// Cost ratios of the TA and hybrid strategies relative to the naive scan for
+/// one γ value (Figure 7(b)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GammaRatio {
+    /// The γ value.
+    pub gamma: f64,
+    /// `topk_cost / naive_cost` over the whole preference set.
+    pub topk_ratio: f64,
+    /// `hybrid_cost / naive_cost` over the whole preference set.
+    pub hybrid_ratio: f64,
+}
+
+/// Full result of the Figure 7 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Result {
+    /// Figure 7(a): per-bucket mean costs.
+    pub buckets: Vec<BucketCost>,
+    /// Figure 7(b): cost ratios as γ varies.
+    pub gamma_sweep: Vec<GammaRatio>,
+}
+
+/// Builds the sample pool and the random preference stream of the experiment.
+fn build_pool_and_preferences(config: &Fig7Config) -> (SamplePool, Vec<Preference>, Workload) {
+    let workload = Workload::build(WorkloadConfig {
+        rows: 2_000,
+        features: config.features,
+        preferences: 0,
+        seed: config.seed,
+        ..WorkloadConfig::default()
+    });
+    // The maintained pool: samples from the unconstrained prior, as after an
+    // initial sampling round.
+    let mut rng = workload.rng(3);
+    let samples: Vec<WeightSample> = (0..config.pool_size)
+        .map(|_| {
+            WeightSample::unweighted(
+                (0..config.features)
+                    .map(|_| rng.gen_range(-1.0f64..1.0))
+                    .collect(),
+            )
+        })
+        .collect();
+    let pool = SamplePool::from_samples(samples);
+    // Random package preferences; their violation counts vary wildly, which is
+    // exactly what populates the different buckets.
+    let preferences = crate::workload::consistent_preferences(
+        &workload.context,
+        &workload.catalog,
+        &workload.ground_truth,
+        config.preferences,
+        &mut rng,
+    );
+    (pool, preferences, workload)
+}
+
+/// Runs the Figure 7 experiment.
+pub fn run(config: &Fig7Config) -> Fig7Result {
+    let (pool, preferences, _workload) = build_pool_and_preferences(config);
+    let index = index_pool(&pool);
+
+    // Figure 7(a): bucket by the number of violating samples.
+    let mut bucket_acc: Vec<(usize, f64, f64, f64)> = config
+        .buckets
+        .iter()
+        .map(|&b| (b, 0.0, 0.0, 0.0))
+        .collect();
+    let mut bucket_counts = vec![0usize; config.buckets.len()];
+    let mut total_naive = 0.0;
+    let mut total_topk = 0.0;
+    let mut gamma_totals: Vec<f64> = vec![0.0; config.gammas.len()];
+
+    for pref in &preferences {
+        let (naive_out, naive_t) =
+            timed(|| find_violating(&pool, None, pref, MaintenanceStrategy::Naive));
+        let (_, topk_t) =
+            timed(|| find_violating(&pool, Some(&index), pref, MaintenanceStrategy::TopK));
+        let (_, hybrid_t) = timed(|| {
+            find_violating(
+                &pool,
+                Some(&index),
+                pref,
+                MaintenanceStrategy::Hybrid {
+                    gamma: config.default_gamma,
+                },
+            )
+        });
+        for (gi, &gamma) in config.gammas.iter().enumerate() {
+            let (_, t) = timed(|| {
+                find_violating(&pool, Some(&index), pref, MaintenanceStrategy::Hybrid { gamma })
+            });
+            gamma_totals[gi] += t.as_secs_f64();
+        }
+        total_naive += naive_t.as_secs_f64();
+        total_topk += topk_t.as_secs_f64();
+
+        let violations = naive_out.violating.len();
+        // Results go into "the bucket with the smallest qualifying label".
+        let bucket = config
+            .buckets
+            .iter()
+            .position(|&b| violations <= b)
+            .unwrap_or(config.buckets.len() - 1);
+        bucket_counts[bucket] += 1;
+        bucket_acc[bucket].1 += naive_t.as_secs_f64();
+        bucket_acc[bucket].2 += topk_t.as_secs_f64();
+        bucket_acc[bucket].3 += hybrid_t.as_secs_f64();
+    }
+
+    let buckets = bucket_acc
+        .into_iter()
+        .zip(bucket_counts.iter())
+        .map(|((max_violations, naive, topk, hybrid), &count)| {
+            let d = count.max(1) as f64;
+            BucketCost {
+                max_violations,
+                count,
+                naive_secs: naive / d,
+                topk_secs: topk / d,
+                hybrid_secs: hybrid / d,
+            }
+        })
+        .collect();
+
+    let gamma_sweep = config
+        .gammas
+        .iter()
+        .zip(gamma_totals.iter())
+        .map(|(&gamma, &hybrid_total)| GammaRatio {
+            gamma,
+            topk_ratio: if total_naive > 0.0 { total_topk / total_naive } else { 0.0 },
+            hybrid_ratio: if total_naive > 0.0 { hybrid_total / total_naive } else { 0.0 },
+        })
+        .collect();
+
+    Fig7Result {
+        buckets,
+        gamma_sweep,
+    }
+}
+
+impl Fig7Result {
+    /// Renders the two sub-figures as tables.
+    pub fn tables(&self) -> Vec<Table> {
+        let mut a = Table::new(
+            "Figure 7(a): maintenance cost by number of violating samples",
+            &["max violations", "preferences", "naive (s)", "top-k (s)", "hybrid (s)"],
+        );
+        for b in &self.buckets {
+            a.push_row(vec![
+                b.max_violations.to_string(),
+                b.count.to_string(),
+                format!("{:.6}", b.naive_secs),
+                format!("{:.6}", b.topk_secs),
+                format!("{:.6}", b.hybrid_secs),
+            ]);
+        }
+        let mut b = Table::new(
+            "Figure 7(b): cost ratio versus naive checking as γ varies",
+            &["γ", "top-k / naive", "hybrid / naive"],
+        );
+        for g in &self.gamma_sweep {
+            b.push_row(vec![
+                format!("{}", g.gamma),
+                format!("{:.3}", g.topk_ratio),
+                format!("{:.3}", g.hybrid_ratio),
+            ]);
+        }
+        vec![a, b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Fig7Config {
+        Fig7Config {
+            pool_size: 500,
+            preferences: 40,
+            features: 3,
+            gammas: vec![0.0, 0.05],
+            ..Fig7Config::default()
+        }
+    }
+
+    #[test]
+    fn buckets_cover_every_preference() {
+        let result = run(&tiny_config());
+        let total: usize = result.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, 40);
+        assert_eq!(result.gamma_sweep.len(), 2);
+        assert_eq!(result.tables().len(), 2);
+    }
+
+    #[test]
+    fn costs_are_non_negative_and_ratios_positive() {
+        let result = run(&tiny_config());
+        for b in &result.buckets {
+            assert!(b.naive_secs >= 0.0 && b.topk_secs >= 0.0 && b.hybrid_secs >= 0.0);
+        }
+        for g in &result.gamma_sweep {
+            assert!(g.topk_ratio > 0.0);
+            assert!(g.hybrid_ratio > 0.0);
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_the_violating_sets() {
+        // Not a timing property: re-check that the three strategies find the
+        // same violators on this workload (correctness backing for the cost
+        // comparison).
+        let config = tiny_config();
+        let (pool, preferences, _) = build_pool_and_preferences(&config);
+        let index = index_pool(&pool);
+        for pref in preferences.iter().take(10) {
+            let naive = find_violating(&pool, None, pref, MaintenanceStrategy::Naive);
+            let topk = find_violating(&pool, Some(&index), pref, MaintenanceStrategy::TopK);
+            let hybrid = find_violating(
+                &pool,
+                Some(&index),
+                pref,
+                MaintenanceStrategy::Hybrid { gamma: 0.025 },
+            );
+            assert_eq!(naive.violating, topk.violating);
+            assert_eq!(naive.violating, hybrid.violating);
+        }
+    }
+}

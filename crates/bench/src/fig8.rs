@@ -1,0 +1,194 @@
+//! Figure 8 — effectiveness of the preference-elicitation loop.
+//!
+//! The paper generates 100 random hidden ground-truth utility functions over
+//! the NBA dataset, runs the elicitation loop (5 recommended + 5 random
+//! packages per round, MCMC sampling, EXP semantics) and reports the number of
+//! clicks needed before the recommended top-k list stabilises, as a function
+//! of the number of features (2–10).  Only a few clicks are needed throughout.
+
+use pkgrec_core::elicitation::{
+    random_ground_truth_weights, run_elicitation, ElicitationConfig, SimulatedUser,
+};
+use pkgrec_core::engine::{EngineConfig, RecommenderEngine};
+use pkgrec_core::ranking::RankingSemantics;
+use pkgrec_core::sampler::SamplerKind;
+use pkgrec_core::LinearUtility;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::report::Table;
+use crate::workload::{build_dataset, dataset_catalog, experiment_profile, DatasetId};
+
+/// Configuration of the Figure 8 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8Config {
+    /// Dataset (paper: NBA).
+    pub dataset: DatasetId,
+    /// Number of rows for synthetic datasets (ignored for NBA).
+    pub rows: usize,
+    /// Feature counts swept (paper: 2–10).
+    pub feature_sweep: Vec<usize>,
+    /// Number of random ground-truth utility functions per point (paper: 100).
+    pub ground_truths: usize,
+    /// Number of recommended packages per round (paper: 5).
+    pub k: usize,
+    /// Number of random exploration packages per round (paper: 5).
+    pub num_random: usize,
+    /// Number of weight samples maintained per round.
+    pub num_samples: usize,
+    /// Maximum package size φ.
+    pub max_package_size: usize,
+    /// Maximum rounds before a session is declared non-converged.
+    pub max_rounds: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for Fig8Config {
+    fn default() -> Self {
+        Fig8Config {
+            dataset: DatasetId::Nba,
+            rows: 3_705,
+            feature_sweep: vec![2, 4, 6, 8, 10],
+            ground_truths: 100,
+            k: 5,
+            num_random: 5,
+            num_samples: 200,
+            max_package_size: 5,
+            max_rounds: 25,
+            seed: 8,
+        }
+    }
+}
+
+/// One point of the Figure 8 curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElicitationPoint {
+    /// Number of features.
+    pub features: usize,
+    /// Mean number of clicks to convergence across ground truths.
+    pub mean_clicks: f64,
+    /// Maximum number of clicks observed.
+    pub max_clicks: usize,
+    /// Fraction of sessions that converged within the round budget.
+    pub converged_fraction: f64,
+    /// Mean precision of the final list against the ground-truth top-k.
+    pub mean_precision: f64,
+}
+
+/// Full result of the Figure 8 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8Result {
+    /// One point per feature count.
+    pub points: Vec<ElicitationPoint>,
+}
+
+/// Runs the Figure 8 experiment.
+pub fn run(config: &Fig8Config) -> Fig8Result {
+    let dataset = build_dataset(config.dataset, config.rows, config.seed);
+    let mut points = Vec::new();
+    for &features in &config.feature_sweep {
+        let catalog = dataset_catalog(&dataset, features);
+        let profile = experiment_profile(catalog.num_features());
+        let mut clicks_sum = 0usize;
+        let mut clicks_max = 0usize;
+        let mut converged = 0usize;
+        let mut precision_sum = 0.0;
+        for trial in 0..config.ground_truths {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(
+                config.seed ^ (features as u64) << 32 ^ trial as u64,
+            );
+            let mut engine = RecommenderEngine::new(
+                catalog.clone(),
+                profile.clone(),
+                config.max_package_size,
+                EngineConfig {
+                    k: config.k,
+                    num_random: config.num_random,
+                    num_samples: config.num_samples,
+                    semantics: RankingSemantics::Exp,
+                    sampler: SamplerKind::mcmc(),
+                    ..EngineConfig::default()
+                },
+            )
+            .expect("valid engine configuration");
+            let truth = random_ground_truth_weights(catalog.num_features(), &mut rng);
+            let utility = LinearUtility::new(engine.context().clone(), truth)
+                .expect("ground truth matches the catalog");
+            let user = SimulatedUser::new(utility);
+            let report = run_elicitation(
+                &mut engine,
+                &user,
+                ElicitationConfig {
+                    max_rounds: config.max_rounds,
+                    stable_rounds: 2,
+                },
+                &mut rng,
+            )
+            .expect("elicitation sessions cannot fail on this workload");
+            clicks_sum += report.clicks;
+            clicks_max = clicks_max.max(report.clicks);
+            if report.converged {
+                converged += 1;
+            }
+            precision_sum += report.precision;
+        }
+        let n = config.ground_truths.max(1) as f64;
+        points.push(ElicitationPoint {
+            features,
+            mean_clicks: clicks_sum as f64 / n,
+            max_clicks: clicks_max,
+            converged_fraction: converged as f64 / n,
+            mean_precision: precision_sum / n,
+        });
+    }
+    Fig8Result { points }
+}
+
+impl Fig8Result {
+    /// Renders the curve as a table.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            "Figure 8: clicks needed before the top-k list stabilises",
+            &["features", "mean clicks", "max clicks", "converged", "mean precision"],
+        );
+        for p in &self.points {
+            table.push_row(vec![
+                p.features.to_string(),
+                format!("{:.2}", p.mean_clicks),
+                p.max_clicks.to_string(),
+                format!("{:.0}%", p.converged_fraction * 100.0),
+                format!("{:.2}", p.mean_precision),
+            ]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_elicitation_study_converges_quickly() {
+        let result = run(&Fig8Config {
+            dataset: DatasetId::Uni,
+            rows: 60,
+            feature_sweep: vec![2, 4],
+            ground_truths: 3,
+            k: 3,
+            num_random: 3,
+            num_samples: 40,
+            max_package_size: 3,
+            max_rounds: 20,
+            seed: 81,
+        });
+        assert_eq!(result.points.len(), 2);
+        for p in &result.points {
+            assert!(p.mean_clicks <= 20.0);
+            assert!(p.converged_fraction > 0.0, "no session converged for {} features", p.features);
+            assert!(p.mean_precision >= 0.0 && p.mean_precision <= 1.0);
+        }
+        assert_eq!(result.table().rows.len(), 2);
+    }
+}

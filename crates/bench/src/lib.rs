@@ -1,0 +1,41 @@
+//! Experiment harness reproducing the evaluation section (Section 5) of
+//! *Generating Top-k Packages via Preference Elicitation*.
+//!
+//! Each experiment of the paper has a module here that generates the workload,
+//! runs the relevant algorithms and returns the measured series in a
+//! table-friendly form:
+//!
+//! | module | paper artefact |
+//! |---|---|
+//! | [`fig4`] | Figure 4 — behaviour of the three sampling methods (accept/reject counts, ENS) |
+//! | [`fig5`] | Figure 5 — constraint-checking time before/after transitive-reduction pruning |
+//! | [`fig6`] | Figure 6 — overall time: sample generation vs top-k package search across datasets |
+//! | [`fig7`] | Figure 7 — sample-maintenance strategies (naive / top-k / hybrid, γ sweep) |
+//! | [`fig8`] | Figure 8 — elicitation effectiveness (clicks to convergence vs #features) |
+//! | [`quality`] | Section 5.4 — agreement of top-5 lists across samplers and semantics |
+//!
+//! The `experiments` binary runs them end to end and prints the tables
+//! recorded in `EXPERIMENTS.md`; the Criterion benches reuse the same workload
+//! builders for statistically sound timing of the inner loops.
+//!
+//! The experiments keep the paper's parameter *structure* (numbers of samples,
+//! features, Gaussians, γ values, datasets) but default to moderately smaller
+//! workload sizes so the whole suite completes in minutes on a laptop; every
+//! size is configurable from the binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod quality;
+pub mod report;
+pub mod workload;
+
+pub use report::Table;
+pub use workload::{
+    build_dataset, consistent_preferences, dataset_catalog, DatasetId, Workload, WorkloadConfig,
+};

@@ -1,0 +1,102 @@
+//! Minimal tabular reporting for experiment output.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple named table: a header row plus data rows, printable as GitHub
+/// markdown so experiment output can be pasted into `EXPERIMENTS.md` verbatim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (e.g. `"Figure 5(a): varying number of features"`).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (already formatted as strings).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and columns.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; the cell count must match the column count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match the table header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.columns.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_markdown())
+    }
+}
+
+/// Formats a duration in seconds with three significant decimals, matching the
+/// paper's "overall processing time (s)" axes.
+pub fn seconds(duration: std::time::Duration) -> String {
+    format!("{:.4}", duration.as_secs_f64())
+}
+
+/// Times a closure, returning its result and the wall-clock duration.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
+    let start = std::time::Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering_includes_title_header_and_rows() {
+        let mut t = Table::new("Example", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["3".into(), "4".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Example"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 3 | 4 |"));
+        assert_eq!(format!("{t}"), md);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("Example", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn timing_helpers() {
+        let (value, duration) = timed(|| 21 * 2);
+        assert_eq!(value, 42);
+        let rendered = seconds(duration);
+        assert!(rendered.parse::<f64>().unwrap() >= 0.0);
+    }
+}

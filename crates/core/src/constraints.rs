@@ -1,0 +1,203 @@
+//! Constraint checking of candidate weight vectors against user feedback.
+//!
+//! Every sampler repeatedly asks "does this weight vector satisfy all the
+//! feedback received so far?".  [`ConstraintChecker`] answers that question
+//! and counts how many half-space evaluations it took, which is the cost the
+//! pruning experiment of Figure 5 compares before and after transitive
+//! reduction.
+
+use std::cell::Cell;
+
+use pkgrec_geom::{ConvexRegion, HalfSpace};
+use serde::{Deserialize, Serialize};
+
+use crate::preferences::PreferenceStore;
+
+/// Which constraint set a checker was built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintSource {
+    /// Every pairwise preference, as received.
+    Full,
+    /// The transitively reduced preference set (Section 3.3).
+    Reduced,
+}
+
+/// A set of half-space constraints with short-circuiting validity checks and
+/// an evaluation counter.
+#[derive(Debug, Clone)]
+pub struct ConstraintChecker {
+    region: ConvexRegion,
+    source: ConstraintSource,
+    evaluations: Cell<u64>,
+}
+
+impl ConstraintChecker {
+    /// Builds a checker over the full (unreduced) constraint set of a store.
+    pub fn full(store: &PreferenceStore, dim: usize) -> Self {
+        ConstraintChecker {
+            region: ConvexRegion::from_constraints(dim, store.all_constraints()),
+            source: ConstraintSource::Full,
+            evaluations: Cell::new(0),
+        }
+    }
+
+    /// Builds a checker over the transitively reduced constraint set.
+    pub fn reduced(store: &PreferenceStore, dim: usize) -> Self {
+        ConstraintChecker {
+            region: ConvexRegion::from_constraints(dim, store.reduced_constraints()),
+            source: ConstraintSource::Reduced,
+            evaluations: Cell::new(0),
+        }
+    }
+
+    /// Builds a checker directly from half-space constraints.
+    pub fn from_constraints(dim: usize, constraints: Vec<HalfSpace>, source: ConstraintSource) -> Self {
+        ConstraintChecker {
+            region: ConvexRegion::from_constraints(dim, constraints),
+            source,
+            evaluations: Cell::new(0),
+        }
+    }
+
+    /// The constraint source (full or reduced).
+    pub fn source(&self) -> ConstraintSource {
+        self.source
+    }
+
+    /// Number of constraints in the checker.
+    pub fn len(&self) -> usize {
+        self.region.len()
+    }
+
+    /// Whether the checker carries no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.region.is_empty()
+    }
+
+    /// The underlying convex region.
+    pub fn region(&self) -> &ConvexRegion {
+        &self.region
+    }
+
+    /// The constraints of the checker.
+    pub fn constraints(&self) -> &[HalfSpace] {
+        self.region.constraints()
+    }
+
+    /// Whether `w` satisfies every constraint.  Evaluations short-circuit on
+    /// the first violation, and every half-space evaluation is counted.
+    pub fn is_valid(&self, w: &[f64]) -> bool {
+        for (i, c) in self.region.constraints().iter().enumerate() {
+            if c.violated_by(w) {
+                self.evaluations.set(self.evaluations.get() + i as u64 + 1);
+                return false;
+            }
+        }
+        self.evaluations
+            .set(self.evaluations.get() + self.region.len() as u64);
+        true
+    }
+
+    /// Number of constraints violated by `w` (always evaluates all of them).
+    pub fn violation_count(&self, w: &[f64]) -> usize {
+        self.evaluations
+            .set(self.evaluations.get() + self.region.len() as u64);
+        self.region.violation_count(w)
+    }
+
+    /// Total number of half-space evaluations performed so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations.get()
+    }
+
+    /// Resets the evaluation counter.
+    pub fn reset_evaluations(&self) {
+        self.evaluations.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_store() -> PreferenceStore {
+        let mut s = PreferenceStore::new();
+        s.add("a".into(), &[0.9, 0.1], "b".into(), &[0.5, 0.5]).unwrap();
+        s.add("b".into(), &[0.5, 0.5], "c".into(), &[0.1, 0.9]).unwrap();
+        s.add("a".into(), &[0.9, 0.1], "c".into(), &[0.1, 0.9]).unwrap();
+        s
+    }
+
+    #[test]
+    fn full_and_reduced_checkers_agree_on_validity() {
+        let store = chain_store();
+        let full = ConstraintChecker::full(&store, 2);
+        let reduced = ConstraintChecker::reduced(&store, 2);
+        assert_eq!(full.len(), 3);
+        assert_eq!(reduced.len(), 2);
+        assert_eq!(full.source(), ConstraintSource::Full);
+        assert_eq!(reduced.source(), ConstraintSource::Reduced);
+        for w in [
+            vec![1.0, -1.0],
+            vec![-1.0, 1.0],
+            vec![0.2, 0.2],
+            vec![0.0, -0.4],
+        ] {
+            assert_eq!(full.is_valid(&w), reduced.is_valid(&w), "w = {w:?}");
+        }
+    }
+
+    #[test]
+    fn reduced_checker_needs_fewer_evaluations_for_valid_vectors() {
+        let store = chain_store();
+        let full = ConstraintChecker::full(&store, 2);
+        let reduced = ConstraintChecker::reduced(&store, 2);
+        // A valid vector forces both checkers to evaluate their whole set.
+        let w = vec![1.0, -1.0];
+        assert!(full.is_valid(&w));
+        assert!(reduced.is_valid(&w));
+        assert!(reduced.evaluations() < full.evaluations());
+    }
+
+    #[test]
+    fn evaluation_counter_accumulates_and_resets() {
+        let store = chain_store();
+        let checker = ConstraintChecker::full(&store, 2);
+        assert_eq!(checker.evaluations(), 0);
+        checker.is_valid(&[1.0, -1.0]);
+        checker.is_valid(&[1.0, -1.0]);
+        assert_eq!(checker.evaluations(), 6);
+        assert_eq!(checker.violation_count(&[-1.0, 1.0]), 3);
+        assert_eq!(checker.evaluations(), 9);
+        checker.reset_evaluations();
+        assert_eq!(checker.evaluations(), 0);
+    }
+
+    #[test]
+    fn short_circuit_counts_only_evaluated_constraints() {
+        let store = chain_store();
+        let checker = ConstraintChecker::full(&store, 2);
+        // (-1, 1) violates the very first constraint evaluated.
+        assert!(!checker.is_valid(&[-1.0, 1.0]));
+        assert!(checker.evaluations() <= store.len() as u64);
+    }
+
+    #[test]
+    fn empty_checker_accepts_everything() {
+        let store = PreferenceStore::new();
+        let checker = ConstraintChecker::full(&store, 3);
+        assert!(checker.is_empty());
+        assert!(checker.is_valid(&[0.1, -0.5, 0.9]));
+        assert_eq!(checker.violation_count(&[0.1, -0.5, 0.9]), 0);
+    }
+
+    #[test]
+    fn from_constraints_builds_custom_checker() {
+        let constraints = vec![HalfSpace::new(vec![1.0, 0.0])];
+        let checker = ConstraintChecker::from_constraints(2, constraints, ConstraintSource::Full);
+        assert!(checker.is_valid(&[0.5, -0.5]));
+        assert!(!checker.is_valid(&[-0.5, 0.5]));
+        assert_eq!(checker.constraints().len(), 1);
+        assert_eq!(checker.region().dim(), 2);
+    }
+}

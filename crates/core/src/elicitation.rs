@@ -1,0 +1,342 @@
+//! Preference-elicitation sessions with a simulated user (Section 5.6).
+//!
+//! The paper's effectiveness study generates hidden ground-truth utility
+//! functions, presents five recommended plus five random packages per round,
+//! lets the (simulated) user click the shown package that maximises the hidden
+//! utility, and counts how many clicks the system needs before its top-k list
+//! stabilises.  This module provides the simulated user, the session driver
+//! and the convergence/precision bookkeeping used by Figure 8.
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::RecommenderEngine;
+use crate::error::{CoreError, Result};
+use crate::item::Catalog;
+use crate::package::Package;
+use crate::search::{top_k_packages, SearchResult};
+use crate::utility::{clamp_weights, LinearUtility, WeightVector};
+
+/// A simulated user with a hidden ground-truth utility function.
+#[derive(Debug, Clone)]
+pub struct SimulatedUser {
+    utility: LinearUtility,
+    /// Probability that a click follows the true utility; with probability
+    /// `1 - reliability` the user clicks a uniformly random shown package.
+    reliability: f64,
+}
+
+impl SimulatedUser {
+    /// Creates a perfectly reliable simulated user.
+    pub fn new(utility: LinearUtility) -> Self {
+        SimulatedUser {
+            utility,
+            reliability: 1.0,
+        }
+    }
+
+    /// Creates a noisy simulated user that mis-clicks with probability
+    /// `1 - reliability` (the click-noise counterpart of Section 7).
+    pub fn with_reliability(utility: LinearUtility, reliability: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&reliability) {
+            return Err(CoreError::InvalidConfig(
+                "user reliability must lie in [0, 1]".into(),
+            ));
+        }
+        Ok(SimulatedUser {
+            utility,
+            reliability,
+        })
+    }
+
+    /// The hidden ground-truth utility.
+    pub fn utility(&self) -> &LinearUtility {
+        &self.utility
+    }
+
+    /// The hidden ground-truth weight vector.
+    pub fn true_weights(&self) -> &[f64] {
+        self.utility.weights()
+    }
+
+    /// The ground-truth top-k packages under the hidden utility.
+    pub fn ground_truth_top_k(&self, catalog: &Catalog, k: usize) -> Result<SearchResult> {
+        top_k_packages(&self.utility, catalog, k)
+    }
+
+    /// Picks the index of the shown package the user clicks.
+    pub fn choose(
+        &self,
+        catalog: &Catalog,
+        shown: &[Package],
+        rng: &mut dyn RngCore,
+    ) -> Result<usize> {
+        if shown.is_empty() {
+            return Err(CoreError::InvalidConfig("nothing was shown to the user".into()));
+        }
+        if self.reliability < 1.0 && rng.gen::<f64>() > self.reliability {
+            return Ok(rng.gen_range(0..shown.len()));
+        }
+        let mut best = 0usize;
+        let mut best_utility = f64::NEG_INFINITY;
+        for (i, package) in shown.iter().enumerate() {
+            let value = self.utility.of_package(catalog, package)?;
+            if value > best_utility {
+                best_utility = value;
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+}
+
+/// Draws a random ground-truth weight vector in `[-1, 1]^m` (the "randomly
+/// generated ground truth utility functions" of Section 5.6).
+pub fn random_ground_truth_weights(dim: usize, rng: &mut dyn RngCore) -> WeightVector {
+    clamp_weights(&(0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect::<Vec<f64>>())
+}
+
+/// Configuration of an elicitation session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElicitationConfig {
+    /// Maximum number of rounds (clicks) before giving up.
+    pub max_rounds: usize,
+    /// The session is converged once the recommended top-k list is identical
+    /// for this many consecutive rounds.
+    pub stable_rounds: usize,
+}
+
+impl Default for ElicitationConfig {
+    fn default() -> Self {
+        ElicitationConfig {
+            max_rounds: 25,
+            stable_rounds: 2,
+        }
+    }
+}
+
+/// Outcome of an elicitation session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElicitationReport {
+    /// Number of clicks (= rounds) performed.
+    pub clicks: usize,
+    /// Whether the top-k list stabilised before `max_rounds`.
+    pub converged: bool,
+    /// The final recommended top-k list.
+    pub final_top_k: Vec<Package>,
+    /// The ground-truth top-k list under the hidden utility.
+    pub ground_truth_top_k: Vec<Package>,
+    /// Fraction of the final recommendation that appears in the ground-truth
+    /// top-k (set precision, order-insensitive).
+    pub precision: f64,
+}
+
+/// Runs one elicitation session: present, click, learn, repeat until the
+/// recommendation stabilises or the round budget is exhausted.
+pub fn run_elicitation(
+    engine: &mut RecommenderEngine,
+    user: &SimulatedUser,
+    config: ElicitationConfig,
+    rng: &mut dyn RngCore,
+) -> Result<ElicitationReport> {
+    if config.max_rounds == 0 || config.stable_rounds == 0 {
+        return Err(CoreError::InvalidConfig(
+            "max_rounds and stable_rounds must be at least 1".into(),
+        ));
+    }
+    let k = engine.config().k;
+    let catalog = engine.catalog().clone();
+    let ground_truth: Vec<Package> = user
+        .ground_truth_top_k(&catalog, k)?
+        .packages_only();
+
+    let mut clicks = 0usize;
+    let mut converged = false;
+    let mut previous: Option<Vec<Package>> = None;
+    let mut stable = 0usize;
+    let mut last_recommendation: Vec<Package> = Vec::new();
+
+    for _ in 0..config.max_rounds {
+        let shown = engine.present(rng)?;
+        last_recommendation = shown.iter().take(k).cloned().collect();
+        // Convergence check on the recommended (exploitation) part only.
+        if previous.as_ref() == Some(&last_recommendation) {
+            stable += 1;
+            if stable + 1 >= config.stable_rounds {
+                converged = true;
+                break;
+            }
+        } else {
+            stable = 0;
+        }
+        previous = Some(last_recommendation.clone());
+
+        let choice = user.choose(&catalog, &shown, rng)?;
+        let clicked = shown[choice].clone();
+        engine.record_click(&clicked, &shown, rng)?;
+        clicks += 1;
+    }
+
+    let hits = last_recommendation
+        .iter()
+        .filter(|p| ground_truth.contains(p))
+        .count();
+    let precision = if last_recommendation.is_empty() {
+        0.0
+    } else {
+        hits as f64 / last_recommendation.len() as f64
+    };
+    Ok(ElicitationReport {
+        clicks,
+        converged,
+        final_top_k: last_recommendation,
+        ground_truth_top_k: ground_truth,
+        precision,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::profile::{AggregationContext, Profile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn catalog() -> Catalog {
+        Catalog::from_rows(vec![
+            vec![0.6, 0.2],
+            vec![0.4, 0.4],
+            vec![0.2, 0.4],
+            vec![0.9, 0.8],
+            vec![0.3, 0.7],
+            vec![0.7, 0.1],
+            vec![0.1, 0.3],
+            vec![0.5, 0.9],
+            vec![0.8, 0.5],
+            vec![0.2, 0.8],
+        ])
+        .unwrap()
+    }
+
+    fn ground_truth_utility(weights: Vec<f64>) -> LinearUtility {
+        let ctx = AggregationContext::new(Profile::cost_quality(), &catalog(), 3).unwrap();
+        LinearUtility::new(ctx, weights).unwrap()
+    }
+
+    fn fast_engine() -> RecommenderEngine {
+        RecommenderEngine::new(
+            catalog(),
+            Profile::cost_quality(),
+            3,
+            EngineConfig {
+                k: 3,
+                num_random: 3,
+                num_samples: 40,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn simulated_user_clicks_the_best_shown_package() {
+        let user = SimulatedUser::new(ground_truth_utility(vec![-0.8, 0.6]));
+        let cat = catalog();
+        let shown = vec![
+            Package::new(vec![3]).unwrap(), // expensive, good
+            Package::new(vec![6]).unwrap(), // cheap, mediocre
+            Package::new(vec![9]).unwrap(), // cheap, good
+        ];
+        let mut rng = StdRng::seed_from_u64(1);
+        let choice = user.choose(&cat, &shown, &mut rng).unwrap();
+        assert_eq!(choice, 2);
+        assert!(user.choose(&cat, &[], &mut rng).is_err());
+        assert_eq!(user.true_weights(), &[-0.8, 0.6]);
+    }
+
+    #[test]
+    fn unreliable_user_sometimes_misclicks() {
+        let user =
+            SimulatedUser::with_reliability(ground_truth_utility(vec![-0.8, 0.6]), 0.0).unwrap();
+        let cat = catalog();
+        let shown = vec![
+            Package::new(vec![3]).unwrap(),
+            Package::new(vec![6]).unwrap(),
+            Package::new(vec![9]).unwrap(),
+        ];
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 3];
+        for _ in 0..300 {
+            counts[user.choose(&cat, &shown, &mut rng).unwrap()] += 1;
+        }
+        // A fully unreliable user clicks uniformly at random.
+        for c in counts {
+            assert!(c > 50, "counts {counts:?}");
+        }
+        assert!(SimulatedUser::with_reliability(ground_truth_utility(vec![0.0, 0.0]), 1.5).is_err());
+    }
+
+    #[test]
+    fn random_ground_truth_weights_stay_in_the_cube() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let w = random_ground_truth_weights(6, &mut rng);
+            assert_eq!(w.len(), 6);
+            assert!(w.iter().all(|x| (-1.0..=1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn session_converges_within_a_few_clicks() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let user = SimulatedUser::new(ground_truth_utility(vec![-0.7, 0.7]));
+        let mut engine = fast_engine();
+        let report = run_elicitation(&mut engine, &user, ElicitationConfig::default(), &mut rng)
+            .unwrap();
+        assert!(report.converged, "session did not converge: {report:?}");
+        assert!(report.clicks <= 15, "needed {} clicks", report.clicks);
+        assert_eq!(report.final_top_k.len(), 3);
+        assert_eq!(report.ground_truth_top_k.len(), 3);
+        assert!(report.precision > 0.0);
+    }
+
+    #[test]
+    fn invalid_session_configuration_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let user = SimulatedUser::new(ground_truth_utility(vec![0.5, 0.5]));
+        let mut engine = fast_engine();
+        let bad = ElicitationConfig {
+            max_rounds: 0,
+            stable_rounds: 1,
+        };
+        assert!(run_elicitation(&mut engine, &user, bad, &mut rng).is_err());
+    }
+
+    #[test]
+    fn feedback_improves_precision_over_the_prior() {
+        // Compare the precision of the converged session with the precision of
+        // the very first (prior-only) recommendation.
+        let mut rng = StdRng::seed_from_u64(6);
+        let user = SimulatedUser::new(ground_truth_utility(vec![-0.9, 0.8]));
+        let mut engine = fast_engine();
+        let ground_truth = user
+            .ground_truth_top_k(engine.catalog(), 3)
+            .unwrap()
+            .packages_only();
+        let first: Vec<Package> = engine
+            .recommend(&mut rng)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.package)
+            .collect();
+        let first_hits = first.iter().filter(|p| ground_truth.contains(p)).count();
+        let report =
+            run_elicitation(&mut engine, &user, ElicitationConfig::default(), &mut rng).unwrap();
+        let final_hits = (report.precision * report.final_top_k.len() as f64).round() as usize;
+        assert!(
+            final_hits >= first_hits,
+            "precision degraded: {first_hits} -> {final_hits}"
+        );
+    }
+}

@@ -1,0 +1,440 @@
+//! The package recommender engine: ties the prior, the preference store, the
+//! constrained samplers, the per-sample package search and the ranking
+//! semantics into the interactive loop of the paper (Sections 2–4).
+
+use pkgrec_gmm::GaussianMixture;
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::constraints::ConstraintChecker;
+use crate::error::{CoreError, Result};
+use crate::item::Catalog;
+use crate::maintenance::{self, MaintenanceStrategy};
+use crate::package::Package;
+use crate::preferences::{Preference, PreferenceStore};
+use crate::profile::{AggregationContext, Profile};
+use crate::ranking::{aggregate, PerSampleRanking, RankedPackage, RankingSemantics};
+use crate::sampler::{SamplerKind, SamplePool, WeightSampler};
+use crate::search::top_k_packages;
+use crate::utility::LinearUtility;
+
+/// Configuration of the recommender engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Number of packages recommended per round (the paper presents 5).
+    pub k: usize,
+    /// Number of additional random exploration packages per round (also 5).
+    pub num_random: usize,
+    /// Number of weight-vector samples maintained in the pool.
+    pub num_samples: usize,
+    /// Ranking semantics used to aggregate per-sample results.
+    pub semantics: RankingSemantics,
+    /// Constrained sampling strategy.
+    pub sampler: SamplerKind,
+    /// Strategy for maintaining the pool when new feedback arrives.
+    pub maintenance: MaintenanceStrategy,
+    /// Number of Gaussians in the prior mixture.
+    pub prior_components: usize,
+    /// Standard deviation of each prior component.
+    pub prior_sigma: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            k: 5,
+            num_random: 5,
+            num_samples: 200,
+            semantics: RankingSemantics::Exp,
+            sampler: SamplerKind::mcmc(),
+            maintenance: MaintenanceStrategy::Hybrid { gamma: 0.025 },
+            prior_components: 1,
+            prior_sigma: 0.5,
+        }
+    }
+}
+
+/// The interactive package recommender.
+#[derive(Debug, Clone)]
+pub struct RecommenderEngine {
+    catalog: Catalog,
+    context: AggregationContext,
+    prior: GaussianMixture,
+    preferences: PreferenceStore,
+    pool: SamplePool,
+    config: EngineConfig,
+}
+
+impl RecommenderEngine {
+    /// Creates an engine over a catalog with the given profile and maximum
+    /// package size φ.
+    pub fn new(
+        catalog: Catalog,
+        profile: Profile,
+        max_package_size: usize,
+        config: EngineConfig,
+    ) -> Result<Self> {
+        if config.k == 0 {
+            return Err(CoreError::InvalidConfig("k must be at least 1".into()));
+        }
+        if config.num_samples == 0 {
+            return Err(CoreError::InvalidConfig("num_samples must be at least 1".into()));
+        }
+        let context = AggregationContext::new(profile, &catalog, max_package_size)?;
+        let prior = GaussianMixture::default_prior(
+            context.dim(),
+            config.prior_components.max(1),
+            config.prior_sigma,
+        )?;
+        Ok(RecommenderEngine {
+            catalog,
+            context,
+            prior,
+            preferences: PreferenceStore::new(),
+            pool: SamplePool::new(),
+            config,
+        })
+    }
+
+    /// The catalog the engine recommends from.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The aggregation context (profile, normalisers, φ).
+    pub fn context(&self) -> &AggregationContext {
+        &self.context
+    }
+
+    /// The prior over weight vectors.
+    pub fn prior(&self) -> &GaussianMixture {
+        &self.prior
+    }
+
+    /// The preference store accumulated from feedback.
+    pub fn preferences(&self) -> &PreferenceStore {
+        &self.preferences
+    }
+
+    /// The current sample pool.
+    pub fn pool(&self) -> &SamplePool {
+        &self.pool
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The constraint checker over the transitively reduced preference set.
+    pub fn checker(&self) -> ConstraintChecker {
+        ConstraintChecker::reduced(&self.preferences, self.context.dim())
+    }
+
+    /// (Re)fills the sample pool from scratch with `num_samples` valid samples.
+    pub fn resample(&mut self, rng: &mut dyn RngCore) -> Result<()> {
+        let checker = self.checker();
+        let outcome =
+            self.config
+                .sampler
+                .generate(&self.prior, &checker, self.config.num_samples, rng)?;
+        self.pool = outcome.pool;
+        Ok(())
+    }
+
+    fn per_sample_k(&self) -> usize {
+        match self.config.semantics {
+            RankingSemantics::Tkp { sigma } => self.config.k.max(sigma),
+            _ => self.config.k,
+        }
+    }
+
+    /// Computes the per-sample top-k package rankings for the current pool.
+    pub fn per_sample_rankings(&self) -> Result<Vec<PerSampleRanking>> {
+        let k = self.per_sample_k();
+        let mut results = Vec::with_capacity(self.pool.len());
+        for sample in self.pool.samples() {
+            let utility = LinearUtility::new(self.context.clone(), sample.weights.clone())?;
+            let search = top_k_packages(&utility, &self.catalog, k)?;
+            results.push(PerSampleRanking::new(sample.importance, search.packages));
+        }
+        Ok(results)
+    }
+
+    /// Produces the current top-k recommendation under the configured ranking
+    /// semantics, sampling the pool first if it is empty.
+    pub fn recommend(&mut self, rng: &mut dyn RngCore) -> Result<Vec<RankedPackage>> {
+        if self.pool.is_empty() {
+            self.resample(rng)?;
+        }
+        let results = self.per_sample_rankings()?;
+        Ok(aggregate(self.config.semantics, &results, self.config.k))
+    }
+
+    /// Draws `count` random exploration packages (uniform random size in
+    /// `1..=φ`, uniform random distinct items).
+    pub fn random_packages(&self, count: usize, rng: &mut dyn RngCore) -> Vec<Package> {
+        let n = self.catalog.len();
+        let phi = self.context.max_package_size().min(n);
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let size = rng.gen_range(1..=phi);
+            let mut items = Vec::with_capacity(size);
+            while items.len() < size {
+                let candidate = rng.gen_range(0..n);
+                if !items.contains(&candidate) {
+                    items.push(candidate);
+                }
+            }
+            out.push(Package::new(items).expect("size >= 1"));
+        }
+        out
+    }
+
+    /// Builds the presentation list of one elicitation round: the current
+    /// best packages (exploitation) followed by random packages (exploration),
+    /// de-duplicated (Section 2.2).
+    pub fn present(&mut self, rng: &mut dyn RngCore) -> Result<Vec<Package>> {
+        let mut shown: Vec<Package> = self
+            .recommend(rng)?
+            .into_iter()
+            .map(|r| r.package)
+            .collect();
+        let mut guard = 0;
+        while shown.len() < self.config.k + self.config.num_random && guard < 1000 {
+            guard += 1;
+            for candidate in self.random_packages(1, rng) {
+                if !shown.contains(&candidate) {
+                    shown.push(candidate);
+                }
+            }
+        }
+        Ok(shown)
+    }
+
+    /// Records a click on `clicked` among the `shown` packages: every other
+    /// shown package yields a preference `clicked ≻ other`, the preference DAG
+    /// absorbs them (ignoring those that would create cycles, which the paper
+    /// resolves by re-asking the user), and the sample pool is maintained
+    /// against each genuinely new constraint.  Returns the number of new
+    /// preferences recorded.
+    pub fn record_click(
+        &mut self,
+        clicked: &Package,
+        shown: &[Package],
+        rng: &mut dyn RngCore,
+    ) -> Result<usize> {
+        let clicked_vector = self.context.package_vector(&self.catalog, clicked)?;
+        let mut added = 0usize;
+        for other in shown {
+            if other == clicked {
+                continue;
+            }
+            let other_vector = self.context.package_vector(&self.catalog, other)?;
+            let inserted = match self.preferences.add(
+                clicked.key(),
+                &clicked_vector,
+                other.key(),
+                &other_vector,
+            ) {
+                Ok(true) => true,
+                Ok(false) => false,
+                // A conflicting preference (cycle) is dropped; the elicitation
+                // loop will naturally re-present the packages involved.
+                Err(CoreError::PreferenceCycle { .. }) => false,
+                Err(e) => return Err(e),
+            };
+            if !inserted {
+                continue;
+            }
+            added += 1;
+            let preference = Preference::new(clicked_vector.clone(), other_vector);
+            if !self.pool.is_empty() {
+                let checker = self.checker();
+                let index = maintenance::index_pool(&self.pool);
+                maintenance::maintain_pool(
+                    &mut self.pool,
+                    Some(&index),
+                    &preference,
+                    self.config.maintenance,
+                    &self.config.sampler,
+                    &self.prior,
+                    &checker,
+                    rng,
+                )?;
+            }
+        }
+        Ok(added)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_catalog() -> Catalog {
+        Catalog::from_rows(vec![
+            vec![0.6, 0.2],
+            vec![0.4, 0.4],
+            vec![0.2, 0.4],
+            vec![0.9, 0.8],
+            vec![0.3, 0.7],
+            vec![0.7, 0.1],
+            vec![0.1, 0.3],
+            vec![0.5, 0.9],
+        ])
+        .unwrap()
+    }
+
+    fn engine(config: EngineConfig) -> RecommenderEngine {
+        RecommenderEngine::new(small_catalog(), Profile::cost_quality(), 3, config).unwrap()
+    }
+
+    fn fast_config() -> EngineConfig {
+        EngineConfig {
+            k: 3,
+            num_random: 2,
+            num_samples: 40,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn configuration_is_validated() {
+        let bad_k = EngineConfig {
+            k: 0,
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            RecommenderEngine::new(small_catalog(), Profile::cost_quality(), 3, bad_k),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        let bad_samples = EngineConfig {
+            num_samples: 0,
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            RecommenderEngine::new(small_catalog(), Profile::cost_quality(), 3, bad_samples),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn recommend_returns_k_distinct_packages() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut engine = engine(fast_config());
+        let recs = engine.recommend(&mut rng).unwrap();
+        assert_eq!(recs.len(), 3);
+        let mut seen = std::collections::HashSet::new();
+        for r in &recs {
+            assert!(seen.insert(r.package.clone()), "duplicate recommendation");
+            assert!(r.package.len() <= 3);
+        }
+        assert_eq!(engine.pool().len(), 40);
+    }
+
+    #[test]
+    fn present_combines_recommendations_and_random_packages() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut engine = engine(fast_config());
+        let shown = engine.present(&mut rng).unwrap();
+        assert_eq!(shown.len(), 5);
+        let mut unique = shown.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), shown.len());
+    }
+
+    #[test]
+    fn record_click_adds_preferences_and_keeps_pool_consistent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut engine = engine(fast_config());
+        let shown = engine.present(&mut rng).unwrap();
+        let clicked = shown[1].clone();
+        let added = engine.record_click(&clicked, &shown, &mut rng).unwrap();
+        assert_eq!(added, shown.len() - 1);
+        assert_eq!(engine.preferences().len(), added);
+        // Every sample in the pool satisfies the updated (reduced) constraints.
+        let checker = engine.checker();
+        for s in engine.pool().samples() {
+            assert!(checker.is_valid(&s.weights));
+        }
+    }
+
+    #[test]
+    fn feedback_steers_recommendations_toward_the_clicked_taste() {
+        // The user always clicks the cheapest package; after a few rounds the
+        // recommended packages should have much lower cost than quality-first
+        // recommendations would.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut engine = engine(EngineConfig {
+            k: 3,
+            num_random: 3,
+            num_samples: 60,
+            ..EngineConfig::default()
+        });
+        let catalog = engine.catalog().clone();
+        let cost_of = |p: &Package| -> f64 {
+            p.items().iter().map(|&i| catalog.item_unchecked(i)[0]).sum()
+        };
+        for _ in 0..4 {
+            let shown = engine.present(&mut rng).unwrap();
+            let clicked = shown
+                .iter()
+                .min_by(|a, b| cost_of(a).partial_cmp(&cost_of(b)).unwrap())
+                .unwrap()
+                .clone();
+            engine.record_click(&clicked, &shown, &mut rng).unwrap();
+        }
+        let recs = engine.recommend(&mut rng).unwrap();
+        let avg_cost: f64 =
+            recs.iter().map(|r| cost_of(&r.package)).sum::<f64>() / recs.len() as f64;
+        // The cheapest single item costs 0.1; recommendations should stay well
+        // below the cost of an average random package (~0.9 for two items).
+        assert!(avg_cost < 0.8, "average recommended cost {avg_cost}");
+    }
+
+    #[test]
+    fn different_semantics_share_the_same_engine() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for semantics in [
+            RankingSemantics::Exp,
+            RankingSemantics::Tkp { sigma: 3 },
+            RankingSemantics::Mpo,
+        ] {
+            let mut engine = engine(EngineConfig {
+                semantics,
+                ..fast_config()
+            });
+            let recs = engine.recommend(&mut rng).unwrap();
+            assert!(!recs.is_empty(), "{semantics:?}");
+            assert!(recs.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn random_packages_respect_size_bounds() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let engine = engine(fast_config());
+        for p in engine.random_packages(50, &mut rng) {
+            assert!(p.len() >= 1 && p.len() <= 3);
+            assert!(p.items().iter().all(|&i| i < engine.catalog().len()));
+        }
+    }
+
+    #[test]
+    fn conflicting_click_does_not_poison_the_store() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut engine = engine(fast_config());
+        let a = Package::new(vec![0]).unwrap();
+        let b = Package::new(vec![1]).unwrap();
+        let shown = vec![a.clone(), b.clone()];
+        // First the user prefers a over b, then (changing their mind) b over a;
+        // the second, conflicting preference is dropped rather than crashing.
+        assert_eq!(engine.record_click(&a, &shown, &mut rng).unwrap(), 1);
+        assert_eq!(engine.record_click(&b, &shown, &mut rng).unwrap(), 0);
+        assert_eq!(engine.preferences().len(), 1);
+    }
+}

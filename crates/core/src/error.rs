@@ -1,0 +1,146 @@
+//! Error types for the core package-recommendation crate.
+
+use pkgrec_geom::GeomError;
+use pkgrec_gmm::GmmError;
+
+/// Errors produced by the core crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Two operands disagree on the number of features.
+    DimensionMismatch {
+        /// Expected number of features.
+        expected: usize,
+        /// Provided number of features.
+        actual: usize,
+    },
+    /// An item id does not exist in the catalog.
+    UnknownItem(usize),
+    /// A package violates the maximum package size φ.
+    PackageTooLarge {
+        /// Size of the offending package.
+        size: usize,
+        /// The configured maximum package size.
+        max_size: usize,
+    },
+    /// A package must contain at least one item.
+    EmptyPackage,
+    /// The catalog contains no items.
+    EmptyCatalog,
+    /// The preference graph would contain a cycle after adding a preference.
+    PreferenceCycle {
+        /// Key of the package that would become both better and worse.
+        package: String,
+    },
+    /// A sampler could not produce the requested number of valid samples
+    /// within its attempt budget.
+    SamplingExhausted {
+        /// Valid samples obtained before giving up.
+        obtained: usize,
+        /// Valid samples requested.
+        requested: usize,
+        /// Total proposals attempted.
+        attempts: usize,
+    },
+    /// The constraint region admits no valid weight vector at the configured
+    /// resolution (all grid cells pruned).
+    EmptyValidRegion,
+    /// Error bubbled up from the Gaussian-mixture substrate.
+    Gmm(GmmError),
+    /// Error bubbled up from the geometric substrate.
+    Geom(GeomError),
+    /// A configuration value is invalid.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected} features, got {actual}")
+            }
+            CoreError::UnknownItem(id) => write!(f, "item {id} is not in the catalog"),
+            CoreError::PackageTooLarge { size, max_size } => {
+                write!(f, "package of size {size} exceeds the maximum package size {max_size}")
+            }
+            CoreError::EmptyPackage => write!(f, "a package must contain at least one item"),
+            CoreError::EmptyCatalog => write!(f, "the catalog contains no items"),
+            CoreError::PreferenceCycle { package } => {
+                write!(f, "adding this preference would create a cycle through package {package}")
+            }
+            CoreError::SamplingExhausted {
+                obtained,
+                requested,
+                attempts,
+            } => write!(
+                f,
+                "sampler produced only {obtained}/{requested} valid samples after {attempts} attempts"
+            ),
+            CoreError::EmptyValidRegion => {
+                write!(f, "no valid weight vector exists for the current feedback")
+            }
+            CoreError::Gmm(e) => write!(f, "gaussian mixture error: {e}"),
+            CoreError::Geom(e) => write!(f, "geometry error: {e}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<GmmError> for CoreError {
+    fn from(e: GmmError) -> Self {
+        CoreError::Gmm(e)
+    }
+}
+
+impl From<GeomError> for CoreError {
+    fn from(e: GeomError) -> Self {
+        CoreError::Geom(e)
+    }
+}
+
+/// Convenience result alias for the core crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let cases: Vec<(CoreError, &str)> = vec![
+            (
+                CoreError::DimensionMismatch { expected: 3, actual: 2 },
+                "expected 3",
+            ),
+            (CoreError::UnknownItem(42), "item 42"),
+            (
+                CoreError::PackageTooLarge { size: 9, max_size: 5 },
+                "maximum package size 5",
+            ),
+            (CoreError::EmptyPackage, "at least one item"),
+            (CoreError::EmptyCatalog, "no items"),
+            (
+                CoreError::PreferenceCycle { package: "p1".into() },
+                "cycle",
+            ),
+            (
+                CoreError::SamplingExhausted { obtained: 1, requested: 5, attempts: 100 },
+                "1/5",
+            ),
+            (CoreError::EmptyValidRegion, "no valid weight vector"),
+            (CoreError::InvalidConfig("k must be positive".into()), "k must be positive"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn substrate_errors_convert() {
+        let e: CoreError = GmmError::EmptyMixture.into();
+        assert!(matches!(e, CoreError::Gmm(_)));
+        let e: CoreError = GeomError::EmptyRegion.into();
+        assert!(matches!(e, CoreError::Geom(_)));
+    }
+}

@@ -1,0 +1,116 @@
+//! # pkgrec-core
+//!
+//! A from-scratch implementation of *"Generating Top-k Packages via Preference
+//! Elicitation"* (Min Xie, Laks V.S. Lakshmanan, Peter T. Wood; PVLDB 7(14),
+//! 2014).
+//!
+//! The system recommends **packages** — sets of items such as shopping carts or
+//! play lists — whose desirability is judged by a hidden linear utility
+//! function over *aggregate* package features (total cost, average rating, …).
+//! Rather than asking users for utility weights, the system maintains a
+//! Gaussian-mixture prior over the weight vector, shows the user a handful of
+//! packages each round, interprets clicks as pairwise preferences, and keeps a
+//! pool of weight-vector samples consistent with all feedback.  Top-k package
+//! lists are computed per sample with a threshold-style search and merged under
+//! one of three ranking semantics.
+//!
+//! ## Crate layout
+//!
+//! | module | paper section | contents |
+//! |---|---|---|
+//! | [`item`], [`package`], [`profile`], [`utility`] | §2 | catalog, packages, aggregate feature profiles, linear utility |
+//! | [`preferences`], [`constraints`], [`noise`] | §2.1, §3.3, §7 | feedback DAG, transitive reduction, constraint checking, noise model |
+//! | [`sampler`] | §3.1–3.2 | rejection / importance / MCMC constrained samplers |
+//! | [`maintenance`] | §3.4 | naive / TA / hybrid sample maintenance (Algorithm 1) |
+//! | [`ranking`] | §2.2, §4 | EXP, TKP and MPO ranking semantics |
+//! | [`search`] | §4 | Top-k-Pkg (Algorithms 2–4) and the exhaustive baseline |
+//! | [`engine`], [`elicitation`] | §2.2, §5.6 | the interactive recommender and simulated-user sessions |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pkgrec_core::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // A tiny catalog: (cost, rating) per item, packages of up to 2 items.
+//! let catalog = Catalog::from_rows(vec![
+//!     vec![0.6, 0.2],
+//!     vec![0.4, 0.4],
+//!     vec![0.2, 0.4],
+//! ]).unwrap();
+//! let mut engine = RecommenderEngine::new(
+//!     catalog,
+//!     Profile::cost_quality(),
+//!     2,
+//!     EngineConfig { k: 2, num_random: 2, num_samples: 30, ..EngineConfig::default() },
+//! ).unwrap();
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! // Show packages, record a click, and recommend again.
+//! let shown = engine.present(&mut rng).unwrap();
+//! engine.record_click(&shown[0].clone(), &shown, &mut rng).unwrap();
+//! let recommendations = engine.recommend(&mut rng).unwrap();
+//! assert!(!recommendations.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraints;
+pub mod elicitation;
+pub mod engine;
+pub mod error;
+pub mod item;
+pub mod maintenance;
+pub mod noise;
+pub mod package;
+pub mod preferences;
+pub mod profile;
+pub mod ranking;
+pub mod sampler;
+pub mod search;
+pub mod utility;
+
+pub use constraints::{ConstraintChecker, ConstraintSource};
+pub use elicitation::{
+    random_ground_truth_weights, run_elicitation, ElicitationConfig, ElicitationReport,
+    SimulatedUser,
+};
+pub use engine::{EngineConfig, RecommenderEngine};
+pub use error::{CoreError, Result};
+pub use item::{Catalog, ItemId};
+pub use maintenance::{find_violating, index_pool, maintain_pool, MaintenanceOutcome, MaintenanceStrategy};
+pub use noise::NoiseModel;
+pub use package::{enumerate_packages, package_space_size, Package};
+pub use preferences::{Preference, PreferenceStore};
+pub use profile::{AggregateFn, AggregationContext, PackageState, Profile};
+pub use ranking::{aggregate, PerSampleRanking, RankedPackage, RankingSemantics};
+pub use sampler::{
+    ImportanceSampler, McmcSampler, RejectionSampler, SamplePool, SamplerKind, SamplingOutcome,
+    WeightSample, WeightSampler,
+};
+pub use search::{top_k_packages, top_k_packages_exhaustive, SearchResult, SearchStats};
+pub use utility::{clamp_weights, weights_in_range, LinearUtility, WeightVector};
+
+/// Convenience re-exports for application code.
+pub mod prelude {
+    pub use crate::constraints::{ConstraintChecker, ConstraintSource};
+    pub use crate::elicitation::{
+        random_ground_truth_weights, run_elicitation, ElicitationConfig, ElicitationReport,
+        SimulatedUser,
+    };
+    pub use crate::engine::{EngineConfig, RecommenderEngine};
+    pub use crate::error::{CoreError, Result};
+    pub use crate::item::{Catalog, ItemId};
+    pub use crate::maintenance::MaintenanceStrategy;
+    pub use crate::noise::NoiseModel;
+    pub use crate::package::Package;
+    pub use crate::preferences::{Preference, PreferenceStore};
+    pub use crate::profile::{AggregateFn, AggregationContext, Profile};
+    pub use crate::ranking::{RankedPackage, RankingSemantics};
+    pub use crate::sampler::{
+        ImportanceSampler, McmcSampler, RejectionSampler, SamplePool, SamplerKind, WeightSampler,
+    };
+    pub use crate::search::{top_k_packages, top_k_packages_exhaustive};
+    pub use crate::utility::{clamp_weights, weights_in_range, LinearUtility, WeightVector};
+}

@@ -1,0 +1,347 @@
+//! Sample maintenance against newly received feedback (Section 3.4).
+//!
+//! When a new preference `p1 ≻ p2` arrives, most samples in the pool usually
+//! remain valid; only those with `w · (p2 - p1) > 0` have to be replaced.
+//! Finding them can be done by
+//!
+//! * a **naive scan** over the pool,
+//! * a **TA scan** (Algorithm 1) over per-feature sorted lists of the samples,
+//!   which stops early when few samples violate the feedback, or
+//! * a **hybrid** that starts as a TA scan and falls back to scanning the rest
+//!   of the current list once `Cprocessed + Cremain ≥ (1 + γ)|S|`.
+//!
+//! After the violators are identified they are replaced by fresh samples drawn
+//! against the *full* (updated) constraint set, so the pool keeps following
+//! the posterior.
+
+use pkgrec_gmm::GaussianMixture;
+use pkgrec_topk::{scan_naive, SortedLists, ThresholdScanner};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::constraints::ConstraintChecker;
+use crate::error::Result;
+use crate::preferences::Preference;
+use crate::sampler::{SamplePool, WeightSampler};
+
+/// Strategy for locating samples invalidated by a new preference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MaintenanceStrategy {
+    /// Check every sample in the pool.
+    Naive,
+    /// Threshold-algorithm scan over per-feature sorted lists (Algorithm 1
+    /// without the fallback).
+    TopK,
+    /// TA scan with fallback to a plain scan once the TA has processed
+    /// `(1 + γ)|S|` entries (Algorithm 1).
+    Hybrid {
+        /// The fallback slack parameter γ.
+        gamma: f64,
+    },
+}
+
+impl MaintenanceStrategy {
+    /// Short label used in experiment output.
+    pub fn label(&self) -> String {
+        match self {
+            MaintenanceStrategy::Naive => "naive".to_string(),
+            MaintenanceStrategy::TopK => "top-k".to_string(),
+            MaintenanceStrategy::Hybrid { gamma } => format!("hybrid(γ={gamma})"),
+        }
+    }
+}
+
+/// Result of locating (and optionally replacing) invalidated samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaintenanceOutcome {
+    /// Indices (into the pool) of samples violating the new preference,
+    /// sorted ascending.
+    pub violating: Vec<usize>,
+    /// Number of samples whose score was explicitly evaluated.
+    pub samples_checked: usize,
+    /// Number of sorted-list accesses performed (0 for the naive strategy).
+    pub sorted_accesses: usize,
+    /// Number of samples replaced (0 when only detection was requested).
+    pub replaced: usize,
+}
+
+/// The query vector of Algorithm 1: violators satisfy `w · (p2 - p1) > 0`.
+fn violation_query(preference: &Preference) -> Vec<f64> {
+    preference
+        .worse
+        .iter()
+        .zip(preference.better.iter())
+        .map(|(worse, better)| worse - better)
+        .collect()
+}
+
+/// Builds the per-feature sorted-list index of a sample pool used by the TA
+/// and hybrid strategies.  The index must be rebuilt (or incrementally
+/// refreshed) whenever pool entries are replaced.
+pub fn index_pool(pool: &SamplePool) -> SortedLists {
+    SortedLists::new(&pool.weight_matrix())
+}
+
+/// Locates the samples of `pool` that violate `preference` using the given
+/// strategy.  `index` is required by the TA and hybrid strategies and ignored
+/// by the naive one; passing `None` silently falls back to the naive scan.
+pub fn find_violating(
+    pool: &SamplePool,
+    index: Option<&SortedLists>,
+    preference: &Preference,
+    strategy: MaintenanceStrategy,
+) -> MaintenanceOutcome {
+    let query = violation_query(preference);
+    match (strategy, index) {
+        (MaintenanceStrategy::Naive, _) | (_, None) => {
+            let matrix = pool.weight_matrix();
+            let violating = scan_naive(&matrix, &query, 0.0);
+            MaintenanceOutcome {
+                violating,
+                samples_checked: pool.len(),
+                sorted_accesses: 0,
+                replaced: 0,
+            }
+        }
+        (MaintenanceStrategy::TopK, Some(index)) => {
+            let result = ThresholdScanner::new(index, query, 0.0).run();
+            MaintenanceOutcome {
+                violating: result.matches,
+                samples_checked: result.distinct_seen,
+                sorted_accesses: result.sorted_accesses,
+                replaced: 0,
+            }
+        }
+        (MaintenanceStrategy::Hybrid { gamma }, Some(index)) => {
+            let budget = ((1.0 + gamma.max(0.0)) * pool.len() as f64).ceil() as usize;
+            let result = ThresholdScanner::new(index, query, 0.0).run_with_budget(budget);
+            MaintenanceOutcome {
+                violating: result.matches,
+                samples_checked: result.distinct_seen,
+                sorted_accesses: result.sorted_accesses,
+                replaced: 0,
+            }
+        }
+    }
+}
+
+/// Locates the samples violating `preference` and replaces them in place with
+/// fresh samples drawn by `sampler` against the full updated constraint set
+/// `checker` (which must already include the new preference).
+///
+/// Valid samples are retained untouched — the justification in Section 3.4 is
+/// that the probability of every valid `w` still follows the prior regardless
+/// of the new feedback.
+pub fn maintain_pool(
+    pool: &mut SamplePool,
+    index: Option<&SortedLists>,
+    preference: &Preference,
+    strategy: MaintenanceStrategy,
+    sampler: &dyn WeightSampler,
+    prior: &GaussianMixture,
+    checker: &ConstraintChecker,
+    rng: &mut dyn RngCore,
+) -> Result<MaintenanceOutcome> {
+    let mut outcome = find_violating(pool, index, preference, strategy);
+    if outcome.violating.is_empty() {
+        return Ok(outcome);
+    }
+    let replacements = sampler.generate(prior, checker, outcome.violating.len(), rng)?;
+    for (slot, replacement) in outcome
+        .violating
+        .iter()
+        .zip(replacements.pool.samples().iter().cloned())
+    {
+        pool.samples_mut()[*slot] = replacement;
+    }
+    outcome.replaced = outcome.violating.len();
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::ConstraintSource;
+    use crate::sampler::{RejectionSampler, WeightSample};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_pool(n: usize, dim: usize, seed: u64) -> SamplePool {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SamplePool::from_samples(
+            (0..n)
+                .map(|_| {
+                    WeightSample::unweighted((0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                })
+                .collect(),
+        )
+    }
+
+    fn preference(better: Vec<f64>, worse: Vec<f64>) -> Preference {
+        Preference::new(better, worse)
+    }
+
+    #[test]
+    fn all_strategies_find_the_same_violators() {
+        let pool = random_pool(500, 3, 42);
+        let index = index_pool(&pool);
+        let pref = preference(vec![0.7, 0.2, 0.5], vec![0.3, 0.6, 0.4]);
+        let naive = find_violating(&pool, None, &pref, MaintenanceStrategy::Naive);
+        let ta = find_violating(&pool, Some(&index), &pref, MaintenanceStrategy::TopK);
+        let hybrid = find_violating(
+            &pool,
+            Some(&index),
+            &pref,
+            MaintenanceStrategy::Hybrid { gamma: 0.025 },
+        );
+        assert_eq!(naive.violating, ta.violating);
+        assert_eq!(naive.violating, hybrid.violating);
+        // The violators are exactly the samples a preference checker rejects.
+        let expected: Vec<usize> = pool.violating_indices(|w| pref.satisfied_by(w));
+        assert_eq!(naive.violating, expected);
+    }
+
+    #[test]
+    fn violators_are_samples_preferring_the_worse_package() {
+        let pool = SamplePool::from_samples(vec![
+            WeightSample::unweighted(vec![1.0, 0.0]),  // prefers better (higher f1)
+            WeightSample::unweighted(vec![-1.0, 0.0]), // prefers worse
+            WeightSample::unweighted(vec![0.0, 1.0]),  // indifferent on f1, prefers worse on f2
+        ]);
+        let pref = preference(vec![0.8, 0.2], vec![0.2, 0.6]);
+        let out = find_violating(&pool, None, &pref, MaintenanceStrategy::Naive);
+        assert_eq!(out.violating, vec![1, 2]);
+        assert_eq!(out.samples_checked, 3);
+    }
+
+    #[test]
+    fn ta_strategy_stops_early_when_few_samples_violate() {
+        // Pool concentrated deep inside the satisfied half-space, with a single
+        // outlier violator.
+        let mut samples: Vec<WeightSample> = (0..2000)
+            .map(|i| WeightSample::unweighted(vec![0.5 + (i % 10) as f64 * 0.01, 0.0]))
+            .collect();
+        samples.push(WeightSample::unweighted(vec![-0.9, 0.0]));
+        let pool = SamplePool::from_samples(samples);
+        let index = index_pool(&pool);
+        let pref = preference(vec![1.0, 0.0], vec![0.0, 0.0]);
+        let ta = find_violating(&pool, Some(&index), &pref, MaintenanceStrategy::TopK);
+        assert_eq!(ta.violating, vec![2000]);
+        assert!(
+            ta.sorted_accesses < pool.len() / 4,
+            "TA should stop early, used {} accesses for {} samples",
+            ta.sorted_accesses,
+            pool.len()
+        );
+        let naive = find_violating(&pool, None, &pref, MaintenanceStrategy::Naive);
+        assert_eq!(naive.samples_checked, pool.len());
+    }
+
+    #[test]
+    fn hybrid_strategy_bounds_the_overhead_when_many_samples_violate() {
+        // Every sample violates the preference; pure TA would walk whole lists.
+        let pool = random_pool(1000, 2, 7);
+        let index = index_pool(&pool);
+        // better = worse on everything except the sign, so w·(worse-better) > 0
+        // for roughly half the random pool; use an extreme preference where the
+        // "worse" package dominates to force mass violation.
+        let pref = preference(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let naive = find_violating(&pool, None, &pref, MaintenanceStrategy::Naive);
+        let hybrid = find_violating(
+            &pool,
+            Some(&index),
+            &pref,
+            MaintenanceStrategy::Hybrid { gamma: 0.025 },
+        );
+        assert_eq!(naive.violating, hybrid.violating);
+        // The hybrid's total work (sorted accesses plus explicit checks) stays
+        // within (1 + γ)|S| plus the final fallback scan.
+        assert!(hybrid.sorted_accesses <= ((1.025 * pool.len() as f64) as usize) + 2);
+    }
+
+    #[test]
+    fn strategy_labels_are_stable() {
+        assert_eq!(MaintenanceStrategy::Naive.label(), "naive");
+        assert_eq!(MaintenanceStrategy::TopK.label(), "top-k");
+        assert_eq!(MaintenanceStrategy::Hybrid { gamma: 0.05 }.label(), "hybrid(γ=0.05)");
+    }
+
+    #[test]
+    fn maintain_pool_replaces_only_violators() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let prior = GaussianMixture::default_prior(2, 1, 0.5).unwrap();
+        // Pool drawn without constraints.
+        let sampler = RejectionSampler::default();
+        let empty_checker = ConstraintChecker::from_constraints(2, vec![], ConstraintSource::Full);
+        let mut pool = sampler
+            .generate(&prior, &empty_checker, 300, &mut rng)
+            .unwrap()
+            .pool;
+        // New feedback: packages (0.9, 0.1) ≻ (0.1, 0.9).
+        let pref = preference(vec![0.9, 0.1], vec![0.1, 0.9]);
+        let constraint_checker = ConstraintChecker::from_constraints(
+            2,
+            vec![pref.constraint()],
+            ConstraintSource::Full,
+        );
+        let index = index_pool(&pool);
+        let valid_before: Vec<Vec<f64>> = pool
+            .samples()
+            .iter()
+            .filter(|s| pref.satisfied_by(&s.weights))
+            .map(|s| s.weights.clone())
+            .collect();
+        let outcome = maintain_pool(
+            &mut pool,
+            Some(&index),
+            &pref,
+            MaintenanceStrategy::TopK,
+            &sampler,
+            &prior,
+            &constraint_checker,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(outcome.replaced > 0);
+        assert_eq!(outcome.replaced, outcome.violating.len());
+        // After maintenance every sample satisfies the new preference.
+        assert!(pool.samples().iter().all(|s| pref.satisfied_by(&s.weights)));
+        // Samples that were already valid are untouched.
+        let valid_after: Vec<Vec<f64>> = pool
+            .samples()
+            .iter()
+            .map(|s| s.weights.clone())
+            .filter(|w| valid_before.contains(w))
+            .collect();
+        assert_eq!(valid_after.len(), valid_before.len());
+    }
+
+    #[test]
+    fn maintain_pool_is_a_noop_when_nothing_violates() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let prior = GaussianMixture::default_prior(2, 1, 0.5).unwrap();
+        let sampler = RejectionSampler::default();
+        let mut pool = SamplePool::from_samples(vec![
+            WeightSample::unweighted(vec![0.5, 0.1]),
+            WeightSample::unweighted(vec![0.9, 0.4]),
+        ]);
+        let before = pool.clone();
+        let pref = preference(vec![1.0, 0.0], vec![0.0, 0.0]);
+        let checker =
+            ConstraintChecker::from_constraints(2, vec![pref.constraint()], ConstraintSource::Full);
+        let outcome = maintain_pool(
+            &mut pool,
+            None,
+            &pref,
+            MaintenanceStrategy::Naive,
+            &sampler,
+            &prior,
+            &checker,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(outcome.replaced, 0);
+        assert!(outcome.violating.is_empty());
+        assert_eq!(pool, before);
+    }
+}

@@ -1,0 +1,139 @@
+//! Noisy-feedback handling (Section 7).
+//!
+//! A user's clicks can be wrong: the paper models this by assuming every
+//! feedback preference is independently *correct* with probability ψ.  A
+//! candidate weight vector that violates `x` preferences should then be
+//! rejected only with probability `1 - (1 - ψ)^x` — the probability that at
+//! least one of the violated preferences was genuine — rather than
+//! deterministically.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+
+/// The feedback noise model: each preference is independently correct with
+/// probability `psi`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    psi: f64,
+}
+
+impl NoiseModel {
+    /// Creates a noise model; `psi` must lie in `[0, 1]`.
+    pub fn new(psi: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&psi) || !psi.is_finite() {
+            return Err(CoreError::InvalidConfig(format!(
+                "feedback correctness probability must lie in [0, 1], got {psi}"
+            )));
+        }
+        Ok(NoiseModel { psi })
+    }
+
+    /// The noiseless model (`ψ = 1`): every feedback is trusted.
+    pub fn noiseless() -> Self {
+        NoiseModel { psi: 1.0 }
+    }
+
+    /// The probability that a single feedback preference is correct.
+    pub fn psi(&self) -> f64 {
+        self.psi
+    }
+
+    /// Probability of rejecting a weight vector that violates `violations`
+    /// preferences: `1 - (1 - ψ)^x`.
+    pub fn rejection_probability(&self, violations: usize) -> f64 {
+        if violations == 0 {
+            0.0
+        } else {
+            1.0 - (1.0 - self.psi).powi(violations as i32)
+        }
+    }
+
+    /// Probability of keeping such a weight vector: `(1 - ψ)^x`.
+    pub fn acceptance_probability(&self, violations: usize) -> f64 {
+        1.0 - self.rejection_probability(violations)
+    }
+
+    /// Randomly decides whether to accept a weight vector with the given
+    /// violation count.
+    pub fn accept<R: Rng + ?Sized>(&self, violations: usize, rng: &mut R) -> bool {
+        if violations == 0 {
+            return true;
+        }
+        let keep = self.acceptance_probability(violations);
+        if keep <= 0.0 {
+            false
+        } else {
+            rng.gen::<f64>() < keep
+        }
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::noiseless()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates_psi() {
+        assert!(NoiseModel::new(0.0).is_ok());
+        assert!(NoiseModel::new(1.0).is_ok());
+        assert!(NoiseModel::new(0.8).is_ok());
+        assert!(NoiseModel::new(-0.1).is_err());
+        assert!(NoiseModel::new(1.1).is_err());
+        assert!(NoiseModel::new(f64::NAN).is_err());
+        assert_eq!(NoiseModel::default().psi(), 1.0);
+    }
+
+    #[test]
+    fn noiseless_model_rejects_any_violation() {
+        let m = NoiseModel::noiseless();
+        assert_eq!(m.rejection_probability(0), 0.0);
+        assert_eq!(m.rejection_probability(1), 1.0);
+        assert_eq!(m.rejection_probability(5), 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(m.accept(0, &mut rng));
+        assert!(!m.accept(3, &mut rng));
+    }
+
+    #[test]
+    fn fully_noisy_model_never_rejects() {
+        let m = NoiseModel::new(0.0).unwrap();
+        assert_eq!(m.rejection_probability(10), 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(m.accept(10, &mut rng));
+    }
+
+    #[test]
+    fn rejection_probability_follows_formula() {
+        let m = NoiseModel::new(0.8).unwrap();
+        assert!((m.rejection_probability(1) - 0.8).abs() < 1e-12);
+        assert!((m.rejection_probability(2) - (1.0 - 0.2f64.powi(2))).abs() < 1e-12);
+        assert!((m.acceptance_probability(2) - 0.04).abs() < 1e-12);
+        // More violations can only increase the rejection probability.
+        let mut last = 0.0;
+        for x in 0..10 {
+            let p = m.rejection_probability(x);
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn empirical_acceptance_matches_probability() {
+        let m = NoiseModel::new(0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 100_000;
+        let accepted = (0..trials).filter(|_| m.accept(2, &mut rng)).count() as f64;
+        let expected = m.acceptance_probability(2); // 0.25
+        assert!((accepted / trials as f64 - expected).abs() < 0.01);
+    }
+}

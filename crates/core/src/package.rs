@@ -1,0 +1,207 @@
+//! Packages: sets of items.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+use crate::item::ItemId;
+
+/// A package is a non-empty set of distinct items, stored sorted so two
+/// packages with the same members compare equal and hash identically.
+///
+/// The paper keys packages by an id for tie-breaking; here the canonical
+/// sorted item list itself plays that role (compared lexicographically), which
+/// keeps rankings deterministic without a global package registry — the
+/// package space is exponential, so materialising ids for all of it is not an
+/// option.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Package {
+    items: Vec<ItemId>,
+}
+
+impl Package {
+    /// Creates a package from item ids, sorting and de-duplicating them.
+    pub fn new(mut items: Vec<ItemId>) -> Result<Self> {
+        items.sort_unstable();
+        items.dedup();
+        if items.is_empty() {
+            return Err(CoreError::EmptyPackage);
+        }
+        Ok(Package { items })
+    }
+
+    /// A package containing a single item.
+    pub fn singleton(item: ItemId) -> Self {
+        Package { items: vec![item] }
+    }
+
+    /// The items in the package, sorted ascending.
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// Number of items in the package.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// A package is never empty, so this always returns `false`; provided for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the package contains an item.
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// Returns a new package with `item` added; `None` if it is already
+    /// present.
+    pub fn with_item(&self, item: ItemId) -> Option<Package> {
+        if self.contains(item) {
+            return None;
+        }
+        let mut items = self.items.clone();
+        let pos = items.partition_point(|&i| i < item);
+        items.insert(pos, item);
+        Some(Package { items })
+    }
+
+    /// Returns a new package with `item` removed; `None` if removal would
+    /// empty the package or the item is absent.
+    pub fn without_item(&self, item: ItemId) -> Option<Package> {
+        let pos = self.items.binary_search(&item).ok()?;
+        if self.items.len() == 1 {
+            return None;
+        }
+        let mut items = self.items.clone();
+        items.remove(pos);
+        Some(Package { items })
+    }
+
+    /// A compact human-readable key such as `"{0,3,7}"`, used in experiment
+    /// output and as a stable dictionary key.
+    pub fn key(&self) -> String {
+        let ids: Vec<String> = self.items.iter().map(|i| i.to_string()).collect();
+        format!("{{{}}}", ids.join(","))
+    }
+}
+
+impl std::fmt::Display for Package {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.key())
+    }
+}
+
+/// Enumerates every package of size `1..=max_size` over a catalog of `n`
+/// items, in lexicographic order.  The count grows as `Σ C(n, s)`, so this is
+/// only usable for small instances (exhaustive baselines and tests); the
+/// search module exists precisely to avoid this enumeration.
+pub fn enumerate_packages(n: usize, max_size: usize) -> Vec<Package> {
+    let mut out = Vec::new();
+    let mut current: Vec<ItemId> = Vec::new();
+    fn recurse(n: usize, max_size: usize, start: usize, current: &mut Vec<ItemId>, out: &mut Vec<Package>) {
+        if !current.is_empty() {
+            out.push(Package { items: current.clone() });
+        }
+        if current.len() == max_size {
+            return;
+        }
+        for next in start..n {
+            current.push(next);
+            recurse(n, max_size, next + 1, current, out);
+            current.pop();
+        }
+    }
+    recurse(n, max_size, 0, &mut current, &mut out);
+    out.sort();
+    out
+}
+
+/// Number of packages of size `1..=max_size` over `n` items, `Σ_s C(n, s)`.
+pub fn package_space_size(n: usize, max_size: usize) -> u128 {
+    let mut total: u128 = 0;
+    for s in 1..=max_size.min(n) {
+        let mut c: u128 = 1;
+        for i in 0..s {
+            c = c * (n - i) as u128 / (i + 1) as u128;
+        }
+        total += c;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let p = Package::new(vec![5, 1, 3, 1]).unwrap();
+        assert_eq!(p.items(), &[1, 3, 5]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert!(Package::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn equality_ignores_input_order() {
+        let a = Package::new(vec![2, 7]).unwrap();
+        let b = Package::new(vec![7, 2]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.key(), "{2,7}");
+        assert_eq!(format!("{a}"), "{2,7}");
+    }
+
+    #[test]
+    fn with_and_without_item() {
+        let p = Package::new(vec![1, 3]).unwrap();
+        assert!(p.contains(3));
+        assert!(!p.contains(2));
+        let q = p.with_item(2).unwrap();
+        assert_eq!(q.items(), &[1, 2, 3]);
+        assert!(p.with_item(1).is_none());
+        let r = q.without_item(1).unwrap();
+        assert_eq!(r.items(), &[2, 3]);
+        assert!(q.without_item(9).is_none());
+        assert!(Package::singleton(4).without_item(4).is_none());
+    }
+
+    #[test]
+    fn enumeration_matches_binomial_count() {
+        // Figure 1(b): three items yield seven non-empty packages of size <= 3
+        // and six of size <= 2.
+        assert_eq!(enumerate_packages(3, 3).len(), 7);
+        assert_eq!(enumerate_packages(3, 2).len(), 6);
+        assert_eq!(package_space_size(3, 3), 7);
+        assert_eq!(package_space_size(3, 2), 6);
+        assert_eq!(package_space_size(10, 3), 10 + 45 + 120);
+        assert_eq!(enumerate_packages(6, 3).len() as u128, package_space_size(6, 3));
+    }
+
+    #[test]
+    fn enumeration_contains_every_singleton_and_no_duplicates() {
+        let packages = enumerate_packages(5, 2);
+        for i in 0..5 {
+            assert!(packages.contains(&Package::singleton(i)));
+        }
+        let mut dedup = packages.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), packages.len());
+    }
+
+    #[test]
+    fn package_space_size_handles_max_size_above_n() {
+        assert_eq!(package_space_size(3, 10), 7);
+        assert_eq!(package_space_size(0, 3), 0);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_sorted_items() {
+        let a = Package::new(vec![0]).unwrap();
+        let b = Package::new(vec![0, 1]).unwrap();
+        let c = Package::new(vec![1]).unwrap();
+        assert!(a < b);
+        assert!(b < c);
+    }
+}

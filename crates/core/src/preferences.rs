@@ -1,0 +1,402 @@
+//! The preference store: pairwise package preferences kept as a DAG.
+//!
+//! Section 3.3: every click produces several pairwise preferences
+//! `p1 ≻ p2`; because the preference relation of an additive utility is
+//! transitive, redundant preferences can be removed by *transitive reduction*
+//! of the preference DAG, shrinking the number of constraints each sampled
+//! weight vector has to be checked against.  Cycles cannot arise from a
+//! consistent user; the store refuses edges that would create one (the system
+//! resolves such conflicts by re-asking the user, cf. Section 3.3).
+
+use std::collections::HashMap;
+
+use pkgrec_geom::HalfSpace;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+use crate::item::Catalog;
+use crate::package::Package;
+use crate::profile::AggregationContext;
+
+/// One pairwise preference over normalised package feature vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Preference {
+    /// Feature vector of the preferred package.
+    pub better: Vec<f64>,
+    /// Feature vector of the less-preferred package.
+    pub worse: Vec<f64>,
+}
+
+impl Preference {
+    /// Creates a preference from two package feature vectors.
+    pub fn new(better: Vec<f64>, worse: Vec<f64>) -> Self {
+        Preference { better, worse }
+    }
+
+    /// The half-space of weight vectors consistent with this preference.
+    pub fn constraint(&self) -> HalfSpace {
+        HalfSpace::from_preference(&self.better, &self.worse)
+    }
+
+    /// Whether a weight vector agrees with this preference.
+    pub fn satisfied_by(&self, w: &[f64]) -> bool {
+        self.constraint().contains(w)
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PrefNode {
+    key: String,
+    vector: Vec<f64>,
+}
+
+/// A DAG of package preferences with cycle rejection and transitive reduction.
+///
+/// Nodes are distinct packages (keyed by their canonical item-set key), edges
+/// point from the preferred package to the less-preferred one.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PreferenceStore {
+    nodes: Vec<PrefNode>,
+    index: HashMap<String, usize>,
+    /// Adjacency list: `edges[u]` = nodes that `u` is preferred to.
+    edges: Vec<Vec<usize>>,
+    edge_count: usize,
+}
+
+impl PreferenceStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        PreferenceStore::default()
+    }
+
+    /// Number of preference edges stored (before reduction).
+    pub fn len(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether the store holds no preferences.
+    pub fn is_empty(&self) -> bool {
+        self.edge_count == 0
+    }
+
+    /// Number of distinct packages mentioned by any preference.
+    pub fn num_packages(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn node(&mut self, key: String, vector: &[f64]) -> usize {
+        if let Some(&idx) = self.index.get(&key) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(PrefNode {
+            key: key.clone(),
+            vector: vector.to_vec(),
+        });
+        self.edges.push(Vec::new());
+        self.index.insert(key, idx);
+        idx
+    }
+
+    fn reachable(&self, from: usize, to: usize) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut stack = vec![from];
+        let mut seen = vec![false; self.nodes.len()];
+        seen[from] = true;
+        while let Some(u) = stack.pop() {
+            for &v in &self.edges[u] {
+                if v == to {
+                    return true;
+                }
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        false
+    }
+
+    /// Records `better ≻ worse`, where the packages are identified by a stable
+    /// key and described by their normalised feature vectors.
+    ///
+    /// Returns `Ok(true)` if a new edge was added, `Ok(false)` if the exact
+    /// edge already existed, and an error if the edge would create a cycle.
+    pub fn add(
+        &mut self,
+        better_key: String,
+        better_vector: &[f64],
+        worse_key: String,
+        worse_vector: &[f64],
+    ) -> Result<bool> {
+        if better_key == worse_key {
+            return Err(CoreError::PreferenceCycle { package: better_key });
+        }
+        let b = self.node(better_key, better_vector);
+        let w = self.node(worse_key.clone(), worse_vector);
+        if self.edges[b].contains(&w) {
+            return Ok(false);
+        }
+        // Adding b -> w creates a cycle iff w already reaches b.
+        if self.reachable(w, b) {
+            return Err(CoreError::PreferenceCycle { package: worse_key });
+        }
+        self.edges[b].push(w);
+        self.edge_count += 1;
+        Ok(true)
+    }
+
+    /// Records a preference between two concrete packages, computing their
+    /// normalised feature vectors with the given aggregation context.
+    pub fn add_packages(
+        &mut self,
+        context: &AggregationContext,
+        catalog: &Catalog,
+        better: &Package,
+        worse: &Package,
+    ) -> Result<bool> {
+        let bv = context.package_vector(catalog, better)?;
+        let wv = context.package_vector(catalog, worse)?;
+        self.add(better.key(), &bv, worse.key(), &wv)
+    }
+
+    /// All stored preferences (one per edge), in insertion-independent node
+    /// order.
+    pub fn preferences(&self) -> Vec<Preference> {
+        let mut out = Vec::with_capacity(self.edge_count);
+        for (u, targets) in self.edges.iter().enumerate() {
+            for &v in targets {
+                out.push(Preference::new(
+                    self.nodes[u].vector.clone(),
+                    self.nodes[v].vector.clone(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Half-space constraints for every stored preference (no reduction).
+    pub fn all_constraints(&self) -> Vec<HalfSpace> {
+        self.preferences().iter().map(Preference::constraint).collect()
+    }
+
+    /// Edges that survive transitive reduction: an edge `u → v` is redundant
+    /// if `v` is reachable from `u` through a path of length ≥ 2 (Aho, Garey
+    /// and Ullman's transitive reduction of a DAG).
+    fn reduced_edges(&self) -> Vec<(usize, usize)> {
+        let mut kept = Vec::new();
+        for (u, targets) in self.edges.iter().enumerate() {
+            for &v in targets {
+                if !self.reachable_without_direct_edge(u, v) {
+                    kept.push((u, v));
+                }
+            }
+        }
+        kept
+    }
+
+    fn reachable_without_direct_edge(&self, from: usize, to: usize) -> bool {
+        let mut stack: Vec<usize> = self.edges[from]
+            .iter()
+            .copied()
+            .filter(|&v| v != to)
+            .collect();
+        let mut seen = vec![false; self.nodes.len()];
+        for &v in &stack {
+            seen[v] = true;
+        }
+        while let Some(u) = stack.pop() {
+            for &v in &self.edges[u] {
+                if v == to {
+                    return true;
+                }
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        false
+    }
+
+    /// Preferences that survive transitive reduction.
+    pub fn reduced_preferences(&self) -> Vec<Preference> {
+        self.reduced_edges()
+            .into_iter()
+            .map(|(u, v)| {
+                Preference::new(self.nodes[u].vector.clone(), self.nodes[v].vector.clone())
+            })
+            .collect()
+    }
+
+    /// Half-space constraints after transitive reduction — the pruned
+    /// constraint set of Section 3.3.
+    pub fn reduced_constraints(&self) -> Vec<HalfSpace> {
+        self.reduced_preferences()
+            .iter()
+            .map(Preference::constraint)
+            .collect()
+    }
+
+    /// Whether a weight vector satisfies every stored preference.
+    pub fn satisfied_by(&self, w: &[f64]) -> bool {
+        self.preferences().iter().all(|p| p.satisfied_by(w))
+    }
+
+    /// Number of stored preferences a weight vector violates.
+    pub fn violation_count(&self, w: &[f64]) -> usize {
+        self.preferences()
+            .iter()
+            .filter(|p| !p.satisfied_by(w))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vector(values: &[f64]) -> Vec<f64> {
+        values.to_vec()
+    }
+
+    fn store_with_chain() -> PreferenceStore {
+        // a ≻ b ≻ c, plus the redundant a ≻ c.
+        let mut s = PreferenceStore::new();
+        s.add("a".into(), &vector(&[0.9, 0.1]), "b".into(), &vector(&[0.5, 0.5]))
+            .unwrap();
+        s.add("b".into(), &vector(&[0.5, 0.5]), "c".into(), &vector(&[0.1, 0.9]))
+            .unwrap();
+        s.add("a".into(), &vector(&[0.9, 0.1]), "c".into(), &vector(&[0.1, 0.9]))
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn adding_and_duplicates() {
+        let mut s = PreferenceStore::new();
+        assert!(s.is_empty());
+        assert!(s
+            .add("a".into(), &vector(&[1.0]), "b".into(), &vector(&[0.0]))
+            .unwrap());
+        assert!(!s
+            .add("a".into(), &vector(&[1.0]), "b".into(), &vector(&[0.0]))
+            .unwrap());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.num_packages(), 2);
+    }
+
+    #[test]
+    fn self_preference_and_cycles_are_rejected() {
+        let mut s = PreferenceStore::new();
+        assert!(matches!(
+            s.add("a".into(), &vector(&[1.0]), "a".into(), &vector(&[1.0])),
+            Err(CoreError::PreferenceCycle { .. })
+        ));
+        s.add("a".into(), &vector(&[1.0]), "b".into(), &vector(&[0.5]))
+            .unwrap();
+        s.add("b".into(), &vector(&[0.5]), "c".into(), &vector(&[0.2]))
+            .unwrap();
+        // c ≻ a would close a cycle a -> b -> c -> a.
+        assert!(matches!(
+            s.add("c".into(), &vector(&[0.2]), "a".into(), &vector(&[1.0])),
+            Err(CoreError::PreferenceCycle { .. })
+        ));
+        // The failed insertion must not have modified the store.
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn transitive_reduction_removes_redundant_edge() {
+        let s = store_with_chain();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.preferences().len(), 3);
+        let reduced = s.reduced_preferences();
+        assert_eq!(reduced.len(), 2);
+        assert_eq!(s.reduced_constraints().len(), 2);
+        assert_eq!(s.all_constraints().len(), 3);
+    }
+
+    #[test]
+    fn reduction_preserves_the_set_of_valid_weight_vectors() {
+        let s = store_with_chain();
+        let full = s.all_constraints();
+        let reduced = s.reduced_constraints();
+        // Any w consistent with the reduced constraints is consistent with the
+        // full set (transitivity), and vice versa.
+        let probes = [
+            vec![0.5, 0.5],
+            vec![1.0, -1.0],
+            vec![-1.0, 1.0],
+            vec![0.3, -0.9],
+            vec![-0.2, 0.1],
+        ];
+        for w in probes {
+            let full_ok = full.iter().all(|c| c.contains(&w));
+            let reduced_ok = reduced.iter().all(|c| c.contains(&w));
+            assert_eq!(full_ok, reduced_ok, "w = {w:?}");
+        }
+    }
+
+    #[test]
+    fn preference_satisfaction_and_violations() {
+        let s = store_with_chain();
+        // w = (1, -1) ranks a > b > c by utility, satisfying everything.
+        assert!(s.satisfied_by(&[1.0, -1.0]));
+        assert_eq!(s.violation_count(&[1.0, -1.0]), 0);
+        // w = (-1, 1) reverses the order and violates all three preferences.
+        assert!(!s.satisfied_by(&[-1.0, 1.0]));
+        assert_eq!(s.violation_count(&[-1.0, 1.0]), 3);
+    }
+
+    #[test]
+    fn preference_constraint_matches_direct_halfspace() {
+        let p = Preference::new(vec![0.7, 0.2], vec![0.4, 0.6]);
+        let c = p.constraint();
+        assert_eq!(c.normal(), &[0.7 - 0.4, 0.2 - 0.6]);
+        assert!(p.satisfied_by(&[1.0, 0.0]));
+        assert!(!p.satisfied_by(&[0.0, 1.0]));
+    }
+
+    #[test]
+    fn add_packages_uses_normalised_vectors() {
+        use crate::profile::Profile;
+        let catalog = Catalog::new(
+            vec!["cost".into(), "rating".into()],
+            vec![vec![0.6, 0.2], vec![0.4, 0.4], vec![0.2, 0.4]],
+        )
+        .unwrap();
+        let ctx = AggregationContext::new(Profile::cost_quality(), &catalog, 2).unwrap();
+        let mut s = PreferenceStore::new();
+        let p5 = Package::new(vec![1, 2]).unwrap();
+        let p1 = Package::new(vec![0]).unwrap();
+        assert!(s.add_packages(&ctx, &catalog, &p5, &p1).unwrap());
+        let prefs = s.preferences();
+        assert_eq!(prefs.len(), 1);
+        // p5 = (0.6, 1.0), p1 = (0.6, 0.5) after normalisation.
+        assert!((prefs[0].better[1] - 1.0).abs() < 1e-12);
+        assert!((prefs[0].worse[1] - 0.5).abs() < 1e-12);
+        // A weight vector that only cares about quality agrees with the click.
+        assert!(s.satisfied_by(&[0.0, 1.0]));
+        assert!(!s.satisfied_by(&[0.0, -1.0]));
+    }
+
+    #[test]
+    fn diamond_reduction_keeps_all_non_redundant_edges() {
+        // a ≻ b, a ≻ c, b ≻ d, c ≻ d, a ≻ d (redundant).
+        let mut s = PreferenceStore::new();
+        let va = vector(&[0.9]);
+        let vb = vector(&[0.6]);
+        let vc = vector(&[0.5]);
+        let vd = vector(&[0.1]);
+        s.add("a".into(), &va, "b".into(), &vb).unwrap();
+        s.add("a".into(), &va, "c".into(), &vc).unwrap();
+        s.add("b".into(), &vb, "d".into(), &vd).unwrap();
+        s.add("c".into(), &vc, "d".into(), &vd).unwrap();
+        s.add("a".into(), &va, "d".into(), &vd).unwrap();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.reduced_preferences().len(), 4);
+    }
+}

@@ -1,0 +1,322 @@
+//! Ranking semantics over the sample pool (Sections 2.2 and 4).
+//!
+//! Given per-sample top-k package lists (one list per sampled weight vector,
+//! each sample carrying an importance weight), three semantics turn them into
+//! a single recommended top-k list:
+//!
+//! * **EXP** — rank packages by their estimated expected utility,
+//! * **TKP** — rank packages by the (weighted) frequency with which they appear
+//!   among the top-σ packages of a sample,
+//! * **MPO** — return the complete top-k *list* that is most probable, i.e.
+//!   the list produced by the largest total sample weight.
+//!
+//! The same aggregation code serves both Monte-Carlo sample pools and exact
+//! discrete weight distributions (each discrete weight vector is a "sample"
+//! whose importance is its probability), which is how the unit tests reproduce
+//! the worked example of Figure 2.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::package::Package;
+
+/// The ranking semantics of Section 2.2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RankingSemantics {
+    /// Expected utility (Definition 2).
+    Exp,
+    /// Probability of being ranked among the top-σ packages (Definition 3).
+    Tkp {
+        /// The position threshold σ.
+        sigma: usize,
+    },
+    /// Most probable ordering of the whole top-k list (Definition 4).
+    Mpo,
+}
+
+impl RankingSemantics {
+    /// Short label used in experiment output.
+    pub fn label(&self) -> String {
+        match self {
+            RankingSemantics::Exp => "EXP".to_string(),
+            RankingSemantics::Tkp { sigma } => format!("TKP(σ={sigma})"),
+            RankingSemantics::Mpo => "MPO".to_string(),
+        }
+    }
+}
+
+/// The ranked packages produced for one sampled weight vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerSampleRanking {
+    /// Importance weight of the sample (probability mass for exact
+    /// distributions, `q(w)` for importance samples, 1 otherwise).
+    pub importance: f64,
+    /// `(package, utility)` pairs ordered best-first under this sample's
+    /// weight vector.
+    pub ranked: Vec<(Package, f64)>,
+}
+
+impl PerSampleRanking {
+    /// Creates a per-sample ranking.
+    pub fn new(importance: f64, ranked: Vec<(Package, f64)>) -> Self {
+        PerSampleRanking { importance, ranked }
+    }
+}
+
+/// One entry of an aggregated top-k list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedPackage {
+    /// The recommended package.
+    pub package: Package,
+    /// The semantics-specific score (expected utility for EXP, weighted
+    /// frequency for TKP, list probability for MPO).
+    pub score: f64,
+}
+
+fn sort_scored(mut scored: Vec<RankedPackage>) -> Vec<RankedPackage> {
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.package.cmp(&b.package))
+    });
+    scored
+}
+
+/// EXP aggregation: weighted mean utility of every package appearing in at
+/// least one per-sample ranking; the top-k by that mean are returned.
+pub fn aggregate_exp(results: &[PerSampleRanking], k: usize) -> Vec<RankedPackage> {
+    let mut sums: HashMap<Package, (f64, f64)> = HashMap::new();
+    for r in results {
+        for (package, utility) in &r.ranked {
+            let entry = sums.entry(package.clone()).or_insert((0.0, 0.0));
+            entry.0 += r.importance * utility;
+            entry.1 += r.importance;
+        }
+    }
+    let scored = sums
+        .into_iter()
+        .filter(|(_, (_, weight))| *weight > 0.0)
+        .map(|(package, (weighted_utility, weight))| RankedPackage {
+            package,
+            score: weighted_utility / weight,
+        })
+        .collect();
+    let mut sorted = sort_scored(scored);
+    sorted.truncate(k);
+    sorted
+}
+
+/// TKP aggregation: the score of a package is the total importance of the
+/// samples whose top-σ list contains it.  Callers control σ by trimming the
+/// per-sample rankings to σ entries (the engine does this automatically).
+pub fn aggregate_tkp(results: &[PerSampleRanking], sigma: usize, k: usize) -> Vec<RankedPackage> {
+    let mut counters: HashMap<Package, f64> = HashMap::new();
+    for r in results {
+        for (package, _) in r.ranked.iter().take(sigma) {
+            *counters.entry(package.clone()).or_insert(0.0) += r.importance;
+        }
+    }
+    let scored = counters
+        .into_iter()
+        .map(|(package, score)| RankedPackage { package, score })
+        .collect();
+    let mut sorted = sort_scored(scored);
+    sorted.truncate(k);
+    sorted
+}
+
+/// MPO aggregation: the score of an entire (ordered) top-k list is the total
+/// importance of the samples that produced exactly that list; the list with
+/// the highest score wins and is returned with that score attached to each of
+/// its packages.
+pub fn aggregate_mpo(results: &[PerSampleRanking], k: usize) -> Vec<RankedPackage> {
+    let mut counters: HashMap<Vec<Package>, f64> = HashMap::new();
+    for r in results {
+        let list: Vec<Package> = r.ranked.iter().take(k).map(|(p, _)| p.clone()).collect();
+        if list.is_empty() {
+            continue;
+        }
+        *counters.entry(list).or_insert(0.0) += r.importance;
+    }
+    let best = counters.into_iter().max_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            // Deterministic tie-break: lexicographically smaller list wins.
+            .then_with(|| b.0.cmp(&a.0))
+    });
+    match best {
+        None => Vec::new(),
+        Some((list, score)) => list
+            .into_iter()
+            .map(|package| RankedPackage { package, score })
+            .collect(),
+    }
+}
+
+/// Dispatches to the aggregation matching the chosen semantics.
+pub fn aggregate(
+    semantics: RankingSemantics,
+    results: &[PerSampleRanking],
+    k: usize,
+) -> Vec<RankedPackage> {
+    match semantics {
+        RankingSemantics::Exp => aggregate_exp(results, k),
+        RankingSemantics::Tkp { sigma } => aggregate_tkp(results, sigma, k),
+        RankingSemantics::Mpo => aggregate_mpo(results, k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the exact discrete distribution of Figure 2: three weight
+    /// vectors with probabilities 0.3 / 0.4 / 0.3 and the six packages of the
+    /// running example with their exact utilities.
+    fn figure2_results() -> Vec<PerSampleRanking> {
+        // Packages p1..p6 keyed by their item sets {0}, {1}, {2}, {0,1}, {1,2}, {0,2}.
+        let packages: Vec<Package> = vec![
+            Package::new(vec![0]).unwrap(),
+            Package::new(vec![1]).unwrap(),
+            Package::new(vec![2]).unwrap(),
+            Package::new(vec![0, 1]).unwrap(),
+            Package::new(vec![1, 2]).unwrap(),
+            Package::new(vec![0, 2]).unwrap(),
+        ];
+        let utilities = [
+            (0.3, vec![0.35, 0.3, 0.2, 0.575, 0.4, 0.475]),
+            (0.4, vec![0.31, 0.54, 0.52, 0.475, 0.56, 0.455]),
+            (0.3, vec![0.11, 0.14, 0.12, 0.175, 0.16, 0.155]),
+        ];
+        utilities
+            .into_iter()
+            .map(|(prob, utils)| {
+                let mut ranked: Vec<(Package, f64)> = packages
+                    .iter()
+                    .cloned()
+                    .zip(utils.into_iter())
+                    .collect();
+                ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+                PerSampleRanking::new(prob, ranked)
+            })
+            .collect()
+    }
+
+    fn p(items: &[usize]) -> Package {
+        Package::new(items.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn figure2_exp_top2_is_p4_then_p5() {
+        let results = figure2_results();
+        let top = aggregate_exp(&results, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].package, p(&[0, 1])); // p4
+        assert!((top[0].score - 0.415).abs() < 1e-9);
+        assert_eq!(top[1].package, p(&[1, 2])); // p5
+        assert!((top[1].score - 0.392).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure2_exp_expected_utility_of_p1_matches_paper() {
+        let results = figure2_results();
+        let all = aggregate_exp(&results, 6);
+        let p1 = all.iter().find(|r| r.package == p(&[0])).unwrap();
+        assert!((p1.score - 0.262).abs() < 1e-9, "expected 0.262, got {}", p1.score);
+    }
+
+    #[test]
+    fn figure2_tkp_top2_is_p5_then_p4() {
+        let results = figure2_results();
+        let top = aggregate_tkp(&results, 2, 2);
+        assert_eq!(top[0].package, p(&[1, 2])); // p5 with probability 0.7
+        assert!((top[0].score - 0.7).abs() < 1e-12);
+        assert_eq!(top[1].package, p(&[0, 1])); // p4 with probability 0.6
+        assert!((top[1].score - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure2_mpo_best_list_is_p5_p2() {
+        let results = figure2_results();
+        let best = aggregate_mpo(&results, 2);
+        assert_eq!(best.len(), 2);
+        assert_eq!(best[0].package, p(&[1, 2])); // p5
+        assert_eq!(best[1].package, p(&[1])); // p2
+        assert!((best[0].score - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_semantics_can_disagree() {
+        // The summary sentence of Section 2.2: EXP, TKP and MPO produce
+        // different top-2 lists on the running example.
+        let results = figure2_results();
+        let exp: Vec<Package> = aggregate(RankingSemantics::Exp, &results, 2)
+            .into_iter()
+            .map(|r| r.package)
+            .collect();
+        let tkp: Vec<Package> = aggregate(RankingSemantics::Tkp { sigma: 2 }, &results, 2)
+            .into_iter()
+            .map(|r| r.package)
+            .collect();
+        let mpo: Vec<Package> = aggregate(RankingSemantics::Mpo, &results, 2)
+            .into_iter()
+            .map(|r| r.package)
+            .collect();
+        assert_eq!(exp, vec![p(&[0, 1]), p(&[1, 2])]);
+        assert_eq!(tkp, vec![p(&[1, 2]), p(&[0, 1])]);
+        assert_eq!(mpo, vec![p(&[1, 2]), p(&[1])]);
+    }
+
+    #[test]
+    fn importance_weights_shift_the_aggregate() {
+        let a = PerSampleRanking::new(1.0, vec![(p(&[0]), 1.0), (p(&[1]), 0.5)]);
+        let b = PerSampleRanking::new(10.0, vec![(p(&[1]), 1.0), (p(&[0]), 0.1)]);
+        let top = aggregate_tkp(&[a.clone(), b.clone()], 1, 2);
+        assert_eq!(top[0].package, p(&[1]));
+        let exp = aggregate_exp(&[a, b], 1);
+        // Weighted mean utility of {0}: (1*1 + 10*0.1)/11 ≈ 0.18;
+        // of {1}: (1*0.5 + 10*1)/11 ≈ 0.95 — {1} wins.
+        assert_eq!(exp[0].package, p(&[1]));
+    }
+
+    #[test]
+    fn empty_results_yield_empty_rankings() {
+        assert!(aggregate_exp(&[], 3).is_empty());
+        assert!(aggregate_tkp(&[], 2, 3).is_empty());
+        assert!(aggregate_mpo(&[], 3).is_empty());
+        let empty_sample = PerSampleRanking::new(1.0, vec![]);
+        assert!(aggregate_mpo(&[empty_sample], 3).is_empty());
+    }
+
+    #[test]
+    fn ties_are_broken_deterministically_by_package() {
+        let a = PerSampleRanking::new(1.0, vec![(p(&[3]), 0.5), (p(&[1]), 0.5)]);
+        let top = aggregate_exp(&[a], 2);
+        assert_eq!(top[0].package, p(&[1]));
+        assert_eq!(top[1].package, p(&[3]));
+    }
+
+    #[test]
+    fn semantics_labels() {
+        assert_eq!(RankingSemantics::Exp.label(), "EXP");
+        assert_eq!(RankingSemantics::Tkp { sigma: 5 }.label(), "TKP(σ=5)");
+        assert_eq!(RankingSemantics::Mpo.label(), "MPO");
+    }
+
+    #[test]
+    fn mpo_groups_identical_lists_across_samples() {
+        let list1 = vec![(p(&[0]), 0.9), (p(&[1]), 0.8)];
+        let list2 = vec![(p(&[2]), 0.7), (p(&[0]), 0.6)];
+        let results = vec![
+            PerSampleRanking::new(0.3, list1.clone()),
+            PerSampleRanking::new(0.3, list1.clone()),
+            PerSampleRanking::new(0.39, list2),
+        ];
+        let best = aggregate_mpo(&results, 2);
+        assert_eq!(best[0].package, p(&[0]));
+        assert_eq!(best[1].package, p(&[1]));
+        assert!((best[0].score - 0.6).abs() < 1e-12);
+    }
+}

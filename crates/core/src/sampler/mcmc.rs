@@ -1,0 +1,297 @@
+//! Metropolis–Hastings random-walk sampling inside the valid region
+//! (Section 3.2.2).
+//!
+//! Because the feedback-consistent region is a single convex set (Lemma 2), a
+//! random walk started at any valid weight vector can reach the whole region.
+//! The proposal moves uniformly within an ℓ∞ ball of radius `lmax` around the
+//! current state; moves that leave the valid region (or the weight cube) are
+//! rejected by keeping a copy of the current state, and remaining moves are
+//! accepted with the Metropolis ratio `min(1, Pw(w') / Pw(w))` — the proposal
+//! is symmetric, so the Hastings correction cancels (Equation 7).  Following
+//! standard practice the chain is thinned: only every `step_length`-th state
+//! after burn-in enters the pool.
+
+use pkgrec_gmm::GaussianMixture;
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::constraints::ConstraintChecker;
+use crate::error::{CoreError, Result};
+use crate::noise::NoiseModel;
+use crate::sampler::{in_weight_cube, SamplePool, SamplingOutcome, WeightSample, WeightSampler};
+use crate::utility::clamp_weights;
+
+/// Configuration of the Metropolis–Hastings sampler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McmcSampler {
+    /// Maximum per-coordinate step size of the random walk (`lmax`).
+    pub max_step: f64,
+    /// Thinning interval δ: keep one state out of every `step_length`.
+    pub step_length: usize,
+    /// Number of initial states discarded before collecting samples.
+    pub burn_in: usize,
+    /// Proposal budget for finding the initial valid state by rejection.
+    pub max_init_attempts: usize,
+    /// Optional noise model applied when deciding whether a proposed state
+    /// "violates" feedback (Section 7).
+    pub noise: Option<NoiseModel>,
+}
+
+impl Default for McmcSampler {
+    fn default() -> Self {
+        McmcSampler {
+            max_step: 0.25,
+            step_length: 5,
+            burn_in: 200,
+            max_init_attempts: 200_000,
+            noise: None,
+        }
+    }
+}
+
+impl McmcSampler {
+    /// An MCMC sampler with the noise model of Section 7.
+    pub fn with_noise(noise: NoiseModel) -> Self {
+        McmcSampler {
+            noise: Some(noise),
+            ..McmcSampler::default()
+        }
+    }
+
+    /// Finds a first valid weight vector by rejection sampling from the prior
+    /// (the same bootstrap the paper describes for Figure 4(c)).
+    fn find_initial_state(
+        &self,
+        prior: &GaussianMixture,
+        checker: &ConstraintChecker,
+        rng: &mut dyn RngCore,
+    ) -> Result<(Vec<f64>, usize)> {
+        for attempt in 1..=self.max_init_attempts {
+            let candidate = clamp_weights(&prior.sample(rng));
+            if checker.is_valid(&candidate) {
+                return Ok((candidate, attempt));
+            }
+        }
+        Err(CoreError::SamplingExhausted {
+            obtained: 0,
+            requested: 1,
+            attempts: self.max_init_attempts,
+        })
+    }
+
+    fn state_is_acceptable(
+        &self,
+        checker: &ConstraintChecker,
+        w: &[f64],
+        rng: &mut dyn RngCore,
+    ) -> bool {
+        match &self.noise {
+            None => checker.is_valid(w),
+            Some(noise) => {
+                let violations = checker.violation_count(w);
+                noise.accept(violations, rng)
+            }
+        }
+    }
+}
+
+impl WeightSampler for McmcSampler {
+    fn name(&self) -> &'static str {
+        "MS"
+    }
+
+    fn generate(
+        &self,
+        prior: &GaussianMixture,
+        checker: &ConstraintChecker,
+        n: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<SamplingOutcome> {
+        if self.step_length == 0 || self.max_step <= 0.0 {
+            return Err(CoreError::InvalidConfig(
+                "MCMC step length must be positive and max_step must exceed zero".into(),
+            ));
+        }
+        let (mut current, init_attempts) = self.find_initial_state(prior, checker, rng)?;
+        let mut current_density = prior.pdf(&current)?;
+        let mut pool = SamplePool::new();
+        let mut proposals = init_attempts;
+        let mut rejected = init_attempts.saturating_sub(1);
+        let mut kept_states = 0usize;
+        let dim = current.len();
+        // Overall proposal budget: burn-in plus thinning per requested sample,
+        // with generous head-room for rejected moves.
+        let max_proposals = init_attempts
+            + (self.burn_in + n.max(1) * self.step_length).saturating_mul(50);
+        while pool.len() < n {
+            if proposals >= max_proposals {
+                return Err(CoreError::SamplingExhausted {
+                    obtained: pool.len(),
+                    requested: n,
+                    attempts: proposals,
+                });
+            }
+            proposals += 1;
+            let candidate: Vec<f64> = (0..dim)
+                .map(|d| current[d] + rng.gen_range(-self.max_step..self.max_step))
+                .collect();
+            let mut moved = false;
+            if in_weight_cube(&candidate) && self.state_is_acceptable(checker, &candidate, rng) {
+                let candidate_density = prior.pdf(&candidate)?;
+                let alpha = if current_density <= 0.0 {
+                    1.0
+                } else {
+                    (candidate_density / current_density).min(1.0)
+                };
+                if rng.gen::<f64>() < alpha {
+                    current = candidate;
+                    current_density = candidate_density;
+                    moved = true;
+                }
+            }
+            if !moved {
+                rejected += 1;
+            }
+            // Whether the move was accepted or the chain stayed put, the chain
+            // has advanced one step; thin and collect after burn-in.
+            kept_states += 1;
+            if kept_states > self.burn_in && kept_states % self.step_length == 0 {
+                pool.push(WeightSample::unweighted(current.clone()));
+            }
+        }
+        Ok(SamplingOutcome {
+            pool,
+            proposals,
+            rejected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::ConstraintSource;
+    use pkgrec_geom::HalfSpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn checker(constraints: Vec<HalfSpace>, dim: usize) -> ConstraintChecker {
+        ConstraintChecker::from_constraints(dim, constraints, ConstraintSource::Full)
+    }
+
+    #[test]
+    fn produces_exactly_n_valid_samples() {
+        let prior = GaussianMixture::default_prior(3, 1, 0.5).unwrap();
+        let c = checker(vec![HalfSpace::new(vec![1.0, -0.5, 0.2])], 3);
+        let mut rng = StdRng::seed_from_u64(21);
+        let outcome = McmcSampler::default()
+            .generate(&prior, &c, 500, &mut rng)
+            .unwrap();
+        assert_eq!(outcome.pool.len(), 500);
+        for s in outcome.pool.samples() {
+            assert!(c.is_valid(&s.weights));
+            assert!(in_weight_cube(&s.weights));
+            assert_eq!(s.importance, 1.0);
+        }
+    }
+
+    #[test]
+    fn invalid_configuration_is_rejected() {
+        let prior = GaussianMixture::default_prior(2, 1, 0.5).unwrap();
+        let c = checker(vec![], 2);
+        let mut rng = StdRng::seed_from_u64(22);
+        let bad_step = McmcSampler {
+            step_length: 0,
+            ..McmcSampler::default()
+        };
+        assert!(matches!(
+            bad_step.generate(&prior, &c, 5, &mut rng),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        let bad_walk = McmcSampler {
+            max_step: 0.0,
+            ..McmcSampler::default()
+        };
+        assert!(matches!(
+            bad_walk.generate(&prior, &c, 5, &mut rng),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn scales_to_high_dimensional_weight_spaces() {
+        // Ten features — the regime where importance sampling is infeasible
+        // but MCMC keeps working (Figure 6 (f)–(j)).
+        let prior = GaussianMixture::default_prior(10, 1, 0.5).unwrap();
+        let c = checker(
+            vec![
+                HalfSpace::new(vec![1.0, 0.0, 0.0, 0.2, 0.0, -0.1, 0.0, 0.0, 0.0, 0.0]),
+                HalfSpace::new(vec![0.0, 1.0, 0.3, 0.0, 0.0, 0.0, 0.0, -0.2, 0.0, 0.0]),
+            ],
+            10,
+        );
+        let mut rng = StdRng::seed_from_u64(23);
+        let outcome = McmcSampler::default()
+            .generate(&prior, &c, 200, &mut rng)
+            .unwrap();
+        assert_eq!(outcome.pool.len(), 200);
+    }
+
+    #[test]
+    fn chain_explores_the_valid_region_not_just_the_start() {
+        let prior = GaussianMixture::default_prior(2, 1, 0.5).unwrap();
+        let c = checker(vec![HalfSpace::new(vec![1.0, 0.0])], 2);
+        let mut rng = StdRng::seed_from_u64(24);
+        let outcome = McmcSampler::default()
+            .generate(&prior, &c, 400, &mut rng)
+            .unwrap();
+        // Sample variance along each dimension should be well away from zero.
+        for d in 0..2 {
+            let values: Vec<f64> = outcome.pool.samples().iter().map(|s| s.weights[d]).collect();
+            let mean = values.iter().sum::<f64>() / values.len() as f64;
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+            assert!(var > 0.01, "dimension {d} variance {var}");
+        }
+        // All collected states satisfy the constraint (w1 >= 0).
+        assert!(outcome.pool.samples().iter().all(|s| s.weights[0] >= 0.0));
+    }
+
+    #[test]
+    fn infeasible_region_reports_exhaustion_during_initialisation() {
+        let prior = GaussianMixture::default_prior(2, 1, 0.3).unwrap();
+        let c = checker(
+            vec![
+                HalfSpace::new(vec![1.0, 0.0]),
+                HalfSpace::new(vec![-1.0, 0.0]),
+                HalfSpace::new(vec![0.0, 1.0]),
+                HalfSpace::new(vec![0.0, -1.0]),
+            ],
+            2,
+        );
+        let sampler = McmcSampler {
+            max_init_attempts: 200,
+            ..McmcSampler::default()
+        };
+        let mut rng = StdRng::seed_from_u64(25);
+        assert!(matches!(
+            sampler.generate(&prior, &c, 5, &mut rng),
+            Err(CoreError::SamplingExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn noisy_chain_can_visit_mildly_violating_states() {
+        let prior = GaussianMixture::default_prior(2, 1, 0.5).unwrap();
+        let c = checker(vec![HalfSpace::new(vec![1.0, 0.0])], 2);
+        let sampler = McmcSampler::with_noise(NoiseModel::new(0.3).unwrap());
+        let mut rng = StdRng::seed_from_u64(26);
+        let outcome = sampler.generate(&prior, &c, 500, &mut rng).unwrap();
+        let violating = outcome
+            .pool
+            .samples()
+            .iter()
+            .filter(|s| !c.is_valid(&s.weights))
+            .count();
+        assert!(violating > 0, "noisy chain should occasionally cross the constraint");
+    }
+}

@@ -1,0 +1,301 @@
+//! Constrained sampling of utility weight vectors (Section 3).
+//!
+//! The posterior over weight vectors given user feedback has no closed form,
+//! so the system works with a *pool of weighted samples* drawn from the prior
+//! and constrained to the feedback-consistent region.  Three strategies are
+//! provided, mirroring Sections 3.1–3.2:
+//!
+//! * [`RejectionSampler`] — sample the prior, throw away violators,
+//! * [`ImportanceSampler`] — propose from a Gaussian centred at the
+//!   (grid-approximated) centre of the valid region and correct the bias with
+//!   importance weights,
+//! * [`McmcSampler`] — a Metropolis–Hastings random walk inside the valid
+//!   region.
+//!
+//! All three implement [`WeightSampler`] and produce a [`SamplingOutcome`]
+//! whose [`SamplePool`] feeds ranking ([`crate::ranking`]) and maintenance
+//! ([`crate::maintenance`]).
+
+mod importance;
+mod mcmc;
+mod rejection;
+
+pub use importance::ImportanceSampler;
+pub use mcmc::McmcSampler;
+pub use rejection::RejectionSampler;
+
+use pkgrec_gmm::{effective_number_of_samples_from_weights, GaussianMixture};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::constraints::ConstraintChecker;
+use crate::error::Result;
+use crate::utility::WeightVector;
+
+/// One sampled weight vector together with its importance weight
+/// (`1.0` for rejection and MCMC samples).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightSample {
+    /// The sampled weight vector.
+    pub weights: WeightVector,
+    /// The importance weight `q(w) = Pw(w) / Qw(w)` correcting proposal bias.
+    pub importance: f64,
+}
+
+impl WeightSample {
+    /// A sample with unit importance weight.
+    pub fn unweighted(weights: WeightVector) -> Self {
+        WeightSample {
+            weights,
+            importance: 1.0,
+        }
+    }
+}
+
+/// A pool of weighted samples representing the current posterior knowledge
+/// about a user's utility weight vector.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SamplePool {
+    samples: Vec<WeightSample>,
+}
+
+impl SamplePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        SamplePool::default()
+    }
+
+    /// Creates a pool from samples.
+    pub fn from_samples(samples: Vec<WeightSample>) -> Self {
+        SamplePool { samples }
+    }
+
+    /// Number of samples in the pool.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[WeightSample] {
+        &self.samples
+    }
+
+    /// Mutable access to the samples (used by maintenance when replacing
+    /// invalidated entries in place).
+    pub fn samples_mut(&mut self) -> &mut Vec<WeightSample> {
+        &mut self.samples
+    }
+
+    /// Adds a sample to the pool.
+    pub fn push(&mut self, sample: WeightSample) {
+        self.samples.push(sample);
+    }
+
+    /// The weight vectors only, as a row matrix (used to build sorted lists
+    /// for TA-based maintenance).
+    pub fn weight_matrix(&self) -> Vec<Vec<f64>> {
+        self.samples.iter().map(|s| s.weights.clone()).collect()
+    }
+
+    /// Effective number of samples `(Σ q)² / Σ q²` of the pool's importance
+    /// weights.
+    pub fn effective_sample_size(&self) -> f64 {
+        let weights: Vec<f64> = self.samples.iter().map(|s| s.importance).collect();
+        effective_number_of_samples_from_weights(&weights)
+    }
+
+    /// Indices of samples violating the given validity predicate.
+    pub fn violating_indices<F: Fn(&[f64]) -> bool>(&self, is_valid: F) -> Vec<usize> {
+        self.samples
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !is_valid(&s.weights))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Statistics and samples produced by one sampling run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplingOutcome {
+    /// The accepted samples.
+    pub pool: SamplePool,
+    /// Total proposals generated (accepted + rejected).
+    pub proposals: usize,
+    /// Proposals rejected for violating feedback or leaving the weight cube.
+    pub rejected: usize,
+}
+
+impl SamplingOutcome {
+    /// Fraction of proposals that were accepted.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.proposals == 0 {
+            0.0
+        } else {
+            self.pool.len() as f64 / self.proposals as f64
+        }
+    }
+}
+
+/// A constrained sampler of utility weight vectors.
+pub trait WeightSampler {
+    /// Short name used in experiment output ("RS", "IS", "MS").
+    fn name(&self) -> &'static str;
+
+    /// Draws `n` valid samples from the prior restricted to the feedback
+    /// region described by `checker`.
+    fn generate(
+        &self,
+        prior: &GaussianMixture,
+        checker: &ConstraintChecker,
+        n: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<SamplingOutcome>;
+}
+
+/// The sampling strategies of the paper, as a configuration-friendly enum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SamplerKind {
+    /// Rejection sampling (Section 3.1).
+    Rejection(RejectionSampler),
+    /// Importance sampling (Section 3.2.1).
+    Importance(ImportanceSampler),
+    /// Metropolis–Hastings MCMC sampling (Section 3.2.2).
+    Mcmc(McmcSampler),
+}
+
+impl SamplerKind {
+    /// The default configuration of each strategy.
+    pub fn rejection() -> Self {
+        SamplerKind::Rejection(RejectionSampler::default())
+    }
+
+    /// Importance sampling with default configuration.
+    pub fn importance() -> Self {
+        SamplerKind::Importance(ImportanceSampler::default())
+    }
+
+    /// MCMC sampling with default configuration.
+    pub fn mcmc() -> Self {
+        SamplerKind::Mcmc(McmcSampler::default())
+    }
+}
+
+impl WeightSampler for SamplerKind {
+    fn name(&self) -> &'static str {
+        match self {
+            SamplerKind::Rejection(s) => s.name(),
+            SamplerKind::Importance(s) => s.name(),
+            SamplerKind::Mcmc(s) => s.name(),
+        }
+    }
+
+    fn generate(
+        &self,
+        prior: &GaussianMixture,
+        checker: &ConstraintChecker,
+        n: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<SamplingOutcome> {
+        match self {
+            SamplerKind::Rejection(s) => s.generate(prior, checker, n, rng),
+            SamplerKind::Importance(s) => s.generate(prior, checker, n, rng),
+            SamplerKind::Mcmc(s) => s.generate(prior, checker, n, rng),
+        }
+    }
+}
+
+/// Whether a weight vector lies in the canonical weight cube `[-1, 1]^m`.
+pub(crate) fn in_weight_cube(w: &[f64]) -> bool {
+    w.iter().all(|x| (-1.0..=1.0).contains(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::{ConstraintChecker, ConstraintSource};
+    use crate::preferences::PreferenceStore;
+    use pkgrec_geom::HalfSpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn positive_quadrant_checker() -> ConstraintChecker {
+        ConstraintChecker::from_constraints(
+            2,
+            vec![HalfSpace::new(vec![1.0, 0.0]), HalfSpace::new(vec![0.0, 1.0])],
+            ConstraintSource::Full,
+        )
+    }
+
+    #[test]
+    fn sample_pool_basics() {
+        let mut pool = SamplePool::new();
+        assert!(pool.is_empty());
+        pool.push(WeightSample::unweighted(vec![0.1, 0.2]));
+        pool.push(WeightSample {
+            weights: vec![-0.1, 0.4],
+            importance: 2.0,
+        });
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.weight_matrix().len(), 2);
+        let violators = pool.violating_indices(|w| w[0] > 0.0);
+        assert_eq!(violators, vec![1]);
+        // ESS of weights (1, 2) = 9 / 5.
+        assert!((pool.effective_sample_size() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acceptance_rate_is_well_defined() {
+        let outcome = SamplingOutcome {
+            pool: SamplePool::from_samples(vec![WeightSample::unweighted(vec![0.0])]),
+            proposals: 4,
+            rejected: 3,
+        };
+        assert!((outcome.acceptance_rate() - 0.25).abs() < 1e-12);
+        let empty = SamplingOutcome {
+            pool: SamplePool::new(),
+            proposals: 0,
+            rejected: 0,
+        };
+        assert_eq!(empty.acceptance_rate(), 0.0);
+    }
+
+    #[test]
+    fn sampler_kind_dispatches_by_name() {
+        assert_eq!(SamplerKind::rejection().name(), "RS");
+        assert_eq!(SamplerKind::importance().name(), "IS");
+        assert_eq!(SamplerKind::mcmc().name(), "MS");
+    }
+
+    #[test]
+    fn every_sampler_kind_produces_only_valid_samples() {
+        let prior = GaussianMixture::default_prior(2, 1, 0.5).unwrap();
+        let checker = positive_quadrant_checker();
+        let mut rng = StdRng::seed_from_u64(99);
+        for kind in [SamplerKind::rejection(), SamplerKind::importance(), SamplerKind::mcmc()] {
+            let outcome = kind.generate(&prior, &checker, 50, &mut rng).unwrap();
+            assert_eq!(outcome.pool.len(), 50, "{}", kind.name());
+            for s in outcome.pool.samples() {
+                assert!(checker.is_valid(&s.weights), "{} produced invalid sample", kind.name());
+                assert!(in_weight_cube(&s.weights));
+                assert!(s.importance.is_finite() && s.importance > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn unconstrained_sampling_accepts_most_proposals() {
+        let prior = GaussianMixture::default_prior(3, 1, 0.3).unwrap();
+        let checker = ConstraintChecker::full(&PreferenceStore::new(), 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let outcome = SamplerKind::rejection()
+            .generate(&prior, &checker, 100, &mut rng)
+            .unwrap();
+        assert!(outcome.acceptance_rate() > 0.9);
+    }
+}

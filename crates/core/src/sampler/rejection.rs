@@ -1,0 +1,218 @@
+//! Rejection sampling from the constrained posterior (Section 3.1).
+//!
+//! Lemma 1 justifies the approach: conditioning on feedback only zeroes out
+//! the density of inconsistent weight vectors and preserves the relative
+//! density of consistent ones, so drawing from the prior and discarding
+//! violators samples the posterior exactly.  The price is wasted proposals
+//! once the feedback region becomes small — the weakness the feedback-aware
+//! samplers address.
+
+use pkgrec_gmm::GaussianMixture;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::constraints::ConstraintChecker;
+use crate::error::{CoreError, Result};
+use crate::noise::NoiseModel;
+use crate::sampler::{in_weight_cube, SamplePool, SamplingOutcome, WeightSample, WeightSampler};
+use crate::utility::clamp_weights;
+
+/// Configuration of the rejection sampler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RejectionSampler {
+    /// Give up after `max_attempts_per_sample * n` proposals.
+    pub max_attempts_per_sample: usize,
+    /// Optional noise model: violating samples are rejected probabilistically
+    /// instead of deterministically (Section 7).
+    pub noise: Option<NoiseModel>,
+    /// Whether proposals outside the weight cube `[-1, 1]^m` are clamped onto
+    /// it (`true`, the default) or rejected outright (`false`).
+    pub clamp_to_cube: bool,
+}
+
+impl Default for RejectionSampler {
+    fn default() -> Self {
+        RejectionSampler {
+            max_attempts_per_sample: 20_000,
+            noise: None,
+            clamp_to_cube: true,
+        }
+    }
+}
+
+impl RejectionSampler {
+    /// A rejection sampler with the noise model of Section 7.
+    pub fn with_noise(noise: NoiseModel) -> Self {
+        RejectionSampler {
+            noise: Some(noise),
+            ..RejectionSampler::default()
+        }
+    }
+}
+
+impl WeightSampler for RejectionSampler {
+    fn name(&self) -> &'static str {
+        "RS"
+    }
+
+    fn generate(
+        &self,
+        prior: &GaussianMixture,
+        checker: &ConstraintChecker,
+        n: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<SamplingOutcome> {
+        let mut pool = SamplePool::new();
+        let mut proposals = 0usize;
+        let max_attempts = self.max_attempts_per_sample.saturating_mul(n.max(1));
+        while pool.len() < n {
+            if proposals >= max_attempts {
+                return Err(CoreError::SamplingExhausted {
+                    obtained: pool.len(),
+                    requested: n,
+                    attempts: proposals,
+                });
+            }
+            proposals += 1;
+            let raw = prior.sample(rng);
+            let candidate = if self.clamp_to_cube {
+                clamp_weights(&raw)
+            } else {
+                raw
+            };
+            if !in_weight_cube(&candidate) {
+                continue;
+            }
+            let accepted = match &self.noise {
+                None => checker.is_valid(&candidate),
+                Some(noise) => {
+                    let violations = checker.violation_count(&candidate);
+                    noise.accept(violations, rng)
+                }
+            };
+            if accepted {
+                pool.push(WeightSample::unweighted(candidate));
+            }
+        }
+        let rejected = proposals - pool.len();
+        Ok(SamplingOutcome {
+            pool,
+            proposals,
+            rejected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::ConstraintSource;
+    use pkgrec_geom::HalfSpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn checker(constraints: Vec<HalfSpace>) -> ConstraintChecker {
+        ConstraintChecker::from_constraints(2, constraints, ConstraintSource::Full)
+    }
+
+    #[test]
+    fn produces_exactly_n_valid_unweighted_samples() {
+        let prior = GaussianMixture::default_prior(2, 1, 0.5).unwrap();
+        let c = checker(vec![HalfSpace::new(vec![1.0, -1.0])]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = RejectionSampler::default()
+            .generate(&prior, &c, 200, &mut rng)
+            .unwrap();
+        assert_eq!(outcome.pool.len(), 200);
+        assert_eq!(outcome.proposals, outcome.pool.len() + outcome.rejected);
+        for s in outcome.pool.samples() {
+            assert!(c.is_valid(&s.weights));
+            assert_eq!(s.importance, 1.0);
+        }
+    }
+
+    #[test]
+    fn acceptance_rate_drops_as_constraints_accumulate() {
+        let prior = GaussianMixture::default_prior(2, 1, 0.5).unwrap();
+        let loose = checker(vec![HalfSpace::new(vec![1.0, 0.0])]);
+        let tight = checker(vec![
+            HalfSpace::new(vec![1.0, 0.0]),
+            HalfSpace::new(vec![0.0, 1.0]),
+            HalfSpace::new(vec![1.0, -0.5]),
+            HalfSpace::new(vec![-0.5, 1.0]),
+        ]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let loose_outcome = RejectionSampler::default()
+            .generate(&prior, &loose, 300, &mut rng)
+            .unwrap();
+        let tight_outcome = RejectionSampler::default()
+            .generate(&prior, &tight, 300, &mut rng)
+            .unwrap();
+        assert!(loose_outcome.acceptance_rate() > tight_outcome.acceptance_rate());
+    }
+
+    #[test]
+    fn exhaustion_is_reported_not_looped_forever() {
+        let prior = GaussianMixture::default_prior(2, 1, 0.2).unwrap();
+        // Contradictory-looking constraints leave only the w = 0 line; the
+        // chance of hitting it exactly is zero.
+        let c = checker(vec![
+            HalfSpace::new(vec![1.0, 0.0]),
+            HalfSpace::new(vec![-1.0, 0.0]),
+            HalfSpace::new(vec![0.0, 1.0]),
+            HalfSpace::new(vec![0.0, -1.0]),
+        ]);
+        let sampler = RejectionSampler {
+            max_attempts_per_sample: 50,
+            ..RejectionSampler::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let err = sampler.generate(&prior, &c, 10, &mut rng).unwrap_err();
+        match err {
+            CoreError::SamplingExhausted { requested, attempts, .. } => {
+                assert_eq!(requested, 10);
+                assert_eq!(attempts, 500);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clamping_keeps_samples_inside_cube_even_with_wide_prior() {
+        let prior = GaussianMixture::default_prior(2, 1, 3.0).unwrap();
+        let c = checker(vec![]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let outcome = RejectionSampler::default()
+            .generate(&prior, &c, 100, &mut rng)
+            .unwrap();
+        for s in outcome.pool.samples() {
+            assert!(in_weight_cube(&s.weights));
+        }
+        // Without clamping, wide priors mostly land outside and get rejected.
+        let strict = RejectionSampler {
+            clamp_to_cube: false,
+            ..RejectionSampler::default()
+        };
+        let strict_outcome = strict.generate(&prior, &c, 100, &mut rng).unwrap();
+        assert!(strict_outcome.rejected > outcome.rejected);
+    }
+
+    #[test]
+    fn noisy_sampler_keeps_some_violating_samples() {
+        let prior = GaussianMixture::default_prior(2, 1, 0.5).unwrap();
+        let c = checker(vec![HalfSpace::new(vec![1.0, 0.0])]);
+        let noisy = RejectionSampler::with_noise(NoiseModel::new(0.5).unwrap());
+        let mut rng = StdRng::seed_from_u64(5);
+        let outcome = noisy.generate(&prior, &c, 400, &mut rng).unwrap();
+        let violating = outcome
+            .pool
+            .samples()
+            .iter()
+            .filter(|s| !c.is_valid(&s.weights))
+            .count();
+        // With ψ = 0.5 roughly half the violating proposals survive, so the
+        // pool contains a healthy share of them (exact count is stochastic).
+        assert!(violating > 50, "violating = {violating}");
+        assert!(violating < 300, "violating = {violating}");
+    }
+}

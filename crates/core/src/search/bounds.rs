@@ -1,0 +1,170 @@
+//! Upper-bound estimation for package expansion (Section 4.1, Algorithm 3).
+
+use crate::profile::PackageState;
+use crate::utility::LinearUtility;
+
+/// The `upper-exp` bound of Algorithm 3: the best utility any extension of the
+/// package described by `state` can reach using only items whose feature
+/// values are dominated by the boundary vector `tau`.
+///
+/// * For set-monotone utilities the bound packs `φ - |p|` copies of the
+///   imaginary item `τ` into the package.
+/// * Otherwise copies of `τ` are added only while the marginal gain stays
+///   positive; Lemma 3 (marginal gains of identical additions are
+///   non-increasing) makes stopping at the first non-positive gain safe.
+pub fn upper_exp(utility: &LinearUtility, state: &PackageState, tau: &[f64]) -> f64 {
+    let phi = utility.max_package_size();
+    let mut current = state.clone();
+    let mut best = utility.of_state(&current);
+    if state.size() >= phi {
+        return best;
+    }
+    if utility.is_set_monotone() {
+        for _ in state.size()..phi {
+            current.add_item(tau);
+        }
+        return utility.of_state(&current);
+    }
+    for _ in state.size()..phi {
+        let extended = current.with_item(tau);
+        let value = utility.of_state(&extended);
+        if value > best {
+            best = value;
+            current = extended;
+        } else {
+            return best;
+        }
+    }
+    best
+}
+
+/// Whether the package described by `state` could still improve by absorbing
+/// an item no better than `tau` (the `U(p ∪ {τ}) > U(p)` test of Algorithm 4).
+/// Packages already at the maximum size can never improve.
+pub fn can_improve(utility: &LinearUtility, state: &PackageState, tau: &[f64]) -> bool {
+    if state.size() >= utility.max_package_size() {
+        return false;
+    }
+    let extended = state.with_item(tau);
+    utility.of_state(&extended) > utility.of_state(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Catalog;
+    use crate::package::{enumerate_packages, Package};
+    use crate::profile::{AggregateFn, AggregationContext, Profile};
+    use crate::utility::LinearUtility;
+
+    fn catalog() -> Catalog {
+        Catalog::from_rows(vec![
+            vec![0.6, 0.2],
+            vec![0.4, 0.4],
+            vec![0.2, 0.4],
+            vec![0.8, 0.9],
+        ])
+        .unwrap()
+    }
+
+    fn utility(profile: Profile, weights: Vec<f64>, phi: usize) -> LinearUtility {
+        let ctx = AggregationContext::new(profile, &catalog(), phi).unwrap();
+        LinearUtility::new(ctx, weights).unwrap()
+    }
+
+    #[test]
+    fn set_monotone_bound_packs_to_full_size() {
+        let u = utility(Profile::new(vec![AggregateFn::Sum, AggregateFn::Max]), vec![0.5, 0.5], 3);
+        assert!(u.is_set_monotone());
+        let state = PackageState::empty(2);
+        let tau = [0.8, 0.9];
+        let bound = upper_exp(&u, &state, &tau);
+        // Packing three copies of τ: sum = 2.4 (normalised by top-3 sum = 1.8
+        // -> capped by normaliser), max = 0.9 / 0.9 = 1.0.
+        let mut packed = PackageState::empty(2);
+        for _ in 0..3 {
+            packed.add_item(&tau);
+        }
+        assert!((bound - u.of_state(&packed)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_monotone_bound_stops_at_non_positive_marginal() {
+        // Average aggregate with positive weight: adding a τ identical to the
+        // current average yields zero gain, so the bound stops early.
+        let u = utility(Profile::all_avg(2), vec![1.0, 0.0], 4);
+        assert!(!u.is_set_monotone());
+        let mut state = PackageState::empty(2);
+        state.add_item(&[0.8, 0.1]);
+        let tau = [0.5, 0.5];
+        let bound = upper_exp(&u, &state, &tau);
+        // Adding τ (value 0.5 < current avg 0.8) can only lower the average,
+        // so the bound equals the current utility.
+        assert!((bound - u.of_state(&state)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_dominates_every_reachable_package_built_from_dominated_items() {
+        // Theorem 3: upper-exp bounds the utility of p extended with any items
+        // dominated by τ.  Check exhaustively on a small instance.
+        let cat = catalog();
+        for weights in [vec![0.7, 0.3], vec![-0.4, 0.8], vec![0.5, -0.5], vec![-0.6, -0.2]] {
+            for profile in [
+                Profile::new(vec![AggregateFn::Sum, AggregateFn::Avg]),
+                Profile::new(vec![AggregateFn::Max, AggregateFn::Min]),
+                Profile::all_sum(2),
+            ] {
+                let ctx = AggregationContext::new(profile, &cat, 3).unwrap();
+                let u = LinearUtility::new(ctx, weights.clone()).unwrap();
+                // τ dominates every item in the desirability direction of each
+                // weight: take the per-feature best item value.
+                let tau: Vec<f64> = (0..2)
+                    .map(|j| {
+                        let values = cat.rows().iter().map(|r| r[j]);
+                        if weights[j] >= 0.0 {
+                            values.fold(f64::NEG_INFINITY, f64::max)
+                        } else {
+                            values.fold(f64::INFINITY, f64::min)
+                        }
+                    })
+                    .collect();
+                let empty = PackageState::empty(2);
+                let bound = upper_exp(&u, &empty, &tau);
+                for package in enumerate_packages(cat.len(), 3) {
+                    let state = u.context().state_of(&cat, package.items()).unwrap();
+                    let value = u.of_state(&state);
+                    assert!(
+                        bound + 1e-9 >= value,
+                        "bound {bound} < utility {value} of {package} under {weights:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_packages_cannot_improve() {
+        let u = utility(Profile::all_sum(2), vec![1.0, 1.0], 2);
+        let cat = catalog();
+        let state = u
+            .context()
+            .state_of(&cat, Package::new(vec![0, 3]).unwrap().items())
+            .unwrap();
+        assert!(!can_improve(&u, &state, &[1.0, 1.0]));
+        assert!((upper_exp(&u, &state, &[1.0, 1.0]) - u.of_state(&state)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn can_improve_reflects_marginal_gain_sign() {
+        let u = utility(Profile::cost_quality(), vec![-0.5, 0.5], 3);
+        let cat = catalog();
+        let state = u
+            .context()
+            .state_of(&cat, Package::new(vec![1]).unwrap().items())
+            .unwrap();
+        // A free, perfectly rated imaginary item improves the package.
+        assert!(can_improve(&u, &state, &[0.0, 0.9]));
+        // An expensive, poorly rated one does not.
+        assert!(!can_improve(&u, &state, &[0.9, 0.0]));
+    }
+}

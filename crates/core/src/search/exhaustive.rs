@@ -1,0 +1,88 @@
+//! Exhaustive top-k package search by full enumeration.
+//!
+//! The package space has `Σ_s C(n, s)` members, so this solver is only usable
+//! on small catalogs; it exists as the ground truth the optimised
+//! [`super::top_k_packages`] algorithm is validated against, and as the
+//! baseline the paper's "naive solution which first enumerates all possible
+//! packages" refers to in Section 4.
+
+use crate::error::Result;
+use crate::item::Catalog;
+use crate::package::{enumerate_packages, Package};
+use crate::utility::LinearUtility;
+
+/// Returns the exact top-k packages (and their utilities) by enumerating the
+/// entire package space of size `1..=φ`.
+pub fn top_k_packages_exhaustive(
+    utility: &LinearUtility,
+    catalog: &Catalog,
+    k: usize,
+) -> Result<Vec<(Package, f64)>> {
+    let phi = utility.max_package_size();
+    let mut scored: Vec<(Package, f64)> = Vec::new();
+    for package in enumerate_packages(catalog.len(), phi) {
+        let value = utility.of_package(catalog, &package)?;
+        scored.push((package, value));
+    }
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    Ok(scored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{AggregationContext, Profile};
+
+    fn figure1_utility(weights: Vec<f64>) -> (Catalog, LinearUtility) {
+        let catalog = Catalog::new(
+            vec!["cost".into(), "rating".into()],
+            vec![vec![0.6, 0.2], vec![0.4, 0.4], vec![0.2, 0.4]],
+        )
+        .unwrap();
+        let ctx = AggregationContext::new(Profile::cost_quality(), &catalog, 2).unwrap();
+        let u = LinearUtility::new(ctx, weights).unwrap();
+        (catalog, u)
+    }
+
+    #[test]
+    fn figure2_top2_under_w1_is_p4_then_p6() {
+        let (catalog, u) = figure1_utility(vec![0.5, 0.1]);
+        let top = top_k_packages_exhaustive(&u, &catalog, 2).unwrap();
+        assert_eq!(top[0].0, Package::new(vec![0, 1]).unwrap());
+        assert!((top[0].1 - 0.575).abs() < 1e-12);
+        assert_eq!(top[1].0, Package::new(vec![0, 2]).unwrap());
+        assert!((top[1].1 - 0.475).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure2_top2_under_w2_is_p5_then_p2() {
+        let (catalog, u) = figure1_utility(vec![0.1, 0.5]);
+        let top = top_k_packages_exhaustive(&u, &catalog, 2).unwrap();
+        assert_eq!(top[0].0, Package::new(vec![1, 2]).unwrap());
+        assert_eq!(top[1].0, Package::new(vec![1]).unwrap());
+    }
+
+    #[test]
+    fn figure2_top2_under_w3_is_p4_then_p5() {
+        let (catalog, u) = figure1_utility(vec![0.1, 0.1]);
+        let top = top_k_packages_exhaustive(&u, &catalog, 2).unwrap();
+        assert_eq!(top[0].0, Package::new(vec![0, 1]).unwrap());
+        assert_eq!(top[1].0, Package::new(vec![1, 2]).unwrap());
+    }
+
+    #[test]
+    fn k_larger_than_package_space_returns_everything() {
+        let (catalog, u) = figure1_utility(vec![0.5, 0.5]);
+        let all = top_k_packages_exhaustive(&u, &catalog, 100).unwrap();
+        assert_eq!(all.len(), 6);
+        // Scores are non-increasing.
+        for pair in all.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+}

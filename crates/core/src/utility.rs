@@ -1,0 +1,251 @@
+//! Linear package utility functions (Equation 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+use crate::item::Catalog;
+use crate::package::Package;
+use crate::profile::{AggregationContext, PackageState};
+
+/// A weight vector parameterising the linear utility; each component lies in
+/// `[-1, 1]`, positive meaning "larger is better" on that feature and negative
+/// meaning "smaller is better".
+pub type WeightVector = Vec<f64>;
+
+/// Dot product used for utility evaluation.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Clamps every component of a weight vector into `[-1, 1]`.
+pub fn clamp_weights(w: &[f64]) -> WeightVector {
+    w.iter().map(|x| x.clamp(-1.0, 1.0)).collect()
+}
+
+/// Whether every component of a weight vector lies in `[-1, 1]` and is finite.
+pub fn weights_in_range(w: &[f64]) -> bool {
+    w.iter().all(|x| x.is_finite() && (-1.0..=1.0).contains(x))
+}
+
+/// A linear utility `U(p) = w · p` over normalised package feature vectors,
+/// bound to an [`AggregationContext`] so it can be evaluated directly on
+/// packages and on incremental [`PackageState`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearUtility {
+    context: AggregationContext,
+    weights: WeightVector,
+}
+
+impl LinearUtility {
+    /// Creates a utility function; the weight vector must match the context's
+    /// feature count.
+    pub fn new(context: AggregationContext, weights: WeightVector) -> Result<Self> {
+        if weights.len() != context.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: context.dim(),
+                actual: weights.len(),
+            });
+        }
+        if weights.iter().any(|w| !w.is_finite()) {
+            return Err(CoreError::InvalidConfig("weights must be finite".into()));
+        }
+        Ok(LinearUtility { context, weights })
+    }
+
+    /// The aggregation context.
+    pub fn context(&self) -> &AggregationContext {
+        &self.context
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of features.
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The maximum package size φ the context allows.
+    pub fn max_package_size(&self) -> usize {
+        self.context.max_package_size()
+    }
+
+    /// Utility of a normalised package feature vector.
+    pub fn of_vector(&self, package_vector: &[f64]) -> f64 {
+        dot(&self.weights, package_vector)
+    }
+
+    /// Utility of an incremental package state.
+    pub fn of_state(&self, state: &PackageState) -> f64 {
+        (0..self.dim())
+            .map(|j| self.weights[j] * self.context.normalized_feature(state, j))
+            .sum()
+    }
+
+    /// Utility of a package.
+    pub fn of_package(&self, catalog: &Catalog, package: &Package) -> Result<f64> {
+        Ok(self.of_vector(&self.context.package_vector(catalog, package)?))
+    }
+
+    /// Whether this utility is *set-monotone* (Section 4.1): adding items can
+    /// never decrease it.  This holds when every feature's contribution is
+    /// non-decreasing under item addition:
+    ///
+    /// * `sum`/`max` aggregates with non-negative weight,
+    /// * `min` aggregates with non-positive weight,
+    /// * `null` aggregates or zero weights, which contribute nothing.
+    ///
+    /// `avg` aggregates with a non-zero weight are never set-monotone because
+    /// the average can move either way.
+    pub fn is_set_monotone(&self) -> bool {
+        (0..self.dim()).all(|j| {
+            let w = self.weights[j];
+            if w == 0.0 {
+                return true;
+            }
+            let agg = self.context.profile().aggregate(j);
+            if w > 0.0 {
+                agg.is_monotone_increasing()
+            } else {
+                agg.is_monotone_decreasing()
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{AggregateFn, Profile};
+
+    fn figure1_catalog() -> Catalog {
+        Catalog::new(
+            vec!["cost".into(), "rating".into()],
+            vec![vec![0.6, 0.2], vec![0.4, 0.4], vec![0.2, 0.4]],
+        )
+        .unwrap()
+    }
+
+    fn figure1_utility(weights: Vec<f64>) -> LinearUtility {
+        let ctx = AggregationContext::new(Profile::cost_quality(), &figure1_catalog(), 2).unwrap();
+        LinearUtility::new(ctx, weights).unwrap()
+    }
+
+    #[test]
+    fn helpers_behave() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, -1.0]), 1.0);
+        assert_eq!(clamp_weights(&[2.0, -3.0, 0.5]), vec![1.0, -1.0, 0.5]);
+        assert!(weights_in_range(&[0.5, -1.0, 1.0]));
+        assert!(!weights_in_range(&[1.5]));
+        assert!(!weights_in_range(&[f64::NAN]));
+    }
+
+    #[test]
+    fn figure2_utilities_are_reproduced() {
+        // Figure 2(c): utilities of p1..p6 under w1 = (0.5, 0.1).
+        let catalog = figure1_catalog();
+        let u = figure1_utility(vec![0.5, 0.1]);
+        let packages = [
+            (vec![0], 0.35),
+            (vec![1], 0.3),
+            (vec![2], 0.2),
+            (vec![0, 1], 0.575),
+            (vec![1, 2], 0.4),
+            (vec![0, 2], 0.475),
+        ];
+        for (items, expected) in packages {
+            let p = Package::new(items.clone()).unwrap();
+            let got = u.of_package(&catalog, &p).unwrap();
+            assert!((got - expected).abs() < 1e-12, "package {items:?}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn figure2_utilities_under_second_and_third_weight_vectors() {
+        let catalog = figure1_catalog();
+        let cases = [
+            (vec![0.1, 0.5], vec![0.31, 0.54, 0.52, 0.475, 0.56, 0.455]),
+            (vec![0.1, 0.1], vec![0.11, 0.14, 0.12, 0.175, 0.16, 0.155]),
+        ];
+        let package_items: [Vec<usize>; 6] =
+            [vec![0], vec![1], vec![2], vec![0, 1], vec![1, 2], vec![0, 2]];
+        for (weights, expected) in cases {
+            let u = figure1_utility(weights.clone());
+            for (items, exp) in package_items.iter().zip(expected.iter()) {
+                let p = Package::new(items.clone()).unwrap();
+                let got = u.of_package(&catalog, &p).unwrap();
+                assert!((got - exp).abs() < 1e-9, "w {weights:?} package {items:?}: {got} vs {exp}");
+            }
+        }
+    }
+
+    #[test]
+    fn state_and_vector_evaluations_agree() {
+        let catalog = figure1_catalog();
+        let u = figure1_utility(vec![-0.5, 0.5]);
+        let p = Package::new(vec![0, 2]).unwrap();
+        let state = u.context().state_of(&catalog, p.items()).unwrap();
+        let via_state = u.of_state(&state);
+        let via_package = u.of_package(&catalog, &p).unwrap();
+        assert!((via_state - via_package).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_and_finiteness_validation() {
+        let ctx = AggregationContext::new(Profile::cost_quality(), &figure1_catalog(), 2).unwrap();
+        assert!(matches!(
+            LinearUtility::new(ctx.clone(), vec![0.1]),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            LinearUtility::new(ctx, vec![0.1, f64::INFINITY]),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn set_monotonicity_classification() {
+        let catalog = Catalog::from_rows(vec![vec![1.0, 2.0, 3.0], vec![2.0, 1.0, 4.0]]).unwrap();
+        let profile = Profile::new(vec![AggregateFn::Sum, AggregateFn::Min, AggregateFn::Avg]);
+        let ctx = AggregationContext::new(profile, &catalog, 2).unwrap();
+        // The paper's example: 0.5*sum1 - 0.5*min2 is set-monotone.
+        let u = LinearUtility::new(ctx.clone(), vec![0.5, -0.5, 0.0]).unwrap();
+        assert!(u.is_set_monotone());
+        // Positive weight on a min aggregate is not monotone.
+        let u = LinearUtility::new(ctx.clone(), vec![0.5, 0.5, 0.0]).unwrap();
+        assert!(!u.is_set_monotone());
+        // Any non-zero weight on an avg aggregate is not monotone.
+        let u = LinearUtility::new(ctx.clone(), vec![0.5, 0.0, 0.1]).unwrap();
+        assert!(!u.is_set_monotone());
+        // Negative weight on sum is not monotone either.
+        let u = LinearUtility::new(ctx, vec![-0.5, 0.0, 0.0]).unwrap();
+        assert!(!u.is_set_monotone());
+    }
+
+    #[test]
+    fn set_monotone_utility_never_decreases_when_adding_items() {
+        let catalog = Catalog::from_rows(vec![
+            vec![0.3, 0.9],
+            vec![0.7, 0.2],
+            vec![0.5, 0.5],
+            vec![0.1, 0.4],
+        ])
+        .unwrap();
+        let profile = Profile::new(vec![AggregateFn::Sum, AggregateFn::Max]);
+        let ctx = AggregationContext::new(profile, &catalog, 4).unwrap();
+        let u = LinearUtility::new(ctx, vec![0.6, 0.4]).unwrap();
+        assert!(u.is_set_monotone());
+        let mut state = PackageState::empty(2);
+        let mut last = u.of_state(&state);
+        for id in 0..4 {
+            state.add_item(catalog.item(id).unwrap());
+            let now = u.of_state(&state);
+            assert!(now + 1e-12 >= last);
+            last = now;
+        }
+    }
+}

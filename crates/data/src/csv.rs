@@ -1,0 +1,164 @@
+//! Dependency-free CSV persistence for datasets.
+//!
+//! Experiments write generated datasets to disk so that runs are reproducible
+//! and comparable; a tiny reader/writer keeps the workspace free of a CSV
+//! dependency (the files involved are plain numeric tables with a header row).
+
+use std::fs;
+use std::path::Path;
+
+use crate::dataset::Dataset;
+use crate::{DataError, Result};
+
+/// Serialises a dataset to CSV text: a header of feature names followed by one
+/// row of values per item.
+pub fn to_csv_string(dataset: &Dataset) -> String {
+    let mut out = String::new();
+    out.push_str(&dataset.feature_names.join(","));
+    out.push('\n');
+    for row in dataset.rows() {
+        let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a dataset from CSV text produced by [`to_csv_string`] (or any CSV
+/// with a header row and purely numeric cells).
+pub fn from_csv_string(name: impl Into<String>, text: &str) -> Result<Dataset> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(DataError::Parse {
+        line: 1,
+        message: "missing header row".into(),
+    })?;
+    let feature_names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    if feature_names.iter().any(|n| n.is_empty()) {
+        return Err(DataError::Parse {
+            line: 1,
+            message: "empty feature name in header".into(),
+        });
+    }
+    let mut rows = Vec::new();
+    for (idx, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut row = Vec::with_capacity(feature_names.len());
+        for cell in line.split(',') {
+            let value: f64 = cell.trim().parse().map_err(|_| DataError::Parse {
+                line: idx + 1,
+                message: format!("'{}' is not a number", cell.trim()),
+            })?;
+            row.push(value);
+        }
+        if row.len() != feature_names.len() {
+            return Err(DataError::RaggedRows {
+                expected: feature_names.len(),
+                row: rows.len(),
+                actual: row.len(),
+            });
+        }
+        rows.push(row);
+    }
+    Dataset::new(name, feature_names, rows)
+}
+
+/// Writes a dataset to a CSV file.
+pub fn write_csv(dataset: &Dataset, path: impl AsRef<Path>) -> Result<()> {
+    fs::write(path, to_csv_string(dataset))?;
+    Ok(())
+}
+
+/// Reads a dataset from a CSV file; the dataset name is taken from the file
+/// stem.
+pub fn read_csv(path: impl AsRef<Path>) -> Result<Dataset> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("dataset")
+        .to_string();
+    let text = fs::read_to_string(path)?;
+    from_csv_string(name, &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_through_string() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = uniform(20, 3, &mut rng).unwrap();
+        let text = to_csv_string(&d);
+        let back = from_csv_string("UNI", &text).unwrap();
+        assert_eq!(back.feature_names, d.feature_names);
+        assert_eq!(back.len(), d.len());
+        for (a, b) in back.rows().iter().zip(d.rows()) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let d = uniform(10, 2, &mut rng).unwrap();
+        let dir = std::env::temp_dir().join("pkgrec_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("uni_roundtrip.csv");
+        write_csv(&d, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.name, "uni_roundtrip");
+        assert_eq!(back.len(), 10);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_line_numbers() {
+        let err = from_csv_string("x", "a,b\n1.0,oops\n").unwrap_err();
+        match err {
+            DataError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("oops"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let err = from_csv_string("x", "a,b\n1.0\n").unwrap_err();
+        assert!(matches!(err, DataError::RaggedRows { expected: 2, actual: 1, .. }));
+    }
+
+    #[test]
+    fn missing_header_and_empty_names_are_rejected() {
+        assert!(matches!(
+            from_csv_string("x", ""),
+            Err(DataError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            from_csv_string("x", "a,,c\n1,2,3\n"),
+            Err(DataError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let d = from_csv_string("x", "a,b\n1,2\n\n3,4\n").unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.rows()[1], vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let err = read_csv("/nonexistent/path/file.csv").unwrap_err();
+        assert!(matches!(err, DataError::Io(_)));
+    }
+}

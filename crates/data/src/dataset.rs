@@ -1,0 +1,322 @@
+//! The common dataset container used by generators, examples and benchmarks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DataError, Result};
+
+/// A named collection of items, each described by the same non-negative
+/// feature vector layout.
+///
+/// Following Section 2 of the paper, all feature values are non-negative real
+/// numbers; [`Dataset::normalized`] rescales every feature into `[0, 1]` by its
+/// column maximum, which is the normalisation the paper applies before package
+/// aggregation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"UNI"`, `"NBA"`).
+    pub name: String,
+    /// One name per feature column.
+    pub feature_names: Vec<String>,
+    /// Row-major feature values; `rows[i][j]` is item `i`'s value on feature `j`.
+    pub rows: Vec<Vec<f64>>,
+}
+
+/// Per-feature summary statistics of a [`Dataset`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Number of items.
+    pub rows: usize,
+    /// Number of features.
+    pub features: usize,
+    /// Per-feature minimum.
+    pub min: Vec<f64>,
+    /// Per-feature maximum.
+    pub max: Vec<f64>,
+    /// Per-feature mean.
+    pub mean: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating that every row has one value per feature.
+    pub fn new(
+        name: impl Into<String>,
+        feature_names: Vec<String>,
+        rows: Vec<Vec<f64>>,
+    ) -> Result<Self> {
+        if feature_names.is_empty() || rows.is_empty() {
+            return Err(DataError::EmptyShape);
+        }
+        let expected = feature_names.len();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != expected {
+                return Err(DataError::RaggedRows {
+                    expected,
+                    row: i,
+                    actual: row.len(),
+                });
+            }
+        }
+        Ok(Dataset {
+            name: name.into(),
+            feature_names,
+            rows,
+        })
+    }
+
+    /// Creates a dataset with auto-generated feature names `f1..fm`.
+    pub fn with_default_names(name: impl Into<String>, rows: Vec<Vec<f64>>) -> Result<Self> {
+        let m = rows.first().map(|r| r.len()).unwrap_or(0);
+        let feature_names = (1..=m).map(|i| format!("f{i}")).collect();
+        Dataset::new(name, feature_names, rows)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset has no rows (never true for a validated dataset).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of features per item.
+    pub fn num_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Borrow of all rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Keeps only the first `m` features of every item, mirroring the paper's
+    /// "we randomly selected 10 (out of 17) features" and the feature-count
+    /// sweeps of Figure 6.  Returns an error if `m` is zero or larger than the
+    /// current feature count.
+    pub fn project_features(&self, m: usize) -> Result<Dataset> {
+        if m == 0 || m > self.num_features() {
+            return Err(DataError::EmptyShape);
+        }
+        Dataset::new(
+            self.name.clone(),
+            self.feature_names[..m].to_vec(),
+            self.rows.iter().map(|r| r[..m].to_vec()).collect(),
+        )
+    }
+
+    /// Keeps only the first `n` items (useful for scaled-down experiments).
+    pub fn take_rows(&self, n: usize) -> Result<Dataset> {
+        if n == 0 {
+            return Err(DataError::EmptyShape);
+        }
+        Dataset::new(
+            self.name.clone(),
+            self.feature_names.clone(),
+            self.rows.iter().take(n).cloned().collect(),
+        )
+    }
+
+    /// Returns a copy with every feature rescaled into `[0, 1]` by its column
+    /// maximum (columns that are identically zero are left as zeros).
+    pub fn normalized(&self) -> Dataset {
+        let m = self.num_features();
+        let mut max = vec![0.0f64; m];
+        for row in &self.rows {
+            for (j, v) in row.iter().enumerate() {
+                if *v > max[j] {
+                    max[j] = *v;
+                }
+            }
+        }
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(j, v)| if max[j] > 0.0 { v / max[j] } else { 0.0 })
+                    .collect()
+            })
+            .collect();
+        Dataset {
+            name: self.name.clone(),
+            feature_names: self.feature_names.clone(),
+            rows,
+        }
+    }
+
+    /// Per-feature summary statistics.
+    pub fn summary(&self) -> DatasetSummary {
+        let m = self.num_features();
+        let n = self.rows.len();
+        let mut min = vec![f64::INFINITY; m];
+        let mut max = vec![f64::NEG_INFINITY; m];
+        let mut mean = vec![0.0; m];
+        for row in &self.rows {
+            for (j, v) in row.iter().enumerate() {
+                min[j] = min[j].min(*v);
+                max[j] = max[j].max(*v);
+                mean[j] += v;
+            }
+        }
+        for v in &mut mean {
+            *v /= n as f64;
+        }
+        DatasetSummary {
+            rows: n,
+            features: m,
+            min,
+            max,
+            mean,
+        }
+    }
+
+    /// Pearson correlation between two feature columns (used by tests to
+    /// verify that the COR/ANT generators produce what they claim).
+    pub fn correlation(&self, a: usize, b: usize) -> f64 {
+        let n = self.rows.len() as f64;
+        let mean_a: f64 = self.rows.iter().map(|r| r[a]).sum::<f64>() / n;
+        let mean_b: f64 = self.rows.iter().map(|r| r[b]).sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut var_a = 0.0;
+        let mut var_b = 0.0;
+        for r in &self.rows {
+            let da = r[a] - mean_a;
+            let db = r[b] - mean_b;
+            cov += da * db;
+            var_a += da * da;
+            var_b += db * db;
+        }
+        if var_a == 0.0 || var_b == 0.0 {
+            0.0
+        } else {
+            cov / (var_a.sqrt() * var_b.sqrt())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        Dataset::with_default_names(
+            "test",
+            vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![4.0, 0.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shape() {
+        assert_eq!(
+            Dataset::new("x", vec![], vec![vec![]]).unwrap_err(),
+            DataError::EmptyShape
+        );
+        assert_eq!(
+            Dataset::new("x", vec!["a".into()], vec![]).unwrap_err(),
+            DataError::EmptyShape
+        );
+        let err = Dataset::new(
+            "x",
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0, 2.0], vec![1.0]],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            DataError::RaggedRows {
+                expected: 2,
+                row: 1,
+                actual: 1
+            }
+        );
+    }
+
+    #[test]
+    fn default_names_are_sequential() {
+        let d = small();
+        assert_eq!(d.feature_names, vec!["f1", "f2"]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.num_features(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn normalization_rescales_by_column_max() {
+        let d = small().normalized();
+        assert_eq!(d.rows[0], vec![0.25, 0.5]);
+        assert_eq!(d.rows[1], vec![0.5, 1.0]);
+        assert_eq!(d.rows[2], vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn normalization_handles_all_zero_column() {
+        let d = Dataset::with_default_names("z", vec![vec![0.0, 1.0], vec![0.0, 3.0]])
+            .unwrap()
+            .normalized();
+        assert_eq!(d.rows[0], vec![0.0, 1.0 / 3.0]);
+        assert_eq!(d.rows[1], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn summary_reports_min_max_mean() {
+        let s = small().summary();
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.features, 2);
+        assert_eq!(s.min, vec![1.0, 0.0]);
+        assert_eq!(s.max, vec![4.0, 20.0]);
+        assert!((s.mean[0] - 7.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean[1] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_and_row_taking() {
+        let d = small();
+        let p = d.project_features(1).unwrap();
+        assert_eq!(p.num_features(), 1);
+        assert_eq!(p.rows[2], vec![4.0]);
+        assert!(d.project_features(0).is_err());
+        assert!(d.project_features(3).is_err());
+        let t = d.take_rows(2).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(d.take_rows(0).is_err());
+        // Taking more rows than exist keeps everything.
+        assert_eq!(d.take_rows(100).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn correlation_of_identical_columns_is_one() {
+        let d = Dataset::with_default_names(
+            "c",
+            vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]],
+        )
+        .unwrap();
+        assert!((d.correlation(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_opposite_columns_is_minus_one() {
+        let d = Dataset::with_default_names(
+            "c",
+            vec![vec![1.0, 3.0], vec![2.0, 2.0], vec![3.0, 1.0]],
+        )
+        .unwrap();
+        assert!((d.correlation(0, 1) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_constant_column_is_zero() {
+        let d = Dataset::with_default_names("c", vec![vec![1.0, 3.0], vec![1.0, 2.0]]).unwrap();
+        assert_eq!(d.correlation(0, 1), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = small();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

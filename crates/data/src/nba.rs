@@ -1,0 +1,160 @@
+//! Synthetic stand-in for the NBA career-statistics dataset.
+//!
+//! The paper's real dataset (databasebasketball.com, career statistics of 3705
+//! NBA players up to 2009, 10 of 17 features used) is not redistributable, so
+//! this module generates a dataset with the same *shape*: 3705 rows and ten
+//! career-total features that are
+//!
+//! * non-negative and heavily right-skewed (most players have short careers,
+//!   a few have very long ones), and
+//! * strongly positively correlated through games played (career totals of
+//!   points, rebounds, assists, … all scale with longevity), with
+//!   player-archetype variation layered on top (scorers vs. rebounders vs.
+//!   playmakers).
+//!
+//! Those two properties — skew and correlation structure — are what drive the
+//! cost of sampling and package search in the experiments, which is why the
+//! substitution preserves the benchmark's behaviour (see DESIGN.md).
+
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::Result;
+
+/// Number of players in the original dataset.
+pub const NBA_ROWS: usize = 3705;
+
+/// Number of features the paper uses.
+pub const NBA_FEATURES: usize = 10;
+
+/// Feature names of the synthetic NBA dataset (career totals / rates).
+pub const NBA_FEATURE_NAMES: [&str; NBA_FEATURES] = [
+    "games",
+    "minutes",
+    "points",
+    "rebounds",
+    "assists",
+    "steals",
+    "blocks",
+    "turnovers",
+    "field_goal_pct",
+    "free_throw_pct",
+];
+
+/// Generates the full-size synthetic NBA dataset (3705 × 10).
+pub fn synthetic_nba<R: Rng + ?Sized>(rng: &mut R) -> Result<Dataset> {
+    synthetic_nba_sized(NBA_ROWS, rng)
+}
+
+/// Generates a synthetic NBA dataset with a custom number of players, keeping
+/// the 10-feature layout (useful for scaled-down tests).
+pub fn synthetic_nba_sized<R: Rng + ?Sized>(rows: usize, rng: &mut R) -> Result<Dataset> {
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        // Career length in games: right-skewed. Most players appear in a few
+        // hundred games; stars reach 1500+.
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        let games = 20.0 + 1500.0 * u.powf(2.5);
+        let minutes_per_game = rng.gen_range(8.0..38.0);
+        let minutes = games * minutes_per_game;
+
+        // Player archetype: how the scoring/rebounding/playmaking load splits.
+        let scoring_rate = rng.gen_range(0.15f64..0.85);
+        let rebound_rate = rng.gen_range(0.05f64..0.45);
+        let assist_rate = (1.0 - scoring_rate * 0.6 - rebound_rate * 0.5).max(0.05);
+
+        let points = minutes * scoring_rate * rng.gen_range(0.4..0.6);
+        let rebounds = minutes * rebound_rate * rng.gen_range(0.25..0.4);
+        let assists = minutes * assist_rate * rng.gen_range(0.1..0.2);
+        let steals = minutes * rng.gen_range(0.015..0.04);
+        let blocks = minutes * rebound_rate * rng.gen_range(0.03..0.09);
+        let turnovers = (points * 0.08 + assists * 0.2) * rng.gen_range(0.7..1.3);
+        let field_goal_pct = rng.gen_range(0.35..0.60);
+        let free_throw_pct = rng.gen_range(0.50..0.92);
+
+        data.push(vec![
+            games,
+            minutes,
+            points,
+            rebounds,
+            assists,
+            steals,
+            blocks,
+            turnovers,
+            field_goal_pct,
+            free_throw_pct,
+        ]);
+    }
+    Dataset::new(
+        "NBA",
+        NBA_FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        data,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_dataset_has_paper_shape() {
+        let mut rng = StdRng::seed_from_u64(2009);
+        let d = synthetic_nba(&mut rng).unwrap();
+        assert_eq!(d.len(), NBA_ROWS);
+        assert_eq!(d.num_features(), NBA_FEATURES);
+        assert_eq!(d.feature_names[0], "games");
+        assert_eq!(d.name, "NBA");
+    }
+
+    #[test]
+    fn all_values_are_non_negative() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = synthetic_nba_sized(500, &mut rng).unwrap();
+        let s = d.summary();
+        for (j, min) in s.min.iter().enumerate() {
+            assert!(*min >= 0.0, "feature {j} has negative minimum {min}");
+        }
+    }
+
+    #[test]
+    fn career_totals_are_positively_correlated_with_games() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = synthetic_nba_sized(3000, &mut rng).unwrap();
+        // games vs minutes, points, rebounds, assists.
+        for j in 1..=4 {
+            let c = d.correlation(0, j);
+            assert!(c > 0.5, "correlation(games, {}) = {c}", d.feature_names[j]);
+        }
+    }
+
+    #[test]
+    fn games_distribution_is_right_skewed() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let d = synthetic_nba_sized(5000, &mut rng).unwrap();
+        let mut games: Vec<f64> = d.rows().iter().map(|r| r[0]).collect();
+        games.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = games[games.len() / 2];
+        let mean = games.iter().sum::<f64>() / games.len() as f64;
+        assert!(mean > median, "mean {mean} should exceed median {median} for a right-skewed distribution");
+    }
+
+    #[test]
+    fn percentages_stay_in_unit_interval_after_normalization() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let d = synthetic_nba_sized(200, &mut rng).unwrap().normalized();
+        let s = d.summary();
+        for j in 0..NBA_FEATURES {
+            assert!(s.max[j] <= 1.0 + 1e-12);
+            assert!(s.min[j] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = synthetic_nba_sized(50, &mut StdRng::seed_from_u64(1)).unwrap();
+        let b = synthetic_nba_sized(50, &mut StdRng::seed_from_u64(1)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,253 @@
+//! Synthetic benchmark generators following Börzsönyi et al.'s skyline
+//! benchmark, as adapted by the paper (Section 5): independent uniform (UNI),
+//! independent power-law (PWR, `α = 2.5`), correlated (COR) and
+//! anti-correlated (ANT) feature families.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::{DataError, Result};
+
+/// The four synthetic dataset families used in the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyntheticFamily {
+    /// Independent features, uniform in `[0, 1]`.
+    Uniform,
+    /// Independent features, power-law with exponent `α = 2.5`, rescaled into `[0, 1]`.
+    PowerLaw,
+    /// Correlated features.
+    Correlated,
+    /// Anti-correlated features.
+    AntiCorrelated,
+}
+
+impl SyntheticFamily {
+    /// The short name the paper uses for this family.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            SyntheticFamily::Uniform => "UNI",
+            SyntheticFamily::PowerLaw => "PWR",
+            SyntheticFamily::Correlated => "COR",
+            SyntheticFamily::AntiCorrelated => "ANT",
+        }
+    }
+
+    /// All four families, in the order the paper's figures present them.
+    pub fn all() -> [SyntheticFamily; 4] {
+        [
+            SyntheticFamily::Uniform,
+            SyntheticFamily::PowerLaw,
+            SyntheticFamily::Correlated,
+            SyntheticFamily::AntiCorrelated,
+        ]
+    }
+
+    /// Generates a dataset of this family.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, m: usize, rng: &mut R) -> Result<Dataset> {
+        match self {
+            SyntheticFamily::Uniform => uniform(n, m, rng),
+            SyntheticFamily::PowerLaw => power_law(n, m, 2.5, rng),
+            SyntheticFamily::Correlated => correlated(n, m, rng),
+            SyntheticFamily::AntiCorrelated => anti_correlated(n, m, rng),
+        }
+    }
+}
+
+fn validate_shape(n: usize, m: usize) -> Result<()> {
+    if n == 0 || m == 0 {
+        Err(DataError::EmptyShape)
+    } else {
+        Ok(())
+    }
+}
+
+/// UNI: every feature independently uniform in `[0, 1]`.
+pub fn uniform<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Dataset> {
+    validate_shape(n, m)?;
+    let rows = (0..n)
+        .map(|_| (0..m).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    Dataset::with_default_names("UNI", rows)
+}
+
+/// PWR: every feature independently drawn from a bounded Pareto (power-law)
+/// distribution with exponent `alpha`, then normalised into `[0, 1]`.
+///
+/// Inverse-CDF sampling of a Pareto on `[x_min, x_max]`:
+/// `x = x_min / (1 - u (1 - (x_min / x_max)^(α-1)))^(1/(α-1))`.
+pub fn power_law<R: Rng + ?Sized>(n: usize, m: usize, alpha: f64, rng: &mut R) -> Result<Dataset> {
+    validate_shape(n, m)?;
+    assert!(alpha > 1.0, "power-law exponent must exceed 1");
+    let x_min: f64 = 1.0;
+    let x_max: f64 = 1000.0;
+    let k = alpha - 1.0;
+    let tail = 1.0 - (x_min / x_max).powf(k);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            (0..m)
+                .map(|_| {
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    let x = x_min / (1.0 - u * tail).powf(1.0 / k);
+                    // Normalise into [0, 1] by the distribution's upper bound so
+                    // the column maximum never exceeds 1 regardless of n.
+                    x / x_max
+                })
+                .collect()
+        })
+        .collect();
+    Dataset::with_default_names("PWR", rows)
+}
+
+/// COR: features are positively correlated.  Following the skyline benchmark,
+/// each item draws a "quality level" and individual features scatter tightly
+/// around it, so an item that is good on one feature tends to be good on all.
+pub fn correlated<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Dataset> {
+    validate_shape(n, m)?;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            let level: f64 = rng.gen_range(0.0..1.0);
+            (0..m)
+                .map(|_| {
+                    let jitter: f64 = rng.gen_range(-0.1..0.1);
+                    (level + jitter).clamp(0.0, 1.0)
+                })
+                .collect()
+        })
+        .collect();
+    Dataset::with_default_names("COR", rows)
+}
+
+/// ANT: features are anti-correlated.  Each item has a fixed total "budget"
+/// spread across features, so an item that is good on one feature is
+/// necessarily poor on others — the regime that maximises skyline sizes in the
+/// original benchmark and stresses package search the most.
+pub fn anti_correlated<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Dataset> {
+    validate_shape(n, m)?;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            // Draw a point on the simplex (budget split) and scale it so the
+            // per-feature values land in [0, 1] with high spread, plus a small
+            // jitter around the anti-correlation plane.
+            let mut cuts: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0f64..1.0)).collect();
+            let total: f64 = cuts.iter().sum();
+            if total > 0.0 {
+                for c in &mut cuts {
+                    *c /= total;
+                }
+            }
+            let budget: f64 = rng.gen_range(0.6..1.0);
+            cuts.iter()
+                .map(|share| {
+                    let jitter: f64 = rng.gen_range(-0.05..0.05);
+                    (share * budget * m as f64 / 2.0 + jitter).clamp(0.0, 1.0)
+                })
+                .collect()
+        })
+        .collect();
+    Dataset::with_default_names("ANT", rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(20140914)
+    }
+
+    #[test]
+    fn empty_shapes_are_rejected() {
+        let mut r = rng();
+        assert!(uniform(0, 3, &mut r).is_err());
+        assert!(uniform(3, 0, &mut r).is_err());
+        assert!(power_law(0, 3, 2.5, &mut r).is_err());
+        assert!(correlated(0, 1, &mut r).is_err());
+        assert!(anti_correlated(1, 0, &mut r).is_err());
+    }
+
+    #[test]
+    fn all_families_produce_requested_shape_and_unit_range() {
+        let mut r = rng();
+        for family in SyntheticFamily::all() {
+            let d = family.generate(500, 6, &mut r).unwrap();
+            assert_eq!(d.len(), 500, "{family:?}");
+            assert_eq!(d.num_features(), 6, "{family:?}");
+            let s = d.summary();
+            for j in 0..6 {
+                assert!(s.min[j] >= 0.0, "{family:?} feature {j} min {}", s.min[j]);
+                assert!(s.max[j] <= 1.0, "{family:?} feature {j} max {}", s.max[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn family_names_match_paper() {
+        assert_eq!(SyntheticFamily::Uniform.short_name(), "UNI");
+        assert_eq!(SyntheticFamily::PowerLaw.short_name(), "PWR");
+        assert_eq!(SyntheticFamily::Correlated.short_name(), "COR");
+        assert_eq!(SyntheticFamily::AntiCorrelated.short_name(), "ANT");
+    }
+
+    #[test]
+    fn uniform_mean_is_one_half() {
+        let mut r = rng();
+        let d = uniform(20_000, 2, &mut r).unwrap();
+        let s = d.summary();
+        assert!((s.mean[0] - 0.5).abs() < 0.02);
+        assert!((s.mean[1] - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn power_law_is_right_skewed() {
+        let mut r = rng();
+        let d = power_law(20_000, 1, 2.5, &mut r).unwrap();
+        let s = d.summary();
+        // Mass concentrates near the minimum: the mean sits far below the
+        // midpoint of the support, unlike the uniform family.
+        assert!(s.mean[0] < 0.1, "mean {}", s.mean[0]);
+        assert!(s.max[0] > 0.05, "max {}", s.max[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn power_law_requires_alpha_above_one() {
+        let mut r = rng();
+        let _ = power_law(10, 1, 1.0, &mut r);
+    }
+
+    #[test]
+    fn correlated_family_has_positive_pairwise_correlation() {
+        let mut r = rng();
+        let d = correlated(20_000, 4, &mut r).unwrap();
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                let c = d.correlation(a, b);
+                assert!(c > 0.7, "correlation({a},{b}) = {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn anti_correlated_family_has_negative_pairwise_correlation() {
+        let mut r = rng();
+        let d = anti_correlated(20_000, 3, &mut r).unwrap();
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                let c = d.correlation(a, b);
+                assert!(c < -0.2, "correlation({a},{b}) = {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_reproducible_with_same_seed() {
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let d1 = SyntheticFamily::Correlated.generate(100, 5, &mut r1).unwrap();
+        let d2 = SyntheticFamily::Correlated.generate(100, 5, &mut r2).unwrap();
+        assert_eq!(d1, d2);
+    }
+}

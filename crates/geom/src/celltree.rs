@@ -1,0 +1,285 @@
+//! Hierarchical 2^m-tree over the weight cube.
+//!
+//! Section 3.2.1 notes that "finding those cells which violate new feedback can
+//! be facilitated by organizing the cells into a hierarchical structure such as
+//! a quad-tree".  [`CellTree`] is the m-dimensional generalisation: each node
+//! covers a sub-box of the weight cube and is split into `2^m` children down to
+//! a configurable depth.  Applying a new constraint prunes whole subtrees whose
+//! boxes lie entirely outside the constraint, so incremental feedback costs far
+//! less than rescanning a flat grid.
+
+use serde::{Deserialize, Serialize};
+
+use crate::halfspace::HalfSpace;
+use crate::hypercube::Hypercube;
+use crate::{GeomError, Result};
+
+/// Node state with respect to the constraints applied so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum NodeState {
+    /// The node's box still intersects the valid region.
+    Alive,
+    /// The node's box lies entirely outside the valid region.
+    Pruned,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    bounds: Hypercube,
+    state: NodeState,
+    /// Indices of children in the arena; empty for leaves.
+    children: Vec<usize>,
+}
+
+/// A 2^m-tree over an axis-aligned box supporting incremental constraint
+/// pruning and centre estimation over the surviving leaves.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellTree {
+    nodes: Vec<Node>,
+    dim: usize,
+    depth: usize,
+}
+
+impl CellTree {
+    /// Builds a tree of the given depth over `bounds`.  Depth 0 is a single
+    /// leaf; each extra level splits every leaf into `2^dim` children.
+    ///
+    /// The leaf count is `2^(dim * depth)`; construction fails with
+    /// [`GeomError::EmptyDecomposition`] if that would overflow or exceed
+    /// 4 194 304 leaves (the same practical ceiling the flat grid hits).
+    pub fn new(bounds: Hypercube, depth: usize) -> Result<Self> {
+        let dim = bounds.dim();
+        let leaves_log2 = dim.checked_mul(depth).ok_or(GeomError::EmptyDecomposition)?;
+        if leaves_log2 > 22 {
+            return Err(GeomError::EmptyDecomposition);
+        }
+        let mut tree = CellTree {
+            nodes: vec![Node {
+                bounds,
+                state: NodeState::Alive,
+                children: Vec::new(),
+            }],
+            dim,
+            depth,
+        };
+        tree.split_recursive(0, depth);
+        Ok(tree)
+    }
+
+    /// Builds the tree over the canonical weight cube `[-1, 1]^dim`.
+    pub fn over_weight_cube(dim: usize, depth: usize) -> Result<Self> {
+        CellTree::new(Hypercube::weight_cube(dim), depth)
+    }
+
+    fn split_recursive(&mut self, node: usize, remaining: usize) {
+        if remaining == 0 {
+            return;
+        }
+        let children = self.nodes[node].bounds.split();
+        let mut child_indices = Vec::with_capacity(children.len());
+        for bounds in children {
+            let idx = self.nodes.len();
+            self.nodes.push(Node {
+                bounds,
+                state: NodeState::Alive,
+                children: Vec::new(),
+            });
+            child_indices.push(idx);
+        }
+        self.nodes[node].children = child_indices.clone();
+        for idx in child_indices {
+            self.split_recursive(idx, remaining - 1);
+        }
+    }
+
+    /// Dimensionality of the tree.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Depth of the tree (0 = single leaf).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total number of nodes in the tree (internal + leaves).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves still intersecting the valid region.
+    pub fn alive_leaf_count(&self) -> usize {
+        self.alive_leaves().count()
+    }
+
+    fn alive_leaves(&self) -> impl Iterator<Item = &Node> + '_ {
+        self.nodes
+            .iter()
+            .filter(|n| n.children.is_empty() && n.state == NodeState::Alive)
+    }
+
+    /// Applies one constraint, pruning every subtree whose box lies entirely
+    /// outside it.  Returns the number of *nodes visited*, which is the cost
+    /// measure that shows the hierarchical structure beating a flat scan.
+    pub fn apply_constraint(&mut self, constraint: &HalfSpace) -> usize {
+        self.apply_rec(0, constraint)
+    }
+
+    fn apply_rec(&mut self, node: usize, constraint: &HalfSpace) -> usize {
+        if self.nodes[node].state == NodeState::Pruned {
+            return 1;
+        }
+        let bounds = self.nodes[node].bounds.clone();
+        if !constraint.intersects_box(bounds.lower(), bounds.upper()) {
+            self.prune_subtree(node);
+            return 1;
+        }
+        if constraint.contains_box(bounds.lower(), bounds.upper()) {
+            // Entire subtree satisfies the constraint; nothing to do below.
+            return 1;
+        }
+        let children = self.nodes[node].children.clone();
+        let mut visited = 1;
+        for child in children {
+            visited += self.apply_rec(child, constraint);
+        }
+        visited
+    }
+
+    fn prune_subtree(&mut self, node: usize) {
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            self.nodes[n].state = NodeState::Pruned;
+            stack.extend(self.nodes[n].children.iter().copied());
+        }
+    }
+
+    /// Applies a batch of constraints; returns total nodes visited.
+    pub fn apply_constraints<'a, I>(&mut self, constraints: I) -> usize
+    where
+        I: IntoIterator<Item = &'a HalfSpace>,
+    {
+        constraints
+            .into_iter()
+            .map(|c| self.apply_constraint(c))
+            .sum()
+    }
+
+    /// Approximate centre of the valid region: mean of the centres of the
+    /// surviving leaves.
+    pub fn approximate_center(&self) -> Result<Vec<f64>> {
+        let mut acc = vec![0.0; self.dim];
+        let mut count = 0usize;
+        for leaf in self.alive_leaves() {
+            for (a, c) in acc.iter_mut().zip(leaf.bounds.center()) {
+                *a += c;
+            }
+            count += 1;
+        }
+        if count == 0 {
+            return Err(GeomError::EmptyRegion);
+        }
+        Ok(acc.into_iter().map(|a| a / count as f64).collect())
+    }
+
+    /// Bounding boxes of the surviving leaves (used by samplers that want to
+    /// propose uniformly over the remaining valid volume).
+    pub fn alive_leaf_boxes(&self) -> Vec<Hypercube> {
+        self.alive_leaves().map(|n| n.bounds.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_zero_is_single_leaf() {
+        let t = CellTree::over_weight_cube(3, 0).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.alive_leaf_count(), 1);
+        assert_eq!(t.approximate_center().unwrap(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn leaf_count_grows_as_power_of_two_per_level() {
+        let t = CellTree::over_weight_cube(2, 3).unwrap();
+        // 4^3 = 64 leaves; node count is 1 + 4 + 16 + 64 = 85.
+        assert_eq!(t.alive_leaf_count(), 64);
+        assert_eq!(t.node_count(), 85);
+        assert_eq!(t.dim(), 2);
+        assert_eq!(t.depth(), 3);
+    }
+
+    #[test]
+    fn excessive_depth_is_rejected() {
+        assert!(CellTree::over_weight_cube(10, 4).is_err());
+        assert!(CellTree::over_weight_cube(2, 12).is_err());
+    }
+
+    #[test]
+    fn constraint_prunes_half_the_cube() {
+        let mut t = CellTree::over_weight_cube(2, 3).unwrap();
+        let c = HalfSpace::new(vec![1.0, 0.0]); // w1 >= 0
+        t.apply_constraint(&c);
+        // Leaves whose boxes lie strictly in w1 < 0 are pruned; leaves touching
+        // the w1 = 0 boundary survive, so 3 of the 8 columns disappear.
+        assert_eq!(t.alive_leaf_count(), 40);
+        let center = t.approximate_center().unwrap();
+        assert!(center[0] > 0.0);
+        assert!(center[1].abs() < 1e-12);
+        assert!((center[0] - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruning_visits_fewer_nodes_than_flat_scan() {
+        let mut t = CellTree::over_weight_cube(2, 5).unwrap();
+        let leaf_count = t.alive_leaf_count();
+        let c = HalfSpace::new(vec![1.0, 0.0]);
+        let visited = t.apply_constraint(&c);
+        // A flat grid would visit every leaf; the tree visits only nodes along
+        // the constraint boundary plus the pruned/contained subtree roots.
+        assert!(visited < leaf_count, "visited {visited} of {leaf_count} leaves");
+    }
+
+    #[test]
+    fn repeated_constraints_are_idempotent() {
+        let mut t = CellTree::over_weight_cube(2, 3).unwrap();
+        let c = HalfSpace::new(vec![1.0, -1.0]);
+        t.apply_constraint(&c);
+        let alive_once = t.alive_leaf_count();
+        t.apply_constraint(&c);
+        assert_eq!(t.alive_leaf_count(), alive_once);
+    }
+
+    #[test]
+    fn multiple_constraints_narrow_the_center() {
+        let mut t = CellTree::over_weight_cube(3, 3).unwrap();
+        let constraints = vec![
+            HalfSpace::new(vec![1.0, 0.0, 0.0]),
+            HalfSpace::new(vec![0.0, 1.0, 0.0]),
+            HalfSpace::new(vec![0.0, 0.0, 1.0]),
+        ];
+        t.apply_constraints(constraints.iter());
+        let center = t.approximate_center().unwrap();
+        for c in center {
+            assert!(c > 0.0);
+        }
+    }
+
+    #[test]
+    fn center_agrees_with_flat_grid() {
+        use crate::grid::Grid;
+        let constraints = vec![HalfSpace::new(vec![0.7, -0.3])];
+        let mut t = CellTree::over_weight_cube(2, 3).unwrap();
+        t.apply_constraints(constraints.iter());
+        let mut g = Grid::over_weight_cube(2, 8).unwrap();
+        g.apply_constraints(constraints.iter());
+        let tc = t.approximate_center().unwrap();
+        let gc = g.approximate_center().unwrap();
+        // Same resolution (8 cells per dimension), same surviving cells.
+        for (a, b) in tc.iter().zip(gc.iter()) {
+            assert!((a - b).abs() < 1e-9, "{tc:?} vs {gc:?}");
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Uniform grid decomposition of the weight cube.
+//!
+//! Section 3.2.1: "we use a simple geometric decomposition-based approach,
+//! which partitions the space into a multi-dimensional grid, and approximates
+//! the center of the convex polytope using the centers of the grid cells which
+//! overlap with it."
+
+use serde::{Deserialize, Serialize};
+
+use crate::halfspace::HalfSpace;
+use crate::hypercube::Hypercube;
+use crate::{GeomError, Result};
+
+/// One cell of a [`Grid`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridCell {
+    /// The cell's bounding box.
+    pub bounds: Hypercube,
+    /// Whether the cell still intersects the valid region.
+    pub valid: bool,
+}
+
+impl GridCell {
+    /// The centre of the cell.
+    pub fn center(&self) -> Vec<f64> {
+        self.bounds.center()
+    }
+}
+
+/// A uniform decomposition of a bounding box into `cells_per_dim^dim` cells.
+///
+/// The grid is the data structure behind the importance-sampling proposal: the
+/// centre of the valid region is approximated by the mean of the centres of
+/// cells that still intersect every feedback constraint.  The number of cells
+/// is exponential in the number of features, which is exactly why the paper
+/// excludes importance sampling from experiments with more than five features
+/// (Figure 6 (f)–(j)); [`Grid::cell_count`] lets callers check the size before
+/// committing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Grid {
+    bounds: Hypercube,
+    cells_per_dim: usize,
+    cells: Vec<GridCell>,
+}
+
+impl Grid {
+    /// Builds a uniform grid with `cells_per_dim` cells along each dimension of
+    /// the bounding box.
+    pub fn new(bounds: Hypercube, cells_per_dim: usize) -> Result<Self> {
+        if cells_per_dim == 0 {
+            return Err(GeomError::EmptyDecomposition);
+        }
+        let dim = bounds.dim();
+        let total = cells_per_dim.checked_pow(dim as u32).ok_or(GeomError::EmptyDecomposition)?;
+        let side = bounds.side_lengths();
+        let mut cells = Vec::with_capacity(total);
+        for idx in 0..total {
+            let mut rem = idx;
+            let mut lower = Vec::with_capacity(dim);
+            let mut upper = Vec::with_capacity(dim);
+            for d in 0..dim {
+                let i = rem % cells_per_dim;
+                rem /= cells_per_dim;
+                let step = side[d] / cells_per_dim as f64;
+                lower.push(bounds.lower()[d] + i as f64 * step);
+                upper.push(bounds.lower()[d] + (i + 1) as f64 * step);
+            }
+            cells.push(GridCell {
+                bounds: Hypercube::new(lower, upper).expect("bounds built with equal lengths"),
+                valid: true,
+            });
+        }
+        Ok(Grid {
+            bounds,
+            cells_per_dim,
+            cells,
+        })
+    }
+
+    /// The grid over the canonical weight cube `[-1, 1]^dim`.
+    pub fn over_weight_cube(dim: usize, cells_per_dim: usize) -> Result<Self> {
+        Grid::new(Hypercube::weight_cube(dim), cells_per_dim)
+    }
+
+    /// Number of cells the grid would have for a given dimension and
+    /// resolution, without materialising it.  Returns `None` on overflow.
+    pub fn cell_count(dim: usize, cells_per_dim: usize) -> Option<usize> {
+        cells_per_dim.checked_pow(dim as u32)
+    }
+
+    /// Dimensionality of the grid.
+    pub fn dim(&self) -> usize {
+        self.bounds.dim()
+    }
+
+    /// Number of cells along each dimension.
+    pub fn cells_per_dim(&self) -> usize {
+        self.cells_per_dim
+    }
+
+    /// All cells of the grid.
+    pub fn cells(&self) -> &[GridCell] {
+        &self.cells
+    }
+
+    /// Number of cells still marked valid.
+    pub fn valid_cell_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.valid).count()
+    }
+
+    /// Marks as invalid every cell that cannot contain a point satisfying the
+    /// constraint; returns the number of cells newly invalidated.
+    pub fn apply_constraint(&mut self, constraint: &HalfSpace) -> usize {
+        let mut newly_invalid = 0;
+        for cell in &mut self.cells {
+            if cell.valid && !constraint.intersects_box(cell.bounds.lower(), cell.bounds.upper()) {
+                cell.valid = false;
+                newly_invalid += 1;
+            }
+        }
+        newly_invalid
+    }
+
+    /// Applies a batch of constraints; returns the number of cells invalidated.
+    pub fn apply_constraints<'a, I>(&mut self, constraints: I) -> usize
+    where
+        I: IntoIterator<Item = &'a HalfSpace>,
+    {
+        constraints
+            .into_iter()
+            .map(|c| self.apply_constraint(c))
+            .sum()
+    }
+
+    /// Approximate centre of the valid region: the mean of the centres of the
+    /// cells that still intersect it.
+    pub fn approximate_center(&self) -> Result<Vec<f64>> {
+        approximate_center_of(self.cells.iter().filter(|c| c.valid), self.dim())
+    }
+}
+
+fn approximate_center_of<'a, I>(cells: I, dim: usize) -> Result<Vec<f64>>
+where
+    I: IntoIterator<Item = &'a GridCell>,
+{
+    let mut acc = vec![0.0; dim];
+    let mut count = 0usize;
+    for cell in cells {
+        for (a, c) in acc.iter_mut().zip(cell.center()) {
+            *a += c;
+        }
+        count += 1;
+    }
+    if count == 0 {
+        return Err(GeomError::EmptyRegion);
+    }
+    Ok(acc.into_iter().map(|a| a / count as f64).collect())
+}
+
+/// One-shot helper: builds a grid over the weight cube, applies all
+/// constraints and returns the approximate centre of the valid region.
+pub fn approximate_center(
+    dim: usize,
+    cells_per_dim: usize,
+    constraints: &[HalfSpace],
+) -> Result<Vec<f64>> {
+    let mut grid = Grid::over_weight_cube(dim, cells_per_dim)?;
+    grid.apply_constraints(constraints.iter());
+    grid.approximate_center()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_expected_cell_count_and_coverage() {
+        let grid = Grid::over_weight_cube(2, 3).unwrap();
+        assert_eq!(grid.cells().len(), 9);
+        assert_eq!(grid.valid_cell_count(), 9);
+        let total_volume: f64 = grid.cells().iter().map(|c| c.bounds.volume()).sum();
+        assert!((total_volume - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_resolution_is_rejected() {
+        assert_eq!(
+            Grid::over_weight_cube(2, 0).unwrap_err(),
+            GeomError::EmptyDecomposition
+        );
+    }
+
+    #[test]
+    fn unconstrained_center_is_origin() {
+        let grid = Grid::over_weight_cube(3, 3).unwrap();
+        let c = grid.approximate_center().unwrap();
+        for x in c {
+            assert!(x.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_figure3_example_eliminates_one_corner_cell() {
+        // Figure 3 illustrates a 3x3 grid where a single preference hyperplane
+        // removes exactly one corner cell and the centre estimate is taken over
+        // the remaining eight cells.  The constraint w1 >= w2 over [0,1]^2
+        // reproduces that situation: only the cell whose best corner still has
+        // w1 < w2 (the top-left corner cell) is eliminated.
+        let bounds = Hypercube::unit_cube(2);
+        let mut grid = Grid::new(bounds, 3).unwrap();
+        let diag = HalfSpace::new(vec![1.0, -1.0]);
+        let removed = grid.apply_constraint(&diag);
+        assert_eq!(removed, 1);
+        assert_eq!(grid.valid_cell_count(), 8);
+        let center = grid.approximate_center().unwrap();
+        // The surviving cells skew toward large w1 / small w2.
+        assert!(center[0] > 0.5 && center[1] < 0.5);
+        assert!(center[0] > center[1]);
+    }
+
+    #[test]
+    fn fully_infeasible_region_reports_empty() {
+        let mut grid = Grid::over_weight_cube(2, 2).unwrap();
+        // Every linear constraint through the origin is satisfied by w = 0, so
+        // a grid over the weight cube can never be emptied by apply_constraint
+        // alone; exercise the error path by invalidating the cells directly.
+        for cell in 0..grid.cells.len() {
+            grid.cells[cell].valid = false;
+        }
+        assert_eq!(grid.approximate_center().unwrap_err(), GeomError::EmptyRegion);
+    }
+
+    #[test]
+    fn apply_constraints_accumulates() {
+        let mut grid = Grid::over_weight_cube(2, 4).unwrap();
+        let c1 = HalfSpace::new(vec![1.0, 0.0]); // w1 >= 0
+        let c2 = HalfSpace::new(vec![0.0, 1.0]); // w2 >= 0
+        let removed = grid.apply_constraints([&c1, &c2]);
+        // The leftmost column fails w1 >= 0 (4 cells); of the remaining cells,
+        // the bottom row fails w2 >= 0 (3 more).
+        assert_eq!(removed, 4 + 3);
+        assert_eq!(grid.valid_cell_count(), 9);
+        let center = grid.approximate_center().unwrap();
+        assert!(center[0] > 0.0 && center[1] > 0.0);
+    }
+
+    #[test]
+    fn one_shot_helper_matches_manual_path() {
+        let constraints = vec![HalfSpace::new(vec![1.0, -0.5])];
+        let quick = approximate_center(2, 5, &constraints).unwrap();
+        let mut grid = Grid::over_weight_cube(2, 5).unwrap();
+        grid.apply_constraints(constraints.iter());
+        assert_eq!(quick, grid.approximate_center().unwrap());
+    }
+
+    #[test]
+    fn cell_count_overflow_is_detected() {
+        assert!(Grid::cell_count(2, 10).is_some());
+        assert_eq!(Grid::cell_count(40, 100), None);
+    }
+}

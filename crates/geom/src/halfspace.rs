@@ -1,0 +1,170 @@
+//! Half-space constraints induced by pairwise package preferences.
+
+use serde::{Deserialize, Serialize};
+
+/// A closed half-space of the form `normal · w ≥ 0`.
+///
+/// A preference `p1 ≻ p2` under a linear utility `U(p) = w · p` means
+/// `w · p1 ≥ w · p2`, i.e. `w · (p1 - p2) ≥ 0`, so the half-space normal is the
+/// difference of the two package feature vectors.  The paper phrases the same
+/// constraint as rejecting every `w` with `w · (p2 - p1) > 0` (Section 3.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HalfSpace {
+    normal: Vec<f64>,
+}
+
+impl HalfSpace {
+    /// Creates a half-space `normal · w ≥ 0` directly from a normal vector.
+    pub fn new(normal: Vec<f64>) -> Self {
+        HalfSpace { normal }
+    }
+
+    /// Builds the half-space induced by the preference `preferred ≻ other`.
+    ///
+    /// # Panics
+    /// Panics if the two feature vectors have different lengths.
+    pub fn from_preference(preferred: &[f64], other: &[f64]) -> Self {
+        assert_eq!(
+            preferred.len(),
+            other.len(),
+            "package feature vectors must have equal dimensionality"
+        );
+        HalfSpace {
+            normal: preferred
+                .iter()
+                .zip(other.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+
+    /// The normal vector `p1 - p2` of the half-space.
+    pub fn normal(&self) -> &[f64] {
+        &self.normal
+    }
+
+    /// Dimensionality of the half-space.
+    pub fn dim(&self) -> usize {
+        self.normal.len()
+    }
+
+    /// The signed margin `normal · w`; non-negative iff `w` satisfies the
+    /// constraint.
+    pub fn margin(&self, w: &[f64]) -> f64 {
+        debug_assert_eq!(w.len(), self.normal.len());
+        self.normal.iter().zip(w.iter()).map(|(n, x)| n * x).sum()
+    }
+
+    /// Whether the weight vector satisfies the constraint (`normal · w ≥ 0`).
+    pub fn contains(&self, w: &[f64]) -> bool {
+        self.margin(w) >= 0.0
+    }
+
+    /// Whether the weight vector strictly violates the constraint.
+    pub fn violated_by(&self, w: &[f64]) -> bool {
+        !self.contains(w)
+    }
+
+    /// Maximum of `normal · w` over an axis-aligned box, attained at the
+    /// corner that picks `upper[i]` where the normal is positive and
+    /// `lower[i]` where it is negative.  Runs in time linear in the
+    /// dimensionality, which is the property Section 3.2.1 relies on for
+    /// checking whether a grid cell can still contain a valid weight vector.
+    pub fn max_over_box(&self, lower: &[f64], upper: &[f64]) -> f64 {
+        debug_assert_eq!(lower.len(), self.normal.len());
+        debug_assert_eq!(upper.len(), self.normal.len());
+        self.normal
+            .iter()
+            .zip(lower.iter().zip(upper.iter()))
+            .map(|(&n, (&lo, &hi))| if n >= 0.0 { n * hi } else { n * lo })
+            .sum()
+    }
+
+    /// Minimum of `normal · w` over an axis-aligned box.
+    pub fn min_over_box(&self, lower: &[f64], upper: &[f64]) -> f64 {
+        debug_assert_eq!(lower.len(), self.normal.len());
+        self.normal
+            .iter()
+            .zip(lower.iter().zip(upper.iter()))
+            .map(|(&n, (&lo, &hi))| if n >= 0.0 { n * lo } else { n * hi })
+            .sum()
+    }
+
+    /// Whether any point of the axis-aligned box `[lower, upper]` satisfies
+    /// the constraint.
+    pub fn intersects_box(&self, lower: &[f64], upper: &[f64]) -> bool {
+        self.max_over_box(lower, upper) >= 0.0
+    }
+
+    /// Whether every point of the axis-aligned box satisfies the constraint.
+    pub fn contains_box(&self, lower: &[f64], upper: &[f64]) -> bool {
+        self.min_over_box(lower, upper) >= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_preference_computes_difference() {
+        let h = HalfSpace::from_preference(&[0.6, 0.5], &[0.4, 0.9]);
+        assert_eq!(h.normal(), &[0.6 - 0.4, 0.5 - 0.9]);
+        assert_eq!(h.dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensionality")]
+    fn from_preference_panics_on_mismatch() {
+        let _ = HalfSpace::from_preference(&[0.1], &[0.1, 0.2]);
+    }
+
+    #[test]
+    fn contains_and_violation_are_complementary() {
+        let h = HalfSpace::new(vec![1.0, -1.0]);
+        assert!(h.contains(&[0.5, 0.2]));
+        assert!(h.violated_by(&[0.2, 0.5]));
+        // Boundary points satisfy the closed half-space.
+        assert!(h.contains(&[0.3, 0.3]));
+    }
+
+    #[test]
+    fn margin_is_linear() {
+        let h = HalfSpace::new(vec![2.0, 3.0]);
+        assert!((h.margin(&[1.0, 1.0]) - 5.0).abs() < 1e-12);
+        assert!((h.margin(&[-1.0, 0.0]) + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_extrema_match_corner_enumeration() {
+        let h = HalfSpace::new(vec![1.5, -2.0, 0.5]);
+        let lower = [-1.0, -0.5, 0.0];
+        let upper = [0.5, 1.0, 2.0];
+        // Brute force over all 8 corners.
+        let mut best = f64::NEG_INFINITY;
+        let mut worst = f64::INFINITY;
+        for mask in 0..8u32 {
+            let corner: Vec<f64> = (0..3)
+                .map(|d| if mask & (1 << d) != 0 { upper[d] } else { lower[d] })
+                .collect();
+            let m = h.margin(&corner);
+            best = best.max(m);
+            worst = worst.min(m);
+        }
+        assert!((h.max_over_box(&lower, &upper) - best).abs() < 1e-12);
+        assert!((h.min_over_box(&lower, &upper) - worst).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_intersection_and_containment() {
+        let h = HalfSpace::new(vec![1.0, 0.0]);
+        // Box entirely in the positive half-space.
+        assert!(h.contains_box(&[0.1, -1.0], &[0.5, 1.0]));
+        assert!(h.intersects_box(&[0.1, -1.0], &[0.5, 1.0]));
+        // Box straddling the boundary.
+        assert!(!h.contains_box(&[-0.5, -1.0], &[0.5, 1.0]));
+        assert!(h.intersects_box(&[-0.5, -1.0], &[0.5, 1.0]));
+        // Box entirely in the negative half-space.
+        assert!(!h.intersects_box(&[-0.9, -1.0], &[-0.3, 1.0]));
+    }
+}

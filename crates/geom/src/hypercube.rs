@@ -1,0 +1,174 @@
+//! Axis-aligned boxes in weight space.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GeomError, Result};
+
+/// An axis-aligned hyper-rectangle `[lower_i, upper_i]` per dimension.
+///
+/// The weight space of the paper is the cube `[-1, 1]^m`; grid cells and
+/// 2^m-tree nodes are sub-boxes of it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hypercube {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl Hypercube {
+    /// Creates a box from per-dimension lower and upper bounds.
+    pub fn new(lower: Vec<f64>, upper: Vec<f64>) -> Result<Self> {
+        if lower.len() != upper.len() {
+            return Err(GeomError::DimensionMismatch {
+                expected: lower.len(),
+                actual: upper.len(),
+            });
+        }
+        Ok(Hypercube { lower, upper })
+    }
+
+    /// The canonical weight cube `[-1, 1]^dim` used throughout the paper.
+    pub fn weight_cube(dim: usize) -> Self {
+        Hypercube {
+            lower: vec![-1.0; dim],
+            upper: vec![1.0; dim],
+        }
+    }
+
+    /// The unit cube `[0, 1]^dim`.
+    pub fn unit_cube(dim: usize) -> Self {
+        Hypercube {
+            lower: vec![0.0; dim],
+            upper: vec![1.0; dim],
+        }
+    }
+
+    /// Dimensionality of the box.
+    pub fn dim(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Per-dimension lower bounds.
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Per-dimension upper bounds.
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Geometric centre of the box.
+    pub fn center(&self) -> Vec<f64> {
+        self.lower
+            .iter()
+            .zip(self.upper.iter())
+            .map(|(lo, hi)| 0.5 * (lo + hi))
+            .collect()
+    }
+
+    /// Per-dimension side lengths.
+    pub fn side_lengths(&self) -> Vec<f64> {
+        self.lower
+            .iter()
+            .zip(self.upper.iter())
+            .map(|(lo, hi)| hi - lo)
+            .collect()
+    }
+
+    /// Volume of the box.
+    pub fn volume(&self) -> f64 {
+        self.side_lengths().iter().product()
+    }
+
+    /// Whether a point lies inside the box (boundaries included).
+    pub fn contains(&self, point: &[f64]) -> bool {
+        point.len() == self.dim()
+            && point
+                .iter()
+                .zip(self.lower.iter().zip(self.upper.iter()))
+                .all(|(x, (lo, hi))| *x >= *lo && *x <= *hi)
+    }
+
+    /// Clamps a point into the box, coordinate by coordinate.
+    pub fn clamp(&self, point: &[f64]) -> Vec<f64> {
+        point
+            .iter()
+            .zip(self.lower.iter().zip(self.upper.iter()))
+            .map(|(x, (lo, hi))| x.max(*lo).min(*hi))
+            .collect()
+    }
+
+    /// Splits the box into `2^dim` equal child boxes (the 2^m-tree split).
+    pub fn split(&self) -> Vec<Hypercube> {
+        let dim = self.dim();
+        let mid = self.center();
+        let mut children = Vec::with_capacity(1 << dim);
+        for mask in 0..(1usize << dim) {
+            let mut lower = Vec::with_capacity(dim);
+            let mut upper = Vec::with_capacity(dim);
+            for d in 0..dim {
+                if mask & (1 << d) != 0 {
+                    lower.push(mid[d]);
+                    upper.push(self.upper[d]);
+                } else {
+                    lower.push(self.lower[d]);
+                    upper.push(mid[d]);
+                }
+            }
+            children.push(Hypercube { lower, upper });
+        }
+        children
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_dimensions() {
+        assert!(Hypercube::new(vec![0.0], vec![1.0, 2.0]).is_err());
+        assert!(Hypercube::new(vec![0.0, 0.0], vec![1.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn weight_cube_and_unit_cube() {
+        let w = Hypercube::weight_cube(3);
+        assert_eq!(w.lower(), &[-1.0, -1.0, -1.0]);
+        assert_eq!(w.upper(), &[1.0, 1.0, 1.0]);
+        assert_eq!(w.center(), vec![0.0, 0.0, 0.0]);
+        assert!((w.volume() - 8.0).abs() < 1e-12);
+        let u = Hypercube::unit_cube(2);
+        assert!((u.volume() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_and_clamping() {
+        let c = Hypercube::weight_cube(2);
+        assert!(c.contains(&[0.0, 1.0]));
+        assert!(!c.contains(&[0.0, 1.01]));
+        assert!(!c.contains(&[0.0])); // wrong dimension
+        assert_eq!(c.clamp(&[2.0, -3.0]), vec![1.0, -1.0]);
+        assert_eq!(c.clamp(&[0.5, -0.5]), vec![0.5, -0.5]);
+    }
+
+    #[test]
+    fn split_produces_equal_volume_children_covering_parent() {
+        let c = Hypercube::weight_cube(3);
+        let children = c.split();
+        assert_eq!(children.len(), 8);
+        let total: f64 = children.iter().map(Hypercube::volume).sum();
+        assert!((total - c.volume()).abs() < 1e-12);
+        for child in &children {
+            assert!(c.contains(&child.center()));
+            assert!((child.volume() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn side_lengths_follow_bounds() {
+        let c = Hypercube::new(vec![0.0, -2.0], vec![0.5, 2.0]).unwrap();
+        assert_eq!(c.side_lengths(), vec![0.5, 4.0]);
+        assert!((c.volume() - 2.0).abs() < 1e-12);
+    }
+}

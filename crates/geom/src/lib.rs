@@ -1,0 +1,73 @@
+//! Geometric substrate for the `pkgrec` package recommender.
+//!
+//! Every user preference `p1 ≻ p2` over packages induces a linear constraint
+//! `w · (p1 - p2) ≥ 0` on the hidden utility weight vector `w ∈ [-1, 1]^m`.
+//! The set of weight vectors consistent with all feedback is therefore the
+//! intersection of half-spaces with the weight hyper-cube — a convex polytope
+//! (Lemma 2 in the paper).  The importance sampler of Section 3.2.1 needs an
+//! *approximate centre* of that polytope, obtained by decomposing the cube
+//! into a grid and averaging the centres of cells that still intersect the
+//! valid region; cells can also be organised hierarchically into a
+//! 2^m-tree (quad-tree in two dimensions) so that new feedback only prunes
+//! subtrees.
+//!
+//! This crate provides those pieces:
+//!
+//! * [`HalfSpace`] — linear constraints of the form `normal · w ≥ 0`,
+//! * [`Hypercube`] — axis-aligned boxes with corner/extreme-point queries,
+//! * [`Grid`] — uniform decomposition of the weight cube into cells,
+//! * [`CellTree`] — the hierarchical 2^m-tree over cells with incremental
+//!   pruning under new constraints,
+//! * [`approximate_center`] / [`region_center`] — the grid-based centre
+//!   estimate used as the importance-sampling proposal mean,
+//! * [`ConvexRegion`] — a bag of half-spaces with membership tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod celltree;
+pub mod grid;
+pub mod halfspace;
+pub mod hypercube;
+pub mod region;
+
+pub use celltree::CellTree;
+pub use grid::{approximate_center, Grid, GridCell};
+pub use halfspace::HalfSpace;
+pub use hypercube::Hypercube;
+pub use region::{region_center, ConvexRegion};
+
+/// Errors produced by the geometric substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeomError {
+    /// Operands have different dimensionality.
+    DimensionMismatch {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Provided dimensionality.
+        actual: usize,
+    },
+    /// A grid or tree was requested with zero cells per dimension.
+    EmptyDecomposition,
+    /// The valid region is empty (no cell intersects all constraints).
+    EmptyRegion,
+}
+
+impl std::fmt::Display for GeomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeomError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            GeomError::EmptyDecomposition => {
+                write!(f, "grid must have at least one cell per dimension")
+            }
+            GeomError::EmptyRegion => write!(f, "constraint region is empty"),
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, GeomError>;

@@ -1,0 +1,213 @@
+//! Convex regions defined by collections of half-space constraints.
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::approximate_center;
+use crate::halfspace::HalfSpace;
+use crate::hypercube::Hypercube;
+use crate::Result;
+
+/// The convex set of weight vectors consistent with a collection of pairwise
+/// package preferences, intersected with the weight cube `[-1, 1]^m`.
+///
+/// Lemma 2 of the paper shows this set is convex; [`ConvexRegion`] provides
+/// membership tests, violation counting (needed by the noise model of
+/// Section 7) and the grid-based centre estimate that drives importance
+/// sampling.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ConvexRegion {
+    constraints: Vec<HalfSpace>,
+    dim: usize,
+}
+
+impl ConvexRegion {
+    /// Creates an unconstrained region over `dim`-dimensional weight space.
+    pub fn new(dim: usize) -> Self {
+        ConvexRegion {
+            constraints: Vec::new(),
+            dim,
+        }
+    }
+
+    /// Creates a region from existing constraints.
+    pub fn from_constraints(dim: usize, constraints: Vec<HalfSpace>) -> Self {
+        ConvexRegion { constraints, dim }
+    }
+
+    /// Dimensionality of the weight space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of constraints currently in the region.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the region carries no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// The constraints of the region.
+    pub fn constraints(&self) -> &[HalfSpace] {
+        &self.constraints
+    }
+
+    /// Adds a constraint.
+    pub fn push(&mut self, constraint: HalfSpace) {
+        debug_assert_eq!(constraint.dim(), self.dim);
+        self.constraints.push(constraint);
+    }
+
+    /// Adds the constraint induced by the preference `preferred ≻ other`.
+    pub fn push_preference(&mut self, preferred: &[f64], other: &[f64]) {
+        self.push(HalfSpace::from_preference(preferred, other));
+    }
+
+    /// Whether `w` lies inside the weight cube and satisfies every constraint.
+    pub fn contains(&self, w: &[f64]) -> bool {
+        w.len() == self.dim
+            && w.iter().all(|x| (-1.0..=1.0).contains(x))
+            && self.constraints.iter().all(|c| c.contains(w))
+    }
+
+    /// Whether `w` satisfies every constraint, ignoring the cube bounds.
+    pub fn satisfies_constraints(&self, w: &[f64]) -> bool {
+        self.constraints.iter().all(|c| c.contains(w))
+    }
+
+    /// Number of constraints violated by `w` (the `x` in the `1-(1-ψ)^x`
+    /// noise model of Section 7).
+    pub fn violation_count(&self, w: &[f64]) -> usize {
+        self.constraints.iter().filter(|c| c.violated_by(w)).count()
+    }
+
+    /// Index of the first constraint violated by `w`, if any.
+    pub fn first_violation(&self, w: &[f64]) -> Option<usize> {
+        self.constraints.iter().position(|c| c.violated_by(w))
+    }
+
+    /// The weight cube the region lives in.
+    pub fn bounding_box(&self) -> Hypercube {
+        Hypercube::weight_cube(self.dim)
+    }
+
+    /// Grid-based approximate centre of the valid region (Section 3.2.1).
+    ///
+    /// `cells_per_dim` controls the resolution; cost is
+    /// `cells_per_dim^dim * len()`, which is why the paper's importance
+    /// sampler is restricted to five or fewer features.
+    pub fn approximate_center(&self, cells_per_dim: usize) -> Result<Vec<f64>> {
+        approximate_center(self.dim, cells_per_dim, &self.constraints)
+    }
+}
+
+/// Convenience wrapper: approximate centre of the region spanned by a set of
+/// preference-induced constraints.
+pub fn region_center(constraints: &[HalfSpace], dim: usize, cells_per_dim: usize) -> Result<Vec<f64>> {
+    ConvexRegion::from_constraints(dim, constraints.to_vec()).approximate_center(cells_per_dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region_with_positive_quadrant() -> ConvexRegion {
+        let mut r = ConvexRegion::new(2);
+        r.push(HalfSpace::new(vec![1.0, 0.0]));
+        r.push(HalfSpace::new(vec![0.0, 1.0]));
+        r
+    }
+
+    #[test]
+    fn empty_region_accepts_everything_in_cube() {
+        let r = ConvexRegion::new(3);
+        assert!(r.is_empty());
+        assert!(r.contains(&[0.0, 0.5, -0.5]));
+        assert!(!r.contains(&[0.0, 1.5, 0.0]));
+        assert!(!r.contains(&[0.0, 0.5])); // wrong dimension
+    }
+
+    #[test]
+    fn membership_respects_constraints() {
+        let r = region_with_positive_quadrant();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[0.3, 0.2]));
+        assert!(!r.contains(&[-0.3, 0.2]));
+        assert!(r.satisfies_constraints(&[0.3, 0.2]));
+        assert!(!r.satisfies_constraints(&[0.3, -0.2]));
+    }
+
+    #[test]
+    fn violation_counting() {
+        let r = region_with_positive_quadrant();
+        assert_eq!(r.violation_count(&[0.5, 0.5]), 0);
+        assert_eq!(r.violation_count(&[-0.5, 0.5]), 1);
+        assert_eq!(r.violation_count(&[-0.5, -0.5]), 2);
+        assert_eq!(r.first_violation(&[0.5, -0.5]), Some(1));
+        assert_eq!(r.first_violation(&[0.5, 0.5]), None);
+    }
+
+    #[test]
+    fn preference_constraints_are_satisfied_by_ground_truth() {
+        // A ground-truth weight vector must satisfy constraints generated from
+        // its own preferences (convexity sanity check for Lemma 2).
+        let w_true = [0.8, -0.4, 0.1];
+        let packages = [
+            vec![0.9, 0.1, 0.3],
+            vec![0.2, 0.8, 0.5],
+            vec![0.5, 0.5, 0.9],
+        ];
+        let mut region = ConvexRegion::new(3);
+        let score = |p: &[f64]| -> f64 { p.iter().zip(w_true.iter()).map(|(a, b)| a * b).sum() };
+        for i in 0..packages.len() {
+            for j in 0..packages.len() {
+                if i != j && score(&packages[i]) >= score(&packages[j]) {
+                    region.push_preference(&packages[i], &packages[j]);
+                }
+            }
+        }
+        assert!(region.contains(&w_true));
+    }
+
+    #[test]
+    fn convex_combination_of_valid_points_is_valid() {
+        // Lemma 2: the valid region is convex.
+        let r = region_with_positive_quadrant();
+        let a = [0.2, 0.9];
+        let b = [0.8, 0.1];
+        for step in 0..=10 {
+            let alpha = step as f64 / 10.0;
+            let mix: Vec<f64> = a
+                .iter()
+                .zip(b.iter())
+                .map(|(x, y)| alpha * x + (1.0 - alpha) * y)
+                .collect();
+            assert!(r.contains(&mix));
+        }
+    }
+
+    #[test]
+    fn approximate_center_moves_into_the_constrained_quadrant() {
+        let r = region_with_positive_quadrant();
+        let c = r.approximate_center(6).unwrap();
+        assert!(c[0] > 0.0 && c[1] > 0.0);
+        let unconstrained = ConvexRegion::new(2).approximate_center(6).unwrap();
+        assert!(unconstrained[0].abs() < 1e-12 && unconstrained[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_center_helper_matches_method() {
+        let constraints = vec![HalfSpace::new(vec![1.0, 1.0])];
+        let via_helper = region_center(&constraints, 2, 4).unwrap();
+        let via_region = ConvexRegion::from_constraints(2, constraints).approximate_center(4).unwrap();
+        assert_eq!(via_helper, via_region);
+    }
+
+    #[test]
+    fn bounding_box_is_weight_cube() {
+        let r = ConvexRegion::new(4);
+        assert_eq!(r.bounding_box(), Hypercube::weight_cube(4));
+    }
+}

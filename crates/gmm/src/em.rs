@@ -1,0 +1,293 @@
+//! Expectation–maximisation refitting of Gaussian mixtures.
+//!
+//! Section 2.1 of the paper notes that Gaussian mixtures are not closed under
+//! the preference-feedback update of Equation (2), and that one conventional
+//! answer is to *refit* a mixture to the (implicit) posterior with EM after
+//! every feedback — which is exactly what the paper argues is too expensive in
+//! an interactive loop.  We implement the refit here so that
+//! `pkgrec-baselines` can benchmark it against the paper's sampling approach.
+//!
+//! The refit works on a *weighted* sample set (samples drawn from the prior
+//! that satisfy the feedback, with optional importance weights), fitting
+//! diagonal-covariance components, which is the standard practical choice for
+//! low-dimensional weight spaces.
+
+use rand::Rng;
+
+use crate::gaussian::Gaussian;
+use crate::linalg::Vector;
+use crate::mixture::{GaussianMixture, MixtureComponent};
+use crate::{GmmError, Result};
+
+/// Configuration for [`fit_mixture`].
+#[derive(Debug, Clone)]
+pub struct EmConfig {
+    /// Number of mixture components to fit.
+    pub num_components: usize,
+    /// Maximum number of EM iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on the relative change of the log-likelihood.
+    pub tolerance: f64,
+    /// Variance floor to keep components from collapsing onto single points.
+    pub min_variance: f64,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        EmConfig {
+            num_components: 1,
+            max_iterations: 50,
+            tolerance: 1e-6,
+            min_variance: 1e-4,
+        }
+    }
+}
+
+/// Outcome of an EM fit.
+#[derive(Debug, Clone)]
+pub struct EmFit {
+    /// The fitted mixture.
+    pub mixture: GaussianMixture,
+    /// Final (weighted) log-likelihood of the data under the fitted mixture.
+    pub log_likelihood: f64,
+    /// Number of iterations actually performed.
+    pub iterations: usize,
+}
+
+/// Fits a diagonal-covariance Gaussian mixture to weighted samples with EM.
+///
+/// `samples` are points in weight space; `weights` are non-negative importance
+/// weights (use all-ones for unweighted data).  Initial means are chosen by
+/// sampling data points proportionally to their weights.
+pub fn fit_mixture<R: Rng + ?Sized>(
+    samples: &[Vector],
+    weights: &[f64],
+    config: &EmConfig,
+    rng: &mut R,
+) -> Result<EmFit> {
+    if samples.is_empty() || samples.len() != weights.len() || config.num_components == 0 {
+        return Err(GmmError::DegenerateFit);
+    }
+    let dim = samples[0].len();
+    if samples.iter().any(|s| s.len() != dim) {
+        return Err(GmmError::DegenerateFit);
+    }
+    let total_weight: f64 = weights.iter().sum();
+    if !(total_weight > 0.0) {
+        return Err(GmmError::DegenerateFit);
+    }
+    let k = config.num_components;
+    let n = samples.len();
+
+    // Initialise means by weighted random draws from the data, and variances
+    // from the global per-dimension variance.
+    let global_mean: Vector = (0..dim)
+        .map(|d| {
+            samples
+                .iter()
+                .zip(weights)
+                .map(|(s, w)| s[d] * w)
+                .sum::<f64>()
+                / total_weight
+        })
+        .collect();
+    let global_var: Vector = (0..dim)
+        .map(|d| {
+            let v = samples
+                .iter()
+                .zip(weights)
+                .map(|(s, w)| w * (s[d] - global_mean[d]).powi(2))
+                .sum::<f64>()
+                / total_weight;
+            v.max(config.min_variance)
+        })
+        .collect();
+
+    let mut means: Vec<Vector> = (0..k)
+        .map(|_| {
+            let target: f64 = rng.gen::<f64>() * total_weight;
+            let mut acc = 0.0;
+            for (s, w) in samples.iter().zip(weights) {
+                acc += w;
+                if acc >= target {
+                    return s.clone();
+                }
+            }
+            samples[n - 1].clone()
+        })
+        .collect();
+    let mut variances: Vec<Vector> = vec![global_var.clone(); k];
+    let mut mix_weights: Vec<f64> = vec![1.0 / k as f64; k];
+
+    let mut responsibilities = vec![vec![0.0; k]; n];
+    let mut prev_ll = f64::NEG_INFINITY;
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iterations {
+        iterations = iter + 1;
+        // E step: responsibilities via log-sum-exp.
+        let mut ll = 0.0;
+        let gaussians: Vec<Gaussian> = (0..k)
+            .map(|j| Gaussian::diagonal(means[j].clone(), &variances[j]))
+            .collect::<Result<_>>()?;
+        for (i, s) in samples.iter().enumerate() {
+            let mut log_terms = vec![0.0; k];
+            for j in 0..k {
+                log_terms[j] = mix_weights[j].max(1e-300).ln() + gaussians[j].log_pdf(s)?;
+            }
+            let max = log_terms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let sum: f64 = log_terms.iter().map(|t| (t - max).exp()).sum();
+            let log_px = max + sum.ln();
+            ll += weights[i] * log_px;
+            for j in 0..k {
+                responsibilities[i][j] = (log_terms[j] - log_px).exp();
+            }
+        }
+
+        // M step.
+        for j in 0..k {
+            let nj: f64 = samples
+                .iter()
+                .enumerate()
+                .map(|(i, _)| weights[i] * responsibilities[i][j])
+                .sum();
+            if nj <= 1e-12 {
+                // Re-seed an empty component at a random data point.
+                let idx = rng.gen_range(0..n);
+                means[j] = samples[idx].clone();
+                variances[j] = global_var.clone();
+                mix_weights[j] = 1.0 / k as f64;
+                continue;
+            }
+            mix_weights[j] = nj / total_weight;
+            for d in 0..dim {
+                let m: f64 = samples
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| weights[i] * responsibilities[i][j] * s[d])
+                    .sum::<f64>()
+                    / nj;
+                means[j][d] = m;
+            }
+            for d in 0..dim {
+                let v: f64 = samples
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| weights[i] * responsibilities[i][j] * (s[d] - means[j][d]).powi(2))
+                    .sum::<f64>()
+                    / nj;
+                variances[j][d] = v.max(config.min_variance);
+            }
+        }
+
+        if (ll - prev_ll).abs() <= config.tolerance * (1.0 + ll.abs()) {
+            prev_ll = ll;
+            break;
+        }
+        prev_ll = ll;
+    }
+
+    let components = (0..k)
+        .map(|j| {
+            Ok(MixtureComponent {
+                weight: mix_weights[j].max(1e-12),
+                gaussian: Gaussian::diagonal(means[j].clone(), &variances[j])?,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(EmFit {
+        mixture: GaussianMixture::new(components)?,
+        log_likelihood: prev_ll,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = EmConfig::default();
+        assert!(fit_mixture(&[], &[], &cfg, &mut rng).is_err());
+        assert!(fit_mixture(&[vec![0.0]], &[1.0, 2.0], &cfg, &mut rng).is_err());
+        assert!(fit_mixture(&[vec![0.0]], &[0.0], &cfg, &mut rng).is_err());
+        let bad_k = EmConfig {
+            num_components: 0,
+            ..EmConfig::default()
+        };
+        assert!(fit_mixture(&[vec![0.0]], &[1.0], &bad_k, &mut rng).is_err());
+        // Ragged samples.
+        assert!(fit_mixture(&[vec![0.0], vec![0.0, 1.0]], &[1.0, 1.0], &cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn single_component_fit_recovers_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = Gaussian::diagonal(vec![0.4, -0.3], &[0.04, 0.09]).unwrap();
+        let samples: Vec<Vector> = (0..5000).map(|_| g.sample(&mut rng)).collect();
+        let weights = vec![1.0; samples.len()];
+        let fit = fit_mixture(&samples, &weights, &EmConfig::default(), &mut rng).unwrap();
+        let (_, comp) = fit.mixture.components().next().unwrap();
+        assert!((comp.mean()[0] - 0.4).abs() < 0.02);
+        assert!((comp.mean()[1] + 0.3).abs() < 0.02);
+        assert!((comp.covariance()[(0, 0)] - 0.04).abs() < 0.01);
+        assert!((comp.covariance()[(1, 1)] - 0.09).abs() < 0.02);
+    }
+
+    #[test]
+    fn two_component_fit_separates_clusters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Gaussian::isotropic(vec![-0.6, -0.6], 0.05).unwrap();
+        let b = Gaussian::isotropic(vec![0.6, 0.6], 0.05).unwrap();
+        let mut samples = Vec::new();
+        for _ in 0..1000 {
+            samples.push(a.sample(&mut rng));
+            samples.push(b.sample(&mut rng));
+        }
+        let weights = vec![1.0; samples.len()];
+        let cfg = EmConfig {
+            num_components: 2,
+            ..EmConfig::default()
+        };
+        let fit = fit_mixture(&samples, &weights, &cfg, &mut rng).unwrap();
+        let mut means: Vec<f64> = fit.mixture.components().map(|(_, g)| g.mean()[0]).collect();
+        means.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((means[0] + 0.6).abs() < 0.1, "means {means:?}");
+        assert!((means[1] - 0.6).abs() < 0.1, "means {means:?}");
+    }
+
+    #[test]
+    fn weighted_fit_biases_toward_heavier_points() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples = vec![vec![0.0], vec![1.0]];
+        // Give the right-hand point nine times the weight of the left-hand one.
+        let weights = vec![1.0, 9.0];
+        let fit = fit_mixture(&samples, &weights, &EmConfig::default(), &mut rng).unwrap();
+        let mean = fit.mixture.components().next().unwrap().1.mean()[0];
+        assert!((mean - 0.9).abs() < 1e-6, "mean {mean}");
+    }
+
+    #[test]
+    fn log_likelihood_improves_with_more_components_on_bimodal_data() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Gaussian::isotropic(vec![-0.7], 0.05).unwrap();
+        let b = Gaussian::isotropic(vec![0.7], 0.05).unwrap();
+        let mut samples = Vec::new();
+        for _ in 0..500 {
+            samples.push(a.sample(&mut rng));
+            samples.push(b.sample(&mut rng));
+        }
+        let weights = vec![1.0; samples.len()];
+        let fit1 = fit_mixture(&samples, &weights, &EmConfig::default(), &mut rng).unwrap();
+        let cfg2 = EmConfig {
+            num_components: 2,
+            ..EmConfig::default()
+        };
+        let fit2 = fit_mixture(&samples, &weights, &cfg2, &mut rng).unwrap();
+        assert!(fit2.log_likelihood > fit1.log_likelihood);
+    }
+}

@@ -1,0 +1,120 @@
+//! χ² distance and the Effective Number of Samples (ENS) diagnostic.
+//!
+//! Section 3.2.1 of the paper compares sampling strategies via the classic
+//! Effective Number of Samples of Kong, Liu and Wong (1994):
+//!
+//! ```text
+//! ENS(P, Q) = N / (1 + χ²(P, Q))
+//! χ²(P, Q)  = ∫ (P(w) - Q(w))² / Q(w) dw
+//! ```
+//!
+//! where `P` is the target (posterior) distribution and `Q` the proposal.  The
+//! integral has no closed form for our constrained posteriors, so this module
+//! provides two estimators:
+//!
+//! * [`chi_square_distance`] — a Monte-Carlo estimator evaluated over a set of
+//!   points drawn from the proposal, and
+//! * [`effective_number_of_samples_from_weights`] — the standard
+//!   importance-weight form `(Σ q_i)² / Σ q_i²`, which is how the experiments
+//!   in Section 5.1 report sampler quality.
+
+/// Monte-Carlo estimate of `χ²(P, Q)` given target and proposal densities
+/// evaluated at points drawn from the proposal `Q`.
+///
+/// `target_density[i]` and `proposal_density[i]` must both refer to the same
+/// evaluation point `w_i ~ Q`.  Points where the proposal density is zero are
+/// skipped (they carry no Monte-Carlo weight).
+pub fn chi_square_distance(target_density: &[f64], proposal_density: &[f64]) -> f64 {
+    assert_eq!(
+        target_density.len(),
+        proposal_density.len(),
+        "density slices must be evaluated at the same points"
+    );
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (&p, &q) in target_density.iter().zip(proposal_density.iter()) {
+        if q <= 0.0 {
+            continue;
+        }
+        // E_Q[(P - Q)² / Q²] = E_Q[(P/Q - 1)²] estimates χ² under Q.
+        let r = p / q - 1.0;
+        acc += r * r;
+        n += 1;
+    }
+    if n == 0 {
+        return f64::INFINITY;
+    }
+    acc / n as f64
+}
+
+/// Effective number of samples given a χ² distance, `N / (1 + χ²)`.
+pub fn effective_number_of_samples(n: usize, chi_square: f64) -> f64 {
+    if !chi_square.is_finite() {
+        return 0.0;
+    }
+    n as f64 / (1.0 + chi_square)
+}
+
+/// Effective number of samples computed from importance weights:
+/// `ENS = (Σ q_i)² / Σ q_i²`.
+///
+/// For unweighted (rejection) samples all weights are 1 and the value equals
+/// the number of accepted samples; heavily skewed weights push it toward 1.
+pub fn effective_number_of_samples_from_weights(weights: &[f64]) -> f64 {
+    let sum: f64 = weights.iter().sum();
+    let sum_sq: f64 = weights.iter().map(|w| w * w).sum();
+    if sum_sq == 0.0 {
+        0.0
+    } else {
+        sum * sum / sum_sq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_chi_square() {
+        let p = vec![0.2, 0.5, 0.9, 1.3];
+        assert!(chi_square_distance(&p, &p).abs() < 1e-15);
+        assert!((effective_number_of_samples(100, 0.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn farther_proposal_has_larger_chi_square() {
+        let target = vec![1.0, 1.0, 1.0, 1.0];
+        let close = vec![0.9, 1.1, 1.0, 1.0];
+        let far = vec![0.1, 2.0, 3.0, 0.2];
+        assert!(chi_square_distance(&target, &close) < chi_square_distance(&target, &far));
+    }
+
+    #[test]
+    fn zero_proposal_points_are_skipped() {
+        let target = vec![1.0, 1.0];
+        let proposal = vec![0.0, 1.0];
+        assert!(chi_square_distance(&target, &proposal).abs() < 1e-15);
+    }
+
+    #[test]
+    fn all_zero_proposal_gives_zero_ens() {
+        let d = chi_square_distance(&[1.0], &[0.0]);
+        assert!(d.is_infinite());
+        assert_eq!(effective_number_of_samples(10, d), 0.0);
+    }
+
+    #[test]
+    fn uniform_weights_give_full_ens() {
+        let w = vec![1.0; 50];
+        assert!((effective_number_of_samples_from_weights(&w) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_weights_reduce_ens() {
+        let mut w = vec![0.001; 49];
+        w.push(1.0);
+        let ens = effective_number_of_samples_from_weights(&w);
+        assert!(ens < 2.0, "ens {ens}");
+        assert_eq!(effective_number_of_samples_from_weights(&[]), 0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Multivariate Gaussian components.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::{dot, sub, Matrix, Vector};
+use crate::normal::standard_normal_vector;
+use crate::{GmmError, Result};
+
+/// A multivariate Gaussian `N(mean, covariance)`.
+///
+/// The covariance Cholesky factor is computed eagerly at construction so that
+/// sampling and density evaluation are cheap, which matters because the
+/// samplers in `pkgrec-core` evaluate the prior density for every candidate
+/// weight vector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gaussian {
+    mean: Vector,
+    covariance: Matrix,
+    /// Lower-triangular Cholesky factor of the covariance.
+    cholesky: Matrix,
+    /// Log of the normalisation constant: `-0.5 * (d*ln(2π) + ln|Σ|)`.
+    log_norm: f64,
+}
+
+impl Gaussian {
+    /// Creates a Gaussian from a mean vector and a full covariance matrix.
+    ///
+    /// Returns [`GmmError::NotPositiveDefinite`] if the covariance cannot be
+    /// Cholesky factorised and [`GmmError::DimensionMismatch`] if the mean and
+    /// covariance dimensions disagree.
+    pub fn new(mean: Vector, covariance: Matrix) -> Result<Self> {
+        if covariance.dim() != mean.len() {
+            return Err(GmmError::DimensionMismatch {
+                expected: mean.len(),
+                actual: covariance.dim(),
+            });
+        }
+        let cholesky = covariance.cholesky()?;
+        let d = mean.len() as f64;
+        let log_det = cholesky.log_det_from_cholesky();
+        let log_norm = -0.5 * (d * (2.0 * std::f64::consts::PI).ln() + log_det);
+        Ok(Gaussian {
+            mean,
+            covariance,
+            cholesky,
+            log_norm,
+        })
+    }
+
+    /// Creates an isotropic Gaussian `N(mean, sigma^2 * I)`.
+    pub fn isotropic(mean: Vector, sigma: f64) -> Result<Self> {
+        if sigma <= 0.0 || !sigma.is_finite() {
+            return Err(GmmError::NotPositiveDefinite);
+        }
+        let dim = mean.len();
+        let cov = Matrix::diagonal(&vec![sigma * sigma; dim]);
+        Gaussian::new(mean, cov)
+    }
+
+    /// Creates a diagonal-covariance Gaussian from per-dimension variances.
+    pub fn diagonal(mean: Vector, variances: &[f64]) -> Result<Self> {
+        if variances.len() != mean.len() {
+            return Err(GmmError::DimensionMismatch {
+                expected: mean.len(),
+                actual: variances.len(),
+            });
+        }
+        Gaussian::new(mean, Matrix::diagonal(variances))
+    }
+
+    /// Dimensionality of the Gaussian.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// The mean vector.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// The covariance matrix.
+    pub fn covariance(&self) -> &Matrix {
+        &self.covariance
+    }
+
+    /// Draws one sample `mean + L * z` where `z ~ N(0, I)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vector {
+        let z = standard_normal_vector(rng, self.dim());
+        let lz = self
+            .cholesky
+            .mul_vec(&z)
+            .expect("cholesky factor has the gaussian's dimension");
+        self.mean.iter().zip(lz.iter()).map(|(m, x)| m + x).collect()
+    }
+
+    /// Log probability density at `x`.
+    pub fn log_pdf(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.dim() {
+            return Err(GmmError::DimensionMismatch {
+                expected: self.dim(),
+                actual: x.len(),
+            });
+        }
+        let diff = sub(x, &self.mean);
+        // Solve L y = diff; then (x-μ)^T Σ^{-1} (x-μ) = ||y||².
+        let y = self.cholesky.forward_substitute(&diff)?;
+        let mahalanobis_sq = dot(&y, &y);
+        Ok(self.log_norm - 0.5 * mahalanobis_sq)
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: &[f64]) -> Result<f64> {
+        Ok(self.log_pdf(x)?.exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_gaussian_pdf_at_origin() {
+        let g = Gaussian::isotropic(vec![0.0, 0.0], 1.0).unwrap();
+        // 1 / (2π) ≈ 0.15915
+        assert!((g.pdf(&[0.0, 0.0]).unwrap() - 0.159_154_94).abs() < 1e-6);
+    }
+
+    #[test]
+    fn univariate_pdf_matches_closed_form() {
+        let g = Gaussian::isotropic(vec![1.0], 2.0).unwrap();
+        let x = 2.5;
+        let expected =
+            (-((x - 1.0f64) * (x - 1.0)) / (2.0 * 4.0)).exp() / (2.0 * std::f64::consts::PI * 4.0).sqrt();
+        assert!((g.pdf(&[x]).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let g = Gaussian::isotropic(vec![0.0, 0.0], 1.0).unwrap();
+        assert!(g.pdf(&[0.0]).is_err());
+        assert!(Gaussian::new(vec![0.0], Matrix::identity(2)).is_err());
+        assert!(Gaussian::diagonal(vec![0.0, 0.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn isotropic_rejects_bad_sigma() {
+        assert!(Gaussian::isotropic(vec![0.0], 0.0).is_err());
+        assert!(Gaussian::isotropic(vec![0.0], -1.0).is_err());
+        assert!(Gaussian::isotropic(vec![0.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn samples_have_expected_mean_and_covariance() {
+        let g = Gaussian::diagonal(vec![1.0, -2.0], &[0.25, 4.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let samples: Vec<Vec<f64>> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        for d in 0..2 {
+            let mean = samples.iter().map(|s| s[d]).sum::<f64>() / n as f64;
+            let var = samples.iter().map(|s| (s[d] - mean).powi(2)).sum::<f64>() / n as f64;
+            assert!((mean - g.mean()[d]).abs() < 0.03, "dim {d} mean {mean}");
+            assert!(
+                (var - g.covariance()[(d, d)]).abs() / g.covariance()[(d, d)] < 0.05,
+                "dim {d} var {var}"
+            );
+        }
+    }
+
+    #[test]
+    fn correlated_gaussian_sampling_preserves_correlation_sign() {
+        let cov = Matrix::from_rows(2, vec![1.0, 0.8, 0.8, 1.0]).unwrap();
+        let g = Gaussian::new(vec![0.0, 0.0], cov).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let mut cov_acc = 0.0;
+        for _ in 0..n {
+            let s = g.sample(&mut rng);
+            cov_acc += s[0] * s[1];
+        }
+        let empirical = cov_acc / n as f64;
+        assert!((empirical - 0.8).abs() < 0.05, "empirical covariance {empirical}");
+    }
+
+    #[test]
+    fn log_pdf_is_maximised_at_mean() {
+        let g = Gaussian::diagonal(vec![0.3, -0.4, 0.1], &[0.1, 0.2, 0.3]).unwrap();
+        let at_mean = g.log_pdf(&[0.3, -0.4, 0.1]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let x = g.sample(&mut rng);
+            assert!(g.log_pdf(&x).unwrap() <= at_mean + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Minimal dense linear algebra used by the Gaussian-mixture model.
+//!
+//! The weight-vector spaces in the paper are low dimensional (2–10 features),
+//! so a straightforward `Vec<f64>`-backed implementation is both simpler and
+//! faster than pulling in a general-purpose linear-algebra crate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GmmError, Result};
+
+/// A dense column vector of `f64` values.
+pub type Vector = Vec<f64>;
+
+/// Dot product of two equally sized vectors.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ; in release builds the shorter
+/// length is used (consistent with `Iterator::zip`).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot product dimension mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm of a vector.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two vectors.
+#[inline]
+pub fn distance_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two vectors.
+#[inline]
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    distance_sq(a, b).sqrt()
+}
+
+/// `a - b`, element-wise.
+#[inline]
+pub fn sub(a: &[f64], b: &[f64]) -> Vector {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// `a + b`, element-wise.
+#[inline]
+pub fn add(a: &[f64], b: &[f64]) -> Vector {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+}
+
+/// `s * a`, element-wise scaling.
+#[inline]
+pub fn scale(a: &[f64], s: f64) -> Vector {
+    a.iter().map(|x| x * s).collect()
+}
+
+/// A dense, row-major square matrix.
+///
+/// Only the operations needed by the Gaussian model are provided: symmetric
+/// storage, Cholesky factorisation, forward substitution and matrix–vector
+/// products.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `dim x dim` matrix filled with zeros.
+    pub fn zeros(dim: usize) -> Self {
+        Matrix {
+            dim,
+            data: vec![0.0; dim * dim],
+        }
+    }
+
+    /// Creates an identity matrix of the given dimension.
+    pub fn identity(dim: usize) -> Self {
+        let mut m = Matrix::zeros(dim);
+        for i in 0..dim {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn diagonal(diag: &[f64]) -> Self {
+        let mut m = Matrix::zeros(diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// Returns an error if `data.len() != dim * dim`.
+    pub fn from_rows(dim: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != dim * dim {
+            return Err(GmmError::DimensionMismatch {
+                expected: dim * dim,
+                actual: data.len(),
+            });
+        }
+        Ok(Matrix { dim, data })
+    }
+
+    /// Matrix dimension (number of rows = number of columns).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Matrix–vector product `M * v`.
+    pub fn mul_vec(&self, v: &[f64]) -> Result<Vector> {
+        if v.len() != self.dim {
+            return Err(GmmError::DimensionMismatch {
+                expected: self.dim,
+                actual: v.len(),
+            });
+        }
+        let mut out = vec![0.0; self.dim];
+        for i in 0..self.dim {
+            let row = &self.data[i * self.dim..(i + 1) * self.dim];
+            out[i] = dot(row, v);
+        }
+        Ok(out)
+    }
+
+    /// Cholesky factorisation `M = L * L^T` for a symmetric positive-definite
+    /// matrix; returns the lower-triangular factor `L`.
+    pub fn cholesky(&self) -> Result<Matrix> {
+        let n = self.dim;
+        let mut l = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(GmmError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solves `L * x = b` by forward substitution, where `self` is lower
+    /// triangular (e.g. a Cholesky factor).
+    pub fn forward_substitute(&self, b: &[f64]) -> Result<Vector> {
+        if b.len() != self.dim {
+            return Err(GmmError::DimensionMismatch {
+                expected: self.dim,
+                actual: b.len(),
+            });
+        }
+        let n = self.dim;
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= self[(i, j)] * x[j];
+            }
+            let d = self[(i, i)];
+            if d == 0.0 {
+                return Err(GmmError::NotPositiveDefinite);
+            }
+            x[i] = sum / d;
+        }
+        Ok(x)
+    }
+
+    /// Product of the diagonal entries (for a Cholesky factor this equals
+    /// `sqrt(det(M))`).
+    pub fn diagonal_product(&self) -> f64 {
+        (0..self.dim).map(|i| self[(i, i)]).product()
+    }
+
+    /// Log of the determinant of `L * L^T` given that `self` is the Cholesky
+    /// factor `L`.
+    pub fn log_det_from_cholesky(&self) -> f64 {
+        2.0 * (0..self.dim).map(|i| self[(i, i)].ln()).sum::<f64>()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.dim + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.dim + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_product_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn norm_and_distance() {
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert!((distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert!((distance_sq(&[1.0, 1.0], &[2.0, 3.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elementwise_helpers() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(sub(&[1.0, 2.0], &[3.0, 4.0]), vec![-2.0, -2.0]);
+        assert_eq!(scale(&[1.0, 2.0], 2.5), vec![2.5, 5.0]);
+    }
+
+    #[test]
+    fn identity_mul_vec_is_noop() {
+        let m = Matrix::identity(3);
+        let v = vec![1.0, -2.0, 3.0];
+        assert_eq!(m.mul_vec(&v).unwrap(), v);
+    }
+
+    #[test]
+    fn mul_vec_dimension_mismatch() {
+        let m = Matrix::identity(3);
+        let err = m.mul_vec(&[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, GmmError::DimensionMismatch { expected: 3, actual: 2 }));
+    }
+
+    #[test]
+    fn cholesky_of_identity_is_identity() {
+        let m = Matrix::identity(4);
+        assert_eq!(m.cholesky().unwrap(), Matrix::identity(4));
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd_matrix() {
+        // M = [[4, 2], [2, 3]]
+        let m = Matrix::from_rows(2, vec![4.0, 2.0, 2.0, 3.0]).unwrap();
+        let l = m.cholesky().unwrap();
+        // Reconstruct L * L^T and compare.
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut v = 0.0;
+                for k in 0..2 {
+                    v += l[(i, k)] * l[(j, k)];
+                }
+                assert!((v - m[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_non_spd() {
+        let m = Matrix::from_rows(2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert_eq!(m.cholesky().unwrap_err(), GmmError::NotPositiveDefinite);
+    }
+
+    #[test]
+    fn forward_substitution_solves_lower_triangular_system() {
+        // L = [[2, 0], [1, 3]], b = [4, 10] -> x = [2, 8/3]
+        let mut l = Matrix::zeros(2);
+        l[(0, 0)] = 2.0;
+        l[(1, 0)] = 1.0;
+        l[(1, 1)] = 3.0;
+        let x = l.forward_substitute(&[4.0, 10.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_rows_validates_length() {
+        assert!(Matrix::from_rows(2, vec![1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn diagonal_matrix_and_log_det() {
+        let m = Matrix::diagonal(&[4.0, 9.0]);
+        let l = m.cholesky().unwrap();
+        assert!((l.diagonal_product() - 6.0).abs() < 1e-12);
+        assert!((l.log_det_from_cholesky() - (36.0f64).ln()).abs() < 1e-12);
+    }
+}

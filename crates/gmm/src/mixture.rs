@@ -1,0 +1,281 @@
+//! Gaussian mixtures: the prior distribution `Pw` over utility weight vectors.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::gaussian::Gaussian;
+use crate::linalg::Vector;
+use crate::{GmmError, Result};
+
+/// One weighted component of a [`GaussianMixture`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixtureComponent {
+    /// Mixing weight (strictly positive; the mixture normalises them).
+    pub weight: f64,
+    /// The Gaussian component.
+    pub gaussian: Gaussian,
+}
+
+/// A mixture of multivariate Gaussians.
+///
+/// The paper assumes the prior `Pw` over utility weight vectors is a mixture of
+/// Gaussians because such mixtures can approximate any density (Section 2.1).
+/// The mixture supports sampling (select a component by weight, then sample the
+/// component) and exact density evaluation, which is all the constrained
+/// samplers need.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussianMixture {
+    components: Vec<MixtureComponent>,
+    /// Cumulative normalised weights for O(log k) component selection.
+    cumulative: Vec<f64>,
+    dim: usize,
+}
+
+impl GaussianMixture {
+    /// Creates a mixture from weighted components.
+    ///
+    /// Weights must be positive and finite; they are normalised internally.
+    /// All components must share the same dimensionality.
+    pub fn new(components: Vec<MixtureComponent>) -> Result<Self> {
+        if components.is_empty() {
+            return Err(GmmError::EmptyMixture);
+        }
+        let dim = components[0].gaussian.dim();
+        let mut total = 0.0;
+        for c in &components {
+            if !(c.weight > 0.0) || !c.weight.is_finite() {
+                return Err(GmmError::InvalidWeight(c.weight));
+            }
+            if c.gaussian.dim() != dim {
+                return Err(GmmError::DimensionMismatch {
+                    expected: dim,
+                    actual: c.gaussian.dim(),
+                });
+            }
+            total += c.weight;
+        }
+        let mut cumulative = Vec::with_capacity(components.len());
+        let mut acc = 0.0;
+        for c in &components {
+            acc += c.weight / total;
+            cumulative.push(acc);
+        }
+        // Guard against floating point drift so the last bucket always catches.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Ok(GaussianMixture {
+            components,
+            cumulative,
+            dim,
+        })
+    }
+
+    /// A single-component mixture (plain Gaussian prior).
+    pub fn single(gaussian: Gaussian) -> Result<Self> {
+        GaussianMixture::new(vec![MixtureComponent {
+            weight: 1.0,
+            gaussian,
+        }])
+    }
+
+    /// The default prior used throughout the paper's experiments: a mixture of
+    /// `k` isotropic Gaussians with standard deviation `sigma`, with means
+    /// spread deterministically inside the weight hyper-cube `[-1, 1]^dim`.
+    ///
+    /// With `k == 1` this is a zero-mean isotropic Gaussian, i.e. an
+    /// uninformative prior centred on "indifferent to every feature".
+    pub fn default_prior(dim: usize, k: usize, sigma: f64) -> Result<Self> {
+        if k == 0 {
+            return Err(GmmError::EmptyMixture);
+        }
+        let mut comps = Vec::with_capacity(k);
+        for i in 0..k {
+            let mean: Vector = if k == 1 {
+                vec![0.0; dim]
+            } else {
+                // Spread means along a diagonal lattice in [-0.5, 0.5]^dim so
+                // multiple Gaussians cover distinct regions of weight space.
+                let offset = -0.5 + (i as f64 + 0.5) / k as f64;
+                (0..dim)
+                    .map(|d| if d % 2 == 0 { offset } else { -offset })
+                    .collect()
+            };
+            comps.push(MixtureComponent {
+                weight: 1.0,
+                gaussian: Gaussian::isotropic(mean, sigma)?,
+            });
+        }
+        GaussianMixture::new(comps)
+    }
+
+    /// Dimensionality of the mixture.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of mixture components.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The mixture components with their normalised weights.
+    pub fn components(&self) -> impl Iterator<Item = (f64, &Gaussian)> + '_ {
+        let total: f64 = self.components.iter().map(|c| c.weight).sum();
+        self.components
+            .iter()
+            .map(move |c| (c.weight / total, &c.gaussian))
+    }
+
+    /// Draws one sample from the mixture.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vector {
+        let u: f64 = rng.gen();
+        let idx = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("weights are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.components.len() - 1),
+        };
+        self.components[idx].gaussian.sample(rng)
+    }
+
+    /// Draws `n` samples from the mixture.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Vector> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Probability density of the mixture at `x`.
+    pub fn pdf(&self, x: &[f64]) -> Result<f64> {
+        let mut p = 0.0;
+        for (w, g) in self.components() {
+            p += w * g.pdf(x)?;
+        }
+        Ok(p)
+    }
+
+    /// Log density of the mixture at `x` (computed via log-sum-exp for
+    /// numerical stability).
+    pub fn log_pdf(&self, x: &[f64]) -> Result<f64> {
+        let mut terms = Vec::with_capacity(self.components.len());
+        for (w, g) in self.components() {
+            terms.push(w.ln() + g.log_pdf(x)?);
+        }
+        let max = terms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if max == f64::NEG_INFINITY {
+            return Ok(f64::NEG_INFINITY);
+        }
+        let sum: f64 = terms.iter().map(|t| (t - max).exp()).sum();
+        Ok(max + sum.ln())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_component_mixture() -> GaussianMixture {
+        GaussianMixture::new(vec![
+            MixtureComponent {
+                weight: 1.0,
+                gaussian: Gaussian::isotropic(vec![-0.5, -0.5], 0.2).unwrap(),
+            },
+            MixtureComponent {
+                weight: 3.0,
+                gaussian: Gaussian::isotropic(vec![0.5, 0.5], 0.2).unwrap(),
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_mixture_rejected() {
+        assert_eq!(GaussianMixture::new(vec![]).unwrap_err(), GmmError::EmptyMixture);
+        assert!(GaussianMixture::default_prior(3, 0, 1.0).is_err());
+    }
+
+    #[test]
+    fn invalid_weight_rejected() {
+        let g = Gaussian::isotropic(vec![0.0], 1.0).unwrap();
+        for w in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = GaussianMixture::new(vec![MixtureComponent {
+                weight: w,
+                gaussian: g.clone(),
+            }])
+            .unwrap_err();
+            assert!(matches!(err, GmmError::InvalidWeight(_)));
+        }
+    }
+
+    #[test]
+    fn mismatched_component_dimensions_rejected() {
+        let err = GaussianMixture::new(vec![
+            MixtureComponent {
+                weight: 1.0,
+                gaussian: Gaussian::isotropic(vec![0.0, 0.0], 1.0).unwrap(),
+            },
+            MixtureComponent {
+                weight: 1.0,
+                gaussian: Gaussian::isotropic(vec![0.0], 1.0).unwrap(),
+            },
+        ])
+        .unwrap_err();
+        assert!(matches!(err, GmmError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn pdf_integrates_weights() {
+        let m = two_component_mixture();
+        // Density near the heavier component's mean should dominate.
+        let near_heavy = m.pdf(&[0.5, 0.5]).unwrap();
+        let near_light = m.pdf(&[-0.5, -0.5]).unwrap();
+        assert!(near_heavy > 2.5 * near_light);
+    }
+
+    #[test]
+    fn log_pdf_matches_pdf() {
+        let m = two_component_mixture();
+        for x in [[0.0, 0.0], [0.5, 0.5], [-0.7, 0.3]] {
+            let p = m.pdf(&x).unwrap();
+            let lp = m.log_pdf(&x).unwrap();
+            assert!((lp - p.ln()).abs() < 1e-9, "x {x:?}: {lp} vs {}", p.ln());
+        }
+    }
+
+    #[test]
+    fn sampling_respects_component_weights() {
+        let m = two_component_mixture();
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 40_000;
+        let near_heavy = m
+            .sample_n(&mut rng, n)
+            .iter()
+            .filter(|s| s[0] > 0.0)
+            .count() as f64
+            / n as f64;
+        // 75% of samples should come from the component centred at (0.5, 0.5).
+        assert!((near_heavy - 0.75).abs() < 0.02, "fraction {near_heavy}");
+    }
+
+    #[test]
+    fn default_prior_shapes() {
+        let m = GaussianMixture::default_prior(4, 3, 0.5).unwrap();
+        assert_eq!(m.dim(), 4);
+        assert_eq!(m.num_components(), 3);
+        let single = GaussianMixture::default_prior(2, 1, 1.0).unwrap();
+        assert_eq!(single.components().next().unwrap().1.mean(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = two_component_mixture();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: GaussianMixture = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.dim(), 2);
+        assert_eq!(back.num_components(), 2);
+        let x = [0.1, 0.2];
+        assert!((back.pdf(&x).unwrap() - m.pdf(&x).unwrap()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,66 @@
+//! Standard-normal sampling via the Box–Muller transform.
+//!
+//! `rand` alone does not ship a Gaussian distribution (that lives in
+//! `rand_distr`), and the only thing this project needs is a stream of
+//! independent standard-normal variates, so we implement the polar form of the
+//! Box–Muller transform directly.
+
+use rand::Rng;
+
+/// Draws one standard-normal (`N(0, 1)`) variate.
+///
+/// Uses the Marsaglia polar method, which avoids trigonometric functions and
+/// rejects points outside the unit disc (acceptance probability π/4 ≈ 0.785).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            let factor = (-2.0 * s.ln() / s).sqrt();
+            return u * factor;
+        }
+    }
+}
+
+/// Draws a vector of `dim` independent standard-normal variates.
+pub fn standard_normal_vector<R: Rng + ?Sized>(rng: &mut R, dim: usize) -> Vec<f64> {
+    (0..dim).map(|_| standard_normal(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_and_variance_are_close_to_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.02, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn vector_has_requested_dimension() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(standard_normal_vector(&mut rng, 5).len(), 5);
+        assert!(standard_normal_vector(&mut rng, 0).is_empty());
+    }
+
+    #[test]
+    fn tail_mass_is_reasonable() {
+        // About 31.7% of the mass lies outside [-1, 1]; check we are in range.
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 100_000;
+        let outside = (0..n)
+            .filter(|_| standard_normal(&mut rng).abs() > 1.0)
+            .count() as f64
+            / n as f64;
+        assert!((outside - 0.3173).abs() < 0.01, "tail mass {outside}");
+    }
+}

@@ -1,0 +1,199 @@
+//! Bounded top-k heap with deterministic tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry of a [`TopKHeap`]: a score plus an identifier used both as payload
+/// and as the deterministic tie-breaker the paper assumes ("ties in utility
+/// score are resolved using a deterministic tie-breaker such as the ID of a
+/// package", Section 2.1).
+#[derive(Debug, Clone, PartialEq)]
+struct Entry<I> {
+    score: f64,
+    id: I,
+}
+
+impl<I: Ord + Eq> Eq for Entry<I> {}
+
+impl<I: Ord + Eq> PartialOrd for Entry<I> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<I: Ord + Eq> Ord for Entry<I> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want the *worst*
+        // retained entry on top so it can be evicted cheaply.  The worst entry
+        // has the lowest score; among equal scores the larger id loses (the
+        // deterministic tie-breaker prefers smaller ids).
+        match other.score.partial_cmp(&self.score) {
+            Some(Ordering::Equal) | None => self.id.cmp(&other.id),
+            Some(ord) => ord,
+        }
+    }
+}
+
+/// A bounded heap that retains the `k` highest-scoring entries.
+///
+/// Scores compare by `f64` value with ties broken by the smaller identifier
+/// winning, which makes every ranking produced by the system deterministic.
+/// NaN scores are rejected at insertion time.
+#[derive(Debug, Clone)]
+pub struct TopKHeap<I> {
+    k: usize,
+    heap: BinaryHeap<Entry<I>>,
+}
+
+impl<I: Ord + Eq + Clone> TopKHeap<I> {
+    /// Creates a heap retaining at most `k` entries.
+    pub fn new(k: usize) -> Self {
+        TopKHeap {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Capacity `k` of the heap.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of retained entries (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether the heap already holds `k` entries.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// Score of the worst retained entry, i.e. the current lower bound `ηlo`
+    /// a new candidate must beat once the heap is full.
+    pub fn threshold(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.score)
+    }
+
+    /// Offers an entry; returns `true` if it was retained.
+    ///
+    /// Non-finite scores are ignored (`false`).
+    pub fn push(&mut self, id: I, score: f64) -> bool {
+        if self.k == 0 || !score.is_finite() {
+            return false;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(Entry { score, id });
+            return true;
+        }
+        let worst = self.heap.peek().expect("heap is full, hence non-empty");
+        let candidate = Entry { score, id };
+        // Retain the candidate if it beats the worst entry under the same
+        // (score, then smaller-id-wins) ordering used for the final ranking.
+        let candidate_better = match candidate.score.partial_cmp(&worst.score) {
+            Some(Ordering::Greater) => true,
+            Some(Ordering::Less) | None => false,
+            Some(Ordering::Equal) => candidate.id < worst.id,
+        };
+        if candidate_better {
+            self.heap.pop();
+            self.heap.push(candidate);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether a candidate with the given score could still enter the heap.
+    pub fn would_accept(&self, score: f64) -> bool {
+        if !score.is_finite() || self.k == 0 {
+            return false;
+        }
+        !self.is_full() || self.threshold().map(|t| score > t).unwrap_or(true)
+    }
+
+    /// Consumes the heap and returns entries ordered best-first.
+    pub fn into_sorted(self) -> Vec<(I, f64)> {
+        let mut entries: Vec<Entry<I>> = self.heap.into_vec();
+        entries.sort_by(|a, b| match b.score.partial_cmp(&a.score) {
+            Some(Ordering::Equal) | None => a.id.cmp(&b.id),
+            Some(ord) => ord,
+        });
+        entries.into_iter().map(|e| (e.id, e.score)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_the_k_best() {
+        let mut h = TopKHeap::new(3);
+        for (i, s) in [5.0, 1.0, 4.0, 2.0, 3.0].iter().enumerate() {
+            h.push(i, *s);
+        }
+        let sorted = h.into_sorted();
+        assert_eq!(sorted.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![0, 2, 4]);
+        assert_eq!(sorted[0].1, 5.0);
+    }
+
+    #[test]
+    fn ties_break_by_smaller_id() {
+        let mut h = TopKHeap::new(2);
+        h.push(7usize, 1.0);
+        h.push(3usize, 1.0);
+        h.push(5usize, 1.0);
+        let ids: Vec<usize> = h.into_sorted().into_iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![3, 5]);
+    }
+
+    #[test]
+    fn threshold_tracks_worst_retained_entry() {
+        let mut h = TopKHeap::new(2);
+        assert_eq!(h.threshold(), None);
+        h.push(0usize, 10.0);
+        h.push(1usize, 20.0);
+        assert_eq!(h.threshold(), Some(10.0));
+        assert!(h.would_accept(15.0));
+        assert!(!h.would_accept(5.0));
+        h.push(2usize, 15.0);
+        assert_eq!(h.threshold(), Some(15.0));
+    }
+
+    #[test]
+    fn zero_capacity_and_nan_are_rejected() {
+        let mut h = TopKHeap::new(0);
+        assert!(!h.push(0usize, 1.0));
+        assert!(h.is_empty());
+        let mut h = TopKHeap::new(2);
+        assert!(!h.push(0usize, f64::NAN));
+        assert!(!h.would_accept(f64::NAN));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn push_reports_retention() {
+        let mut h = TopKHeap::new(2);
+        assert!(h.push(0usize, 1.0));
+        assert!(h.push(1usize, 2.0));
+        assert!(!h.push(2usize, 0.5));
+        assert!(h.push(3usize, 3.0));
+        assert_eq!(h.len(), 2);
+        assert!(h.is_full());
+    }
+
+    #[test]
+    fn equal_score_does_not_evict_when_id_is_larger() {
+        let mut h = TopKHeap::new(1);
+        h.push(1usize, 1.0);
+        assert!(!h.push(2usize, 1.0));
+        assert!(h.push(0usize, 1.0));
+        assert_eq!(h.into_sorted(), vec![(0, 1.0)]);
+    }
+}

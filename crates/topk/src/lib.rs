@@ -1,0 +1,35 @@
+//! Top-k query processing substrate for the `pkgrec` package recommender.
+//!
+//! The paper leans on "classical top-k query processing" (Ilyas et al.'s
+//! survey, reference [13]) in two places:
+//!
+//! * **Sample maintenance** (Section 3.4, Algorithm 1) — finding the samples
+//!   in a pool that violate a newly received preference is a threshold-
+//!   algorithm scan over per-feature sorted lists of the samples.
+//! * **Top-k package search** (Section 4, Algorithm 2) — items are accessed in
+//!   round-robin order from per-feature sorted lists and the boundary vector
+//!   `τ` bounds the utility of every unseen item.
+//!
+//! This crate implements that machinery once so both call sites share it:
+//!
+//! * [`SortedLists`] / [`RoundRobinCursor`] — per-feature sorted index with
+//!   round-robin sorted access, direction control (ascending/descending) and
+//!   boundary-vector computation,
+//! * [`ThresholdScanner`] — resumable TA scan for all points scoring above a
+//!   threshold, including the budgeted hybrid used by Algorithm 1,
+//! * [`top_k`] — classic TA retrieval of the k best points for a linear query,
+//! * [`TopKHeap`] — a bounded result heap with the deterministic id
+//!   tie-breaking the paper assumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod heap;
+pub mod scanner;
+pub mod sorted_lists;
+pub mod ta;
+
+pub use heap::TopKHeap;
+pub use scanner::{scan_naive, ScanResult, ThresholdScanner};
+pub use sorted_lists::{Direction, RoundRobinCursor, SortedAccess, SortedLists};
+pub use ta::{top_k, top_k_naive, TopKResult};

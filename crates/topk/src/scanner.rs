@@ -1,0 +1,249 @@
+//! Threshold-algorithm scans over sorted lists.
+//!
+//! [`ThresholdScanner`] wraps a [`RoundRobinCursor`] for a linear query
+//! `q · x` and exposes the classic TA loop: perform sorted accesses, remember
+//! which points have been seen, and stop as soon as the boundary vector proves
+//! that no unseen point can exceed the caller's threshold.  Algorithm 1 of the
+//! paper (finding samples that violate a new preference) is exactly a scan for
+//! all points with `q · x > 0` where `q = p2 - p1`.
+
+use std::collections::HashSet;
+
+use crate::sorted_lists::{RoundRobinCursor, SortedLists};
+
+/// Outcome of a threshold scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanResult {
+    /// Ids of points whose score strictly exceeds the threshold.
+    pub matches: Vec<usize>,
+    /// Number of sorted accesses performed.
+    pub sorted_accesses: usize,
+    /// Number of distinct points examined (random accesses).
+    pub distinct_seen: usize,
+    /// Whether the scan stopped early thanks to the TA bound (as opposed to
+    /// exhausting every list or hitting the access budget).
+    pub stopped_early: bool,
+}
+
+/// A resumable TA scan for points with `query · x > threshold`.
+#[derive(Debug)]
+pub struct ThresholdScanner<'a> {
+    lists: &'a SortedLists,
+    query: Vec<f64>,
+    threshold: f64,
+    cursor: RoundRobinCursor<'a>,
+    seen: HashSet<usize>,
+    matches: Vec<usize>,
+    stopped_early: bool,
+}
+
+impl<'a> ThresholdScanner<'a> {
+    /// Creates a scanner for all points with `query · x > threshold`.
+    pub fn new(lists: &'a SortedLists, query: Vec<f64>, threshold: f64) -> Self {
+        let cursor = RoundRobinCursor::for_query(lists, &query);
+        ThresholdScanner {
+            lists,
+            query,
+            threshold,
+            cursor,
+            seen: HashSet::new(),
+            matches: Vec::new(),
+            stopped_early: false,
+        }
+    }
+
+    /// The score of a specific point under the scanner's query.
+    pub fn score(&self, id: usize) -> f64 {
+        self.lists
+            .point(id)
+            .iter()
+            .zip(self.query.iter())
+            .map(|(x, q)| x * q)
+            .sum()
+    }
+
+    /// Number of sorted accesses performed so far (`Cprocessed`).
+    pub fn sorted_accesses(&self) -> usize {
+        self.cursor.accesses()
+    }
+
+    /// Entries remaining in the list the next access would touch (`Cremain`).
+    pub fn remaining_in_current_list(&self) -> usize {
+        self.cursor.remaining_in_current_list()
+    }
+
+    /// Whether the TA stopping condition already holds: no unseen point can
+    /// have a score above the threshold.
+    pub fn can_stop(&self) -> bool {
+        self.cursor.upper_bound(&self.query) <= self.threshold
+    }
+
+    /// Performs one TA step (one sorted access plus the membership check).
+    /// Returns `false` when the scan is finished — either because the bound
+    /// closed or because every list is exhausted.
+    pub fn step(&mut self) -> bool {
+        match self.cursor.next_access() {
+            None => false,
+            Some(access) => {
+                if self.seen.insert(access.id) && self.score(access.id) > self.threshold {
+                    self.matches.push(access.id);
+                }
+                if self.can_stop() {
+                    self.stopped_early = true;
+                    false
+                } else {
+                    true
+                }
+            }
+        }
+    }
+
+    /// Runs the scan to completion under the TA stopping rule.
+    pub fn run(mut self) -> ScanResult {
+        while self.step() {}
+        self.finish()
+    }
+
+    /// Runs the scan but gives up on TA once
+    /// `sorted_accesses + remaining_in_current_list >= budget`, at which point
+    /// the remaining *unseen* points are checked by brute force.  This is the
+    /// hybrid strategy of Algorithm 1 with `budget = (1 + γ) · |S|`.
+    pub fn run_with_budget(mut self, budget: usize) -> ScanResult {
+        loop {
+            if self.can_stop() {
+                self.stopped_early = true;
+                break;
+            }
+            if self.sorted_accesses() + self.remaining_in_current_list() >= budget {
+                // Fall back: check every point not yet seen.
+                for id in 0..self.lists.len() {
+                    if self.seen.insert(id) && self.score(id) > self.threshold {
+                        self.matches.push(id);
+                    }
+                }
+                break;
+            }
+            if !self.step() {
+                break;
+            }
+        }
+        self.finish()
+    }
+
+    fn finish(self) -> ScanResult {
+        let mut matches = self.matches;
+        matches.sort_unstable();
+        ScanResult {
+            matches,
+            sorted_accesses: self.cursor.accesses(),
+            distinct_seen: self.seen.len(),
+            stopped_early: self.stopped_early,
+        }
+    }
+}
+
+/// Brute-force reference: ids of all points with `query · x > threshold`.
+pub fn scan_naive(points: &[Vec<f64>], query: &[f64], threshold: f64) -> Vec<usize> {
+    points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.iter().zip(query.iter()).map(|(x, q)| x * q).sum::<f64>() > threshold)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn scan_matches_naive_reference() {
+        let points = random_points(500, 4, 7);
+        let lists = SortedLists::new(&points);
+        for (qi, query) in [
+            vec![0.3, -0.2, 0.5, 0.0],
+            vec![1.0, 1.0, 1.0, 1.0],
+            vec![-0.5, -0.5, 0.0, 0.0],
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let result = ThresholdScanner::new(&lists, query.clone(), 0.0).run();
+            let expected = scan_naive(&points, &query, 0.0);
+            assert_eq!(result.matches, expected, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn scan_with_budget_matches_naive_reference() {
+        let points = random_points(300, 3, 11);
+        let lists = SortedLists::new(&points);
+        let query = vec![0.7, -0.3, 0.4];
+        for budget in [0, 10, 150, 10_000] {
+            let result =
+                ThresholdScanner::new(&lists, query.clone(), 0.0).run_with_budget(budget);
+            assert_eq!(result.matches, scan_naive(&points, &query, 0.0), "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn scan_stops_early_when_few_points_match() {
+        // One outlier point scores far above everything else; TA should finish
+        // after visiting only a prefix of the lists.
+        let mut points = vec![vec![0.01, 0.01]; 1000];
+        points.push(vec![0.9, 0.9]);
+        let lists = SortedLists::new(&points);
+        let query = vec![1.0, 1.0];
+        let result = ThresholdScanner::new(&lists, query, 0.5).run();
+        assert_eq!(result.matches, vec![1000]);
+        assert!(result.stopped_early);
+        assert!(
+            result.sorted_accesses < 100,
+            "expected early stop, performed {} accesses",
+            result.sorted_accesses
+        );
+    }
+
+    #[test]
+    fn scan_handles_no_matches() {
+        let points = vec![vec![0.1, 0.1], vec![0.2, 0.2]];
+        let lists = SortedLists::new(&points);
+        let result = ThresholdScanner::new(&lists, vec![1.0, 1.0], 10.0).run();
+        assert!(result.matches.is_empty());
+        assert!(result.stopped_early);
+    }
+
+    #[test]
+    fn scan_handles_all_matches() {
+        let points = vec![vec![0.5], vec![0.9], vec![0.7]];
+        let lists = SortedLists::new(&points);
+        let result = ThresholdScanner::new(&lists, vec![1.0], 0.0).run();
+        assert_eq!(result.matches, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_query_matches_nothing_above_zero() {
+        let points = random_points(50, 3, 3);
+        let lists = SortedLists::new(&points);
+        let result = ThresholdScanner::new(&lists, vec![0.0, 0.0, 0.0], 0.0).run();
+        assert!(result.matches.is_empty());
+        assert_eq!(result.sorted_accesses, 0);
+    }
+
+    #[test]
+    fn negative_threshold_includes_negative_scores() {
+        let points = vec![vec![-0.5], vec![-0.2], vec![0.3]];
+        let lists = SortedLists::new(&points);
+        let result = ThresholdScanner::new(&lists, vec![1.0], -0.3).run();
+        assert_eq!(result.matches, vec![1, 2]);
+    }
+}

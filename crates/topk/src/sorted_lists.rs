@@ -1,0 +1,404 @@
+//! Per-feature sorted lists with round-robin sorted access.
+//!
+//! Both Algorithm 1 (sample maintenance) and Algorithm 2 (Top-k-Pkg) of the
+//! paper access a collection of `m`-dimensional points through *sorted lists*:
+//! one list per feature, ordered by that feature's value, visited in
+//! round-robin fashion.  After every access the *boundary vector* `τ` — the
+//! feature values at the current frontier of each list — upper bounds the score
+//! any unseen point can still achieve, which is what lets both algorithms stop
+//! early.
+//!
+//! The paper's footnote in Section 4 notes that "a sorted list can be accessed
+//! both forwards and backwards", so a single index per feature serves both
+//! ascending and descending access; [`Direction`] selects which end the cursor
+//! starts from.
+
+use serde::{Deserialize, Serialize};
+
+/// Direction in which a sorted list is traversed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Visit the largest values first (preferred when the query weight on this
+    /// feature is positive).
+    Descending,
+    /// Visit the smallest values first (preferred when the query weight is
+    /// negative).
+    Ascending,
+}
+
+impl Direction {
+    /// The access direction that visits the *most useful* values first for a
+    /// query coefficient of the given sign.
+    pub fn for_weight(weight: f64) -> Direction {
+        if weight < 0.0 {
+            Direction::Ascending
+        } else {
+            Direction::Descending
+        }
+    }
+}
+
+/// Per-feature sorted index lists over a fixed set of points.
+///
+/// Construction is `O(m · n log n)`; the lists are immutable afterwards and
+/// shared by any number of cursors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SortedLists {
+    /// `order[d][rank]` = index of the point with the `rank`-th largest value
+    /// on dimension `d`.
+    order: Vec<Vec<usize>>,
+    /// The points themselves (row-major), kept for boundary lookups.
+    values: Vec<Vec<f64>>,
+    dim: usize,
+}
+
+impl SortedLists {
+    /// Builds sorted lists over the given points.
+    ///
+    /// # Panics
+    /// Panics if points have inconsistent dimensionality.
+    pub fn new(points: &[Vec<f64>]) -> Self {
+        let dim = points.first().map(|p| p.len()).unwrap_or(0);
+        assert!(
+            points.iter().all(|p| p.len() == dim),
+            "all points must share the same dimensionality"
+        );
+        let mut order = Vec::with_capacity(dim);
+        for d in 0..dim {
+            let mut ids: Vec<usize> = (0..points.len()).collect();
+            ids.sort_by(|&a, &b| {
+                points[b][d]
+                    .partial_cmp(&points[a][d])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.cmp(&b))
+            });
+            order.push(ids);
+        }
+        SortedLists {
+            order,
+            values: points.to_vec(),
+            dim,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the structure indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Dimensionality of the indexed points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The feature vector of a point.
+    pub fn point(&self, id: usize) -> &[f64] {
+        &self.values[id]
+    }
+
+    /// All indexed points.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.values
+    }
+
+    /// The id at a given rank of dimension `d`'s list in the given direction.
+    pub fn id_at(&self, d: usize, rank: usize, direction: Direction) -> Option<usize> {
+        let list = &self.order[d];
+        match direction {
+            Direction::Descending => list.get(rank).copied(),
+            Direction::Ascending => {
+                if rank < list.len() {
+                    Some(list[list.len() - 1 - rank])
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The feature value at a given rank of dimension `d`'s list.
+    pub fn value_at(&self, d: usize, rank: usize, direction: Direction) -> Option<f64> {
+        self.id_at(d, rank, direction).map(|id| self.values[id][d])
+    }
+}
+
+/// A round-robin cursor over the sorted lists of a [`SortedLists`] index.
+///
+/// The cursor remembers, per dimension, how deep it has advanced and in which
+/// direction; [`RoundRobinCursor::next_access`] performs one sorted access and
+/// [`RoundRobinCursor::boundary`] returns the current boundary vector `τ`.
+#[derive(Debug, Clone)]
+pub struct RoundRobinCursor<'a> {
+    lists: &'a SortedLists,
+    directions: Vec<Direction>,
+    /// Next rank to visit per dimension.
+    positions: Vec<usize>,
+    /// Dimensions that participate in the round-robin (non-zero query weight).
+    active_dims: Vec<usize>,
+    /// Which entry of `active_dims` the next access uses.
+    turn: usize,
+}
+
+/// One sorted access performed by the cursor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SortedAccess {
+    /// The dimension whose list was accessed.
+    pub dim: usize,
+    /// The rank (depth) within that list.
+    pub rank: usize,
+    /// The id of the point found there.
+    pub id: usize,
+    /// The point's value on that dimension.
+    pub value: f64,
+}
+
+impl<'a> RoundRobinCursor<'a> {
+    /// Creates a cursor over all dimensions using the given directions.
+    ///
+    /// # Panics
+    /// Panics if `directions.len()` differs from the index dimensionality.
+    pub fn new(lists: &'a SortedLists, directions: Vec<Direction>) -> Self {
+        assert_eq!(directions.len(), lists.dim(), "one direction per dimension");
+        let active_dims = (0..lists.dim()).collect();
+        RoundRobinCursor {
+            lists,
+            directions,
+            positions: vec![0; lists.dim()],
+            active_dims,
+            turn: 0,
+        }
+    }
+
+    /// Creates a cursor whose directions follow the signs of a query vector
+    /// and which skips dimensions with zero query weight entirely.
+    pub fn for_query(lists: &'a SortedLists, query: &[f64]) -> Self {
+        assert_eq!(query.len(), lists.dim(), "query must match index dimensionality");
+        let directions = query.iter().map(|&q| Direction::for_weight(q)).collect();
+        let active_dims = (0..lists.dim()).filter(|&d| query[d] != 0.0).collect::<Vec<_>>();
+        RoundRobinCursor {
+            lists,
+            directions,
+            positions: vec![0; lists.dim()],
+            active_dims,
+            turn: 0,
+        }
+    }
+
+    /// Dimensions participating in the round-robin.
+    pub fn active_dims(&self) -> &[usize] {
+        &self.active_dims
+    }
+
+    /// Total number of sorted accesses performed so far.
+    pub fn accesses(&self) -> usize {
+        self.positions.iter().sum()
+    }
+
+    /// Number of not-yet-visited entries in the list that would be accessed
+    /// next (the `Cremain` quantity of Algorithm 1).
+    pub fn remaining_in_current_list(&self) -> usize {
+        match self.current_dim() {
+            Some(d) => self.lists.len().saturating_sub(self.positions[d]),
+            None => 0,
+        }
+    }
+
+    /// The dimension the next access will touch, if any dimension is active
+    /// and not yet exhausted.
+    pub fn current_dim(&self) -> Option<usize> {
+        if self.active_dims.is_empty() {
+            return None;
+        }
+        // Find the next active dimension whose list is not exhausted.
+        for offset in 0..self.active_dims.len() {
+            let d = self.active_dims[(self.turn + offset) % self.active_dims.len()];
+            if self.positions[d] < self.lists.len() {
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    /// Performs one sorted access in round-robin order; `None` once every
+    /// active list is exhausted.
+    pub fn next_access(&mut self) -> Option<SortedAccess> {
+        if self.active_dims.is_empty() {
+            return None;
+        }
+        for offset in 0..self.active_dims.len() {
+            let slot = (self.turn + offset) % self.active_dims.len();
+            let d = self.active_dims[slot];
+            if self.positions[d] < self.lists.len() {
+                let rank = self.positions[d];
+                let id = self
+                    .lists
+                    .id_at(d, rank, self.directions[d])
+                    .expect("rank is in range");
+                let value = self.lists.point(id)[d];
+                self.positions[d] += 1;
+                self.turn = (slot + 1) % self.active_dims.len();
+                return Some(SortedAccess { dim: d, rank, id, value });
+            }
+        }
+        None
+    }
+
+    /// The boundary vector `τ`: for every dimension, the value at the frontier
+    /// of its list (the last value accessed, or the list's best value if the
+    /// list has not been touched yet).  Inactive dimensions report the value a
+    /// query with zero weight would ignore anyway (their best value).
+    pub fn boundary(&self) -> Vec<f64> {
+        (0..self.lists.dim())
+            .map(|d| {
+                let seen = self.positions[d];
+                let rank = if seen == 0 { 0 } else { (seen - 1).min(self.lists.len().saturating_sub(1)) };
+                self.lists
+                    .value_at(d, rank, self.directions[d])
+                    .unwrap_or(0.0)
+            })
+            .collect()
+    }
+
+    /// Upper bound of `query · x` over every *unseen* point, computed from the
+    /// boundary vector.  Once this drops to or below a caller-side threshold
+    /// the scan can stop (the TA stopping rule).
+    pub fn upper_bound(&self, query: &[f64]) -> f64 {
+        debug_assert_eq!(query.len(), self.lists.dim());
+        self.boundary()
+            .iter()
+            .zip(query.iter())
+            .map(|(t, q)| t * q)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_points() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.9, 0.1],
+            vec![0.5, 0.5],
+            vec![0.1, 0.9],
+            vec![0.7, 0.3],
+        ]
+    }
+
+    #[test]
+    fn lists_are_sorted_descending_with_stable_ties() {
+        let lists = SortedLists::new(&sample_points());
+        assert_eq!(lists.len(), 4);
+        assert_eq!(lists.dim(), 2);
+        // Dimension 0 descending: 0.9, 0.7, 0.5, 0.1 -> ids 0, 3, 1, 2.
+        let ids: Vec<usize> = (0..4)
+            .map(|r| lists.id_at(0, r, Direction::Descending).unwrap())
+            .collect();
+        assert_eq!(ids, vec![0, 3, 1, 2]);
+        // Ascending is the reverse.
+        let ids: Vec<usize> = (0..4)
+            .map(|r| lists.id_at(0, r, Direction::Ascending).unwrap())
+            .collect();
+        assert_eq!(ids, vec![2, 1, 3, 0]);
+        assert_eq!(lists.id_at(0, 4, Direction::Descending), None);
+        assert_eq!(lists.value_at(1, 0, Direction::Descending), Some(0.9));
+    }
+
+    #[test]
+    fn ties_order_by_smaller_id_first() {
+        let points = vec![vec![0.5], vec![0.5], vec![0.5]];
+        let lists = SortedLists::new(&points);
+        let ids: Vec<usize> = (0..3)
+            .map(|r| lists.id_at(0, r, Direction::Descending).unwrap())
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same dimensionality")]
+    fn ragged_points_panic() {
+        let _ = SortedLists::new(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn round_robin_alternates_dimensions() {
+        let lists = SortedLists::new(&sample_points());
+        let mut cursor = RoundRobinCursor::new(
+            &lists,
+            vec![Direction::Descending, Direction::Descending],
+        );
+        let dims: Vec<usize> = (0..4).map(|_| cursor.next_access().unwrap().dim).collect();
+        assert_eq!(dims, vec![0, 1, 0, 1]);
+        assert_eq!(cursor.accesses(), 4);
+    }
+
+    #[test]
+    fn boundary_tracks_frontier_values() {
+        let lists = SortedLists::new(&sample_points());
+        let mut cursor = RoundRobinCursor::new(
+            &lists,
+            vec![Direction::Descending, Direction::Descending],
+        );
+        // Before any access the boundary is the per-dimension maximum.
+        assert_eq!(cursor.boundary(), vec![0.9, 0.9]);
+        cursor.next_access(); // dim 0 -> value 0.9
+        cursor.next_access(); // dim 1 -> value 0.9
+        cursor.next_access(); // dim 0 -> value 0.7
+        assert_eq!(cursor.boundary(), vec![0.7, 0.9]);
+        let ub = cursor.upper_bound(&[1.0, 1.0]);
+        assert!((ub - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_directions_follow_sign_and_skip_zero_weights() {
+        let lists = SortedLists::new(&sample_points());
+        let query = [0.0, -1.0];
+        let mut cursor = RoundRobinCursor::for_query(&lists, &query);
+        assert_eq!(cursor.active_dims(), &[1]);
+        // Negative weight -> ascending access: smallest dim-1 value first.
+        let access = cursor.next_access().unwrap();
+        assert_eq!(access.dim, 1);
+        assert_eq!(access.id, 0);
+        assert!((access.value - 0.1).abs() < 1e-12);
+        // The boundary on dim 1 is now 0.1, so the upper bound of -1 * x1 over
+        // unseen points is -0.1... all unseen points have larger dim-1 values.
+        assert!((cursor.upper_bound(&query) + 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cursor_exhausts_and_reports_remaining() {
+        let lists = SortedLists::new(&sample_points());
+        let mut cursor = RoundRobinCursor::for_query(&lists, &[1.0, 0.0]);
+        assert_eq!(cursor.remaining_in_current_list(), 4);
+        let mut count = 0;
+        while cursor.next_access().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 4);
+        assert_eq!(cursor.remaining_in_current_list(), 0);
+        assert_eq!(cursor.current_dim(), None);
+        assert!(cursor.next_access().is_none());
+    }
+
+    #[test]
+    fn direction_for_weight() {
+        assert_eq!(Direction::for_weight(0.5), Direction::Descending);
+        assert_eq!(Direction::for_weight(0.0), Direction::Descending);
+        assert_eq!(Direction::for_weight(-0.5), Direction::Ascending);
+    }
+
+    #[test]
+    fn empty_index_is_harmless() {
+        let lists = SortedLists::new(&[]);
+        assert!(lists.is_empty());
+        assert_eq!(lists.dim(), 0);
+        let mut cursor = RoundRobinCursor::new(&lists, vec![]);
+        assert!(cursor.next_access().is_none());
+        assert_eq!(cursor.boundary(), Vec::<f64>::new());
+    }
+}

@@ -1,0 +1,161 @@
+//! Classic threshold-algorithm top-k retrieval for linear scoring functions.
+//!
+//! "Given a set T of items and a fixed w for the utility function, the problem
+//! of finding the k best items w.r.t. w can be done using any standard top-k
+//! query processing technique" (Section 4).  This module provides that
+//! standard technique over the [`SortedLists`] index: round-robin sorted
+//! access, a bounded result heap, and the `threshold ≤ ηlo` stopping rule.
+
+use crate::heap::TopKHeap;
+use crate::sorted_lists::{RoundRobinCursor, SortedLists};
+
+/// Result of a [`top_k`] query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKResult {
+    /// `(id, score)` pairs ordered best-first.
+    pub items: Vec<(usize, f64)>,
+    /// Number of sorted accesses performed before the bound closed.
+    pub sorted_accesses: usize,
+}
+
+/// Returns the `k` points maximising `query · x` using the threshold
+/// algorithm, stopping as soon as no unseen point can enter the result.
+pub fn top_k(lists: &SortedLists, query: &[f64], k: usize) -> TopKResult {
+    assert_eq!(query.len(), lists.dim(), "query must match index dimensionality");
+    let mut heap = TopKHeap::new(k);
+    let mut cursor = RoundRobinCursor::for_query(lists, query);
+    let mut seen = std::collections::HashSet::new();
+    if k == 0 || lists.is_empty() {
+        return TopKResult {
+            items: Vec::new(),
+            sorted_accesses: 0,
+        };
+    }
+    // A query with no active dimension scores every point 0; any k points with
+    // the smallest ids form the answer by the deterministic tie-breaker.
+    if cursor.active_dims().is_empty() {
+        let items = (0..k.min(lists.len())).map(|id| (id, 0.0)).collect();
+        return TopKResult {
+            items,
+            sorted_accesses: 0,
+        };
+    }
+    while let Some(access) = cursor.next_access() {
+        if seen.insert(access.id) {
+            let score: f64 = lists
+                .point(access.id)
+                .iter()
+                .zip(query.iter())
+                .map(|(x, q)| x * q)
+                .sum();
+            heap.push(access.id, score);
+        }
+        // Stop once the heap is full and even the best possible unseen score
+        // cannot beat the current k-th best.
+        if heap.is_full() {
+            let upper = cursor.upper_bound(query);
+            if let Some(lo) = heap.threshold() {
+                if upper <= lo {
+                    break;
+                }
+            }
+        }
+    }
+    TopKResult {
+        items: heap.into_sorted(),
+        sorted_accesses: cursor.accesses(),
+    }
+}
+
+/// Brute-force reference implementation of [`top_k`].
+pub fn top_k_naive(points: &[Vec<f64>], query: &[f64], k: usize) -> Vec<(usize, f64)> {
+    let mut scored: Vec<(usize, f64)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i, p.iter().zip(query.iter()).map(|(x, q)| x * q).sum()))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_on_random_instances() {
+        for seed in 0..5u64 {
+            let points = random_points(200, 3, seed);
+            let lists = SortedLists::new(&points);
+            for query in [vec![1.0, 0.5, 0.2], vec![-0.4, 0.9, 0.0], vec![-1.0, -1.0, -1.0]] {
+                let got = top_k(&lists, &query, 10);
+                let expected = top_k_naive(&points, &query, 10);
+                let got_ids: Vec<usize> = got.items.iter().map(|(i, _)| *i).collect();
+                let expected_ids: Vec<usize> = expected.iter().map(|(i, _)| *i).collect();
+                assert_eq!(got_ids, expected_ids, "seed {seed} query {query:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stops_early_on_skewed_data() {
+        let mut points = vec![vec![0.01, 0.01]; 5000];
+        points.push(vec![0.99, 0.99]);
+        let lists = SortedLists::new(&points);
+        let result = top_k(&lists, &[0.5, 0.5], 1);
+        assert_eq!(result.items[0].0, 5000);
+        assert!(
+            result.sorted_accesses < 50,
+            "expected early termination, got {} accesses",
+            result.sorted_accesses
+        );
+    }
+
+    #[test]
+    fn k_larger_than_collection_returns_everything() {
+        let points = random_points(7, 2, 1);
+        let lists = SortedLists::new(&points);
+        let result = top_k(&lists, &[1.0, 1.0], 20);
+        assert_eq!(result.items.len(), 7);
+    }
+
+    #[test]
+    fn zero_k_and_empty_collection() {
+        let points = random_points(5, 2, 2);
+        let lists = SortedLists::new(&points);
+        assert!(top_k(&lists, &[1.0, 1.0], 0).items.is_empty());
+        let empty = SortedLists::new(&[]);
+        assert!(top_k(&empty, &[], 3).items.is_empty());
+    }
+
+    #[test]
+    fn zero_query_uses_id_tie_breaker() {
+        let points = random_points(10, 2, 3);
+        let lists = SortedLists::new(&points);
+        let result = top_k(&lists, &[0.0, 0.0], 3);
+        let ids: Vec<usize> = result.items.iter().map(|(i, _)| *i).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn naive_reference_orders_ties_by_id() {
+        let points = vec![vec![0.5], vec![0.5], vec![0.7]];
+        let ranked = top_k_naive(&points, &[1.0], 3);
+        let ids: Vec<usize> = ranked.iter().map(|(i, _)| *i).collect();
+        assert_eq!(ids, vec![2, 0, 1]);
+    }
+}

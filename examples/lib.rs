@@ -1,0 +1,68 @@
+//! Shared helpers for the runnable `pkgrec` examples.
+//!
+//! Each example is a standalone binary (see `Cargo.toml`); this small library
+//! holds the formatting helpers they share so the examples themselves stay
+//! focused on the API they demonstrate.
+
+use pkgrec_core::{Catalog, Package, RankedPackage};
+
+/// Pretty-prints a package as a list of item names with their feature values.
+pub fn describe_package(catalog: &Catalog, names: &[String], package: &Package) -> String {
+    let members: Vec<String> = package
+        .items()
+        .iter()
+        .map(|&id| {
+            let features = catalog.item_unchecked(id);
+            let label = names.get(id).cloned().unwrap_or_else(|| format!("item {id}"));
+            let values: Vec<String> = features.iter().map(|v| format!("{v:.2}")).collect();
+            format!("{label} ({})", values.join(", "))
+        })
+        .collect();
+    members.join(" + ")
+}
+
+/// Prints a ranked recommendation list with scores.
+pub fn print_recommendations(
+    title: &str,
+    catalog: &Catalog,
+    names: &[String],
+    recommendations: &[RankedPackage],
+) {
+    println!("{title}");
+    for (rank, r) in recommendations.iter().enumerate() {
+        println!(
+            "  {}. score {:>7.4}  {}",
+            rank + 1,
+            r.score,
+            describe_package(catalog, names, &r.package)
+        );
+    }
+    println!();
+}
+
+/// Generates simple sequential item names with a prefix ("Book 1", "Book 2", …).
+pub fn sequential_names(prefix: &str, count: usize) -> Vec<String> {
+    (1..=count).map(|i| format!("{prefix} {i}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_package_lists_members() {
+        let catalog = Catalog::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let names = sequential_names("Item", 2);
+        let p = Package::new(vec![0, 1]).unwrap();
+        let text = describe_package(&catalog, &names, &p);
+        assert!(text.contains("Item 1"));
+        assert!(text.contains("Item 2"));
+        assert!(text.contains("3.00"));
+    }
+
+    #[test]
+    fn sequential_names_are_one_based() {
+        let names = sequential_names("Song", 3);
+        assert_eq!(names, vec!["Song 1", "Song 2", "Song 3"]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Cross-crate integration-test support for the `pkgrec` workspace.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this library only provides the
+//! small shared fixtures they use (catalogs, engines and ground-truth users
+//! wired together across `pkgrec-data`, `pkgrec-core` and `pkgrec-baselines`).
+
+use pkgrec_core::{
+    AggregationContext, Catalog, EngineConfig, LinearUtility, Profile, RankingSemantics,
+    RecommenderEngine, Result, SimulatedUser,
+};
+use pkgrec_data::Dataset;
+
+/// Builds a normalised catalog from the first `features` columns of a dataset.
+pub fn catalog_from_dataset(dataset: &Dataset, features: usize) -> Catalog {
+    let projected = dataset
+        .project_features(features)
+        .expect("requested features exist")
+        .normalized();
+    Catalog::from_rows(projected.rows().to_vec()).expect("dataset rows are valid items")
+}
+
+/// The cost/quality-style profile used by most integration scenarios:
+/// feature 0 is summed, every other feature is averaged.
+pub fn integration_profile(features: usize) -> Profile {
+    Profile::new(
+        (0..features)
+            .map(|j| {
+                if j == 0 {
+                    pkgrec_core::AggregateFn::Sum
+                } else {
+                    pkgrec_core::AggregateFn::Avg
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Builds an engine plus a simulated user with the given hidden weights.
+pub fn engine_and_user(
+    catalog: Catalog,
+    max_package_size: usize,
+    hidden_weights: Vec<f64>,
+    semantics: RankingSemantics,
+    num_samples: usize,
+) -> Result<(RecommenderEngine, SimulatedUser)> {
+    let profile = integration_profile(catalog.num_features());
+    let engine = RecommenderEngine::new(
+        catalog.clone(),
+        profile.clone(),
+        max_package_size,
+        EngineConfig {
+            k: 3,
+            num_random: 3,
+            num_samples,
+            semantics,
+            ..EngineConfig::default()
+        },
+    )?;
+    let context = AggregationContext::new(profile, &catalog, max_package_size)?;
+    let user = SimulatedUser::new(LinearUtility::new(context, hidden_weights)?);
+    Ok((engine, user))
+}

@@ -1,0 +1,213 @@
+//! Cross-crate integration tests: generated datasets flow through the
+//! recommender engine, samplers, maintenance and baselines end to end.
+
+use pkgrec_baselines::exhaustive::top_k_packages_exhaustive;
+use pkgrec_core::prelude::*;
+use pkgrec_core::ranking::PerSampleRanking;
+use pkgrec_core::search::top_k_packages;
+use pkgrec_data::SyntheticFamily;
+use pkgrec_integration_tests::{catalog_from_dataset, engine_and_user, integration_profile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_catalog(family: SyntheticFamily, rows: usize, features: usize, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dataset = family.generate(rows, 10, &mut rng).unwrap();
+    catalog_from_dataset(&dataset, features)
+}
+
+#[test]
+fn elicitation_converges_on_every_synthetic_family() {
+    for (i, family) in SyntheticFamily::all().into_iter().enumerate() {
+        let catalog = small_catalog(family, 60, 3, 100 + i as u64);
+        let (mut engine, user) = engine_and_user(
+            catalog,
+            3,
+            vec![-0.5, 0.7, 0.4],
+            RankingSemantics::Exp,
+            60,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(200 + i as u64);
+        let report = run_elicitation(
+            &mut engine,
+            &user,
+            ElicitationConfig {
+                max_rounds: 20,
+                stable_rounds: 2,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(report.clicks <= 20, "{family:?} used {} clicks", report.clicks);
+        assert_eq!(report.final_top_k.len(), 3, "{family:?}");
+        assert!(!report.ground_truth_top_k.is_empty(), "{family:?}");
+    }
+}
+
+#[test]
+fn every_sampler_supports_the_full_engine_loop() {
+    let catalog = small_catalog(SyntheticFamily::Uniform, 50, 3, 7);
+    for sampler in [SamplerKind::rejection(), SamplerKind::importance(), SamplerKind::mcmc()] {
+        let profile = integration_profile(3);
+        let mut engine = RecommenderEngine::new(
+            catalog.clone(),
+            profile,
+            3,
+            EngineConfig {
+                k: 3,
+                num_random: 2,
+                num_samples: 50,
+                sampler: sampler.clone(),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let shown = engine.present(&mut rng).unwrap();
+        assert_eq!(shown.len(), 5);
+        engine.record_click(&shown[0].clone(), &shown, &mut rng).unwrap();
+        let recs = engine.recommend(&mut rng).unwrap();
+        assert!(!recs.is_empty(), "{}", sampler.name());
+        // The pool respects the feedback after maintenance.
+        let checker = engine.checker();
+        assert!(engine.pool().samples().iter().all(|s| checker.is_valid(&s.weights)));
+    }
+}
+
+#[test]
+fn per_sample_search_agrees_with_exhaustive_on_small_catalogs() {
+    let catalog = small_catalog(SyntheticFamily::Correlated, 12, 3, 3);
+    let profile = integration_profile(3);
+    let context = AggregationContext::new(profile, &catalog, 2).unwrap();
+    let prior = pkgrec_gmm::GaussianMixture::default_prior(3, 1, 0.5).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..10 {
+        let weights = clamp_weights(&prior.sample(&mut rng));
+        let utility = LinearUtility::new(context.clone(), weights.clone()).unwrap();
+        let fast = top_k_packages(&utility, &catalog, 3).unwrap();
+        let slow = top_k_packages_exhaustive(&utility, &catalog, 3).unwrap();
+        // Utilities reported by the search never exceed the true optimum and
+        // match re-evaluation exactly.
+        for ((package, score), (_, best)) in fast.packages.iter().zip(slow.iter()) {
+            assert!(*score <= slow[0].1 + 1e-9);
+            assert!((utility.of_package(&catalog, package).unwrap() - score).abs() < 1e-9);
+            let _ = best;
+        }
+    }
+}
+
+#[test]
+fn ranking_semantics_share_one_sample_pool() {
+    let catalog = small_catalog(SyntheticFamily::PowerLaw, 40, 3, 11);
+    let profile = integration_profile(3);
+    let context = AggregationContext::new(profile, &catalog, 3).unwrap();
+    let prior = pkgrec_gmm::GaussianMixture::default_prior(3, 2, 0.5).unwrap();
+    let checker = ConstraintChecker::from_constraints(3, vec![], ConstraintSource::Full);
+    let mut rng = StdRng::seed_from_u64(13);
+    let pool = SamplerKind::mcmc()
+        .generate(&prior, &checker, 80, &mut rng)
+        .unwrap()
+        .pool;
+    let rankings: Vec<PerSampleRanking> = pool
+        .samples()
+        .iter()
+        .map(|s| {
+            let utility = LinearUtility::new(context.clone(), s.weights.clone()).unwrap();
+            PerSampleRanking::new(
+                s.importance,
+                top_k_packages(&utility, &catalog, 4).unwrap().packages,
+            )
+        })
+        .collect();
+    for semantics in [
+        RankingSemantics::Exp,
+        RankingSemantics::Tkp { sigma: 4 },
+        RankingSemantics::Mpo,
+    ] {
+        let top = pkgrec_core::aggregate(semantics, &rankings, 4);
+        assert!(!top.is_empty(), "{semantics:?}");
+        assert!(top.len() <= 4);
+        // Scores are positive, finite and sorted (within each semantics).
+        for pair in top.windows(2) {
+            assert!(pair[0].score >= pair[1].score || matches!(semantics, RankingSemantics::Mpo));
+        }
+    }
+}
+
+#[test]
+fn feedback_maintenance_matches_full_resampling_constraints() {
+    // After several clicks, maintaining the pool incrementally must leave it in
+    // a state where every sample satisfies the same constraints a fresh
+    // resample would satisfy.
+    let catalog = small_catalog(SyntheticFamily::AntiCorrelated, 40, 3, 19);
+    let (mut engine, user) = engine_and_user(
+        catalog.clone(),
+        3,
+        vec![0.6, -0.4, 0.8],
+        RankingSemantics::Exp,
+        60,
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(23);
+    for _ in 0..3 {
+        let shown = engine.present(&mut rng).unwrap();
+        let choice = user.choose(&catalog, &shown, &mut rng).unwrap();
+        let clicked = shown[choice].clone();
+        engine.record_click(&clicked, &shown, &mut rng).unwrap();
+    }
+    let checker = engine.checker();
+    assert!(engine.preferences().len() > 0);
+    for sample in engine.pool().samples() {
+        assert!(checker.is_valid(&sample.weights));
+    }
+    // A fresh resample satisfies the same constraints.
+    engine.resample(&mut rng).unwrap();
+    for sample in engine.pool().samples() {
+        assert!(checker.is_valid(&sample.weights));
+    }
+}
+
+#[test]
+fn serde_round_trips_for_public_configuration_types() {
+    let config = EngineConfig::default();
+    let json = serde_json::to_string(&config).unwrap();
+    let back: EngineConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, config);
+
+    let semantics = RankingSemantics::Tkp { sigma: 7 };
+    let json = serde_json::to_string(&semantics).unwrap();
+    assert_eq!(serde_json::from_str::<RankingSemantics>(&json).unwrap(), semantics);
+
+    let strategy = MaintenanceStrategy::Hybrid { gamma: 0.05 };
+    let json = serde_json::to_string(&strategy).unwrap();
+    assert_eq!(serde_json::from_str::<MaintenanceStrategy>(&json).unwrap(), strategy);
+
+    let package = Package::new(vec![3, 1, 4]).unwrap();
+    let json = serde_json::to_string(&package).unwrap();
+    assert_eq!(serde_json::from_str::<Package>(&json).unwrap(), package);
+}
+
+#[test]
+fn skyline_baseline_is_consistent_with_utility_optimum() {
+    // The utility-optimal package under any monotone direction assignment must
+    // be a skyline package (it cannot be dominated).
+    use pkgrec_baselines::skyline::{skyline_packages, FeatureDirection};
+    let catalog = small_catalog(SyntheticFamily::Uniform, 12, 2, 29);
+    let profile = integration_profile(2);
+    let context = AggregationContext::new(profile, &catalog, 2).unwrap();
+    let utility = LinearUtility::new(context.clone(), vec![-0.7, 0.5]).unwrap();
+    let best = top_k_packages_exhaustive(&utility, &catalog, 20).unwrap();
+    let best_two_item = best
+        .iter()
+        .find(|(p, _)| p.len() == 2)
+        .expect("some two-item package exists")
+        .0
+        .clone();
+    let directions = [FeatureDirection::Minimize, FeatureDirection::Maximize];
+    let (skyline, _) = skyline_packages(&context, &catalog, 2, &directions).unwrap();
+    assert!(
+        skyline.iter().any(|(p, _)| *p == best_two_item),
+        "the utility-optimal two-item package must be on the skyline"
+    );
+}

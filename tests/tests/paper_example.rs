@@ -1,0 +1,140 @@
+//! End-to-end reproduction of the paper's running example (Figures 1 and 2)
+//! exercised through the public API of the workspace crates.
+
+use pkgrec_core::prelude::*;
+use pkgrec_core::ranking::{aggregate_exp, aggregate_mpo, aggregate_tkp, PerSampleRanking};
+use pkgrec_core::search::top_k_packages_exhaustive;
+
+fn figure1_catalog() -> Catalog {
+    Catalog::new(
+        vec!["cost".into(), "rating".into()],
+        vec![vec![0.6, 0.2], vec![0.4, 0.4], vec![0.2, 0.4]],
+    )
+    .unwrap()
+}
+
+fn figure1_context() -> AggregationContext {
+    AggregationContext::new(Profile::cost_quality(), &figure1_catalog(), 2).unwrap()
+}
+
+/// The discrete weight distribution of Figure 2(a).
+const WEIGHTS: [(f64, [f64; 2]); 3] = [
+    (0.3, [0.5, 0.1]),
+    (0.4, [0.1, 0.5]),
+    (0.3, [0.1, 0.1]),
+];
+
+fn per_weight_rankings(k: usize) -> Vec<PerSampleRanking> {
+    let catalog = figure1_catalog();
+    let context = figure1_context();
+    WEIGHTS
+        .iter()
+        .map(|(prob, w)| {
+            let utility = LinearUtility::new(context.clone(), w.to_vec()).unwrap();
+            let search = top_k_packages(&utility, &catalog, k).unwrap();
+            PerSampleRanking::new(*prob, search.packages)
+        })
+        .collect()
+}
+
+#[test]
+fn package_space_of_figure1_has_six_members_up_to_size_two() {
+    assert_eq!(pkgrec_core::package_space_size(3, 2), 6);
+    assert_eq!(pkgrec_core::enumerate_packages(3, 2).len(), 6);
+}
+
+#[test]
+fn top2_lists_per_weight_vector_match_figure_2d() {
+    let rankings = per_weight_rankings(2);
+    let lists: Vec<Vec<Package>> = rankings
+        .iter()
+        .map(|r| r.ranked.iter().map(|(p, _)| p.clone()).collect())
+        .collect();
+    let p = |items: &[usize]| Package::new(items.to_vec()).unwrap();
+    assert_eq!(lists[0], vec![p(&[0, 1]), p(&[0, 2])]); // w1: p4, p6
+    assert_eq!(lists[1], vec![p(&[1, 2]), p(&[1])]); // w2: p5, p2
+    assert_eq!(lists[2], vec![p(&[0, 1]), p(&[1, 2])]); // w3: p4, p5
+}
+
+#[test]
+fn search_and_exhaustive_agree_on_the_running_example() {
+    let catalog = figure1_catalog();
+    let context = figure1_context();
+    for (_, w) in WEIGHTS {
+        let utility = LinearUtility::new(context.clone(), w.to_vec()).unwrap();
+        let fast = top_k_packages(&utility, &catalog, 6).unwrap();
+        let slow = top_k_packages_exhaustive(&utility, &catalog, 6).unwrap();
+        assert_eq!(fast.packages, slow, "weights {w:?}");
+    }
+}
+
+#[test]
+fn exp_semantics_reproduces_example_1() {
+    // Expected utility of p1 is 0.262 and the EXP top-2 is p4, p5.
+    let rankings = per_weight_rankings(6);
+    let ranked = aggregate_exp(&rankings, 6);
+    let p1 = ranked
+        .iter()
+        .find(|r| r.package == Package::new(vec![0]).unwrap())
+        .expect("p1 appears in the full ranking");
+    assert!((p1.score - 0.262).abs() < 1e-9);
+    let top2 = aggregate_exp(&rankings, 2);
+    assert_eq!(top2[0].package, Package::new(vec![0, 1]).unwrap());
+    assert_eq!(top2[1].package, Package::new(vec![1, 2]).unwrap());
+}
+
+#[test]
+fn tkp_semantics_reproduces_example_2() {
+    // P(p5 in top-2) = 0.7, P(p4 in top-2) = 0.6.
+    let rankings = per_weight_rankings(2);
+    let top2 = aggregate_tkp(&rankings, 2, 2);
+    assert_eq!(top2[0].package, Package::new(vec![1, 2]).unwrap());
+    assert!((top2[0].score - 0.7).abs() < 1e-12);
+    assert_eq!(top2[1].package, Package::new(vec![0, 1]).unwrap());
+    assert!((top2[1].score - 0.6).abs() < 1e-12);
+}
+
+#[test]
+fn mpo_semantics_reproduces_example_3() {
+    // The most probable complete top-2 list is (p5, p2) with probability 0.4.
+    let rankings = per_weight_rankings(2);
+    let best = aggregate_mpo(&rankings, 2);
+    assert_eq!(best[0].package, Package::new(vec![1, 2]).unwrap());
+    assert_eq!(best[1].package, Package::new(vec![1]).unwrap());
+    assert!((best[0].score - 0.4).abs() < 1e-12);
+}
+
+#[test]
+fn the_three_semantics_disagree_exactly_as_the_paper_summarises() {
+    // "the top-2 packages for EXP, TKP, and MPO respectively are p4, p5;
+    // p5, p4; and p5, p2."
+    let rankings2 = per_weight_rankings(2);
+    let rankings_full = per_weight_rankings(6);
+    let ids = |v: Vec<pkgrec_core::RankedPackage>| -> Vec<Package> {
+        v.into_iter().map(|r| r.package).collect()
+    };
+    let p = |items: &[usize]| Package::new(items.to_vec()).unwrap();
+    assert_eq!(ids(aggregate_exp(&rankings_full, 2)), vec![p(&[0, 1]), p(&[1, 2])]);
+    assert_eq!(ids(aggregate_tkp(&rankings2, 2, 2)), vec![p(&[1, 2]), p(&[0, 1])]);
+    assert_eq!(ids(aggregate_mpo(&rankings2, 2)), vec![p(&[1, 2]), p(&[1])]);
+}
+
+#[test]
+fn preference_on_figure1_packages_constrains_the_weight_space_correctly() {
+    // A click on p5 = {t2, t3} over p4 = {t1, t2} means the user values
+    // quality over (negated) cost; weight vectors preferring low cost and low
+    // quality must be rejected.
+    let catalog = figure1_catalog();
+    let context = figure1_context();
+    let mut store = PreferenceStore::new();
+    let p5 = Package::new(vec![1, 2]).unwrap();
+    let p4 = Package::new(vec![0, 1]).unwrap();
+    store
+        .add_packages(&context, &catalog, &p5, &p4)
+        .expect("consistent preference");
+    // p5 = (0.6, 1.0), p4 = (1.0, 0.75): the constraint is -0.4*w1 + 0.25*w2 >= 0.
+    assert!(store.satisfied_by(&[0.0, 1.0]));
+    assert!(store.satisfied_by(&[-1.0, 0.0]));
+    assert!(!store.satisfied_by(&[1.0, 0.0]));
+    assert_eq!(store.violation_count(&[1.0, -1.0]), 1);
+}

@@ -1,0 +1,233 @@
+//! Property-based tests over the core invariants the paper relies on.
+
+use pkgrec_core::prelude::*;
+use pkgrec_core::maintenance::{find_violating, index_pool, MaintenanceStrategy};
+use pkgrec_core::sampler::{SamplePool, WeightSample};
+use pkgrec_core::search::{top_k_packages, top_k_packages_exhaustive, upper_exp};
+use pkgrec_core::{enumerate_packages, PackageState};
+use proptest::prelude::*;
+
+/// Strategy: a small catalog of `n x m` feature values in [0, 1].
+fn catalog_strategy(max_items: usize, features: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(0.0f64..1.0, features),
+        2..max_items,
+    )
+}
+
+/// Strategy: a weight vector in [-1, 1]^m.
+fn weights_strategy(features: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0f64..1.0, features)
+}
+
+fn cost_quality_context(rows: &[Vec<f64>], phi: usize) -> (Catalog, AggregationContext) {
+    let catalog = Catalog::from_rows(rows.to_vec()).unwrap();
+    let context = AggregationContext::new(Profile::cost_quality(), &catalog, phi).unwrap();
+    (catalog, context)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Definition 1 + normalisation: every normalised package feature value
+    /// lies in [0, 1] for packages within the size budget.
+    #[test]
+    fn normalised_package_vectors_stay_in_unit_range(
+        rows in catalog_strategy(8, 2),
+        phi in 1usize..4,
+    ) {
+        let (catalog, context) = cost_quality_context(&rows, phi);
+        for package in enumerate_packages(catalog.len(), phi) {
+            let v = context.package_vector(&catalog, &package).unwrap();
+            for value in v {
+                prop_assert!((-1e-12..=1.0 + 1e-9).contains(&value));
+            }
+        }
+    }
+
+    /// Aggregation through the incremental PackageState equals recomputing the
+    /// aggregates from scratch.
+    #[test]
+    fn incremental_aggregation_matches_batch(
+        rows in catalog_strategy(8, 2),
+        phi in 1usize..4,
+    ) {
+        let (catalog, context) = cost_quality_context(&rows, phi);
+        for package in enumerate_packages(catalog.len(), phi) {
+            let mut state = PackageState::empty(2);
+            for &id in package.items() {
+                state.add_item(catalog.item(id).unwrap());
+            }
+            let incremental = context.normalized_vector_from_state(&state);
+            let batch = context.package_vector(&catalog, &package).unwrap();
+            for (a, b) in incremental.iter().zip(batch.iter()) {
+                prop_assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Lemma 2: the set of weight vectors consistent with any preference set is
+    /// convex — convex combinations of valid vectors remain valid.
+    #[test]
+    fn valid_weight_region_is_convex(
+        rows in catalog_strategy(8, 2),
+        w1 in weights_strategy(2),
+        w2 in weights_strategy(2),
+        alpha in 0.0f64..1.0,
+    ) {
+        let (catalog, context) = cost_quality_context(&rows, 2);
+        // Preferences oriented by w1 (so w1 is always valid).
+        let utility = LinearUtility::new(context.clone(), w1.clone()).unwrap();
+        let mut store = PreferenceStore::new();
+        let packages = enumerate_packages(catalog.len(), 2);
+        for pair in packages.windows(2) {
+            let va = context.package_vector(&catalog, &pair[0]).unwrap();
+            let vb = context.package_vector(&catalog, &pair[1]).unwrap();
+            let (better, worse, bk, wk) = if utility.of_vector(&va) >= utility.of_vector(&vb) {
+                (va, vb, pair[0].key(), pair[1].key())
+            } else {
+                (vb, va, pair[1].key(), pair[0].key())
+            };
+            let _ = store.add(bk, &better, wk, &worse);
+        }
+        prop_assert!(store.satisfied_by(&w1));
+        if store.satisfied_by(&w2) {
+            let mix: Vec<f64> = w1.iter().zip(w2.iter()).map(|(a, b)| alpha * a + (1.0 - alpha) * b).collect();
+            prop_assert!(store.satisfied_by(&mix));
+        }
+    }
+
+    /// Transitive reduction never changes which weight vectors are valid.
+    #[test]
+    fn transitive_reduction_preserves_validity(
+        rows in catalog_strategy(7, 2),
+        orientation in weights_strategy(2),
+        probe in weights_strategy(2),
+    ) {
+        let (catalog, context) = cost_quality_context(&rows, 2);
+        let utility = LinearUtility::new(context.clone(), orientation).unwrap();
+        let mut store = PreferenceStore::new();
+        let packages = enumerate_packages(catalog.len(), 2);
+        for i in 0..packages.len() {
+            for j in (i + 1)..packages.len() {
+                let va = context.package_vector(&catalog, &packages[i]).unwrap();
+                let vb = context.package_vector(&catalog, &packages[j]).unwrap();
+                let (better, worse, bk, wk) = if utility.of_vector(&va) >= utility.of_vector(&vb) {
+                    (va, vb, packages[i].key(), packages[j].key())
+                } else {
+                    (vb, va, packages[j].key(), packages[i].key())
+                };
+                let _ = store.add(bk, &better, wk, &worse);
+            }
+        }
+        let full = ConstraintChecker::full(&store, 2);
+        let reduced = ConstraintChecker::reduced(&store, 2);
+        prop_assert!(reduced.len() <= full.len());
+        prop_assert_eq!(full.is_valid(&probe), reduced.is_valid(&probe));
+    }
+
+    /// Algorithm 1 equivalence: the TA-based and hybrid violation scans find
+    /// exactly the same samples as the naive scan.
+    #[test]
+    fn maintenance_strategies_agree(
+        samples in prop::collection::vec(weights_strategy(3), 1..120),
+        better in prop::collection::vec(0.0f64..1.0, 3),
+        worse in prop::collection::vec(0.0f64..1.0, 3),
+        gamma in 0.0f64..0.2,
+    ) {
+        let pool = SamplePool::from_samples(
+            samples.into_iter().map(WeightSample::unweighted).collect(),
+        );
+        let index = index_pool(&pool);
+        let pref = Preference::new(better, worse);
+        let naive = find_violating(&pool, None, &pref, MaintenanceStrategy::Naive);
+        let ta = find_violating(&pool, Some(&index), &pref, MaintenanceStrategy::TopK);
+        let hybrid = find_violating(&pool, Some(&index), &pref, MaintenanceStrategy::Hybrid { gamma });
+        prop_assert_eq!(&naive.violating, &ta.violating);
+        prop_assert_eq!(&naive.violating, &hybrid.violating);
+        // And the violators are exactly the samples violating the constraint.
+        let expected: Vec<usize> = pool.violating_indices(|w| pref.satisfied_by(w));
+        prop_assert_eq!(&naive.violating, &expected);
+    }
+
+    /// Theorem 3: the upper-exp bound from the empty package with a dominating
+    /// boundary vector bounds the utility of every package.
+    #[test]
+    fn upper_bound_dominates_all_packages(
+        rows in catalog_strategy(7, 2),
+        weights in weights_strategy(2),
+        phi in 1usize..4,
+    ) {
+        let (catalog, context) = cost_quality_context(&rows, phi);
+        let utility = LinearUtility::new(context.clone(), weights.clone()).unwrap();
+        let tau: Vec<f64> = (0..2)
+            .map(|j| {
+                let values = catalog.rows().iter().map(|r| r[j]);
+                if weights[j] >= 0.0 {
+                    values.fold(f64::NEG_INFINITY, f64::max)
+                } else {
+                    values.fold(f64::INFINITY, f64::min)
+                }
+            })
+            .collect();
+        let bound = upper_exp(&utility, &PackageState::empty(2), &tau);
+        for package in enumerate_packages(catalog.len(), phi) {
+            let value = utility.of_package(&catalog, &package).unwrap();
+            prop_assert!(bound + 1e-9 >= value, "bound {} < {}", bound, value);
+        }
+    }
+
+    /// The Top-k-Pkg search never reports a utility above the exhaustive
+    /// optimum and always reports utilities it can justify.
+    #[test]
+    fn search_results_are_sound(
+        rows in catalog_strategy(7, 2),
+        weights in weights_strategy(2),
+        phi in 1usize..4,
+        k in 1usize..5,
+    ) {
+        let (catalog, context) = cost_quality_context(&rows, phi);
+        let utility = LinearUtility::new(context, weights).unwrap();
+        let fast = top_k_packages(&utility, &catalog, k).unwrap();
+        let slow = top_k_packages_exhaustive(&utility, &catalog, k).unwrap();
+        prop_assert!(fast.packages.len() <= k);
+        for (package, score) in &fast.packages {
+            prop_assert!(package.len() <= phi);
+            let recomputed = utility.of_package(&catalog, package).unwrap();
+            prop_assert!((recomputed - score).abs() < 1e-9);
+            prop_assert!(*score <= slow[0].1 + 1e-9);
+        }
+        // Results are sorted best-first.
+        for pair in fast.packages.windows(2) {
+            prop_assert!(pair[0].1 >= pair[1].1 - 1e-12);
+        }
+    }
+
+    /// Rejection sampling only ever emits samples that satisfy every feedback
+    /// constraint and lie inside the weight cube.
+    #[test]
+    fn rejection_samples_are_always_valid(
+        better in prop::collection::vec(0.0f64..1.0, 2),
+        worse in prop::collection::vec(0.0f64..1.0, 2),
+        n in 1usize..40,
+        seed in 0u64..1_000,
+    ) {
+        use pkgrec_core::sampler::{RejectionSampler, WeightSampler};
+        use rand::SeedableRng;
+        let pref = Preference::new(better, worse);
+        let checker = ConstraintChecker::from_constraints(
+            2,
+            vec![pref.constraint()],
+            ConstraintSource::Full,
+        );
+        let prior = pkgrec_gmm::GaussianMixture::default_prior(2, 1, 0.5).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        if let Ok(outcome) = RejectionSampler::default().generate(&prior, &checker, n, &mut rng) {
+            prop_assert_eq!(outcome.pool.len(), n);
+            for s in outcome.pool.samples() {
+                prop_assert!(checker.is_valid(&s.weights));
+                prop_assert!(weights_in_range(&s.weights));
+            }
+        }
+    }
+}
