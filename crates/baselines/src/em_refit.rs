@@ -43,7 +43,12 @@ pub struct EmRefitRecommender {
 impl EmRefitRecommender {
     /// Creates the baseline with an uninformative prior of `components`
     /// Gaussians over a `dim`-dimensional weight space.
-    pub fn new(dim: usize, components: usize, sigma: f64, samples_per_refit: usize) -> Result<Self> {
+    pub fn new(
+        dim: usize,
+        components: usize,
+        sigma: f64,
+        samples_per_refit: usize,
+    ) -> Result<Self> {
         if samples_per_refit == 0 {
             return Err(CoreError::InvalidConfig(
                 "samples_per_refit must be at least 1".into(),
@@ -86,7 +91,10 @@ impl EmRefitRecommender {
         feedback: &[Preference],
         rng: &mut dyn RngCore,
     ) -> Result<()> {
-        let constraints = feedback.iter().map(Preference::constraint).collect::<Vec<_>>();
+        let constraints = feedback
+            .iter()
+            .map(Preference::constraint)
+            .collect::<Vec<_>>();
         let checker =
             ConstraintChecker::from_constraints(self.dim, constraints, ConstraintSource::Full);
         let sampler = RejectionSampler::default();
@@ -133,17 +141,14 @@ mod tests {
         // f0 preference.
         let pref = Preference::new(vec![0.9, 0.1], vec![0.1, 0.1]);
         for _ in 0..3 {
-            r.absorb_feedback(std::slice::from_ref(&pref), &mut rng).unwrap();
+            r.absorb_feedback(std::slice::from_ref(&pref), &mut rng)
+                .unwrap();
         }
         assert_eq!(r.stats().refits, 3);
         assert!(r.stats().em_iterations >= 3);
         assert!(r.stats().samples_drawn >= 1200);
         // The fitted belief should now concentrate on w0 > 0.
-        let mean0: f64 = r
-            .belief()
-            .components()
-            .map(|(w, g)| w * g.mean()[0])
-            .sum();
+        let mean0: f64 = r.belief().components().map(|(w, g)| w * g.mean()[0]).sum();
         assert!(mean0 > 0.1, "belief mean on w0 is {mean0}");
     }
 
@@ -160,7 +165,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(33);
         let mut r = EmRefitRecommender::new(2, 3, 0.5, 300).unwrap();
         let pref = Preference::new(vec![0.5, 0.9], vec![0.5, 0.1]);
-        r.absorb_feedback(std::slice::from_ref(&pref), &mut rng).unwrap();
+        r.absorb_feedback(std::slice::from_ref(&pref), &mut rng)
+            .unwrap();
         assert_eq!(r.belief().num_components(), 3);
     }
 }

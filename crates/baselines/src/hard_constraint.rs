@@ -129,8 +129,7 @@ mod tests {
             feature: 0,
             max_value: 1.0,
         };
-        let (unconstrained, _) =
-            hard_constraint_top_k(&ctx, &catalog, 1, &[unbounded], 1).unwrap();
+        let (unconstrained, _) = hard_constraint_top_k(&ctx, &catalog, 1, &[unbounded], 1).unwrap();
         assert_eq!(unconstrained[0].0, Package::new(vec![1, 2]).unwrap());
         let tight = BudgetConstraint {
             feature: 0,

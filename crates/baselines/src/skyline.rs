@@ -55,6 +55,9 @@ fn dominates(a: &[f64], b: &[f64], directions: &[FeatureDirection]) -> bool {
     strictly_better
 }
 
+/// A skyline package together with its aggregate feature vector.
+pub type SkylineEntry = (Package, Vec<f64>);
+
 /// Computes the skyline packages of exactly `cardinality` items.
 ///
 /// Returns the skyline packages with their aggregate feature vectors and the
@@ -65,15 +68,16 @@ pub fn skyline_packages(
     catalog: &Catalog,
     cardinality: usize,
     directions: &[FeatureDirection],
-) -> Result<(Vec<(Package, Vec<f64>)>, SkylineStats)> {
-    let candidates: Vec<(Package, Vec<f64>)> = pkgrec_core::enumerate_packages(catalog.len(), cardinality)
-        .into_iter()
-        .filter(|p| p.len() == cardinality)
-        .map(|p| {
-            let v = context.package_vector(catalog, &p)?;
-            Ok((p, v))
-        })
-        .collect::<Result<_>>()?;
+) -> Result<(Vec<SkylineEntry>, SkylineStats)> {
+    let candidates: Vec<(Package, Vec<f64>)> =
+        pkgrec_core::enumerate_packages(catalog.len(), cardinality)
+            .into_iter()
+            .filter(|p| p.len() == cardinality)
+            .map(|p| {
+                let v = context.package_vector(catalog, &p)?;
+                Ok((p, v))
+            })
+            .collect::<Result<_>>()?;
     let mut skyline = Vec::new();
     'outer: for (i, (package, vector)) in candidates.iter().enumerate() {
         for (j, (_, other)) in candidates.iter().enumerate() {
@@ -152,7 +156,10 @@ mod tests {
             let v = ctx.package_vector(&catalog, &p).unwrap();
             let in_skyline = skyline.iter().any(|(sp, _)| *sp == p);
             let dominated = skyline.iter().any(|(_, sv)| dominates(sv, &v, &dirs));
-            assert!(in_skyline || dominated, "package {p} neither in skyline nor dominated");
+            assert!(
+                in_skyline || dominated,
+                "package {p} neither in skyline nor dominated"
+            );
         }
     }
 

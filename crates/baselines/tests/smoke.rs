@@ -1,0 +1,29 @@
+//! Manifest smoke test: the exhaustive ground-truth re-export and the skyline
+//! baseline, driven through the public API.
+
+use pkgrec_baselines::exhaustive::top_k_packages_exhaustive;
+use pkgrec_baselines::skyline::FeatureDirection;
+use pkgrec_baselines::skyline_packages;
+use pkgrec_core::{AggregationContext, Catalog, LinearUtility, Profile};
+
+#[test]
+fn exhaustive_and_skyline_smoke() {
+    let catalog = Catalog::from_rows(vec![vec![0.9, 0.1], vec![0.5, 0.5], vec![0.1, 0.9]])
+        .expect("valid catalog");
+    let context =
+        AggregationContext::new(Profile::cost_quality(), &catalog, 2).expect("valid context");
+
+    let utility = LinearUtility::new(context.clone(), vec![-0.5, 1.0]).expect("valid weights");
+    let top = top_k_packages_exhaustive(&utility, &catalog, 3).expect("search succeeds");
+    assert!(!top.is_empty());
+    // Best-first ordering.
+    for pair in top.windows(2) {
+        assert!(pair[0].1 >= pair[1].1);
+    }
+
+    let dirs = [FeatureDirection::Minimize, FeatureDirection::Maximize];
+    let (packages, stats) =
+        skyline_packages(&context, &catalog, 2, &dirs).expect("skyline succeeds");
+    assert_eq!(packages.len(), stats.skyline_size);
+    assert!(stats.skyline_size >= 1);
+}

@@ -27,15 +27,19 @@ fn bench_fig4(c: &mut Criterion) {
     let checker = workload.checker();
     let mut group = c.benchmark_group("fig4_sampling_methods");
     for (name, sampler) in samplers() {
-        group.bench_with_input(BenchmarkId::new(name, "100_valid_samples"), &sampler, |b, s| {
-            b.iter(|| {
-                let mut rng = workload.rng(1);
-                s.generate(&workload.prior, &checker, 100, &mut rng)
-                    .expect("figure-4 workloads admit valid samples")
-                    .pool
-                    .len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new(name, "100_valid_samples"),
+            &sampler,
+            |b, s| {
+                b.iter(|| {
+                    let mut rng = workload.rng(1);
+                    s.generate(&workload.prior, &checker, 100, &mut rng)
+                        .expect("figure-4 workloads admit valid samples")
+                        .pool
+                        .len()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -40,7 +40,11 @@ fn bench_fig7(c: &mut Criterion) {
                 BenchmarkId::new(*name, regime),
                 &(pref, strategy),
                 |b, (pref, strategy)| {
-                    b.iter(|| find_violating(&pool, Some(&index), pref, **strategy).violating.len())
+                    b.iter(|| {
+                        find_violating(&pool, Some(&index), pref, **strategy)
+                            .violating
+                            .len()
+                    })
                 },
             );
         }

@@ -13,8 +13,8 @@
 
 use std::collections::BTreeMap;
 
-use pkgrec_bench::{fig4, fig5, fig6, fig7, fig8, quality};
 use pkgrec_bench::workload::DatasetId;
+use pkgrec_bench::{fig4, fig5, fig6, fig7, fig8, quality};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -139,7 +139,10 @@ fn main() {
         for table in result.tables() {
             println!("{table}");
         }
-        json.insert("quality".to_string(), serde_json::to_value(&result).unwrap());
+        json.insert(
+            "quality".to_string(),
+            serde_json::to_value(&result).unwrap(),
+        );
     }
 
     if let Some(path) = json_path {

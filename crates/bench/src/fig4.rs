@@ -75,8 +75,14 @@ pub fn run(config: &Fig4Config) -> Fig4Result {
     });
     let checker = workload.checker();
     let samplers: Vec<(String, SamplerKind)> = vec![
-        ("RS".into(), SamplerKind::Rejection(RejectionSampler::default())),
-        ("IS".into(), SamplerKind::Importance(ImportanceSampler::default())),
+        (
+            "RS".into(),
+            SamplerKind::Rejection(RejectionSampler::default()),
+        ),
+        (
+            "IS".into(),
+            SamplerKind::Importance(ImportanceSampler::default()),
+        ),
         ("MS".into(), SamplerKind::Mcmc(McmcSampler::default())),
     ];
     let mut out = Vec::new();
@@ -102,7 +108,13 @@ impl Fig4Result {
     pub fn table(&self) -> Table {
         let mut table = Table::new(
             "Figure 4: sampling-method behaviour (100 valid 2-d samples, 2 preferences)",
-            &["sampler", "proposals", "rejected", "acceptance rate", "effective sample size"],
+            &[
+                "sampler",
+                "proposals",
+                "rejected",
+                "acceptance rate",
+                "effective sample size",
+            ],
         );
         for s in &self.samplers {
             table.push_row(vec![

@@ -139,16 +139,15 @@ fn chained_preference_store(
         if i == j {
             continue;
         }
-        let (hi, lo) = if pool[i].2 > pool[j].2 { (i, j) } else { (j, i) };
+        let (hi, lo) = if pool[i].2 > pool[j].2 {
+            (i, j)
+        } else {
+            (j, i)
+        };
         if pool[hi].2 <= pool[lo].2 {
             continue;
         }
-        match store.add(
-            pool[hi].0.key(),
-            &pool[hi].1,
-            pool[lo].0.key(),
-            &pool[lo].1,
-        ) {
+        match store.add(pool[hi].0.key(), &pool[hi].1, pool[lo].0.key(), &pool[lo].1) {
             Ok(true) => added += 1,
             _ => continue,
         }
@@ -156,17 +155,13 @@ fn chained_preference_store(
     store
 }
 
-fn measure(
-    workload: &Workload,
-    store: &PreferenceStore,
-    samples: usize,
-    x: usize,
-) -> PruningPoint {
+fn measure(workload: &Workload, store: &PreferenceStore, samples: usize, x: usize) -> PruningPoint {
     let dim = workload.catalog.num_features();
     // The samples to check are drawn from the unconstrained prior: the cost
     // being measured is the validity check itself.
     let sampler = RejectionSampler::default();
-    let empty = ConstraintChecker::from_constraints(dim, vec![], pkgrec_core::ConstraintSource::Full);
+    let empty =
+        ConstraintChecker::from_constraints(dim, vec![], pkgrec_core::ConstraintSource::Full);
     let mut rng = workload.rng(7);
     let pool = sampler
         .generate(&workload.prior, &empty, samples, &mut rng)
@@ -267,8 +262,16 @@ impl Fig5Result {
     /// Renders the three sub-figures as tables.
     pub fn tables(&self) -> Vec<Table> {
         vec![
-            series_table("Figure 5(a): varying number of features", "features", &self.by_features),
-            series_table("Figure 5(b): varying number of samples", "samples", &self.by_samples),
+            series_table(
+                "Figure 5(a): varying number of features",
+                "features",
+                &self.by_features,
+            ),
+            series_table(
+                "Figure 5(b): varying number of samples",
+                "samples",
+                &self.by_samples,
+            ),
             series_table(
                 "Figure 5(c): varying number of Gaussians",
                 "gaussians",

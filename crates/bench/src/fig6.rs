@@ -10,7 +10,7 @@
 
 use pkgrec_core::ranking::{aggregate, PerSampleRanking, RankingSemantics};
 use pkgrec_core::sampler::{
-    ImportanceSampler, McmcSampler, RejectionSampler, SamplerKind, SamplePool, WeightSampler,
+    ImportanceSampler, McmcSampler, RejectionSampler, SamplePool, SamplerKind, WeightSampler,
 };
 use pkgrec_core::search::top_k_packages;
 use pkgrec_core::LinearUtility;
@@ -161,7 +161,9 @@ pub fn run(config: &Fig6Config) -> Fig6Result {
         });
         for &samples in &config.sample_sweep {
             for (name, sampler) in samplers() {
-                by_samples.push(measure_point(&workload, name, &sampler, samples, config.k, samples));
+                by_samples.push(measure_point(
+                    &workload, name, &sampler, samples, config.k, samples,
+                ));
             }
         }
         // Sweep the number of features at the default sample count.
@@ -264,9 +266,16 @@ mod tests {
         }
     }
 
+    /// The tiny workload still takes minutes of sampling + search; run it once
+    /// and let every test assert against the shared result.
+    fn tiny_result() -> &'static Fig6Result {
+        static RESULT: std::sync::OnceLock<Fig6Result> = std::sync::OnceLock::new();
+        RESULT.get_or_init(|| run(&tiny_config()))
+    }
+
     #[test]
     fn produces_points_for_every_sampler_and_sweep_value() {
-        let result = run(&tiny_config());
+        let result = tiny_result();
         // 1 dataset x 1 sample value x 3 samplers.
         assert_eq!(result.by_samples.len(), 3);
         // 1 dataset x 2 feature values x 3 samplers.
@@ -276,7 +285,7 @@ mod tests {
 
     #[test]
     fn importance_sampling_is_skipped_above_the_feature_limit() {
-        let result = run(&tiny_config());
+        let result = tiny_result();
         let is_high_dim = result
             .by_features
             .iter()
@@ -293,7 +302,7 @@ mod tests {
 
     #[test]
     fn measured_times_are_non_negative_and_topk_runs_for_unskipped_points() {
-        let result = run(&tiny_config());
+        let result = tiny_result();
         for p in result.by_samples.iter().chain(&result.by_features) {
             assert!(p.sample_generation_secs >= 0.0);
             assert!(p.top_k_secs >= 0.0);

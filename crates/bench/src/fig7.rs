@@ -125,11 +125,8 @@ pub fn run(config: &Fig7Config) -> Fig7Result {
     let index = index_pool(&pool);
 
     // Figure 7(a): bucket by the number of violating samples.
-    let mut bucket_acc: Vec<(usize, f64, f64, f64)> = config
-        .buckets
-        .iter()
-        .map(|&b| (b, 0.0, 0.0, 0.0))
-        .collect();
+    let mut bucket_acc: Vec<(usize, f64, f64, f64)> =
+        config.buckets.iter().map(|&b| (b, 0.0, 0.0, 0.0)).collect();
     let mut bucket_counts = vec![0usize; config.buckets.len()];
     let mut total_naive = 0.0;
     let mut total_topk = 0.0;
@@ -152,7 +149,12 @@ pub fn run(config: &Fig7Config) -> Fig7Result {
         });
         for (gi, &gamma) in config.gammas.iter().enumerate() {
             let (_, t) = timed(|| {
-                find_violating(&pool, Some(&index), pref, MaintenanceStrategy::Hybrid { gamma })
+                find_violating(
+                    &pool,
+                    Some(&index),
+                    pref,
+                    MaintenanceStrategy::Hybrid { gamma },
+                )
             });
             gamma_totals[gi] += t.as_secs_f64();
         }
@@ -193,8 +195,16 @@ pub fn run(config: &Fig7Config) -> Fig7Result {
         .zip(gamma_totals.iter())
         .map(|(&gamma, &hybrid_total)| GammaRatio {
             gamma,
-            topk_ratio: if total_naive > 0.0 { total_topk / total_naive } else { 0.0 },
-            hybrid_ratio: if total_naive > 0.0 { hybrid_total / total_naive } else { 0.0 },
+            topk_ratio: if total_naive > 0.0 {
+                total_topk / total_naive
+            } else {
+                0.0
+            },
+            hybrid_ratio: if total_naive > 0.0 {
+                hybrid_total / total_naive
+            } else {
+                0.0
+            },
         })
         .collect();
 
@@ -209,7 +219,13 @@ impl Fig7Result {
     pub fn tables(&self) -> Vec<Table> {
         let mut a = Table::new(
             "Figure 7(a): maintenance cost by number of violating samples",
-            &["max violations", "preferences", "naive (s)", "top-k (s)", "hybrid (s)"],
+            &[
+                "max violations",
+                "preferences",
+                "naive (s)",
+                "top-k (s)",
+                "hybrid (s)",
+            ],
         );
         for b in &self.buckets {
             a.push_row(vec![

@@ -150,7 +150,13 @@ impl Fig8Result {
     pub fn table(&self) -> Table {
         let mut table = Table::new(
             "Figure 8: clicks needed before the top-k list stabilises",
-            &["features", "mean clicks", "max clicks", "converged", "mean precision"],
+            &[
+                "features",
+                "mean clicks",
+                "max clicks",
+                "converged",
+                "mean precision",
+            ],
         );
         for p in &self.points {
             table.push_row(vec![
@@ -186,7 +192,11 @@ mod tests {
         assert_eq!(result.points.len(), 2);
         for p in &result.points {
             assert!(p.mean_clicks <= 20.0);
-            assert!(p.converged_fraction > 0.0, "no session converged for {} features", p.features);
+            assert!(
+                p.converged_fraction > 0.0,
+                "no session converged for {} features",
+                p.features
+            );
             assert!(p.mean_precision >= 0.0 && p.mean_precision <= 1.0);
         }
         assert_eq!(result.table().rows.len(), 2);

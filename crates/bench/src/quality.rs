@@ -100,7 +100,12 @@ pub fn run(config: &QualityConfig) -> QualityResult {
     ];
     let semantics = [
         ("EXP", RankingSemantics::Exp),
-        ("TKP", RankingSemantics::Tkp { sigma: config.sigma }),
+        (
+            "TKP",
+            RankingSemantics::Tkp {
+                sigma: config.sigma,
+            },
+        ),
         ("MPO", RankingSemantics::Mpo),
     ];
 
@@ -116,8 +121,8 @@ pub fn run(config: &QualityConfig) -> QualityResult {
         for sample in outcome.pool.samples() {
             let utility = LinearUtility::new(workload.context.clone(), sample.weights.clone())
                 .expect("sample dimensionality matches");
-            let search = top_k_packages(&utility, &workload.catalog, per_sample_k)
-                .expect("search succeeds");
+            let search =
+                top_k_packages(&utility, &workload.catalog, per_sample_k).expect("search succeeds");
             rankings.push(PerSampleRanking::new(sample.importance, search.packages));
         }
         for (sem_name, sem) in &semantics {
@@ -153,7 +158,10 @@ pub fn run(config: &QualityConfig) -> QualityResult {
                 let b = top_lists.get(&(sampler_name.to_string(), semantics[j].0.to_string()));
                 if let (Some(a), Some(b)) = (a, b) {
                     semantics_agreement.push((
-                        format!("{} vs {} ({})", semantics[i].0, semantics[j].0, sampler_name),
+                        format!(
+                            "{} vs {} ({})",
+                            semantics[i].0, semantics[j].0, sampler_name
+                        ),
                         sampler_name.to_string(),
                         jaccard(a, b),
                     ));
@@ -228,7 +236,11 @@ mod tests {
         assert_eq!(result.lists.len(), 9);
         assert_eq!(result.sampler_agreement.len(), 9);
         assert_eq!(result.semantics_agreement.len(), 9);
-        for (_, _, j) in result.sampler_agreement.iter().chain(&result.semantics_agreement) {
+        for (_, _, j) in result
+            .sampler_agreement
+            .iter()
+            .chain(&result.semantics_agreement)
+        {
             assert!((0.0..=1.0).contains(j));
         }
         assert_eq!(result.tables().len(), 2);

@@ -68,9 +68,15 @@ impl DatasetId {
 pub fn build_dataset(id: DatasetId, rows: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     match id {
-        DatasetId::Uni => SyntheticFamily::Uniform.generate(rows, 10, &mut rng).expect("valid shape"),
-        DatasetId::Pwr => SyntheticFamily::PowerLaw.generate(rows, 10, &mut rng).expect("valid shape"),
-        DatasetId::Cor => SyntheticFamily::Correlated.generate(rows, 10, &mut rng).expect("valid shape"),
+        DatasetId::Uni => SyntheticFamily::Uniform
+            .generate(rows, 10, &mut rng)
+            .expect("valid shape"),
+        DatasetId::Pwr => SyntheticFamily::PowerLaw
+            .generate(rows, 10, &mut rng)
+            .expect("valid shape"),
+        DatasetId::Cor => SyntheticFamily::Correlated
+            .generate(rows, 10, &mut rng)
+            .expect("valid shape"),
         DatasetId::Ant => SyntheticFamily::AntiCorrelated
             .generate(rows, 10, &mut rng)
             .expect("valid shape"),
@@ -146,7 +152,13 @@ pub struct Workload {
 pub fn experiment_profile(features: usize) -> Profile {
     Profile::new(
         (0..features)
-            .map(|j| if j % 2 == 0 { AggregateFn::Sum } else { AggregateFn::Avg })
+            .map(|j| {
+                if j % 2 == 0 {
+                    AggregateFn::Sum
+                } else {
+                    AggregateFn::Avg
+                }
+            })
             .collect(),
     )
 }
@@ -236,7 +248,10 @@ impl Workload {
     pub fn checker(&self) -> ConstraintChecker {
         ConstraintChecker::from_constraints(
             self.catalog.num_features(),
-            self.preferences.iter().map(Preference::constraint).collect(),
+            self.preferences
+                .iter()
+                .map(Preference::constraint)
+                .collect(),
             ConstraintSource::Full,
         )
     }
@@ -244,7 +259,12 @@ impl Workload {
     /// A seeded RNG derived from the workload seed (offset so different call
     /// sites do not reuse the generation stream).
     pub fn rng(&self, stream: u64) -> StdRng {
-        StdRng::seed_from_u64(self.config.seed.wrapping_add(0x9E3779B9).wrapping_add(stream))
+        StdRng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_add(0x9E3779B9)
+                .wrapping_add(stream),
+        )
     }
 }
 
@@ -312,7 +332,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..50 {
             let p = random_package(20, 4, &mut rng);
-            assert!(p.len() >= 1 && p.len() <= 4);
+            assert!(!p.is_empty() && p.len() <= 4);
         }
     }
 

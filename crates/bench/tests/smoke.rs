@@ -1,0 +1,23 @@
+//! Manifest smoke test: builds a tiny figure workload and renders a report
+//! table, the two entry points every experiment module goes through.
+
+use pkgrec_bench::{Table, Workload, WorkloadConfig};
+
+#[test]
+fn workload_and_table_smoke() {
+    let workload = Workload::build(WorkloadConfig {
+        rows: 60,
+        features: 2,
+        preferences: 2,
+        seed: 3,
+        ..WorkloadConfig::default()
+    });
+    let checker = workload.checker();
+    assert!(checker.is_valid(&workload.ground_truth));
+
+    let mut table = Table::new("smoke", &["metric", "value"]);
+    table.push_row(vec!["rows".into(), workload.catalog.len().to_string()]);
+    let markdown = table.to_markdown();
+    assert!(markdown.contains("metric"));
+    assert!(markdown.contains("60"));
+}

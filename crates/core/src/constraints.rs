@@ -51,7 +51,11 @@ impl ConstraintChecker {
     }
 
     /// Builds a checker directly from half-space constraints.
-    pub fn from_constraints(dim: usize, constraints: Vec<HalfSpace>, source: ConstraintSource) -> Self {
+    pub fn from_constraints(
+        dim: usize,
+        constraints: Vec<HalfSpace>,
+        source: ConstraintSource,
+    ) -> Self {
         ConstraintChecker {
             region: ConvexRegion::from_constraints(dim, constraints),
             source,
@@ -122,9 +126,12 @@ mod tests {
 
     fn chain_store() -> PreferenceStore {
         let mut s = PreferenceStore::new();
-        s.add("a".into(), &[0.9, 0.1], "b".into(), &[0.5, 0.5]).unwrap();
-        s.add("b".into(), &[0.5, 0.5], "c".into(), &[0.1, 0.9]).unwrap();
-        s.add("a".into(), &[0.9, 0.1], "c".into(), &[0.1, 0.9]).unwrap();
+        s.add("a".into(), &[0.9, 0.1], "b".into(), &[0.5, 0.5])
+            .unwrap();
+        s.add("b".into(), &[0.5, 0.5], "c".into(), &[0.1, 0.9])
+            .unwrap();
+        s.add("a".into(), &[0.9, 0.1], "c".into(), &[0.1, 0.9])
+            .unwrap();
         s
     }
 

@@ -72,7 +72,9 @@ impl SimulatedUser {
         rng: &mut dyn RngCore,
     ) -> Result<usize> {
         if shown.is_empty() {
-            return Err(CoreError::InvalidConfig("nothing was shown to the user".into()));
+            return Err(CoreError::InvalidConfig(
+                "nothing was shown to the user".into(),
+            ));
         }
         if self.reliability < 1.0 && rng.gen::<f64>() > self.reliability {
             return Ok(rng.gen_range(0..shown.len()));
@@ -93,7 +95,11 @@ impl SimulatedUser {
 /// Draws a random ground-truth weight vector in `[-1, 1]^m` (the "randomly
 /// generated ground truth utility functions" of Section 5.6).
 pub fn random_ground_truth_weights(dim: usize, rng: &mut dyn RngCore) -> WeightVector {
-    clamp_weights(&(0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect::<Vec<f64>>())
+    clamp_weights(
+        &(0..dim)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect::<Vec<f64>>(),
+    )
 }
 
 /// Configuration of an elicitation session.
@@ -146,9 +152,7 @@ pub fn run_elicitation(
     }
     let k = engine.config().k;
     let catalog = engine.catalog().clone();
-    let ground_truth: Vec<Package> = user
-        .ground_truth_top_k(&catalog, k)?
-        .packages_only();
+    let ground_truth: Vec<Package> = user.ground_truth_top_k(&catalog, k)?.packages_only();
 
     let mut clicks = 0usize;
     let mut converged = false;
@@ -274,7 +278,9 @@ mod tests {
         for c in counts {
             assert!(c > 50, "counts {counts:?}");
         }
-        assert!(SimulatedUser::with_reliability(ground_truth_utility(vec![0.0, 0.0]), 1.5).is_err());
+        assert!(
+            SimulatedUser::with_reliability(ground_truth_utility(vec![0.0, 0.0]), 1.5).is_err()
+        );
     }
 
     #[test]
@@ -292,8 +298,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let user = SimulatedUser::new(ground_truth_utility(vec![-0.7, 0.7]));
         let mut engine = fast_engine();
-        let report = run_elicitation(&mut engine, &user, ElicitationConfig::default(), &mut rng)
-            .unwrap();
+        let report =
+            run_elicitation(&mut engine, &user, ElicitationConfig::default(), &mut rng).unwrap();
         assert!(report.converged, "session did not converge: {report:?}");
         assert!(report.clicks <= 15, "needed {} clicks", report.clicks);
         assert_eq!(report.final_top_k.len(), 3);

@@ -14,7 +14,7 @@ use crate::package::Package;
 use crate::preferences::{Preference, PreferenceStore};
 use crate::profile::{AggregationContext, Profile};
 use crate::ranking::{aggregate, PerSampleRanking, RankedPackage, RankingSemantics};
-use crate::sampler::{SamplerKind, SamplePool, WeightSampler};
+use crate::sampler::{SamplePool, SamplerKind, WeightSampler};
 use crate::search::top_k_packages;
 use crate::utility::LinearUtility;
 
@@ -78,7 +78,9 @@ impl RecommenderEngine {
             return Err(CoreError::InvalidConfig("k must be at least 1".into()));
         }
         if config.num_samples == 0 {
-            return Err(CoreError::InvalidConfig("num_samples must be at least 1".into()));
+            return Err(CoreError::InvalidConfig(
+                "num_samples must be at least 1".into(),
+            ));
         }
         let context = AggregationContext::new(profile, &catalog, max_package_size)?;
         let prior = GaussianMixture::default_prior(
@@ -377,7 +379,10 @@ mod tests {
         });
         let catalog = engine.catalog().clone();
         let cost_of = |p: &Package| -> f64 {
-            p.items().iter().map(|&i| catalog.item_unchecked(i)[0]).sum()
+            p.items()
+                .iter()
+                .map(|&i| catalog.item_unchecked(i)[0])
+                .sum()
         };
         for _ in 0..4 {
             let shown = engine.present(&mut rng).unwrap();
@@ -419,7 +424,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let engine = engine(fast_config());
         for p in engine.random_packages(50, &mut rng) {
-            assert!(p.len() >= 1 && p.len() <= 3);
+            assert!(!p.is_empty() && p.len() <= 3);
             assert!(p.items().iter().all(|&i| i < engine.catalog().len()));
         }
     }

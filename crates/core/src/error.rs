@@ -110,26 +110,41 @@ mod tests {
     fn errors_render_human_readable_messages() {
         let cases: Vec<(CoreError, &str)> = vec![
             (
-                CoreError::DimensionMismatch { expected: 3, actual: 2 },
+                CoreError::DimensionMismatch {
+                    expected: 3,
+                    actual: 2,
+                },
                 "expected 3",
             ),
             (CoreError::UnknownItem(42), "item 42"),
             (
-                CoreError::PackageTooLarge { size: 9, max_size: 5 },
+                CoreError::PackageTooLarge {
+                    size: 9,
+                    max_size: 5,
+                },
                 "maximum package size 5",
             ),
             (CoreError::EmptyPackage, "at least one item"),
             (CoreError::EmptyCatalog, "no items"),
             (
-                CoreError::PreferenceCycle { package: "p1".into() },
+                CoreError::PreferenceCycle {
+                    package: "p1".into(),
+                },
                 "cycle",
             ),
             (
-                CoreError::SamplingExhausted { obtained: 1, requested: 5, attempts: 100 },
+                CoreError::SamplingExhausted {
+                    obtained: 1,
+                    requested: 5,
+                    attempts: 100,
+                },
                 "1/5",
             ),
             (CoreError::EmptyValidRegion, "no valid weight vector"),
-            (CoreError::InvalidConfig("k must be positive".into()), "k must be positive"),
+            (
+                CoreError::InvalidConfig("k must be positive".into()),
+                "k must be positive",
+            ),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

@@ -32,7 +32,10 @@ impl Catalog {
         }
         let m = feature_names.len();
         if m == 0 {
-            return Err(CoreError::DimensionMismatch { expected: 1, actual: 0 });
+            return Err(CoreError::DimensionMismatch {
+                expected: 1,
+                actual: 0,
+            });
         }
         for row in &rows {
             if row.len() != m {
@@ -47,7 +50,10 @@ impl Catalog {
                 ));
             }
         }
-        Ok(Catalog { feature_names, rows })
+        Ok(Catalog {
+            feature_names,
+            rows,
+        })
     }
 
     /// Creates a catalog with auto-generated feature names `f1..fm`.
@@ -151,7 +157,10 @@ mod tests {
 
     #[test]
     fn construction_validates_inputs() {
-        assert_eq!(Catalog::from_rows(vec![]).unwrap_err(), CoreError::EmptyCatalog);
+        assert_eq!(
+            Catalog::from_rows(vec![]).unwrap_err(),
+            CoreError::EmptyCatalog
+        );
         assert!(matches!(
             Catalog::new(vec![], vec![vec![]]),
             Err(CoreError::DimensionMismatch { .. })
@@ -169,7 +178,10 @@ mod tests {
         let c = catalog();
         assert_eq!(c.len(), 3);
         assert_eq!(c.num_features(), 2);
-        assert_eq!(c.feature_names(), &["cost".to_string(), "rating".to_string()]);
+        assert_eq!(
+            c.feature_names(),
+            &["cost".to_string(), "rating".to_string()]
+        );
         assert_eq!(c.item(0).unwrap(), &[0.6, 0.2]);
         assert_eq!(c.item_unchecked(2), &[0.2, 0.4]);
         assert!(matches!(c.item(9), Err(CoreError::UnknownItem(9))));
@@ -180,7 +192,10 @@ mod tests {
     #[test]
     fn default_feature_names() {
         let c = Catalog::from_rows(vec![vec![1.0, 2.0, 3.0]]).unwrap();
-        assert_eq!(c.feature_names(), &["f1".to_string(), "f2".into(), "f3".into()]);
+        assert_eq!(
+            c.feature_names(),
+            &["f1".to_string(), "f2".into(), "f3".into()]
+        );
     }
 
     #[test]

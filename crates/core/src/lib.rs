@@ -79,7 +79,9 @@ pub use elicitation::{
 pub use engine::{EngineConfig, RecommenderEngine};
 pub use error::{CoreError, Result};
 pub use item::{Catalog, ItemId};
-pub use maintenance::{find_violating, index_pool, maintain_pool, MaintenanceOutcome, MaintenanceStrategy};
+pub use maintenance::{
+    find_violating, index_pool, maintain_pool, MaintenanceOutcome, MaintenanceStrategy,
+};
 pub use noise::NoiseModel;
 pub use package::{enumerate_packages, package_space_size, Package};
 pub use preferences::{Preference, PreferenceStore};

@@ -132,6 +132,7 @@ pub fn find_violating(
 /// Valid samples are retained untouched — the justification in Section 3.4 is
 /// that the probability of every valid `w` still follows the prior regardless
 /// of the new feedback.
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 1's full parameter list
 pub fn maintain_pool(
     pool: &mut SamplePool,
     index: Option<&SortedLists>,
@@ -204,9 +205,9 @@ mod tests {
     #[test]
     fn violators_are_samples_preferring_the_worse_package() {
         let pool = SamplePool::from_samples(vec![
-            WeightSample::unweighted(vec![1.0, 0.0]),  // prefers better (higher f1)
+            WeightSample::unweighted(vec![1.0, 0.0]), // prefers better (higher f1)
             WeightSample::unweighted(vec![-1.0, 0.0]), // prefers worse
-            WeightSample::unweighted(vec![0.0, 1.0]),  // indifferent on f1, prefers worse on f2
+            WeightSample::unweighted(vec![0.0, 1.0]), // indifferent on f1, prefers worse on f2
         ]);
         let pref = preference(vec![0.8, 0.2], vec![0.2, 0.6]);
         let out = find_violating(&pool, None, &pref, MaintenanceStrategy::Naive);
@@ -263,7 +264,10 @@ mod tests {
     fn strategy_labels_are_stable() {
         assert_eq!(MaintenanceStrategy::Naive.label(), "naive");
         assert_eq!(MaintenanceStrategy::TopK.label(), "top-k");
-        assert_eq!(MaintenanceStrategy::Hybrid { gamma: 0.05 }.label(), "hybrid(γ=0.05)");
+        assert_eq!(
+            MaintenanceStrategy::Hybrid { gamma: 0.05 }.label(),
+            "hybrid(γ=0.05)"
+        );
     }
 
     #[test]
@@ -279,11 +283,8 @@ mod tests {
             .pool;
         // New feedback: packages (0.9, 0.1) ≻ (0.1, 0.9).
         let pref = preference(vec![0.9, 0.1], vec![0.1, 0.9]);
-        let constraint_checker = ConstraintChecker::from_constraints(
-            2,
-            vec![pref.constraint()],
-            ConstraintSource::Full,
-        );
+        let constraint_checker =
+            ConstraintChecker::from_constraints(2, vec![pref.constraint()], ConstraintSource::Full);
         let index = index_pool(&pool);
         let valid_before: Vec<Vec<f64>> = pool
             .samples()

@@ -100,9 +100,17 @@ impl std::fmt::Display for Package {
 pub fn enumerate_packages(n: usize, max_size: usize) -> Vec<Package> {
     let mut out = Vec::new();
     let mut current: Vec<ItemId> = Vec::new();
-    fn recurse(n: usize, max_size: usize, start: usize, current: &mut Vec<ItemId>, out: &mut Vec<Package>) {
+    fn recurse(
+        n: usize,
+        max_size: usize,
+        start: usize,
+        current: &mut Vec<ItemId>,
+        out: &mut Vec<Package>,
+    ) {
         if !current.is_empty() {
-            out.push(Package { items: current.clone() });
+            out.push(Package {
+                items: current.clone(),
+            });
         }
         if current.len() == max_size {
             return;
@@ -176,7 +184,10 @@ mod tests {
         assert_eq!(package_space_size(3, 3), 7);
         assert_eq!(package_space_size(3, 2), 6);
         assert_eq!(package_space_size(10, 3), 10 + 45 + 120);
-        assert_eq!(enumerate_packages(6, 3).len() as u128, package_space_size(6, 3));
+        assert_eq!(
+            enumerate_packages(6, 3).len() as u128,
+            package_space_size(6, 3)
+        );
     }
 
     #[test]

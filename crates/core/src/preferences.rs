@@ -132,7 +132,9 @@ impl PreferenceStore {
         worse_vector: &[f64],
     ) -> Result<bool> {
         if better_key == worse_key {
-            return Err(CoreError::PreferenceCycle { package: better_key });
+            return Err(CoreError::PreferenceCycle {
+                package: better_key,
+            });
         }
         let b = self.node(better_key, better_vector);
         let w = self.node(worse_key.clone(), worse_vector);
@@ -179,7 +181,10 @@ impl PreferenceStore {
 
     /// Half-space constraints for every stored preference (no reduction).
     pub fn all_constraints(&self) -> Vec<HalfSpace> {
-        self.preferences().iter().map(Preference::constraint).collect()
+        self.preferences()
+            .iter()
+            .map(Preference::constraint)
+            .collect()
     }
 
     /// Edges that survive transitive reduction: an edge `u → v` is redundant
@@ -265,12 +270,27 @@ mod tests {
     fn store_with_chain() -> PreferenceStore {
         // a ≻ b ≻ c, plus the redundant a ≻ c.
         let mut s = PreferenceStore::new();
-        s.add("a".into(), &vector(&[0.9, 0.1]), "b".into(), &vector(&[0.5, 0.5]))
-            .unwrap();
-        s.add("b".into(), &vector(&[0.5, 0.5]), "c".into(), &vector(&[0.1, 0.9]))
-            .unwrap();
-        s.add("a".into(), &vector(&[0.9, 0.1]), "c".into(), &vector(&[0.1, 0.9]))
-            .unwrap();
+        s.add(
+            "a".into(),
+            &vector(&[0.9, 0.1]),
+            "b".into(),
+            &vector(&[0.5, 0.5]),
+        )
+        .unwrap();
+        s.add(
+            "b".into(),
+            &vector(&[0.5, 0.5]),
+            "c".into(),
+            &vector(&[0.1, 0.9]),
+        )
+        .unwrap();
+        s.add(
+            "a".into(),
+            &vector(&[0.9, 0.1]),
+            "c".into(),
+            &vector(&[0.1, 0.9]),
+        )
+        .unwrap();
         s
     }
 

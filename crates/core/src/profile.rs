@@ -32,7 +32,10 @@ impl AggregateFn {
     /// added: true for `sum` and `max`, false for `min` and `avg` (and
     /// trivially true for `null`, which contributes nothing).
     pub fn is_monotone_increasing(&self) -> bool {
-        matches!(self, AggregateFn::Sum | AggregateFn::Max | AggregateFn::Null)
+        matches!(
+            self,
+            AggregateFn::Sum | AggregateFn::Max | AggregateFn::Null
+        )
     }
 
     /// Whether the aggregate can only shrink (or stay equal) when items are
@@ -191,7 +194,9 @@ impl AggregationContext {
             });
         }
         if max_package_size == 0 {
-            return Err(CoreError::InvalidConfig("maximum package size must be at least 1".into()));
+            return Err(CoreError::InvalidConfig(
+                "maximum package size must be at least 1".into(),
+            ));
         }
         let maxima = catalog.feature_maxima();
         let norm = (0..profile.dim())
@@ -347,7 +352,10 @@ mod tests {
         let p = Package::new(vec![0, 1, 2]).unwrap();
         assert!(matches!(
             ctx.package_vector(&catalog, &p),
-            Err(CoreError::PackageTooLarge { size: 3, max_size: 2 })
+            Err(CoreError::PackageTooLarge {
+                size: 3,
+                max_size: 2
+            })
         ));
     }
 

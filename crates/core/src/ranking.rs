@@ -193,11 +193,7 @@ mod tests {
         utilities
             .into_iter()
             .map(|(prob, utils)| {
-                let mut ranked: Vec<(Package, f64)> = packages
-                    .iter()
-                    .cloned()
-                    .zip(utils.into_iter())
-                    .collect();
+                let mut ranked: Vec<(Package, f64)> = packages.iter().cloned().zip(utils).collect();
                 ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
                 PerSampleRanking::new(prob, ranked)
             })
@@ -224,7 +220,11 @@ mod tests {
         let results = figure2_results();
         let all = aggregate_exp(&results, 6);
         let p1 = all.iter().find(|r| r.package == p(&[0])).unwrap();
-        assert!((p1.score - 0.262).abs() < 1e-9, "expected 0.262, got {}", p1.score);
+        assert!(
+            (p1.score - 0.262).abs() < 1e-9,
+            "expected 0.262, got {}",
+            p1.score
+        );
     }
 
     #[test]

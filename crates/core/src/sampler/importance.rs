@@ -14,8 +14,8 @@
 //! [`ImportanceSampler::generate`] returns an error instead of silently
 //! spending minutes when the grid would be too large.
 
-use pkgrec_gmm::{Gaussian, GaussianMixture};
 use pkgrec_geom::Grid;
+use pkgrec_gmm::{Gaussian, GaussianMixture};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -136,7 +136,10 @@ mod tests {
     fn produces_valid_weighted_samples() {
         let prior = GaussianMixture::default_prior(2, 1, 0.5).unwrap();
         let c = checker(
-            vec![HalfSpace::new(vec![1.0, 0.0]), HalfSpace::new(vec![0.0, 1.0])],
+            vec![
+                HalfSpace::new(vec![1.0, 0.0]),
+                HalfSpace::new(vec![0.0, 1.0]),
+            ],
             2,
         );
         let mut rng = StdRng::seed_from_u64(10);

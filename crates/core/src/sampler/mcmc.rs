@@ -121,8 +121,8 @@ impl WeightSampler for McmcSampler {
         let dim = current.len();
         // Overall proposal budget: burn-in plus thinning per requested sample,
         // with generous head-room for rejected moves.
-        let max_proposals = init_attempts
-            + (self.burn_in + n.max(1) * self.step_length).saturating_mul(50);
+        let max_proposals =
+            init_attempts + (self.burn_in + n.max(1) * self.step_length).saturating_mul(50);
         while pool.len() < n {
             if proposals >= max_proposals {
                 return Err(CoreError::SamplingExhausted {
@@ -155,7 +155,7 @@ impl WeightSampler for McmcSampler {
             // Whether the move was accepted or the chain stayed put, the chain
             // has advanced one step; thin and collect after burn-in.
             kept_states += 1;
-            if kept_states > self.burn_in && kept_states % self.step_length == 0 {
+            if kept_states > self.burn_in && kept_states.is_multiple_of(self.step_length) {
                 pool.push(WeightSample::unweighted(current.clone()));
             }
         }
@@ -247,7 +247,12 @@ mod tests {
             .unwrap();
         // Sample variance along each dimension should be well away from zero.
         for d in 0..2 {
-            let values: Vec<f64> = outcome.pool.samples().iter().map(|s| s.weights[d]).collect();
+            let values: Vec<f64> = outcome
+                .pool
+                .samples()
+                .iter()
+                .map(|s| s.weights[d])
+                .collect();
             let mean = values.iter().sum::<f64>() / values.len() as f64;
             let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
             assert!(var > 0.01, "dimension {d} variance {var}");
@@ -292,6 +297,9 @@ mod tests {
             .iter()
             .filter(|s| !c.is_valid(&s.weights))
             .count();
-        assert!(violating > 0, "noisy chain should occasionally cross the constraint");
+        assert!(
+            violating > 0,
+            "noisy chain should occasionally cross the constraint"
+        );
     }
 }

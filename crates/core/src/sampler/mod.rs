@@ -227,7 +227,10 @@ mod tests {
     fn positive_quadrant_checker() -> ConstraintChecker {
         ConstraintChecker::from_constraints(
             2,
-            vec![HalfSpace::new(vec![1.0, 0.0]), HalfSpace::new(vec![0.0, 1.0])],
+            vec![
+                HalfSpace::new(vec![1.0, 0.0]),
+                HalfSpace::new(vec![0.0, 1.0]),
+            ],
             ConstraintSource::Full,
         )
     }
@@ -277,11 +280,19 @@ mod tests {
         let prior = GaussianMixture::default_prior(2, 1, 0.5).unwrap();
         let checker = positive_quadrant_checker();
         let mut rng = StdRng::seed_from_u64(99);
-        for kind in [SamplerKind::rejection(), SamplerKind::importance(), SamplerKind::mcmc()] {
+        for kind in [
+            SamplerKind::rejection(),
+            SamplerKind::importance(),
+            SamplerKind::mcmc(),
+        ] {
             let outcome = kind.generate(&prior, &checker, 50, &mut rng).unwrap();
             assert_eq!(outcome.pool.len(), 50, "{}", kind.name());
             for s in outcome.pool.samples() {
-                assert!(checker.is_valid(&s.weights), "{} produced invalid sample", kind.name());
+                assert!(
+                    checker.is_valid(&s.weights),
+                    "{} produced invalid sample",
+                    kind.name()
+                );
                 assert!(in_weight_cube(&s.weights));
                 assert!(s.importance.is_finite() && s.importance > 0.0);
             }

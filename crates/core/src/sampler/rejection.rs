@@ -169,7 +169,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let err = sampler.generate(&prior, &c, 10, &mut rng).unwrap_err();
         match err {
-            CoreError::SamplingExhausted { requested, attempts, .. } => {
+            CoreError::SamplingExhausted {
+                requested,
+                attempts,
+                ..
+            } => {
                 assert_eq!(requested, 10);
                 assert_eq!(attempts, 500);
             }

@@ -74,7 +74,11 @@ mod tests {
 
     #[test]
     fn set_monotone_bound_packs_to_full_size() {
-        let u = utility(Profile::new(vec![AggregateFn::Sum, AggregateFn::Max]), vec![0.5, 0.5], 3);
+        let u = utility(
+            Profile::new(vec![AggregateFn::Sum, AggregateFn::Max]),
+            vec![0.5, 0.5],
+            3,
+        );
         assert!(u.is_set_monotone());
         let state = PackageState::empty(2);
         let tau = [0.8, 0.9];
@@ -108,7 +112,12 @@ mod tests {
         // Theorem 3: upper-exp bounds the utility of p extended with any items
         // dominated by τ.  Check exhaustively on a small instance.
         let cat = catalog();
-        for weights in [vec![0.7, 0.3], vec![-0.4, 0.8], vec![0.5, -0.5], vec![-0.6, -0.2]] {
+        for weights in [
+            vec![0.7, 0.3],
+            vec![-0.4, 0.8],
+            vec![0.5, -0.5],
+            vec![-0.6, -0.2],
+        ] {
             for profile in [
                 Profile::new(vec![AggregateFn::Sum, AggregateFn::Avg]),
                 Profile::new(vec![AggregateFn::Max, AggregateFn::Min]),

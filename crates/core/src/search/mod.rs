@@ -99,7 +99,11 @@ const MAX_EXPANDABLE_CANDIDATES: usize = 20_000;
 /// The `Top-k-Pkg` algorithm (Algorithm 2): returns the top-k packages for a
 /// fixed utility function over the catalog, where package size ranges from 1
 /// to the context's maximum package size φ.
-pub fn top_k_packages(utility: &LinearUtility, catalog: &Catalog, k: usize) -> Result<SearchResult> {
+pub fn top_k_packages(
+    utility: &LinearUtility,
+    catalog: &Catalog,
+    k: usize,
+) -> Result<SearchResult> {
     let dim = utility.dim();
     let phi = utility.max_package_size();
     // Effective query: the per-feature access direction follows the weight
@@ -121,7 +125,8 @@ pub fn top_k_packages(utility: &LinearUtility, catalog: &Catalog, k: usize) -> R
     let empty_state = PackageState::empty(dim);
     let mut q_minus_count = 0usize;
     let mut best = TopKHeap::new(k);
-    let mut best_by_key: std::collections::HashMap<Vec<ItemId>, f64> = std::collections::HashMap::new();
+    let mut best_by_key: std::collections::HashMap<Vec<ItemId>, f64> =
+        std::collections::HashMap::new();
     let mut seen_items: std::collections::HashSet<ItemId> = std::collections::HashSet::new();
     let mut candidates_created = 0usize;
     let mut terminated_early = false;
@@ -165,7 +170,7 @@ pub fn top_k_packages(utility: &LinearUtility, catalog: &Catalog, k: usize) -> R
                 }
             }
         }
-        for candidate in q_plus.drain(..).chain(new_candidates.into_iter()) {
+        for candidate in q_plus.drain(..).chain(new_candidates) {
             // Record every non-empty candidate as a found package.
             if !candidate.items.is_empty() {
                 let mut sorted_items = candidate.items.clone();
@@ -215,7 +220,12 @@ pub fn top_k_packages(utility: &LinearUtility, catalog: &Catalog, k: usize) -> R
     let packages = best
         .into_sorted()
         .into_iter()
-        .map(|(items, score)| (Package::new(items).expect("candidates are non-empty"), score))
+        .map(|(items, score)| {
+            (
+                Package::new(items).expect("candidates are non-empty"),
+                score,
+            )
+        })
         .collect();
     Ok(SearchResult {
         packages,

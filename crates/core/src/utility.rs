@@ -160,7 +160,10 @@ mod tests {
         for (items, expected) in packages {
             let p = Package::new(items.clone()).unwrap();
             let got = u.of_package(&catalog, &p).unwrap();
-            assert!((got - expected).abs() < 1e-12, "package {items:?}: {got} vs {expected}");
+            assert!(
+                (got - expected).abs() < 1e-12,
+                "package {items:?}: {got} vs {expected}"
+            );
         }
     }
 
@@ -171,14 +174,23 @@ mod tests {
             (vec![0.1, 0.5], vec![0.31, 0.54, 0.52, 0.475, 0.56, 0.455]),
             (vec![0.1, 0.1], vec![0.11, 0.14, 0.12, 0.175, 0.16, 0.155]),
         ];
-        let package_items: [Vec<usize>; 6] =
-            [vec![0], vec![1], vec![2], vec![0, 1], vec![1, 2], vec![0, 2]];
+        let package_items: [Vec<usize>; 6] = [
+            vec![0],
+            vec![1],
+            vec![2],
+            vec![0, 1],
+            vec![1, 2],
+            vec![0, 2],
+        ];
         for (weights, expected) in cases {
             let u = figure1_utility(weights.clone());
             for (items, exp) in package_items.iter().zip(expected.iter()) {
                 let p = Package::new(items.clone()).unwrap();
                 let got = u.of_package(&catalog, &p).unwrap();
-                assert!((got - exp).abs() < 1e-9, "w {weights:?} package {items:?}: {got} vs {exp}");
+                assert!(
+                    (got - exp).abs() < 1e-9,
+                    "w {weights:?} package {items:?}: {got} vs {exp}"
+                );
             }
         }
     }

@@ -1,0 +1,33 @@
+//! Manifest smoke test: drives the crate's headline entry point (the
+//! interactive engine loop) through the public API exactly as an external
+//! consumer would, so a workspace/manifest regression fails `cargo test -q`.
+
+use pkgrec_core::prelude::*;
+use rand::SeedableRng;
+
+#[test]
+fn engine_round_trip_smoke() {
+    let catalog = Catalog::from_rows(vec![vec![0.6, 0.2], vec![0.4, 0.4], vec![0.2, 0.4]])
+        .expect("valid catalog");
+    let mut engine = RecommenderEngine::new(
+        catalog,
+        Profile::cost_quality(),
+        2,
+        EngineConfig {
+            k: 2,
+            num_random: 2,
+            num_samples: 30,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("valid engine config");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let shown = engine.present(&mut rng).expect("presentation succeeds");
+    assert!(!shown.is_empty());
+    engine
+        .record_click(&shown[0].clone(), &shown, &mut rng)
+        .expect("click is recorded");
+    let recommendations = engine.recommend(&mut rng).expect("recommendation succeeds");
+    assert!(!recommendations.is_empty());
+}

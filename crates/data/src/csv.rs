@@ -134,7 +134,14 @@ mod tests {
     #[test]
     fn ragged_rows_are_rejected() {
         let err = from_csv_string("x", "a,b\n1.0\n").unwrap_err();
-        assert!(matches!(err, DataError::RaggedRows { expected: 2, actual: 1, .. }));
+        assert!(matches!(
+            err,
+            DataError::RaggedRows {
+                expected: 2,
+                actual: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

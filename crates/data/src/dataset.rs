@@ -288,21 +288,17 @@ mod tests {
 
     #[test]
     fn correlation_of_identical_columns_is_one() {
-        let d = Dataset::with_default_names(
-            "c",
-            vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]],
-        )
-        .unwrap();
+        let d =
+            Dataset::with_default_names("c", vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]])
+                .unwrap();
         assert!((d.correlation(0, 1) - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn correlation_of_opposite_columns_is_minus_one() {
-        let d = Dataset::with_default_names(
-            "c",
-            vec![vec![1.0, 3.0], vec![2.0, 2.0], vec![3.0, 1.0]],
-        )
-        .unwrap();
+        let d =
+            Dataset::with_default_names("c", vec![vec![1.0, 3.0], vec![2.0, 2.0], vec![3.0, 1.0]])
+                .unwrap();
         assert!((d.correlation(0, 1) + 1.0).abs() < 1e-12);
     }
 

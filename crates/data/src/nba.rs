@@ -137,7 +137,10 @@ mod tests {
         games.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = games[games.len() / 2];
         let mean = games.iter().sum::<f64>() / games.len() as f64;
-        assert!(mean > median, "mean {mean} should exceed median {median} for a right-skewed distribution");
+        assert!(
+            mean > median,
+            "mean {mean} should exceed median {median} for a right-skewed distribution"
+        );
     }
 
     #[test]

@@ -246,8 +246,12 @@ mod tests {
     fn generation_is_reproducible_with_same_seed() {
         let mut r1 = rng();
         let mut r2 = rng();
-        let d1 = SyntheticFamily::Correlated.generate(100, 5, &mut r1).unwrap();
-        let d2 = SyntheticFamily::Correlated.generate(100, 5, &mut r2).unwrap();
+        let d1 = SyntheticFamily::Correlated
+            .generate(100, 5, &mut r1)
+            .unwrap();
+        let d2 = SyntheticFamily::Correlated
+            .generate(100, 5, &mut r2)
+            .unwrap();
         assert_eq!(d1, d2);
     }
 }

@@ -1,0 +1,21 @@
+//! Manifest smoke test: generates a synthetic dataset and runs the summary /
+//! normalisation pipeline.
+
+use pkgrec_data::SyntheticFamily;
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn synthetic_generation_smoke() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let dataset = SyntheticFamily::Uniform
+        .generate(50, 4, &mut rng)
+        .expect("valid shape");
+    assert_eq!(dataset.len(), 50);
+    assert_eq!(dataset.num_features(), 4);
+
+    let normalized = dataset.normalized();
+    for row in normalized.rows() {
+        assert!(row.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+    assert_eq!(dataset.summary().rows, 50);
+}

@@ -49,7 +49,9 @@ impl CellTree {
     /// 4 194 304 leaves (the same practical ceiling the flat grid hits).
     pub fn new(bounds: Hypercube, depth: usize) -> Result<Self> {
         let dim = bounds.dim();
-        let leaves_log2 = dim.checked_mul(depth).ok_or(GeomError::EmptyDecomposition)?;
+        let leaves_log2 = dim
+            .checked_mul(depth)
+            .ok_or(GeomError::EmptyDecomposition)?;
         if leaves_log2 > 22 {
             return Err(GeomError::EmptyDecomposition);
         }
@@ -239,7 +241,10 @@ mod tests {
         let visited = t.apply_constraint(&c);
         // A flat grid would visit every leaf; the tree visits only nodes along
         // the constraint boundary plus the pruned/contained subtree roots.
-        assert!(visited < leaf_count, "visited {visited} of {leaf_count} leaves");
+        assert!(
+            visited < leaf_count,
+            "visited {visited} of {leaf_count} leaves"
+        );
     }
 
     #[test]
@@ -255,7 +260,7 @@ mod tests {
     #[test]
     fn multiple_constraints_narrow_the_center() {
         let mut t = CellTree::over_weight_cube(3, 3).unwrap();
-        let constraints = vec![
+        let constraints = [
             HalfSpace::new(vec![1.0, 0.0, 0.0]),
             HalfSpace::new(vec![0.0, 1.0, 0.0]),
             HalfSpace::new(vec![0.0, 0.0, 1.0]),
@@ -270,7 +275,7 @@ mod tests {
     #[test]
     fn center_agrees_with_flat_grid() {
         use crate::grid::Grid;
-        let constraints = vec![HalfSpace::new(vec![0.7, -0.3])];
+        let constraints = [HalfSpace::new(vec![0.7, -0.3])];
         let mut t = CellTree::over_weight_cube(2, 3).unwrap();
         t.apply_constraints(constraints.iter());
         let mut g = Grid::over_weight_cube(2, 8).unwrap();

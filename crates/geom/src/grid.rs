@@ -51,17 +51,19 @@ impl Grid {
             return Err(GeomError::EmptyDecomposition);
         }
         let dim = bounds.dim();
-        let total = cells_per_dim.checked_pow(dim as u32).ok_or(GeomError::EmptyDecomposition)?;
+        let total = cells_per_dim
+            .checked_pow(dim as u32)
+            .ok_or(GeomError::EmptyDecomposition)?;
         let side = bounds.side_lengths();
         let mut cells = Vec::with_capacity(total);
         for idx in 0..total {
             let mut rem = idx;
             let mut lower = Vec::with_capacity(dim);
             let mut upper = Vec::with_capacity(dim);
-            for d in 0..dim {
+            for (d, &length) in side.iter().enumerate().take(dim) {
                 let i = rem % cells_per_dim;
                 rem /= cells_per_dim;
-                let step = side[d] / cells_per_dim as f64;
+                let step = length / cells_per_dim as f64;
                 lower.push(bounds.lower()[d] + i as f64 * step);
                 upper.push(bounds.lower()[d] + (i + 1) as f64 * step);
             }
@@ -227,7 +229,10 @@ mod tests {
         for cell in 0..grid.cells.len() {
             grid.cells[cell].valid = false;
         }
-        assert_eq!(grid.approximate_center().unwrap_err(), GeomError::EmptyRegion);
+        assert_eq!(
+            grid.approximate_center().unwrap_err(),
+            GeomError::EmptyRegion
+        );
     }
 
     #[test]

@@ -145,7 +145,13 @@ mod tests {
         let mut worst = f64::INFINITY;
         for mask in 0..8u32 {
             let corner: Vec<f64> = (0..3)
-                .map(|d| if mask & (1 << d) != 0 { upper[d] } else { lower[d] })
+                .map(|d| {
+                    if mask & (1 << d) != 0 {
+                        upper[d]
+                    } else {
+                        lower[d]
+                    }
+                })
                 .collect();
             let m = h.margin(&corner);
             best = best.max(m);

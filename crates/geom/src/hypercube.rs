@@ -106,13 +106,13 @@ impl Hypercube {
         for mask in 0..(1usize << dim) {
             let mut lower = Vec::with_capacity(dim);
             let mut upper = Vec::with_capacity(dim);
-            for d in 0..dim {
+            for (d, &m) in mid.iter().enumerate().take(dim) {
                 if mask & (1 << d) != 0 {
-                    lower.push(mid[d]);
+                    lower.push(m);
                     upper.push(self.upper[d]);
                 } else {
                     lower.push(self.lower[d]);
-                    upper.push(mid[d]);
+                    upper.push(m);
                 }
             }
             children.push(Hypercube { lower, upper });

@@ -105,7 +105,11 @@ impl ConvexRegion {
 
 /// Convenience wrapper: approximate centre of the region spanned by a set of
 /// preference-induced constraints.
-pub fn region_center(constraints: &[HalfSpace], dim: usize, cells_per_dim: usize) -> Result<Vec<f64>> {
+pub fn region_center(
+    constraints: &[HalfSpace],
+    dim: usize,
+    cells_per_dim: usize,
+) -> Result<Vec<f64>> {
     ConvexRegion::from_constraints(dim, constraints.to_vec()).approximate_center(cells_per_dim)
 }
 
@@ -201,7 +205,9 @@ mod tests {
     fn region_center_helper_matches_method() {
         let constraints = vec![HalfSpace::new(vec![1.0, 1.0])];
         let via_helper = region_center(&constraints, 2, 4).unwrap();
-        let via_region = ConvexRegion::from_constraints(2, constraints).approximate_center(4).unwrap();
+        let via_region = ConvexRegion::from_constraints(2, constraints)
+            .approximate_center(4)
+            .unwrap();
         assert_eq!(via_helper, via_region);
     }
 

@@ -1,0 +1,17 @@
+//! Manifest smoke test: intersects a half-space with the weight cube and asks
+//! the grid decomposition for an approximate centre.
+
+use pkgrec_geom::{approximate_center, HalfSpace, Hypercube};
+
+#[test]
+fn grid_center_smoke() {
+    let cube = Hypercube::unit_cube(2);
+    assert!(cube.contains(&[0.5, 0.5]));
+
+    // w0 - w1 >= 0: the centre of the surviving half of the cube leans w0-ward.
+    let constraint = HalfSpace::new(vec![1.0, -1.0]);
+    let center = approximate_center(2, 8, std::slice::from_ref(&constraint))
+        .expect("half the cube remains valid");
+    assert_eq!(center.len(), 2);
+    assert!(center[0] >= center[1]);
+}

@@ -73,7 +73,8 @@ pub fn fit_mixture<R: Rng + ?Sized>(
         return Err(GmmError::DegenerateFit);
     }
     let total_weight: f64 = weights.iter().sum();
-    if !(total_weight > 0.0) {
+    // NaN must fail too, so the comparison is deliberately inverted.
+    if total_weight.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(GmmError::DegenerateFit);
     }
     let k = config.num_components;
@@ -173,7 +174,9 @@ pub fn fit_mixture<R: Rng + ?Sized>(
                 let v: f64 = samples
                     .iter()
                     .enumerate()
-                    .map(|(i, s)| weights[i] * responsibilities[i][j] * (s[d] - means[j][d]).powi(2))
+                    .map(|(i, s)| {
+                        weights[i] * responsibilities[i][j] * (s[d] - means[j][d]).powi(2)
+                    })
                     .sum::<f64>()
                     / nj;
                 variances[j][d] = v.max(config.min_variance);

@@ -91,7 +91,11 @@ impl Gaussian {
             .cholesky
             .mul_vec(&z)
             .expect("cholesky factor has the gaussian's dimension");
-        self.mean.iter().zip(lz.iter()).map(|(m, x)| m + x).collect()
+        self.mean
+            .iter()
+            .zip(lz.iter())
+            .map(|(m, x)| m + x)
+            .collect()
     }
 
     /// Log probability density at `x`.
@@ -132,8 +136,8 @@ mod tests {
     fn univariate_pdf_matches_closed_form() {
         let g = Gaussian::isotropic(vec![1.0], 2.0).unwrap();
         let x = 2.5;
-        let expected =
-            (-((x - 1.0f64) * (x - 1.0)) / (2.0 * 4.0)).exp() / (2.0 * std::f64::consts::PI * 4.0).sqrt();
+        let expected = (-((x - 1.0f64) * (x - 1.0)) / (2.0 * 4.0)).exp()
+            / (2.0 * std::f64::consts::PI * 4.0).sqrt();
         assert!((g.pdf(&[x]).unwrap() - expected).abs() < 1e-12);
     }
 
@@ -181,7 +185,10 @@ mod tests {
             cov_acc += s[0] * s[1];
         }
         let empirical = cov_acc / n as f64;
-        assert!((empirical - 0.8).abs() < 0.05, "empirical covariance {empirical}");
+        assert!(
+            (empirical - 0.8).abs() < 0.05,
+            "empirical covariance {empirical}"
+        );
     }
 
     #[test]

@@ -125,11 +125,14 @@ impl Matrix {
                 actual: v.len(),
             });
         }
-        let mut out = vec![0.0; self.dim];
-        for i in 0..self.dim {
-            let row = &self.data[i * self.dim..(i + 1) * self.dim];
-            out[i] = dot(row, v);
+        if self.dim == 0 {
+            return Ok(Vec::new());
         }
+        let out = self
+            .data
+            .chunks_exact(self.dim)
+            .map(|row| dot(row, v))
+            .collect();
         Ok(out)
     }
 
@@ -244,7 +247,13 @@ mod tests {
     fn mul_vec_dimension_mismatch() {
         let m = Matrix::identity(3);
         let err = m.mul_vec(&[1.0, 2.0]).unwrap_err();
-        assert!(matches!(err, GmmError::DimensionMismatch { expected: 3, actual: 2 }));
+        assert!(matches!(
+            err,
+            GmmError::DimensionMismatch {
+                expected: 3,
+                actual: 2
+            }
+        ));
     }
 
     #[test]

@@ -43,7 +43,7 @@ impl GaussianMixture {
         let dim = components[0].gaussian.dim();
         let mut total = 0.0;
         for c in &components {
-            if !(c.weight > 0.0) || !c.weight.is_finite() {
+            if c.weight <= 0.0 || !c.weight.is_finite() {
                 return Err(GmmError::InvalidWeight(c.weight));
             }
             if c.gaussian.dim() != dim {
@@ -192,7 +192,10 @@ mod tests {
 
     #[test]
     fn empty_mixture_rejected() {
-        assert_eq!(GaussianMixture::new(vec![]).unwrap_err(), GmmError::EmptyMixture);
+        assert_eq!(
+            GaussianMixture::new(vec![]).unwrap_err(),
+            GmmError::EmptyMixture
+        );
         assert!(GaussianMixture::default_prior(3, 0, 1.0).is_err());
     }
 

@@ -1,0 +1,17 @@
+//! Manifest smoke test: samples from the default Gaussian-mixture prior and
+//! runs the ENS diagnostic through the public API.
+
+use pkgrec_gmm::{effective_number_of_samples_from_weights, GaussianMixture};
+use rand::SeedableRng;
+
+#[test]
+fn prior_sampling_smoke() {
+    let prior = GaussianMixture::default_prior(3, 2, 0.5).expect("valid prior");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let samples = prior.sample_n(&mut rng, 64);
+    assert_eq!(samples.len(), 64);
+    assert!(samples.iter().all(|s| s.len() == 3));
+
+    let ens = effective_number_of_samples_from_weights(&vec![1.0; 64]);
+    assert!((ens - 64.0).abs() < 1e-9);
+}

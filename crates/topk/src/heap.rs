@@ -139,7 +139,10 @@ mod tests {
             h.push(i, *s);
         }
         let sorted = h.into_sorted();
-        assert_eq!(sorted.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![0, 2, 4]);
+        assert_eq!(
+            sorted.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![0, 2, 4]
+        );
         assert_eq!(sorted[0].1, 5.0);
     }
 

@@ -189,9 +189,12 @@ mod tests {
         let lists = SortedLists::new(&points);
         let query = vec![0.7, -0.3, 0.4];
         for budget in [0, 10, 150, 10_000] {
-            let result =
-                ThresholdScanner::new(&lists, query.clone(), 0.0).run_with_budget(budget);
-            assert_eq!(result.matches, scan_naive(&points, &query, 0.0), "budget {budget}");
+            let result = ThresholdScanner::new(&lists, query.clone(), 0.0).run_with_budget(budget);
+            assert_eq!(
+                result.matches,
+                scan_naive(&points, &query, 0.0),
+                "budget {budget}"
+            );
         }
     }
 

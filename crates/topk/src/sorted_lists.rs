@@ -177,9 +177,15 @@ impl<'a> RoundRobinCursor<'a> {
     /// Creates a cursor whose directions follow the signs of a query vector
     /// and which skips dimensions with zero query weight entirely.
     pub fn for_query(lists: &'a SortedLists, query: &[f64]) -> Self {
-        assert_eq!(query.len(), lists.dim(), "query must match index dimensionality");
+        assert_eq!(
+            query.len(),
+            lists.dim(),
+            "query must match index dimensionality"
+        );
         let directions = query.iter().map(|&q| Direction::for_weight(q)).collect();
-        let active_dims = (0..lists.dim()).filter(|&d| query[d] != 0.0).collect::<Vec<_>>();
+        let active_dims = (0..lists.dim())
+            .filter(|&d| query[d] != 0.0)
+            .collect::<Vec<_>>();
         RoundRobinCursor {
             lists,
             directions,
@@ -242,7 +248,12 @@ impl<'a> RoundRobinCursor<'a> {
                 let value = self.lists.point(id)[d];
                 self.positions[d] += 1;
                 self.turn = (slot + 1) % self.active_dims.len();
-                return Some(SortedAccess { dim: d, rank, id, value });
+                return Some(SortedAccess {
+                    dim: d,
+                    rank,
+                    id,
+                    value,
+                });
             }
         }
         None
@@ -256,7 +267,11 @@ impl<'a> RoundRobinCursor<'a> {
         (0..self.lists.dim())
             .map(|d| {
                 let seen = self.positions[d];
-                let rank = if seen == 0 { 0 } else { (seen - 1).min(self.lists.len().saturating_sub(1)) };
+                let rank = if seen == 0 {
+                    0
+                } else {
+                    (seen - 1).min(self.lists.len().saturating_sub(1))
+                };
                 self.lists
                     .value_at(d, rank, self.directions[d])
                     .unwrap_or(0.0)
@@ -328,10 +343,8 @@ mod tests {
     #[test]
     fn round_robin_alternates_dimensions() {
         let lists = SortedLists::new(&sample_points());
-        let mut cursor = RoundRobinCursor::new(
-            &lists,
-            vec![Direction::Descending, Direction::Descending],
-        );
+        let mut cursor =
+            RoundRobinCursor::new(&lists, vec![Direction::Descending, Direction::Descending]);
         let dims: Vec<usize> = (0..4).map(|_| cursor.next_access().unwrap().dim).collect();
         assert_eq!(dims, vec![0, 1, 0, 1]);
         assert_eq!(cursor.accesses(), 4);
@@ -340,10 +353,8 @@ mod tests {
     #[test]
     fn boundary_tracks_frontier_values() {
         let lists = SortedLists::new(&sample_points());
-        let mut cursor = RoundRobinCursor::new(
-            &lists,
-            vec![Direction::Descending, Direction::Descending],
-        );
+        let mut cursor =
+            RoundRobinCursor::new(&lists, vec![Direction::Descending, Direction::Descending]);
         // Before any access the boundary is the per-dimension maximum.
         assert_eq!(cursor.boundary(), vec![0.9, 0.9]);
         cursor.next_access(); // dim 0 -> value 0.9

@@ -21,7 +21,11 @@ pub struct TopKResult {
 /// Returns the `k` points maximising `query · x` using the threshold
 /// algorithm, stopping as soon as no unseen point can enter the result.
 pub fn top_k(lists: &SortedLists, query: &[f64], k: usize) -> TopKResult {
-    assert_eq!(query.len(), lists.dim(), "query must match index dimensionality");
+    assert_eq!(
+        query.len(),
+        lists.dim(),
+        "query must match index dimensionality"
+    );
     let mut heap = TopKHeap::new(k);
     let mut cursor = RoundRobinCursor::for_query(lists, query);
     let mut seen = std::collections::HashSet::new();
@@ -101,7 +105,11 @@ mod tests {
         for seed in 0..5u64 {
             let points = random_points(200, 3, seed);
             let lists = SortedLists::new(&points);
-            for query in [vec![1.0, 0.5, 0.2], vec![-0.4, 0.9, 0.0], vec![-1.0, -1.0, -1.0]] {
+            for query in [
+                vec![1.0, 0.5, 0.2],
+                vec![-0.4, 0.9, 0.0],
+                vec![-1.0, -1.0, -1.0],
+            ] {
                 let got = top_k(&lists, &query, 10);
                 let expected = top_k_naive(&points, &query, 10);
                 let got_ids: Vec<usize> = got.items.iter().map(|(i, _)| *i).collect();

@@ -1,0 +1,21 @@
+//! Manifest smoke test: the threshold-algorithm retrieval agrees with the
+//! naive scan on a small point set.
+
+use pkgrec_topk::{top_k, top_k_naive, SortedLists};
+
+#[test]
+fn ta_matches_naive_smoke() {
+    let points = vec![
+        vec![0.9, 0.1],
+        vec![0.4, 0.6],
+        vec![0.2, 0.9],
+        vec![0.7, 0.7],
+    ];
+    let lists = SortedLists::new(&points);
+    let query = [0.8, 0.2];
+    let fast = top_k(&lists, &query, 2);
+    let naive = top_k_naive(&points, &query, 2);
+    let fast_ids: Vec<usize> = fast.items.iter().map(|&(id, _)| id).collect();
+    let naive_ids: Vec<usize> = naive.iter().map(|&(id, _)| id).collect();
+    assert_eq!(fast_ids, naive_ids);
+}

@@ -13,7 +13,10 @@ pub fn describe_package(catalog: &Catalog, names: &[String], package: &Package) 
         .iter()
         .map(|&id| {
             let features = catalog.item_unchecked(id);
-            let label = names.get(id).cloned().unwrap_or_else(|| format!("item {id}"));
+            let label = names
+                .get(id)
+                .cloned()
+                .unwrap_or_else(|| format!("item {id}"));
             let values: Vec<String> = features.iter().map(|v| format!("{v:.2}")).collect();
             format!("{label} ({})", values.join(", "))
         })

@@ -20,9 +20,16 @@ fn main() -> Result<()> {
     let dataset = synthetic_nba_sized(500, &mut rng).expect("synthetic NBA generation succeeds");
     let normalized = dataset.normalized();
     let features = 6usize;
-    let rows: Vec<Vec<f64>> = normalized.rows().iter().map(|r| r[..features].to_vec()).collect();
+    let rows: Vec<Vec<f64>> = normalized
+        .rows()
+        .iter()
+        .map(|r| r[..features].to_vec())
+        .collect();
     let catalog = Catalog::new(
-        NBA_FEATURE_NAMES[..features].iter().map(|s| s.to_string()).collect(),
+        NBA_FEATURE_NAMES[..features]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         rows,
     )?;
     println!(
@@ -59,7 +66,10 @@ fn main() -> Result<()> {
             ..EngineConfig::default()
         },
     )?;
-    let scout = SimulatedUser::new(LinearUtility::new(engine.context().clone(), hidden_weights)?);
+    let scout = SimulatedUser::new(LinearUtility::new(
+        engine.context().clone(),
+        hidden_weights,
+    )?);
 
     let report = run_elicitation(
         &mut engine,
@@ -83,12 +93,21 @@ fn main() -> Result<()> {
             .iter()
             .map(|&id| format!("player#{id}"))
             .collect();
-        println!("  {}. score {:.4}: {}", rank + 1, ranked.score, players.join(", "));
+        println!(
+            "  {}. score {:.4}: {}",
+            rank + 1,
+            ranked.score,
+            players.join(", ")
+        );
     }
 
     println!("\nGround-truth best lineups under the scout's hidden utility:");
     for (package, utility) in &scout.ground_truth_top_k(&catalog, 5)?.packages {
-        let players: Vec<String> = package.items().iter().map(|&id| format!("player#{id}")).collect();
+        let players: Vec<String> = package
+            .items()
+            .iter()
+            .map(|&id| format!("player#{id}"))
+            .collect();
         println!("  utility {:.4}: {}", utility, players.join(", "));
     }
     Ok(())

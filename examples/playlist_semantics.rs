@@ -38,8 +38,14 @@ fn main() -> Result<()> {
     // One engine per semantics, all fed exactly the same clicks.
     let semantics = [
         ("EXP — highest expected utility", RankingSemantics::Exp),
-        ("TKP — most often in the per-sample top-3", RankingSemantics::Tkp { sigma: 3 }),
-        ("MPO — most probable complete top-3 list", RankingSemantics::Mpo),
+        (
+            "TKP — most often in the per-sample top-3",
+            RankingSemantics::Tkp { sigma: 3 },
+        ),
+        (
+            "MPO — most probable complete top-3 list",
+            RankingSemantics::Mpo,
+        ),
     ];
     let listener_weights = vec![-0.3, 0.5, 0.8]; // shorter, popular, energetic
 
@@ -56,8 +62,10 @@ fn main() -> Result<()> {
                 ..EngineConfig::default()
             },
         )?;
-        let listener =
-            SimulatedUser::new(LinearUtility::new(engine.context().clone(), listener_weights.clone())?);
+        let listener = SimulatedUser::new(LinearUtility::new(
+            engine.context().clone(),
+            listener_weights.clone(),
+        )?);
         // Three rounds of identical, deterministic feedback per engine.
         let mut session_rng = StdRng::seed_from_u64(99);
         for _ in 0..3 {

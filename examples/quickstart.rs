@@ -49,7 +49,12 @@ fn main() -> Result<()> {
 
     // Before any feedback the engine only knows its prior.
     let initial = engine.recommend(&mut rng)?;
-    print_recommendations("Top packages before any feedback:", &catalog, &names, &initial);
+    print_recommendations(
+        "Top packages before any feedback:",
+        &catalog,
+        &names,
+        &initial,
+    );
 
     // Simulate three rounds of interaction: the user always clicks the shown
     // package with the lowest total price (a thrifty user).
@@ -59,7 +64,10 @@ fn main() -> Result<()> {
             .iter()
             .min_by(|a, b| {
                 let price = |p: &Package| -> f64 {
-                    p.items().iter().map(|&i| catalog.item_unchecked(i)[0]).sum()
+                    p.items()
+                        .iter()
+                        .map(|&i| catalog.item_unchecked(i)[0])
+                        .sum()
                 };
                 price(a).partial_cmp(&price(b)).expect("prices are finite")
             })

@@ -7,8 +7,8 @@
 //! cargo run -p pkgrec-examples --bin shopping_cart
 //! ```
 
-use pkgrec_baselines::{hard_constraint_top_k, skyline_packages, BudgetConstraint};
 use pkgrec_baselines::skyline::FeatureDirection;
+use pkgrec_baselines::{hard_constraint_top_k, skyline_packages, BudgetConstraint};
 use pkgrec_core::prelude::*;
 use pkgrec_examples::{describe_package, print_recommendations, sequential_names};
 use rand::rngs::StdRng;
@@ -53,7 +53,10 @@ fn main() -> Result<()> {
             &context,
             &catalog,
             1,
-            &[BudgetConstraint { feature: 0, max_value: budget }],
+            &[BudgetConstraint {
+                feature: 0,
+                max_value: budget,
+            }],
             3,
         )?;
         println!(

@@ -1,0 +1,15 @@
+//! Manifest smoke test: the shared example helpers format packages correctly.
+
+use pkgrec_core::{Catalog, Package};
+use pkgrec_examples::{describe_package, sequential_names};
+
+#[test]
+fn example_helpers_smoke() {
+    let catalog =
+        Catalog::from_rows(vec![vec![0.25, 0.75], vec![0.5, 0.5]]).expect("valid catalog");
+    let names = sequential_names("Item", 2);
+    let package = Package::new(vec![0, 1]).expect("valid package");
+    let text = describe_package(&catalog, &names, &package);
+    assert!(text.contains("Item 1"));
+    assert!(text.contains("0.75"));
+}

@@ -20,14 +20,8 @@ fn small_catalog(family: SyntheticFamily, rows: usize, features: usize, seed: u6
 fn elicitation_converges_on_every_synthetic_family() {
     for (i, family) in SyntheticFamily::all().into_iter().enumerate() {
         let catalog = small_catalog(family, 60, 3, 100 + i as u64);
-        let (mut engine, user) = engine_and_user(
-            catalog,
-            3,
-            vec![-0.5, 0.7, 0.4],
-            RankingSemantics::Exp,
-            60,
-        )
-        .unwrap();
+        let (mut engine, user) =
+            engine_and_user(catalog, 3, vec![-0.5, 0.7, 0.4], RankingSemantics::Exp, 60).unwrap();
         let mut rng = StdRng::seed_from_u64(200 + i as u64);
         let report = run_elicitation(
             &mut engine,
@@ -39,7 +33,11 @@ fn elicitation_converges_on_every_synthetic_family() {
             &mut rng,
         )
         .unwrap();
-        assert!(report.clicks <= 20, "{family:?} used {} clicks", report.clicks);
+        assert!(
+            report.clicks <= 20,
+            "{family:?} used {} clicks",
+            report.clicks
+        );
         assert_eq!(report.final_top_k.len(), 3, "{family:?}");
         assert!(!report.ground_truth_top_k.is_empty(), "{family:?}");
     }
@@ -48,7 +46,11 @@ fn elicitation_converges_on_every_synthetic_family() {
 #[test]
 fn every_sampler_supports_the_full_engine_loop() {
     let catalog = small_catalog(SyntheticFamily::Uniform, 50, 3, 7);
-    for sampler in [SamplerKind::rejection(), SamplerKind::importance(), SamplerKind::mcmc()] {
+    for sampler in [
+        SamplerKind::rejection(),
+        SamplerKind::importance(),
+        SamplerKind::mcmc(),
+    ] {
         let profile = integration_profile(3);
         let mut engine = RecommenderEngine::new(
             catalog.clone(),
@@ -66,12 +68,18 @@ fn every_sampler_supports_the_full_engine_loop() {
         let mut rng = StdRng::seed_from_u64(17);
         let shown = engine.present(&mut rng).unwrap();
         assert_eq!(shown.len(), 5);
-        engine.record_click(&shown[0].clone(), &shown, &mut rng).unwrap();
+        engine
+            .record_click(&shown[0].clone(), &shown, &mut rng)
+            .unwrap();
         let recs = engine.recommend(&mut rng).unwrap();
         assert!(!recs.is_empty(), "{}", sampler.name());
         // The pool respects the feedback after maintenance.
         let checker = engine.checker();
-        assert!(engine.pool().samples().iter().all(|s| checker.is_valid(&s.weights)));
+        assert!(engine
+            .pool()
+            .samples()
+            .iter()
+            .all(|s| checker.is_valid(&s.weights)));
     }
 }
 
@@ -157,7 +165,7 @@ fn feedback_maintenance_matches_full_resampling_constraints() {
         engine.record_click(&clicked, &shown, &mut rng).unwrap();
     }
     let checker = engine.checker();
-    assert!(engine.preferences().len() > 0);
+    assert!(!engine.preferences().is_empty());
     for sample in engine.pool().samples() {
         assert!(checker.is_valid(&sample.weights));
     }
@@ -177,11 +185,17 @@ fn serde_round_trips_for_public_configuration_types() {
 
     let semantics = RankingSemantics::Tkp { sigma: 7 };
     let json = serde_json::to_string(&semantics).unwrap();
-    assert_eq!(serde_json::from_str::<RankingSemantics>(&json).unwrap(), semantics);
+    assert_eq!(
+        serde_json::from_str::<RankingSemantics>(&json).unwrap(),
+        semantics
+    );
 
     let strategy = MaintenanceStrategy::Hybrid { gamma: 0.05 };
     let json = serde_json::to_string(&strategy).unwrap();
-    assert_eq!(serde_json::from_str::<MaintenanceStrategy>(&json).unwrap(), strategy);
+    assert_eq!(
+        serde_json::from_str::<MaintenanceStrategy>(&json).unwrap(),
+        strategy
+    );
 
     let package = Package::new(vec![3, 1, 4]).unwrap();
     let json = serde_json::to_string(&package).unwrap();

@@ -18,11 +18,7 @@ fn figure1_context() -> AggregationContext {
 }
 
 /// The discrete weight distribution of Figure 2(a).
-const WEIGHTS: [(f64, [f64; 2]); 3] = [
-    (0.3, [0.5, 0.1]),
-    (0.4, [0.1, 0.5]),
-    (0.3, [0.1, 0.1]),
-];
+const WEIGHTS: [(f64, [f64; 2]); 3] = [(0.3, [0.5, 0.1]), (0.4, [0.1, 0.5]), (0.3, [0.1, 0.1])];
 
 fn per_weight_rankings(k: usize) -> Vec<PerSampleRanking> {
     let catalog = figure1_catalog();
@@ -114,8 +110,14 @@ fn the_three_semantics_disagree_exactly_as_the_paper_summarises() {
         v.into_iter().map(|r| r.package).collect()
     };
     let p = |items: &[usize]| Package::new(items.to_vec()).unwrap();
-    assert_eq!(ids(aggregate_exp(&rankings_full, 2)), vec![p(&[0, 1]), p(&[1, 2])]);
-    assert_eq!(ids(aggregate_tkp(&rankings2, 2, 2)), vec![p(&[1, 2]), p(&[0, 1])]);
+    assert_eq!(
+        ids(aggregate_exp(&rankings_full, 2)),
+        vec![p(&[0, 1]), p(&[1, 2])]
+    );
+    assert_eq!(
+        ids(aggregate_tkp(&rankings2, 2, 2)),
+        vec![p(&[1, 2]), p(&[0, 1])]
+    );
     assert_eq!(ids(aggregate_mpo(&rankings2, 2)), vec![p(&[1, 2]), p(&[1])]);
 }
 

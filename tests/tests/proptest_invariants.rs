@@ -1,7 +1,7 @@
 //! Property-based tests over the core invariants the paper relies on.
 
-use pkgrec_core::prelude::*;
 use pkgrec_core::maintenance::{find_violating, index_pool, MaintenanceStrategy};
+use pkgrec_core::prelude::*;
 use pkgrec_core::sampler::{SamplePool, WeightSample};
 use pkgrec_core::search::{top_k_packages, top_k_packages_exhaustive, upper_exp};
 use pkgrec_core::{enumerate_packages, PackageState};
@@ -9,10 +9,7 @@ use proptest::prelude::*;
 
 /// Strategy: a small catalog of `n x m` feature values in [0, 1].
 fn catalog_strategy(max_items: usize, features: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(0.0f64..1.0, features),
-        2..max_items,
-    )
+    prop::collection::vec(prop::collection::vec(0.0f64..1.0, features), 2..max_items)
 }
 
 /// Strategy: a weight vector in [-1, 1]^m.

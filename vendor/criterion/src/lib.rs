@@ -1,0 +1,162 @@
+//! Minimal vendored stand-in for the `criterion` API surface used by the
+//! `pkgrec` benches: [`Criterion`], benchmark groups, [`BenchmarkId`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of statistical sampling, each benchmark body is timed over a small
+//! fixed number of iterations and the mean is printed — enough to compare
+//! figure workloads and to smoke-run the harness with
+//! `cargo bench -p pkgrec-bench -- --test`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Number of timed iterations per benchmark in normal mode.
+const DEFAULT_ITERATIONS: u32 = 10;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- --test` asks for a single smoke iteration per bench.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let label = id.to_string();
+        self.run(&label, &mut f);
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, f: &mut F) {
+        let iterations = if self.test_mode {
+            1
+        } else {
+            DEFAULT_ITERATIONS
+        };
+        let mut bencher = Bencher {
+            iterations,
+            total_nanos: 0,
+            timed_iterations: 0,
+        };
+        f(&mut bencher);
+        if bencher.timed_iterations > 0 {
+            let mean = bencher.total_nanos / u128::from(bencher.timed_iterations);
+            println!("bench: {label:<60} {:>12} ns/iter", mean);
+        } else {
+            println!("bench: {label:<60} (no iterations)");
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores the sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion
+            .run(&label, &mut |b: &mut Bencher| f(b, input));
+    }
+
+    /// Benchmarks a closure with no input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run(&label, &mut f);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark as `function_name/parameter`.
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function_name: function_name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function_name, self.parameter)
+    }
+}
+
+/// Times the benchmark body.
+pub struct Bencher {
+    iterations: u32,
+    total_nanos: u128,
+    timed_iterations: u32,
+}
+
+impl Bencher {
+    /// Runs the routine `iterations` times and records the elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            let out = routine();
+            self.total_nanos += start.elapsed().as_nanos();
+            black_box(out);
+        }
+        self.timed_iterations += self.iterations;
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

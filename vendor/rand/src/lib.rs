@@ -1,0 +1,310 @@
+//! Minimal vendored stand-in for the `rand` 0.8 API surface used by the
+//! `pkgrec` workspace: [`RngCore`], [`SeedableRng`], the [`Rng`] extension
+//! trait (`gen`, `gen_range`, `gen_bool`) and [`rngs::StdRng`] (xoshiro256++).
+//!
+//! The build environment has no registry access, so this crate implements
+//! exactly what the workspace exercises. Streams are deterministic for a given
+//! seed but are *not* bit-compatible with the real `rand` crate.
+
+#![forbid(unsafe_code)]
+
+/// A low-level source of random bits (mirror of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&bytes[..rest.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let out = splitmix64(&mut state);
+            let bytes = out.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// User-facing convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from its "standard" distribution (`[0, 1)` for floats).
+    fn gen<T: distributions::StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a half-open or inclusive range. Panics if empty.
+    fn gen_range<T, Rg: distributions::SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sampling support traits backing [`Rng::gen`] and [`Rng::gen_range`].
+pub mod distributions {
+    use super::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types samplable by [`crate::Rng::gen`].
+    pub trait StandardSample: Sized {
+        /// Draws one value from the type's standard distribution.
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl StandardSample for f64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 53 random mantissa bits -> uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl StandardSample for f32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl StandardSample for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl StandardSample for u32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl StandardSample for u64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    /// Element types uniformly samplable from an interval (mirror of
+    /// `rand::distributions::uniform::SampleUniform`).
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Draws a value from `[lo, hi)` (`hi` included when `inclusive`).
+        fn sample_between<R: RngCore + ?Sized>(
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    // Multiply-shift bounded sampling: unbiased enough for experiments.
+    fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    macro_rules! int_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    let span = (hi as i128 - lo as i128 + i128::from(inclusive)) as u64;
+                    assert!(span > 0, "cannot sample empty range");
+                    (lo as i128 + bounded_u64(rng, span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    assert!(if inclusive { lo <= hi } else { lo < hi },
+                        "cannot sample empty range");
+                    let u: $t = StandardSample::sample_standard(rng);
+                    lo + u * (hi - lo)
+                }
+            }
+        )*};
+    }
+    float_uniform!(f32, f64);
+
+    /// Ranges samplable by [`crate::Rng::gen_range`]. The single generic impl
+    /// per range shape keeps type inference identical to real rand (the range
+    /// element type determines the sampled type).
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_between(self.start, self.end, false, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_between(*self.start(), *self.end(), true, rng)
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            if s == [0; 4] {
+                // xoshiro must not start from the all-zero state.
+                let mut state = 0x6A09_E667_F3BC_C909;
+                for slot in &mut s {
+                    *slot = super::splitmix64(&mut state);
+                }
+            }
+            StdRng { s }
+        }
+    }
+}
+
+/// Prelude mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..1000 {
+            let x: f64 = a.gen();
+            assert!((0.0..1.0).contains(&x));
+            let n = a.gen_range(3usize..17);
+            assert!((3..17).contains(&n));
+            let f = a.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn works_through_dyn_rngcore() {
+        let mut rng = rngs::StdRng::seed_from_u64(7);
+        let dynrng: &mut dyn RngCore = &mut rng;
+        let x: f64 = dynrng.gen();
+        assert!((0.0..1.0).contains(&x));
+        let n = dynrng.gen_range(0..5usize);
+        assert!(n < 5);
+    }
+}

@@ -1,0 +1,414 @@
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! vendored `serde` stub.
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote`
+//! available offline). Supports the shapes the `pkgrec` workspace actually
+//! uses: non-generic structs with named fields, tuple structs, unit structs,
+//! and enums whose variants are unit, tuple or struct-like. Field `#[serde]`
+//! attributes are not supported and generics are rejected with a clear error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+enum Body {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// Derives `serde::Serialize` (stub data model: straight to a JSON value).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (stub data model: from a JSON value).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (`# [...]`) and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+            other => panic!("serde_derive stub: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    };
+    Item { name, body }
+}
+
+/// Extracts the field names from a named-fields stream, skipping attributes,
+/// visibility and the type tokens (tracking `<...>` nesting for the commas).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tt else {
+            panic!("serde_derive stub: expected field name, got {tt:?}");
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected `:` after field, got {other:?}"),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated items at the top level of a token stream.
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut pending = false;
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    count + usize::from(pending)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip variant attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            panic!("serde_derive stub: expected variant name, got {tt:?}");
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_items(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+        // Consume up to and including the separating comma (skips `= disc`).
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (rendered as source text, then re-parsed)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.body {
+        Body::Unit => {
+            body.push_str("::serde::json_model::Value::Null");
+        }
+        Body::Named(fields) => {
+            body.push_str("::serde::json_model::Value::Object(::std::vec![");
+            for f in fields {
+                let _ = write!(
+                    body,
+                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_json_value(&self.{f})),"
+                );
+            }
+            body.push_str("])");
+        }
+        Body::Tuple(arity) => {
+            body.push_str("::serde::json_model::Value::Array(::std::vec![");
+            for i in 0..*arity {
+                let _ = write!(body, "::serde::Serialize::to_json_value(&self.{i}),");
+            }
+            body.push_str("])");
+        }
+        Body::Enum(variants) => {
+            body.push_str("match self {");
+            for v in &variants[..] {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vname} => ::serde::json_model::Value::String(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        );
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let _ = write!(
+                            body,
+                            "{name}::{vname}({}) => ::serde::json_model::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::json_model::Value::Array(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vname} {{ {} }} => ::serde::json_model::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::json_model::Value::Object(::std::vec![{}]))]),",
+                            fields.join(", "),
+                            fields
+                                .iter()
+                                .map(|f| format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_json_value({f}))"
+                                ))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_json_value(&self) -> ::serde::json_model::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Unit => format!("{{ let _ = __v; ::std::result::Result::Ok({name}) }}"),
+        Body::Named(fields) => {
+            let mut s = String::from(
+                "{ let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"an object\", __v))?; \
+                 ::std::result::Result::Ok(Self {",
+            );
+            for f in fields {
+                let _ = write!(
+                    s,
+                    "{f}: ::serde::Deserialize::from_json_value(::serde::get_field(__obj, \"{f}\")?)?,"
+                );
+            }
+            s.push_str("}) }");
+            s
+        }
+        Body::Tuple(arity) => {
+            let mut s = format!(
+                "{{ let __arr = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"an array\", __v))?; \
+                 if __arr.len() != {arity} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError(::std::format!(\
+                 \"expected a {arity}-element array, got {{}}\", __arr.len()))); }} \
+                 ::std::result::Result::Ok(Self("
+            );
+            for i in 0..*arity {
+                let _ = write!(s, "::serde::Deserialize::from_json_value(&__arr[{i}])?,");
+            }
+            s.push_str(")) }");
+            s
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        );
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let mut fields = String::new();
+                        for i in 0..*arity {
+                            let _ = write!(
+                                fields,
+                                "::serde::Deserialize::from_json_value(&__arr[{i}])?,"
+                            );
+                        }
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vname}\" => {{ let __arr = __payload.as_array().ok_or_else(|| \
+                             ::serde::DeError::expected(\"an array\", __payload))?; \
+                             if __arr.len() != {arity} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError(::std::format!(\
+                             \"variant {vname} expects {arity} values, got {{}}\", __arr.len()))); }} \
+                             ::std::result::Result::Ok({name}::{vname}({fields})) }}"
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let _ = write!(
+                                inits,
+                                "{f}: ::serde::Deserialize::from_json_value(\
+                                 ::serde::get_field(__obj, \"{f}\")?)?,"
+                            );
+                        }
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vname}\" => {{ let __obj = __payload.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"an object\", __payload))?; \
+                             ::std::result::Result::Ok({name}::{vname} {{ {inits} }}) }}"
+                        );
+                    }
+                }
+            }
+            format!(
+                "match __v {{ \
+                 ::serde::json_model::Value::String(__s) => match __s.as_str() {{ \
+                 {unit_arms} \
+                 __other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                 \"unknown variant `{{__other}}` for {name}\"))), }}, \
+                 ::serde::json_model::Value::Object(__entries) if __entries.len() == 1 => {{ \
+                 let (__tag, __payload) = &__entries[0]; \
+                 match __tag.as_str() {{ \
+                 {tagged_arms} \
+                 __other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                 \"unknown variant `{{__other}}` for {name}\"))), }} }}, \
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"a {name} variant\", __other)), }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_json_value(__v: &::serde::json_model::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+}
