@@ -17,10 +17,16 @@
 //! * [`em_refit`] — the EM-refit elicitation baseline: after every feedback the
 //!   posterior is re-approximated by fitting a fresh Gaussian mixture to
 //!   constrained samples, instead of maintaining the sample pool directly.
+//!
+//! The [`adapters`] module additionally wraps each baseline in a session type
+//! implementing [`pkgrec_core::recommender::Recommender`], so the baselines
+//! are drop-in comparators for any driver that takes `&mut dyn Recommender`
+//! (e.g. [`pkgrec_core::elicitation::run_elicitation`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapters;
 pub mod em_refit;
 pub mod hard_constraint;
 pub mod skyline;
@@ -30,6 +36,7 @@ pub mod exhaustive {
     pub use pkgrec_core::search::exhaustive::top_k_packages_exhaustive;
 }
 
+pub use adapters::{EmRefitConfig, EmRefitSession, HardConstraintSession, SkylineSession};
 pub use em_refit::{EmRefitRecommender, EmRefitStats};
 pub use hard_constraint::{hard_constraint_top_k, BudgetConstraint};
 pub use skyline::{skyline_packages, SkylineStats};

@@ -3,7 +3,7 @@
 //! The paper's introduction argues that returning *all* skyline packages —
 //! packages not dominated on every aggregate feature by another package — is
 //! impractical because "the number of skyline packages can be in the hundreds
-//! or even thousands for a reasonably-sized dataset" ([20], [29]).  This module
+//! or even thousands for a reasonably-sized dataset" (\[20\], \[29\]).  This module
 //! implements that baseline so the claim can be measured: enumerate all
 //! packages of a given size, compute their aggregate feature vectors, and keep
 //! the non-dominated ones.

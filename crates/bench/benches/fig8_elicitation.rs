@@ -9,7 +9,7 @@ use pkgrec_bench::workload::{build_dataset, dataset_catalog, experiment_profile,
 use pkgrec_core::elicitation::{
     random_ground_truth_weights, run_elicitation, ElicitationConfig, SimulatedUser,
 };
-use pkgrec_core::engine::{EngineConfig, RecommenderEngine};
+use pkgrec_core::engine::RecommenderEngine;
 use pkgrec_core::LinearUtility;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,18 +27,13 @@ fn bench_fig8(c: &mut Criterion) {
             |b, &features| {
                 b.iter(|| {
                     let mut rng = StdRng::seed_from_u64(800 + features as u64);
-                    let mut engine = RecommenderEngine::new(
-                        catalog.clone(),
-                        profile.clone(),
-                        3,
-                        EngineConfig {
-                            k: 5,
-                            num_random: 5,
-                            num_samples: 40,
-                            ..EngineConfig::default()
-                        },
-                    )
-                    .expect("valid configuration");
+                    let mut engine = RecommenderEngine::builder(catalog.clone(), profile.clone())
+                        .max_package_size(3)
+                        .k(5)
+                        .num_random(5)
+                        .num_samples(40)
+                        .build()
+                        .expect("valid configuration");
                     let truth = random_ground_truth_weights(catalog.num_features(), &mut rng);
                     let utility = LinearUtility::new(engine.context().clone(), truth)
                         .expect("dimensions match");

@@ -109,12 +109,19 @@ fn main() {
 
     if wants("fig8") {
         let config = if quick {
+            // Quick mode smoke-tests the generic session loop (now two
+            // systems), so it runs on a small synthetic catalog; the NBA-scale
+            // study of the paper stays behind the full (non-quick) run.
             fig8::Fig8Config {
-                dataset: DatasetId::Nba,
-                feature_sweep: vec![2, 6, 10],
-                ground_truths: 5,
-                num_samples: 60,
-                max_rounds: 15,
+                dataset: DatasetId::Uni,
+                rows: 800,
+                feature_sweep: vec![2, 4],
+                ground_truths: 3,
+                k: 3,
+                num_random: 3,
+                num_samples: 40,
+                max_package_size: 3,
+                max_rounds: 12,
                 ..fig8::Fig8Config::default()
             }
         } else {

@@ -5,12 +5,20 @@
 //! packages per round, MCMC sampling, EXP semantics) and reports the number of
 //! clicks needed before the recommended top-k list stabilises, as a function
 //! of the number of features (2–10).  Only a few clicks are needed throughout.
+//!
+//! Every system is driven through the *same* generic session loop
+//! ([`run_elicitation`] over `&mut dyn Recommender`): the sample-maintenance
+//! engine of the paper and the EM-refit baseline it dismisses as too
+//! expensive (Section 2.1), so their click counts are comparable round for
+//! round.
 
+use pkgrec_baselines::{EmRefitConfig, EmRefitSession};
 use pkgrec_core::elicitation::{
     random_ground_truth_weights, run_elicitation, ElicitationConfig, SimulatedUser,
 };
-use pkgrec_core::engine::{EngineConfig, RecommenderEngine};
+use pkgrec_core::engine::RecommenderEngine;
 use pkgrec_core::ranking::RankingSemantics;
+use pkgrec_core::recommender::Recommender;
 use pkgrec_core::sampler::SamplerKind;
 use pkgrec_core::LinearUtility;
 use rand::SeedableRng;
@@ -18,6 +26,27 @@ use serde::{Deserialize, Serialize};
 
 use crate::report::Table;
 use crate::workload::{build_dataset, dataset_catalog, experiment_profile, DatasetId};
+
+/// The recommender systems the Figure 8 study drives through the generic
+/// session loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fig8System {
+    /// The paper's sample-maintenance elicitation engine.
+    Engine,
+    /// The EM-refit elicitation baseline (Section 2.1's expensive
+    /// alternative).
+    EmRefit,
+}
+
+impl Fig8System {
+    /// Short label used in tables and JSON output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fig8System::Engine => "engine",
+            Fig8System::EmRefit => "em-refit",
+        }
+    }
+}
 
 /// Configuration of the Figure 8 experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -28,6 +57,8 @@ pub struct Fig8Config {
     pub rows: usize,
     /// Feature counts swept (paper: 2–10).
     pub feature_sweep: Vec<usize>,
+    /// Systems compared through the generic session loop.
+    pub systems: Vec<Fig8System>,
     /// Number of random ground-truth utility functions per point (paper: 100).
     pub ground_truths: usize,
     /// Number of recommended packages per round (paper: 5).
@@ -50,6 +81,7 @@ impl Default for Fig8Config {
             dataset: DatasetId::Nba,
             rows: 3_705,
             feature_sweep: vec![2, 4, 6, 8, 10],
+            systems: vec![Fig8System::Engine, Fig8System::EmRefit],
             ground_truths: 100,
             k: 5,
             num_random: 5,
@@ -64,6 +96,8 @@ impl Default for Fig8Config {
 /// One point of the Figure 8 curve.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ElicitationPoint {
+    /// The system the sessions ran on.
+    pub system: String,
     /// Number of features.
     pub features: usize,
     /// Mean number of clicks to convergence across ground truths.
@@ -79,68 +113,100 @@ pub struct ElicitationPoint {
 /// Full result of the Figure 8 experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Fig8Result {
-    /// One point per feature count.
+    /// One point per (system, feature count) pair.
     pub points: Vec<ElicitationPoint>,
+}
+
+fn build_recommender(
+    system: Fig8System,
+    config: &Fig8Config,
+    catalog: &pkgrec_core::Catalog,
+    profile: &pkgrec_core::Profile,
+) -> Box<dyn Recommender> {
+    match system {
+        Fig8System::Engine => Box::new(
+            RecommenderEngine::builder(catalog.clone(), profile.clone())
+                .max_package_size(config.max_package_size)
+                .k(config.k)
+                .num_random(config.num_random)
+                .num_samples(config.num_samples)
+                .semantics(RankingSemantics::Exp)
+                .sampler(SamplerKind::mcmc())
+                .build()
+                .expect("valid engine configuration"),
+        ),
+        Fig8System::EmRefit => Box::new(
+            EmRefitSession::new(
+                catalog.clone(),
+                profile.clone(),
+                config.max_package_size,
+                EmRefitConfig {
+                    k: config.k,
+                    num_random: config.num_random,
+                    num_samples: config.num_samples,
+                    samples_per_refit: config.num_samples,
+                    ..EmRefitConfig::default()
+                },
+            )
+            .expect("valid EM-refit configuration"),
+        ),
+    }
 }
 
 /// Runs the Figure 8 experiment.
 pub fn run(config: &Fig8Config) -> Fig8Result {
     let dataset = build_dataset(config.dataset, config.rows, config.seed);
     let mut points = Vec::new();
-    for &features in &config.feature_sweep {
-        let catalog = dataset_catalog(&dataset, features);
-        let profile = experiment_profile(catalog.num_features());
-        let mut clicks_sum = 0usize;
-        let mut clicks_max = 0usize;
-        let mut converged = 0usize;
-        let mut precision_sum = 0.0;
-        for trial in 0..config.ground_truths {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(
-                config.seed ^ (features as u64) << 32 ^ trial as u64,
-            );
-            let mut engine = RecommenderEngine::new(
-                catalog.clone(),
+    for &system in &config.systems {
+        for &features in &config.feature_sweep {
+            let catalog = dataset_catalog(&dataset, features);
+            let profile = experiment_profile(catalog.num_features());
+            let context = pkgrec_core::AggregationContext::new(
                 profile.clone(),
+                &catalog,
                 config.max_package_size,
-                EngineConfig {
-                    k: config.k,
-                    num_random: config.num_random,
-                    num_samples: config.num_samples,
-                    semantics: RankingSemantics::Exp,
-                    sampler: SamplerKind::mcmc(),
-                    ..EngineConfig::default()
-                },
             )
-            .expect("valid engine configuration");
-            let truth = random_ground_truth_weights(catalog.num_features(), &mut rng);
-            let utility = LinearUtility::new(engine.context().clone(), truth)
-                .expect("ground truth matches the catalog");
-            let user = SimulatedUser::new(utility);
-            let report = run_elicitation(
-                &mut engine,
-                &user,
-                ElicitationConfig {
-                    max_rounds: config.max_rounds,
-                    stable_rounds: 2,
-                },
-                &mut rng,
-            )
-            .expect("elicitation sessions cannot fail on this workload");
-            clicks_sum += report.clicks;
-            clicks_max = clicks_max.max(report.clicks);
-            if report.converged {
-                converged += 1;
+            .expect("profile matches the catalog");
+            let mut clicks_sum = 0usize;
+            let mut clicks_max = 0usize;
+            let mut converged = 0usize;
+            let mut precision_sum = 0.0;
+            for trial in 0..config.ground_truths {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(
+                    config.seed ^ (features as u64) << 32 ^ trial as u64,
+                );
+                let mut recommender = build_recommender(system, config, &catalog, &profile);
+                let truth = random_ground_truth_weights(catalog.num_features(), &mut rng);
+                let utility = LinearUtility::new(context.clone(), truth)
+                    .expect("ground truth matches the catalog");
+                let user = SimulatedUser::new(utility);
+                let report = run_elicitation(
+                    recommender.as_mut(),
+                    &user,
+                    ElicitationConfig {
+                        max_rounds: config.max_rounds,
+                        stable_rounds: 2,
+                    },
+                    &mut rng,
+                )
+                .expect("elicitation sessions cannot fail on this workload");
+                clicks_sum += report.clicks;
+                clicks_max = clicks_max.max(report.clicks);
+                if report.converged {
+                    converged += 1;
+                }
+                precision_sum += report.precision;
             }
-            precision_sum += report.precision;
+            let n = config.ground_truths.max(1) as f64;
+            points.push(ElicitationPoint {
+                system: system.label().to_string(),
+                features,
+                mean_clicks: clicks_sum as f64 / n,
+                max_clicks: clicks_max,
+                converged_fraction: converged as f64 / n,
+                mean_precision: precision_sum / n,
+            });
         }
-        let n = config.ground_truths.max(1) as f64;
-        points.push(ElicitationPoint {
-            features,
-            mean_clicks: clicks_sum as f64 / n,
-            max_clicks: clicks_max,
-            converged_fraction: converged as f64 / n,
-            mean_precision: precision_sum / n,
-        });
     }
     Fig8Result { points }
 }
@@ -151,6 +217,7 @@ impl Fig8Result {
         let mut table = Table::new(
             "Figure 8: clicks needed before the top-k list stabilises",
             &[
+                "system",
                 "features",
                 "mean clicks",
                 "max clicks",
@@ -160,6 +227,7 @@ impl Fig8Result {
         );
         for p in &self.points {
             table.push_row(vec![
+                p.system.clone(),
                 p.features.to_string(),
                 format!("{:.2}", p.mean_clicks),
                 p.max_clicks.to_string(),
@@ -176,11 +244,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn small_elicitation_study_converges_quickly() {
+    fn small_elicitation_study_compares_engine_and_em_refit() {
         let result = run(&Fig8Config {
             dataset: DatasetId::Uni,
             rows: 60,
             feature_sweep: vec![2, 4],
+            systems: vec![Fig8System::Engine, Fig8System::EmRefit],
             ground_truths: 3,
             k: 3,
             num_random: 3,
@@ -189,16 +258,20 @@ mod tests {
             max_rounds: 20,
             seed: 81,
         });
-        assert_eq!(result.points.len(), 2);
+        // One point per (system, feature count) pair.
+        assert_eq!(result.points.len(), 4);
         for p in &result.points {
-            assert!(p.mean_clicks <= 20.0);
-            assert!(
-                p.converged_fraction > 0.0,
-                "no session converged for {} features",
-                p.features
-            );
+            assert!(p.mean_clicks <= 20.0, "{}: {p:?}", p.system);
             assert!(p.mean_precision >= 0.0 && p.mean_precision <= 1.0);
         }
-        assert_eq!(result.table().rows.len(), 2);
+        // The paper's engine converges on this tiny workload.
+        for p in result.points.iter().filter(|p| p.system == "engine") {
+            assert!(
+                p.converged_fraction > 0.0,
+                "no engine session converged for {} features",
+                p.features
+            );
+        }
+        assert_eq!(result.table().rows.len(), 4);
     }
 }

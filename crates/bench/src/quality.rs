@@ -6,15 +6,22 @@
 //! MPO tend to agree with each other more than with EXP.  The harness measures
 //! exactly that: Jaccard overlap of the top-5 sets between every pair of
 //! samplers (per semantics) and between every pair of semantics (per sampler).
+//!
+//! The experiment drives the public engine surface: one engine per sampler is
+//! restored from a [`SessionSnapshot`] carrying the workload's pre-generated
+//! preference set (the state-injection seam a serving layer would use), and
+//! the per-sample rankings come from
+//! [`RecommenderEngine::per_sample_rankings`].
 
 use std::collections::HashMap;
 
-use pkgrec_core::ranking::{aggregate, PerSampleRanking, RankingSemantics};
+use pkgrec_core::engine::EngineConfig;
+use pkgrec_core::ranking::{aggregate, RankingSemantics};
 use pkgrec_core::sampler::{
-    ImportanceSampler, McmcSampler, RejectionSampler, SamplerKind, WeightSampler,
+    ImportanceSampler, McmcSampler, RejectionSampler, SamplePool, SamplerKind,
 };
-use pkgrec_core::search::top_k_packages;
-use pkgrec_core::{LinearUtility, Package};
+use pkgrec_core::snapshot::{SessionSnapshot, SNAPSHOT_VERSION};
+use pkgrec_core::{Package, PreferenceStore, RecommenderEngine};
 use serde::{Deserialize, Serialize};
 
 use crate::report::Table;
@@ -92,7 +99,15 @@ pub fn run(config: &QualityConfig) -> QualityResult {
         seed: config.seed,
         ..WorkloadConfig::default()
     });
-    let checker = workload.checker();
+    // Inject the workload's pre-generated preferences through the session-
+    // snapshot seam.  Each preference links two fresh nodes, so the reduced
+    // constraint set equals the workload's full constraint set.
+    let mut store = PreferenceStore::new();
+    for (i, p) in workload.preferences.iter().enumerate() {
+        store
+            .add(format!("b{i}"), &p.better, format!("w{i}"), &p.worse)
+            .expect("workload preferences are acyclic by construction");
+    }
     let samplers: Vec<(&str, SamplerKind)> = vec![
         ("RS", SamplerKind::Rejection(RejectionSampler::default())),
         ("IS", SamplerKind::Importance(ImportanceSampler::default())),
@@ -111,20 +126,35 @@ pub fn run(config: &QualityConfig) -> QualityResult {
 
     let mut top_lists: HashMap<(String, String), Vec<Package>> = HashMap::new();
     for (sampler_name, sampler) in &samplers {
-        let mut rng = workload.rng(31);
-        let outcome = match sampler.generate(&workload.prior, &checker, config.samples, &mut rng) {
-            Ok(o) => o,
-            Err(_) => continue, // e.g. IS refused in high dimension
+        let snapshot = SessionSnapshot {
+            version: SNAPSHOT_VERSION,
+            config: EngineConfig {
+                k: config.k,
+                num_random: 0,
+                num_samples: config.samples,
+                // TKP's σ forces the per-sample search depth to max(k, σ), so
+                // one ranking pass serves all three semantics below.
+                semantics: RankingSemantics::Tkp {
+                    sigma: config.sigma,
+                },
+                sampler: sampler.clone(),
+                prior_components: config.gaussians,
+                prior_sigma: workload.config.prior_sigma,
+                ..EngineConfig::default()
+            },
+            profile: workload.context.profile().clone(),
+            max_package_size: workload.context.max_package_size(),
+            catalog: workload.catalog.clone(),
+            preferences: store.clone(),
+            pool: SamplePool::new(),
+            rounds: 0,
         };
-        let per_sample_k = config.k.max(config.sigma);
-        let mut rankings = Vec::with_capacity(outcome.pool.len());
-        for sample in outcome.pool.samples() {
-            let utility = LinearUtility::new(workload.context.clone(), sample.weights.clone())
-                .expect("sample dimensionality matches");
-            let search =
-                top_k_packages(&utility, &workload.catalog, per_sample_k).expect("search succeeds");
-            rankings.push(PerSampleRanking::new(sample.importance, search.packages));
+        let mut engine = RecommenderEngine::restore(snapshot).expect("snapshot parts are valid");
+        let mut rng = workload.rng(31);
+        if engine.resample(&mut rng).is_err() {
+            continue; // e.g. IS refused in high dimension
         }
+        let rankings = engine.per_sample_rankings().expect("search succeeds");
         for (sem_name, sem) in &semantics {
             let top: Vec<Package> = aggregate(*sem, &rankings, config.k)
                 .into_iter()

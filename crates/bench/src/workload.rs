@@ -198,15 +198,7 @@ pub fn consistent_preferences(
 
 /// Draws a uniformly random package of size `1..=phi`.
 pub fn random_package(n: usize, phi: usize, rng: &mut dyn RngCore) -> Package {
-    let size = rng.gen_range(1..=phi.max(1).min(n));
-    let mut items = Vec::with_capacity(size);
-    while items.len() < size {
-        let candidate = rng.gen_range(0..n);
-        if !items.contains(&candidate) {
-            items.push(candidate);
-        }
-    }
-    Package::new(items).expect("size >= 1")
+    pkgrec_core::package::random_package(n, phi, rng)
 }
 
 impl Workload {

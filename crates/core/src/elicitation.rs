@@ -10,10 +10,10 @@
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
-use crate::engine::RecommenderEngine;
 use crate::error::{CoreError, Result};
 use crate::item::Catalog;
 use crate::package::Package;
+use crate::recommender::{Feedback, Recommender};
 use crate::search::{top_k_packages, SearchResult};
 use crate::utility::{clamp_weights, LinearUtility, WeightVector};
 
@@ -137,10 +137,15 @@ pub struct ElicitationReport {
     pub precision: f64,
 }
 
-/// Runs one elicitation session: present, click, learn, repeat until the
-/// recommendation stabilises or the round budget is exhausted.
+/// Runs one elicitation session against any [`Recommender`]: present, click,
+/// learn, repeat until the recommendation stabilises or the round budget is
+/// exhausted.
+///
+/// The loop is generic over `&mut dyn Recommender`, so the elicitation engine
+/// and every baseline adapter in `pkgrec-baselines` are compared round for
+/// round through exactly the same driver (the setup of the paper's Figure 8).
 pub fn run_elicitation(
-    engine: &mut RecommenderEngine,
+    recommender: &mut dyn Recommender,
     user: &SimulatedUser,
     config: ElicitationConfig,
     rng: &mut dyn RngCore,
@@ -150,8 +155,8 @@ pub fn run_elicitation(
             "max_rounds and stable_rounds must be at least 1".into(),
         ));
     }
-    let k = engine.config().k;
-    let catalog = engine.catalog().clone();
+    let k = recommender.state().k;
+    let catalog = recommender.catalog().clone();
     let ground_truth: Vec<Package> = user.ground_truth_top_k(&catalog, k)?.packages_only();
 
     let mut clicks = 0usize;
@@ -161,7 +166,7 @@ pub fn run_elicitation(
     let mut last_recommendation: Vec<Package> = Vec::new();
 
     for _ in 0..config.max_rounds {
-        let shown = engine.present(rng)?;
+        let shown = recommender.present(rng)?;
         last_recommendation = shown.iter().take(k).cloned().collect();
         // Convergence check on the recommended (exploitation) part only.
         if previous.as_ref() == Some(&last_recommendation) {
@@ -176,8 +181,7 @@ pub fn run_elicitation(
         previous = Some(last_recommendation.clone());
 
         let choice = user.choose(&catalog, &shown, rng)?;
-        let clicked = shown[choice].clone();
-        engine.record_click(&clicked, &shown, rng)?;
+        recommender.record_feedback(&shown, Feedback::Click { index: choice }, rng)?;
         clicks += 1;
     }
 
@@ -202,8 +206,9 @@ pub fn run_elicitation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::EngineConfig;
+    use crate::engine::RecommenderEngine;
     use crate::profile::{AggregationContext, Profile};
+    use crate::ranking::RankingSemantics;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -229,18 +234,14 @@ mod tests {
     }
 
     fn fast_engine() -> RecommenderEngine {
-        RecommenderEngine::new(
-            catalog(),
-            Profile::cost_quality(),
-            3,
-            EngineConfig {
-                k: 3,
-                num_random: 3,
-                num_samples: 40,
-                ..EngineConfig::default()
-            },
-        )
-        .unwrap()
+        RecommenderEngine::builder(catalog(), Profile::cost_quality())
+            .max_package_size(3)
+            .k(3)
+            .num_random(3)
+            .num_samples(40)
+            .semantics(RankingSemantics::Exp)
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -1,11 +1,17 @@
 //! The package recommender engine: ties the prior, the preference store, the
 //! constrained samplers, the per-sample package search and the ranking
 //! semantics into the interactive loop of the paper (Sections 2–4).
+//!
+//! Construct engines with [`RecommenderEngine::builder`] (see
+//! [`crate::builder::EngineBuilder`]), drive them through the
+//! [`crate::recommender::Recommender`] trait, and persist them with
+//! [`RecommenderEngine::snapshot`] / [`RecommenderEngine::restore`].
 
 use pkgrec_gmm::GaussianMixture;
-use rand::{Rng, RngCore};
+use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
+use crate::builder::EngineBuilder;
 use crate::constraints::ConstraintChecker;
 use crate::error::{CoreError, Result};
 use crate::item::Catalog;
@@ -14,11 +20,15 @@ use crate::package::Package;
 use crate::preferences::{Preference, PreferenceStore};
 use crate::profile::{AggregationContext, Profile};
 use crate::ranking::{aggregate, PerSampleRanking, RankedPackage, RankingSemantics};
+use crate::recommender::{self, Feedback};
 use crate::sampler::{SamplePool, SamplerKind, WeightSampler};
-use crate::search::top_k_packages;
-use crate::utility::LinearUtility;
 
 /// Configuration of the recommender engine.
+///
+/// Prefer assembling configurations through [`RecommenderEngine::builder`],
+/// which validates every field before the engine is constructed; raw struct
+/// literals remain supported and are validated by [`EngineConfig::validate`]
+/// at engine-construction time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Number of packages recommended per round (the paper presents 5).
@@ -54,6 +64,44 @@ impl Default for EngineConfig {
     }
 }
 
+impl EngineConfig {
+    /// Validates every catalog-independent field, returning a distinct
+    /// [`CoreError::InvalidConfig`] message per defect.
+    ///
+    /// Catalog-dependent checks (`k` against the package space, the profile
+    /// dimensionality, the maximum package size) are performed by
+    /// [`EngineBuilder::build`].
+    pub fn validate(&self) -> Result<()> {
+        if self.k == 0 {
+            return Err(CoreError::InvalidConfig("k must be at least 1".into()));
+        }
+        if self.num_samples == 0 {
+            return Err(CoreError::InvalidConfig(
+                "num_samples must be at least 1".into(),
+            ));
+        }
+        if self.prior_components == 0 {
+            return Err(CoreError::InvalidConfig(
+                "prior_components must be at least 1".into(),
+            ));
+        }
+        if !self.prior_sigma.is_finite() || self.prior_sigma <= 0.0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "prior_sigma must be positive and finite, got {}",
+                self.prior_sigma
+            )));
+        }
+        if let MaintenanceStrategy::Hybrid { gamma } = self.maintenance {
+            if !gamma.is_finite() || gamma <= 0.0 || gamma >= 1.0 {
+                return Err(CoreError::InvalidConfig(format!(
+                    "hybrid maintenance gamma must lie in the open interval (0, 1), got {gamma}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The interactive package recommender.
 #[derive(Debug, Clone)]
 pub struct RecommenderEngine {
@@ -63,39 +111,66 @@ pub struct RecommenderEngine {
     preferences: PreferenceStore,
     pool: SamplePool,
     config: EngineConfig,
+    rounds: usize,
 }
 
 impl RecommenderEngine {
+    /// Starts a fluent, validating builder over a catalog and a profile — the
+    /// preferred way to construct an engine:
+    ///
+    /// ```
+    /// use pkgrec_core::prelude::*;
+    ///
+    /// let catalog = Catalog::from_rows(vec![vec![0.6, 0.2], vec![0.2, 0.4]]).unwrap();
+    /// let engine = RecommenderEngine::builder(catalog, Profile::cost_quality())
+    ///     .max_package_size(2)
+    ///     .k(2)
+    ///     .semantics(RankingSemantics::Exp)
+    ///     .sampler(SamplerKind::mcmc())
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(engine.config().k, 2);
+    /// ```
+    pub fn builder(catalog: Catalog, profile: Profile) -> EngineBuilder {
+        EngineBuilder::new(catalog, profile)
+    }
+
     /// Creates an engine over a catalog with the given profile and maximum
     /// package size φ.
+    #[deprecated(note = "use RecommenderEngine::builder(catalog, profile) \
+                .max_package_size(phi).config(config).build() instead")]
     pub fn new(
         catalog: Catalog,
         profile: Profile,
         max_package_size: usize,
         config: EngineConfig,
     ) -> Result<Self> {
-        if config.k == 0 {
-            return Err(CoreError::InvalidConfig("k must be at least 1".into()));
-        }
-        if config.num_samples == 0 {
-            return Err(CoreError::InvalidConfig(
-                "num_samples must be at least 1".into(),
-            ));
-        }
-        let context = AggregationContext::new(profile, &catalog, max_package_size)?;
-        let prior = GaussianMixture::default_prior(
-            context.dim(),
-            config.prior_components.max(1),
-            config.prior_sigma,
-        )?;
-        Ok(RecommenderEngine {
+        RecommenderEngine::builder(catalog, profile)
+            .max_package_size(max_package_size)
+            .config(config)
+            .build()
+    }
+
+    /// Assembles an engine from already-validated parts (used by the builder
+    /// and by snapshot restoration).
+    pub(crate) fn assemble(
+        catalog: Catalog,
+        context: AggregationContext,
+        prior: GaussianMixture,
+        preferences: PreferenceStore,
+        pool: SamplePool,
+        config: EngineConfig,
+        rounds: usize,
+    ) -> Self {
+        RecommenderEngine {
             catalog,
             context,
             prior,
-            preferences: PreferenceStore::new(),
-            pool: SamplePool::new(),
+            preferences,
+            pool,
             config,
-        })
+            rounds,
+        }
     }
 
     /// The catalog the engine recommends from.
@@ -128,6 +203,11 @@ impl RecommenderEngine {
         &self.config
     }
 
+    /// Number of feedback rounds recorded so far (including skips).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
     /// The constraint checker over the transitively reduced preference set.
     pub fn checker(&self) -> ConstraintChecker {
         ConstraintChecker::reduced(&self.preferences, self.context.dim())
@@ -145,22 +225,17 @@ impl RecommenderEngine {
     }
 
     fn per_sample_k(&self) -> usize {
-        match self.config.semantics {
-            RankingSemantics::Tkp { sigma } => self.config.k.max(sigma),
-            _ => self.config.k,
-        }
+        self.config.semantics.per_sample_depth(self.config.k)
     }
 
     /// Computes the per-sample top-k package rankings for the current pool.
     pub fn per_sample_rankings(&self) -> Result<Vec<PerSampleRanking>> {
-        let k = self.per_sample_k();
-        let mut results = Vec::with_capacity(self.pool.len());
-        for sample in self.pool.samples() {
-            let utility = LinearUtility::new(self.context.clone(), sample.weights.clone())?;
-            let search = top_k_packages(&utility, &self.catalog, k)?;
-            results.push(PerSampleRanking::new(sample.importance, search.packages));
-        }
-        Ok(results)
+        recommender::per_sample_rankings(
+            &self.context,
+            &self.catalog,
+            &self.pool,
+            self.per_sample_k(),
+        )
     }
 
     /// Produces the current top-k recommendation under the configured ranking
@@ -178,19 +253,9 @@ impl RecommenderEngine {
     pub fn random_packages(&self, count: usize, rng: &mut dyn RngCore) -> Vec<Package> {
         let n = self.catalog.len();
         let phi = self.context.max_package_size().min(n);
-        let mut out = Vec::with_capacity(count);
-        for _ in 0..count {
-            let size = rng.gen_range(1..=phi);
-            let mut items = Vec::with_capacity(size);
-            while items.len() < size {
-                let candidate = rng.gen_range(0..n);
-                if !items.contains(&candidate) {
-                    items.push(candidate);
-                }
-            }
-            out.push(Package::new(items).expect("size >= 1"));
-        }
-        out
+        (0..count)
+            .map(|_| crate::package::random_package(n, phi, rng))
+            .collect()
     }
 
     /// Builds the presentation list of one elicitation round: the current
@@ -202,25 +267,67 @@ impl RecommenderEngine {
             .into_iter()
             .map(|r| r.package)
             .collect();
-        let mut guard = 0;
-        while shown.len() < self.config.k + self.config.num_random && guard < 1000 {
-            guard += 1;
-            for candidate in self.random_packages(1, rng) {
-                if !shown.contains(&candidate) {
-                    shown.push(candidate);
-                }
-            }
-        }
+        recommender::extend_with_random_packages(
+            &mut shown,
+            self.config.k + self.config.num_random,
+            self.catalog.len(),
+            self.context.max_package_size(),
+            rng,
+        );
         Ok(shown)
     }
 
-    /// Records a click on `clicked` among the `shown` packages: every other
-    /// shown package yields a preference `clicked ≻ other`, the preference DAG
-    /// absorbs them (ignoring those that would create cycles, which the paper
-    /// resolves by re-asking the user), and the sample pool is maintained
-    /// against each genuinely new constraint.  Returns the number of new
-    /// preferences recorded.
-    pub fn record_click(
+    /// Absorbs one pairwise preference `better ≻ worse` (with the better
+    /// package's feature vector already computed): the preference DAG stores
+    /// it (silently dropping a conflicting preference that would create a
+    /// cycle, which the paper resolves by re-asking the user) and the sample
+    /// pool is maintained against each genuinely new constraint.  Returns 1
+    /// if a new preference was recorded, 0 otherwise.
+    fn absorb_preference_vector(
+        &mut self,
+        better_key: String,
+        better_vector: &[f64],
+        worse: &Package,
+        rng: &mut dyn RngCore,
+    ) -> Result<usize> {
+        let worse_vector = self.context.package_vector(&self.catalog, worse)?;
+        let inserted =
+            match self
+                .preferences
+                .add(better_key, better_vector, worse.key(), &worse_vector)
+            {
+                Ok(true) => true,
+                Ok(false) => false,
+                // A conflicting preference (cycle) is dropped; the elicitation
+                // loop will naturally re-present the packages involved.
+                Err(CoreError::PreferenceCycle { .. }) => false,
+                Err(e) => return Err(e),
+            };
+        if !inserted {
+            return Ok(0);
+        }
+        let preference = Preference::new(better_vector.to_vec(), worse_vector);
+        if !self.pool.is_empty() {
+            let checker = self.checker();
+            let index = maintenance::index_pool(&self.pool);
+            maintenance::maintain_pool(
+                &mut self.pool,
+                Some(&index),
+                &preference,
+                self.config.maintenance,
+                &self.config.sampler,
+                &self.prior,
+                &checker,
+                rng,
+            )?;
+        }
+        Ok(1)
+    }
+
+    /// Interprets a click on `clicked` among the `shown` packages as the
+    /// pairwise preferences `clicked ≻ other` for every other shown package.
+    /// The clicked package's feature vector is computed once for the round.
+    fn click_package(
         &mut self,
         clicked: &Package,
         shown: &[Package],
@@ -232,40 +339,49 @@ impl RecommenderEngine {
             if other == clicked {
                 continue;
             }
-            let other_vector = self.context.package_vector(&self.catalog, other)?;
-            let inserted = match self.preferences.add(
-                clicked.key(),
-                &clicked_vector,
-                other.key(),
-                &other_vector,
-            ) {
-                Ok(true) => true,
-                Ok(false) => false,
-                // A conflicting preference (cycle) is dropped; the elicitation
-                // loop will naturally re-present the packages involved.
-                Err(CoreError::PreferenceCycle { .. }) => false,
-                Err(e) => return Err(e),
-            };
-            if !inserted {
-                continue;
-            }
-            added += 1;
-            let preference = Preference::new(clicked_vector.clone(), other_vector);
-            if !self.pool.is_empty() {
-                let checker = self.checker();
-                let index = maintenance::index_pool(&self.pool);
-                maintenance::maintain_pool(
-                    &mut self.pool,
-                    Some(&index),
-                    &preference,
-                    self.config.maintenance,
-                    &self.config.sampler,
-                    &self.prior,
-                    &checker,
-                    rng,
-                )?;
-            }
+            added += self.absorb_preference_vector(clicked.key(), &clicked_vector, other, rng)?;
         }
+        Ok(added)
+    }
+
+    /// Records one round of typed [`Feedback`] against the `shown` packages
+    /// (Section 2.2: every click yields pairwise preferences; the preference
+    /// DAG absorbs them and the pool is maintained per new constraint).
+    /// Returns the number of new preferences recorded.
+    pub fn record_feedback(
+        &mut self,
+        shown: &[Package],
+        feedback: Feedback,
+        rng: &mut dyn RngCore,
+    ) -> Result<usize> {
+        feedback.validate(shown)?;
+        let added = match feedback {
+            Feedback::Click { index } => self.click_package(&shown[index], shown, rng)?,
+            Feedback::Skip => 0,
+            Feedback::Pairwise { preferred, over } => {
+                let better = &shown[preferred];
+                let better_vector = self.context.package_vector(&self.catalog, better)?;
+                self.absorb_preference_vector(better.key(), &better_vector, &shown[over], rng)?
+            }
+        };
+        self.rounds += 1;
+        Ok(added)
+    }
+
+    /// Records a click on `clicked` among the `shown` packages.  Returns the
+    /// number of new preferences recorded.
+    #[deprecated(
+        note = "use record_feedback(shown, Feedback::Click { index }, rng) — the index \
+                form avoids cloning a shown package to satisfy the borrow checker"
+    )]
+    pub fn record_click(
+        &mut self,
+        clicked: &Package,
+        shown: &[Package],
+        rng: &mut dyn RngCore,
+    ) -> Result<usize> {
+        let added = self.click_package(clicked, shown, rng)?;
+        self.rounds += 1;
         Ok(added)
     }
 }
@@ -291,7 +407,11 @@ mod tests {
     }
 
     fn engine(config: EngineConfig) -> RecommenderEngine {
-        RecommenderEngine::new(small_catalog(), Profile::cost_quality(), 3, config).unwrap()
+        RecommenderEngine::builder(small_catalog(), Profile::cost_quality())
+            .max_package_size(3)
+            .config(config)
+            .build()
+            .unwrap()
     }
 
     fn fast_config() -> EngineConfig {
@@ -304,7 +424,8 @@ mod tests {
     }
 
     #[test]
-    fn configuration_is_validated() {
+    #[allow(deprecated)]
+    fn deprecated_constructor_still_validates() {
         let bad_k = EngineConfig {
             k: 0,
             ..EngineConfig::default()
@@ -321,6 +442,10 @@ mod tests {
             RecommenderEngine::new(small_catalog(), Profile::cost_quality(), 3, bad_samples),
             Err(CoreError::InvalidConfig(_))
         ));
+        assert!(
+            RecommenderEngine::new(small_catalog(), Profile::cost_quality(), 3, fast_config())
+                .is_ok()
+        );
     }
 
     #[test]
@@ -350,15 +475,82 @@ mod tests {
     }
 
     #[test]
-    fn record_click_adds_preferences_and_keeps_pool_consistent() {
+    fn feedback_click_adds_preferences_and_keeps_pool_consistent() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut engine = engine(fast_config());
         let shown = engine.present(&mut rng).unwrap();
-        let clicked = shown[1].clone();
-        let added = engine.record_click(&clicked, &shown, &mut rng).unwrap();
+        let added = engine
+            .record_feedback(&shown, Feedback::Click { index: 1 }, &mut rng)
+            .unwrap();
         assert_eq!(added, shown.len() - 1);
         assert_eq!(engine.preferences().len(), added);
+        assert_eq!(engine.rounds(), 1);
         // Every sample in the pool satisfies the updated (reduced) constraints.
+        let checker = engine.checker();
+        for s in engine.pool().samples() {
+            assert!(checker.is_valid(&s.weights));
+        }
+    }
+
+    #[test]
+    fn feedback_skip_and_bad_indices() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut engine = engine(fast_config());
+        let shown = engine.present(&mut rng).unwrap();
+        assert_eq!(
+            engine
+                .record_feedback(&shown, Feedback::Skip, &mut rng)
+                .unwrap(),
+            0
+        );
+        assert_eq!(engine.rounds(), 1);
+        assert!(matches!(
+            engine.record_feedback(&shown, Feedback::Click { index: 99 }, &mut rng),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            engine.record_feedback(
+                &shown,
+                Feedback::Pairwise {
+                    preferred: 0,
+                    over: 0
+                },
+                &mut rng
+            ),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            engine.record_feedback(
+                &shown,
+                Feedback::Pairwise {
+                    preferred: 0,
+                    over: 99
+                },
+                &mut rng
+            ),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        // Failed feedback never counts as a round.
+        assert_eq!(engine.rounds(), 1);
+    }
+
+    #[test]
+    fn pairwise_feedback_records_exactly_one_preference() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut engine = engine(fast_config());
+        let shown = engine.present(&mut rng).unwrap();
+        let added = engine
+            .record_feedback(
+                &shown,
+                Feedback::Pairwise {
+                    preferred: 0,
+                    over: 1,
+                },
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(added, 1);
+        assert_eq!(engine.preferences().len(), 1);
         let checker = engine.checker();
         for s in engine.pool().samples() {
             assert!(checker.is_valid(&s.weights));
@@ -386,12 +578,12 @@ mod tests {
         };
         for _ in 0..4 {
             let shown = engine.present(&mut rng).unwrap();
-            let clicked = shown
-                .iter()
-                .min_by(|a, b| cost_of(a).partial_cmp(&cost_of(b)).unwrap())
-                .unwrap()
-                .clone();
-            engine.record_click(&clicked, &shown, &mut rng).unwrap();
+            let cheapest = (0..shown.len())
+                .min_by(|&a, &b| cost_of(&shown[a]).partial_cmp(&cost_of(&shown[b])).unwrap())
+                .unwrap();
+            engine
+                .record_feedback(&shown, Feedback::Click { index: cheapest }, &mut rng)
+                .unwrap();
         }
         let recs = engine.recommend(&mut rng).unwrap();
         let avg_cost: f64 =
@@ -430,6 +622,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn conflicting_click_does_not_poison_the_store() {
         let mut rng = StdRng::seed_from_u64(7);
         let mut engine = engine(fast_config());
@@ -438,8 +631,15 @@ mod tests {
         let shown = vec![a.clone(), b.clone()];
         // First the user prefers a over b, then (changing their mind) b over a;
         // the second, conflicting preference is dropped rather than crashing.
+        // The deprecated shim and the typed form share one code path.
         assert_eq!(engine.record_click(&a, &shown, &mut rng).unwrap(), 1);
-        assert_eq!(engine.record_click(&b, &shown, &mut rng).unwrap(), 0);
+        assert_eq!(
+            engine
+                .record_feedback(&shown, Feedback::Click { index: 1 }, &mut rng)
+                .unwrap(),
+            0
+        );
         assert_eq!(engine.preferences().len(), 1);
+        assert_eq!(engine.rounds(), 2);
     }
 }

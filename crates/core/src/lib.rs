@@ -24,7 +24,10 @@
 //! | [`maintenance`] | §3.4 | naive / TA / hybrid sample maintenance (Algorithm 1) |
 //! | [`ranking`] | §2.2, §4 | EXP, TKP and MPO ranking semantics |
 //! | [`search`] | §4 | Top-k-Pkg (Algorithms 2–4) and the exhaustive baseline |
-//! | [`engine`], [`elicitation`] | §2.2, §5.6 | the interactive recommender and simulated-user sessions |
+//! | [`recommender`] | §2.2 | the unified [`Recommender`] trait and typed [`Feedback`] |
+//! | [`engine`], [`builder`] | §2.2 | the interactive recommender and its fluent, validating builder |
+//! | [`snapshot`] | — | serialisable [`SessionSnapshot`]s: persist and resume sessions |
+//! | [`elicitation`] | §5.6 | simulated users and the generic elicitation session driver |
 //!
 //! ## Quick start
 //!
@@ -38,24 +41,32 @@
 //!     vec![0.4, 0.4],
 //!     vec![0.2, 0.4],
 //! ]).unwrap();
-//! let mut engine = RecommenderEngine::new(
-//!     catalog,
-//!     Profile::cost_quality(),
-//!     2,
-//!     EngineConfig { k: 2, num_random: 2, num_samples: 30, ..EngineConfig::default() },
-//! ).unwrap();
+//! let mut engine = RecommenderEngine::builder(catalog, Profile::cost_quality())
+//!     .max_package_size(2)
+//!     .k(2)
+//!     .num_random(2)
+//!     .num_samples(30)
+//!     .build()
+//!     .unwrap();
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-//! // Show packages, record a click, and recommend again.
+//! // Show packages, record a click by its index in the shown list, and
+//! // recommend again.
 //! let shown = engine.present(&mut rng).unwrap();
-//! engine.record_click(&shown[0].clone(), &shown, &mut rng).unwrap();
+//! engine.record_feedback(&shown, Feedback::Click { index: 0 }, &mut rng).unwrap();
 //! let recommendations = engine.recommend(&mut rng).unwrap();
 //! assert!(!recommendations.is_empty());
+//!
+//! // Sessions persist: snapshot, (de)serialise, restore, and the resumed
+//! // session recommends exactly what this one would.
+//! let restored = RecommenderEngine::restore(engine.snapshot()).unwrap();
+//! assert_eq!(restored.preferences().len(), engine.preferences().len());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod constraints;
 pub mod elicitation;
 pub mod engine;
@@ -67,10 +78,13 @@ pub mod package;
 pub mod preferences;
 pub mod profile;
 pub mod ranking;
+pub mod recommender;
 pub mod sampler;
 pub mod search;
+pub mod snapshot;
 pub mod utility;
 
+pub use builder::EngineBuilder;
 pub use constraints::{ConstraintChecker, ConstraintSource};
 pub use elicitation::{
     random_ground_truth_weights, run_elicitation, ElicitationConfig, ElicitationReport,
@@ -83,19 +97,22 @@ pub use maintenance::{
     find_violating, index_pool, maintain_pool, MaintenanceOutcome, MaintenanceStrategy,
 };
 pub use noise::NoiseModel;
-pub use package::{enumerate_packages, package_space_size, Package};
+pub use package::{enumerate_packages, package_space_size, random_package, Package};
 pub use preferences::{Preference, PreferenceStore};
 pub use profile::{AggregateFn, AggregationContext, PackageState, Profile};
 pub use ranking::{aggregate, PerSampleRanking, RankedPackage, RankingSemantics};
+pub use recommender::{Feedback, Recommender, RecommenderState};
 pub use sampler::{
     ImportanceSampler, McmcSampler, RejectionSampler, SamplePool, SamplerKind, SamplingOutcome,
     WeightSample, WeightSampler,
 };
 pub use search::{top_k_packages, top_k_packages_exhaustive, SearchResult, SearchStats};
+pub use snapshot::{SessionSnapshot, SNAPSHOT_VERSION};
 pub use utility::{clamp_weights, weights_in_range, LinearUtility, WeightVector};
 
 /// Convenience re-exports for application code.
 pub mod prelude {
+    pub use crate::builder::EngineBuilder;
     pub use crate::constraints::{ConstraintChecker, ConstraintSource};
     pub use crate::elicitation::{
         random_ground_truth_weights, run_elicitation, ElicitationConfig, ElicitationReport,
@@ -110,9 +127,11 @@ pub mod prelude {
     pub use crate::preferences::{Preference, PreferenceStore};
     pub use crate::profile::{AggregateFn, AggregationContext, Profile};
     pub use crate::ranking::{RankedPackage, RankingSemantics};
+    pub use crate::recommender::{Feedback, Recommender, RecommenderState};
     pub use crate::sampler::{
         ImportanceSampler, McmcSampler, RejectionSampler, SamplePool, SamplerKind, WeightSampler,
     };
     pub use crate::search::{top_k_packages, top_k_packages_exhaustive};
+    pub use crate::snapshot::{SessionSnapshot, SNAPSHOT_VERSION};
     pub use crate::utility::{clamp_weights, weights_in_range, LinearUtility, WeightVector};
 }

@@ -126,6 +126,22 @@ pub fn enumerate_packages(n: usize, max_size: usize) -> Vec<Package> {
     out
 }
 
+/// Draws a uniformly random package (uniform random size in `1..=max_size`,
+/// uniform random distinct items) — the exploration draw of Section 2.2,
+/// shared by the engine, the baseline adapters and the benchmark workloads.
+pub fn random_package(n: usize, max_size: usize, rng: &mut dyn rand::RngCore) -> Package {
+    use rand::Rng;
+    let size = rng.gen_range(1..=max_size.max(1).min(n));
+    let mut items = Vec::with_capacity(size);
+    while items.len() < size {
+        let candidate = rng.gen_range(0..n);
+        if !items.contains(&candidate) {
+            items.push(candidate);
+        }
+    }
+    Package::new(items).expect("size >= 1")
+}
+
 /// Number of packages of size `1..=max_size` over `n` items, `Σ_s C(n, s)`.
 pub fn package_space_size(n: usize, max_size: usize) -> u128 {
     let mut total: u128 = 0;

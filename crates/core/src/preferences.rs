@@ -44,7 +44,7 @@ impl Preference {
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct PrefNode {
     key: String,
     vector: Vec<f64>,
@@ -54,7 +54,7 @@ struct PrefNode {
 ///
 /// Nodes are distinct packages (keyed by their canonical item-set key), edges
 /// point from the preferred package to the less-preferred one.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PreferenceStore {
     nodes: Vec<PrefNode>,
     index: HashMap<String, usize>,

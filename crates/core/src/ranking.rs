@@ -44,6 +44,16 @@ impl RankingSemantics {
             RankingSemantics::Mpo => "MPO".to_string(),
         }
     }
+
+    /// The per-sample search depth needed to aggregate a top-`k` list under
+    /// this semantics: TKP must look σ deep into every sample's ranking even
+    /// when σ exceeds `k`.
+    pub fn per_sample_depth(&self, k: usize) -> usize {
+        match self {
+            RankingSemantics::Tkp { sigma } => k.max(*sigma),
+            _ => k,
+        }
+    }
 }
 
 /// The ranked packages produced for one sampled weight vector.

@@ -1,0 +1,266 @@
+//! The unified, session-oriented recommender surface.
+//!
+//! Every interactive recommender in the workspace — the paper's
+//! sample-maintenance engine ([`RecommenderEngine`]) as well as the baseline
+//! adapters in `pkgrec-baselines` — implements the object-safe
+//! [`Recommender`] trait, so session drivers such as
+//! [`run_elicitation`](crate::elicitation::run_elicitation) and the Figure 8
+//! harness can compare them round for round through one generic loop.
+//!
+//! Feedback is typed: a [`Feedback::Click`] carries the *index* of the chosen
+//! package within the shown slice (replacing the old positional
+//! `record_click(&Package, &[Package])` call that forced callers to clone a
+//! shown package), [`Feedback::Pairwise`] expresses a single comparison, and
+//! [`Feedback::Skip`] records a round without preference information.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::RecommenderEngine;
+use crate::error::{CoreError, Result};
+use crate::item::Catalog;
+use crate::package::{random_package, Package};
+use crate::profile::AggregationContext;
+use crate::ranking::{PerSampleRanking, RankedPackage};
+use crate::sampler::SamplePool;
+use crate::search::top_k_packages;
+use crate::utility::LinearUtility;
+
+/// One round of typed user feedback over the packages a recommender showed.
+///
+/// All indices refer to positions in the `shown` slice passed alongside the
+/// feedback; out-of-range indices are rejected with
+/// [`CoreError::InvalidConfig`](crate::error::CoreError).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Feedback {
+    /// The user clicked the shown package at `index`; every other shown
+    /// package becomes less preferred (Section 2.2 of the paper).
+    Click {
+        /// Index of the clicked package within the shown slice.
+        index: usize,
+    },
+    /// The user expressed a single pairwise comparison between two shown
+    /// packages.
+    Pairwise {
+        /// Index of the preferred package within the shown slice.
+        preferred: usize,
+        /// Index of the less-preferred package within the shown slice.
+        over: usize,
+    },
+    /// The user skipped the round; no preference is recorded.
+    Skip,
+}
+
+impl Feedback {
+    /// Validates the feedback against the shown slice: every index must be in
+    /// range and a pairwise comparison must name two distinct packages.
+    /// Implementations of [`Recommender::record_feedback`] should call this
+    /// first so all recommenders reject malformed feedback identically.
+    pub fn validate(&self, shown: &[Package]) -> Result<()> {
+        match self {
+            Feedback::Click { index } => {
+                shown_package(shown, *index)?;
+            }
+            Feedback::Pairwise { preferred, over } => {
+                if preferred == over {
+                    return Err(CoreError::InvalidConfig(
+                        "a pairwise preference needs two distinct shown packages".into(),
+                    ));
+                }
+                shown_package(shown, *preferred)?;
+                shown_package(shown, *over)?;
+            }
+            Feedback::Skip => {}
+        }
+        Ok(())
+    }
+}
+
+/// Resolves a feedback index against the shown slice, rejecting out-of-range
+/// indices with the canonical error message.
+pub fn shown_package(shown: &[Package], index: usize) -> Result<&Package> {
+    shown.get(index).ok_or_else(|| {
+        CoreError::InvalidConfig(format!(
+            "feedback index {index} is out of range for {} shown packages",
+            shown.len()
+        ))
+    })
+}
+
+/// Computes the per-sample top-k ranking of every sample in a pool — the
+/// shared ranking step of the engine and of pool-based baseline adapters.
+pub fn per_sample_rankings(
+    context: &AggregationContext,
+    catalog: &Catalog,
+    pool: &SamplePool,
+    depth: usize,
+) -> Result<Vec<PerSampleRanking>> {
+    let mut results = Vec::with_capacity(pool.len());
+    for sample in pool.samples() {
+        let utility = LinearUtility::new(context.clone(), sample.weights.clone())?;
+        let search = top_k_packages(&utility, catalog, depth)?;
+        results.push(PerSampleRanking::new(sample.importance, search.packages));
+    }
+    Ok(results)
+}
+
+/// Extends a presentation list with random exploration packages until it
+/// reaches `target` entries (de-duplicated, bounded number of attempts) —
+/// the Section 2.2 exploration step shared by `present` implementations.
+pub fn extend_with_random_packages(
+    shown: &mut Vec<Package>,
+    target: usize,
+    catalog_len: usize,
+    max_package_size: usize,
+    rng: &mut dyn RngCore,
+) {
+    let phi = max_package_size.min(catalog_len);
+    let mut guard = 0;
+    while shown.len() < target && guard < 1000 {
+        guard += 1;
+        let candidate = random_package(catalog_len, phi, rng);
+        if !shown.contains(&candidate) {
+            shown.push(candidate);
+        }
+    }
+}
+
+/// A cheap, serialisable summary of a recommender session's progress.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecommenderState {
+    /// Human-readable label of the recommender ("engine", "em-refit", …).
+    pub label: String,
+    /// Number of packages recommended per round.
+    pub k: usize,
+    /// Number of pairwise preferences recorded so far.
+    pub preferences: usize,
+    /// Current size of the weight-sample pool (0 for pool-free baselines).
+    pub pool_size: usize,
+    /// Number of feedback rounds recorded so far (including skips).
+    pub rounds: usize,
+}
+
+/// An interactive, session-oriented package recommender.
+///
+/// The trait is object-safe: session drivers take `&mut dyn Recommender`, so
+/// the elicitation engine and every baseline are drop-in comparators.
+pub trait Recommender {
+    /// The catalog the recommender draws packages from.
+    fn catalog(&self) -> &Catalog;
+
+    /// Builds the presentation list of one round (recommended packages first,
+    /// optionally followed by exploration packages).
+    fn present(&mut self, rng: &mut dyn RngCore) -> Result<Vec<Package>>;
+
+    /// Records one round of typed feedback against the packages returned by
+    /// the matching [`Recommender::present`] call.  Returns the number of new
+    /// pairwise preferences absorbed.
+    fn record_feedback(
+        &mut self,
+        shown: &[Package],
+        feedback: Feedback,
+        rng: &mut dyn RngCore,
+    ) -> Result<usize>;
+
+    /// The current top-k recommendation.
+    fn recommend(&mut self, rng: &mut dyn RngCore) -> Result<Vec<RankedPackage>>;
+
+    /// A summary of the session's progress.
+    fn state(&self) -> RecommenderState;
+}
+
+impl Recommender for RecommenderEngine {
+    fn catalog(&self) -> &Catalog {
+        RecommenderEngine::catalog(self)
+    }
+
+    fn present(&mut self, rng: &mut dyn RngCore) -> Result<Vec<Package>> {
+        RecommenderEngine::present(self, rng)
+    }
+
+    fn record_feedback(
+        &mut self,
+        shown: &[Package],
+        feedback: Feedback,
+        rng: &mut dyn RngCore,
+    ) -> Result<usize> {
+        RecommenderEngine::record_feedback(self, shown, feedback, rng)
+    }
+
+    fn recommend(&mut self, rng: &mut dyn RngCore) -> Result<Vec<RankedPackage>> {
+        RecommenderEngine::recommend(self, rng)
+    }
+
+    fn state(&self) -> RecommenderState {
+        RecommenderState {
+            label: "engine".to_string(),
+            k: self.config().k,
+            preferences: self.preferences().len(),
+            pool_size: self.pool().len(),
+            rounds: self.rounds(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine() -> RecommenderEngine {
+        let catalog = Catalog::from_rows(vec![
+            vec![0.6, 0.2],
+            vec![0.4, 0.4],
+            vec![0.2, 0.4],
+            vec![0.9, 0.8],
+            vec![0.3, 0.7],
+        ])
+        .unwrap();
+        RecommenderEngine::builder(catalog, Profile::cost_quality())
+            .max_package_size(2)
+            .k(2)
+            .num_random(2)
+            .num_samples(30)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn engine_drives_through_the_trait_object() {
+        let mut engine = engine();
+        let recommender: &mut dyn Recommender = &mut engine;
+        let mut rng = StdRng::seed_from_u64(3);
+        let shown = recommender.present(&mut rng).unwrap();
+        assert_eq!(shown.len(), 4);
+        let added = recommender
+            .record_feedback(&shown, Feedback::Click { index: 0 }, &mut rng)
+            .unwrap();
+        assert_eq!(added, shown.len() - 1);
+        let recs = recommender.recommend(&mut rng).unwrap();
+        assert_eq!(recs.len(), 2);
+        let state = recommender.state();
+        assert_eq!(state.label, "engine");
+        assert_eq!(state.k, 2);
+        assert_eq!(state.preferences, added);
+        assert_eq!(state.rounds, 1);
+        assert_eq!(state.pool_size, 30);
+        assert_eq!(recommender.catalog().len(), 5);
+    }
+
+    #[test]
+    fn feedback_serde_round_trips() {
+        for feedback in [
+            Feedback::Click { index: 3 },
+            Feedback::Pairwise {
+                preferred: 1,
+                over: 4,
+            },
+            Feedback::Skip,
+        ] {
+            let json = serde_json::to_string(&feedback).unwrap();
+            assert_eq!(serde_json::from_str::<Feedback>(&json).unwrap(), feedback);
+        }
+    }
+}

@@ -9,24 +9,19 @@ use rand::SeedableRng;
 fn engine_round_trip_smoke() {
     let catalog = Catalog::from_rows(vec![vec![0.6, 0.2], vec![0.4, 0.4], vec![0.2, 0.4]])
         .expect("valid catalog");
-    let mut engine = RecommenderEngine::new(
-        catalog,
-        Profile::cost_quality(),
-        2,
-        EngineConfig {
-            k: 2,
-            num_random: 2,
-            num_samples: 30,
-            ..EngineConfig::default()
-        },
-    )
-    .expect("valid engine config");
+    let mut engine = RecommenderEngine::builder(catalog, Profile::cost_quality())
+        .max_package_size(2)
+        .k(2)
+        .num_random(2)
+        .num_samples(30)
+        .build()
+        .expect("valid engine config");
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let shown = engine.present(&mut rng).expect("presentation succeeds");
     assert!(!shown.is_empty());
     engine
-        .record_click(&shown[0].clone(), &shown, &mut rng)
+        .record_feedback(&shown, Feedback::Click { index: 0 }, &mut rng)
         .expect("click is recorded");
     let recommendations = engine.recommend(&mut rng).expect("recommendation succeeds");
     assert!(!recommendations.is_empty());

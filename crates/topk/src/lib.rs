@@ -1,7 +1,7 @@
 //! Top-k query processing substrate for the `pkgrec` package recommender.
 //!
 //! The paper leans on "classical top-k query processing" (Ilyas et al.'s
-//! survey, reference [13]) in two places:
+//! survey, reference \[13\]) in two places:
 //!
 //! * **Sample maintenance** (Section 3.4, Algorithm 1) — finding the samples
 //!   in a pool that violate a newly received preference is a threshold-

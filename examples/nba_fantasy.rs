@@ -53,19 +53,14 @@ fn main() -> Result<()> {
     // little, rebounds are slightly disliked (space-and-pace scouting).
     let hidden_weights = vec![0.2, 0.1, 0.9, -0.2, 0.6, 0.3];
 
-    let mut engine = RecommenderEngine::new(
-        catalog.clone(),
-        profile,
-        5,
-        EngineConfig {
-            k: 5,
-            num_random: 5,
-            num_samples: 150,
-            semantics: RankingSemantics::Exp,
-            sampler: SamplerKind::mcmc(),
-            ..EngineConfig::default()
-        },
-    )?;
+    let mut engine = RecommenderEngine::builder(catalog.clone(), profile)
+        .max_package_size(5)
+        .k(5)
+        .num_random(5)
+        .num_samples(150)
+        .semantics(RankingSemantics::Exp)
+        .sampler(SamplerKind::mcmc())
+        .build()?;
     let scout = SimulatedUser::new(LinearUtility::new(
         engine.context().clone(),
         hidden_weights,
@@ -85,8 +80,22 @@ fn main() -> Result<()> {
         report.clicks, report.converged, report.precision
     );
 
+    // The scouting session survives a process restart: snapshot it to JSON,
+    // restore, and the resumed session recommends exactly the same lineups.
+    let json = serde_json::to_string(&engine.snapshot()).expect("snapshots serialise");
+    let mut resumed =
+        RecommenderEngine::restore(serde_json::from_str(&json).expect("snapshots deserialise"))?;
+    println!(
+        "Snapshot round trip: {} bytes of JSON, restored session at round {}.",
+        json.len(),
+        resumed.rounds()
+    );
+    let live = engine.recommend(&mut rng)?;
+    let restored = resumed.recommend(&mut StdRng::seed_from_u64(0))?;
+    assert_eq!(live, restored, "a resumed session recommends identically");
+
     println!("Recommended lineups:");
-    for (rank, ranked) in engine.recommend(&mut rng)?.iter().enumerate() {
+    for (rank, ranked) in live.iter().enumerate() {
         let players: Vec<String> = ranked
             .package
             .items()

@@ -50,18 +50,13 @@ fn main() -> Result<()> {
     let listener_weights = vec![-0.3, 0.5, 0.8]; // shorter, popular, energetic
 
     for (label, sem) in semantics {
-        let mut engine = RecommenderEngine::new(
-            catalog.clone(),
-            profile.clone(),
-            4,
-            EngineConfig {
-                k: 3,
-                num_random: 3,
-                num_samples: 120,
-                semantics: sem,
-                ..EngineConfig::default()
-            },
-        )?;
+        let mut engine = RecommenderEngine::builder(catalog.clone(), profile.clone())
+            .max_package_size(4)
+            .k(3)
+            .num_random(3)
+            .num_samples(120)
+            .semantics(sem)
+            .build()?;
         let listener = SimulatedUser::new(LinearUtility::new(
             engine.context().clone(),
             listener_weights.clone(),
@@ -71,8 +66,7 @@ fn main() -> Result<()> {
         for _ in 0..3 {
             let shown = engine.present(&mut session_rng)?;
             let choice = listener.choose(&catalog, &shown, &mut session_rng)?;
-            let clicked = shown[choice].clone();
-            engine.record_click(&clicked, &shown, &mut session_rng)?;
+            engine.record_feedback(&shown, Feedback::Click { index: choice }, &mut session_rng)?;
         }
         let recs = engine.recommend(&mut session_rng)?;
         print_recommendations(label, &catalog, &names, &recs);

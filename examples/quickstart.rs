@@ -33,18 +33,13 @@ fn main() -> Result<()> {
 
     // Packages hold up to three items; preferences over (total price, average
     // rating) are captured by a hidden linear utility the engine learns.
-    let mut engine = RecommenderEngine::new(
-        catalog.clone(),
-        Profile::cost_quality(),
-        3,
-        EngineConfig {
-            k: 3,
-            num_random: 3,
-            num_samples: 100,
-            semantics: RankingSemantics::Exp,
-            ..EngineConfig::default()
-        },
-    )?;
+    let mut engine = RecommenderEngine::builder(catalog.clone(), Profile::cost_quality())
+        .max_package_size(3)
+        .k(3)
+        .num_random(3)
+        .num_samples(100)
+        .semantics(RankingSemantics::Exp)
+        .build()?;
     let mut rng = StdRng::seed_from_u64(42);
 
     // Before any feedback the engine only knows its prior.
@@ -57,24 +52,29 @@ fn main() -> Result<()> {
     );
 
     // Simulate three rounds of interaction: the user always clicks the shown
-    // package with the lowest total price (a thrifty user).
+    // package with the lowest total price (a thrifty user).  Feedback names
+    // the clicked package by its index in the shown list.
+    let price = |p: &Package| -> f64 {
+        p.items()
+            .iter()
+            .map(|&i| catalog.item_unchecked(i)[0])
+            .sum()
+    };
     for round in 1..=3 {
         let shown = engine.present(&mut rng)?;
-        let clicked = shown
-            .iter()
-            .min_by(|a, b| {
-                let price = |p: &Package| -> f64 {
-                    p.items()
-                        .iter()
-                        .map(|&i| catalog.item_unchecked(i)[0])
-                        .sum()
-                };
-                price(a).partial_cmp(&price(b)).expect("prices are finite")
+        let cheapest = (0..shown.len())
+            .min_by(|&a, &b| {
+                price(&shown[a])
+                    .partial_cmp(&price(&shown[b]))
+                    .expect("prices are finite")
             })
-            .expect("at least one package is shown")
-            .clone();
-        let added = engine.record_click(&clicked, &shown, &mut rng)?;
-        println!("round {round}: clicked {clicked}, learned {added} new preferences");
+            .expect("at least one package is shown");
+        let added =
+            engine.record_feedback(&shown, Feedback::Click { index: cheapest }, &mut rng)?;
+        println!(
+            "round {round}: clicked {}, learned {added} new preferences",
+            shown[cheapest]
+        );
     }
     println!();
 

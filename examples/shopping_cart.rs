@@ -3,12 +3,19 @@
 //! comparing the elicitation-based recommender against the two baselines the
 //! paper criticises (all skyline packages, hard-constraint optimisation).
 //!
+//! The comparison runs every system through the *same* generic session loop:
+//! `run_elicitation` takes `&mut dyn Recommender`, so the engine, the
+//! EM-refit baseline and the hard-constraint baseline are interchangeable.
+//!
 //! ```text
 //! cargo run -p pkgrec-examples --bin shopping_cart
 //! ```
 
 use pkgrec_baselines::skyline::FeatureDirection;
-use pkgrec_baselines::{hard_constraint_top_k, skyline_packages, BudgetConstraint};
+use pkgrec_baselines::{
+    hard_constraint_top_k, skyline_packages, BudgetConstraint, EmRefitConfig, EmRefitSession,
+    HardConstraintSession,
+};
 use pkgrec_core::prelude::*;
 use pkgrec_examples::{describe_package, print_recommendations, sequential_names};
 use rand::rngs::StdRng;
@@ -72,29 +79,56 @@ fn main() -> Result<()> {
     }
     println!("  → too low a budget hides the best carts, too high a budget floods the user.\n");
 
-    // ----- The paper's approach: preference elicitation --------------------
-    // A hidden user taste: price matters a bit more than quality.
+    // ----- The paper's approach vs the baselines, one generic loop ---------
+    // A hidden user taste: price matters a bit more than quality.  Every
+    // system below is driven by the same `run_elicitation` session driver
+    // through `&mut dyn Recommender`.
     let ground_truth = LinearUtility::new(context.clone(), vec![-0.6, 0.4])?;
     let user = SimulatedUser::new(ground_truth);
-    let mut engine = RecommenderEngine::new(
+    let mut engine = RecommenderEngine::builder(catalog.clone(), profile.clone())
+        .max_package_size(4)
+        .k(5)
+        .num_random(5)
+        .num_samples(150)
+        .semantics(RankingSemantics::Exp)
+        .build()?;
+    let mut em_refit = EmRefitSession::new(
         catalog.clone(),
-        profile,
+        profile.clone(),
         4,
-        EngineConfig {
+        EmRefitConfig {
             k: 5,
             num_random: 5,
             num_samples: 150,
-            semantics: RankingSemantics::Exp,
-            ..EngineConfig::default()
+            samples_per_refit: 150,
+            ..EmRefitConfig::default()
         },
     )?;
-    let report = run_elicitation(&mut engine, &user, ElicitationConfig::default(), &mut rng)?;
-    println!(
-        "Elicitation: converged after {} clicks (precision {:.2} against the hidden taste).",
-        report.clicks, report.precision
-    );
+    let mut hard = HardConstraintSession::new(
+        catalog.clone(),
+        profile.clone(),
+        4,
+        1,
+        vec![BudgetConstraint {
+            feature: 0,
+            max_value: 0.5,
+        }],
+        5,
+    )?;
+    let comparators: [&mut dyn Recommender; 3] = [&mut engine, &mut em_refit, &mut hard];
+    println!("One generic session loop, three recommenders:");
+    for recommender in comparators {
+        let label = recommender.state().label;
+        let report = run_elicitation(recommender, &user, ElicitationConfig::default(), &mut rng)?;
+        println!(
+            "  {label:>15}: {} clicks, converged: {}, precision {:.2} against the hidden taste",
+            report.clicks, report.converged, report.precision
+        );
+    }
+    println!();
+
     let final_recs: Vec<RankedPackage> = engine.recommend(&mut rng)?;
-    print_recommendations("Learned top carts:", &catalog, &names, &final_recs);
+    print_recommendations("Learned top carts (engine):", &catalog, &names, &final_recs);
 
     let truth_top = user.ground_truth_top_k(&catalog, 5)?;
     println!("Ground-truth top carts under the hidden utility:");

@@ -5,8 +5,8 @@
 //! wired together across `pkgrec-data`, `pkgrec-core` and `pkgrec-baselines`).
 
 use pkgrec_core::{
-    AggregationContext, Catalog, EngineConfig, LinearUtility, Profile, RankingSemantics,
-    RecommenderEngine, Result, SimulatedUser,
+    AggregationContext, Catalog, LinearUtility, Profile, RankingSemantics, RecommenderEngine,
+    Result, SimulatedUser,
 };
 use pkgrec_data::Dataset;
 
@@ -44,18 +44,13 @@ pub fn engine_and_user(
     num_samples: usize,
 ) -> Result<(RecommenderEngine, SimulatedUser)> {
     let profile = integration_profile(catalog.num_features());
-    let engine = RecommenderEngine::new(
-        catalog.clone(),
-        profile.clone(),
-        max_package_size,
-        EngineConfig {
-            k: 3,
-            num_random: 3,
-            num_samples,
-            semantics,
-            ..EngineConfig::default()
-        },
-    )?;
+    let engine = RecommenderEngine::builder(catalog.clone(), profile.clone())
+        .max_package_size(max_package_size)
+        .k(3)
+        .num_random(3)
+        .num_samples(num_samples)
+        .semantics(semantics)
+        .build()?;
     let context = AggregationContext::new(profile, &catalog, max_package_size)?;
     let user = SimulatedUser::new(LinearUtility::new(context, hidden_weights)?);
     Ok((engine, user))

@@ -2,6 +2,7 @@
 //! recommender engine, samplers, maintenance and baselines end to end.
 
 use pkgrec_baselines::exhaustive::top_k_packages_exhaustive;
+use pkgrec_baselines::{EmRefitConfig, EmRefitSession};
 use pkgrec_core::prelude::*;
 use pkgrec_core::ranking::PerSampleRanking;
 use pkgrec_core::search::top_k_packages;
@@ -52,24 +53,19 @@ fn every_sampler_supports_the_full_engine_loop() {
         SamplerKind::mcmc(),
     ] {
         let profile = integration_profile(3);
-        let mut engine = RecommenderEngine::new(
-            catalog.clone(),
-            profile,
-            3,
-            EngineConfig {
-                k: 3,
-                num_random: 2,
-                num_samples: 50,
-                sampler: sampler.clone(),
-                ..EngineConfig::default()
-            },
-        )
-        .unwrap();
+        let mut engine = RecommenderEngine::builder(catalog.clone(), profile)
+            .max_package_size(3)
+            .k(3)
+            .num_random(2)
+            .num_samples(50)
+            .sampler(sampler.clone())
+            .build()
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(17);
         let shown = engine.present(&mut rng).unwrap();
         assert_eq!(shown.len(), 5);
         engine
-            .record_click(&shown[0].clone(), &shown, &mut rng)
+            .record_feedback(&shown, Feedback::Click { index: 0 }, &mut rng)
             .unwrap();
         let recs = engine.recommend(&mut rng).unwrap();
         assert!(!recs.is_empty(), "{}", sampler.name());
@@ -161,8 +157,9 @@ fn feedback_maintenance_matches_full_resampling_constraints() {
     for _ in 0..3 {
         let shown = engine.present(&mut rng).unwrap();
         let choice = user.choose(&catalog, &shown, &mut rng).unwrap();
-        let clicked = shown[choice].clone();
-        engine.record_click(&clicked, &shown, &mut rng).unwrap();
+        engine
+            .record_feedback(&shown, Feedback::Click { index: choice }, &mut rng)
+            .unwrap();
     }
     let checker = engine.checker();
     assert!(!engine.preferences().is_empty());
@@ -200,6 +197,124 @@ fn serde_round_trips_for_public_configuration_types() {
     let package = Package::new(vec![3, 1, 4]).unwrap();
     let json = serde_json::to_string(&package).unwrap();
     assert_eq!(serde_json::from_str::<Package>(&json).unwrap(), package);
+}
+
+#[test]
+fn resumed_session_recommends_identically_to_an_uninterrupted_one() {
+    // Run a session for a few rounds, snapshot it through JSON mid-flight,
+    // then continue the original and the restored session with identically
+    // seeded RNGs: every subsequent presentation and recommendation must
+    // match bit for bit.
+    let catalog = small_catalog(SyntheticFamily::Uniform, 40, 3, 31);
+    let (mut engine, user) = engine_and_user(
+        catalog.clone(),
+        3,
+        vec![-0.6, 0.5, 0.3],
+        RankingSemantics::Exp,
+        50,
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(37);
+    for _ in 0..2 {
+        let shown = engine.present(&mut rng).unwrap();
+        let choice = user.choose(&catalog, &shown, &mut rng).unwrap();
+        engine
+            .record_feedback(&shown, Feedback::Click { index: choice }, &mut rng)
+            .unwrap();
+    }
+
+    let json = serde_json::to_string(&engine.snapshot()).unwrap();
+    let snapshot: SessionSnapshot = serde_json::from_str(&json).unwrap();
+    let mut resumed = RecommenderEngine::restore(snapshot).unwrap();
+    assert_eq!(resumed.rounds(), engine.rounds());
+    assert_eq!(resumed.pool().samples(), engine.pool().samples());
+
+    let mut rng_live = StdRng::seed_from_u64(4242);
+    let mut rng_resumed = StdRng::seed_from_u64(4242);
+    for _ in 0..2 {
+        assert_eq!(
+            engine.recommend(&mut rng_live).unwrap(),
+            resumed.recommend(&mut rng_resumed).unwrap()
+        );
+        let shown_live = engine.present(&mut rng_live).unwrap();
+        let shown_resumed = resumed.present(&mut rng_resumed).unwrap();
+        assert_eq!(shown_live, shown_resumed);
+        let choice = user.choose(&catalog, &shown_live, &mut rng_live).unwrap();
+        let choice_resumed = user
+            .choose(&catalog, &shown_resumed, &mut rng_resumed)
+            .unwrap();
+        assert_eq!(choice, choice_resumed);
+        engine
+            .record_feedback(
+                &shown_live,
+                Feedback::Click { index: choice },
+                &mut rng_live,
+            )
+            .unwrap();
+        resumed
+            .record_feedback(
+                &shown_resumed,
+                Feedback::Click {
+                    index: choice_resumed,
+                },
+                &mut rng_resumed,
+            )
+            .unwrap();
+    }
+    assert_eq!(
+        engine.recommend(&mut rng_live).unwrap(),
+        resumed.recommend(&mut rng_resumed).unwrap()
+    );
+}
+
+#[test]
+fn engine_and_em_refit_share_the_generic_session_loop() {
+    // The acceptance scenario of the API redesign: the engine and the
+    // EM-refit baseline run as `&mut dyn Recommender` through one loop.
+    let catalog = small_catalog(SyntheticFamily::Uniform, 40, 3, 41);
+    let profile = integration_profile(3);
+    let mut engine = RecommenderEngine::builder(catalog.clone(), profile.clone())
+        .max_package_size(3)
+        .k(3)
+        .num_random(3)
+        .num_samples(40)
+        .build()
+        .unwrap();
+    let mut em_refit = EmRefitSession::new(
+        catalog.clone(),
+        profile.clone(),
+        3,
+        EmRefitConfig {
+            k: 3,
+            num_random: 3,
+            num_samples: 40,
+            samples_per_refit: 80,
+            ..EmRefitConfig::default()
+        },
+    )
+    .unwrap();
+    let context = AggregationContext::new(profile, &catalog, 3).unwrap();
+    let user = SimulatedUser::new(LinearUtility::new(context, vec![0.7, -0.4, 0.5]).unwrap());
+    let comparators: [&mut dyn Recommender; 2] = [&mut engine, &mut em_refit];
+    for recommender in comparators {
+        let label = recommender.state().label;
+        let report = run_elicitation(
+            recommender,
+            &user,
+            ElicitationConfig {
+                max_rounds: 8,
+                stable_rounds: 2,
+            },
+            &mut StdRng::seed_from_u64(43),
+        )
+        .unwrap();
+        assert!(report.clicks >= 1, "{label}");
+        assert_eq!(report.final_top_k.len(), 3, "{label}");
+        assert!((0.0..=1.0).contains(&report.precision), "{label}");
+        assert!(recommender.state().rounds >= 1, "{label}");
+    }
+    // Both learned from the same driver, but only the engine holds a DAG.
+    assert!(!engine.preferences().is_empty());
 }
 
 #[test]

@@ -1,6 +1,6 @@
 //! Minimal vendored stand-in for the `proptest` API surface used by the
-//! `pkgrec` integration tests: the [`proptest!`] macro, [`Strategy`] over
-//! numeric ranges, `prop::collection::vec`, [`ProptestConfig`] and the
+//! `pkgrec` integration tests: the [`proptest!`] macro, [`Strategy`](strategy::Strategy) over
+//! numeric ranges, `prop::collection::vec`, [`ProptestConfig`](test_runner::ProptestConfig) and the
 //! `prop_assert*` macros.
 //!
 //! Unlike real proptest there is no shrinking: each test function runs its
@@ -146,7 +146,7 @@ pub mod prop {
     pub mod collection {
         use crate::strategy::{Strategy, VecStrategy};
 
-        /// Sizes accepted by [`vec`]: an exact length or a half-open range.
+        /// Sizes accepted by [`vec()`]: an exact length or a half-open range.
         pub trait IntoSizeRange {
             /// Converts into `(min_len, max_len)` with `max_len` exclusive.
             fn into_size_range(self) -> (usize, usize);
