@@ -99,7 +99,7 @@ impl EmRefitRecommender {
             ConstraintChecker::from_constraints(self.dim, constraints, ConstraintSource::Full);
         let sampler = RejectionSampler::default();
         let outcome = sampler.generate(&self.belief, &checker, self.samples_per_refit, rng)?;
-        let samples = outcome.pool.weight_matrix();
+        let samples = outcome.pool.weight_rows();
         let weights = vec![1.0; samples.len()];
         let fit = fit_mixture(
             &samples,

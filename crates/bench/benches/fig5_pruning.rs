@@ -46,12 +46,7 @@ fn bench_fig5(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_constraint_pruning");
     for (name, checker) in [("before_pruning", &full), ("after_pruning", &reduced)] {
         group.bench_with_input(BenchmarkId::new(name, pool.len()), checker, |b, ch| {
-            b.iter(|| {
-                pool.samples()
-                    .iter()
-                    .filter(|s| ch.is_valid(&s.weights))
-                    .count()
-            })
+            b.iter(|| pool.samples().filter(|s| ch.is_valid(s.weights)).count())
         });
     }
     group.finish();

@@ -1,0 +1,133 @@
+//! Criterion benchmark for the batched scoring kernel: the candidate ×
+//! sample utility evaluation that dominates every elicitation round, measured
+//! scalar (row-at-a-time over per-sample `Vec`s, the pre-columnar code shape)
+//! versus batched ([`score_batch`]) versus threaded
+//! ([`score_batch_threaded`]), on a Figure-8-scale workload (5 features,
+//! a full candidate slate, thousands of pooled samples).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pkgrec_bench::workload::{Workload, WorkloadConfig};
+use pkgrec_core::constraints::{ConstraintChecker, ConstraintSource};
+use pkgrec_core::sampler::{RejectionSampler, WeightSampler};
+use pkgrec_core::scoring::{score_batch, score_batch_threaded, CandidateMatrix};
+use pkgrec_core::utility::dot;
+use pkgrec_core::{package_space_size, random_package};
+
+const CANDIDATES: usize = 256;
+const SAMPLES: usize = 2_000;
+
+/// The row-at-a-time baseline this PR removed: iterate the pool sample by
+/// sample (each a separate `Vec<f64>`), materialise every sample's candidate
+/// scores in its own `Vec` — the shape the old per-sample ranking loops
+/// produced — then reduce to weighted expectations per candidate.
+fn scalar_phase(
+    candidate_rows: &[Vec<f64>],
+    sample_rows: &[Vec<f64>],
+    importances: &[f64],
+) -> Vec<f64> {
+    let per_sample: Vec<Vec<f64>> = sample_rows
+        .iter()
+        .map(|sample| candidate_rows.iter().map(|c| dot(c, sample)).collect())
+        .collect();
+    let total: f64 = importances.iter().sum();
+    (0..candidate_rows.len())
+        .map(|c| {
+            per_sample
+                .iter()
+                .zip(importances)
+                .map(|(scores, q)| scores[c] * q)
+                .sum::<f64>()
+                / total
+        })
+        .collect()
+}
+
+fn bench_fig_scoring(c: &mut Criterion) {
+    let workload = Workload::build(WorkloadConfig {
+        rows: 2_000,
+        features: 5,
+        preferences: 0,
+        seed: 9,
+        ..WorkloadConfig::default()
+    });
+    // A fig8-scale pool: thousands of posterior samples from the prior.
+    let empty = ConstraintChecker::from_constraints(5, vec![], ConstraintSource::Full);
+    let mut rng = workload.rng(1);
+    let pool = RejectionSampler::default()
+        .generate(&workload.prior, &empty, SAMPLES, &mut rng)
+        .expect("unconstrained sampling succeeds")
+        .pool;
+    // A slate of distinct candidate packages with their feature vectors.
+    let phi = workload.context.max_package_size();
+    assert!(package_space_size(workload.catalog.len(), phi) >= CANDIDATES as u128);
+    let mut packages = Vec::with_capacity(CANDIDATES);
+    while packages.len() < CANDIDATES {
+        let p = random_package(workload.catalog.len(), phi, &mut rng);
+        if !packages.contains(&p) {
+            packages.push(p);
+        }
+    }
+    let candidate_rows: Vec<Vec<f64>> = packages
+        .iter()
+        .map(|p| {
+            workload
+                .context
+                .package_vector(&workload.catalog, p)
+                .expect("random packages respect φ")
+        })
+        .collect();
+    let candidates = CandidateMatrix::from_rows(5, &candidate_rows);
+    let sample_rows = pool.weight_rows();
+    let importances = pool.importances().to_vec();
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(8);
+    let mut group = c.benchmark_group("fig_scoring_kernel");
+    let shape = format!("{CANDIDATES}x{SAMPLES}");
+    group.bench_with_input(BenchmarkId::new("scalar", &shape), &(), |b, ()| {
+        b.iter(|| {
+            black_box(scalar_phase(
+                black_box(&candidate_rows),
+                black_box(&sample_rows),
+                &importances,
+            ))
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("batched", &shape), &(), |b, ()| {
+        b.iter(|| {
+            let scores = score_batch(black_box(&candidates), black_box(pool.weight_matrix()));
+            black_box(scores.weighted_expectations(&importances))
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new(format!("threaded_{threads}"), &shape),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let scores = score_batch_threaded(
+                    black_box(&candidates),
+                    black_box(pool.weight_matrix()),
+                    threads,
+                );
+                black_box(scores.weighted_expectations(&importances))
+            })
+        },
+    );
+    group.finish();
+
+    // Correctness backing for the timing: the three paths agree to 1e-12.
+    let scalar = scalar_phase(&candidate_rows, &sample_rows, &importances);
+    let batched =
+        score_batch(&candidates, pool.weight_matrix()).weighted_expectations(&importances);
+    let threaded = score_batch_threaded(&candidates, pool.weight_matrix(), threads)
+        .weighted_expectations(&importances);
+    assert_eq!(batched, threaded);
+    for (s, b) in scalar.iter().zip(batched.iter()) {
+        assert!((s - b).abs() < 1e-12, "scalar {s} vs batched {b}");
+    }
+}
+
+criterion_group!(benches, bench_fig_scoring);
+criterion_main!(benches);

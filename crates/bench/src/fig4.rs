@@ -97,7 +97,7 @@ pub fn run(config: &Fig4Config) -> Fig4Result {
             rejected: outcome.rejected,
             acceptance_rate: outcome.acceptance_rate(),
             effective_sample_size: outcome.pool.effective_sample_size(),
-            accepted: outcome.pool.weight_matrix(),
+            accepted: outcome.pool.weight_rows(),
         });
     }
     Fig4Result { samplers: out }

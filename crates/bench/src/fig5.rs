@@ -170,16 +170,10 @@ fn measure(workload: &Workload, store: &PreferenceStore, samples: usize, x: usiz
 
     let full = ConstraintChecker::full(store, dim);
     let reduced = ConstraintChecker::reduced(store, dim);
-    let (_, time_before) = timed(|| {
-        pool.samples()
-            .iter()
-            .filter(|s| full.is_valid(&s.weights))
-            .count()
-    });
+    let (_, time_before) = timed(|| pool.samples().filter(|s| full.is_valid(s.weights)).count());
     let (_, time_after) = timed(|| {
         pool.samples()
-            .iter()
-            .filter(|s| reduced.is_valid(&s.weights))
+            .filter(|s| reduced.is_valid(s.weights))
             .count()
     });
     PruningPoint {

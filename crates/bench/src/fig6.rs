@@ -8,12 +8,11 @@
 //! features (2–10, sub-figures f–j, importance sampling excluded above five
 //! features because its grid is exponential in the dimensionality).
 
-use pkgrec_core::ranking::{aggregate, PerSampleRanking, RankingSemantics};
+use pkgrec_core::ranking::{aggregate, RankingSemantics};
+use pkgrec_core::recommender::per_sample_rankings;
 use pkgrec_core::sampler::{
     ImportanceSampler, McmcSampler, RejectionSampler, SamplePool, SamplerKind, WeightSampler,
 };
-use pkgrec_core::search::top_k_packages;
-use pkgrec_core::LinearUtility;
 use serde::{Deserialize, Serialize};
 
 use crate::report::{seconds, timed, Table};
@@ -97,16 +96,13 @@ fn samplers() -> Vec<(&'static str, SamplerKind)> {
 }
 
 /// Generates the top-k packages for every sample in the pool and aggregates
-/// them under EXP — the "Top-k Pkg" cost component of Figure 6.
+/// them under EXP — the "Top-k Pkg" cost component of Figure 6.  The phase
+/// runs through the engine's shared batched ranking step
+/// ([`per_sample_rankings`]), so the figure times the same columnar kernel
+/// the serving path uses.
 pub fn top_k_phase(workload: &Workload, pool: &SamplePool, k: usize) -> usize {
-    let mut results = Vec::with_capacity(pool.len());
-    for sample in pool.samples() {
-        let utility = LinearUtility::new(workload.context.clone(), sample.weights.clone())
-            .expect("samples share the catalog dimensionality");
-        let search = top_k_packages(&utility, &workload.catalog, k)
-            .expect("search cannot fail on a valid catalog");
-        results.push(PerSampleRanking::new(sample.importance, search.packages));
-    }
+    let results = per_sample_rankings(&workload.context, &workload.catalog, pool, k)
+        .expect("samples share the catalog dimensionality");
     aggregate(RankingSemantics::Exp, &results, k).len()
 }
 

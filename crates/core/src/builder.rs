@@ -42,6 +42,22 @@ use crate::sampler::{SamplePool, SamplerKind};
 /// not called (the paper's experiments use packages of up to five items).
 pub const DEFAULT_MAX_PACKAGE_SIZE: usize = 5;
 
+/// Upper bound on the scoring-thread budget accepted by
+/// [`EngineBuilder::num_threads`]; far above any sensible machine, it exists
+/// to catch garbage values (e.g. an uninitialised config field) early.
+pub const MAX_NUM_THREADS: usize = 256;
+
+/// Validates a scoring-thread budget (shared by the builder and
+/// [`RecommenderEngine::set_num_threads`]).
+pub fn validate_num_threads(num_threads: usize) -> Result<()> {
+    if num_threads == 0 || num_threads > MAX_NUM_THREADS {
+        return Err(CoreError::InvalidConfig(format!(
+            "num_threads must lie in 1..={MAX_NUM_THREADS}, got {num_threads}"
+        )));
+    }
+    Ok(())
+}
+
 /// Fluent builder for [`RecommenderEngine`], created by
 /// [`RecommenderEngine::builder`].
 ///
@@ -53,6 +69,7 @@ pub struct EngineBuilder {
     profile: Profile,
     max_package_size: usize,
     config: EngineConfig,
+    num_threads: usize,
 }
 
 impl EngineBuilder {
@@ -62,6 +79,7 @@ impl EngineBuilder {
             profile,
             max_package_size: DEFAULT_MAX_PACKAGE_SIZE,
             config: EngineConfig::default(),
+            num_threads: 1,
         }
     }
 
@@ -115,6 +133,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the number of OS threads the scoring stack may use (default 1 —
+    /// fully serial).  The per-sample candidate searches and the batched
+    /// scoring kernel ([`crate::scoring::score_batch_threaded`]) split their
+    /// work across `num_threads` scoped threads; results are identical to the
+    /// serial path.  Validated by [`validate_num_threads`] at build time.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
     /// Replaces the accumulated configuration wholesale (escape hatch for
     /// callers that already hold an [`EngineConfig`]).
     pub fn config(mut self, config: EngineConfig) -> Self {
@@ -131,6 +159,7 @@ impl EngineBuilder {
     /// previously degenerated silently inside the per-sample search.
     pub fn build(self) -> Result<RecommenderEngine> {
         self.config.validate()?;
+        validate_num_threads(self.num_threads)?;
         if self.max_package_size == 0 {
             return Err(CoreError::InvalidConfig(
                 "maximum package size must be at least 1".into(),
@@ -160,6 +189,7 @@ impl EngineBuilder {
             SamplePool::new(),
             self.config,
             0,
+            self.num_threads,
         ))
     }
 }
@@ -254,6 +284,17 @@ mod tests {
             .maintenance(MaintenanceStrategy::Hybrid { gamma: 0.025 })
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn num_threads_outside_the_valid_range_is_rejected() {
+        for bad in [0, MAX_NUM_THREADS + 1] {
+            let msg = invalid_message(builder().num_threads(bad).build());
+            assert!(msg.contains("num_threads must lie in"), "{msg}");
+        }
+        let engine = builder().num_threads(4).build().unwrap();
+        assert_eq!(engine.num_threads(), 4);
+        assert_eq!(builder().build().unwrap().num_threads(), 1);
     }
 
     #[test]

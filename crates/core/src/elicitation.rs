@@ -14,6 +14,7 @@ use crate::error::{CoreError, Result};
 use crate::item::Catalog;
 use crate::package::Package;
 use crate::recommender::{Feedback, Recommender};
+use crate::scoring::{score_batch, CandidateMatrix, WeightMatrix};
 use crate::search::{top_k_packages, SearchResult};
 use crate::utility::{clamp_weights, LinearUtility, WeightVector};
 
@@ -79,16 +80,17 @@ impl SimulatedUser {
         if self.reliability < 1.0 && rng.gen::<f64>() > self.reliability {
             return Ok(rng.gen_range(0..shown.len()));
         }
-        let mut best = 0usize;
-        let mut best_utility = f64::NEG_INFINITY;
-        for (i, package) in shown.iter().enumerate() {
-            let value = self.utility.of_package(catalog, package)?;
-            if value > best_utility {
-                best_utility = value;
-                best = i;
-            }
+        // Score every shown package against the (single) hidden weight vector
+        // through the batched kernel; the argmax reduction breaks ties toward
+        // the lower index, exactly as the old scalar scan did.
+        let context = self.utility.context();
+        let mut candidates = CandidateMatrix::new(self.utility.dim());
+        for package in shown {
+            candidates.push_row(&context.package_vector(catalog, package)?);
         }
-        Ok(best)
+        let mut weights = WeightMatrix::new(self.utility.dim());
+        weights.push(self.utility.weights(), 1.0);
+        Ok(score_batch(&candidates, &weights).top_candidate_per_sample()[0])
     }
 }
 

@@ -112,6 +112,9 @@ pub struct RecommenderEngine {
     pool: SamplePool,
     config: EngineConfig,
     rounds: usize,
+    /// OS threads the scoring stack may use (a process-local deployment knob,
+    /// not session state — snapshots neither store nor restore it).
+    num_threads: usize,
 }
 
 impl RecommenderEngine {
@@ -135,24 +138,9 @@ impl RecommenderEngine {
         EngineBuilder::new(catalog, profile)
     }
 
-    /// Creates an engine over a catalog with the given profile and maximum
-    /// package size φ.
-    #[deprecated(note = "use RecommenderEngine::builder(catalog, profile) \
-                .max_package_size(phi).config(config).build() instead")]
-    pub fn new(
-        catalog: Catalog,
-        profile: Profile,
-        max_package_size: usize,
-        config: EngineConfig,
-    ) -> Result<Self> {
-        RecommenderEngine::builder(catalog, profile)
-            .max_package_size(max_package_size)
-            .config(config)
-            .build()
-    }
-
     /// Assembles an engine from already-validated parts (used by the builder
     /// and by snapshot restoration).
+    #[allow(clippy::too_many_arguments)] // one slot per validated engine part
     pub(crate) fn assemble(
         catalog: Catalog,
         context: AggregationContext,
@@ -161,6 +149,7 @@ impl RecommenderEngine {
         pool: SamplePool,
         config: EngineConfig,
         rounds: usize,
+        num_threads: usize,
     ) -> Self {
         RecommenderEngine {
             catalog,
@@ -170,6 +159,7 @@ impl RecommenderEngine {
             pool,
             config,
             rounds,
+            num_threads,
         }
     }
 
@@ -208,6 +198,20 @@ impl RecommenderEngine {
         self.rounds
     }
 
+    /// Number of OS threads the scoring stack may use (1 = fully serial).
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Changes the scoring-thread budget of a live engine (e.g. after
+    /// [`RecommenderEngine::restore`], which always resumes serial); validated
+    /// like [`EngineBuilder::num_threads`](crate::builder::EngineBuilder::num_threads).
+    pub fn set_num_threads(&mut self, num_threads: usize) -> Result<()> {
+        crate::builder::validate_num_threads(num_threads)?;
+        self.num_threads = num_threads;
+        Ok(())
+    }
+
     /// The constraint checker over the transitively reduced preference set.
     pub fn checker(&self) -> ConstraintChecker {
         ConstraintChecker::reduced(&self.preferences, self.context.dim())
@@ -228,13 +232,16 @@ impl RecommenderEngine {
         self.config.semantics.per_sample_depth(self.config.k)
     }
 
-    /// Computes the per-sample top-k package rankings for the current pool.
+    /// Computes the per-sample top-k package rankings for the current pool,
+    /// batched through the scoring kernel and split across the configured
+    /// number of threads.
     pub fn per_sample_rankings(&self) -> Result<Vec<PerSampleRanking>> {
-        recommender::per_sample_rankings(
+        recommender::per_sample_rankings_threaded(
             &self.context,
             &self.catalog,
             &self.pool,
             self.per_sample_k(),
+            self.num_threads,
         )
     }
 
@@ -367,23 +374,6 @@ impl RecommenderEngine {
         self.rounds += 1;
         Ok(added)
     }
-
-    /// Records a click on `clicked` among the `shown` packages.  Returns the
-    /// number of new preferences recorded.
-    #[deprecated(
-        note = "use record_feedback(shown, Feedback::Click { index }, rng) — the index \
-                form avoids cloning a shown package to satisfy the borrow checker"
-    )]
-    pub fn record_click(
-        &mut self,
-        clicked: &Package,
-        shown: &[Package],
-        rng: &mut dyn RngCore,
-    ) -> Result<usize> {
-        let added = self.click_package(clicked, shown, rng)?;
-        self.rounds += 1;
-        Ok(added)
-    }
 }
 
 #[cfg(test)]
@@ -424,14 +414,16 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_still_validates() {
+    fn config_escape_hatch_still_validates() {
         let bad_k = EngineConfig {
             k: 0,
             ..EngineConfig::default()
         };
         assert!(matches!(
-            RecommenderEngine::new(small_catalog(), Profile::cost_quality(), 3, bad_k),
+            RecommenderEngine::builder(small_catalog(), Profile::cost_quality())
+                .max_package_size(3)
+                .config(bad_k)
+                .build(),
             Err(CoreError::InvalidConfig(_))
         ));
         let bad_samples = EngineConfig {
@@ -439,12 +431,33 @@ mod tests {
             ..EngineConfig::default()
         };
         assert!(matches!(
-            RecommenderEngine::new(small_catalog(), Profile::cost_quality(), 3, bad_samples),
+            RecommenderEngine::builder(small_catalog(), Profile::cost_quality())
+                .max_package_size(3)
+                .config(bad_samples)
+                .build(),
             Err(CoreError::InvalidConfig(_))
         ));
-        assert!(
-            RecommenderEngine::new(small_catalog(), Profile::cost_quality(), 3, fast_config())
-                .is_ok()
+    }
+
+    #[test]
+    fn thread_budget_is_adjustable_and_validated() {
+        let mut engine = engine(fast_config());
+        assert_eq!(engine.num_threads(), 1);
+        engine.set_num_threads(4).unwrap();
+        assert_eq!(engine.num_threads(), 4);
+        assert!(matches!(
+            engine.set_num_threads(0),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        assert_eq!(engine.num_threads(), 4);
+        // A threaded engine recommends exactly what a serial engine does.
+        let mut rng_a = StdRng::seed_from_u64(12);
+        let mut rng_b = StdRng::seed_from_u64(12);
+        let mut serial = engine.clone();
+        serial.set_num_threads(1).unwrap();
+        assert_eq!(
+            engine.recommend(&mut rng_a).unwrap(),
+            serial.recommend(&mut rng_b).unwrap()
         );
     }
 
@@ -488,7 +501,7 @@ mod tests {
         // Every sample in the pool satisfies the updated (reduced) constraints.
         let checker = engine.checker();
         for s in engine.pool().samples() {
-            assert!(checker.is_valid(&s.weights));
+            assert!(checker.is_valid(s.weights));
         }
     }
 
@@ -553,7 +566,7 @@ mod tests {
         assert_eq!(engine.preferences().len(), 1);
         let checker = engine.checker();
         for s in engine.pool().samples() {
-            assert!(checker.is_valid(&s.weights));
+            assert!(checker.is_valid(s.weights));
         }
     }
 
@@ -622,17 +635,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn conflicting_click_does_not_poison_the_store() {
         let mut rng = StdRng::seed_from_u64(7);
         let mut engine = engine(fast_config());
         let a = Package::new(vec![0]).unwrap();
         let b = Package::new(vec![1]).unwrap();
-        let shown = vec![a.clone(), b.clone()];
+        let shown = vec![a, b];
         // First the user prefers a over b, then (changing their mind) b over a;
         // the second, conflicting preference is dropped rather than crashing.
-        // The deprecated shim and the typed form share one code path.
-        assert_eq!(engine.record_click(&a, &shown, &mut rng).unwrap(), 1);
+        assert_eq!(
+            engine
+                .record_feedback(&shown, Feedback::Click { index: 0 }, &mut rng)
+                .unwrap(),
+            1
+        );
         assert_eq!(
             engine
                 .record_feedback(&shown, Feedback::Click { index: 1 }, &mut rng)

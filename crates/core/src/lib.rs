@@ -21,6 +21,7 @@
 //! | [`item`], [`package`], [`profile`], [`utility`] | §2 | catalog, packages, aggregate feature profiles, linear utility |
 //! | [`preferences`], [`constraints`], [`noise`] | §2.1, §3.3, §7 | feedback DAG, transitive reduction, constraint checking, noise model |
 //! | [`sampler`] | §3.1–3.2 | rejection / importance / MCMC constrained samplers |
+//! | [`scoring`] | — | columnar weight/candidate matrices and the batched `packages × samples` scoring kernel |
 //! | [`maintenance`] | §3.4 | naive / TA / hybrid sample maintenance (Algorithm 1) |
 //! | [`ranking`] | §2.2, §4 | EXP, TKP and MPO ranking semantics |
 //! | [`search`] | §4 | Top-k-Pkg (Algorithms 2–4) and the exhaustive baseline |
@@ -46,6 +47,10 @@
 //!     .k(2)
 //!     .num_random(2)
 //!     .num_samples(30)
+//!     // Scoring runs through the batched columnar kernel of [`scoring`];
+//!     // raise this knob to split candidate discovery and scoring across
+//!     // OS threads (results are identical to the serial default).
+//!     .num_threads(1)
 //!     .build()
 //!     .unwrap();
 //!
@@ -80,6 +85,7 @@ pub mod profile;
 pub mod ranking;
 pub mod recommender;
 pub mod sampler;
+pub mod scoring;
 pub mod search;
 pub mod snapshot;
 pub mod utility;
@@ -103,9 +109,10 @@ pub use profile::{AggregateFn, AggregationContext, PackageState, Profile};
 pub use ranking::{aggregate, PerSampleRanking, RankedPackage, RankingSemantics};
 pub use recommender::{Feedback, Recommender, RecommenderState};
 pub use sampler::{
-    ImportanceSampler, McmcSampler, RejectionSampler, SamplePool, SamplerKind, SamplingOutcome,
-    WeightSample, WeightSampler,
+    ImportanceSampler, McmcSampler, RejectionSampler, SamplePool, SampleRef, SamplerKind,
+    SamplingOutcome, WeightSample, WeightSampler,
 };
+pub use scoring::{score_batch, score_batch_threaded, CandidateMatrix, ScoreMatrix, WeightMatrix};
 pub use search::{top_k_packages, top_k_packages_exhaustive, SearchResult, SearchStats};
 pub use snapshot::{SessionSnapshot, SNAPSHOT_VERSION};
 pub use utility::{clamp_weights, weights_in_range, LinearUtility, WeightVector};
@@ -131,6 +138,7 @@ pub mod prelude {
     pub use crate::sampler::{
         ImportanceSampler, McmcSampler, RejectionSampler, SamplePool, SamplerKind, WeightSampler,
     };
+    pub use crate::scoring::{score_batch, score_batch_threaded, CandidateMatrix, WeightMatrix};
     pub use crate::search::{top_k_packages, top_k_packages_exhaustive};
     pub use crate::snapshot::{SessionSnapshot, SNAPSHOT_VERSION};
     pub use crate::utility::{clamp_weights, weights_in_range, LinearUtility, WeightVector};

@@ -15,7 +15,7 @@
 //! the posterior.
 
 use pkgrec_gmm::GaussianMixture;
-use pkgrec_topk::{scan_naive, SortedLists, ThresholdScanner};
+use pkgrec_topk::{SortedLists, ThresholdScanner};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -23,6 +23,7 @@ use crate::constraints::ConstraintChecker;
 use crate::error::Result;
 use crate::preferences::Preference;
 use crate::sampler::{SamplePool, WeightSampler};
+use crate::scoring::{score_batch, CandidateMatrix};
 
 /// Strategy for locating samples invalidated by a new preference.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -79,7 +80,7 @@ fn violation_query(preference: &Preference) -> Vec<f64> {
 /// and hybrid strategies.  The index must be rebuilt (or incrementally
 /// refreshed) whenever pool entries are replaced.
 pub fn index_pool(pool: &SamplePool) -> SortedLists {
-    SortedLists::new(&pool.weight_matrix())
+    SortedLists::from_flat(pool.dim(), pool.weight_matrix().weights_flat())
 }
 
 /// Locates the samples of `pool` that violate `preference` using the given
@@ -94,10 +95,13 @@ pub fn find_violating(
     let query = violation_query(preference);
     match (strategy, index) {
         (MaintenanceStrategy::Naive, _) | (_, None) => {
-            let matrix = pool.weight_matrix();
-            let violating = scan_naive(&matrix, &query, 0.0);
+            // The naive scan is one batched kernel call: score the violation
+            // query against every pooled sample and keep the positive scores.
+            let mut queries = CandidateMatrix::new(query.len());
+            queries.push_row(&query);
+            let scores = score_batch(&queries, pool.weight_matrix());
             MaintenanceOutcome {
-                violating,
+                violating: scores.samples_above(0, 0.0),
                 samples_checked: pool.len(),
                 sorted_accesses: 0,
                 replaced: 0,
@@ -148,12 +152,8 @@ pub fn maintain_pool(
         return Ok(outcome);
     }
     let replacements = sampler.generate(prior, checker, outcome.violating.len(), rng)?;
-    for (slot, replacement) in outcome
-        .violating
-        .iter()
-        .zip(replacements.pool.samples().iter().cloned())
-    {
-        pool.samples_mut()[*slot] = replacement;
+    for (slot, replacement) in outcome.violating.iter().zip(replacements.pool.samples()) {
+        pool.set_sample(*slot, replacement.weights, replacement.importance);
     }
     outcome.replaced = outcome.violating.len();
     Ok(outcome)
@@ -288,9 +288,8 @@ mod tests {
         let index = index_pool(&pool);
         let valid_before: Vec<Vec<f64>> = pool
             .samples()
-            .iter()
-            .filter(|s| pref.satisfied_by(&s.weights))
-            .map(|s| s.weights.clone())
+            .filter(|s| pref.satisfied_by(s.weights))
+            .map(|s| s.weights.to_vec())
             .collect();
         let outcome = maintain_pool(
             &mut pool,
@@ -306,12 +305,11 @@ mod tests {
         assert!(outcome.replaced > 0);
         assert_eq!(outcome.replaced, outcome.violating.len());
         // After maintenance every sample satisfies the new preference.
-        assert!(pool.samples().iter().all(|s| pref.satisfied_by(&s.weights)));
+        assert!(pool.samples().all(|s| pref.satisfied_by(s.weights)));
         // Samples that were already valid are untouched.
         let valid_after: Vec<Vec<f64>> = pool
             .samples()
-            .iter()
-            .map(|s| s.weights.clone())
+            .map(|s| s.weights.to_vec())
             .filter(|w| valid_before.contains(w))
             .collect();
         assert_eq!(valid_after.len(), valid_before.len());

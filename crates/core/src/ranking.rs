@@ -20,6 +20,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use crate::package::Package;
+use crate::scoring::ScoreMatrix;
 
 /// The ranking semantics of Section 2.2.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -72,6 +73,51 @@ impl PerSampleRanking {
     pub fn new(importance: f64, ranked: Vec<(Package, f64)>) -> Self {
         PerSampleRanking { importance, ranked }
     }
+}
+
+/// Materialises per-sample rankings from one batched kernel run
+/// ([`crate::scoring::score_batch`]) over a shared candidate set.
+///
+/// `per_sample[s]` lists, best first, the indices (into `candidates`) of the
+/// packages ranked by sample `s`; the utilities attached to each entry are
+/// read from the score matrix, so every ranked utility in the system flows
+/// through the same columnar kernel.
+///
+/// # Panics
+/// Panics if the score matrix, importances and per-sample index lists
+/// disagree on the number of samples or candidates.
+pub fn per_sample_rankings_from_scores(
+    candidates: &[Package],
+    scores: &ScoreMatrix,
+    importances: &[f64],
+    per_sample: &[Vec<usize>],
+) -> Vec<PerSampleRanking> {
+    assert_eq!(
+        scores.num_candidates(),
+        candidates.len(),
+        "one score row per candidate package"
+    );
+    assert_eq!(
+        per_sample.len(),
+        importances.len(),
+        "one importance weight per sample"
+    );
+    assert_eq!(
+        per_sample.len(),
+        scores.num_samples(),
+        "one score column per sample"
+    );
+    per_sample
+        .iter()
+        .enumerate()
+        .map(|(s, indices)| {
+            let ranked = indices
+                .iter()
+                .map(|&c| (candidates[c].clone(), scores.get(c, s)))
+                .collect();
+            PerSampleRanking::new(importances[s], ranked)
+        })
+        .collect()
 }
 
 /// One entry of an aggregated top-k list.
@@ -313,6 +359,35 @@ mod tests {
         assert_eq!(RankingSemantics::Exp.label(), "EXP");
         assert_eq!(RankingSemantics::Tkp { sigma: 5 }.label(), "TKP(σ=5)");
         assert_eq!(RankingSemantics::Mpo.label(), "MPO");
+    }
+
+    #[test]
+    fn rankings_from_scores_preserve_order_and_read_kernel_utilities() {
+        use crate::scoring::{score_batch, CandidateMatrix, WeightMatrix};
+
+        // Candidates (1-D feature vectors) scored under two weight samples.
+        let candidates = vec![p(&[0]), p(&[1]), p(&[2])];
+        let vectors = CandidateMatrix::from_rows(1, &[vec![0.2], vec![0.8], vec![0.5]]);
+        let mut weights = WeightMatrix::new(1);
+        weights.push(&[1.0], 1.0);
+        weights.push(&[-1.0], 3.0);
+        let scores = score_batch(&vectors, &weights);
+        // Sample 0 ranks descending feature, sample 1 ascending.
+        let per_sample = vec![vec![1, 2, 0], vec![0, 2, 1]];
+        let rankings = per_sample_rankings_from_scores(
+            &candidates,
+            &scores,
+            weights.importances(),
+            &per_sample,
+        );
+        assert_eq!(rankings.len(), 2);
+        assert_eq!(rankings[0].importance, 1.0);
+        assert_eq!(rankings[1].importance, 3.0);
+        assert_eq!(rankings[0].ranked[0], (p(&[1]), 0.8));
+        assert_eq!(rankings[1].ranked[0], (p(&[0]), -0.2));
+        // The aggregation stack consumes them unchanged.
+        let top = aggregate_tkp(&rankings, 1, 1);
+        assert_eq!(top[0].package, p(&[0]));
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! shown package), [`Feedback::Pairwise`] expresses a single comparison, and
 //! [`Feedback::Skip`] records a round without preference information.
 
+use std::collections::HashMap;
+
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -21,8 +23,9 @@ use crate::error::{CoreError, Result};
 use crate::item::Catalog;
 use crate::package::{random_package, Package};
 use crate::profile::AggregationContext;
-use crate::ranking::{PerSampleRanking, RankedPackage};
+use crate::ranking::{self, PerSampleRanking, RankedPackage};
 use crate::sampler::SamplePool;
+use crate::scoring::{score_batch_threaded, CandidateMatrix};
 use crate::search::top_k_packages;
 use crate::utility::LinearUtility;
 
@@ -88,20 +91,134 @@ pub fn shown_package(shown: &[Package], index: usize) -> Result<&Package> {
 }
 
 /// Computes the per-sample top-k ranking of every sample in a pool — the
-/// shared ranking step of the engine and of pool-based baseline adapters.
+/// shared ranking step of the engine and of pool-based baseline adapters —
+/// on the calling thread.  See [`per_sample_rankings_threaded`] for the
+/// data-parallel variant behind the engine's `num_threads` knob.
 pub fn per_sample_rankings(
     context: &AggregationContext,
     catalog: &Catalog,
     pool: &SamplePool,
     depth: usize,
 ) -> Result<Vec<PerSampleRanking>> {
-    let mut results = Vec::with_capacity(pool.len());
-    for sample in pool.samples() {
-        let utility = LinearUtility::new(context.clone(), sample.weights.clone())?;
-        let search = top_k_packages(&utility, catalog, depth)?;
-        results.push(PerSampleRanking::new(sample.importance, search.packages));
+    per_sample_rankings_threaded(context, catalog, pool, depth, 1)
+}
+
+/// Runs every sample's candidate discovery (`Top-k-Pkg`) and collects, per
+/// sample, the discovered packages as indices into a deduplicated candidate
+/// list whose feature vectors accumulate in one flat [`CandidateMatrix`].
+fn discover_candidates(
+    context: &AggregationContext,
+    catalog: &Catalog,
+    pool: &SamplePool,
+    depth: usize,
+    num_threads: usize,
+) -> Result<(Vec<Package>, CandidateMatrix, Vec<Vec<usize>>)> {
+    let sample_count = pool.len();
+    let threads = num_threads.max(1).min(sample_count);
+    // Per-sample package lists, best first, in pool order.
+    let discovered: Vec<Vec<Package>> = if threads <= 1 {
+        let mut utility = LinearUtility::new(context.clone(), vec![0.0; context.dim()])?;
+        let mut lists = Vec::with_capacity(sample_count);
+        for sample in pool.samples() {
+            utility.set_weights(sample.weights)?;
+            lists.push(top_k_packages(&utility, catalog, depth)?.packages_only());
+        }
+        lists
+    } else {
+        // Data-parallel split: contiguous chunks of the pool per OS thread,
+        // each with its own utility; chunk results are re-joined in pool
+        // order, so the outcome is identical to the serial path.
+        let chunk = sample_count.div_ceil(threads);
+        let chunks: Vec<Result<Vec<Vec<Package>>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let first = t * chunk;
+                    let last = ((t + 1) * chunk).min(sample_count);
+                    scope.spawn(move || -> Result<Vec<Vec<Package>>> {
+                        let mut utility =
+                            LinearUtility::new(context.clone(), vec![0.0; context.dim()])?;
+                        (first..last)
+                            .map(|s| {
+                                utility.set_weights(pool.get(s).weights)?;
+                                Ok(top_k_packages(&utility, catalog, depth)?.packages_only())
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("discovery thread does not panic"))
+                .collect()
+        });
+        let mut lists = Vec::with_capacity(sample_count);
+        for chunk_lists in chunks {
+            lists.extend(chunk_lists?);
+        }
+        lists
+    };
+    // Deduplicate the union of discovered packages into the flat candidate
+    // matrix; each sample's list becomes indices into it.
+    let mut candidates: Vec<Package> = Vec::new();
+    let mut vectors = CandidateMatrix::new(context.dim());
+    let mut index_of: HashMap<Package, usize> = HashMap::new();
+    let mut per_sample = Vec::with_capacity(sample_count);
+    for list in discovered {
+        let mut indices = Vec::with_capacity(list.len());
+        for package in list {
+            let index = match index_of.get(&package) {
+                Some(&i) => i,
+                None => {
+                    let i = candidates.len();
+                    vectors.push_row(&context.package_vector(catalog, &package)?);
+                    index_of.insert(package.clone(), i);
+                    candidates.push(package);
+                    i
+                }
+            };
+            indices.push(index);
+        }
+        per_sample.push(indices);
     }
-    Ok(results)
+    Ok((candidates, vectors, per_sample))
+}
+
+/// [`per_sample_rankings`] with the scoring stack split across up to
+/// `num_threads` OS threads ([`std::thread::scope`]; no thread pool, no
+/// external dependencies): both the per-sample candidate discovery and the
+/// batched kernel partition their work, and `num_threads = 1` — the
+/// [`EngineBuilder`](crate::builder::EngineBuilder) default — stays entirely
+/// on the calling thread.
+///
+/// The computation is batch-at-a-time rather than row-at-a-time: each
+/// sample's `Top-k-Pkg` search *discovers* its candidate packages, the union
+/// of discovered candidates is scored against the whole pool in one
+/// [`crate::scoring::score_batch`] call, and the per-sample lists are
+/// materialised from the resulting score matrix.  Scoring the full
+/// `union × pool` matrix computes more entries than the per-sample lists
+/// read back; that is a deliberate trade — the kernel's contiguous sweep is
+/// a vanishing fraction of the discovery cost even at fig8 scale, and the
+/// full matrix is what downstream batch reductions (expectations, argmax)
+/// consume without re-touching the pool.
+pub fn per_sample_rankings_threaded(
+    context: &AggregationContext,
+    catalog: &Catalog,
+    pool: &SamplePool,
+    depth: usize,
+    num_threads: usize,
+) -> Result<Vec<PerSampleRanking>> {
+    if pool.is_empty() {
+        return Ok(Vec::new());
+    }
+    let (candidates, vectors, per_sample) =
+        discover_candidates(context, catalog, pool, depth, num_threads)?;
+    let scores = score_batch_threaded(&vectors, pool.weight_matrix(), num_threads);
+    Ok(ranking::per_sample_rankings_from_scores(
+        &candidates,
+        &scores,
+        pool.importances(),
+        &per_sample,
+    ))
 }
 
 /// Extends a presentation list with random exploration packages until it
@@ -247,6 +364,36 @@ mod tests {
         assert_eq!(state.rounds, 1);
         assert_eq!(state.pool_size, 30);
         assert_eq!(recommender.catalog().len(), 5);
+    }
+
+    #[test]
+    fn threaded_rankings_match_the_serial_path() {
+        use crate::sampler::{SamplerKind, WeightSampler};
+        use pkgrec_gmm::GaussianMixture;
+
+        let engine = engine();
+        let prior = GaussianMixture::default_prior(2, 1, 0.5).unwrap();
+        let checker = crate::constraints::ConstraintChecker::full(
+            &crate::preferences::PreferenceStore::new(),
+            2,
+        );
+        let mut rng = StdRng::seed_from_u64(17);
+        let pool = SamplerKind::mcmc()
+            .generate(&prior, &checker, 60, &mut rng)
+            .unwrap()
+            .pool;
+        let serial = per_sample_rankings(engine.context(), engine.catalog(), &pool, 3).unwrap();
+        for threads in [2, 4] {
+            let parallel =
+                per_sample_rankings_threaded(engine.context(), engine.catalog(), &pool, 3, threads)
+                    .unwrap();
+            assert_eq!(serial, parallel, "{threads} threads");
+        }
+        assert!(
+            per_sample_rankings(engine.context(), engine.catalog(), &SamplePool::new(), 3)
+                .unwrap()
+                .is_empty()
+        );
     }
 
     #[test]

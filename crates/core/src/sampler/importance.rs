@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::constraints::ConstraintChecker;
 use crate::error::{CoreError, Result};
-use crate::sampler::{in_weight_cube, SamplePool, SamplingOutcome, WeightSample, WeightSampler};
+use crate::sampler::{in_weight_cube, SamplePool, SamplingOutcome, WeightSampler};
 
 /// Configuration of the importance sampler.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -105,10 +105,7 @@ impl WeightSampler for ImportanceSampler {
                 continue;
             }
             let importance = (prior_density / proposal_density).max(f64::MIN_POSITIVE);
-            pool.push(WeightSample {
-                weights: candidate,
-                importance,
-            });
+            pool.push_sample(&candidate, importance);
         }
         let rejected = proposals - pool.len();
         Ok(SamplingOutcome {
@@ -148,7 +145,7 @@ mod tests {
             .unwrap();
         assert_eq!(outcome.pool.len(), 300);
         for s in outcome.pool.samples() {
-            assert!(c.is_valid(&s.weights));
+            assert!(c.is_valid(s.weights));
             assert!(s.importance > 0.0);
         }
         // Importance weights are not all identical (the proposal differs from
@@ -219,12 +216,11 @@ mod tests {
         }
         .generate(&prior, &c, 4000, &mut rng)
         .unwrap();
-        let total_weight: f64 = outcome.pool.samples().iter().map(|s| s.importance).sum();
+        let total_weight: f64 = outcome.pool.importances().iter().sum();
         for d in 0..2 {
             let mean: f64 = outcome
                 .pool
                 .samples()
-                .iter()
                 .map(|s| s.importance * s.weights[d])
                 .sum::<f64>()
                 / total_weight;

@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use crate::constraints::ConstraintChecker;
 use crate::error::{CoreError, Result};
 use crate::noise::NoiseModel;
-use crate::sampler::{in_weight_cube, SamplePool, SamplingOutcome, WeightSample, WeightSampler};
+use crate::sampler::{in_weight_cube, SamplePool, SamplingOutcome, WeightSampler};
 use crate::utility::clamp_weights;
 
 /// Configuration of the Metropolis–Hastings sampler.
@@ -156,7 +156,7 @@ impl WeightSampler for McmcSampler {
             // has advanced one step; thin and collect after burn-in.
             kept_states += 1;
             if kept_states > self.burn_in && kept_states.is_multiple_of(self.step_length) {
-                pool.push(WeightSample::unweighted(current.clone()));
+                pool.push_sample(&current, 1.0);
             }
         }
         Ok(SamplingOutcome {
@@ -189,8 +189,8 @@ mod tests {
             .unwrap();
         assert_eq!(outcome.pool.len(), 500);
         for s in outcome.pool.samples() {
-            assert!(c.is_valid(&s.weights));
-            assert!(in_weight_cube(&s.weights));
+            assert!(c.is_valid(s.weights));
+            assert!(in_weight_cube(s.weights));
             assert_eq!(s.importance, 1.0);
         }
     }
@@ -247,18 +247,13 @@ mod tests {
             .unwrap();
         // Sample variance along each dimension should be well away from zero.
         for d in 0..2 {
-            let values: Vec<f64> = outcome
-                .pool
-                .samples()
-                .iter()
-                .map(|s| s.weights[d])
-                .collect();
+            let values: Vec<f64> = outcome.pool.samples().map(|s| s.weights[d]).collect();
             let mean = values.iter().sum::<f64>() / values.len() as f64;
             let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
             assert!(var > 0.01, "dimension {d} variance {var}");
         }
         // All collected states satisfy the constraint (w1 >= 0).
-        assert!(outcome.pool.samples().iter().all(|s| s.weights[0] >= 0.0));
+        assert!(outcome.pool.samples().all(|s| s.weights[0] >= 0.0));
     }
 
     #[test]
@@ -294,8 +289,7 @@ mod tests {
         let violating = outcome
             .pool
             .samples()
-            .iter()
-            .filter(|s| !c.is_valid(&s.weights))
+            .filter(|s| !c.is_valid(s.weights))
             .count();
         assert!(
             violating > 0,

@@ -26,14 +26,19 @@ pub use rejection::RejectionSampler;
 
 use pkgrec_gmm::{effective_number_of_samples_from_weights, GaussianMixture};
 use rand::RngCore;
-use serde::{Deserialize, Serialize};
+use serde::{json_model::Value, DeError, Deserialize, Serialize};
 
 use crate::constraints::ConstraintChecker;
 use crate::error::Result;
+use crate::scoring::WeightMatrix;
 use crate::utility::WeightVector;
 
 /// One sampled weight vector together with its importance weight
 /// (`1.0` for rejection and MCMC samples).
+///
+/// This is the owned *transfer* type of the pool — its storage lives in a
+/// flat, row-major [`WeightMatrix`]; iterate it cheaply through
+/// [`SamplePool::samples`], which yields borrowed [`SampleRef`]s.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WeightSample {
     /// The sampled weight vector.
@@ -52,71 +57,184 @@ impl WeightSample {
     }
 }
 
+/// A borrowed view of one pool entry (the weight row lives in the pool's flat
+/// [`WeightMatrix`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleRef<'a> {
+    /// The sampled weight vector.
+    pub weights: &'a [f64],
+    /// The importance weight of the sample.
+    pub importance: f64,
+}
+
+impl SampleRef<'_> {
+    /// Copies the view into an owned [`WeightSample`].
+    pub fn to_sample(&self) -> WeightSample {
+        WeightSample {
+            weights: self.weights.to_vec(),
+            importance: self.importance,
+        }
+    }
+}
+
 /// A pool of weighted samples representing the current posterior knowledge
 /// about a user's utility weight vector.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Samples are stored contiguously in a row-major [`WeightMatrix`] — the
+/// operand of the batched scoring kernel
+/// ([`crate::scoring::score_batch`]) — rather than as per-sample `Vec`s.
+/// Every insertion is dimension-checked (in release builds too), so a pool is
+/// rectangular by construction.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SamplePool {
-    samples: Vec<WeightSample>,
+    matrix: WeightMatrix,
 }
 
 impl SamplePool {
-    /// Creates an empty pool.
+    /// Creates an empty pool.  The dimensionality is fixed by the first sample
+    /// pushed.
     pub fn new() -> Self {
         SamplePool::default()
     }
 
-    /// Creates a pool from samples.
+    /// Creates a pool from owned samples.
+    ///
+    /// # Panics
+    /// Panics if the samples disagree on dimensionality (checked in release
+    /// builds).
     pub fn from_samples(samples: Vec<WeightSample>) -> Self {
-        SamplePool { samples }
+        let mut pool = SamplePool::new();
+        for sample in samples {
+            pool.push(sample);
+        }
+        pool
     }
 
     /// Number of samples in the pool.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.matrix.len()
     }
 
     /// Whether the pool is empty.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.matrix.is_empty()
     }
 
-    /// The samples.
-    pub fn samples(&self) -> &[WeightSample] {
-        &self.samples
+    /// Dimensionality of the pooled weight vectors (0 while the pool is
+    /// empty).
+    pub fn dim(&self) -> usize {
+        self.matrix.dim()
     }
 
-    /// Mutable access to the samples (used by maintenance when replacing
-    /// invalidated entries in place).
-    pub fn samples_mut(&mut self) -> &mut Vec<WeightSample> {
-        &mut self.samples
+    /// Iterates over the samples as borrowed views into the flat storage.
+    pub fn samples(&self) -> impl ExactSizeIterator<Item = SampleRef<'_>> + '_ {
+        (0..self.len()).map(|i| self.get(i))
     }
 
-    /// Adds a sample to the pool.
+    /// The sample at `index`.
+    pub fn get(&self, index: usize) -> SampleRef<'_> {
+        SampleRef {
+            weights: self.matrix.row(index),
+            importance: self.matrix.importance(index),
+        }
+    }
+
+    /// Adds an owned sample to the pool.
+    ///
+    /// # Panics
+    /// Panics if the sample's dimensionality disagrees with the pool's
+    /// (checked in release builds).
     pub fn push(&mut self, sample: WeightSample) {
-        self.samples.push(sample);
+        self.push_sample(&sample.weights, sample.importance);
     }
 
-    /// The weight vectors only, as a row matrix (used to build sorted lists
-    /// for TA-based maintenance).
-    pub fn weight_matrix(&self) -> Vec<Vec<f64>> {
-        self.samples.iter().map(|s| s.weights.clone()).collect()
+    /// Adds a sample to the pool without an intermediate allocation.
+    ///
+    /// # Panics
+    /// Panics if `weights.len()` disagrees with the pool's dimensionality
+    /// (checked in release builds).
+    pub fn push_sample(&mut self, weights: &[f64], importance: f64) {
+        if self.matrix.is_empty() && self.matrix.dim() != weights.len() {
+            self.matrix = WeightMatrix::new(weights.len());
+        }
+        self.matrix.push(weights, importance);
+    }
+
+    /// Replaces the sample at `index` (used by maintenance when swapping out
+    /// invalidated entries in place).
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range or the dimensionality disagrees.
+    pub fn set_sample(&mut self, index: usize, weights: &[f64], importance: f64) {
+        self.matrix.set_row(index, weights, importance);
+    }
+
+    /// The flat row-major weight matrix backing the pool — the right-hand
+    /// operand of [`crate::scoring::score_batch`].
+    pub fn weight_matrix(&self) -> &WeightMatrix {
+        &self.matrix
+    }
+
+    /// The weight vectors copied out as per-sample rows (compatibility with
+    /// row-oriented consumers such as the EM refit).
+    pub fn weight_rows(&self) -> Vec<Vec<f64>> {
+        self.matrix.rows().map(<[f64]>::to_vec).collect()
+    }
+
+    /// The importance weights, one per sample.
+    pub fn importances(&self) -> &[f64] {
+        self.matrix.importances()
     }
 
     /// Effective number of samples `(Σ q)² / Σ q²` of the pool's importance
     /// weights.
     pub fn effective_sample_size(&self) -> f64 {
-        let weights: Vec<f64> = self.samples.iter().map(|s| s.importance).collect();
-        effective_number_of_samples_from_weights(&weights)
+        effective_number_of_samples_from_weights(self.matrix.importances())
     }
 
     /// Indices of samples violating the given validity predicate.
     pub fn violating_indices<F: Fn(&[f64]) -> bool>(&self, is_valid: F) -> Vec<usize> {
-        self.samples
-            .iter()
+        self.matrix
+            .rows()
             .enumerate()
-            .filter(|(_, s)| !is_valid(&s.weights))
+            .filter(|(_, w)| !is_valid(w))
             .map(|(i, _)| i)
             .collect()
+    }
+}
+
+// The pool serialises exactly as it did when it stored `Vec<WeightSample>`
+// (`{"samples": [{"weights": [...], "importance": x}, ...]}`), so snapshots
+// written before the columnar refactor restore unchanged.  The impls are
+// written against the vendored serde stub's JSON-value data model; if the
+// stub is ever swapped for real serde, port them to `#[serde(into/from)]`.
+impl Serialize for SamplePool {
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![(
+            "samples".to_string(),
+            Value::Array(
+                self.samples()
+                    .map(|s| s.to_sample().to_json_value())
+                    .collect(),
+            ),
+        )])
+    }
+}
+
+impl Deserialize for SamplePool {
+    fn from_json_value(v: &Value) -> std::result::Result<Self, DeError> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("an object", v))?;
+        let samples: Vec<WeightSample> =
+            Deserialize::from_json_value(serde::get_field(entries, "samples")?)?;
+        let dim = samples.first().map(|s| s.weights.len()).unwrap_or(0);
+        if samples.iter().any(|s| s.weights.len() != dim) {
+            return Err(DeError(
+                "sample pool rows disagree on dimensionality".to_string(),
+            ));
+        }
+        Ok(SamplePool::from_samples(samples))
     }
 }
 
@@ -239,17 +357,59 @@ mod tests {
     fn sample_pool_basics() {
         let mut pool = SamplePool::new();
         assert!(pool.is_empty());
+        assert_eq!(pool.dim(), 0);
         pool.push(WeightSample::unweighted(vec![0.1, 0.2]));
         pool.push(WeightSample {
             weights: vec![-0.1, 0.4],
             importance: 2.0,
         });
         assert_eq!(pool.len(), 2);
+        assert_eq!(pool.dim(), 2);
         assert_eq!(pool.weight_matrix().len(), 2);
+        assert_eq!(pool.weight_rows(), vec![vec![0.1, 0.2], vec![-0.1, 0.4]]);
+        assert_eq!(pool.importances(), &[1.0, 2.0]);
+        assert_eq!(pool.get(1).weights, &[-0.1, 0.4]);
         let violators = pool.violating_indices(|w| w[0] > 0.0);
         assert_eq!(violators, vec![1]);
         // ESS of weights (1, 2) = 9 / 5.
         assert!((pool.effective_sample_size() - 1.8).abs() < 1e-12);
+        // In-place replacement keeps the flat storage rectangular.
+        pool.set_sample(1, &[0.6, 0.7], 1.5);
+        assert_eq!(pool.get(1).to_sample().weights, vec![0.6, 0.7]);
+        assert!(pool.violating_indices(|w| w[0] > 0.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "weight sample dimensionality")]
+    fn mismatched_sample_dimensions_are_rejected_on_push() {
+        let mut pool = SamplePool::new();
+        pool.push(WeightSample::unweighted(vec![0.1, 0.2]));
+        pool.push(WeightSample::unweighted(vec![0.1, 0.2, 0.3]));
+    }
+
+    #[test]
+    fn pool_serialisation_keeps_the_row_oriented_wire_shape() {
+        // The flat pool must serialise exactly as the old row-of-structs pool
+        // did, so pre-refactor snapshots keep restoring.
+        let pool = SamplePool::from_samples(vec![
+            WeightSample::unweighted(vec![0.5, -0.25]),
+            WeightSample {
+                weights: vec![0.0, 1.0],
+                importance: 2.0,
+            },
+        ]);
+        let json = serde_json::to_string(&pool).unwrap();
+        assert_eq!(
+            json,
+            "{\"samples\":[{\"weights\":[0.5,-0.25],\"importance\":1},\
+             {\"weights\":[0,1],\"importance\":2}]}"
+        );
+        let restored: SamplePool = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored, pool);
+        // Ragged rows are rejected at the serde boundary (no panic).
+        let ragged = "{\"samples\":[{\"weights\":[0.5],\"importance\":1},\
+                      {\"weights\":[0,1],\"importance\":1}]}";
+        assert!(serde_json::from_str::<SamplePool>(ragged).is_err());
     }
 
     #[test]
@@ -289,11 +449,11 @@ mod tests {
             assert_eq!(outcome.pool.len(), 50, "{}", kind.name());
             for s in outcome.pool.samples() {
                 assert!(
-                    checker.is_valid(&s.weights),
+                    checker.is_valid(s.weights),
                     "{} produced invalid sample",
                     kind.name()
                 );
-                assert!(in_weight_cube(&s.weights));
+                assert!(in_weight_cube(s.weights));
                 assert!(s.importance.is_finite() && s.importance > 0.0);
             }
         }

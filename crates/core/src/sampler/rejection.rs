@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 use crate::constraints::ConstraintChecker;
 use crate::error::{CoreError, Result};
 use crate::noise::NoiseModel;
-use crate::sampler::{in_weight_cube, SamplePool, SamplingOutcome, WeightSample, WeightSampler};
+use crate::sampler::{in_weight_cube, SamplePool, SamplingOutcome, WeightSampler};
 use crate::utility::clamp_weights;
 
 /// Configuration of the rejection sampler.
@@ -91,7 +91,7 @@ impl WeightSampler for RejectionSampler {
                 }
             };
             if accepted {
-                pool.push(WeightSample::unweighted(candidate));
+                pool.push_sample(&candidate, 1.0);
             }
         }
         let rejected = proposals - pool.len();
@@ -126,7 +126,7 @@ mod tests {
         assert_eq!(outcome.pool.len(), 200);
         assert_eq!(outcome.proposals, outcome.pool.len() + outcome.rejected);
         for s in outcome.pool.samples() {
-            assert!(c.is_valid(&s.weights));
+            assert!(c.is_valid(s.weights));
             assert_eq!(s.importance, 1.0);
         }
     }
@@ -190,7 +190,7 @@ mod tests {
             .generate(&prior, &c, 100, &mut rng)
             .unwrap();
         for s in outcome.pool.samples() {
-            assert!(in_weight_cube(&s.weights));
+            assert!(in_weight_cube(s.weights));
         }
         // Without clamping, wide priors mostly land outside and get rejected.
         let strict = RejectionSampler {
@@ -211,8 +211,7 @@ mod tests {
         let violating = outcome
             .pool
             .samples()
-            .iter()
-            .filter(|s| !c.is_valid(&s.weights))
+            .filter(|s| !c.is_valid(s.weights))
             .count();
         // With ψ = 0.5 roughly half the violating proposals survive, so the
         // pool contains a healthy share of them (exact count is stochastic).

@@ -12,7 +12,16 @@
 //! uninterrupted session would have produced.
 //!
 //! RNG state is deliberately not captured: all prior parameters stored are
-//! RNG-independent, and callers own their random streams.
+//! RNG-independent, and callers own their random streams.  The scoring-thread
+//! budget ([`RecommenderEngine::num_threads`]) is likewise not captured — it
+//! is a property of the process serving the session, not of the session, so
+//! restored engines resume serial until
+//! [`RecommenderEngine::set_num_threads`] is called.
+//!
+//! The sample pool serialises in its original row-oriented shape
+//! (`{"samples": [{"weights": …, "importance": …}]}`) even though it is
+//! stored columnar in memory, so the snapshot layout survived the columnar
+//! refactor unchanged and [`SNAPSHOT_VERSION`] did not need to move.
 
 use pkgrec_gmm::GaussianMixture;
 use serde::{Deserialize, Serialize};
@@ -95,13 +104,13 @@ impl RecommenderEngine {
             &snapshot.catalog,
             snapshot.max_package_size,
         )?;
-        for sample in snapshot.pool.samples() {
-            if sample.weights.len() != context.dim() {
-                return Err(CoreError::DimensionMismatch {
-                    expected: context.dim(),
-                    actual: sample.weights.len(),
-                });
-            }
+        // The pool is rectangular by construction (flat storage enforces one
+        // shared dimensionality), so a single check covers every sample.
+        if !snapshot.pool.is_empty() && snapshot.pool.dim() != context.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: context.dim(),
+                actual: snapshot.pool.dim(),
+            });
         }
         for preference in snapshot.preferences.preferences() {
             for vector in [&preference.better, &preference.worse] {
@@ -126,6 +135,7 @@ impl RecommenderEngine {
             snapshot.pool,
             snapshot.config,
             snapshot.rounds,
+            1,
         ))
     }
 }
@@ -174,7 +184,7 @@ mod tests {
         let mut restored = RecommenderEngine::restore(snapshot.clone()).unwrap();
         assert_eq!(restored.rounds(), engine.rounds());
         assert_eq!(restored.preferences().len(), engine.preferences().len());
-        assert_eq!(restored.pool().samples(), engine.pool().samples());
+        assert_eq!(restored.pool(), engine.pool());
         // The restored engine's next recommendation is bit-identical (pure
         // function of pool + preferences + config; the pool is non-empty so no
         // RNG is consumed).
@@ -198,10 +208,13 @@ mod tests {
             Err(CoreError::InvalidConfig(_))
         ));
 
+        // A pool cannot even hold mixed dimensionalities any more (flat
+        // storage rejects the push), so the corrupt case is a uniformly
+        // wrong-dimensional pool — caught against the catalog on restore.
         let mut snapshot = engine.snapshot();
-        snapshot
-            .pool
-            .push(crate::sampler::WeightSample::unweighted(vec![0.0; 7]));
+        snapshot.pool = crate::sampler::SamplePool::from_samples(vec![
+            crate::sampler::WeightSample::unweighted(vec![0.0; 7]),
+        ]);
         assert!(matches!(
             RecommenderEngine::restore(snapshot),
             Err(CoreError::DimensionMismatch { .. })

@@ -13,6 +13,13 @@ use crate::profile::{AggregationContext, PackageState};
 pub type WeightVector = Vec<f64>;
 
 /// Dot product used for utility evaluation.
+///
+/// This is the unchecked inner loop of the scoring stack: release builds do
+/// **not** verify that the operands agree on length (a mismatch would
+/// zip-truncate).  Dimension agreement is enforced upstream, where vectors
+/// enter the system — [`LinearUtility::new`] / [`LinearUtility::set_weights`]
+/// and the matrix constructors of [`crate::scoring`] all check in release
+/// builds — so every slice reaching this function is already validated.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
@@ -52,6 +59,24 @@ impl LinearUtility {
             return Err(CoreError::InvalidConfig("weights must be finite".into()));
         }
         Ok(LinearUtility { context, weights })
+    }
+
+    /// Replaces the weight vector in place, revalidating dimension and
+    /// finiteness — lets per-sample loops reuse one utility (and its bound
+    /// context) instead of cloning the context for every sample.
+    pub fn set_weights(&mut self, weights: &[f64]) -> Result<()> {
+        if weights.len() != self.context.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.context.dim(),
+                actual: weights.len(),
+            });
+        }
+        if weights.iter().any(|w| !w.is_finite()) {
+            return Err(CoreError::InvalidConfig("weights must be finite".into()));
+        }
+        self.weights.clear();
+        self.weights.extend_from_slice(weights);
+        Ok(())
     }
 
     /// The aggregation context.
@@ -217,6 +242,27 @@ mod tests {
             LinearUtility::new(ctx, vec![0.1, f64::INFINITY]),
             Err(CoreError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn weights_can_be_swapped_in_place() {
+        let catalog = figure1_catalog();
+        let mut u = figure1_utility(vec![0.5, 0.1]);
+        u.set_weights(&[0.1, 0.5]).unwrap();
+        assert_eq!(u.weights(), &[0.1, 0.5]);
+        // Figure 2(c): p5 under w2 = (0.1, 0.5) scores 0.56.
+        let p5 = Package::new(vec![1, 2]).unwrap();
+        assert!((u.of_package(&catalog, &p5).unwrap() - 0.56).abs() < 1e-9);
+        assert!(matches!(
+            u.set_weights(&[0.1]),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            u.set_weights(&[0.1, f64::NAN]),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        // Failed swaps leave the previous weights intact.
+        assert_eq!(u.weights(), &[0.1, 0.5]);
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub mod sorted_lists;
 pub mod ta;
 
 pub use heap::TopKHeap;
-pub use scanner::{scan_naive, ScanResult, ThresholdScanner};
+pub use scanner::{scan_naive, scan_naive_flat, ScanResult, ThresholdScanner};
 pub use sorted_lists::{Direction, RoundRobinCursor, SortedAccess, SortedLists};
 pub use ta::{top_k, top_k_naive, TopKResult};

@@ -115,12 +115,15 @@ impl<'a> ThresholdScanner<'a> {
                 break;
             }
             if self.sorted_accesses() + self.remaining_in_current_list() >= budget {
-                // Fall back: check every point not yet seen.
-                for id in 0..self.lists.len() {
-                    if self.seen.insert(id) && self.score(id) > self.threshold {
+                // Fall back: one flat scan over the columnar point storage;
+                // points already seen were matched (or not) when first seen,
+                // so only previously unseen matches are added.
+                for id in scan_naive_flat(self.lists.values_flat(), &self.query, self.threshold) {
+                    if self.seen.insert(id) {
                         self.matches.push(id);
                     }
                 }
+                self.seen.extend(0..self.lists.len());
                 break;
             }
             if !self.step() {
@@ -146,6 +149,35 @@ impl<'a> ThresholdScanner<'a> {
 pub fn scan_naive(points: &[Vec<f64>], query: &[f64], threshold: f64) -> Vec<usize> {
     points
         .iter()
+        .enumerate()
+        .filter(|(_, p)| p.iter().zip(query.iter()).map(|(x, q)| x * q).sum::<f64>() > threshold)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// [`scan_naive`] over a row-major flat buffer (`n × dim`) — the variant that
+/// scans columnar point storage without materialising per-point `Vec`s.
+///
+/// # Panics
+/// Panics if `points.len()` is not a multiple of `query.len()` (an empty
+/// query requires an empty buffer).
+pub fn scan_naive_flat(points: &[f64], query: &[f64], threshold: f64) -> Vec<usize> {
+    let dim = query.len();
+    if dim == 0 {
+        assert!(
+            points.is_empty(),
+            "a zero-dimensional scan cannot hold points"
+        );
+        return Vec::new();
+    }
+    assert_eq!(
+        points.len() % dim,
+        0,
+        "flat buffer length {} is not a multiple of the query dimensionality {dim}",
+        points.len()
+    );
+    points
+        .chunks_exact(dim)
         .enumerate()
         .filter(|(_, p)| p.iter().zip(query.iter()).map(|(x, q)| x * q).sum::<f64>() > threshold)
         .map(|(i, _)| i)
@@ -214,6 +246,18 @@ mod tests {
             "expected early stop, performed {} accesses",
             result.sorted_accesses
         );
+    }
+
+    #[test]
+    fn flat_scan_matches_row_scan() {
+        let points = random_points(200, 3, 17);
+        let flat: Vec<f64> = points.iter().flatten().copied().collect();
+        let query = vec![0.4, -0.7, 0.2];
+        assert_eq!(
+            scan_naive_flat(&flat, &query, 0.1),
+            scan_naive(&points, &query, 0.1)
+        );
+        assert!(scan_naive_flat(&[], &[], 0.0).is_empty());
     }
 
     #[test]

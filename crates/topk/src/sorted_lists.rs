@@ -41,14 +41,18 @@ impl Direction {
 /// Per-feature sorted index lists over a fixed set of points.
 ///
 /// Construction is `O(m · n log n)`; the lists are immutable afterwards and
-/// shared by any number of cursors.
+/// shared by any number of cursors.  The points themselves are kept in one
+/// contiguous row-major buffer (`len × dim`), so candidate scoring and
+/// boundary lookups read sequential memory.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SortedLists {
     /// `order[d][rank]` = index of the point with the `rank`-th largest value
     /// on dimension `d`.
     order: Vec<Vec<usize>>,
-    /// The points themselves (row-major), kept for boundary lookups.
-    values: Vec<Vec<f64>>,
+    /// The points, row-major (`len × dim`), kept for boundary lookups and
+    /// candidate scoring.
+    values: Vec<f64>,
+    len: usize,
     dim: usize,
 }
 
@@ -63,12 +67,42 @@ impl SortedLists {
             points.iter().all(|p| p.len() == dim),
             "all points must share the same dimensionality"
         );
+        let mut flat = Vec::with_capacity(points.len() * dim);
+        for point in points {
+            flat.extend_from_slice(point);
+        }
+        SortedLists::from_flat(dim, &flat)
+    }
+
+    /// Builds sorted lists directly over a row-major flat buffer (`n × dim`)
+    /// — the columnar-pool path: the buffer is copied once into the index,
+    /// with no per-point `Vec` allocations.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` is not a multiple of `dim` (a `dim` of 0
+    /// requires an empty buffer).
+    pub fn from_flat(dim: usize, values: &[f64]) -> Self {
+        let len = if dim == 0 {
+            assert!(
+                values.is_empty(),
+                "a zero-dimensional index cannot hold points"
+            );
+            0
+        } else {
+            assert_eq!(
+                values.len() % dim,
+                0,
+                "flat buffer length {} is not a multiple of the dimensionality {dim}",
+                values.len()
+            );
+            values.len() / dim
+        };
         let mut order = Vec::with_capacity(dim);
         for d in 0..dim {
-            let mut ids: Vec<usize> = (0..points.len()).collect();
+            let mut ids: Vec<usize> = (0..len).collect();
             ids.sort_by(|&a, &b| {
-                points[b][d]
-                    .partial_cmp(&points[a][d])
+                values[b * dim + d]
+                    .partial_cmp(&values[a * dim + d])
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| a.cmp(&b))
             });
@@ -76,19 +110,20 @@ impl SortedLists {
         }
         SortedLists {
             order,
-            values: points.to_vec(),
+            values: values.to_vec(),
+            len,
             dim,
         }
     }
 
     /// Number of indexed points.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.len
     }
 
     /// Whether the structure indexes no points.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.len == 0
     }
 
     /// Dimensionality of the indexed points.
@@ -98,11 +133,11 @@ impl SortedLists {
 
     /// The feature vector of a point.
     pub fn point(&self, id: usize) -> &[f64] {
-        &self.values[id]
+        &self.values[id * self.dim..(id + 1) * self.dim]
     }
 
-    /// All indexed points.
-    pub fn points(&self) -> &[Vec<f64>] {
+    /// All indexed points as one row-major flat buffer (`len × dim`).
+    pub fn values_flat(&self) -> &[f64] {
         &self.values
     }
 
@@ -123,7 +158,7 @@ impl SortedLists {
 
     /// The feature value at a given rank of dimension `d`'s list.
     pub fn value_at(&self, d: usize, rank: usize, direction: Direction) -> Option<f64> {
-        self.id_at(d, rank, direction).map(|id| self.values[id][d])
+        self.id_at(d, rank, direction).map(|id| self.point(id)[d])
     }
 }
 
@@ -338,6 +373,32 @@ mod tests {
     #[should_panic(expected = "same dimensionality")]
     fn ragged_points_panic() {
         let _ = SortedLists::new(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn flat_construction_matches_row_construction() {
+        let rows = sample_points();
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let from_rows = SortedLists::new(&rows);
+        let from_flat = SortedLists::from_flat(2, &flat);
+        assert_eq!(from_flat.len(), from_rows.len());
+        assert_eq!(from_flat.dim(), from_rows.dim());
+        assert_eq!(from_flat.values_flat(), flat.as_slice());
+        for d in 0..2 {
+            for rank in 0..rows.len() {
+                assert_eq!(
+                    from_flat.id_at(d, rank, Direction::Descending),
+                    from_rows.id_at(d, rank, Direction::Descending)
+                );
+            }
+        }
+        assert_eq!(from_flat.point(3), from_rows.point(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of the dimensionality")]
+    fn misaligned_flat_buffer_panics() {
+        let _ = SortedLists::from_flat(2, &[1.0, 2.0, 3.0]);
     }
 
     #[test]

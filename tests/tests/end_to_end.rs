@@ -71,11 +71,7 @@ fn every_sampler_supports_the_full_engine_loop() {
         assert!(!recs.is_empty(), "{}", sampler.name());
         // The pool respects the feedback after maintenance.
         let checker = engine.checker();
-        assert!(engine
-            .pool()
-            .samples()
-            .iter()
-            .all(|s| checker.is_valid(&s.weights)));
+        assert!(engine.pool().samples().all(|s| checker.is_valid(s.weights)));
     }
 }
 
@@ -115,9 +111,8 @@ fn ranking_semantics_share_one_sample_pool() {
         .pool;
     let rankings: Vec<PerSampleRanking> = pool
         .samples()
-        .iter()
         .map(|s| {
-            let utility = LinearUtility::new(context.clone(), s.weights.clone()).unwrap();
+            let utility = LinearUtility::new(context.clone(), s.weights.to_vec()).unwrap();
             PerSampleRanking::new(
                 s.importance,
                 top_k_packages(&utility, &catalog, 4).unwrap().packages,
@@ -164,12 +159,12 @@ fn feedback_maintenance_matches_full_resampling_constraints() {
     let checker = engine.checker();
     assert!(!engine.preferences().is_empty());
     for sample in engine.pool().samples() {
-        assert!(checker.is_valid(&sample.weights));
+        assert!(checker.is_valid(sample.weights));
     }
     // A fresh resample satisfies the same constraints.
     engine.resample(&mut rng).unwrap();
     for sample in engine.pool().samples() {
-        assert!(checker.is_valid(&sample.weights));
+        assert!(checker.is_valid(sample.weights));
     }
 }
 
@@ -227,7 +222,7 @@ fn resumed_session_recommends_identically_to_an_uninterrupted_one() {
     let snapshot: SessionSnapshot = serde_json::from_str(&json).unwrap();
     let mut resumed = RecommenderEngine::restore(snapshot).unwrap();
     assert_eq!(resumed.rounds(), engine.rounds());
-    assert_eq!(resumed.pool().samples(), engine.pool().samples());
+    assert_eq!(resumed.pool(), engine.pool());
 
     let mut rng_live = StdRng::seed_from_u64(4242);
     let mut rng_resumed = StdRng::seed_from_u64(4242);

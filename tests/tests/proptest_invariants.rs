@@ -222,8 +222,8 @@ proptest! {
         if let Ok(outcome) = RejectionSampler::default().generate(&prior, &checker, n, &mut rng) {
             prop_assert_eq!(outcome.pool.len(), n);
             for s in outcome.pool.samples() {
-                prop_assert!(checker.is_valid(&s.weights));
-                prop_assert!(weights_in_range(&s.weights));
+                prop_assert!(checker.is_valid(s.weights));
+                prop_assert!(weights_in_range(s.weights));
             }
         }
     }

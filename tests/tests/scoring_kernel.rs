@@ -1,0 +1,172 @@
+//! Property tests over the batched scoring kernel and the flattened sample
+//! pool: `score_batch` must agree with the scalar `dot` path to 1e-12 across
+//! random pools and candidates (serial and threaded), and a snapshot of a
+//! session whose pool lives in flat storage must restore bit-identically.
+//!
+//! The engine fixture is built once behind a `OnceLock` so the expensive
+//! elicitation rounds run a single time no matter how many tests consume it.
+
+use std::sync::OnceLock;
+
+use pkgrec_core::prelude::*;
+use pkgrec_core::sampler::WeightSample;
+use pkgrec_core::scoring::{score_batch_threaded, CandidateMatrix, WeightMatrix};
+use pkgrec_core::utility::dot;
+use pkgrec_core::SessionSnapshot;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every kernel entry equals the scalar dot product of the corresponding
+    /// candidate and sample rows, to 1e-12, for the serial and the threaded
+    /// split alike.
+    #[test]
+    fn score_batch_matches_the_scalar_dot_path(
+        dim in 1usize..8,
+        candidate_cells in prop::collection::vec(-1.0f64..1.0, 8 * 12),
+        sample_cells in prop::collection::vec(-1.0f64..1.0, 8 * 20),
+        importance_seed in 0u64..1_000,
+        threads in 1usize..5,
+    ) {
+        let candidate_rows: Vec<Vec<f64>> = candidate_cells
+            .chunks_exact(dim)
+            .map(<[f64]>::to_vec)
+            .collect();
+        let sample_rows: Vec<Vec<f64>> = sample_cells
+            .chunks_exact(dim)
+            .map(<[f64]>::to_vec)
+            .collect();
+        let importances: Vec<f64> = (0..sample_rows.len())
+            .map(|i| 0.1 + ((importance_seed + i as u64) % 17) as f64 / 8.0)
+            .collect();
+        let candidates = CandidateMatrix::from_rows(dim, &candidate_rows);
+        let weights = WeightMatrix::from_rows(dim, &sample_rows, &importances);
+
+        let scores = score_batch_threaded(&candidates, &weights, threads);
+        prop_assert_eq!(scores.num_candidates(), candidate_rows.len());
+        prop_assert_eq!(scores.num_samples(), sample_rows.len());
+        for (c, candidate) in candidate_rows.iter().enumerate() {
+            for (s, sample) in sample_rows.iter().enumerate() {
+                let scalar = dot(candidate, sample);
+                prop_assert!(
+                    (scores.get(c, s) - scalar).abs() < 1e-12,
+                    "candidate {} sample {}: kernel {} vs scalar {}",
+                    c, s, scores.get(c, s), scalar
+                );
+            }
+        }
+        // The weighted-expectation reduction also matches its scalar form.
+        let total: f64 = importances.iter().sum();
+        let expectations = scores.weighted_expectations(weights.importances());
+        for (c, candidate) in candidate_rows.iter().enumerate() {
+            let scalar: f64 = sample_rows
+                .iter()
+                .zip(importances.iter())
+                .map(|(sample, q)| q * dot(candidate, sample))
+                .sum::<f64>() / total;
+            prop_assert!((expectations[c] - scalar).abs() < 1e-12);
+        }
+    }
+
+    /// A flattened pool round-trips through its row-oriented wire shape
+    /// without losing a bit.
+    #[test]
+    fn flat_pool_serde_round_trip_is_bit_identical(
+        dim in 1usize..6,
+        cells in prop::collection::vec(-1.0f64..1.0, 6 * 15),
+        importance_seed in 0u64..1_000,
+    ) {
+        let samples: Vec<WeightSample> = cells
+            .chunks_exact(dim)
+            .enumerate()
+            .map(|(i, row)| WeightSample {
+                weights: row.to_vec(),
+                importance: 0.5 + ((importance_seed + i as u64) % 13) as f64 / 4.0,
+            })
+            .collect();
+        let pool = SamplePool::from_samples(samples.clone());
+        prop_assert_eq!(pool.dim(), dim);
+        let json = serde_json::to_string(&pool).unwrap();
+        let restored: SamplePool = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&restored, &pool);
+        for (original, view) in samples.iter().zip(restored.samples()) {
+            prop_assert_eq!(original.weights.as_slice(), view.weights);
+            prop_assert_eq!(original.importance, view.importance);
+        }
+    }
+}
+
+/// A session with real feedback whose pool went through sampling and
+/// maintenance — shared across the snapshot tests below via `OnceLock` so the
+/// elicitation rounds run once.
+fn fixture_engine() -> &'static RecommenderEngine {
+    static ENGINE: OnceLock<RecommenderEngine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let catalog = Catalog::from_rows(vec![
+            vec![0.6, 0.2],
+            vec![0.4, 0.4],
+            vec![0.2, 0.4],
+            vec![0.9, 0.8],
+            vec![0.3, 0.7],
+            vec![0.5, 0.9],
+            vec![0.1, 0.3],
+        ])
+        .unwrap();
+        let mut engine = RecommenderEngine::builder(catalog.clone(), Profile::cost_quality())
+            .max_package_size(2)
+            .k(2)
+            .num_random(2)
+            .num_samples(30)
+            .build()
+            .unwrap();
+        let context = AggregationContext::new(Profile::cost_quality(), &catalog, 2).unwrap();
+        let user = SimulatedUser::new(LinearUtility::new(context, vec![-0.7, 0.6]).unwrap());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        for _ in 0..3 {
+            let shown = engine.present(&mut rng).unwrap();
+            let choice = user.choose(engine.catalog(), &shown, &mut rng).unwrap();
+            engine
+                .record_feedback(&shown, Feedback::Click { index: choice }, &mut rng)
+                .unwrap();
+        }
+        engine
+    })
+}
+
+#[test]
+fn snapshot_of_a_flattened_pool_restores_bit_identically() {
+    let engine = fixture_engine();
+    assert!(!engine.pool().is_empty());
+    let snapshot = engine.snapshot();
+    let json = serde_json::to_string(&snapshot).unwrap();
+    let decoded: SessionSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(decoded, snapshot);
+    let restored = RecommenderEngine::restore(decoded).unwrap();
+    // Bit-identical pool: flat weights, importances and dimensionality.
+    assert_eq!(restored.pool(), engine.pool());
+    assert_eq!(
+        restored.pool().weight_matrix().weights_flat(),
+        engine.pool().weight_matrix().weights_flat()
+    );
+    assert_eq!(restored.pool().importances(), engine.pool().importances());
+    // Restored sessions resume serial regardless of the live engine's knob.
+    assert_eq!(restored.num_threads(), 1);
+    // And re-snapshotting reproduces the same JSON bytes.
+    assert_eq!(serde_json::to_string(&restored.snapshot()).unwrap(), json);
+}
+
+#[test]
+fn threaded_recommendations_match_serial_after_restore() {
+    let engine = fixture_engine();
+    let mut serial = RecommenderEngine::restore(engine.snapshot()).unwrap();
+    let mut threaded = RecommenderEngine::restore(engine.snapshot()).unwrap();
+    threaded.set_num_threads(4).unwrap();
+    let mut rng_a = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng_b = rand::rngs::StdRng::seed_from_u64(7);
+    assert_eq!(
+        serial.recommend(&mut rng_a).unwrap(),
+        threaded.recommend(&mut rng_b).unwrap()
+    );
+}
