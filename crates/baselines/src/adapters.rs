@@ -19,10 +19,15 @@
 
 use pkgrec_core::ranking::{aggregate, RankedPackage, RankingSemantics};
 use pkgrec_core::recommender::{
-    extend_with_random_packages, per_sample_rankings, Feedback, Recommender, RecommenderState,
+    extend_with_random_packages, per_sample_rankings_indexed, Feedback, Recommender,
+    RecommenderState,
 };
 use pkgrec_core::sampler::SamplePool;
-use pkgrec_core::{AggregationContext, Catalog, CoreError, Package, Preference, Profile, Result};
+use pkgrec_core::{
+    AggregatedSearchStats, AggregationContext, Catalog, CoreError, Package, Preference, Profile,
+    Result,
+};
+use pkgrec_topk::SortedLists;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -71,11 +76,15 @@ impl Default for EmRefitConfig {
 pub struct EmRefitSession {
     catalog: Catalog,
     context: AggregationContext,
+    /// Catalog-cached per-feature sorted lists shared by every per-sample
+    /// package search (weight-independent, so built once per session).
+    sorted_lists: SortedLists,
     inner: EmRefitRecommender,
     config: EmRefitConfig,
     pool: SamplePool,
     preferences: usize,
     rounds: usize,
+    search_stats: AggregatedSearchStats,
 }
 
 impl EmRefitSession {
@@ -102,14 +111,17 @@ impl EmRefitSession {
             config.prior_sigma,
             config.samples_per_refit,
         )?;
+        let sorted_lists = SortedLists::new(catalog.rows());
         Ok(EmRefitSession {
             catalog,
             context,
+            sorted_lists,
             inner,
             config,
             pool: SamplePool::new(),
             preferences: 0,
             rounds: 0,
+            search_stats: AggregatedSearchStats::default(),
         })
     }
 
@@ -129,13 +141,16 @@ impl EmRefitSession {
         }
     }
 
-    fn rank_pool(&self) -> Result<Vec<RankedPackage>> {
-        let rankings = per_sample_rankings(
+    fn rank_pool(&mut self) -> Result<Vec<RankedPackage>> {
+        let (rankings, stats) = per_sample_rankings_indexed(
             &self.context,
             &self.catalog,
+            &self.sorted_lists,
             &self.pool,
             self.config.semantics.per_sample_depth(self.config.k),
+            1,
         )?;
+        self.search_stats.merge(&stats);
         Ok(aggregate(self.config.semantics, &rankings, self.config.k))
     }
 
@@ -227,6 +242,7 @@ impl Recommender for EmRefitSession {
             preferences: self.preferences,
             pool_size: self.pool.len(),
             rounds: self.rounds,
+            search: self.search_stats,
         }
     }
 }
@@ -337,6 +353,7 @@ impl Recommender for HardConstraintSession {
             preferences: 0,
             pool_size: 0,
             rounds: self.rounds,
+            search: AggregatedSearchStats::default(),
         }
     }
 }
@@ -462,6 +479,7 @@ impl Recommender for SkylineSession {
             preferences: 0,
             pool_size: 0,
             rounds: self.rounds,
+            search: AggregatedSearchStats::default(),
         }
     }
 }

@@ -47,7 +47,7 @@ fn bench_fig6(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_top_k_packages");
     group.sample_size(10);
     group.bench_function("EXP_top5_over_20_samples", |b| {
-        b.iter(|| top_k_phase(&workload, &pool, 5))
+        b.iter(|| top_k_phase(&workload, &pool, 5).0)
     });
     group.finish();
 }

@@ -78,6 +78,10 @@ fn main() {
                 feature_sweep: vec![2, 6, 10],
                 default_samples: 200,
                 k: 3,
+                // The top-k phase cost explodes with φ at the high end of the
+                // feature sweep; quick mode trades package size, not
+                // coverage, for wall time.
+                max_package_size: 3,
                 ..fig6::Fig6Config::default()
             }
         } else {

@@ -9,10 +9,11 @@
 //! features because its grid is exponential in the dimensionality).
 
 use pkgrec_core::ranking::{aggregate, RankingSemantics};
-use pkgrec_core::recommender::per_sample_rankings;
+use pkgrec_core::recommender::per_sample_rankings_indexed;
 use pkgrec_core::sampler::{
     ImportanceSampler, McmcSampler, RejectionSampler, SamplePool, SamplerKind, WeightSampler,
 };
+use pkgrec_core::AggregatedSearchStats;
 use serde::{Deserialize, Serialize};
 
 use crate::report::{seconds, timed, Table};
@@ -37,6 +38,10 @@ pub struct Fig6Config {
     pub preferences: usize,
     /// k of the generated top-k package list.
     pub k: usize,
+    /// Maximum package size φ (paper default: 5).  The top-k phase cost
+    /// explodes with φ at high feature counts, so quick/test configurations
+    /// lower it.
+    pub max_package_size: usize,
     /// Features above which importance sampling is skipped (paper: 5).
     pub importance_feature_limit: usize,
     /// Random seed.
@@ -54,6 +59,7 @@ impl Default for Fig6Config {
             default_features: 5,
             preferences: 10,
             k: 5,
+            max_package_size: 5,
             importance_feature_limit: 5,
             seed: 6,
         }
@@ -73,6 +79,10 @@ pub struct OverallPoint {
     pub sample_generation_secs: f64,
     /// Seconds spent generating the top-k packages from the samples.
     pub top_k_secs: f64,
+    /// Aggregated `Top-k-Pkg` counters of the top-k phase (sorted accesses,
+    /// candidates created, early-termination rate) — the baseline future
+    /// search-performance work compares against.
+    pub top_k_search: AggregatedSearchStats,
     /// Whether the sampler was skipped (importance sampling above its feature
     /// limit, or a sampler error).
     pub skipped: bool,
@@ -98,12 +108,25 @@ fn samplers() -> Vec<(&'static str, SamplerKind)> {
 /// Generates the top-k packages for every sample in the pool and aggregates
 /// them under EXP — the "Top-k Pkg" cost component of Figure 6.  The phase
 /// runs through the engine's shared batched ranking step
-/// ([`per_sample_rankings`]), so the figure times the same columnar kernel
-/// the serving path uses.
-pub fn top_k_phase(workload: &Workload, pool: &SamplePool, k: usize) -> usize {
-    let results = per_sample_rankings(&workload.context, &workload.catalog, pool, k)
-        .expect("samples share the catalog dimensionality");
-    aggregate(RankingSemantics::Exp, &results, k).len()
+/// ([`per_sample_rankings_indexed`]) over the workload's cached sorted lists,
+/// so the figure times the same columnar kernel and catalog index the serving
+/// path uses; the aggregated search counters of every run are returned
+/// alongside the list length.
+pub fn top_k_phase(
+    workload: &Workload,
+    pool: &SamplePool,
+    k: usize,
+) -> (usize, AggregatedSearchStats) {
+    let (results, stats) = per_sample_rankings_indexed(
+        &workload.context,
+        &workload.catalog,
+        &workload.sorted_lists,
+        pool,
+        k,
+        1,
+    )
+    .expect("samples share the catalog dimensionality");
+    (aggregate(RankingSemantics::Exp, &results, k).len(), stats)
 }
 
 fn measure_point(
@@ -125,16 +148,18 @@ fn measure_point(
             x,
             sample_generation_secs: generation_time.as_secs_f64(),
             top_k_secs: 0.0,
+            top_k_search: AggregatedSearchStats::default(),
             skipped: true,
         },
         Ok(outcome) => {
-            let (_, topk_time) = timed(|| top_k_phase(workload, &outcome.pool, k));
+            let ((_, search), topk_time) = timed(|| top_k_phase(workload, &outcome.pool, k));
             OverallPoint {
                 dataset: workload.config.dataset.name().to_string(),
                 sampler: sampler_name.to_string(),
                 x,
                 sample_generation_secs: generation_time.as_secs_f64(),
                 top_k_secs: topk_time.as_secs_f64(),
+                top_k_search: search,
                 skipped: false,
             }
         }
@@ -151,6 +176,7 @@ pub fn run(config: &Fig6Config) -> Fig6Result {
             dataset,
             rows: config.rows,
             features: config.default_features,
+            max_package_size: config.max_package_size,
             preferences: config.preferences,
             seed: config.seed,
             ..WorkloadConfig::default()
@@ -168,6 +194,7 @@ pub fn run(config: &Fig6Config) -> Fig6Result {
                 dataset,
                 rows: config.rows,
                 features,
+                max_package_size: config.max_package_size,
                 preferences: config.preferences,
                 seed: config.seed,
                 ..WorkloadConfig::default()
@@ -180,6 +207,7 @@ pub fn run(config: &Fig6Config) -> Fig6Result {
                         x: features,
                         sample_generation_secs: 0.0,
                         top_k_secs: 0.0,
+                        top_k_search: AggregatedSearchStats::default(),
                         skipped: true,
                     });
                     continue;
@@ -210,6 +238,9 @@ fn points_table(title: &str, x_name: &str, points: &[OverallPoint]) -> Table {
             x_name,
             "sample generation (s)",
             "top-k packages (s)",
+            "sorted accesses",
+            "candidates",
+            "early term",
             "skipped",
         ],
     );
@@ -220,6 +251,9 @@ fn points_table(title: &str, x_name: &str, points: &[OverallPoint]) -> Table {
             p.x.to_string(),
             seconds(std::time::Duration::from_secs_f64(p.sample_generation_secs)),
             seconds(std::time::Duration::from_secs_f64(p.top_k_secs)),
+            p.top_k_search.sorted_accesses.to_string(),
+            p.top_k_search.candidates_created.to_string(),
+            format!("{:.0}%", p.top_k_search.early_termination_rate() * 100.0),
             if p.skipped { "yes".into() } else { "no".into() },
         ]);
     }
@@ -258,6 +292,9 @@ mod tests {
             default_features: 3,
             preferences: 3,
             k: 3,
+            // The top-k phase explodes with φ at 6 features; the measured
+            // φ-shrink keeps this fixture's single shared run fast.
+            max_package_size: 3,
             ..Fig6Config::default()
         }
     }
@@ -304,6 +341,10 @@ mod tests {
             assert!(p.top_k_secs >= 0.0);
             if !p.skipped {
                 assert!(p.top_k_secs > 0.0, "{p:?}");
+                // One Top-k-Pkg run per pool sample, with live counters.
+                assert_eq!(p.top_k_search.searches, 50, "{p:?}");
+                assert!(p.top_k_search.sorted_accesses > 0, "{p:?}");
+                assert!(p.top_k_search.candidates_created > 0, "{p:?}");
             }
         }
     }

@@ -108,6 +108,14 @@ pub struct ElicitationPoint {
     pub converged_fraction: f64,
     /// Mean precision of the final list against the ground-truth top-k.
     pub mean_precision: f64,
+    /// Mean `Top-k-Pkg` runs per session (0 for search-free baselines).
+    pub mean_searches: f64,
+    /// Mean sorted accesses per session across the aggregated search runs.
+    pub mean_sorted_accesses: f64,
+    /// Mean candidates created per session across the aggregated search runs.
+    pub mean_candidates: f64,
+    /// Fraction of search runs that terminated early on the bound test.
+    pub early_termination_rate: f64,
 }
 
 /// Full result of the Figure 8 experiment.
@@ -171,6 +179,7 @@ pub fn run(config: &Fig8Config) -> Fig8Result {
             let mut clicks_max = 0usize;
             let mut converged = 0usize;
             let mut precision_sum = 0.0;
+            let mut search = pkgrec_core::AggregatedSearchStats::default();
             for trial in 0..config.ground_truths {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(
                     config.seed ^ (features as u64) << 32 ^ trial as u64,
@@ -196,6 +205,7 @@ pub fn run(config: &Fig8Config) -> Fig8Result {
                     converged += 1;
                 }
                 precision_sum += report.precision;
+                search.merge(&report.search);
             }
             let n = config.ground_truths.max(1) as f64;
             points.push(ElicitationPoint {
@@ -205,6 +215,10 @@ pub fn run(config: &Fig8Config) -> Fig8Result {
                 max_clicks: clicks_max,
                 converged_fraction: converged as f64 / n,
                 mean_precision: precision_sum / n,
+                mean_searches: search.searches as f64 / n,
+                mean_sorted_accesses: search.sorted_accesses as f64 / n,
+                mean_candidates: search.candidates_created as f64 / n,
+                early_termination_rate: search.early_termination_rate(),
             });
         }
     }
@@ -223,6 +237,9 @@ impl Fig8Result {
                 "max clicks",
                 "converged",
                 "mean precision",
+                "searches/session",
+                "sorted accesses/session",
+                "early term",
             ],
         );
         for p in &self.points {
@@ -233,6 +250,9 @@ impl Fig8Result {
                 p.max_clicks.to_string(),
                 format!("{:.0}%", p.converged_fraction * 100.0),
                 format!("{:.2}", p.mean_precision),
+                format!("{:.0}", p.mean_searches),
+                format!("{:.0}", p.mean_sorted_accesses),
+                format!("{:.0}%", p.early_termination_rate * 100.0),
             ]);
         }
         table
@@ -264,13 +284,16 @@ mod tests {
             assert!(p.mean_clicks <= 20.0, "{}: {p:?}", p.system);
             assert!(p.mean_precision >= 0.0 && p.mean_precision <= 1.0);
         }
-        // The paper's engine converges on this tiny workload.
+        // The paper's engine converges on this tiny workload and surfaces its
+        // per-session search counters.
         for p in result.points.iter().filter(|p| p.system == "engine") {
             assert!(
                 p.converged_fraction > 0.0,
                 "no engine session converged for {} features",
                 p.features
             );
+            assert!(p.mean_searches > 0.0, "{p:?}");
+            assert!(p.mean_sorted_accesses > 0.0, "{p:?}");
         }
         assert_eq!(result.table().rows.len(), 4);
     }

@@ -15,7 +15,7 @@ use crate::item::Catalog;
 use crate::package::Package;
 use crate::recommender::{Feedback, Recommender};
 use crate::scoring::{score_batch, CandidateMatrix, WeightMatrix};
-use crate::search::{top_k_packages, SearchResult};
+use crate::search::{top_k_packages, AggregatedSearchStats, SearchResult};
 use crate::utility::{clamp_weights, LinearUtility, WeightVector};
 
 /// A simulated user with a hidden ground-truth utility function.
@@ -137,6 +137,10 @@ pub struct ElicitationReport {
     /// Fraction of the final recommendation that appears in the ground-truth
     /// top-k (set precision, order-insensitive).
     pub precision: f64,
+    /// Aggregated `Top-k-Pkg` statistics accumulated by the recommender over
+    /// this session (all zero for recommenders that never run the package
+    /// search).
+    pub search: AggregatedSearchStats,
 }
 
 /// Runs one elicitation session against any [`Recommender`]: present, click,
@@ -157,9 +161,10 @@ pub fn run_elicitation(
             "max_rounds and stable_rounds must be at least 1".into(),
         ));
     }
-    let k = recommender.state().k;
+    let start_state = recommender.state();
+    let k = start_state.k;
     let catalog = recommender.catalog().clone();
-    let ground_truth: Vec<Package> = user.ground_truth_top_k(&catalog, k)?.packages_only();
+    let ground_truth: Vec<Package> = user.ground_truth_top_k(&catalog, k)?.into_packages();
 
     let mut clicks = 0usize;
     let mut converged = false;
@@ -202,6 +207,7 @@ pub fn run_elicitation(
         final_top_k: last_recommendation,
         ground_truth_top_k: ground_truth,
         precision,
+        search: recommender.state().search.delta_since(&start_state.search),
     })
 }
 
@@ -308,6 +314,11 @@ mod tests {
         assert_eq!(report.final_top_k.len(), 3);
         assert_eq!(report.ground_truth_top_k.len(), 3);
         assert!(report.precision > 0.0);
+        // The engine ran one Top-k-Pkg per pool sample per round, and the
+        // session-scoped aggregate surfaces those counters.
+        assert!(report.search.searches >= 40, "{:?}", report.search);
+        assert!(report.search.sorted_accesses > 0);
+        assert!(report.search.candidates_created > 0);
     }
 
     #[test]
@@ -332,7 +343,7 @@ mod tests {
         let ground_truth = user
             .ground_truth_top_k(engine.catalog(), 3)
             .unwrap()
-            .packages_only();
+            .into_packages();
         let first: Vec<Package> = engine
             .recommend(&mut rng)
             .unwrap()

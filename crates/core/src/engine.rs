@@ -8,6 +8,7 @@
 //! [`RecommenderEngine::snapshot`] / [`RecommenderEngine::restore`].
 
 use pkgrec_gmm::GaussianMixture;
+use pkgrec_topk::SortedLists;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -22,6 +23,7 @@ use crate::profile::{AggregationContext, Profile};
 use crate::ranking::{aggregate, PerSampleRanking, RankedPackage, RankingSemantics};
 use crate::recommender::{self, Feedback};
 use crate::sampler::{SamplePool, SamplerKind, WeightSampler};
+use crate::search::AggregatedSearchStats;
 
 /// Configuration of the recommender engine.
 ///
@@ -115,6 +117,15 @@ pub struct RecommenderEngine {
     /// OS threads the scoring stack may use (a process-local deployment knob,
     /// not session state — snapshots neither store nor restore it).
     num_threads: usize,
+    /// Per-feature sorted item lists over the catalog, built once at
+    /// construction and shared by every per-sample `Top-k-Pkg` run (the order
+    /// is weight-independent; only scan directions vary per sample).  Derived
+    /// state: snapshots do not store it, restoration rebuilds it.
+    sorted_lists: SortedLists,
+    /// Aggregated `Top-k-Pkg` statistics across the engine's lifetime
+    /// (process-local observability, not session state — snapshots neither
+    /// store nor restore it).
+    search_stats: AggregatedSearchStats,
 }
 
 impl RecommenderEngine {
@@ -151,6 +162,7 @@ impl RecommenderEngine {
         rounds: usize,
         num_threads: usize,
     ) -> Self {
+        let sorted_lists = SortedLists::new(catalog.rows());
         RecommenderEngine {
             catalog,
             context,
@@ -160,6 +172,8 @@ impl RecommenderEngine {
             config,
             rounds,
             num_threads,
+            sorted_lists,
+            search_stats: AggregatedSearchStats::default(),
         }
     }
 
@@ -203,6 +217,23 @@ impl RecommenderEngine {
         self.num_threads
     }
 
+    /// The catalog's per-feature sorted item lists, built once at engine
+    /// construction and reused by every per-sample package search.
+    pub fn sorted_lists(&self) -> &SortedLists {
+        &self.sorted_lists
+    }
+
+    /// Aggregated `Top-k-Pkg` statistics across every recommendation the
+    /// engine has computed (the counter baseline for search-performance work).
+    pub fn search_stats(&self) -> AggregatedSearchStats {
+        self.search_stats
+    }
+
+    /// Resets the aggregated search statistics to zero.
+    pub fn reset_search_stats(&mut self) {
+        self.search_stats = AggregatedSearchStats::default();
+    }
+
     /// Changes the scoring-thread budget of a live engine (e.g. after
     /// [`RecommenderEngine::restore`], which always resumes serial); validated
     /// like [`EngineBuilder::num_threads`](crate::builder::EngineBuilder::num_threads).
@@ -233,16 +264,20 @@ impl RecommenderEngine {
     }
 
     /// Computes the per-sample top-k package rankings for the current pool,
-    /// batched through the scoring kernel and split across the configured
-    /// number of threads.
-    pub fn per_sample_rankings(&self) -> Result<Vec<PerSampleRanking>> {
-        recommender::per_sample_rankings_threaded(
+    /// batched through the scoring kernel over the engine's cached sorted
+    /// lists and split across the configured number of threads.  The runs'
+    /// search statistics accumulate into [`RecommenderEngine::search_stats`].
+    pub fn per_sample_rankings(&mut self) -> Result<Vec<PerSampleRanking>> {
+        let (rankings, stats) = recommender::per_sample_rankings_indexed(
             &self.context,
             &self.catalog,
+            &self.sorted_lists,
             &self.pool,
             self.per_sample_k(),
             self.num_threads,
-        )
+        )?;
+        self.search_stats.merge(&stats);
+        Ok(rankings)
     }
 
     /// Produces the current top-k recommendation under the configured ranking

@@ -113,7 +113,10 @@ pub use sampler::{
     SamplingOutcome, WeightSample, WeightSampler,
 };
 pub use scoring::{score_batch, score_batch_threaded, CandidateMatrix, ScoreMatrix, WeightMatrix};
-pub use search::{top_k_packages, top_k_packages_exhaustive, SearchResult, SearchStats};
+pub use search::{
+    top_k_packages, top_k_packages_exhaustive, top_k_packages_reference, top_k_packages_with_lists,
+    AggregatedSearchStats, SearchResult, SearchStats,
+};
 pub use snapshot::{SessionSnapshot, SNAPSHOT_VERSION};
 pub use utility::{clamp_weights, weights_in_range, LinearUtility, WeightVector};
 
@@ -139,7 +142,7 @@ pub mod prelude {
         ImportanceSampler, McmcSampler, RejectionSampler, SamplePool, SamplerKind, WeightSampler,
     };
     pub use crate::scoring::{score_batch, score_batch_threaded, CandidateMatrix, WeightMatrix};
-    pub use crate::search::{top_k_packages, top_k_packages_exhaustive};
+    pub use crate::search::{top_k_packages, top_k_packages_exhaustive, top_k_packages_with_lists};
     pub use crate::snapshot::{SessionSnapshot, SNAPSHOT_VERSION};
     pub use crate::utility::{clamp_weights, weights_in_range, LinearUtility, WeightVector};
 }

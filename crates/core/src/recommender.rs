@@ -15,6 +15,7 @@
 
 use std::collections::HashMap;
 
+use pkgrec_topk::SortedLists;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -26,7 +27,7 @@ use crate::profile::AggregationContext;
 use crate::ranking::{self, PerSampleRanking, RankedPackage};
 use crate::sampler::SamplePool;
 use crate::scoring::{score_batch_threaded, CandidateMatrix};
-use crate::search::top_k_packages;
+use crate::search::{top_k_packages_with_lists, AggregatedSearchStats};
 use crate::utility::LinearUtility;
 
 /// One round of typed user feedback over the packages a recommender showed.
@@ -93,7 +94,9 @@ pub fn shown_package(shown: &[Package], index: usize) -> Result<&Package> {
 /// Computes the per-sample top-k ranking of every sample in a pool — the
 /// shared ranking step of the engine and of pool-based baseline adapters —
 /// on the calling thread.  See [`per_sample_rankings_threaded`] for the
-/// data-parallel variant behind the engine's `num_threads` knob.
+/// data-parallel variant behind the engine's `num_threads` knob and
+/// [`per_sample_rankings_indexed`] for the form that reuses a cached
+/// [`SortedLists`] index and surfaces search statistics.
 pub fn per_sample_rankings(
     context: &AggregationContext,
     catalog: &Catalog,
@@ -103,46 +106,65 @@ pub fn per_sample_rankings(
     per_sample_rankings_threaded(context, catalog, pool, depth, 1)
 }
 
-/// Runs every sample's candidate discovery (`Top-k-Pkg`) and collects, per
-/// sample, the discovered packages as indices into a deduplicated candidate
-/// list whose feature vectors accumulate in one flat [`CandidateMatrix`].
+/// Runs every sample's candidate discovery (`Top-k-Pkg` over the shared
+/// sorted-lists index) and collects, per sample, the discovered packages as
+/// indices into a deduplicated candidate list whose feature vectors
+/// accumulate in one flat [`CandidateMatrix`], plus the aggregated search
+/// statistics of every run.
+#[allow(clippy::type_complexity)] // one tuple slot per discovery artefact
 fn discover_candidates(
     context: &AggregationContext,
     catalog: &Catalog,
+    lists: &SortedLists,
     pool: &SamplePool,
     depth: usize,
     num_threads: usize,
-) -> Result<(Vec<Package>, CandidateMatrix, Vec<Vec<usize>>)> {
+) -> Result<(
+    Vec<Package>,
+    CandidateMatrix,
+    Vec<Vec<usize>>,
+    AggregatedSearchStats,
+)> {
     let sample_count = pool.len();
     let threads = num_threads.max(1).min(sample_count);
+    let mut stats = AggregatedSearchStats::default();
     // Per-sample package lists, best first, in pool order.
     let discovered: Vec<Vec<Package>> = if threads <= 1 {
         let mut utility = LinearUtility::new(context.clone(), vec![0.0; context.dim()])?;
-        let mut lists = Vec::with_capacity(sample_count);
+        let mut found = Vec::with_capacity(sample_count);
         for sample in pool.samples() {
             utility.set_weights(sample.weights)?;
-            lists.push(top_k_packages(&utility, catalog, depth)?.packages_only());
+            let result = top_k_packages_with_lists(&utility, catalog, lists, depth)?;
+            stats.record(&result.stats);
+            found.push(result.into_packages());
         }
-        lists
+        found
     } else {
         // Data-parallel split: contiguous chunks of the pool per OS thread,
-        // each with its own utility; chunk results are re-joined in pool
-        // order, so the outcome is identical to the serial path.
+        // each with its own utility but all sharing the one immutable index;
+        // chunk results are re-joined in pool order, so the outcome is
+        // identical to the serial path.
         let chunk = sample_count.div_ceil(threads);
-        let chunks: Vec<Result<Vec<Vec<Package>>>> = std::thread::scope(|scope| {
+        type ChunkResult = Result<(Vec<Vec<Package>>, AggregatedSearchStats)>;
+        let chunks: Vec<ChunkResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let first = t * chunk;
                     let last = ((t + 1) * chunk).min(sample_count);
-                    scope.spawn(move || -> Result<Vec<Vec<Package>>> {
+                    scope.spawn(move || -> ChunkResult {
                         let mut utility =
                             LinearUtility::new(context.clone(), vec![0.0; context.dim()])?;
-                        (first..last)
+                        let mut chunk_stats = AggregatedSearchStats::default();
+                        let found = (first..last)
                             .map(|s| {
                                 utility.set_weights(pool.get(s).weights)?;
-                                Ok(top_k_packages(&utility, catalog, depth)?.packages_only())
+                                let result =
+                                    top_k_packages_with_lists(&utility, catalog, lists, depth)?;
+                                chunk_stats.record(&result.stats);
+                                Ok(result.into_packages())
                             })
-                            .collect()
+                            .collect::<Result<Vec<Vec<Package>>>>()?;
+                        Ok((found, chunk_stats))
                     })
                 })
                 .collect();
@@ -151,11 +173,13 @@ fn discover_candidates(
                 .map(|h| h.join().expect("discovery thread does not panic"))
                 .collect()
         });
-        let mut lists = Vec::with_capacity(sample_count);
-        for chunk_lists in chunks {
-            lists.extend(chunk_lists?);
+        let mut found = Vec::with_capacity(sample_count);
+        for chunk_result in chunks {
+            let (chunk_found, chunk_stats) = chunk_result?;
+            found.extend(chunk_found);
+            stats.merge(&chunk_stats);
         }
-        lists
+        found
     };
     // Deduplicate the union of discovered packages into the flat candidate
     // matrix; each sample's list becomes indices into it.
@@ -180,7 +204,7 @@ fn discover_candidates(
         }
         per_sample.push(indices);
     }
-    Ok((candidates, vectors, per_sample))
+    Ok((candidates, vectors, per_sample, stats))
 }
 
 /// [`per_sample_rankings`] with the scoring stack split across up to
@@ -207,17 +231,40 @@ pub fn per_sample_rankings_threaded(
     depth: usize,
     num_threads: usize,
 ) -> Result<Vec<PerSampleRanking>> {
+    let lists = SortedLists::new(catalog.rows());
+    per_sample_rankings_indexed(context, catalog, &lists, pool, depth, num_threads)
+        .map(|(rankings, _)| rankings)
+}
+
+/// The fully-equipped ranking step: [`per_sample_rankings_threaded`] over a
+/// prebuilt, catalog-cached [`SortedLists`] index (the per-feature item order
+/// is weight-independent, so one index serves every sample of every round),
+/// returning the per-sample rankings together with the aggregated search
+/// statistics of all the `Top-k-Pkg` runs.  The engine and the pool-based
+/// baselines call this form; the wrappers above rebuild the index per call
+/// for one-shot callers.
+pub fn per_sample_rankings_indexed(
+    context: &AggregationContext,
+    catalog: &Catalog,
+    lists: &SortedLists,
+    pool: &SamplePool,
+    depth: usize,
+    num_threads: usize,
+) -> Result<(Vec<PerSampleRanking>, AggregatedSearchStats)> {
     if pool.is_empty() {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), AggregatedSearchStats::default()));
     }
-    let (candidates, vectors, per_sample) =
-        discover_candidates(context, catalog, pool, depth, num_threads)?;
+    let (candidates, vectors, per_sample, stats) =
+        discover_candidates(context, catalog, lists, pool, depth, num_threads)?;
     let scores = score_batch_threaded(&vectors, pool.weight_matrix(), num_threads);
-    Ok(ranking::per_sample_rankings_from_scores(
-        &candidates,
-        &scores,
-        pool.importances(),
-        &per_sample,
+    Ok((
+        ranking::per_sample_rankings_from_scores(
+            &candidates,
+            &scores,
+            pool.importances(),
+            &per_sample,
+        ),
+        stats,
     ))
 }
 
@@ -255,6 +302,9 @@ pub struct RecommenderState {
     pub pool_size: usize,
     /// Number of feedback rounds recorded so far (including skips).
     pub rounds: usize,
+    /// Aggregated `Top-k-Pkg` statistics across the session so far (all zero
+    /// for recommenders that never run the package search).
+    pub search: AggregatedSearchStats,
 }
 
 /// An interactive, session-oriented package recommender.
@@ -315,6 +365,7 @@ impl Recommender for RecommenderEngine {
             preferences: self.preferences().len(),
             pool_size: self.pool().len(),
             rounds: self.rounds(),
+            search: self.search_stats(),
         }
     }
 }

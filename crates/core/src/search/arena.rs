@@ -1,0 +1,407 @@
+//! Slab arena for the candidate packages grown by `Top-k-Pkg`.
+//!
+//! The expansion phase of Algorithm 4 creates a candidate per utility-
+//! improving extension.  Storing each candidate as an owned item vector plus a
+//! cloned aggregation state (the pre-arena representation, preserved in
+//! [`super::reference`]) makes every extension an `O(φ + m)` allocation; the
+//! arena instead stores candidates in struct-of-arrays form with
+//! *parent-pointer item chains*:
+//!
+//! * a candidate is `(parent, item)` — its item set is the chain walked
+//!   through [`CandidateArena::collect_items`], materialised only when a
+//!   candidate actually enters the top-k heap;
+//! * its aggregation state is three cached scalars (`utility`, the
+//!   `sum`-feature dot `lin`, the shared `avg` numerator `avg_num`) plus one
+//!   slot per `min`/`max` term — the exact inputs of
+//!   [`FeaturePlan`](super::bounds::FeaturePlan)'s incremental bound — all
+//!   updated by an add-item delta from the parent's row, never by cloning.
+//!
+//! Chains keep every ancestor alive, so the arena would grow monotonically
+//! while the search prunes its expandable set; [`CandidateArena::compact`] is
+//! a mark-compact collector over the live roots (the current `Q+`) that the
+//! search invokes once the arena outgrows the live set by a constant factor,
+//! keeping memory proportional to `|Q+| · φ` like the pre-arena path.
+
+use crate::item::ItemId;
+
+use super::bounds::{CandidateScalars, FeaturePlan, PointScalars};
+
+/// Sentinel parent id of singleton candidates (chain roots).
+const NO_PARENT: u32 = u32::MAX;
+
+/// Struct-of-arrays slab of candidate packages (see the module docs).
+#[derive(Debug)]
+pub(crate) struct CandidateArena {
+    /// Number of `min`/`max` slots each candidate carries.
+    mm_stride: usize,
+    parent: Vec<u32>,
+    item: Vec<ItemId>,
+    size: Vec<u32>,
+    utility: Vec<f64>,
+    lin: Vec<f64>,
+    avg_num: Vec<f64>,
+    /// `min`/`max` aggregate values, `mm_stride` per candidate.
+    mm: Vec<f64>,
+}
+
+impl CandidateArena {
+    /// An empty arena whose candidates carry `mm_stride` min/max slots.
+    pub(crate) fn new(mm_stride: usize) -> Self {
+        CandidateArena {
+            mm_stride,
+            parent: Vec::new(),
+            item: Vec::new(),
+            size: Vec::new(),
+            utility: Vec::new(),
+            lin: Vec::new(),
+            avg_num: Vec::new(),
+            mm: Vec::new(),
+        }
+    }
+
+    /// Number of candidates currently stored (live and dead).
+    pub(crate) fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The cached utility `U(p)` of a candidate.
+    pub(crate) fn utility(&self, id: u32) -> f64 {
+        self.utility[id as usize]
+    }
+
+    /// Number of items in a candidate's package.
+    pub(crate) fn size(&self, id: u32) -> usize {
+        self.size[id as usize] as usize
+    }
+
+    /// The candidate's scalars in the shape the incremental bound consumes.
+    pub(crate) fn scalars(&self, id: u32) -> CandidateScalars<'_> {
+        let i = id as usize;
+        CandidateScalars {
+            size: self.size[i] as usize,
+            utility: self.utility[i],
+            lin: self.lin[i],
+            avg_num: self.avg_num[i],
+            mm: &self.mm[i * self.mm_stride..(i + 1) * self.mm_stride],
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // one slot per SoA column
+    fn push_node(
+        &mut self,
+        parent: u32,
+        item: ItemId,
+        size: u32,
+        utility: f64,
+        lin: f64,
+        avg_num: f64,
+        mm_values: &[f64],
+    ) -> u32 {
+        debug_assert_eq!(mm_values.len(), self.mm_stride);
+        let id = self.parent.len();
+        assert!(
+            id < NO_PARENT as usize,
+            "candidate arena id space exhausted"
+        );
+        self.parent.push(parent);
+        self.item.push(item);
+        self.size.push(size);
+        self.utility.push(utility);
+        self.lin.push(lin);
+        self.avg_num.push(avg_num);
+        self.mm.extend_from_slice(mm_values);
+        id as u32
+    }
+
+    /// Seeds the singleton candidate `{item}` (Algorithm 4 seeds one per
+    /// sorted access) and returns its id.
+    pub(crate) fn push_singleton(
+        &mut self,
+        plan: &FeaturePlan,
+        item: ItemId,
+        scalars: PointScalars,
+        mm_values: &[f64],
+    ) -> u32 {
+        let utility = plan.utility_from_parts(
+            1,
+            scalars.lin,
+            scalars.avg_num,
+            plan.mm_weighted_sum(mm_values),
+        );
+        self.push_node(
+            NO_PARENT,
+            item,
+            1,
+            utility,
+            scalars.lin,
+            scalars.avg_num,
+            mm_values,
+        )
+    }
+
+    /// Attempts the utility-improving extension `parent ∪ {item}`: evaluates
+    /// the extension by delta from the parent's cached scalars (no clone, no
+    /// allocation beyond amortised slab growth) and stores it only if it
+    /// strictly improves on the parent.  `scratch_mm` is a reusable buffer of
+    /// length `mm_stride`.
+    pub(crate) fn try_extend(
+        &mut self,
+        plan: &FeaturePlan,
+        parent: u32,
+        item: ItemId,
+        item_scalars: PointScalars,
+        item_mm: &[f64],
+        scratch_mm: &mut [f64],
+    ) -> Option<u32> {
+        let p = parent as usize;
+        let lin = self.lin[p] + item_scalars.lin;
+        let avg_num = self.avg_num[p] + item_scalars.avg_num;
+        let size = self.size[p] + 1;
+        let parent_mm = &self.mm[p * self.mm_stride..(p + 1) * self.mm_stride];
+        let mm_weighted = plan.fold_mm_into(parent_mm, item_mm, scratch_mm);
+        let utility = plan.utility_from_parts(size as usize, lin, avg_num, mm_weighted);
+        if utility > self.utility[p] {
+            Some(self.push_node(parent, item, size, utility, lin, avg_num, scratch_mm))
+        } else {
+            None
+        }
+    }
+
+    /// Materialises a candidate's item set (sorted ascending) into `out` by
+    /// walking its parent chain — the only place item vectors exist.
+    pub(crate) fn collect_items(&self, id: u32, out: &mut Vec<ItemId>) {
+        out.clear();
+        let mut node = id;
+        loop {
+            out.push(self.item[node as usize]);
+            node = self.parent[node as usize];
+            if node == NO_PARENT {
+                break;
+            }
+        }
+        out.sort_unstable();
+    }
+
+    /// Mark-compact garbage collection: keeps exactly the candidates reachable
+    /// from `roots` through parent chains, rewrites `roots` to the new ids and
+    /// drops everything else.  `O(arena)` time, invoked by the search only
+    /// after the arena outgrows the live set, so the amortised cost per
+    /// created candidate is constant.
+    pub(crate) fn compact(&mut self, roots: &mut [u32]) {
+        let len = self.len();
+        let mut live = vec![false; len];
+        for &root in roots.iter() {
+            let mut node = root;
+            // Stop climbing at the first already-marked ancestor: each chain
+            // segment is visited once overall.
+            while !live[node as usize] {
+                live[node as usize] = true;
+                let parent = self.parent[node as usize];
+                if parent == NO_PARENT {
+                    break;
+                }
+                node = parent;
+            }
+        }
+        // Ascending-id sweep preserves the parent < child invariant.
+        let mut remap = vec![NO_PARENT; len];
+        let mut kept = 0usize;
+        for old in 0..len {
+            if !live[old] {
+                continue;
+            }
+            remap[old] = kept as u32;
+            let parent = self.parent[old];
+            self.parent[kept] = if parent == NO_PARENT {
+                NO_PARENT
+            } else {
+                debug_assert_ne!(
+                    remap[parent as usize], NO_PARENT,
+                    "dead parent of live node"
+                );
+                remap[parent as usize]
+            };
+            self.item[kept] = self.item[old];
+            self.size[kept] = self.size[old];
+            self.utility[kept] = self.utility[old];
+            self.lin[kept] = self.lin[old];
+            self.avg_num[kept] = self.avg_num[old];
+            self.mm.copy_within(
+                old * self.mm_stride..(old + 1) * self.mm_stride,
+                kept * self.mm_stride,
+            );
+            kept += 1;
+        }
+        self.parent.truncate(kept);
+        self.item.truncate(kept);
+        self.size.truncate(kept);
+        self.utility.truncate(kept);
+        self.lin.truncate(kept);
+        self.avg_num.truncate(kept);
+        self.mm.truncate(kept * self.mm_stride);
+        for root in roots.iter_mut() {
+            debug_assert_ne!(remap[*root as usize], NO_PARENT, "root collected");
+            *root = remap[*root as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Catalog;
+    use crate::profile::{AggregateFn, AggregationContext, Profile};
+    use crate::utility::LinearUtility;
+
+    fn plan_over(profile: Profile, weights: Vec<f64>, phi: usize) -> (Catalog, FeaturePlan) {
+        let catalog = Catalog::from_rows(vec![
+            vec![0.6, 0.2],
+            vec![0.4, 0.4],
+            vec![0.2, 0.4],
+            vec![0.8, 0.9],
+        ])
+        .unwrap();
+        let ctx = AggregationContext::new(profile, &catalog, phi).unwrap();
+        let u = LinearUtility::new(ctx, weights).unwrap();
+        (catalog, FeaturePlan::new(&u))
+    }
+
+    fn seed(arena: &mut CandidateArena, plan: &FeaturePlan, catalog: &Catalog, item: usize) -> u32 {
+        let features = catalog.item_unchecked(item);
+        let mut mm = vec![0.0; plan.mm_len()];
+        plan.write_mm_values(features, &mut mm);
+        arena.push_singleton(plan, item, plan.point_scalars(features), &mm)
+    }
+
+    fn extend(
+        arena: &mut CandidateArena,
+        plan: &FeaturePlan,
+        catalog: &Catalog,
+        parent: u32,
+        item: usize,
+    ) -> Option<u32> {
+        let features = catalog.item_unchecked(item);
+        let mut mm = vec![0.0; plan.mm_len()];
+        plan.write_mm_values(features, &mut mm);
+        let mut scratch = vec![0.0; plan.mm_len()];
+        arena.try_extend(
+            plan,
+            parent,
+            item,
+            plan.point_scalars(features),
+            &mm,
+            &mut scratch,
+        )
+    }
+
+    #[test]
+    fn chains_materialise_sorted_item_sets() {
+        let (catalog, plan) = plan_over(
+            Profile::new(vec![AggregateFn::Sum, AggregateFn::Max]),
+            vec![0.5, 0.5],
+            3,
+        );
+        let mut arena = CandidateArena::new(plan.mm_len());
+        let a = seed(&mut arena, &plan, &catalog, 2);
+        let b = extend(&mut arena, &plan, &catalog, a, 0).expect("sum/max extension improves");
+        let c = extend(&mut arena, &plan, &catalog, b, 1).expect("sum/max extension improves");
+        let mut items = Vec::new();
+        arena.collect_items(c, &mut items);
+        assert_eq!(items, vec![0, 1, 2]);
+        arena.collect_items(a, &mut items);
+        assert_eq!(items, vec![2]);
+        assert_eq!(arena.size(c), 3);
+        assert!(arena.utility(c) > arena.utility(b));
+    }
+
+    #[test]
+    fn extension_utilities_match_the_package_state_path() {
+        let catalog = Catalog::from_rows(vec![
+            vec![0.6, 0.2, 0.9],
+            vec![0.4, 0.4, 0.1],
+            vec![0.2, 0.4, 0.5],
+        ])
+        .unwrap();
+        let profile = Profile::new(vec![AggregateFn::Sum, AggregateFn::Avg, AggregateFn::Min]);
+        let ctx = AggregationContext::new(profile, &catalog, 3).unwrap();
+        let u = LinearUtility::new(ctx, vec![0.7, 0.4, -0.6]).unwrap();
+        let plan = FeaturePlan::new(&u);
+        let mut arena = CandidateArena::new(plan.mm_len());
+        let a = seed(&mut arena, &plan, &catalog, 0);
+        let state = u.context().state_of(&catalog, &[0]).unwrap();
+        assert!((arena.utility(a) - u.of_state(&state)).abs() < 1e-12);
+        if let Some(b) = extend(&mut arena, &plan, &catalog, a, 2) {
+            let state = u.context().state_of(&catalog, &[0, 2]).unwrap();
+            assert!((arena.utility(b) - u.of_state(&state)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn non_improving_extensions_are_rejected() {
+        // Pure-avg profile with positive weight: adding a worse item lowers
+        // the average, so the extension must be refused.
+        let (catalog, plan) = plan_over(Profile::all_avg(2), vec![1.0, 1.0], 3);
+        let mut arena = CandidateArena::new(plan.mm_len());
+        let best = seed(&mut arena, &plan, &catalog, 3); // (0.8, 0.9)
+        assert!(extend(&mut arena, &plan, &catalog, best, 2).is_none()); // (0.2, 0.4)
+        assert_eq!(arena.len(), 1);
+    }
+
+    #[test]
+    fn compaction_keeps_roots_and_ancestors_only() {
+        let (catalog, plan) = plan_over(
+            Profile::new(vec![AggregateFn::Sum, AggregateFn::Sum]),
+            vec![0.5, 0.5],
+            4,
+        );
+        let mut arena = CandidateArena::new(plan.mm_len());
+        let a = seed(&mut arena, &plan, &catalog, 0);
+        let _dead = seed(&mut arena, &plan, &catalog, 1);
+        let b = extend(&mut arena, &plan, &catalog, a, 2).unwrap();
+        let _dead2 = extend(&mut arena, &plan, &catalog, a, 1).unwrap();
+        let c = extend(&mut arena, &plan, &catalog, b, 3).unwrap();
+        let utility_before = arena.utility(c);
+        let mut items_before = Vec::new();
+        arena.collect_items(c, &mut items_before);
+
+        let mut roots = [c];
+        arena.compact(&mut roots);
+        // Live set: c and its ancestors b and a.
+        assert_eq!(arena.len(), 3);
+        let mut items_after = Vec::new();
+        arena.collect_items(roots[0], &mut items_after);
+        assert_eq!(items_before, items_after);
+        assert_eq!(arena.utility(roots[0]), utility_before);
+        // Compaction is idempotent on an already-compact arena.
+        arena.compact(&mut roots);
+        assert_eq!(arena.len(), 3);
+    }
+
+    #[test]
+    fn compaction_with_shared_ancestors_and_multiple_roots() {
+        let (catalog, plan) = plan_over(
+            Profile::new(vec![AggregateFn::Sum, AggregateFn::Sum]),
+            vec![0.9, 0.1],
+            4,
+        );
+        let mut arena = CandidateArena::new(plan.mm_len());
+        let a = seed(&mut arena, &plan, &catalog, 0);
+        let b = extend(&mut arena, &plan, &catalog, a, 1).unwrap();
+        let c = extend(&mut arena, &plan, &catalog, a, 2).unwrap();
+        let mut expectations = Vec::new();
+        for &root in &[b, c] {
+            let mut items = Vec::new();
+            arena.collect_items(root, &mut items);
+            expectations.push((items, arena.utility(root)));
+        }
+        let mut roots = [b, c];
+        arena.compact(&mut roots);
+        assert_eq!(arena.len(), 3); // a is shared, stored once
+        for (root, (items, utility)) in roots.iter().zip(expectations.iter()) {
+            let mut got = Vec::new();
+            arena.collect_items(*root, &mut got);
+            assert_eq!(&got, items);
+            assert_eq!(arena.utility(*root), *utility);
+        }
+    }
+}

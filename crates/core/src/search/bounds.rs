@@ -1,6 +1,25 @@
 //! Upper-bound estimation for package expansion (Section 4.1, Algorithm 3).
+//!
+//! Two implementations live here:
+//!
+//! * [`upper_exp`] / [`can_improve`] — the readable reference versions that
+//!   clone a [`PackageState`] per τ-copy.  They define the semantics, back the
+//!   clone-based [`super::reference::top_k_packages_reference`] path and act
+//!   as the oracle for the incremental versions' tests.
+//! * `FeaturePlan` (crate-internal) — the allocation-free machinery behind the optimised
+//!   [`super::top_k_packages`]: the per-feature linear algebra is folded into
+//!   a handful of scalars so that, after an `O(m)` preparation per sorted
+//!   access, evaluating a candidate's bound or a tentative extension costs
+//!   `O(1)` plus one term per `min`/`max` aggregate (profiles built from
+//!   `sum`/`avg` aggregates — the experiment default — pay no per-feature
+//!   work at all).
+//!
+//! The scalar decomposition relies on every feature's normalised contribution
+//! being `(w_j / Z_j) · raw_j`: `sum` features are linear in the number of
+//! τ-copies, all `avg` features share the single denominator `|p| + c`, and
+//! `min`/`max` features saturate after the first copy.
 
-use crate::profile::PackageState;
+use crate::profile::{AggregateFn, PackageState};
 use crate::utility::LinearUtility;
 
 /// The `upper-exp` bound of Algorithm 3: the best utility any extension of the
@@ -47,6 +66,314 @@ pub fn can_improve(utility: &LinearUtility, state: &PackageState, tau: &[f64]) -
     }
     let extended = state.with_item(tau);
     utility.of_state(&extended) > utility.of_state(state)
+}
+
+/// The scalar summary of one point (an item or the boundary vector τ) under a
+/// [`FeaturePlan`]: its contribution to the `sum`-feature dot product and to
+/// the shared `avg` numerator.  `min`/`max` feature values are carried
+/// separately (see [`FeaturePlan::write_mm_values`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PointScalars {
+    /// `Σ_{sum features} (w_j / Z_j) · x_j`.
+    pub lin: f64,
+    /// `Σ_{avg features} (w_j / Z_j) · x_j`.
+    pub avg_num: f64,
+}
+
+/// Per-candidate scalars consumed by the incremental bound: the cached linear
+/// parts plus the candidate's current `min`/`max` aggregate values.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CandidateScalars<'a> {
+    /// Package size `|p|`.
+    pub size: usize,
+    /// The candidate's utility `U(p)` (the `c = 0` value).
+    pub utility: f64,
+    /// Cached `Σ_{sum} (w_j / Z_j) · s_j` over the candidate's items.
+    pub lin: f64,
+    /// Cached `Σ_{avg} (w_j / Z_j) · s_j` over the candidate's items.
+    pub avg_num: f64,
+    /// Current `min`/`max` aggregate value per plan term (max terms first).
+    pub mm: &'a [f64],
+}
+
+/// The per-utility preparation of the incremental bound: features classified
+/// by aggregate with their normalised weights `w_j / Z_j` attached.  Features
+/// with zero weight, a `null` aggregate or a non-positive normaliser
+/// contribute exactly 0 to every utility and are dropped.
+#[derive(Debug, Clone)]
+pub(crate) struct FeaturePlan {
+    phi: usize,
+    set_monotone: bool,
+    has_avg: bool,
+    /// `(feature, w/Z)` per weighted `sum` feature.
+    sum_terms: Vec<(usize, f64)>,
+    /// `(feature, w/Z)` per weighted `avg` feature.
+    avg_terms: Vec<(usize, f64)>,
+    /// `(feature, w/Z)` per weighted `min`/`max` feature; the first
+    /// [`FeaturePlan::num_max`] entries are `max` aggregates.
+    mm_terms: Vec<(usize, f64)>,
+    num_max: usize,
+}
+
+impl FeaturePlan {
+    /// Builds the plan for a utility (`O(m)`, once per search).
+    pub(crate) fn new(utility: &LinearUtility) -> FeaturePlan {
+        let context = utility.context();
+        let profile = context.profile();
+        let norm = context.normalizers();
+        let mut sum_terms = Vec::new();
+        let mut avg_terms = Vec::new();
+        let mut max_terms = Vec::new();
+        let mut min_terms = Vec::new();
+        for (j, &w) in utility.weights().iter().enumerate() {
+            if w == 0.0 || norm[j] <= 0.0 {
+                continue;
+            }
+            let wz = w / norm[j];
+            match profile.aggregate(j) {
+                AggregateFn::Sum => sum_terms.push((j, wz)),
+                AggregateFn::Avg => avg_terms.push((j, wz)),
+                AggregateFn::Max => max_terms.push((j, wz)),
+                AggregateFn::Min => min_terms.push((j, wz)),
+                AggregateFn::Null => {}
+            }
+        }
+        let num_max = max_terms.len();
+        let mut mm_terms = max_terms;
+        mm_terms.append(&mut min_terms);
+        FeaturePlan {
+            phi: utility.max_package_size(),
+            set_monotone: utility.is_set_monotone(),
+            has_avg: !avg_terms.is_empty(),
+            sum_terms,
+            avg_terms,
+            mm_terms,
+            num_max,
+        }
+    }
+
+    /// Number of `min`/`max` terms a candidate must carry.
+    pub(crate) fn mm_len(&self) -> usize {
+        self.mm_terms.len()
+    }
+
+    /// The `sum`/`avg` scalar summary of one point.
+    pub(crate) fn point_scalars(&self, point: &[f64]) -> PointScalars {
+        let lin = self.sum_terms.iter().map(|&(j, wz)| wz * point[j]).sum();
+        let avg_num = self.avg_terms.iter().map(|&(j, wz)| wz * point[j]).sum();
+        PointScalars { lin, avg_num }
+    }
+
+    /// Writes the point's raw value per `min`/`max` term into `out`
+    /// (`out.len() == self.mm_len()`).
+    pub(crate) fn write_mm_values(&self, point: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.mm_terms.len());
+        for (slot, &(j, _)) in out.iter_mut().zip(self.mm_terms.iter()) {
+            *slot = point[j];
+        }
+    }
+
+    /// Folds a new member's `min`/`max` values into a candidate's (`max` terms
+    /// take the maximum, `min` terms the minimum), writing into `out`, and
+    /// returns `Σ (w_j / Z_j) · folded_j`.
+    pub(crate) fn fold_mm_into(&self, current: &[f64], added: &[f64], out: &mut [f64]) -> f64 {
+        let mut weighted = 0.0;
+        for (i, &(_, wz)) in self.mm_terms.iter().enumerate() {
+            let folded = if i < self.num_max {
+                current[i].max(added[i])
+            } else {
+                current[i].min(added[i])
+            };
+            out[i] = folded;
+            weighted += wz * folded;
+        }
+        weighted
+    }
+
+    /// `Σ (w_j / Z_j) · mm_j` of a candidate's current `min`/`max` values.
+    pub(crate) fn mm_weighted_sum(&self, mm: &[f64]) -> f64 {
+        self.mm_terms
+            .iter()
+            .zip(mm.iter())
+            .map(|(&(_, wz), &v)| wz * v)
+            .sum()
+    }
+
+    /// Utility of a (non-empty) candidate from its scalars: the `O(1)`-per-
+    /// candidate replacement for [`LinearUtility::of_state`].
+    pub(crate) fn utility_from_parts(
+        &self,
+        size: usize,
+        lin: f64,
+        avg_num: f64,
+        mm_weighted: f64,
+    ) -> f64 {
+        debug_assert!(size > 0);
+        let avg = if self.has_avg {
+            avg_num / size as f64
+        } else {
+            0.0
+        };
+        lin + avg + mm_weighted
+    }
+
+    /// `Σ wz · fold(mm_j, τ_j)` — the `min`/`max` contribution of any package
+    /// holding at least one τ-copy (saturated after the first copy): `max`
+    /// terms fold upward against τ, `min` terms downward.  The single shared
+    /// reduction behind [`FeaturePlan::improvable_bound`],
+    /// [`FeaturePlan::empty_bound`] and the unfused test oracles.
+    fn mm_packed(&self, cand_mm: &[f64], tau_mm: &[f64]) -> f64 {
+        self.mm_terms
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, wz))| {
+                let folded = if i < self.num_max {
+                    cand_mm[i].max(tau_mm[i])
+                } else {
+                    cand_mm[i].min(tau_mm[i])
+                };
+                wz * folded
+            })
+            .sum()
+    }
+
+    /// `U(p ∪ c·{τ})` from precomputed scalars: candidate linear parts,
+    /// `mm_packed = Σ wz · fold(mm_j, τ_j)` and the τ scalars.
+    fn packed_value(
+        &self,
+        cand: &CandidateScalars<'_>,
+        tau: &TauScalars,
+        mm_packed: f64,
+        c: usize,
+    ) -> f64 {
+        let c_f = c as f64;
+        let avg = if self.has_avg {
+            (cand.avg_num + c_f * tau.avg_num) / (cand.size + c) as f64
+        } else {
+            0.0
+        };
+        cand.lin + c_f * tau.lin + avg + mm_packed
+    }
+
+    /// Incremental `upper-exp` (Algorithm 3) over candidate scalars: `O(mm)`
+    /// for the τ-fold plus `O(1)` per τ-copy, no allocation.  Matches
+    /// [`upper_exp`] up to floating-point association.  The hot path uses the
+    /// fused [`FeaturePlan::improvable_bound`]; this unfused form exists for
+    /// the oracle tests below.
+    #[cfg(test)]
+    pub(crate) fn upper_exp(&self, cand: &CandidateScalars<'_>, tau: &TauScalars) -> f64 {
+        if cand.size >= self.phi {
+            return cand.utility;
+        }
+        let mm_packed = self.mm_packed(cand.mm, &tau.mm);
+        if self.set_monotone {
+            return self.packed_value(cand, tau, mm_packed, self.phi - cand.size);
+        }
+        let mut best = cand.utility;
+        for c in 1..=(self.phi - cand.size) {
+            let value = self.packed_value(cand, tau, mm_packed, c);
+            if value > best {
+                best = value;
+            } else {
+                return best;
+            }
+        }
+        best
+    }
+
+    /// Incremental `can_improve` (the `U(p ∪ {τ}) > U(p)` test of
+    /// Algorithm 4) over candidate scalars; unfused test-oracle counterpart
+    /// of [`FeaturePlan::improvable_bound`].
+    #[cfg(test)]
+    pub(crate) fn can_improve(&self, cand: &CandidateScalars<'_>, tau: &TauScalars) -> bool {
+        if cand.size >= self.phi {
+            return false;
+        }
+        let mm_packed = self.mm_packed(cand.mm, &tau.mm);
+        self.packed_value(cand, tau, mm_packed, 1) > cand.utility
+    }
+
+    /// The fused classification step of the Q+ sweep: `None` if the candidate
+    /// can no longer improve under τ (it moves to Q−), otherwise its
+    /// `upper-exp` bound.  Computes the `O(mm)` τ-fold once, where calling
+    /// [`FeaturePlan::can_improve`] and [`FeaturePlan::upper_exp`] separately
+    /// would compute it twice.
+    pub(crate) fn improvable_bound(
+        &self,
+        cand: &CandidateScalars<'_>,
+        tau: &TauScalars,
+    ) -> Option<f64> {
+        if cand.size >= self.phi {
+            return None;
+        }
+        let mm_packed = self.mm_packed(cand.mm, &tau.mm);
+        let first = self.packed_value(cand, tau, mm_packed, 1);
+        if first <= cand.utility {
+            return None;
+        }
+        if self.set_monotone {
+            return Some(self.packed_value(cand, tau, mm_packed, self.phi - cand.size));
+        }
+        let mut best = first;
+        for c in 2..=(self.phi - cand.size) {
+            let value = self.packed_value(cand, tau, mm_packed, c);
+            if value > best {
+                best = value;
+            } else {
+                return Some(best);
+            }
+        }
+        Some(best)
+    }
+
+    /// The bound of the *empty* package (`Σ` over τ-copies only): seeds ηup
+    /// every access, covering packages assembled purely from unseen items.
+    pub(crate) fn empty_bound(&self, tau: &TauScalars) -> f64 {
+        // The empty package has utility 0 and min/max values that any τ-copy
+        // replaces outright, so fold(mm, τ) = τ (folding τ against itself).
+        let mm_packed = self.mm_packed(&tau.mm, &tau.mm);
+        let empty = CandidateScalars {
+            size: 0,
+            utility: 0.0,
+            lin: 0.0,
+            avg_num: 0.0,
+            mm: &[],
+        };
+        if self.set_monotone {
+            return self.packed_value(&empty, tau, mm_packed, self.phi);
+        }
+        let mut best = 0.0;
+        for c in 1..=self.phi {
+            let value = self.packed_value(&empty, tau, mm_packed, c);
+            if value > best {
+                best = value;
+            } else {
+                return best;
+            }
+        }
+        best
+    }
+
+    /// Refreshes the per-access τ scalars in place (`O(m)`, reusing buffers).
+    pub(crate) fn prepare_tau(&self, tau_point: &[f64], out: &mut TauScalars) {
+        let scalars = self.point_scalars(tau_point);
+        out.lin = scalars.lin;
+        out.avg_num = scalars.avg_num;
+        out.mm.resize(self.mm_terms.len(), 0.0);
+        self.write_mm_values(tau_point, &mut out.mm);
+    }
+}
+
+/// Per-access scalar summary of the boundary vector τ, refreshed by
+/// [`FeaturePlan::prepare_tau`] without allocating once warmed up.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TauScalars {
+    /// `Σ_{sum} (w_j / Z_j) · τ_j` — the linear gain per τ-copy.
+    pub lin: f64,
+    /// `Σ_{avg} (w_j / Z_j) · τ_j` — the shared `avg` numerator gain.
+    pub avg_num: f64,
+    /// τ value per `min`/`max` term.
+    pub mm: Vec<f64>,
 }
 
 #[cfg(test)]
@@ -161,6 +488,130 @@ mod tests {
             .unwrap();
         assert!(!can_improve(&u, &state, &[1.0, 1.0]));
         assert!((upper_exp(&u, &state, &[1.0, 1.0]) - u.of_state(&state)).abs() < 1e-12);
+    }
+
+    /// Evaluates a state through the incremental scalar machinery exactly the
+    /// way the search does, so the tests exercise the same code path.
+    fn scalars_of<'a>(
+        plan: &FeaturePlan,
+        u: &LinearUtility,
+        state: &PackageState,
+        items: &[&[f64]],
+        mm_buf: &'a mut Vec<f64>,
+    ) -> CandidateScalars<'a> {
+        let mut lin = 0.0;
+        let mut avg_num = 0.0;
+        mm_buf.clear();
+        mm_buf.resize(plan.mm_len(), 0.0);
+        for (idx, item) in items.iter().enumerate() {
+            let p = plan.point_scalars(item);
+            lin += p.lin;
+            avg_num += p.avg_num;
+            let mut values = vec![0.0; plan.mm_len()];
+            plan.write_mm_values(item, &mut values);
+            if idx == 0 {
+                mm_buf.copy_from_slice(&values);
+            } else {
+                let current = mm_buf.clone();
+                plan.fold_mm_into(&current, &values, mm_buf);
+            }
+        }
+        let utility = if items.is_empty() {
+            0.0
+        } else {
+            plan.utility_from_parts(items.len(), lin, avg_num, plan.mm_weighted_sum(mm_buf))
+        };
+        assert!((utility - u.of_state(state)).abs() < 1e-9);
+        CandidateScalars {
+            size: items.len(),
+            utility,
+            lin,
+            avg_num,
+            mm: mm_buf,
+        }
+    }
+
+    #[test]
+    fn incremental_bound_matches_reference_across_profiles_and_states() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(2024);
+        let aggregates = [
+            AggregateFn::Sum,
+            AggregateFn::Avg,
+            AggregateFn::Max,
+            AggregateFn::Min,
+            AggregateFn::Null,
+        ];
+        for trial in 0..200 {
+            let dim = rng.gen_range(1..5);
+            let n = rng.gen_range(2..7);
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())
+                .collect();
+            let catalog = Catalog::from_rows(rows.clone()).unwrap();
+            let profile = Profile::new(
+                (0..dim)
+                    .map(|_| aggregates[rng.gen_range(0..aggregates.len())])
+                    .collect(),
+            );
+            let phi = rng.gen_range(1..5);
+            let ctx = AggregationContext::new(profile, &catalog, phi).unwrap();
+            let weights: Vec<f64> = (0..dim)
+                .map(|_| {
+                    if rng.gen_range(0..4) == 0 {
+                        0.0
+                    } else {
+                        rng.gen_range(-1.0..1.0)
+                    }
+                })
+                .collect();
+            let u = LinearUtility::new(ctx, weights).unwrap();
+            let plan = FeaturePlan::new(&u);
+            let tau_point: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let mut tau = TauScalars::default();
+            plan.prepare_tau(&tau_point, &mut tau);
+
+            // The empty package plus every package prefix of random size.
+            assert!(
+                (plan.empty_bound(&tau) - upper_exp(&u, &PackageState::empty(dim), &tau_point))
+                    .abs()
+                    < 1e-9,
+                "trial {trial}: empty bound diverges"
+            );
+            let size = rng.gen_range(1..=phi.min(n));
+            let member_ids: Vec<usize> = (0..size).map(|_| rng.gen_range(0..n)).collect();
+            let mut state = PackageState::empty(dim);
+            let mut members: Vec<&[f64]> = Vec::new();
+            for &id in &member_ids {
+                state.add_item(catalog.item_unchecked(id));
+                members.push(catalog.item_unchecked(id));
+            }
+            let mut mm_buf = Vec::new();
+            let cand = scalars_of(&plan, &u, &state, &members, &mut mm_buf);
+            let fast_bound = plan.upper_exp(&cand, &tau);
+            let slow_bound = upper_exp(&u, &state, &tau_point);
+            assert!(
+                (fast_bound - slow_bound).abs() < 1e-9,
+                "trial {trial}: bound {fast_bound} vs reference {slow_bound}"
+            );
+            assert_eq!(
+                plan.can_improve(&cand, &tau),
+                can_improve(&u, &state, &tau_point),
+                "trial {trial}: can_improve diverges"
+            );
+            match plan.improvable_bound(&cand, &tau) {
+                None => assert!(!plan.can_improve(&cand, &tau)),
+                Some(bound) => {
+                    assert!(plan.can_improve(&cand, &tau));
+                    assert!(
+                        (bound - fast_bound).abs() < 1e-12,
+                        "trial {trial}: fused bound {bound} vs {fast_bound}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

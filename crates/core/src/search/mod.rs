@@ -3,18 +3,54 @@
 //! `Top-k-Pkg` sorts the items into one list per (weighted, non-null) feature,
 //! accesses those lists round-robin in the utility-preferred direction, and
 //! grows candidate packages by *utility-improving expansion*: each newly
-//! accessed item is added to every expandable candidate it improves.  Two
-//! candidate sets are maintained — `Q+` (candidates that the best possible
-//! unseen item, the boundary vector `τ`, could still improve) and `Q−`
-//! (closed candidates) — and the scan stops as soon as the optimistic bound
-//! `ηup` of any expandable candidate no longer beats the utility `ηlo` of the
-//! k-th best package found (Algorithm 2 line 8).
+//! accessed item is added to every expandable candidate it improves.  The set
+//! `Q+` of expandable candidates is re-classified after every access against
+//! the boundary vector `τ`, and the scan stops as soon as the largest
+//! optimistic bound `ηup` of any expandable candidate (or of the empty
+//! package) no longer beats the utility `ηlo` of the k-th best package found
+//! (Algorithm 2 line 8).
+//!
+//! # Hot-path design
+//!
+//! This is the innermost loop of every elicitation round (one search per
+//! weight sample per round), so the implementation is built around three
+//! allocation-free structures:
+//!
+//! * **Shared sorted lists** — per-feature item order is weight-independent;
+//!   only the scan *direction* and the set of active features vary per weight
+//!   vector.  [`top_k_packages_with_lists`] therefore takes a prebuilt
+//!   [`SortedLists`] index that the engine builds once per catalog and reuses
+//!   across every sample and round; [`top_k_packages`] builds a fresh index
+//!   for one-shot callers.
+//! * **Arena candidates** — candidates live in a struct-of-arrays slab with
+//!   parent-pointer item chains (`arena` module): an extension stores
+//!   `(parent, item)` plus a handful of incrementally-updated scalars instead
+//!   of cloning an item vector and an aggregation state.  Item vectors are
+//!   materialised only when a candidate actually enters the top-k heap, and a
+//!   mark-compact pass keeps the slab proportional to `|Q+| · φ`.
+//! * **Incremental bounds** — the per-access re-classification evaluates
+//!   `can-improve` and `upper-exp` through the closed-form τ-packing of
+//!   `bounds::FeaturePlan`: `O(m)` preparation per access, then `O(1)` per
+//!   candidate plus one term per `min`/`max` aggregate.  The termination
+//!   value `ηup` is the running maximum of those bounds, maintained by the
+//!   same sweep that re-classifies `Q+` for expansion.
+//!
+//! The pre-arena implementation (cloned candidates, state-cloning bounds,
+//! sorted-key dedup map) is preserved verbatim in [`reference`](mod@reference) as the
+//! executable specification: the `search_equivalence` integration suite
+//! checks the two paths return identical packages and utilities (statistics
+//! track each other up to floating-point ties at the ηlo pruning boundary),
+//! and the `fig_pkgsearch` benchmark races them.
 
 pub mod bounds;
 pub mod exhaustive;
+pub mod reference;
+
+mod arena;
 
 pub use bounds::{can_improve, upper_exp};
 pub use exhaustive::top_k_packages_exhaustive;
+pub use reference::top_k_packages_reference;
 
 use pkgrec_topk::{RoundRobinCursor, SortedLists, TopKHeap};
 use serde::{Deserialize, Serialize};
@@ -22,8 +58,11 @@ use serde::{Deserialize, Serialize};
 use crate::error::Result;
 use crate::item::{Catalog, ItemId};
 use crate::package::Package;
-use crate::profile::{AggregateFn, PackageState};
+use crate::profile::AggregateFn;
 use crate::utility::LinearUtility;
+
+use arena::CandidateArena;
+use bounds::{FeaturePlan, TauScalars};
 
 /// Statistics of one `Top-k-Pkg` run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,6 +78,76 @@ pub struct SearchStats {
     pub terminated_early: bool,
 }
 
+/// Running totals over many [`SearchStats`]: the per-session counters the
+/// engine aggregates across every per-sample search, surfaced through
+/// [`RecommenderState`](crate::recommender::RecommenderState) and
+/// [`ElicitationReport`](crate::elicitation::ElicitationReport) so
+/// performance work has a baseline to compare against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggregatedSearchStats {
+    /// Number of `Top-k-Pkg` runs aggregated.
+    pub searches: usize,
+    /// Total sorted accesses across all runs.
+    pub sorted_accesses: usize,
+    /// Total distinct items accessed across all runs.
+    pub items_accessed: usize,
+    /// Total candidate packages created across all runs.
+    pub candidates_created: usize,
+    /// Number of runs that terminated on the bound test before exhausting the
+    /// lists.
+    pub early_terminations: usize,
+}
+
+impl AggregatedSearchStats {
+    /// Folds one run's statistics into the totals.
+    pub fn record(&mut self, stats: &SearchStats) {
+        self.searches += 1;
+        self.sorted_accesses += stats.sorted_accesses;
+        self.items_accessed += stats.items_accessed;
+        self.candidates_created += stats.candidates_created;
+        if stats.terminated_early {
+            self.early_terminations += 1;
+        }
+    }
+
+    /// Merges another aggregate into this one (used to join per-thread
+    /// accumulators).
+    pub fn merge(&mut self, other: &AggregatedSearchStats) {
+        self.searches += other.searches;
+        self.sorted_accesses += other.sorted_accesses;
+        self.items_accessed += other.items_accessed;
+        self.candidates_created += other.candidates_created;
+        self.early_terminations += other.early_terminations;
+    }
+
+    /// The totals accumulated since `baseline` was captured (saturating, so a
+    /// reset between captures degrades gracefully to the current totals).
+    pub fn delta_since(&self, baseline: &AggregatedSearchStats) -> AggregatedSearchStats {
+        AggregatedSearchStats {
+            searches: self.searches.saturating_sub(baseline.searches),
+            sorted_accesses: self
+                .sorted_accesses
+                .saturating_sub(baseline.sorted_accesses),
+            items_accessed: self.items_accessed.saturating_sub(baseline.items_accessed),
+            candidates_created: self
+                .candidates_created
+                .saturating_sub(baseline.candidates_created),
+            early_terminations: self
+                .early_terminations
+                .saturating_sub(baseline.early_terminations),
+        }
+    }
+
+    /// Fraction of runs that terminated early (0 when nothing was recorded).
+    pub fn early_termination_rate(&self) -> f64 {
+        if self.searches == 0 {
+            0.0
+        } else {
+            self.early_terminations as f64 / self.searches as f64
+        }
+    }
+}
+
 /// Result of a `Top-k-Pkg` run: the packages (best first, with utilities) and
 /// the run statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -50,39 +159,23 @@ pub struct SearchResult {
 }
 
 impl SearchResult {
-    /// The packages without their scores.
+    /// Borrows the packages, best first, without cloning — for callers that
+    /// only read.
+    pub fn iter_packages(&self) -> impl Iterator<Item = &Package> + '_ {
+        self.packages.iter().map(|(p, _)| p)
+    }
+
+    /// Consumes the result into its packages, best first, dropping the
+    /// utilities without cloning any package.
+    pub fn into_packages(self) -> Vec<Package> {
+        self.packages.into_iter().map(|(p, _)| p).collect()
+    }
+
+    /// The packages without their scores, cloned; prefer
+    /// [`SearchResult::iter_packages`] (read-only) or
+    /// [`SearchResult::into_packages`] (owned) where they fit.
     pub fn packages_only(&self) -> Vec<Package> {
         self.packages.iter().map(|(p, _)| p.clone()).collect()
-    }
-}
-
-/// A candidate package being grown by the expansion phase.
-#[derive(Debug, Clone)]
-struct Candidate {
-    items: Vec<ItemId>,
-    state: PackageState,
-    utility: f64,
-}
-
-impl Candidate {
-    fn empty(dim: usize) -> Self {
-        Candidate {
-            items: Vec::new(),
-            state: PackageState::empty(dim),
-            utility: 0.0,
-        }
-    }
-
-    fn extend(&self, item: ItemId, features: &[f64], utility: &LinearUtility) -> Candidate {
-        let state = self.state.with_item(features);
-        let mut items = self.items.clone();
-        items.push(item);
-        let value = utility.of_state(&state);
-        Candidate {
-            items,
-            state,
-            utility: value,
-        }
     }
 }
 
@@ -93,19 +186,64 @@ impl Candidate {
 /// before the `ηup ≤ ηlo` test fires.  Candidates whose optimistic bound
 /// cannot beat the current `ηlo` are dropped (sound), and if `Q+` still
 /// exceeds this cap only the candidates with the largest optimistic bounds are
-/// kept (a beam restriction; documented in DESIGN.md).
-const MAX_EXPANDABLE_CANDIDATES: usize = 20_000;
+/// kept (a beam restriction).
+pub(crate) const MAX_EXPANDABLE_CANDIDATES: usize = 20_000;
+
+/// Arena sizes below this are never compacted (compaction bookkeeping would
+/// dominate on small scans).
+const COMPACT_FLOOR: usize = 4_096;
+
+/// Compaction triggers when the arena holds this many times more nodes than
+/// the worst-case live set `|Q+| · φ`; the factor keeps the amortised
+/// collection cost per created candidate constant.
+const COMPACT_SLACK: usize = 8;
 
 /// The `Top-k-Pkg` algorithm (Algorithm 2): returns the top-k packages for a
 /// fixed utility function over the catalog, where package size ranges from 1
 /// to the context's maximum package size φ.
+///
+/// Builds the per-feature sorted lists for this one call; loops that search
+/// the same catalog repeatedly (one search per weight sample per round)
+/// should build the index once and call [`top_k_packages_with_lists`].
 pub fn top_k_packages(
     utility: &LinearUtility,
     catalog: &Catalog,
     k: usize,
 ) -> Result<SearchResult> {
+    let lists = SortedLists::new(catalog.rows());
+    top_k_packages_with_lists(utility, catalog, &lists, k)
+}
+
+/// [`top_k_packages`] over a prebuilt [`SortedLists`] index of the catalog.
+///
+/// The index is weight-independent (construction sorts each feature column
+/// once), so one index serves every weight vector: the engine caches it per
+/// catalog and reuses it across all samples and rounds.
+///
+/// # Panics
+/// In debug builds, panics if the index does not match the catalog's shape.
+pub fn top_k_packages_with_lists(
+    utility: &LinearUtility,
+    catalog: &Catalog,
+    lists: &SortedLists,
+    k: usize,
+) -> Result<SearchResult> {
     let dim = utility.dim();
+    debug_assert_eq!(lists.dim(), dim, "index dimensionality matches catalog");
+    debug_assert_eq!(lists.len(), catalog.len(), "index length matches catalog");
+    if k == 0 {
+        return Ok(SearchResult {
+            packages: Vec::new(),
+            stats: SearchStats {
+                sorted_accesses: 0,
+                items_accessed: 0,
+                candidates_created: 0,
+                terminated_early: false,
+            },
+        });
+    }
     let phi = utility.max_package_size();
+    let plan = FeaturePlan::new(utility);
     // Effective query: the per-feature access direction follows the weight
     // sign; features with zero weight or a null aggregate contribute nothing
     // and are skipped by the round-robin cursor.
@@ -118,74 +256,94 @@ pub fn top_k_packages(
             }
         })
         .collect();
-    let lists = SortedLists::new(catalog.rows());
-    let mut cursor = RoundRobinCursor::for_query(&lists, &effective_query);
+    let mut cursor = RoundRobinCursor::for_query(lists, &effective_query);
 
-    let mut q_plus: Vec<Candidate> = Vec::new();
-    let empty_state = PackageState::empty(dim);
-    let mut q_minus_count = 0usize;
-    let mut best = TopKHeap::new(k);
-    let mut best_by_key: std::collections::HashMap<Vec<ItemId>, f64> =
-        std::collections::HashMap::new();
-    let mut seen_items: std::collections::HashSet<ItemId> = std::collections::HashSet::new();
+    let mut arena = CandidateArena::new(plan.mm_len());
+    let mut q_plus: Vec<u32> = Vec::new();
+    let mut next_q_plus: Vec<(u32, f64)> = Vec::new();
+    let mut best: TopKHeap<Vec<ItemId>> = TopKHeap::new(k);
+    let mut seen = vec![false; catalog.len()];
+    let mut items_accessed = 0usize;
     let mut candidates_created = 0usize;
     let mut terminated_early = false;
+    // Reusable per-access buffers: the loop allocates nothing once warm.
+    let mut tau_point = vec![0.0; dim];
+    let mut tau = TauScalars::default();
+    let mut item_mm = vec![0.0; plan.mm_len()];
+    let mut scratch_mm = vec![0.0; plan.mm_len()];
+    let mut items_buf: Vec<ItemId> = Vec::new();
 
-    if k == 0 {
-        return Ok(SearchResult {
-            packages: Vec::new(),
-            stats: SearchStats {
-                sorted_accesses: 0,
-                items_accessed: 0,
-                candidates_created: 0,
-                terminated_early: false,
-            },
-        });
+    // Offers a newly created candidate to the top-k heap, materialising its
+    // item vector only if it would actually be retained (created candidate
+    // sets are unique — each contains the newest item — so no dedup map is
+    // needed).
+    fn record(
+        best: &mut TopKHeap<Vec<ItemId>>,
+        arena: &CandidateArena,
+        node: u32,
+        items_buf: &mut Vec<ItemId>,
+    ) {
+        let utility = arena.utility(node);
+        // `>=` rather than `would_accept`'s `>`: an equal score can still
+        // evict on the heap's lexicographically-smaller-item-set tie-break,
+        // exactly as the reference path's unconditional push does.
+        let accept = !best.is_full() || best.threshold().map(|t| utility >= t).unwrap_or(true);
+        if accept {
+            arena.collect_items(node, items_buf);
+            best.push(items_buf.clone(), utility);
+        }
     }
 
     while let Some(access) = cursor.next_access() {
-        if !seen_items.insert(access.id) {
+        if seen[access.id] {
             continue;
         }
-        let item_features = catalog.item_unchecked(access.id);
-        let tau = cursor.boundary();
+        seen[access.id] = true;
+        items_accessed += 1;
+        let features = catalog.item_unchecked(access.id);
+        cursor.write_boundary(&mut tau_point);
+        plan.prepare_tau(&tau_point, &mut tau);
+        let item_scalars = plan.point_scalars(features);
+        plan.write_mm_values(features, &mut item_mm);
 
         // Expansion phase (Algorithm 4): seed a singleton candidate for the
-        // newly accessed item, try to extend every expandable candidate with
-        // it, then re-classify candidates against the updated boundary vector
-        // τ.  (Seeding every singleton — rather than only utility-improving
-        // ones — guarantees that packages whose first item is individually
-        // unattractive can still be assembled; see DESIGN.md.)
-        let mut eta_up = upper_exp(utility, &empty_state, &tau);
-        let mut next_q_plus: Vec<(Candidate, f64)> = Vec::with_capacity(q_plus.len() * 2);
-        let mut new_candidates: Vec<Candidate> = Vec::new();
-        new_candidates.push(Candidate::empty(dim).extend(access.id, item_features, utility));
+        // newly accessed item (seeding every singleton — rather than only
+        // utility-improving ones — guarantees that packages whose first item
+        // is individually unattractive can still be assembled), then try to
+        // extend every expandable candidate with it.
+        let first_new = arena.len() as u32;
+        let singleton = arena.push_singleton(&plan, access.id, item_scalars, &item_mm);
         candidates_created += 1;
-        for candidate in &q_plus {
-            if candidate.items.len() < phi {
-                let extended = candidate.extend(access.id, item_features, utility);
-                if extended.utility > candidate.utility {
+        record(&mut best, &arena, singleton, &mut items_buf);
+        for &node in &q_plus {
+            if arena.size(node) < phi {
+                if let Some(extended) = arena.try_extend(
+                    &plan,
+                    node,
+                    access.id,
+                    item_scalars,
+                    &item_mm,
+                    &mut scratch_mm,
+                ) {
                     candidates_created += 1;
-                    new_candidates.push(extended);
+                    record(&mut best, &arena, extended, &mut items_buf);
                 }
             }
         }
-        for candidate in q_plus.drain(..).chain(new_candidates) {
-            // Record every non-empty candidate as a found package.
-            if !candidate.items.is_empty() {
-                let mut sorted_items = candidate.items.clone();
-                sorted_items.sort_unstable();
-                if !best_by_key.contains_key(&sorted_items) {
-                    best_by_key.insert(sorted_items.clone(), candidate.utility);
-                    best.push(sorted_items, candidate.utility);
+
+        // Re-classification sweep against the updated τ: every surviving or
+        // new candidate either stays expandable (carrying its fresh bound) or
+        // closes into Q−; ηup is the running maximum of the fresh bounds,
+        // seeded by the empty-package bound so packages assembled purely from
+        // unseen items are always covered.
+        let mut eta_up = plan.empty_bound(&tau);
+        next_q_plus.clear();
+        for node in q_plus.iter().copied().chain(first_new..arena.len() as u32) {
+            if let Some(bound) = plan.improvable_bound(&arena.scalars(node), &tau) {
+                if bound > eta_up {
+                    eta_up = bound;
                 }
-            }
-            if can_improve(utility, &candidate.state, &tau) {
-                let bound = upper_exp(utility, &candidate.state, &tau);
-                eta_up = eta_up.max(bound);
-                next_q_plus.push((candidate, bound));
-            } else {
-                q_minus_count += 1;
+                next_q_plus.push((node, bound));
             }
         }
 
@@ -199,24 +357,30 @@ pub fn top_k_packages(
         // Candidates whose optimistic bound cannot beat ηlo are closed: no
         // extension of them (with items dominated by τ) can enter the top-k.
         if best.is_full() {
-            next_q_plus.retain(|(_, bound)| *bound > eta_lo);
+            next_q_plus.retain(|&(_, bound)| bound > eta_lo);
         }
-        // Beam safeguard against combinatorial growth of Q+.
+        // Beam safeguard against combinatorial growth of Q+ (stable sort, so
+        // equal bounds keep their discovery order).
         if next_q_plus.len() > MAX_EXPANDABLE_CANDIDATES {
             next_q_plus.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             next_q_plus.truncate(MAX_EXPANDABLE_CANDIDATES);
         }
-        q_plus = next_q_plus.into_iter().map(|(c, _)| c).collect();
+        q_plus.clear();
+        q_plus.extend(next_q_plus.iter().map(|&(node, _)| node));
 
-        // ηup always covers packages assembled purely from unseen items (the
-        // empty-state bound), so the scan may only stop on the bound test.
         if eta_up <= eta_lo {
             terminated_early = true;
             break;
         }
+
+        // Chains pin ancestors, so the arena only grows; compact it once the
+        // dead fraction dominates the worst-case live set |Q+| · φ.
+        let live_upper = q_plus.len() * phi + 1;
+        if arena.len() > COMPACT_FLOOR && arena.len() > COMPACT_SLACK * live_upper {
+            arena.compact(&mut q_plus);
+        }
     }
 
-    let _ = q_minus_count;
     let packages = best
         .into_sorted()
         .into_iter()
@@ -231,13 +395,12 @@ pub fn top_k_packages(
         packages,
         stats: SearchStats {
             sorted_accesses: cursor.accesses(),
-            items_accessed: seen_items.len(),
+            items_accessed,
             candidates_created,
             terminated_early,
         },
     })
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,5 +569,95 @@ mod tests {
         for (p, s) in &result.packages {
             assert!((u.of_package(&catalog, p).unwrap() - s).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn arena_path_matches_the_clone_based_reference() {
+        // Random instances across all aggregate kinds (including null) and
+        // both set-monotone and non-monotone weight signs: the optimised path
+        // must reproduce the reference's packages, utilities and statistics.
+        let mut rng = StdRng::seed_from_u64(1234);
+        let aggregates = [
+            AggregateFn::Sum,
+            AggregateFn::Avg,
+            AggregateFn::Max,
+            AggregateFn::Min,
+            AggregateFn::Null,
+        ];
+        for trial in 0..40 {
+            let dim = rng.gen_range(1..5);
+            let n = rng.gen_range(3..15);
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())
+                .collect();
+            let catalog = Catalog::from_rows(rows).unwrap();
+            let profile = crate::profile::Profile::new(
+                (0..dim)
+                    .map(|_| aggregates[rng.gen_range(0..aggregates.len())])
+                    .collect(),
+            );
+            let phi = rng.gen_range(1..5);
+            let ctx = AggregationContext::new(profile, &catalog, phi).unwrap();
+            let weights: Vec<f64> = (0..dim)
+                .map(|_| {
+                    if rng.gen_range(0..5) == 0 {
+                        0.0
+                    } else {
+                        rng.gen_range(-1.0..1.0)
+                    }
+                })
+                .collect();
+            let u = LinearUtility::new(ctx, weights).unwrap();
+            let k = rng.gen_range(1..6);
+            let fast = top_k_packages(&u, &catalog, k).unwrap();
+            let reference = top_k_packages_reference(&u, &catalog, k).unwrap();
+            assert_eq!(
+                fast.packages.len(),
+                reference.packages.len(),
+                "trial {trial}"
+            );
+            for ((fp, fs), (rp, rs)) in fast.packages.iter().zip(reference.packages.iter()) {
+                assert_eq!(fp, rp, "trial {trial}: packages diverge");
+                assert!(
+                    (fs - rs).abs() < 1e-9,
+                    "trial {trial}: utilities diverge: {fs} vs {rs}"
+                );
+            }
+            assert_eq!(fast.stats, reference.stats, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn prebuilt_lists_give_identical_results() {
+        let (catalog, u) = figure1_setup(vec![-0.3, 0.8]);
+        let lists = pkgrec_topk::SortedLists::new(catalog.rows());
+        let fresh = top_k_packages(&u, &catalog, 4).unwrap();
+        let shared = top_k_packages_with_lists(&u, &catalog, &lists, 4).unwrap();
+        assert_eq!(fresh, shared);
+        // The index survives reuse under a different weight vector.
+        let (_, u2) = figure1_setup(vec![0.5, 0.1]);
+        let reused = top_k_packages_with_lists(&u2, &catalog, &lists, 2).unwrap();
+        assert_eq!(reused, top_k_packages(&u2, &catalog, 2).unwrap());
+    }
+
+    #[test]
+    fn aggregated_stats_accumulate_and_report_rates() {
+        let (catalog, u) = figure1_setup(vec![0.5, 0.1]);
+        let result = top_k_packages(&u, &catalog, 2).unwrap();
+        let mut agg = AggregatedSearchStats::default();
+        assert_eq!(agg.early_termination_rate(), 0.0);
+        agg.record(&result.stats);
+        agg.record(&result.stats);
+        assert_eq!(agg.searches, 2);
+        assert_eq!(agg.sorted_accesses, 2 * result.stats.sorted_accesses);
+        let mut merged = AggregatedSearchStats::default();
+        merged.merge(&agg);
+        assert_eq!(merged, agg);
+        let delta = merged.delta_since(&agg);
+        assert_eq!(delta.searches, 0);
+        let full = merged.delta_since(&AggregatedSearchStats::default());
+        assert_eq!(full, merged);
+        let rate = agg.early_termination_rate();
+        assert!((0.0..=1.0).contains(&rate));
     }
 }

@@ -1,0 +1,183 @@
+//! The clone-based `Top-k-Pkg` reference implementation.
+//!
+//! This is the pre-arena hot path, kept verbatim as an executable
+//! specification: every candidate owns its item vector and a cloned
+//! [`PackageState`], bounds re-evaluate the state per τ-copy through
+//! [`super::bounds::upper_exp`], and found packages are deduplicated through a
+//! sorted-key map.  The optimised [`super::top_k_packages`] must return the
+//! same packages and utilities (see the `search_equivalence` suite in the
+//! integration tests), and the `fig_pkgsearch` benchmark measures the two
+//! paths against each other.  It is *not* part of the serving path — call
+//! [`super::top_k_packages`] instead.
+
+use pkgrec_topk::{RoundRobinCursor, SortedLists, TopKHeap};
+
+use crate::error::Result;
+use crate::item::{Catalog, ItemId};
+use crate::package::Package;
+use crate::profile::{AggregateFn, PackageState};
+use crate::utility::LinearUtility;
+
+use super::bounds::{can_improve, upper_exp};
+use super::{SearchResult, SearchStats, MAX_EXPANDABLE_CANDIDATES};
+
+/// A candidate package being grown by the expansion phase, owning its item
+/// vector and aggregation state (cloned on every extension).
+#[derive(Debug, Clone)]
+struct Candidate {
+    items: Vec<ItemId>,
+    state: PackageState,
+    utility: f64,
+}
+
+impl Candidate {
+    fn empty(dim: usize) -> Self {
+        Candidate {
+            items: Vec::new(),
+            state: PackageState::empty(dim),
+            utility: 0.0,
+        }
+    }
+
+    fn extend(&self, item: ItemId, features: &[f64], utility: &LinearUtility) -> Candidate {
+        let state = self.state.with_item(features);
+        let mut items = self.items.clone();
+        items.push(item);
+        let value = utility.of_state(&state);
+        Candidate {
+            items,
+            state,
+            utility: value,
+        }
+    }
+}
+
+/// The clone-based `Top-k-Pkg` (Algorithm 2) — see the module docs.  Builds
+/// its own sorted lists per call, exactly like the pre-arena path did.
+pub fn top_k_packages_reference(
+    utility: &LinearUtility,
+    catalog: &Catalog,
+    k: usize,
+) -> Result<SearchResult> {
+    let dim = utility.dim();
+    let phi = utility.max_package_size();
+    let effective_query: Vec<f64> = (0..dim)
+        .map(|j| {
+            if utility.context().profile().aggregate(j) == AggregateFn::Null {
+                0.0
+            } else {
+                utility.weights()[j]
+            }
+        })
+        .collect();
+    let lists = SortedLists::new(catalog.rows());
+    let mut cursor = RoundRobinCursor::for_query(&lists, &effective_query);
+
+    let mut q_plus: Vec<Candidate> = Vec::new();
+    let empty_state = PackageState::empty(dim);
+    let mut best = TopKHeap::new(k);
+    let mut best_by_key: std::collections::HashMap<Vec<ItemId>, f64> =
+        std::collections::HashMap::new();
+    let mut seen_items: std::collections::HashSet<ItemId> = std::collections::HashSet::new();
+    let mut candidates_created = 0usize;
+    let mut terminated_early = false;
+
+    if k == 0 {
+        return Ok(SearchResult {
+            packages: Vec::new(),
+            stats: SearchStats {
+                sorted_accesses: 0,
+                items_accessed: 0,
+                candidates_created: 0,
+                terminated_early: false,
+            },
+        });
+    }
+
+    while let Some(access) = cursor.next_access() {
+        if !seen_items.insert(access.id) {
+            continue;
+        }
+        let item_features = catalog.item_unchecked(access.id);
+        let tau = cursor.boundary();
+
+        // Expansion phase (Algorithm 4): seed a singleton candidate for the
+        // newly accessed item, try to extend every expandable candidate with
+        // it, then re-classify candidates against the updated boundary vector
+        // τ.
+        let mut eta_up = upper_exp(utility, &empty_state, &tau);
+        let mut next_q_plus: Vec<(Candidate, f64)> = Vec::with_capacity(q_plus.len() * 2);
+        let mut new_candidates: Vec<Candidate> = Vec::new();
+        new_candidates.push(Candidate::empty(dim).extend(access.id, item_features, utility));
+        candidates_created += 1;
+        for candidate in &q_plus {
+            if candidate.items.len() < phi {
+                let extended = candidate.extend(access.id, item_features, utility);
+                if extended.utility > candidate.utility {
+                    candidates_created += 1;
+                    new_candidates.push(extended);
+                }
+            }
+        }
+        for candidate in q_plus.drain(..).chain(new_candidates) {
+            // Record every non-empty candidate as a found package.
+            if !candidate.items.is_empty() {
+                let mut sorted_items = candidate.items.clone();
+                sorted_items.sort_unstable();
+                if !best_by_key.contains_key(&sorted_items) {
+                    best_by_key.insert(sorted_items.clone(), candidate.utility);
+                    best.push(sorted_items, candidate.utility);
+                }
+            }
+            if can_improve(utility, &candidate.state, &tau) {
+                let bound = upper_exp(utility, &candidate.state, &tau);
+                eta_up = eta_up.max(bound);
+                next_q_plus.push((candidate, bound));
+            }
+        }
+
+        // Termination test (Algorithm 2 line 8): ηlo is the utility of the
+        // k-th best package found so far, or 0 while fewer than k exist.
+        let eta_lo = if best.is_full() {
+            best.threshold().unwrap_or(0.0)
+        } else {
+            0.0
+        };
+        if best.is_full() {
+            next_q_plus.retain(|(_, bound)| *bound > eta_lo);
+        }
+        // Beam safeguard against combinatorial growth of Q+.
+        if next_q_plus.len() > MAX_EXPANDABLE_CANDIDATES {
+            next_q_plus.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            next_q_plus.truncate(MAX_EXPANDABLE_CANDIDATES);
+        }
+        q_plus = next_q_plus.into_iter().map(|(c, _)| c).collect();
+
+        // ηup always covers packages assembled purely from unseen items (the
+        // empty-state bound), so the scan may only stop on the bound test.
+        if eta_up <= eta_lo {
+            terminated_early = true;
+            break;
+        }
+    }
+
+    let packages = best
+        .into_sorted()
+        .into_iter()
+        .map(|(items, score)| {
+            (
+                Package::new(items).expect("candidates are non-empty"),
+                score,
+            )
+        })
+        .collect();
+    Ok(SearchResult {
+        packages,
+        stats: SearchStats {
+            sorted_accesses: cursor.accesses(),
+            items_accessed: seen_items.len(),
+            candidates_created,
+            terminated_early,
+        },
+    })
+}

@@ -44,7 +44,7 @@ impl Direction {
 /// shared by any number of cursors.  The points themselves are kept in one
 /// contiguous row-major buffer (`len × dim`), so candidate scoring and
 /// boundary lookups read sequential memory.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SortedLists {
     /// `order[d][rank]` = index of the point with the `rank`-th largest value
     /// on dimension `d`.
@@ -299,19 +299,34 @@ impl<'a> RoundRobinCursor<'a> {
     /// list has not been touched yet).  Inactive dimensions report the value a
     /// query with zero weight would ignore anyway (their best value).
     pub fn boundary(&self) -> Vec<f64> {
-        (0..self.lists.dim())
-            .map(|d| {
-                let seen = self.positions[d];
-                let rank = if seen == 0 {
-                    0
-                } else {
-                    (seen - 1).min(self.lists.len().saturating_sub(1))
-                };
-                self.lists
-                    .value_at(d, rank, self.directions[d])
-                    .unwrap_or(0.0)
-            })
-            .collect()
+        let mut out = vec![0.0; self.lists.dim()];
+        self.write_boundary(&mut out);
+        out
+    }
+
+    /// Writes the boundary vector `τ` into a caller-owned buffer — the
+    /// allocation-free form hot scan loops call once per sorted access.
+    ///
+    /// # Panics
+    /// Panics if `out.len()` differs from the index dimensionality.
+    pub fn write_boundary(&self, out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            self.lists.dim(),
+            "boundary buffer must have one slot per dimension"
+        );
+        for (d, slot) in out.iter_mut().enumerate() {
+            let seen = self.positions[d];
+            let rank = if seen == 0 {
+                0
+            } else {
+                (seen - 1).min(self.lists.len().saturating_sub(1))
+            };
+            *slot = self
+                .lists
+                .value_at(d, rank, self.directions[d])
+                .unwrap_or(0.0);
+        }
     }
 
     /// Upper bound of `query · x` over every *unseen* point, computed from the
@@ -424,6 +439,27 @@ mod tests {
         assert_eq!(cursor.boundary(), vec![0.7, 0.9]);
         let ub = cursor.upper_bound(&[1.0, 1.0]);
         assert!((ub - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_boundary_matches_boundary_without_allocating_per_call() {
+        let lists = SortedLists::new(&sample_points());
+        let mut cursor =
+            RoundRobinCursor::new(&lists, vec![Direction::Descending, Direction::Ascending]);
+        let mut buf = vec![0.0; 2];
+        for _ in 0..5 {
+            cursor.write_boundary(&mut buf);
+            assert_eq!(buf, cursor.boundary());
+            cursor.next_access();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one slot per dimension")]
+    fn write_boundary_rejects_misshaped_buffers() {
+        let lists = SortedLists::new(&sample_points());
+        let cursor = RoundRobinCursor::new(&lists, vec![Direction::Descending; 2]);
+        cursor.write_boundary(&mut [0.0]);
     }
 
     #[test]

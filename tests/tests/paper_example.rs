@@ -60,7 +60,14 @@ fn search_and_exhaustive_agree_on_the_running_example() {
         let utility = LinearUtility::new(context.clone(), w.to_vec()).unwrap();
         let fast = top_k_packages(&utility, &catalog, 6).unwrap();
         let slow = top_k_packages_exhaustive(&utility, &catalog, 6).unwrap();
-        assert_eq!(fast.packages, slow, "weights {w:?}");
+        // Same packages in the same order; utilities agree up to the
+        // floating-point association difference between the search's
+        // incremental evaluation and the exhaustive recomputation.
+        assert_eq!(fast.packages.len(), slow.len(), "weights {w:?}");
+        for ((fp, fs), (sp, ss)) in fast.packages.iter().zip(slow.iter()) {
+            assert_eq!(fp, sp, "weights {w:?}");
+            assert!((fs - ss).abs() < 1e-12, "weights {w:?}: {fs} vs {ss}");
+        }
     }
 }
 
