@@ -484,6 +484,93 @@ impl Recommender for SkylineSession {
     }
 }
 
+/// A serialisable recipe for constructing a baseline session — the
+/// store-constructible factory consumed by the serving layer (`pkgrec-serve`).
+///
+/// Each variant carries exactly the catalog-independent parameters of the
+/// matching adapter constructor; [`BaselineSpec::build`] combines them with a
+/// catalog, a profile and φ into a boxed [`Recommender`], so a session store
+/// can persist the spec (it is plain serde data) and rebuild the session on
+/// demand — e.g. when replaying a session journal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BaselineSpec {
+    /// An [`EmRefitSession`] with the given configuration.
+    EmRefit(EmRefitConfig),
+    /// A [`HardConstraintSession`]: maximise one feature subject to budgets.
+    HardConstraint {
+        /// Index of the aggregate feature to maximise.
+        objective_feature: usize,
+        /// Upper bounds on other aggregate features.
+        budgets: Vec<BudgetConstraint>,
+        /// Number of packages recommended per round.
+        k: usize,
+    },
+    /// A [`SkylineSession`] over packages of a fixed cardinality.
+    Skyline {
+        /// Exact number of items per presented package.
+        cardinality: usize,
+        /// Optimisation direction per aggregate feature.
+        directions: Vec<FeatureDirection>,
+        /// Number of packages recommended per round.
+        k: usize,
+    },
+}
+
+impl BaselineSpec {
+    /// The session label this spec builds (matches
+    /// [`RecommenderState::label`]).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BaselineSpec::EmRefit(_) => "em-refit",
+            BaselineSpec::HardConstraint { .. } => "hard-constraint",
+            BaselineSpec::Skyline { .. } => "skyline",
+        }
+    }
+
+    /// Constructs the session over a catalog: the factory behind
+    /// [`pkgrec_core::recommender::Recommender`]-typed session stores.  The
+    /// box is `Send` so stores can move sessions across shard threads.
+    pub fn build(
+        &self,
+        catalog: Catalog,
+        profile: Profile,
+        max_package_size: usize,
+    ) -> Result<Box<dyn Recommender + Send>> {
+        Ok(match self {
+            BaselineSpec::EmRefit(config) => Box::new(EmRefitSession::new(
+                catalog,
+                profile,
+                max_package_size,
+                config.clone(),
+            )?),
+            BaselineSpec::HardConstraint {
+                objective_feature,
+                budgets,
+                k,
+            } => Box::new(HardConstraintSession::new(
+                catalog,
+                profile,
+                max_package_size,
+                *objective_feature,
+                budgets.clone(),
+                *k,
+            )?),
+            BaselineSpec::Skyline {
+                cardinality,
+                directions,
+                k,
+            } => Box::new(SkylineSession::new(
+                catalog,
+                profile,
+                max_package_size,
+                *cardinality,
+                directions.clone(),
+                *k,
+            )?),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

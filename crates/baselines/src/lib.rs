@@ -36,7 +36,9 @@ pub mod exhaustive {
     pub use pkgrec_core::search::exhaustive::top_k_packages_exhaustive;
 }
 
-pub use adapters::{EmRefitConfig, EmRefitSession, HardConstraintSession, SkylineSession};
+pub use adapters::{
+    BaselineSpec, EmRefitConfig, EmRefitSession, HardConstraintSession, SkylineSession,
+};
 pub use em_refit::{EmRefitRecommender, EmRefitStats};
 pub use hard_constraint::{hard_constraint_top_k, BudgetConstraint};
-pub use skyline::{skyline_packages, SkylineStats};
+pub use skyline::{skyline_packages, FeatureDirection, SkylineStats};

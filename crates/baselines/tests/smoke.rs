@@ -1,10 +1,34 @@
-//! Manifest smoke test: the exhaustive ground-truth re-export and the skyline
-//! baseline, driven through the public API.
+//! Baseline coverage through the public API: the exhaustive re-export, the
+//! raw skyline scan, and — the real surface — every session adapter driven
+//! for three elicitation rounds through `&mut dyn Recommender`, exactly the
+//! way session drivers (`run_elicitation`, the fig8 harness, the serving
+//! store) consume them.
 
 use pkgrec_baselines::exhaustive::top_k_packages_exhaustive;
 use pkgrec_baselines::skyline::FeatureDirection;
-use pkgrec_baselines::skyline_packages;
-use pkgrec_core::{AggregationContext, Catalog, LinearUtility, Profile};
+use pkgrec_baselines::{
+    skyline_packages, BaselineSpec, BudgetConstraint, EmRefitConfig, EmRefitSession,
+    HardConstraintSession, SkylineSession,
+};
+use pkgrec_core::{
+    AggregationContext, Catalog, Feedback, LinearUtility, Profile, Recommender, SimulatedUser,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn catalog() -> Catalog {
+    Catalog::from_rows(vec![
+        vec![0.6, 0.2],
+        vec![0.4, 0.4],
+        vec![0.2, 0.4],
+        vec![0.9, 0.8],
+        vec![0.3, 0.7],
+        vec![0.1, 0.3],
+        vec![0.5, 0.9],
+        vec![0.7, 0.1],
+    ])
+    .expect("valid catalog")
+}
 
 #[test]
 fn exhaustive_and_skyline_smoke() {
@@ -26,4 +50,145 @@ fn exhaustive_and_skyline_smoke() {
         skyline_packages(&context, &catalog, 2, &dirs).expect("skyline succeeds");
     assert_eq!(packages.len(), stats.skyline_size);
     assert!(stats.skyline_size >= 1);
+}
+
+/// Drives a session for three elicitation rounds through the trait object
+/// (clicks follow a hidden utility, so feedback stays satisfiable) and
+/// checks the invariants every adapter must uphold: non-empty, duplicate-free
+/// recommendations of the configured size, and a `state()` summary that
+/// tracks the rounds consistently.
+fn drive_three_rounds(recommender: &mut dyn Recommender, expected_label: &str, k: usize) {
+    let catalog = recommender.catalog().clone();
+    let context =
+        AggregationContext::new(Profile::cost_quality(), &catalog, 2).expect("valid context");
+    let user = SimulatedUser::new(LinearUtility::new(context, vec![-0.7, 0.6]).unwrap());
+    let mut rng = StdRng::seed_from_u64(61);
+
+    let initial = recommender.state();
+    assert_eq!(initial.label, expected_label);
+    assert_eq!(initial.k, k);
+    assert_eq!(initial.rounds, 0);
+
+    for round in 1..=3 {
+        let shown = recommender.present(&mut rng).expect("present succeeds");
+        assert!(!shown.is_empty(), "{expected_label}: empty presentation");
+        let choice = user.choose(&catalog, &shown, &mut rng).unwrap();
+        recommender
+            .record_feedback(&shown, Feedback::Click { index: choice }, &mut rng)
+            .expect("feedback is absorbed");
+        let state = recommender.state();
+        assert_eq!(state.rounds, round, "{expected_label}: rounds drifted");
+        assert_eq!(state.label, expected_label);
+
+        let recs = recommender.recommend(&mut rng).expect("recommend succeeds");
+        assert!(
+            !recs.is_empty() && recs.len() <= k,
+            "{expected_label}: {} recommendations for k = {k}",
+            recs.len()
+        );
+        let mut unique = recs.iter().map(|r| r.package.clone()).collect::<Vec<_>>();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), recs.len(), "{expected_label}: duplicates");
+        // Scores arrive best-first.
+        for pair in recs.windows(2) {
+            assert!(pair[0].score >= pair[1].score, "{expected_label}: order");
+        }
+    }
+
+    let end = recommender.state();
+    assert_eq!(end.rounds, 3);
+    // Learning adapters accumulated preferences; static ones stayed at 0.
+    if expected_label == "em-refit" {
+        assert!(end.preferences > 0, "em-refit absorbed nothing");
+        assert!(end.pool_size > 0, "em-refit lost its pool");
+        assert!(end.search.searches > 0, "em-refit never ran Top-k-Pkg");
+    } else {
+        assert_eq!(end.preferences, 0, "{expected_label} cannot learn");
+        assert_eq!(end.search.searches, 0);
+    }
+}
+
+#[test]
+fn em_refit_session_runs_three_rounds_through_the_trait() {
+    let mut session = EmRefitSession::new(
+        catalog(),
+        Profile::cost_quality(),
+        2,
+        EmRefitConfig {
+            k: 3,
+            num_random: 2,
+            num_samples: 30,
+            samples_per_refit: 60,
+            ..EmRefitConfig::default()
+        },
+    )
+    .expect("valid configuration");
+    drive_three_rounds(&mut session, "em-refit", 3);
+    assert!(session.stats().refits >= 1);
+}
+
+#[test]
+fn hard_constraint_session_runs_three_rounds_through_the_trait() {
+    let mut session = HardConstraintSession::new(
+        catalog(),
+        Profile::cost_quality(),
+        2,
+        1,
+        vec![BudgetConstraint {
+            feature: 0,
+            max_value: 0.9,
+        }],
+        3,
+    )
+    .expect("valid configuration");
+    drive_three_rounds(&mut session, "hard-constraint", 3);
+}
+
+#[test]
+fn skyline_session_runs_three_rounds_through_the_trait() {
+    let mut session = SkylineSession::new(
+        catalog(),
+        Profile::cost_quality(),
+        2,
+        2,
+        vec![FeatureDirection::Minimize, FeatureDirection::Maximize],
+        3,
+    )
+    .expect("valid configuration");
+    drive_three_rounds(&mut session, "skyline", 3);
+}
+
+#[test]
+fn baseline_spec_factory_builds_every_adapter() {
+    let specs = [
+        BaselineSpec::EmRefit(EmRefitConfig {
+            k: 2,
+            num_random: 1,
+            num_samples: 15,
+            samples_per_refit: 30,
+            ..EmRefitConfig::default()
+        }),
+        BaselineSpec::HardConstraint {
+            objective_feature: 1,
+            budgets: vec![BudgetConstraint {
+                feature: 0,
+                max_value: 0.9,
+            }],
+            k: 2,
+        },
+        BaselineSpec::Skyline {
+            cardinality: 2,
+            directions: vec![FeatureDirection::Minimize, FeatureDirection::Maximize],
+            k: 2,
+        },
+    ];
+    let mut rng = StdRng::seed_from_u64(5);
+    for spec in specs {
+        let mut session = spec
+            .build(catalog(), Profile::cost_quality(), 2)
+            .expect("spec builds");
+        assert_eq!(session.state().label, spec.label());
+        assert!(!session.present(&mut rng).unwrap().is_empty());
+    }
 }

@@ -6,7 +6,7 @@
 //! workloads so the whole suite finishes in a couple of minutes.
 //!
 //! ```text
-//! cargo run --release -p pkgrec-bench --bin experiments -- [--quick] [fig4 fig5 fig6 fig7 fig8 quality]
+//! cargo run --release -p pkgrec-bench --bin experiments -- [--quick] [fig4 fig5 fig6 fig7 fig8 quality serving]
 //! ```
 //!
 //! With `--json <path>` the raw measurements are also written as JSON.
@@ -14,7 +14,7 @@
 use std::collections::BTreeMap;
 
 use pkgrec_bench::workload::DatasetId;
-use pkgrec_bench::{fig4, fig5, fig6, fig7, fig8, quality};
+use pkgrec_bench::{fig4, fig5, fig6, fig7, fig8, quality, serving};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -152,6 +152,26 @@ fn main() {
         }
         json.insert(
             "quality".to_string(),
+            serde_json::to_value(&result).unwrap(),
+        );
+    }
+
+    if wants("serving") {
+        let config = if quick {
+            serving::ServingConfig {
+                sessions: 12,
+                rows: 240,
+                num_samples: 25,
+                max_rounds: 4,
+                ..serving::ServingConfig::default()
+            }
+        } else {
+            serving::ServingConfig::default()
+        };
+        let result = serving::run(&config).expect("the serving fleet runs to completion");
+        println!("{}", result.table());
+        json.insert(
+            "serving".to_string(),
             serde_json::to_value(&result).unwrap(),
         );
     }

@@ -13,6 +13,7 @@
 //! | [`fig7`] | Figure 7 — sample-maintenance strategies (naive / top-k / hybrid, γ sweep) |
 //! | [`fig8`] | Figure 8 — elicitation effectiveness (clicks to convergence vs #features) |
 //! | [`quality`] | Section 5.4 — agreement of top-5 lists across samplers and semantics |
+//! | [`serving`] | beyond the paper — fleet throughput of the sharded session store (`pkgrec-serve`) |
 //!
 //! The `experiments` binary runs them end to end and prints the tables
 //! recorded in `EXPERIMENTS.md`; the Criterion benches reuse the same workload
@@ -33,6 +34,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod quality;
 pub mod report;
+pub mod serving;
 pub mod workload;
 
 pub use report::Table;

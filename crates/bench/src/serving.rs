@@ -1,0 +1,306 @@
+//! Serving-layer throughput experiment: many concurrent elicitation
+//! sessions through the sharded, journal-backed `pkgrec-serve` store.
+//!
+//! The experiment builds a fleet of sessions (the engine plus baseline
+//! adapters, mirroring a mixed production workload), pairs each with a
+//! hidden-utility simulated user, and serves the whole fleet to convergence
+//! through [`ServingLoop`].  Two store shapes are measured:
+//!
+//! * **store-hit** — per-shard capacity covers the fleet, so every
+//!   operation finds its session live in memory,
+//! * **snapshot-restore** — per-shard capacity 1 forces a spill/rehydrate
+//!   round trip (snapshot checkpoint + journal replay) on nearly every
+//!   operation, exercising the store's cold path.
+//!
+//! The summary table surfaces the store's hit/evict/restore counters next
+//! to the fleet's aggregated `Top-k-Pkg` search statistics — the
+//! observability seam future serving-performance PRs regress against.
+
+use std::time::Instant;
+
+use pkgrec_baselines::{BaselineSpec, EmRefitConfig, FeatureDirection};
+use pkgrec_core::{
+    random_ground_truth_weights, AggregatedSearchStats, AggregationContext, ElicitationConfig,
+    EngineConfig, LinearUtility, Profile, Result, SimulatedUser,
+};
+use pkgrec_serve::{
+    RecommenderSpec, ServingLoop, SessionConfig, SessionId, SessionStore, StoreConfig, StoreStats,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::report::Table;
+use crate::workload::{build_dataset, dataset_catalog, DatasetId};
+
+/// Configuration of the serving experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingConfig {
+    /// Number of concurrent sessions in the fleet.
+    pub sessions: usize,
+    /// Catalog rows (UNI synthetic dataset, 2 features, cost/quality).
+    pub rows: usize,
+    /// Weight samples per engine session.
+    pub num_samples: usize,
+    /// Packages recommended per round.
+    pub k: usize,
+    /// Random exploration packages per round.
+    pub num_random: usize,
+    /// Maximum package size φ.
+    pub max_package_size: usize,
+    /// Elicitation round budget per session.
+    pub max_rounds: usize,
+    /// Shards of the measured store.
+    pub shards: usize,
+    /// Serving threads (clamped to the shard count).
+    pub threads: usize,
+    /// Whether the fleet mixes baseline sessions in (every third/fourth
+    /// session) or is engine-only.
+    pub mixed: bool,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            sessions: 48,
+            rows: 600,
+            num_samples: 50,
+            k: 3,
+            num_random: 3,
+            max_package_size: 3,
+            max_rounds: 5,
+            shards: 4,
+            threads: 4,
+            mixed: true,
+            seed: 20140902,
+        }
+    }
+}
+
+/// Builds the session fleet: a store of the given shape populated with
+/// `sessions` sessions, plus one hidden-utility user per session.
+pub fn build_fleet(
+    config: &ServingConfig,
+    capacity_per_shard: usize,
+) -> Result<(SessionStore, Vec<(SessionId, SimulatedUser)>)> {
+    let dataset = build_dataset(DatasetId::Uni, config.rows, config.seed);
+    let catalog = std::sync::Arc::new(dataset_catalog(&dataset, 2));
+    let profile = Profile::cost_quality();
+    let context = AggregationContext::new(profile.clone(), &catalog, config.max_package_size)?;
+    let mut store = SessionStore::new(StoreConfig {
+        shards: config.shards,
+        capacity_per_shard,
+    })?;
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5E55_1011);
+    let mut fleet = Vec::with_capacity(config.sessions);
+    for i in 0..config.sessions {
+        let spec = if config.mixed && i % 4 == 2 {
+            RecommenderSpec::Baseline(BaselineSpec::EmRefit(EmRefitConfig {
+                k: config.k,
+                num_random: config.num_random,
+                num_samples: config.num_samples.min(40),
+                samples_per_refit: (config.num_samples * 2).min(80),
+                ..EmRefitConfig::default()
+            }))
+        } else if config.mixed && i % 4 == 3 {
+            RecommenderSpec::Baseline(BaselineSpec::Skyline {
+                cardinality: config.max_package_size.min(2),
+                directions: vec![FeatureDirection::Minimize, FeatureDirection::Maximize],
+                k: config.k,
+            })
+        } else {
+            RecommenderSpec::Engine(EngineConfig {
+                k: config.k,
+                num_random: config.num_random,
+                num_samples: config.num_samples,
+                ..EngineConfig::default()
+            })
+        };
+        let id = store.create(SessionConfig {
+            catalog: catalog.clone(),
+            profile: profile.clone(),
+            max_package_size: config.max_package_size,
+            spec,
+            seed: config.seed.wrapping_add(i as u64),
+        })?;
+        let weights = random_ground_truth_weights(context.dim(), &mut rng);
+        let user = SimulatedUser::new(LinearUtility::new(context.clone(), weights)?);
+        fleet.push((id, user));
+    }
+    Ok((store, fleet))
+}
+
+/// One measured store shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingPoint {
+    /// Human label of the path exercised ("store-hit" / "snapshot-restore").
+    pub path: String,
+    /// Shards of the measured store.
+    pub shards: usize,
+    /// Live sessions allowed per shard.
+    pub capacity_per_shard: usize,
+    /// Fleet size.
+    pub sessions: usize,
+    /// Sessions whose top-k stabilised within the round budget.
+    pub converged: usize,
+    /// Mean clicks per session.
+    pub mean_clicks: f64,
+    /// Mean final precision against the hidden utilities.
+    pub mean_precision: f64,
+    /// Wall-clock seconds serving the fleet.
+    pub elapsed_secs: f64,
+    /// Fleet throughput (sessions served to convergence per second).
+    pub sessions_per_sec: f64,
+    /// Store counters accumulated while serving.
+    pub store: StoreStats,
+    /// `Top-k-Pkg` statistics summed over the fleet's reports.
+    pub search: AggregatedSearchStats,
+}
+
+/// Serves one fleet through one store shape and measures it.
+pub fn serve_point(
+    config: &ServingConfig,
+    path: &str,
+    capacity_per_shard: usize,
+) -> Result<ServingPoint> {
+    let (mut store, fleet) = build_fleet(config, capacity_per_shard)?;
+    let elicitation = ElicitationConfig {
+        max_rounds: config.max_rounds,
+        stable_rounds: 2,
+    };
+    let start = Instant::now();
+    let outcomes = ServingLoop::new(&mut store).run(&fleet, elicitation, config.threads)?;
+    let elapsed = start.elapsed();
+
+    let mut search = AggregatedSearchStats::default();
+    let mut clicks = 0usize;
+    let mut precision = 0.0f64;
+    let mut converged = 0usize;
+    for outcome in &outcomes {
+        search.merge(&outcome.search);
+        clicks += outcome.clicks;
+        precision += outcome.precision;
+        converged += usize::from(outcome.converged);
+    }
+    let n = outcomes.len().max(1);
+    Ok(ServingPoint {
+        path: path.to_string(),
+        shards: config.shards,
+        capacity_per_shard,
+        sessions: outcomes.len(),
+        converged,
+        mean_clicks: clicks as f64 / n as f64,
+        mean_precision: precision / n as f64,
+        elapsed_secs: elapsed.as_secs_f64(),
+        sessions_per_sec: outcomes.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        store: store.stats(),
+        search,
+    })
+}
+
+/// Result of the serving experiment: both store shapes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingResult {
+    /// The measured store shapes.
+    pub points: Vec<ServingPoint>,
+}
+
+impl ServingResult {
+    /// The summary table: serving throughput plus store and search counters
+    /// per measured shape.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            "Serving layer: store paths, store counters and search statistics",
+            &[
+                "path",
+                "shards",
+                "cap/shard",
+                "sessions",
+                "converged",
+                "clicks",
+                "precision",
+                "time (s)",
+                "sessions/s",
+                "hits",
+                "evictions",
+                "restores",
+                "snapshots",
+                "searches",
+                "sorted acc",
+                "early-term %",
+            ],
+        );
+        for p in &self.points {
+            table.push_row(vec![
+                p.path.clone(),
+                p.shards.to_string(),
+                p.capacity_per_shard.to_string(),
+                p.sessions.to_string(),
+                p.converged.to_string(),
+                format!("{:.2}", p.mean_clicks),
+                format!("{:.2}", p.mean_precision),
+                format!("{:.3}", p.elapsed_secs),
+                format!("{:.2}", p.sessions_per_sec),
+                p.store.hits.to_string(),
+                p.store.evictions.to_string(),
+                p.store.restores.to_string(),
+                p.store.snapshots.to_string(),
+                p.search.searches.to_string(),
+                p.search.sorted_accesses.to_string(),
+                format!("{:.1}", p.search.early_termination_rate() * 100.0),
+            ]);
+        }
+        table
+    }
+}
+
+/// Runs the serving experiment: the same fleet through the store-hit and
+/// snapshot-restore paths.
+pub fn run(config: &ServingConfig) -> Result<ServingResult> {
+    let hit = serve_point(config, "store-hit", config.sessions.max(1))?;
+    let restore = serve_point(config, "snapshot-restore", 1)?;
+    Ok(ServingResult {
+        points: vec![hit, restore],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ServingConfig {
+        ServingConfig {
+            sessions: 6,
+            rows: 120,
+            num_samples: 20,
+            max_rounds: 3,
+            shards: 2,
+            threads: 2,
+            ..ServingConfig::default()
+        }
+    }
+
+    #[test]
+    fn serving_experiment_runs_and_reports() {
+        let result = run(&tiny()).unwrap();
+        assert_eq!(result.points.len(), 2);
+        let hit = &result.points[0];
+        let restore = &result.points[1];
+        assert_eq!(hit.path, "store-hit");
+        assert_eq!(restore.path, "snapshot-restore");
+        assert_eq!(hit.sessions, 6);
+        // The ample store never rehydrates; the starved store must.
+        assert_eq!(hit.store.restores, 0);
+        assert!(restore.store.restores > 0);
+        assert!(restore.store.evictions > 0);
+        // Same fleet, same deterministic outcomes on both paths.
+        assert_eq!(hit.mean_clicks, restore.mean_clicks);
+        assert_eq!(hit.converged, restore.converged);
+        assert!(hit.search.searches > 0);
+        let markdown = result.table().to_markdown();
+        assert!(markdown.contains("store-hit"));
+        assert!(markdown.contains("snapshot-restore"));
+    }
+}

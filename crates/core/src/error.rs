@@ -50,6 +50,8 @@ pub enum CoreError {
     Geom(GeomError),
     /// A configuration value is invalid.
     InvalidConfig(String),
+    /// A session id does not exist in the session store addressed.
+    UnknownSession(u64),
 }
 
 impl std::fmt::Display for CoreError {
@@ -81,6 +83,9 @@ impl std::fmt::Display for CoreError {
             CoreError::Gmm(e) => write!(f, "gaussian mixture error: {e}"),
             CoreError::Geom(e) => write!(f, "geometry error: {e}"),
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::UnknownSession(id) => {
+                write!(f, "session {id} is not in the session store")
+            }
         }
     }
 }
@@ -145,6 +150,7 @@ mod tests {
                 CoreError::InvalidConfig("k must be positive".into()),
                 "k must be positive",
             ),
+            (CoreError::UnknownSession(7), "session 7"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

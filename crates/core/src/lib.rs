@@ -67,6 +67,12 @@
 //! let restored = RecommenderEngine::restore(engine.snapshot()).unwrap();
 //! assert_eq!(restored.preferences().len(), engine.preferences().len());
 //! ```
+//!
+//! Driving one engine by hand is the single-session story.  To serve *many*
+//! sessions — sharded across threads, addressed by id, spilled to snapshots
+//! under memory pressure and rebuilt bit-identically from an append-only
+//! journal — use the `pkgrec-serve` crate, which owns the session lifecycle
+//! on top of this crate's [`Recommender`] trait and snapshot machinery.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,93 @@
+//! # pkgrec-serve
+//!
+//! The session-serving layer of the `pkgrec` workspace: the paper's
+//! interactive elicitation loop is inherently *per-user session state*
+//! (preference DAG, sample pool, prior), and this crate owns the lifecycle
+//! of many such sessions at once so application code never has to.
+//!
+//! Three pieces compose the layer:
+//!
+//! * [`SessionStore`] — a sharded map of sessions (hash by [`SessionId`],
+//!   `&mut`-splittable shards, no locks) with LRU capacity eviction that
+//!   spills cold sessions to snapshots and rehydrates them on demand,
+//! * [`Journal`] — an append-only log of session events; [`Journal::replay`]
+//!   reconstructs any session *bit-identically*, so the journal — not the
+//!   process — is the durable form of a session (in the spirit of
+//!   log-structured systems such as LogBase),
+//! * [`ServingLoop`] — a [`std::thread::scope`] driver that steps many
+//!   concurrent simulated sessions shard-parallel through the *generic*
+//!   core elicitation driver, with outcomes independent of thread count,
+//!   shard count and capacity pressure.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! use pkgrec_core::prelude::*;
+//! use pkgrec_serve::{RecommenderSpec, SessionConfig, SessionStore, StoreConfig};
+//!
+//! // A store with 2 shards, each keeping up to 8 sessions live in memory.
+//! let mut store = SessionStore::new(StoreConfig { shards: 2, capacity_per_shard: 8 }).unwrap();
+//!
+//! // Create a session: the config is plain serde data — catalog, profile,
+//! // φ, recommender recipe and a deterministic seed.  The catalog sits
+//! // behind an Arc so a whole fleet shares one copy.
+//! let catalog = Arc::new(Catalog::from_rows(vec![
+//!     vec![0.6, 0.2],
+//!     vec![0.4, 0.4],
+//!     vec![0.2, 0.4],
+//!     vec![0.9, 0.8],
+//! ]).unwrap());
+//! let id = store.create(SessionConfig {
+//!     catalog,
+//!     profile: Profile::cost_quality(),
+//!     max_package_size: 2,
+//!     spec: RecommenderSpec::Engine(EngineConfig {
+//!         k: 2,
+//!         num_random: 2,
+//!         num_samples: 20,
+//!         ..EngineConfig::default()
+//!     }),
+//!     seed: 7,
+//! }).unwrap();
+//!
+//! // Drive it: no RNG to thread through — every operation derives its
+//! // stream from (seed, operation index), which is what makes the journal
+//! // replayable and the serving loop scheduling-independent.
+//! let shown = store.present(id).unwrap();
+//! store.feedback(id, Feedback::Click { index: 0 }).unwrap();
+//! let before = store.recommend(id).unwrap();
+//!
+//! // Evict the session (it spills to a snapshot checkpoint in the journal)
+//! // and touch it again: it rehydrates bit-identically.
+//! store.evict(id).unwrap();
+//! assert!(!store.is_live(id).unwrap());
+//! assert_eq!(store.recommend(id).unwrap(), before);
+//!
+//! // The journal alone rebuilds the whole store (e.g. after a restart).
+//! let journal = store.export_journal();
+//! let mut reborn = SessionStore::from_journal(
+//!     StoreConfig { shards: 4, capacity_per_shard: 8 }, &journal).unwrap();
+//! assert_eq!(reborn.recommend(id).unwrap(), before);
+//! ```
+//!
+//! To serve whole elicitation sessions concurrently, pair each session with
+//! a [`SimulatedUser`](pkgrec_core::SimulatedUser) and hand the batch to
+//! [`ServingLoop::run`]; the `serving` example and the `fig_serving` bench
+//! drive 100+ sessions this way.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod journal;
+pub mod serving;
+pub mod store;
+
+pub use config::{
+    op_rng, shard_of, user_rng, LiveSession, RecommenderSpec, SessionConfig, SessionId,
+};
+pub use journal::{Journal, JournalRecord, ReplayedSession, SessionEvent};
+pub use serving::{ServingLoop, SessionDriver, SessionOutcome};
+pub use store::{SessionStore, StoreConfig, StoreStats};

@@ -1,0 +1,942 @@
+//! The sharded, journal-backed session store.
+//!
+//! A [`SessionStore`] owns `N` [`Shard`]s; every session hashes to one shard
+//! by its [`SessionId`] ([`shard_of`]), and a shard is a self-contained unit:
+//! its sessions, their journal, its LRU clock and its counters.  Shards never
+//! share state, which is what lets the serving loop drive them from separate
+//! OS threads with plain `&mut` splitting — no locks anywhere.
+//!
+//! ## Capacity and spill
+//!
+//! Each shard keeps at most `capacity_per_shard` sessions *live* in memory.
+//! Touching a session beyond that evicts the shard's least-recently-used
+//! live session: engine sessions spill to a [`SessionEvent::Snapshot`]
+//! checkpoint in the journal (O(session) serialisation, O(1) future replay);
+//! baseline sessions simply drop their in-memory form, because the journal
+//! already holds everything needed to rebuild them.  Spilled sessions stay
+//! addressable — the next operation rehydrates them through
+//! [`Journal::replay`], bit-identically.
+
+use std::collections::HashMap;
+
+use pkgrec_core::{
+    CoreError, Feedback, Package, RankedPackage, Recommender, RecommenderState, Result,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{op_rng, shard_of, LiveSession, SessionConfig, SessionId};
+use crate::journal::{Journal, SessionEvent};
+
+/// Shape of a [`SessionStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreConfig {
+    /// Number of shards (parallelism grain of the serving loop).
+    pub shards: usize,
+    /// Maximum number of *live* sessions per shard; the store holds any
+    /// number of sessions overall, spilling the least recently used ones.
+    pub capacity_per_shard: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            shards: 4,
+            capacity_per_shard: 1024,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Validates the shape (both knobs must be at least 1).
+    pub fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(CoreError::InvalidConfig(
+                "a session store needs at least one shard".into(),
+            ));
+        }
+        if self.capacity_per_shard == 0 {
+            return Err(CoreError::InvalidConfig(
+                "capacity_per_shard must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Store observability counters (summed across shards by
+/// [`SessionStore::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Sessions created.
+    pub created: usize,
+    /// Operations that found their session live in memory.
+    pub hits: usize,
+    /// Operations that had to rehydrate a spilled session (journal replay).
+    pub restores: usize,
+    /// Sessions spilled by capacity eviction or explicit `evict`.
+    pub evictions: usize,
+    /// Snapshot checkpoints written to the journal.
+    pub snapshots: usize,
+    /// Journal events appended (all kinds).
+    pub journal_events: usize,
+    /// Operations that failed mid-mutation and discarded the live session
+    /// so the journal stays the source of truth (see the op methods).
+    pub rollbacks: usize,
+}
+
+impl StoreStats {
+    /// Sums another shard's counters into this one.
+    pub fn merge(&mut self, other: &StoreStats) {
+        self.created += other.created;
+        self.hits += other.hits;
+        self.restores += other.restores;
+        self.evictions += other.evictions;
+        self.snapshots += other.snapshots;
+        self.journal_events += other.journal_events;
+        self.rollbacks += other.rollbacks;
+    }
+}
+
+/// One session's store entry: its recipe, its (live or spilled) state and
+/// the drive bookkeeping.
+struct SessionEntry {
+    config: SessionConfig,
+    live: Option<LiveSession>,
+    /// Operations applied so far — the next operation's RNG index.
+    ops: u64,
+    /// The list returned by the session's latest `present` (empty before
+    /// the first one); feedback is validated against it.
+    last_shown: Vec<Package>,
+    /// LRU stamp from the owning shard's clock.
+    last_used: u64,
+}
+
+/// One shard: a self-contained map of sessions plus their journal.
+pub struct Shard {
+    sessions: HashMap<SessionId, SessionEntry>,
+    journal: Journal,
+    /// Per-session record offsets into `journal` — rehydration replays from
+    /// the indexed positions instead of scanning the whole shard log, so a
+    /// restore costs O(session history), not O(shard history).
+    event_index: HashMap<SessionId, Vec<usize>>,
+    capacity: usize,
+    /// Maintained count of entries with a live session, so capacity checks
+    /// never rescan the shard.
+    live_sessions: usize,
+    clock: u64,
+    stats: StoreStats,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            sessions: HashMap::new(),
+            journal: Journal::new(),
+            event_index: HashMap::new(),
+            capacity,
+            live_sessions: 0,
+            clock: 0,
+            stats: StoreStats::default(),
+        }
+    }
+
+    fn append_event(&mut self, id: SessionId, event: SessionEvent) {
+        self.journal.append(id, event);
+        self.event_index
+            .entry(id)
+            .or_default()
+            .push(self.journal.len() - 1);
+        self.stats.journal_events += 1;
+    }
+
+    /// Discards a live session whose operation failed partway: the journal
+    /// never recorded the operation, so the in-memory state may have drifted
+    /// from it (e.g. a click whose pool maintenance exhausted the sampler
+    /// after some preferences were already absorbed).  Dropping the live
+    /// form makes the journal authoritative again — the next touch rehydrates
+    /// the exact pre-operation state.
+    fn rollback(&mut self, id: SessionId) {
+        if let Some(entry) = self.sessions.get_mut(&id) {
+            if entry.live.take().is_some() {
+                self.live_sessions -= 1;
+            }
+            self.stats.rollbacks += 1;
+        }
+    }
+
+    fn entry(&self, id: SessionId) -> Result<&SessionEntry> {
+        self.sessions
+            .get(&id)
+            .ok_or(CoreError::UnknownSession(id.0))
+    }
+
+    fn touch(&mut self, id: SessionId) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(entry) = self.sessions.get_mut(&id) {
+            entry.last_used = clock;
+        }
+    }
+
+    fn live_count(&self) -> usize {
+        debug_assert_eq!(
+            self.live_sessions,
+            self.sessions.values().filter(|e| e.live.is_some()).count(),
+            "the maintained live-session counter tracks the map"
+        );
+        self.live_sessions
+    }
+
+    /// Spills the least-recently-used live session other than `keep`,
+    /// returning whether a victim existed.
+    fn evict_lru(&mut self, keep: Option<SessionId>) -> Result<bool> {
+        let victim = self
+            .sessions
+            .iter()
+            .filter(|(id, entry)| entry.live.is_some() && Some(**id) != keep)
+            .min_by_key(|(_, entry)| entry.last_used)
+            .map(|(id, _)| *id);
+        match victim {
+            Some(id) => self.spill(id).map(|()| true),
+            None => Ok(false),
+        }
+    }
+
+    /// Writes a `Snapshot` checkpoint for a snapshot-capable session into
+    /// the journal — the one checkpoint recipe shared by capacity spills
+    /// and explicit [`SessionStore::snapshot`] calls.
+    fn write_checkpoint(&mut self, id: SessionId, live: &LiveSession) -> Result<String> {
+        let entry = self.entry(id)?;
+        let json = live.snapshot_json()?;
+        let ops = entry.ops;
+        let last_shown = entry.last_shown.clone();
+        self.stats.snapshots += 1;
+        self.append_event(
+            id,
+            SessionEvent::Snapshot {
+                json: json.clone(),
+                ops,
+                last_shown,
+            },
+        );
+        Ok(json)
+    }
+
+    /// Spills one live session: engines checkpoint their snapshot into the
+    /// journal, baselines rely on replay-from-`Created`.
+    fn spill(&mut self, id: SessionId) -> Result<()> {
+        let entry = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(CoreError::UnknownSession(id.0))?;
+        let snapshot_capable = entry.config.spec.supports_snapshot();
+        let Some(live) = entry.live.take() else {
+            return Ok(()); // already spilled
+        };
+        self.live_sessions -= 1;
+        if snapshot_capable {
+            self.write_checkpoint(id, &live)?;
+        }
+        self.stats.evictions += 1;
+        Ok(())
+    }
+
+    /// Makes `id` live, replaying its journal if it was spilled, and evicts
+    /// down to capacity around it.
+    pub(crate) fn ensure_live(&mut self, id: SessionId) -> Result<()> {
+        if !self.sessions.contains_key(&id) {
+            return Err(CoreError::UnknownSession(id.0));
+        }
+        if self.sessions[&id].live.is_some() {
+            self.stats.hits += 1;
+            return Ok(());
+        }
+        while self.live_count() >= self.capacity && self.evict_lru(Some(id))? {}
+        let positions = self
+            .event_index
+            .get(&id)
+            .ok_or(CoreError::UnknownSession(id.0))?;
+        let replayed = self.journal.replay_at(id, positions)?;
+        let entry = self.sessions.get_mut(&id).expect("presence checked above");
+        debug_assert_eq!(replayed.ops, entry.ops, "journal and entry ops agree");
+        entry.live = Some(replayed.session);
+        entry.ops = replayed.ops;
+        entry.last_shown = replayed.last_shown;
+        self.live_sessions += 1;
+        self.stats.restores += 1;
+        Ok(())
+    }
+
+    /// Registers a new session (journals `Created`, evicts down to capacity).
+    fn insert(&mut self, id: SessionId, config: SessionConfig, live: LiveSession) -> Result<()> {
+        self.append_event(
+            id,
+            SessionEvent::Created {
+                config: config.clone(),
+            },
+        );
+        while self.live_count() >= self.capacity && self.evict_lru(None)? {}
+        self.clock += 1;
+        self.sessions.insert(
+            id,
+            SessionEntry {
+                config,
+                live: Some(live),
+                ops: 0,
+                last_shown: Vec::new(),
+                last_used: self.clock,
+            },
+        );
+        self.live_sessions += 1;
+        self.stats.created += 1;
+        Ok(())
+    }
+
+    /// Number of state-changing operations the shard's journal records for
+    /// a session (via the offset index, so adoption stays linear).
+    fn indexed_op_count(&self, id: SessionId) -> u64 {
+        let Some(positions) = self.event_index.get(&id) else {
+            return 0;
+        };
+        positions
+            .iter()
+            .filter(|&&i| {
+                matches!(
+                    self.journal.records()[i].event,
+                    SessionEvent::Presented | SessionEvent::Feedback(_) | SessionEvent::Recommended
+                )
+            })
+            .count() as u64
+    }
+
+    /// Registers a session in spilled form (journal adoption); the journal
+    /// must already contain the session's history.
+    fn insert_spilled(&mut self, id: SessionId, config: SessionConfig, ops: u64) {
+        self.clock += 1;
+        self.sessions.insert(
+            id,
+            SessionEntry {
+                config,
+                live: None,
+                ops,
+                last_shown: Vec::new(),
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// One `present` operation: derive the op RNG, run, journal, remember
+    /// the shown list.  A failing run rolls the session back (see
+    /// [`Shard::rollback`]) so the journal stays bit-identical to the live
+    /// state.
+    pub(crate) fn op_present(&mut self, id: SessionId) -> Result<Vec<Package>> {
+        self.ensure_live(id)?;
+        let entry = self.sessions.get_mut(&id).expect("live ensured");
+        let mut rng = op_rng(entry.config.seed, entry.ops);
+        let outcome = entry
+            .live
+            .as_mut()
+            .expect("live ensured")
+            .recommender()
+            .present(&mut rng);
+        let shown = match outcome {
+            Ok(shown) => shown,
+            Err(e) => {
+                self.rollback(id);
+                return Err(e);
+            }
+        };
+        let entry = self.sessions.get_mut(&id).expect("live ensured");
+        entry.ops += 1;
+        entry.last_shown = shown.clone();
+        self.touch(id);
+        self.append_event(id, SessionEvent::Presented);
+        Ok(shown)
+    }
+
+    /// One `record_feedback` operation against the last presented list.
+    /// Malformed feedback is rejected before touching the session; a
+    /// mid-mutation failure (e.g. the maintenance sampler running dry on a
+    /// contradictory click) rolls the session back to its journaled state.
+    pub(crate) fn op_feedback(&mut self, id: SessionId, feedback: Feedback) -> Result<usize> {
+        self.ensure_live(id)?;
+        let entry = self.sessions.get_mut(&id).expect("live ensured");
+        if entry.last_shown.is_empty() {
+            return Err(CoreError::InvalidConfig(format!(
+                "session {id} received feedback before any presentation"
+            )));
+        }
+        // Validate up front: index errors are the common client mistake and
+        // must not cost a rollback + rehydration.
+        feedback.validate(&entry.last_shown)?;
+        let shown = entry.last_shown.clone();
+        let mut rng = op_rng(entry.config.seed, entry.ops);
+        let outcome = entry
+            .live
+            .as_mut()
+            .expect("live ensured")
+            .recommender()
+            .record_feedback(&shown, feedback, &mut rng);
+        let added = match outcome {
+            Ok(added) => added,
+            Err(e) => {
+                self.rollback(id);
+                return Err(e);
+            }
+        };
+        let entry = self.sessions.get_mut(&id).expect("live ensured");
+        entry.ops += 1;
+        self.touch(id);
+        self.append_event(id, SessionEvent::Feedback(feedback));
+        Ok(added)
+    }
+
+    /// One standalone `recommend` operation (rolls back on failure like the
+    /// other operations — a recommend may lazily refill a sample pool).
+    pub(crate) fn op_recommend(&mut self, id: SessionId) -> Result<Vec<RankedPackage>> {
+        self.ensure_live(id)?;
+        let entry = self.sessions.get_mut(&id).expect("live ensured");
+        let mut rng = op_rng(entry.config.seed, entry.ops);
+        let outcome = entry
+            .live
+            .as_mut()
+            .expect("live ensured")
+            .recommender()
+            .recommend(&mut rng);
+        let ranked = match outcome {
+            Ok(ranked) => ranked,
+            Err(e) => {
+                self.rollback(id);
+                return Err(e);
+            }
+        };
+        let entry = self.sessions.get_mut(&id).expect("live ensured");
+        entry.ops += 1;
+        self.touch(id);
+        self.append_event(id, SessionEvent::Recommended);
+        Ok(ranked)
+    }
+
+    /// The live session's progress summary (`None` while spilled).
+    pub(crate) fn peek_state(&self, id: SessionId) -> Option<RecommenderState> {
+        self.sessions
+            .get(&id)?
+            .live
+            .as_ref()
+            .map(|live| live.inspect().state())
+    }
+
+    pub(crate) fn session_config(&self, id: SessionId) -> Result<&SessionConfig> {
+        self.entry(id).map(|entry| &entry.config)
+    }
+
+    pub(crate) fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    pub(crate) fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    fn is_live(&self, id: SessionId) -> Option<bool> {
+        self.sessions.get(&id).map(|entry| entry.live.is_some())
+    }
+}
+
+/// The sharded, journal-backed session store (see the module docs).
+pub struct SessionStore {
+    shards: Vec<Shard>,
+    next_id: u64,
+}
+
+impl SessionStore {
+    /// Creates an empty store with the given shape.
+    pub fn new(config: StoreConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(SessionStore {
+            shards: (0..config.shards)
+                .map(|_| Shard::new(config.capacity_per_shard))
+                .collect(),
+            next_id: 0,
+        })
+    }
+
+    /// Rebuilds a store from an exported journal: every session restarts in
+    /// spilled form and rehydrates (bit-identically) on first touch.  The
+    /// shard count of the new store is free to differ from the writer's —
+    /// session placement is a pure function of the id.
+    pub fn from_journal(config: StoreConfig, journal: &Journal) -> Result<Self> {
+        let mut store = SessionStore::new(config)?;
+        // Distribute records to their owning shards, then register each
+        // created session as spilled with the op count its events imply.
+        for record in journal.records() {
+            let shard = shard_of(record.session, store.shards.len());
+            store.shards[shard].append_event(record.session, record.event.clone());
+        }
+        for (id, session_config) in journal.created_sessions() {
+            let shard = shard_of(id, store.shards.len());
+            let ops = store.shards[shard].indexed_op_count(id);
+            store.shards[shard].insert_spilled(id, session_config.clone(), ops);
+            store.next_id = store.next_id.max(id.0 + 1);
+        }
+        Ok(store)
+    }
+
+    fn shard_mut(&mut self, id: SessionId) -> &mut Shard {
+        let shard = shard_of(id, self.shards.len());
+        &mut self.shards[shard]
+    }
+
+    fn shard(&self, id: SessionId) -> &Shard {
+        &self.shards[shard_of(id, self.shards.len())]
+    }
+
+    /// Creates a session from its configuration, returning its id.
+    pub fn create(&mut self, config: SessionConfig) -> Result<SessionId> {
+        let live = config.build()?; // validate before assigning an id
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        self.shard_mut(id).insert(id, config, live)?;
+        Ok(id)
+    }
+
+    /// Builds one presentation round for the session.
+    pub fn present(&mut self, id: SessionId) -> Result<Vec<Package>> {
+        self.shard_mut(id).op_present(id)
+    }
+
+    /// Records typed feedback against the session's last presented list.
+    pub fn feedback(&mut self, id: SessionId, feedback: Feedback) -> Result<usize> {
+        self.shard_mut(id).op_feedback(id, feedback)
+    }
+
+    /// The session's current top-k recommendation.
+    pub fn recommend(&mut self, id: SessionId) -> Result<Vec<RankedPackage>> {
+        self.shard_mut(id).op_recommend(id)
+    }
+
+    /// Runs a read-only closure against the live session (rehydrating it
+    /// first if it was spilled).  Inspection does not consume the session's
+    /// RNG stream and is not journaled; all mutation goes through
+    /// [`SessionStore::present`] / [`SessionStore::feedback`] /
+    /// [`SessionStore::recommend`], which is what keeps the journal a
+    /// complete record.
+    pub fn with_session<R>(
+        &mut self,
+        id: SessionId,
+        f: impl FnOnce(&dyn Recommender) -> R,
+    ) -> Result<R> {
+        let shard = self.shard_mut(id);
+        shard.ensure_live(id)?;
+        shard.touch(id);
+        let entry = shard.entry(id)?;
+        Ok(f(entry.live.as_ref().expect("live ensured").inspect()))
+    }
+
+    /// Serialises the session's snapshot, journaling it as a checkpoint.
+    /// Errors for baseline sessions, whose durable form is their journal.
+    pub fn snapshot(&mut self, id: SessionId) -> Result<String> {
+        let shard = self.shard_mut(id);
+        shard.ensure_live(id)?;
+        // Borrow dance: take the live session out so the shared checkpoint
+        // writer can borrow the shard, then put it straight back (the
+        // session stays conceptually live throughout).
+        let live = shard
+            .sessions
+            .get_mut(&id)
+            .expect("live ensured")
+            .live
+            .take()
+            .expect("live ensured");
+        let checkpoint = shard.write_checkpoint(id, &live);
+        shard.sessions.get_mut(&id).expect("live ensured").live = Some(live);
+        let json = checkpoint?;
+        shard.touch(id);
+        Ok(json)
+    }
+
+    /// Spills the session now (it stays addressable; the next operation
+    /// rehydrates it from the journal).
+    pub fn evict(&mut self, id: SessionId) -> Result<()> {
+        let shard = self.shard_mut(id);
+        if !shard.sessions.contains_key(&id) {
+            return Err(CoreError::UnknownSession(id.0));
+        }
+        shard.spill(id)
+    }
+
+    /// Rehydrates a spilled session now (no-op when it is already live).
+    pub fn restore(&mut self, id: SessionId) -> Result<()> {
+        self.shard_mut(id).ensure_live(id)
+    }
+
+    /// Whether the session is currently live in memory.
+    pub fn is_live(&self, id: SessionId) -> Result<bool> {
+        self.shard(id)
+            .is_live(id)
+            .ok_or(CoreError::UnknownSession(id.0))
+    }
+
+    /// The session's configuration.
+    pub fn session_config(&self, id: SessionId) -> Result<&SessionConfig> {
+        self.shard(id).session_config(id)
+    }
+
+    /// The session's progress summary, rehydrating it if needed.
+    pub fn state(&mut self, id: SessionId) -> Result<RecommenderState> {
+        self.with_session(id, |session| session.state())
+    }
+
+    /// Total number of sessions (live and spilled).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.sessions.len()).sum()
+    }
+
+    /// Whether the store holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every session id, ascending.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        let mut ids: Vec<SessionId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.sessions.keys().copied())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards as a mutable slice — the `&mut`-splitting seam the
+    /// serving loop parallelises over.
+    pub(crate) fn shards_mut(&mut self) -> &mut [Shard] {
+        &mut self.shards
+    }
+
+    /// Counters summed across all shards.
+    pub fn stats(&self) -> StoreStats {
+        let mut total = StoreStats::default();
+        for shard in &self.shards {
+            total.merge(shard.stats());
+        }
+        total
+    }
+
+    /// All shards' journals merged into one exportable log (records keep
+    /// their per-session order; sessions interleave by shard).
+    pub fn export_journal(&self) -> Journal {
+        let mut merged = Journal::new();
+        for shard in &self.shards {
+            merged.extend_from(shard.journal());
+        }
+        merged
+    }
+
+    /// The journal of the shard owning `id` (every event of that session,
+    /// plus its shard neighbours').
+    pub fn journal_for(&self, id: SessionId) -> &Journal {
+        self.shard(id).journal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{user_rng, RecommenderSpec};
+    use pkgrec_baselines::{BaselineSpec, FeatureDirection};
+    use pkgrec_core::{
+        AggregationContext, Catalog, EngineConfig, LinearUtility, Profile, SimulatedUser,
+    };
+
+    /// The index a hidden-utility user clicks — clicks sampled this way are
+    /// always jointly satisfiable, so the engine's constrained samplers
+    /// never run dry mid-test.
+    fn choose(catalog: &Catalog, shown: &[Package]) -> usize {
+        let context = AggregationContext::new(Profile::cost_quality(), catalog, 2).unwrap();
+        let user = SimulatedUser::new(LinearUtility::new(context, vec![-0.7, 0.6]).unwrap());
+        user.choose(catalog, shown, &mut user_rng(0)).unwrap()
+    }
+
+    fn catalog() -> Catalog {
+        Catalog::from_rows(vec![
+            vec![0.6, 0.2],
+            vec![0.4, 0.4],
+            vec![0.2, 0.4],
+            vec![0.9, 0.8],
+            vec![0.3, 0.7],
+            vec![0.5, 0.9],
+        ])
+        .unwrap()
+    }
+
+    fn engine_session(seed: u64) -> SessionConfig {
+        SessionConfig {
+            catalog: std::sync::Arc::new(catalog()),
+            profile: Profile::cost_quality(),
+            max_package_size: 2,
+            spec: RecommenderSpec::Engine(EngineConfig {
+                k: 2,
+                num_random: 2,
+                num_samples: 20,
+                ..EngineConfig::default()
+            }),
+            seed,
+        }
+    }
+
+    fn skyline_session(seed: u64) -> SessionConfig {
+        SessionConfig {
+            spec: RecommenderSpec::Baseline(BaselineSpec::Skyline {
+                cardinality: 2,
+                directions: vec![FeatureDirection::Minimize, FeatureDirection::Maximize],
+                k: 2,
+            }),
+            ..engine_session(seed)
+        }
+    }
+
+    #[test]
+    fn create_present_feedback_recommend_round_trip() {
+        let mut store = SessionStore::new(StoreConfig {
+            shards: 2,
+            capacity_per_shard: 8,
+        })
+        .unwrap();
+        let id = store.create(engine_session(3)).unwrap();
+        assert_eq!(id, SessionId(0));
+        assert!(store.is_live(id).unwrap());
+
+        let shown = store.present(id).unwrap();
+        assert_eq!(shown.len(), 4);
+        let index = choose(&store.session_config(id).unwrap().catalog.clone(), &shown);
+        let added = store.feedback(id, Feedback::Click { index }).unwrap();
+        assert_eq!(added, shown.len() - 1);
+        assert_eq!(store.recommend(id).unwrap().len(), 2);
+        let state = store.state(id).unwrap();
+        assert_eq!(state.rounds, 1);
+        assert_eq!(state.preferences, added);
+
+        // Unknown ids are rejected with the dedicated error.
+        assert!(matches!(
+            store.present(SessionId(99)),
+            Err(CoreError::UnknownSession(99))
+        ));
+        // Feedback before any presentation is rejected.
+        let fresh = store.create(engine_session(4)).unwrap();
+        assert!(matches!(
+            store.feedback(fresh, Feedback::Skip),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn evict_and_restore_are_transparent_for_engines() {
+        let mut store = SessionStore::new(StoreConfig {
+            shards: 1,
+            capacity_per_shard: 4,
+        })
+        .unwrap();
+        let id = store.create(engine_session(7)).unwrap();
+        let shown = store.present(id).unwrap();
+        let index = choose(&catalog(), &shown);
+        store.feedback(id, Feedback::Click { index }).unwrap();
+
+        let replica = store.recommend(id).unwrap();
+        // Rewind: build an identical session, drive identically, evict, and
+        // check the restored session recommends the same thing.
+        let mut other = SessionStore::new(StoreConfig {
+            shards: 1,
+            capacity_per_shard: 4,
+        })
+        .unwrap();
+        let oid = other.create(engine_session(7)).unwrap();
+        let other_shown = other.present(oid).unwrap();
+        assert_eq!(other_shown, shown);
+        other.feedback(oid, Feedback::Click { index }).unwrap();
+        other.evict(oid).unwrap();
+        assert!(!other.is_live(oid).unwrap());
+        let restored = other.recommend(oid).unwrap();
+        assert!(other.is_live(oid).unwrap());
+        assert_eq!(restored, replica);
+
+        let stats = other.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.snapshots, 1);
+        assert_eq!(stats.restores, 1);
+    }
+
+    #[test]
+    fn baseline_sessions_restore_by_pure_replay() {
+        let mut store = SessionStore::new(StoreConfig {
+            shards: 1,
+            capacity_per_shard: 4,
+        })
+        .unwrap();
+        let id = store.create(skyline_session(5)).unwrap();
+        let shown = store.present(id).unwrap();
+        store.feedback(id, Feedback::Click { index: 0 }).unwrap();
+        let before = store.recommend(id).unwrap();
+        assert!(matches!(
+            store.snapshot(id),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        store.evict(id).unwrap();
+        // No snapshot checkpoint was written; replay rebuilds from Created.
+        assert_eq!(store.stats().snapshots, 0);
+        let after = store.recommend(id).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(store.state(id).unwrap().rounds, 1);
+        assert!(!shown.is_empty());
+    }
+
+    #[test]
+    fn lru_capacity_eviction_spills_the_coldest_session() {
+        let mut store = SessionStore::new(StoreConfig {
+            shards: 1,
+            capacity_per_shard: 2,
+        })
+        .unwrap();
+        let a = store.create(engine_session(1)).unwrap();
+        let b = store.create(engine_session(2)).unwrap();
+        store.present(a).unwrap();
+        store.present(b).unwrap();
+        // Creating a third session evicts the LRU live one — `a`.
+        let c = store.create(engine_session(3)).unwrap();
+        assert!(!store.is_live(a).unwrap());
+        assert!(store.is_live(b).unwrap());
+        assert!(store.is_live(c).unwrap());
+        // Touching `a` rehydrates it and spills the new LRU (`b`).
+        store.present(a).unwrap();
+        assert!(store.is_live(a).unwrap());
+        assert!(!store.is_live(b).unwrap());
+        assert_eq!(store.len(), 3);
+        let stats = store.stats();
+        assert_eq!(stats.created, 3);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.restores, 1);
+    }
+
+    #[test]
+    fn store_rebuilds_from_its_exported_journal() {
+        let mut store = SessionStore::new(StoreConfig {
+            shards: 2,
+            capacity_per_shard: 8,
+        })
+        .unwrap();
+        let engine_id = store.create(engine_session(11)).unwrap();
+        let baseline_id = store.create(skyline_session(12)).unwrap();
+        for id in [engine_id, baseline_id] {
+            let shown = store.present(id).unwrap();
+            let index = choose(&catalog(), &shown);
+            store.feedback(id, Feedback::Click { index }).unwrap();
+        }
+        let expected_engine = store.recommend(engine_id).unwrap();
+        let expected_baseline = store.recommend(baseline_id).unwrap();
+
+        // Adopt the journal into a store with a *different* shard count.
+        let journal = store.export_journal();
+        let mut adopted = SessionStore::from_journal(
+            StoreConfig {
+                shards: 3,
+                capacity_per_shard: 8,
+            },
+            &journal,
+        )
+        .unwrap();
+        assert_eq!(adopted.len(), 2);
+        assert!(!adopted.is_live(engine_id).unwrap());
+        // The adopted store replays each session bit-identically.  The ops
+        // counters include the recommends above, so the derived streams
+        // line up exactly.
+        assert_eq!(adopted.recommend(engine_id).unwrap(), expected_engine);
+        assert_eq!(adopted.recommend(baseline_id).unwrap(), expected_baseline);
+        // And new ids never collide with adopted ones.
+        let next = adopted.create(engine_session(13)).unwrap();
+        assert!(next.0 > baseline_id.0);
+    }
+
+    #[test]
+    fn failed_feedback_rolls_back_to_the_journaled_state() {
+        // Probe for a click the engine cannot absorb: clicking a package the
+        // hidden-taste region contradicts can exhaust the maintenance
+        // sampler *after* some preferences were already absorbed, leaving
+        // the live session ahead of its journal.  The store must roll the
+        // session back so the journal stays the source of truth.
+        let probe = |index: usize| -> (SessionStore, SessionId, bool) {
+            let mut store = SessionStore::new(StoreConfig {
+                shards: 1,
+                capacity_per_shard: 4,
+            })
+            .unwrap();
+            let id = store.create(engine_session(3)).unwrap();
+            store.present(id).unwrap();
+            let failed = store.feedback(id, Feedback::Click { index }).is_err();
+            (store, id, failed)
+        };
+        let (mut store, id) = (0..4)
+            .map(probe)
+            .find_map(|(store, id, failed)| failed.then_some((store, id)))
+            .expect("some click exhausts the sampler under this fixed seed");
+
+        // The op failed mid-mutation: the live form was discarded (rolled
+        // back) and nothing was journaled beyond Created + Presented.
+        assert!(!store.is_live(id).unwrap());
+        assert_eq!(store.stats().rollbacks, 1);
+        assert_eq!(store.journal_for(id).len(), 2);
+        // The next touch rehydrates the exact pre-feedback state and the
+        // session keeps serving: a satisfiable click is absorbed normally.
+        assert_eq!(store.state(id).unwrap().rounds, 0);
+        assert_eq!(store.state(id).unwrap().preferences, 0);
+        let shown = store.present(id).unwrap();
+        let index = choose(&catalog(), &shown);
+        store.feedback(id, Feedback::Click { index }).unwrap();
+        assert_eq!(store.state(id).unwrap().rounds, 1);
+        // Live state and journal replay agree again, bit for bit.
+        let replayed = store.export_journal().replay(id).unwrap();
+        let crate::config::LiveSession::Engine(replica) = &replayed.session else {
+            panic!("engine session expected");
+        };
+        let live: pkgrec_core::SessionSnapshot =
+            serde_json::from_str(&store.snapshot(id).unwrap()).unwrap();
+        assert_eq!(replica.snapshot(), live);
+    }
+
+    #[test]
+    fn with_session_is_read_only_inspection() {
+        let mut store = SessionStore::new(StoreConfig {
+            shards: 1,
+            capacity_per_shard: 2,
+        })
+        .unwrap();
+        let id = store.create(engine_session(21)).unwrap();
+        store.present(id).unwrap();
+        let events_before = store.journal_for(id).len();
+        let label = store.with_session(id, |s| s.state().label.clone()).unwrap();
+        assert_eq!(label, "engine");
+        // Inspection journals nothing and consumes no RNG stream.
+        assert_eq!(store.journal_for(id).len(), events_before);
+    }
+
+    #[test]
+    fn invalid_store_shapes_are_rejected() {
+        assert!(SessionStore::new(StoreConfig {
+            shards: 0,
+            capacity_per_shard: 1,
+        })
+        .is_err());
+        assert!(SessionStore::new(StoreConfig {
+            shards: 1,
+            capacity_per_shard: 0,
+        })
+        .is_err());
+        let empty = SessionStore::new(StoreConfig::default()).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.session_ids(), Vec::<SessionId>::new());
+    }
+}

@@ -1,0 +1,236 @@
+//! Cross-crate properties of the serving layer (`pkgrec-serve`):
+//!
+//! * journal replay is **bit-identical** — for random feedback sequences,
+//!   replaying a session's journal reconstructs exactly the state of the
+//!   live session, for the engine (compared through the snapshot machinery
+//!   of `pkgrec-core`) and for the EM-refit baseline adapter (compared
+//!   through its state and next recommendation),
+//! * serving outcomes are independent of the store's shard count, the
+//!   serving loop's thread count, and capacity pressure (spill/rehydrate
+//!   round trips are invisible to sessions).
+
+use pkgrec_baselines::{BaselineSpec, EmRefitConfig, FeatureDirection};
+use pkgrec_core::prelude::*;
+use pkgrec_serve::{
+    op_rng, user_rng, LiveSession, RecommenderSpec, SessionConfig, SessionId, SessionStore,
+    StoreConfig,
+};
+use proptest::prelude::*;
+
+fn catalog_strategy(max_items: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.05f64..1.0, 2), 5..max_items)
+}
+
+fn engine_config(rows: &[Vec<f64>], seed: u64) -> SessionConfig {
+    SessionConfig {
+        catalog: std::sync::Arc::new(Catalog::from_rows(rows.to_vec()).unwrap()),
+        profile: Profile::cost_quality(),
+        max_package_size: 2,
+        spec: RecommenderSpec::Engine(EngineConfig {
+            k: 2,
+            num_random: 2,
+            num_samples: 20,
+            ..EngineConfig::default()
+        }),
+        seed,
+    }
+}
+
+fn em_refit_config(rows: &[Vec<f64>], seed: u64) -> SessionConfig {
+    SessionConfig {
+        spec: RecommenderSpec::Baseline(BaselineSpec::EmRefit(EmRefitConfig {
+            k: 2,
+            num_random: 2,
+            num_samples: 15,
+            samples_per_refit: 30,
+            ..EmRefitConfig::default()
+        })),
+        ..engine_config(rows, seed)
+    }
+}
+
+fn hidden_user(catalog: &Catalog, weights: Vec<f64>) -> SimulatedUser {
+    let context = AggregationContext::new(Profile::cost_quality(), catalog, 2).unwrap();
+    SimulatedUser::new(LinearUtility::new(context, weights).unwrap())
+}
+
+/// Drives `rounds` rounds through the store, mixing clicks, pairwise
+/// comparisons and skips; the click/preferred index always follows the
+/// hidden utility, so the recorded preference set stays satisfiable.
+fn drive_rounds(
+    store: &mut SessionStore,
+    id: SessionId,
+    user: &SimulatedUser,
+    rounds: usize,
+    kinds: &[u8],
+) {
+    let catalog = store.session_config(id).unwrap().catalog.clone();
+    for round in 0..rounds {
+        let shown = store.present(id).unwrap();
+        let best = user.choose(&catalog, &shown, &mut user_rng(id.0)).unwrap();
+        let feedback = match kinds[round % kinds.len()] % 3 {
+            0 => Feedback::Click { index: best },
+            1 => Feedback::Pairwise {
+                preferred: best,
+                over: (best + 1) % shown.len(),
+            },
+            _ => Feedback::Skip,
+        };
+        store.feedback(id, feedback).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Engine sessions: `replay(journal)` reconstructs the *exact* session —
+    /// its snapshot (config + preference DAG + pool, bit for bit) equals the
+    /// live one's.
+    #[test]
+    fn engine_journal_replay_is_bit_identical(
+        rows in catalog_strategy(9),
+        w0 in -1.0f64..1.0,
+        w1 in -1.0f64..1.0,
+        rounds in 1usize..4,
+        kinds in prop::collection::vec(0u8..3, 4),
+        seed in 0u64..1000,
+    ) {
+        let mut store = SessionStore::new(StoreConfig { shards: 1, capacity_per_shard: 8 }).unwrap();
+        let config = engine_config(&rows, seed);
+        let user = hidden_user(&config.catalog, vec![w0, w1]);
+        let id = store.create(config).unwrap();
+        drive_rounds(&mut store, id, &user, rounds, &kinds);
+
+        // Replay the journal as it stands (no checkpoints were written: the
+        // store never exceeded capacity), i.e. reconstruct from `Created`.
+        let replayed = store.export_journal().replay(id).unwrap();
+        let LiveSession::Engine(replica) = &replayed.session else {
+            panic!("engine session expected");
+        };
+        // The live session's snapshot, via the store's snapshot surface.
+        let live_json = store.snapshot(id).unwrap();
+        let live: SessionSnapshot = serde_json::from_str(&live_json).unwrap();
+        prop_assert_eq!(&replica.snapshot(), &live);
+
+        // After eviction the session rehydrates from its checkpoint and
+        // keeps recommending exactly what the uninterrupted session would.
+        let before = store.recommend(id).unwrap();
+        store.evict(id).unwrap();
+        prop_assert_eq!(store.recommend(id).unwrap(), before);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The EM-refit baseline adapter: replay rebuilds a session with the
+    /// same observable state and the same next recommendation (the adapter
+    /// has no snapshot form — the journal *is* its durable form).
+    #[test]
+    fn em_refit_journal_replay_matches_the_live_session(
+        rows in catalog_strategy(8),
+        w0 in -1.0f64..1.0,
+        w1 in -1.0f64..1.0,
+        rounds in 1usize..3,
+        kinds in prop::collection::vec(0u8..3, 3),
+        seed in 0u64..1000,
+    ) {
+        let mut store = SessionStore::new(StoreConfig { shards: 1, capacity_per_shard: 8 }).unwrap();
+        let config = em_refit_config(&rows, seed);
+        let user = hidden_user(&config.catalog, vec![w0, w1]);
+        let id = store.create(config).unwrap();
+        drive_rounds(&mut store, id, &user, rounds, &kinds);
+
+        let mut replayed = store.export_journal().replay(id).unwrap();
+        let live_state = store.state(id).unwrap();
+        prop_assert_eq!(replayed.session.inspect().state(), live_state);
+        // Same next recommendation under the session's own derived stream.
+        let mut rng = op_rng(replayed.config.seed, replayed.ops);
+        let replica_recs = replayed.session.recommender().recommend(&mut rng).unwrap();
+        prop_assert_eq!(store.recommend(id).unwrap(), replica_recs);
+    }
+}
+
+/// Builds one mixed fleet (engine / em-refit / skyline sessions) in a store
+/// of the given shape and serves every session to convergence.
+fn serve_fleet(
+    shards: usize,
+    capacity: usize,
+    threads: usize,
+) -> Vec<pkgrec_serve::SessionOutcome> {
+    let rows = vec![
+        vec![0.6, 0.2],
+        vec![0.4, 0.4],
+        vec![0.2, 0.4],
+        vec![0.9, 0.8],
+        vec![0.3, 0.7],
+        vec![0.7, 0.1],
+        vec![0.1, 0.3],
+        vec![0.5, 0.9],
+    ];
+    let mut store = SessionStore::new(StoreConfig {
+        shards,
+        capacity_per_shard: capacity,
+    })
+    .unwrap();
+    let mut sessions = Vec::new();
+    for i in 0..9u64 {
+        let seed = 400 + i;
+        let config = match i % 3 {
+            0 => engine_config(&rows, seed),
+            1 => em_refit_config(&rows, seed),
+            _ => SessionConfig {
+                spec: RecommenderSpec::Baseline(BaselineSpec::Skyline {
+                    cardinality: 2,
+                    directions: vec![FeatureDirection::Minimize, FeatureDirection::Maximize],
+                    k: 2,
+                }),
+                ..engine_config(&rows, seed)
+            },
+        };
+        let catalog = config.catalog.clone();
+        let id = store.create(config).unwrap();
+        let lean = if i % 2 == 0 { -0.8 } else { 0.4 };
+        sessions.push((id, hidden_user(&catalog, vec![lean, 0.6])));
+    }
+    let elicitation = ElicitationConfig {
+        max_rounds: 5,
+        stable_rounds: 2,
+    };
+    pkgrec_serve::ServingLoop::new(&mut store)
+        .run(&sessions, elicitation, threads)
+        .unwrap()
+}
+
+#[test]
+fn serving_outcomes_are_shard_and_thread_count_independent() {
+    // Ample capacity: full outcome equality (including search counters)
+    // across 1 shard vs 4 shards and 1 thread vs 4 threads.
+    let baseline = serve_fleet(1, 32, 1);
+    assert_eq!(baseline.len(), 9);
+    assert!(baseline.iter().any(|o| o.label == "engine"));
+    assert!(baseline.iter().any(|o| o.label == "em-refit"));
+    assert!(baseline.iter().any(|o| o.label == "skyline"));
+    for (shards, threads) in [(4, 1), (4, 4), (2, 2)] {
+        let other = serve_fleet(shards, 32, threads);
+        assert_eq!(baseline, other, "{shards} shards, {threads} threads");
+    }
+}
+
+#[test]
+fn serving_outcomes_survive_capacity_pressure() {
+    // Capacity 1 forces spill/rehydrate on nearly every operation; the
+    // per-session elicitation outcomes must not change.  (Search counters
+    // are process-local observability and reset on engine rehydration, so
+    // they are excluded from this comparison.)
+    let ample = serve_fleet(2, 32, 2);
+    let starved = serve_fleet(2, 1, 2);
+    assert_eq!(ample.len(), starved.len());
+    for (a, s) in ample.iter().zip(starved.iter()) {
+        assert_eq!(a.id, s.id);
+        assert_eq!(a.label, s.label);
+        assert_eq!(a.clicks, s.clicks, "session {}", a.id);
+        assert_eq!(a.converged, s.converged, "session {}", a.id);
+        assert_eq!(a.precision, s.precision, "session {}", a.id);
+    }
+}

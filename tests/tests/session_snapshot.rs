@@ -1,6 +1,9 @@
 //! Property tests over session snapshots: a `snapshot → serde_json →
 //! restore` round trip must preserve the preference DAG, the sample pool
 //! (weights and importance, bit for bit) and the next-round recommendation.
+//! Plus the golden wire-format fixture (`fixtures/session_snapshot_v1.json`)
+//! that pins `SNAPSHOT_VERSION` 1, and the documented `set_num_threads`
+//! behaviour across `restore()`.
 
 use pkgrec_core::prelude::*;
 use proptest::prelude::*;
@@ -80,4 +83,130 @@ proptest! {
             restored.recommend(&mut rng_restored).unwrap()
         );
     }
+}
+
+/// The catalog of the checked-in golden fixture (kept in code so the fixture
+/// can be regenerated; the JSON on disk is the contract under test).
+fn golden_fixture_engine() -> RecommenderEngine {
+    let catalog = Catalog::from_rows(vec![
+        vec![0.6, 0.2],
+        vec![0.4, 0.4],
+        vec![0.2, 0.4],
+        vec![0.9, 0.8],
+        vec![0.3, 0.7],
+        vec![0.5, 0.9],
+    ])
+    .unwrap();
+    let mut engine = RecommenderEngine::builder(catalog.clone(), Profile::cost_quality())
+        .max_package_size(2)
+        .k(2)
+        .num_random(2)
+        .num_samples(20)
+        .build()
+        .unwrap();
+    let context = AggregationContext::new(Profile::cost_quality(), &catalog, 2).unwrap();
+    let user = SimulatedUser::new(LinearUtility::new(context, vec![-0.7, 0.6]).unwrap());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20140901);
+    for _ in 0..2 {
+        let shown = engine.present(&mut rng).unwrap();
+        let choice = user.choose(&catalog, &shown, &mut rng).unwrap();
+        engine
+            .record_feedback(&shown, Feedback::Click { index: choice }, &mut rng)
+            .unwrap();
+    }
+    engine
+}
+
+const GOLDEN_FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/fixtures/session_snapshot_v1.json"
+);
+
+/// Wire-format compatibility gate: the checked-in `SNAPSHOT_VERSION` 1
+/// snapshot must keep parsing, restoring and re-serialising losslessly.
+/// A PR that changes the snapshot layout will fail here and must bump
+/// `SNAPSHOT_VERSION` (plus provide a migration or a fresh fixture)
+/// deliberately rather than silently.
+///
+/// Regenerate with
+/// `UPDATE_SNAPSHOT_FIXTURE=1 cargo test -p pkgrec-integration-tests golden`.
+#[test]
+fn golden_snapshot_fixture_stays_restorable() {
+    if std::env::var_os("UPDATE_SNAPSHOT_FIXTURE").is_some() {
+        let snapshot = golden_fixture_engine().snapshot();
+        let json = serde_json::to_string_pretty(&snapshot).unwrap();
+        std::fs::write(GOLDEN_FIXTURE, json + "\n").unwrap();
+    }
+    let json = std::fs::read_to_string(GOLDEN_FIXTURE)
+        .expect("golden fixture exists (regenerate with UPDATE_SNAPSHOT_FIXTURE=1)");
+    let decoded: SessionSnapshot = serde_json::from_str(&json).expect("fixture parses");
+    assert_eq!(decoded.version, SNAPSHOT_VERSION);
+    assert_eq!(
+        decoded.version, 1,
+        "bumping SNAPSHOT_VERSION needs a new fixture"
+    );
+    assert_eq!(decoded.rounds, 2);
+    assert_eq!(decoded.pool.len(), 20);
+    assert!(!decoded.preferences.preferences().is_empty());
+
+    let mut restored = RecommenderEngine::restore(decoded.clone()).expect("fixture restores");
+    // The restored session re-serialises to the identical snapshot value:
+    // nothing of the wire format was lost or reinterpreted.
+    assert_eq!(restored.snapshot(), decoded);
+    // And it keeps serving: the pool is non-empty, so the recommendation is
+    // a pure function of the restored state.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let recs = restored.recommend(&mut rng).unwrap();
+    assert_eq!(recs.len(), decoded.config.k);
+}
+
+/// Documented behaviour (ROADMAP, `snapshot` module docs): the scoring
+/// thread budget is a process property, not session state — snapshots do
+/// not capture it, `restore()` resumes serial, and `set_num_threads`
+/// re-raises it with bit-identical results.
+#[test]
+fn num_threads_resumes_serial_and_is_reraisable_after_restore() {
+    let catalog = Catalog::from_rows(vec![
+        vec![0.6, 0.2],
+        vec![0.4, 0.4],
+        vec![0.2, 0.4],
+        vec![0.9, 0.8],
+        vec![0.3, 0.7],
+    ])
+    .unwrap();
+    let mut engine = RecommenderEngine::builder(catalog.clone(), Profile::cost_quality())
+        .max_package_size(2)
+        .k(2)
+        .num_random(2)
+        .num_samples(25)
+        .num_threads(3)
+        .build()
+        .unwrap();
+    assert_eq!(engine.num_threads(), 3);
+    let context = AggregationContext::new(Profile::cost_quality(), &catalog, 2).unwrap();
+    let user = SimulatedUser::new(LinearUtility::new(context, vec![-0.7, 0.6]).unwrap());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let shown = engine.present(&mut rng).unwrap();
+    let choice = user.choose(&catalog, &shown, &mut rng).unwrap();
+    engine
+        .record_feedback(&shown, Feedback::Click { index: choice }, &mut rng)
+        .unwrap();
+
+    let mut restored = RecommenderEngine::restore(engine.snapshot()).unwrap();
+    // Restore always resumes serial — the knob is not session state.
+    assert_eq!(restored.num_threads(), 1);
+    // Re-raising it succeeds and leaves results bit-identical to the live,
+    // threaded engine.
+    restored.set_num_threads(3).unwrap();
+    assert_eq!(restored.num_threads(), 3);
+    let mut rng_live = rand::rngs::StdRng::seed_from_u64(11);
+    let mut rng_restored = rand::rngs::StdRng::seed_from_u64(11);
+    assert_eq!(
+        engine.recommend(&mut rng_live).unwrap(),
+        restored.recommend(&mut rng_restored).unwrap()
+    );
+    // The knob itself survives further snapshot cycles of the same engine
+    // object (snapshotting does not reset the live engine).
+    let _ = restored.snapshot();
+    assert_eq!(restored.num_threads(), 3);
 }

@@ -234,6 +234,18 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        T::from_json_value(v).map(std::sync::Arc::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_json_value(&self) -> Value {
         match self {
@@ -356,5 +368,20 @@ impl<V: Deserialize> Deserialize for HashMap<String, V> {
             .iter()
             .map(|(k, v)| Ok((k.clone(), V::from_json_value(v)?)))
             .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arc_serialises_transparently_and_deserialises_fresh() {
+        let shared = std::sync::Arc::new(vec![1u64, 2, 3]);
+        let value = shared.to_json_value();
+        assert_eq!(value, vec![1u64, 2, 3].to_json_value());
+        let back: std::sync::Arc<Vec<u64>> = Deserialize::from_json_value(&value).unwrap();
+        assert_eq!(*back, *shared);
+        assert!(<std::sync::Arc<Vec<u64>> as Deserialize>::from_json_value(&Value::Null).is_err());
     }
 }
