@@ -15,7 +15,9 @@
 //! overhead there, not a speedup.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pkgrec_bench::serving::{serve_point, ServingConfig, ServingPoint};
+use pkgrec_bench::serving::{
+    durability_point, serve_point, DurabilityPoint, ServingConfig, ServingPoint,
+};
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -27,6 +29,7 @@ struct BenchRecord {
     max_rounds: usize,
     mixed_fleet: bool,
     points: Vec<ServingPoint>,
+    durability: DurabilityPoint,
 }
 
 fn bench_serving(_c: &mut Criterion) {
@@ -78,6 +81,52 @@ fn bench_serving(_c: &mut Criterion) {
         );
     }
 
+    // Durability series: the 100-session workload served through the
+    // segmented durable log, then compacted, killed and recovered.
+    // `durability_point` itself asserts probe sessions recommend
+    // identically across the kill; here we pin the interning + compaction
+    // byte cut versus the v1 (uninterned) journal serialisation.
+    let durability_config = if test_mode {
+        ServingConfig {
+            sessions: 24,
+            rows: 160,
+            num_samples: 20,
+            max_rounds: 2,
+            ..ServingConfig::default()
+        }
+    } else {
+        ServingConfig {
+            sessions: 100,
+            rows: 600,
+            num_samples: 30,
+            max_rounds: 2,
+            ..ServingConfig::default()
+        }
+    };
+    let durability =
+        durability_point(&durability_config).expect("the durable fleet serves and recovers");
+    println!(
+        "bench: fig_serving/durability          v1 {:>8.1} KB -> segments {:>7.1} KB -> compacted {:>7.1} KB ({:.1}x cut)",
+        durability.v1_journal_bytes as f64 / 1024.0,
+        durability.segment_bytes_before as f64 / 1024.0,
+        durability.segment_bytes_after as f64 / 1024.0,
+        durability.reduction_factor,
+    );
+    println!(
+        "bench: fig_serving/recovery            {} sessions rebuilt from segments in {:.2} ms",
+        durability.recovered_sessions, durability.recovery_ms,
+    );
+    let floor = if test_mode { 2.0 } else { 5.0 };
+    assert!(
+        durability.reduction_factor >= floor,
+        "interning + compaction must cut journal bytes by >= {floor}x, got {:.2}x",
+        durability.reduction_factor
+    );
+    assert_eq!(
+        durability.recovered_sessions, durability_config.sessions,
+        "every session must survive the kill"
+    );
+
     if !test_mode {
         let record = BenchRecord {
             bench: "fig_serving",
@@ -87,6 +136,7 @@ fn bench_serving(_c: &mut Criterion) {
             max_rounds: config.max_rounds,
             mixed_fleet: config.mixed,
             points,
+            durability,
         };
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
         let payload = serde_json::to_string_pretty(&record).expect("records serialise");

@@ -170,6 +170,7 @@ fn main() {
         };
         let result = serving::run(&config).expect("the serving fleet runs to completion");
         println!("{}", result.table());
+        println!("{}", result.durability_table());
         json.insert(
             "serving".to_string(),
             serde_json::to_value(&result).unwrap(),

@@ -20,11 +20,12 @@ use std::time::Instant;
 
 use pkgrec_baselines::{BaselineSpec, EmRefitConfig, FeatureDirection};
 use pkgrec_core::{
-    random_ground_truth_weights, AggregatedSearchStats, AggregationContext, ElicitationConfig,
-    EngineConfig, LinearUtility, Profile, Result, SimulatedUser,
+    random_ground_truth_weights, AggregatedSearchStats, AggregationContext, CoreError,
+    ElicitationConfig, EngineConfig, LinearUtility, Profile, Result, SimulatedUser,
 };
 use pkgrec_serve::{
-    RecommenderSpec, ServingLoop, SessionConfig, SessionId, SessionStore, StoreConfig, StoreStats,
+    CompactionStats, DurabilityConfig, RecommenderSpec, ServingLoop, SessionConfig, SessionId,
+    SessionStore, StoreConfig, StoreStats,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -79,20 +80,45 @@ impl Default for ServingConfig {
     }
 }
 
-/// Builds the session fleet: a store of the given shape populated with
-/// `sessions` sessions, plus one hidden-utility user per session.
+/// Builds the session fleet: a memory-only store of the given shape
+/// populated with `sessions` sessions, plus one hidden-utility user per
+/// session.
 pub fn build_fleet(
     config: &ServingConfig,
     capacity_per_shard: usize,
+) -> Result<(SessionStore, Vec<(SessionId, SimulatedUser)>)> {
+    let store = SessionStore::new(StoreConfig {
+        shards: config.shards,
+        capacity_per_shard,
+    })?;
+    populate_fleet(store, config)
+}
+
+/// Builds the same fleet on top of a durable store rooted at
+/// `durability.dir`, so every event lands in the segmented journal.
+pub fn build_durable_fleet(
+    config: &ServingConfig,
+    capacity_per_shard: usize,
+    durability: DurabilityConfig,
+) -> Result<(SessionStore, Vec<(SessionId, SimulatedUser)>)> {
+    let store = SessionStore::open_with(
+        StoreConfig {
+            shards: config.shards,
+            capacity_per_shard,
+        },
+        durability,
+    )?;
+    populate_fleet(store, config)
+}
+
+fn populate_fleet(
+    mut store: SessionStore,
+    config: &ServingConfig,
 ) -> Result<(SessionStore, Vec<(SessionId, SimulatedUser)>)> {
     let dataset = build_dataset(DatasetId::Uni, config.rows, config.seed);
     let catalog = std::sync::Arc::new(dataset_catalog(&dataset, 2));
     let profile = Profile::cost_quality();
     let context = AggregationContext::new(profile.clone(), &catalog, config.max_package_size)?;
-    let mut store = SessionStore::new(StoreConfig {
-        shards: config.shards,
-        capacity_per_shard,
-    })?;
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5E55_1011);
     let mut fleet = Vec::with_capacity(config.sessions);
     for i in 0..config.sessions {
@@ -166,12 +192,24 @@ pub fn serve_point(
     capacity_per_shard: usize,
 ) -> Result<ServingPoint> {
     let (mut store, fleet) = build_fleet(config, capacity_per_shard)?;
+    serve_fleet(&mut store, &fleet, config, path, capacity_per_shard)
+}
+
+/// The measurement half of [`serve_point`]: drives an already-built fleet
+/// to convergence through the given store and summarises the run.
+fn serve_fleet(
+    store: &mut SessionStore,
+    fleet: &[(SessionId, SimulatedUser)],
+    config: &ServingConfig,
+    path: &str,
+    capacity_per_shard: usize,
+) -> Result<ServingPoint> {
     let elicitation = ElicitationConfig {
         max_rounds: config.max_rounds,
         stable_rounds: 2,
     };
     let start = Instant::now();
-    let outcomes = ServingLoop::new(&mut store).run(&fleet, elicitation, config.threads)?;
+    let outcomes = ServingLoop::new(store).run(fleet, elicitation, config.threads)?;
     let elapsed = start.elapsed();
 
     let mut search = AggregatedSearchStats::default();
@@ -200,16 +238,136 @@ pub fn serve_point(
     })
 }
 
-/// Result of the serving experiment: both store shapes.
+/// The durability experiment: the fleet served through a durable
+/// (segmented, interned) store, then compacted, killed and recovered.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DurabilityPoint {
+    /// The serving measurement of the durable shape (path `durable-log`).
+    pub serving: ServingPoint,
+    /// Bytes of the v1 (uninterned, uncompacted) journal serialisation —
+    /// the wire format the store shipped before the segmented log.
+    pub v1_journal_bytes: usize,
+    /// Segment bytes on disk after serving, before compaction.
+    pub segment_bytes_before: u64,
+    /// Segment bytes on disk after checkpoint-anchored compaction.
+    pub segment_bytes_after: u64,
+    /// `v1_journal_bytes / sessions`.
+    pub v1_bytes_per_session: f64,
+    /// `segment_bytes_after / sessions`.
+    pub segment_bytes_per_session: f64,
+    /// `v1_journal_bytes / segment_bytes_after` — the interning +
+    /// compaction cut.
+    pub reduction_factor: f64,
+    /// What the compaction pass accomplished.
+    pub compaction: CompactionStats,
+    /// Milliseconds to rebuild every session from the segments alone.
+    pub recovery_ms: f64,
+    /// Sessions alive in the recovered store.
+    pub recovered_sessions: usize,
+    /// Counters of the recovered store (`recovery_replays` counts the
+    /// sessions rebuilt from segments).
+    pub recovered: StoreStats,
+}
+
+/// Serves the fleet through a durable store, then measures the journal's
+/// disk footprint before/after compaction and the cost of crash recovery.
+///
+/// The "kill" is a [`std::mem::forget`] of the live store — no graceful
+/// shutdown, no final flush beyond the explicit [`SessionStore::sync`] a
+/// careful server would issue — and recovery is a plain
+/// [`SessionStore::open_with`] over the surviving segments.  Probe sessions
+/// must recommend identically before and after, which the function asserts.
+pub fn durability_point(config: &ServingConfig) -> Result<DurabilityPoint> {
+    let dir = std::env::temp_dir().join(format!(
+        "pkgrec-bench-durability-{}-{}-{}",
+        std::process::id(),
+        config.seed,
+        config.sessions
+    ));
+    if dir.exists() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    // Serve under memory pressure so cold sessions spill checkpoints into
+    // the journal as they would in production — each spill supersedes the
+    // session's previous checkpoint, which is exactly what compaction
+    // reclaims.
+    let capacity = (config.sessions / (config.shards.max(1) * 2)).max(1);
+    let (mut store, fleet) = build_durable_fleet(config, capacity, DurabilityConfig::at(&dir))?;
+    let serving = serve_fleet(&mut store, &fleet, config, "durable-log", capacity)?;
+
+    // Footprints: the v1 serialisation embeds a full catalog copy per
+    // `Created` event; the segmented log interns it and, after compaction,
+    // keeps only each session's checkpoint tail.
+    store.sync()?;
+    let v1_journal_bytes = serde_json::to_string(&store.export_journal())
+        .map_err(|e| CoreError::Io(format!("v1 journal serialisation: {e}")))?
+        .len();
+    let segment_bytes_before = store.durable_bytes()?;
+    let compaction = store.compact()?;
+    let segment_bytes_after = store.durable_bytes()?;
+
+    // Kill and recover: remember what a handful of probe sessions would
+    // recommend, drop the store without running destructors, and demand the
+    // recovered store agree byte for byte.
+    let stride = (fleet.len() / 8).max(1);
+    let mut probes = Vec::new();
+    for (id, _) in fleet.iter().step_by(stride) {
+        probes.push((*id, store.recommend(*id)?));
+    }
+    store.sync()?;
+    std::mem::forget(store);
+
+    let start = Instant::now();
+    let mut recovered = SessionStore::open_with(
+        StoreConfig {
+            shards: config.shards,
+            capacity_per_shard: capacity,
+        },
+        DurabilityConfig::at(&dir),
+    )?;
+    let recovery_ms = start.elapsed().as_secs_f64() * 1e3;
+    let recovered_sessions = recovered.len();
+    for (id, expected) in &probes {
+        if recovered.recommend(*id)? != *expected {
+            return Err(CoreError::InvalidConfig(format!(
+                "recovered store diverged from the killed store for {id}"
+            )));
+        }
+    }
+    let recovered_stats = recovered.stats();
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let n = config.sessions.max(1) as f64;
+    Ok(DurabilityPoint {
+        serving,
+        v1_journal_bytes,
+        segment_bytes_before,
+        segment_bytes_after,
+        v1_bytes_per_session: v1_journal_bytes as f64 / n,
+        segment_bytes_per_session: segment_bytes_after as f64 / n,
+        reduction_factor: v1_journal_bytes as f64 / (segment_bytes_after as f64).max(1.0),
+        compaction,
+        recovery_ms,
+        recovered_sessions,
+        recovered: recovered_stats,
+    })
+}
+
+/// Result of the serving experiment: the memory store shapes plus the
+/// durable-log shape with its compaction/recovery measurements.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServingResult {
     /// The measured store shapes.
     pub points: Vec<ServingPoint>,
+    /// The durable-log measurement.
+    pub durability: DurabilityPoint,
 }
 
 impl ServingResult {
-    /// The summary table: serving throughput plus store and search counters
-    /// per measured shape.
+    /// The summary table: serving throughput plus store, durability and
+    /// search counters per measured shape (the durable-log shape rides
+    /// along as the last row; its durability columns are non-zero).
     pub fn table(&self) -> Table {
         let mut table = Table::new(
             "Serving layer: store paths, store counters and search statistics",
@@ -227,12 +385,19 @@ impl ServingResult {
                 "evictions",
                 "restores",
                 "snapshots",
+                "segments",
+                "appended KB",
+                "commits",
                 "searches",
                 "sorted acc",
                 "early-term %",
             ],
         );
-        for p in &self.points {
+        for p in self
+            .points
+            .iter()
+            .chain(std::iter::once(&self.durability.serving))
+        {
             table.push_row(vec![
                 p.path.clone(),
                 p.shards.to_string(),
@@ -247,6 +412,9 @@ impl ServingResult {
                 p.store.evictions.to_string(),
                 p.store.restores.to_string(),
                 p.store.snapshots.to_string(),
+                p.store.segments_written.to_string(),
+                format!("{:.1}", p.store.bytes_appended as f64 / 1024.0),
+                p.store.group_commits.to_string(),
                 p.search.searches.to_string(),
                 p.search.sorted_accesses.to_string(),
                 format!("{:.1}", p.search.early_termination_rate() * 100.0),
@@ -254,15 +422,56 @@ impl ServingResult {
         }
         table
     }
+
+    /// The durability table: journal footprint before/after interning +
+    /// compaction, and the cost of crash recovery.
+    pub fn durability_table(&self) -> Table {
+        let mut table = Table::new(
+            "Serving durability: interned segments, compaction and recovery",
+            &[
+                "sessions",
+                "v1 KB",
+                "segments KB",
+                "compacted KB",
+                "KB/session",
+                "cut",
+                "checkpoints",
+                "dropped",
+                "reclaimed KB",
+                "recovery ms",
+                "recovered",
+                "replays",
+            ],
+        );
+        let d = &self.durability;
+        table.push_row(vec![
+            d.serving.sessions.to_string(),
+            format!("{:.1}", d.v1_journal_bytes as f64 / 1024.0),
+            format!("{:.1}", d.segment_bytes_before as f64 / 1024.0),
+            format!("{:.1}", d.segment_bytes_after as f64 / 1024.0),
+            format!("{:.2}", d.segment_bytes_per_session / 1024.0),
+            format!("{:.1}x", d.reduction_factor),
+            d.compaction.checkpoints_written.to_string(),
+            d.compaction.events_dropped.to_string(),
+            format!("{:.1}", d.compaction.bytes_reclaimed as f64 / 1024.0),
+            format!("{:.2}", d.recovery_ms),
+            d.recovered_sessions.to_string(),
+            d.recovered.recovery_replays.to_string(),
+        ]);
+        table
+    }
 }
 
 /// Runs the serving experiment: the same fleet through the store-hit and
-/// snapshot-restore paths.
+/// snapshot-restore memory paths, then through the durable segmented log
+/// (with compaction and kill/recover measurements).
 pub fn run(config: &ServingConfig) -> Result<ServingResult> {
     let hit = serve_point(config, "store-hit", config.sessions.max(1))?;
     let restore = serve_point(config, "snapshot-restore", 1)?;
+    let durability = durability_point(config)?;
     Ok(ServingResult {
         points: vec![hit, restore],
+        durability,
     })
 }
 
@@ -302,5 +511,21 @@ mod tests {
         let markdown = result.table().to_markdown();
         assert!(markdown.contains("store-hit"));
         assert!(markdown.contains("snapshot-restore"));
+        assert!(markdown.contains("durable-log"));
+
+        // The durable shape serves the same fleet to the same outcomes,
+        // interning + compaction shrink the on-disk journal versus the v1
+        // serialisation, and every session survives the kill.
+        let d = &result.durability;
+        assert_eq!(d.serving.mean_clicks, hit.mean_clicks);
+        assert_eq!(d.serving.converged, hit.converged);
+        assert!(d.serving.store.segments_written > 0);
+        assert!(d.serving.store.group_commits > 0);
+        assert!(d.segment_bytes_after < d.segment_bytes_before);
+        assert!(d.reduction_factor > 1.0, "cut {:.2}", d.reduction_factor);
+        assert_eq!(d.recovered_sessions, 6);
+        assert_eq!(d.recovered.recovery_replays, 6);
+        let durability_markdown = result.durability_table().to_markdown();
+        assert!(durability_markdown.contains("recovery"));
     }
 }

@@ -52,6 +52,10 @@ pub enum CoreError {
     InvalidConfig(String),
     /// A session id does not exist in the session store addressed.
     UnknownSession(u64),
+    /// An I/O failure in a durable store (journal segments, checkpoints).
+    /// Carries the rendered OS error plus context, so the enum stays
+    /// `Clone + PartialEq` (a raw `std::io::Error` is neither).
+    Io(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -86,6 +90,7 @@ impl std::fmt::Display for CoreError {
             CoreError::UnknownSession(id) => {
                 write!(f, "session {id} is not in the session store")
             }
+            CoreError::Io(msg) => write!(f, "journal I/O error: {msg}"),
         }
     }
 }
@@ -151,6 +156,10 @@ mod tests {
                 "k must be positive",
             ),
             (CoreError::UnknownSession(7), "session 7"),
+            (
+                CoreError::Io("segment-00000001: disk full".into()),
+                "segment-00000001",
+            ),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

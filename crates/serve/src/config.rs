@@ -71,6 +71,27 @@ pub fn user_rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(mix64(seed ^ 0xA5A5_5A5A_0F0F_F0F0))
 }
 
+/// Content fingerprint of a catalog, used by the durable journal's intern
+/// table: equal catalogs (same feature names, same rows, bit for bit) hash
+/// equal, and the hash is process-independent (pure SplitMix64 folding, no
+/// `std::hash` randomness), so an intern table rebuilt during recovery
+/// assigns the same buckets the writer did.
+pub fn catalog_fingerprint(catalog: &Catalog) -> u64 {
+    let mut acc = mix64(0xCA7A_1069_0000_0000 ^ catalog.len() as u64);
+    for name in catalog.feature_names() {
+        for byte in name.as_bytes() {
+            acc = mix64(acc ^ u64::from(*byte));
+        }
+        acc = mix64(acc ^ 0xFE);
+    }
+    for (_, row) in catalog.iter() {
+        for value in row {
+            acc = mix64(acc ^ value.to_bits());
+        }
+    }
+    acc
+}
+
 /// The recommender recipe of a session: the paper's sample-maintenance
 /// engine or one of the baseline adapters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -1,0 +1,935 @@
+//! The durable, segmented, compacting backing store of a shard's journal.
+//!
+//! Each shard of a durable [`SessionStore`](crate::SessionStore) owns one
+//! `ShardLog`: an in-memory write buffer in front of append-only segment
+//! files (wire format v2, see [`crate::segment`]).  Shards never share
+//! durable state — each writes its own directory — which preserves the
+//! store's lock-free `&mut`-splitting under the serving loop.
+//!
+//! ## Group commit
+//!
+//! Appends accumulate in the buffer and reach the filesystem in batches:
+//! one `write(2)` per [`DurabilityConfig::flush_every_ops`] events (or per
+//! explicit `ShardLog::flush`/`ShardLog::sync` call).  `flush` hands the
+//! batch to the OS; `sync` additionally `fsync`s the active segment.  A
+//! crash loses at most the unflushed window — never previously flushed
+//! records, and never the record framing (recovery truncates a torn tail at
+//! the last clean record boundary).
+//!
+//! ## Generations and compaction
+//!
+//! Segment files are named `seg-<generation>-<sequence>.pkj`; a generation
+//! is *committed* by an empty `gen-<generation>.ok` marker file.  Compaction
+//! (`ShardLog::rewrite`) writes the retained records into a fresh
+//! generation, fsyncs it, commits its marker, and only then deletes the old
+//! generation — so a crash at any point leaves exactly one recoverable
+//! committed generation (plus garbage files the next recovery sweeps).
+//!
+//! ## Interning
+//!
+//! The log keeps a per-shard catalog intern table keyed by
+//! [`catalog_fingerprint`]: the first event referencing a catalog writes one
+//! [`WireRecord::Catalog`] definition, and every later `Created` event or
+//! `Snapshot` checkpoint stores only the [`CatalogId`].  Definitions always
+//! precede their first use in the same write batch, so recovery resolves
+//! references in a single forward pass and shares one
+//! [`Arc<Catalog>`](std::sync::Arc) across all sessions of a catalog.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use pkgrec_core::{Catalog, CoreError, Result};
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use crate::config::{catalog_fingerprint, SessionConfig, SessionId};
+use crate::journal::SessionEvent;
+use crate::segment::{
+    decode_segment, encode_record, write_header, CatalogId, WireEvent, WireRecord,
+    SEGMENT_HEADER_LEN, SEGMENT_VERSION,
+};
+
+/// Shape of a store's durable journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Root directory of the durable store; each shard writes its own
+    /// `shard-<i>` subdirectory, and a `store.json` manifest records the
+    /// layout.
+    pub dir: PathBuf,
+    /// Group-commit window: buffered events reach the filesystem after this
+    /// many appends (1 = write-through).  An explicit
+    /// [`SessionStore::sync`](crate::SessionStore::sync) flushes early.
+    pub flush_every_ops: usize,
+    /// Segment rotation threshold: once the active segment reaches this many
+    /// bytes it is sealed and the next batch opens a fresh segment.
+    pub segment_max_bytes: u64,
+    /// Whether every group commit also `fsync`s the active segment.  Off by
+    /// default: the write batch reaches the OS on every flush, and
+    /// [`SessionStore::sync`](crate::SessionStore::sync) forces durability
+    /// at the moments that matter (checkpoints, shutdown, compaction).
+    pub sync_on_flush: bool,
+}
+
+impl DurabilityConfig {
+    /// The default durability shape rooted at `dir`: group commit every 8
+    /// events, 1 MiB segments, no fsync-per-flush.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            flush_every_ops: 8,
+            segment_max_bytes: 1 << 20,
+            sync_on_flush: false,
+        }
+    }
+
+    /// Validates the knobs (both must be at least 1 / large enough to hold
+    /// a segment header).
+    pub fn validate(&self) -> Result<()> {
+        if self.flush_every_ops == 0 {
+            return Err(CoreError::InvalidConfig(
+                "flush_every_ops must be at least 1".into(),
+            ));
+        }
+        if self.segment_max_bytes < SEGMENT_HEADER_LEN as u64 {
+            return Err(CoreError::InvalidConfig(format!(
+                "segment_max_bytes must be at least the {SEGMENT_HEADER_LEN}-byte header"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Durability counters of one [`ShardLog`] (merged into
+/// [`StoreStats`](crate::StoreStats) by the store).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct LogStats {
+    /// Segment files opened for writing (including compaction rewrites).
+    pub segments_written: usize,
+    /// Record bytes handed to the filesystem (framing included; compaction
+    /// rewrites included).
+    pub bytes_appended: usize,
+    /// Disk bytes freed by generation rewrites (old size − new size).
+    pub bytes_reclaimed: usize,
+    /// Write batches flushed to the active segment.
+    pub group_commits: usize,
+}
+
+/// The `store.json` manifest at the root of a durable store's directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct Manifest {
+    /// Journal wire version ([`SEGMENT_VERSION`]).
+    pub version: u32,
+    /// Number of shard subdirectories.
+    pub shards: usize,
+}
+
+/// Name of the manifest file under the store root.
+pub(crate) const MANIFEST_NAME: &str = "store.json";
+
+/// Reads the manifest if one exists.
+pub(crate) fn read_manifest(root: &Path) -> Result<Option<Manifest>> {
+    let path = root.join(MANIFEST_NAME);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let bytes = fs::read(&path).map_err(|e| io_err(&path, "read manifest", e))?;
+    let manifest: Manifest = serde_json::from_slice(&bytes)
+        .map_err(|e| CoreError::Io(format!("parse manifest {}: {e}", path.display())))?;
+    Ok(Some(manifest))
+}
+
+/// Writes (and fsyncs) the manifest.
+pub(crate) fn write_manifest(root: &Path, shards: usize) -> Result<()> {
+    let manifest = Manifest {
+        version: SEGMENT_VERSION,
+        shards,
+    };
+    let path = root.join(MANIFEST_NAME);
+    let bytes = serde_json::to_vec(&manifest)
+        .map_err(|e| CoreError::Io(format!("serialise manifest: {e}")))?;
+    let mut file = fs::File::create(&path).map_err(|e| io_err(&path, "create manifest", e))?;
+    file.write_all(&bytes)
+        .and_then(|()| file.sync_all())
+        .map_err(|e| io_err(&path, "write manifest", e))
+}
+
+/// The shard subdirectory for shard `index` under `root`.
+pub(crate) fn shard_dir(root: &Path, index: usize) -> PathBuf {
+    root.join(format!("shard-{index:04}"))
+}
+
+fn io_err(path: &Path, action: &str, e: std::io::Error) -> CoreError {
+    CoreError::Io(format!("{action} {}: {e}", path.display()))
+}
+
+fn segment_name(generation: u64, sequence: u64) -> String {
+    format!("seg-{generation:08}-{sequence:08}.pkj")
+}
+
+fn marker_name(generation: u64) -> String {
+    format!("gen-{generation:08}.ok")
+}
+
+fn parse_segment_name(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".pkj")?;
+    let (generation, sequence) = rest.split_once('-')?;
+    Some((generation.parse().ok()?, sequence.parse().ok()?))
+}
+
+fn parse_marker_name(name: &str) -> Option<u64> {
+    name.strip_prefix("gen-")?.strip_suffix(".ok")?.parse().ok()
+}
+
+struct ActiveSegment {
+    file: fs::File,
+    path: PathBuf,
+    bytes: u64,
+}
+
+/// One shard's durable journal: write buffer + segment files + intern table.
+pub(crate) struct ShardLog {
+    dir: PathBuf,
+    flush_every_ops: usize,
+    segment_max_bytes: u64,
+    sync_on_flush: bool,
+    generation: u64,
+    next_sequence: u64,
+    active: Option<ActiveSegment>,
+    pending: Vec<u8>,
+    pending_records: usize,
+    /// fingerprint → candidate ids (equality-checked; collisions chain).
+    intern: HashMap<u64, Vec<CatalogId>>,
+    /// id (dense) → the interned catalog.
+    catalogs: Vec<Arc<Catalog>>,
+    stats: LogStats,
+}
+
+impl ShardLog {
+    /// Creates an empty shard log (fresh directory, committed generation 0).
+    pub(crate) fn create(dir: PathBuf, config: &DurabilityConfig) -> Result<Self> {
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, "create shard directory", e))?;
+        let log = ShardLog {
+            dir,
+            flush_every_ops: config.flush_every_ops,
+            segment_max_bytes: config.segment_max_bytes,
+            sync_on_flush: config.sync_on_flush,
+            generation: 0,
+            next_sequence: 0,
+            active: None,
+            pending: Vec::new(),
+            pending_records: 0,
+            intern: HashMap::new(),
+            catalogs: Vec::new(),
+            stats: LogStats::default(),
+        };
+        log.commit_marker()?;
+        Ok(log)
+    }
+
+    /// Reopens a shard directory, returning the log positioned for new
+    /// appends plus every recovered event in append order.
+    ///
+    /// Recovery reads the newest *committed* generation (highest marker),
+    /// sweeps files of any other generation (stale pre- or mid-compaction
+    /// leftovers), and tolerates a torn record at the tail of the newest
+    /// segment by truncating the file back to its last clean record.
+    pub(crate) fn recover(
+        dir: PathBuf,
+        config: &DurabilityConfig,
+    ) -> Result<(Self, Vec<(SessionId, SessionEvent)>)> {
+        let mut markers: Vec<u64> = Vec::new();
+        let mut segments: Vec<(u64, u64, PathBuf)> = Vec::new();
+        let entries = fs::read_dir(&dir).map_err(|e| io_err(&dir, "read shard directory", e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&dir, "read shard directory", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(generation) = parse_marker_name(name) {
+                markers.push(generation);
+            } else if let Some((generation, sequence)) = parse_segment_name(name) {
+                segments.push((generation, sequence, entry.path()));
+            }
+        }
+        let generation = markers.iter().copied().max().ok_or_else(|| {
+            CoreError::Io(format!(
+                "shard directory {} has no committed generation marker",
+                dir.display()
+            ))
+        })?;
+
+        // Sweep everything that is not part of the committed generation:
+        // superseded generations and half-written compaction output.
+        for &stale in markers.iter().filter(|&&g| g != generation) {
+            let path = dir.join(marker_name(stale));
+            fs::remove_file(&path).map_err(|e| io_err(&path, "sweep stale marker", e))?;
+        }
+        segments.retain(|(g, _, path)| {
+            if *g == generation {
+                return true;
+            }
+            // Best-effort sweep; a leftover costs bytes, not correctness.
+            let _ = fs::remove_file(path);
+            false
+        });
+        segments.sort_by_key(|(_, sequence, _)| *sequence);
+
+        let mut records: Vec<WireRecord> = Vec::new();
+        let mut next_sequence = 0;
+        let last = segments.len().saturating_sub(1);
+        for (index, (_, sequence, path)) in segments.iter().enumerate() {
+            next_sequence = sequence + 1;
+            let bytes = fs::read(path).map_err(|e| io_err(path, "read segment", e))?;
+            let decoded = decode_segment(&bytes)?;
+            if let Some(reason) = decoded.torn {
+                if index != last {
+                    return Err(CoreError::Io(format!(
+                        "sealed segment {} is corrupt ({reason})",
+                        path.display()
+                    )));
+                }
+                // Torn tail on the newest segment: truncate at corruption.
+                if decoded.clean_len < SEGMENT_HEADER_LEN as u64 {
+                    fs::remove_file(path).map_err(|e| io_err(path, "drop torn segment", e))?;
+                } else {
+                    let file = fs::OpenOptions::new()
+                        .write(true)
+                        .open(path)
+                        .map_err(|e| io_err(path, "reopen torn segment", e))?;
+                    file.set_len(decoded.clean_len)
+                        .and_then(|()| file.sync_all())
+                        .map_err(|e| io_err(path, "truncate torn segment", e))?;
+                }
+            }
+            records.extend(decoded.records);
+        }
+
+        let mut log = ShardLog {
+            dir,
+            flush_every_ops: config.flush_every_ops,
+            segment_max_bytes: config.segment_max_bytes,
+            sync_on_flush: config.sync_on_flush,
+            generation,
+            next_sequence,
+            active: None,
+            pending: Vec::new(),
+            pending_records: 0,
+            intern: HashMap::new(),
+            catalogs: Vec::new(),
+            stats: LogStats::default(),
+        };
+
+        // Resolve interned references in one forward pass, re-seeding the
+        // intern table so new appends reuse the recovered definitions.
+        let mut catalog_values: HashMap<u64, Value> = HashMap::new();
+        let mut events = Vec::new();
+        for record in records {
+            match record {
+                WireRecord::Catalog { id, catalog } => {
+                    if id.0 as usize != log.catalogs.len() {
+                        return Err(CoreError::Io(format!(
+                            "catalog definition {} out of order (expected {})",
+                            id.0,
+                            log.catalogs.len()
+                        )));
+                    }
+                    catalog_values.insert(id.0, catalog.to_json_value());
+                    let fingerprint = catalog_fingerprint(&catalog);
+                    log.intern.entry(fingerprint).or_default().push(id);
+                    log.catalogs.push(Arc::new(catalog));
+                }
+                WireRecord::Event { session, event } => {
+                    events.push((session, log.wire_to_event(event, &catalog_values)?));
+                }
+            }
+        }
+        Ok((log, events))
+    }
+
+    /// Buffers one event (plus any new catalog definition it needs), group
+    /// committing when the window fills.
+    pub(crate) fn append(&mut self, session: SessionId, event: &SessionEvent) -> Result<()> {
+        let wire = self.event_to_wire(event)?;
+        encode_record(
+            &WireRecord::Event {
+                session,
+                event: wire,
+            },
+            &mut self.pending,
+        )?;
+        self.pending_records += 1;
+        if self.pending_records >= self.flush_every_ops {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Writes the buffered batch to the active segment (one group commit).
+    pub(crate) fn flush(&mut self) -> Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.ensure_active()?;
+        let active = self.active.as_mut().expect("ensured above");
+        active
+            .file
+            .write_all(&self.pending)
+            .map_err(|e| io_err(&active.path, "append batch", e))?;
+        active.bytes += self.pending.len() as u64;
+        self.stats.bytes_appended += self.pending.len();
+        self.stats.group_commits += 1;
+        if self.sync_on_flush {
+            active
+                .file
+                .sync_data()
+                .map_err(|e| io_err(&active.path, "sync segment", e))?;
+        }
+        self.pending.clear();
+        self.pending_records = 0;
+        Ok(())
+    }
+
+    /// Flushes and `fsync`s the active segment: everything appended so far
+    /// survives a crash.
+    pub(crate) fn sync(&mut self) -> Result<()> {
+        self.flush()?;
+        if let Some(active) = &mut self.active {
+            active
+                .file
+                .sync_all()
+                .map_err(|e| io_err(&active.path, "sync segment", e))?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the log as a fresh generation holding exactly `records`
+    /// (checkpoint-anchored compaction's disk half), committing the new
+    /// generation before deleting the old one so a crash at any point
+    /// leaves one recoverable committed generation.
+    pub(crate) fn rewrite<'a>(
+        &mut self,
+        records: impl IntoIterator<Item = (SessionId, &'a SessionEvent)>,
+    ) -> Result<()> {
+        self.sync()?;
+        if let Some(sealed) = self.active.take() {
+            drop(sealed);
+        }
+        let old_generation = self.generation;
+        let old_bytes = self.generation_bytes(old_generation)?;
+
+        self.generation += 1;
+        self.next_sequence = 0;
+        self.intern.clear();
+        self.catalogs.clear();
+        for (session, event) in records {
+            self.append(session, event)?;
+        }
+        self.sync()?;
+        self.commit_marker()?;
+
+        // The new generation is committed; the old one is garbage now.
+        let old_marker = self.dir.join(marker_name(old_generation));
+        fs::remove_file(&old_marker).map_err(|e| io_err(&old_marker, "remove old marker", e))?;
+        let mut sequence = 0;
+        loop {
+            let path = self.dir.join(segment_name(old_generation, sequence));
+            if !path.exists() {
+                break;
+            }
+            fs::remove_file(&path).map_err(|e| io_err(&path, "remove old segment", e))?;
+            sequence += 1;
+        }
+        let new_bytes = self.generation_bytes(self.generation)?;
+        self.stats.bytes_reclaimed += old_bytes.saturating_sub(new_bytes) as usize;
+        Ok(())
+    }
+
+    /// Total bytes of this shard's directory (all segment files + markers).
+    pub(crate) fn disk_bytes(&self) -> Result<u64> {
+        let mut total = 0;
+        let entries =
+            fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, "read shard directory", e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&self.dir, "read shard directory", e))?;
+            total += entry
+                .metadata()
+                .map_err(|e| io_err(&entry.path(), "stat", e))?
+                .len();
+        }
+        Ok(total)
+    }
+
+    pub(crate) fn stats(&self) -> LogStats {
+        self.stats
+    }
+
+    fn generation_bytes(&self, generation: u64) -> Result<u64> {
+        let mut total = 0;
+        let entries =
+            fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, "read shard directory", e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&self.dir, "read shard directory", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if parse_segment_name(name).is_some_and(|(g, _)| g == generation) {
+                total += entry
+                    .metadata()
+                    .map_err(|e| io_err(&entry.path(), "stat", e))?
+                    .len();
+            }
+        }
+        Ok(total)
+    }
+
+    fn commit_marker(&self) -> Result<()> {
+        let path = self.dir.join(marker_name(self.generation));
+        fs::File::create(&path)
+            .and_then(|file| file.sync_all())
+            .map_err(|e| io_err(&path, "commit generation marker", e))
+    }
+
+    /// Seals the active segment if full and opens a fresh one if needed.
+    fn ensure_active(&mut self) -> Result<()> {
+        let full = match &self.active {
+            None => true,
+            Some(active) => active.bytes >= self.segment_max_bytes,
+        };
+        if !full {
+            return Ok(());
+        }
+        if let Some(sealed) = self.active.take() {
+            sealed
+                .file
+                .sync_data()
+                .map_err(|e| io_err(&sealed.path, "seal segment", e))?;
+        }
+        let path = self
+            .dir
+            .join(segment_name(self.generation, self.next_sequence));
+        self.next_sequence += 1;
+        let mut file = fs::File::create(&path).map_err(|e| io_err(&path, "create segment", e))?;
+        let mut header = Vec::with_capacity(SEGMENT_HEADER_LEN);
+        write_header(&mut header);
+        file.write_all(&header)
+            .map_err(|e| io_err(&path, "write segment header", e))?;
+        self.stats.segments_written += 1;
+        self.active = Some(ActiveSegment {
+            file,
+            path,
+            bytes: SEGMENT_HEADER_LEN as u64,
+        });
+        Ok(())
+    }
+
+    /// Interns a catalog, emitting its definition record into the pending
+    /// batch on first sight (so the definition always precedes its first
+    /// use on disk).
+    fn intern_catalog(&mut self, catalog: &Arc<Catalog>) -> Result<CatalogId> {
+        let fingerprint = catalog_fingerprint(catalog);
+        if let Some(ids) = self.intern.get(&fingerprint) {
+            for &id in ids {
+                if *self.catalogs[id.0 as usize] == **catalog {
+                    return Ok(id);
+                }
+            }
+        }
+        let id = CatalogId(self.catalogs.len() as u64);
+        encode_record(
+            &WireRecord::Catalog {
+                id,
+                catalog: (**catalog).clone(),
+            },
+            &mut self.pending,
+        )?;
+        self.catalogs.push(catalog.clone());
+        self.intern.entry(fingerprint).or_default().push(id);
+        Ok(id)
+    }
+
+    fn event_to_wire(&mut self, event: &SessionEvent) -> Result<WireEvent> {
+        Ok(match event {
+            SessionEvent::Created { config } => WireEvent::Created {
+                catalog: self.intern_catalog(&config.catalog)?,
+                profile: config.profile.clone(),
+                max_package_size: config.max_package_size,
+                spec: config.spec.clone(),
+                seed: config.seed,
+            },
+            SessionEvent::Presented => WireEvent::Presented,
+            SessionEvent::Feedback(feedback) => WireEvent::Feedback(*feedback),
+            SessionEvent::Recommended => WireEvent::Recommended,
+            SessionEvent::Snapshot {
+                json,
+                ops,
+                last_shown,
+            } => {
+                let mut snapshot: Value = serde_json::from_str(json)
+                    .map_err(|e| CoreError::Io(format!("parse snapshot checkpoint: {e}")))?;
+                let Value::Object(entries) = &mut snapshot else {
+                    return Err(CoreError::Io(
+                        "snapshot checkpoint is not a JSON object".into(),
+                    ));
+                };
+                let slot = entries
+                    .iter_mut()
+                    .find(|(key, _)| key == "catalog")
+                    .ok_or_else(|| {
+                        CoreError::Io("snapshot checkpoint has no catalog field".into())
+                    })?;
+                // Intern the snapshot's *own* parsed catalog (not the
+                // session config's): substituting its serialised form back
+                // on decode is then exactly inverse, byte for byte.
+                let catalog = <Catalog as Deserialize>::from_json_value(&slot.1)
+                    .map_err(|e| CoreError::Io(format!("parse snapshot catalog: {e}")))?;
+                let id = self.intern_catalog(&Arc::new(catalog))?;
+                slot.1 = Value::Number(id.0 as f64);
+                WireEvent::Snapshot {
+                    snapshot,
+                    ops: *ops,
+                    last_shown: last_shown.clone(),
+                }
+            }
+        })
+    }
+
+    /// Resolves a recovered wire event back to a journal event, using the
+    /// recovered definitions (`catalog_values` caches their `Value` form so
+    /// snapshot reconstruction is one substitution, not a reserialisation).
+    fn wire_to_event(
+        &self,
+        event: WireEvent,
+        catalog_values: &HashMap<u64, Value>,
+    ) -> Result<SessionEvent> {
+        Ok(match event {
+            WireEvent::Created {
+                catalog,
+                profile,
+                max_package_size,
+                spec,
+                seed,
+            } => {
+                let shared = self
+                    .catalogs
+                    .get(catalog.0 as usize)
+                    .ok_or_else(|| {
+                        CoreError::Io(format!("dangling catalog reference {}", catalog.0))
+                    })?
+                    .clone();
+                SessionEvent::Created {
+                    config: SessionConfig {
+                        catalog: shared,
+                        profile,
+                        max_package_size,
+                        spec,
+                        seed,
+                    },
+                }
+            }
+            WireEvent::Presented => SessionEvent::Presented,
+            WireEvent::Feedback(feedback) => SessionEvent::Feedback(feedback),
+            WireEvent::Recommended => SessionEvent::Recommended,
+            WireEvent::Snapshot {
+                mut snapshot,
+                ops,
+                last_shown,
+            } => {
+                let Value::Object(entries) = &mut snapshot else {
+                    return Err(CoreError::Io(
+                        "recovered snapshot checkpoint is not a JSON object".into(),
+                    ));
+                };
+                let slot = entries
+                    .iter_mut()
+                    .find(|(key, _)| key == "catalog")
+                    .ok_or_else(|| {
+                        CoreError::Io("recovered snapshot has no catalog field".into())
+                    })?;
+                let id = slot
+                    .1
+                    .as_f64()
+                    .filter(|n| n.fract() == 0.0)
+                    .ok_or_else(|| {
+                        CoreError::Io("recovered snapshot catalog reference is not an id".into())
+                    })? as u64;
+                slot.1 = catalog_values
+                    .get(&id)
+                    .ok_or_else(|| CoreError::Io(format!("dangling catalog reference {id}")))?
+                    .clone();
+                let json = serde_json::to_string(&snapshot)
+                    .map_err(|e| CoreError::Io(format!("reserialise snapshot: {e}")))?;
+                SessionEvent::Snapshot {
+                    json,
+                    ops,
+                    last_shown,
+                }
+            }
+        })
+    }
+}
+
+impl Drop for ShardLog {
+    /// Best-effort flush on graceful drop; a killed process (no drop) loses
+    /// at most the unflushed group-commit window, which recovery tolerates.
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RecommenderSpec;
+    use pkgrec_core::{EngineConfig, Feedback, Profile};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pkgrec-durable-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn catalog() -> Catalog {
+        Catalog::from_rows(vec![vec![0.6, 0.2], vec![0.4, 0.4], vec![0.9, 0.8]]).unwrap()
+    }
+
+    fn session_config(seed: u64, catalog: &Arc<Catalog>) -> SessionConfig {
+        SessionConfig {
+            catalog: catalog.clone(),
+            profile: Profile::cost_quality(),
+            max_package_size: 2,
+            spec: RecommenderSpec::Engine(EngineConfig {
+                k: 2,
+                num_random: 2,
+                num_samples: 20,
+                ..EngineConfig::default()
+            }),
+            seed,
+        }
+    }
+
+    /// A synthetic snapshot-checkpoint JSON embedding the catalog the way a
+    /// real [`SessionSnapshot`](pkgrec_core::SessionSnapshot) does.
+    fn snapshot_json(catalog: &Catalog) -> String {
+        let value = Value::Object(vec![
+            ("version".into(), Value::Number(1.0)),
+            ("catalog".into(), catalog.to_json_value()),
+            ("rounds".into(), Value::Number(2.0)),
+        ]);
+        serde_json::to_string(&value).unwrap()
+    }
+
+    fn sample_events(catalog: &Arc<Catalog>) -> Vec<(SessionId, SessionEvent)> {
+        vec![
+            (
+                SessionId(0),
+                SessionEvent::Created {
+                    config: session_config(7, catalog),
+                },
+            ),
+            (SessionId(0), SessionEvent::Presented),
+            (
+                SessionId(0),
+                SessionEvent::Feedback(Feedback::Click { index: 1 }),
+            ),
+            (
+                SessionId(1),
+                SessionEvent::Created {
+                    config: session_config(8, catalog),
+                },
+            ),
+            (
+                SessionId(0),
+                SessionEvent::Snapshot {
+                    json: snapshot_json(catalog),
+                    ops: 2,
+                    last_shown: Vec::new(),
+                },
+            ),
+            (SessionId(1), SessionEvent::Recommended),
+        ]
+    }
+
+    #[test]
+    fn append_sync_recover_round_trips_with_shared_catalogs() {
+        let dir = temp_dir("round-trip");
+        let shared = Arc::new(catalog());
+        let events = sample_events(&shared);
+        let config = DurabilityConfig {
+            flush_every_ops: 2,
+            ..DurabilityConfig::at(&dir)
+        };
+        let mut log = ShardLog::create(dir.clone(), &config).unwrap();
+        for (session, event) in &events {
+            log.append(*session, event).unwrap();
+        }
+        log.sync().unwrap();
+        assert!(log.stats().group_commits >= 2, "group commit batches");
+        drop(log);
+
+        let (recovered, replayed) = ShardLog::recover(dir.clone(), &config).unwrap();
+        assert_eq!(replayed, events);
+        // Both Created events and the Snapshot reference ONE interned
+        // catalog, and recovery shares one Arc across them.
+        assert_eq!(recovered.catalogs.len(), 1);
+        let (SessionEvent::Created { config: a }, SessionEvent::Created { config: b }) =
+            (&replayed[0].1, &replayed[3].1)
+        else {
+            panic!("created events expected");
+        };
+        assert!(Arc::ptr_eq(&a.catalog, &b.catalog));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_checkpoints_survive_interning_byte_for_byte() {
+        let dir = temp_dir("snapshot-bytes");
+        let shared = Arc::new(catalog());
+        let original = snapshot_json(&shared);
+        let config = DurabilityConfig::at(&dir);
+        let mut log = ShardLog::create(dir.clone(), &config).unwrap();
+        log.append(
+            SessionId(3),
+            &SessionEvent::Snapshot {
+                json: original.clone(),
+                ops: 4,
+                last_shown: Vec::new(),
+            },
+        )
+        .unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let (_, replayed) = ShardLog::recover(dir.clone(), &config).unwrap();
+        let SessionEvent::Snapshot { json, .. } = &replayed[0].1 else {
+            panic!("snapshot expected");
+        };
+        assert_eq!(json, &original);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_rotate_at_the_size_threshold() {
+        let dir = temp_dir("rotation");
+        let shared = Arc::new(catalog());
+        let config = DurabilityConfig {
+            flush_every_ops: 1,
+            segment_max_bytes: 256,
+            ..DurabilityConfig::at(&dir)
+        };
+        let mut log = ShardLog::create(dir.clone(), &config).unwrap();
+        let events = sample_events(&shared);
+        for _ in 0..4 {
+            for (session, event) in &events {
+                log.append(*session, event).unwrap();
+            }
+        }
+        log.sync().unwrap();
+        assert!(
+            log.stats().segments_written > 1,
+            "rotation produced segments"
+        );
+        drop(log);
+        let (_, replayed) = ShardLog::recover(dir.clone(), &config).unwrap();
+        assert_eq!(replayed.len(), events.len() * 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tails_truncate_but_sealed_corruption_is_fatal() {
+        let dir = temp_dir("torn");
+        let shared = Arc::new(catalog());
+        let config = DurabilityConfig {
+            flush_every_ops: 1,
+            ..DurabilityConfig::at(&dir)
+        };
+        let mut log = ShardLog::create(dir.clone(), &config).unwrap();
+        let events = sample_events(&shared);
+        for (session, event) in &events {
+            log.append(*session, event).unwrap();
+        }
+        log.sync().unwrap();
+        drop(log);
+
+        // Tear the tail of the only (= newest) segment: recovery truncates
+        // and returns the clean prefix.
+        let seg = dir.join(segment_name(0, 0));
+        let full = fs::read(&seg).unwrap();
+        fs::write(&seg, &full[..full.len() - 3]).unwrap();
+        let (_, replayed) = ShardLog::recover(dir.clone(), &config).unwrap();
+        assert_eq!(replayed.len(), events.len() - 1);
+        assert_eq!(replayed[..], events[..events.len() - 1]);
+
+        // The same corruption in a *sealed* (non-newest) segment is fatal.
+        let torn = fs::read(&seg).unwrap();
+        fs::write(&seg, &torn[..torn.len() - 3]).unwrap();
+        let mut next = fs::File::create(dir.join(segment_name(0, 1))).unwrap();
+        let mut header = Vec::new();
+        write_header(&mut header);
+        next.write_all(&header).unwrap();
+        drop(next);
+        assert!(matches!(
+            ShardLog::recover(dir.clone(), &config),
+            Err(CoreError::Io(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_commits_the_new_generation_before_dropping_the_old() {
+        let dir = temp_dir("rewrite");
+        let shared = Arc::new(catalog());
+        let config = DurabilityConfig {
+            flush_every_ops: 1,
+            ..DurabilityConfig::at(&dir)
+        };
+        let mut log = ShardLog::create(dir.clone(), &config).unwrap();
+        let events = sample_events(&shared);
+        for _ in 0..8 {
+            for (session, event) in &events {
+                log.append(*session, event).unwrap();
+            }
+        }
+        log.sync().unwrap();
+        let before = log.disk_bytes().unwrap();
+
+        // Retain one copy of the history: the rewrite re-interns from
+        // scratch and reclaims the rest.
+        let retained: Vec<(SessionId, &SessionEvent)> =
+            events.iter().map(|(s, e)| (*s, e)).collect();
+        log.rewrite(retained).unwrap();
+        let after = log.disk_bytes().unwrap();
+        assert!(
+            after < before,
+            "compaction reclaims bytes ({before} -> {after})"
+        );
+        assert!(log.stats().bytes_reclaimed > 0);
+        assert!(dir.join(marker_name(1)).exists());
+        assert!(!dir.join(marker_name(0)).exists());
+        assert!(!dir.join(segment_name(0, 0)).exists());
+
+        // Appends keep working in the new generation, and recovery sees
+        // exactly retained + appended.
+        log.append(SessionId(1), &SessionEvent::Presented).unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let (_, replayed) = ShardLog::recover(dir.clone(), &config).unwrap();
+        assert_eq!(replayed.len(), events.len() + 1);
+        assert_eq!(replayed[..events.len()], events[..]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_durability_shapes_are_rejected() {
+        let config = DurabilityConfig {
+            flush_every_ops: 0,
+            ..DurabilityConfig::at("unused")
+        };
+        assert!(config.validate().is_err());
+        let config = DurabilityConfig {
+            segment_max_bytes: 4,
+            ..DurabilityConfig::at("unused")
+        };
+        assert!(config.validate().is_err());
+        assert!(DurabilityConfig::at("unused").validate().is_ok());
+    }
+}

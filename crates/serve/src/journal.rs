@@ -239,6 +239,41 @@ impl Journal {
         })
     }
 
+    /// The checkpoint-anchored compaction of this journal: for every
+    /// session it keeps the `Created` event, the *latest* `Snapshot`
+    /// checkpoint (if any) and every event after it, dropping the events the
+    /// checkpoint supersedes.  Global record order is preserved, so replay
+    /// over the compacted journal reconstructs every session bit-identically
+    /// ([`Journal::replay`] fast-forwards from the latest checkpoint anyway
+    /// — compaction merely deletes what fast-forward already skips).
+    ///
+    /// Returns the compacted journal and the number of records dropped.
+    pub fn compacted(&self) -> (Journal, usize) {
+        use std::collections::HashMap;
+        let mut latest_snapshot: HashMap<SessionId, usize> = HashMap::new();
+        for (i, record) in self.records.iter().enumerate() {
+            if matches!(record.event, SessionEvent::Snapshot { .. }) {
+                latest_snapshot.insert(record.session, i);
+            }
+        }
+        let records: Vec<JournalRecord> = self
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(i, record)| match latest_snapshot.get(&record.session) {
+                None => true, // no checkpoint: the full history is live
+                Some(&anchor) => match record.event {
+                    SessionEvent::Created { .. } => true,
+                    SessionEvent::Snapshot { .. } => *i == anchor,
+                    _ => *i > anchor,
+                },
+            })
+            .map(|(_, record)| record.clone())
+            .collect();
+        let dropped = self.records.len() - records.len();
+        (Journal { records }, dropped)
+    }
+
     /// The session ids with a `Created` event, in creation order.
     pub fn created_sessions(&self) -> Vec<(SessionId, &SessionConfig)> {
         self.records
@@ -381,6 +416,42 @@ mod tests {
             blind_feedback.replay(SessionId(3)),
             Err(CoreError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn compaction_anchors_on_the_latest_checkpoint_and_preserves_replay() {
+        // Without a checkpoint the whole history is live: nothing to drop.
+        let (journal, _, _) = drive(2, 43);
+        let (same, dropped) = journal.compacted();
+        assert_eq!(dropped, 0);
+        assert_eq!(same, journal);
+
+        // With a checkpoint, compaction keeps Created + the latest Snapshot
+        // and drops the operations the checkpoint supersedes — and replay
+        // over the compacted journal is bit-identical.
+        let (mut journal, live, ops) = drive(3, 41);
+        let LiveSession::Engine(engine) = &live else {
+            panic!("engine session expected");
+        };
+        let json = serde_json::to_string(&engine.snapshot()).unwrap();
+        journal.append(
+            SessionId(1),
+            SessionEvent::Snapshot {
+                json,
+                ops,
+                last_shown: Vec::new(),
+            },
+        );
+        let (compacted, dropped) = journal.compacted();
+        assert_eq!(dropped, 6, "three present/feedback rounds superseded");
+        assert_eq!(compacted.len(), 2, "Created + latest checkpoint remain");
+        let a = journal.replay(SessionId(1)).unwrap();
+        let b = compacted.replay(SessionId(1)).unwrap();
+        assert_eq!(a.ops, b.ops);
+        let (LiveSession::Engine(a), LiveSession::Engine(b)) = (&a.session, &b.session) else {
+            panic!("engine sessions expected");
+        };
+        assert_eq!(a.snapshot(), b.snapshot());
     }
 
     #[test]

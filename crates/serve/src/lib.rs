@@ -5,21 +5,52 @@
 //! (preference DAG, sample pool, prior), and this crate owns the lifecycle
 //! of many such sessions at once so application code never has to.
 //!
-//! Three pieces compose the layer:
+//! Four pieces compose the layer:
 //!
 //! * [`SessionStore`] — a sharded map of sessions (hash by [`SessionId`],
-//!   `&mut`-splittable shards, no locks) with LRU capacity eviction that
-//!   spills cold sessions to snapshots and rehydrates them on demand,
-//! * [`Journal`] — an append-only log of session events; [`Journal::replay`]
-//!   reconstructs any session *bit-identically*, so the journal — not the
-//!   process — is the durable form of a session (in the spirit of
-//!   log-structured systems such as LogBase),
+//!   `&mut`-splittable shards, no locks) with ordered-index LRU eviction
+//!   that spills cold sessions to snapshot checkpoints and rehydrates them
+//!   on demand,
+//! * [`Journal`] — the in-memory append-only log of session events;
+//!   [`Journal::replay`] reconstructs any session *bit-identically*, so
+//!   the journal — not the process — is the authoritative form of a
+//!   session (in the spirit of log-structured systems such as LogBase),
+//! * the **durable journal** ([`DurabilityConfig`], [`SessionStore::open`])
+//!   — per-shard segment files that make the log survive the process:
+//!   every event is appended (group-committed, CRC-framed, catalogs
+//!   interned) *before* it mutates memory, and reopening the directory
+//!   replays the segments back into an identical store,
 //! * [`ServingLoop`] — a [`std::thread::scope`] driver that steps many
 //!   concurrent simulated sessions shard-parallel through the *generic*
 //!   core elicitation driver, with outcomes independent of thread count,
 //!   shard count and capacity pressure.
 //!
-//! ## Quick start
+//! ## The log is the database
+//!
+//! A durable store's directory is laid out as
+//!
+//! ```text
+//! store/
+//! ├── store.json                     manifest: wire version + shard count
+//! ├── shard-0000/
+//! │   ├── gen-00000001.ok            committed-generation marker
+//! │   ├── seg-00000001-00000000.pkj  ┐ segment files, appended in order:
+//! │   └── seg-00000001-00000001.pkj  ┘ header | [len|crc32|json record]*
+//! └── shard-0001/ …
+//! ```
+//!
+//! Records are catalog intern-table definitions or session events; a
+//! `Created`/`Snapshot` stores a [`CatalogId`] reference, so a fleet
+//! sharing one catalog writes its rows once per shard, not once per
+//! session.  [`SessionStore::compact`] checkpoints live sessions and
+//! rewrites each shard's retained tail into a fresh generation — the new
+//! marker is committed before the old generation is deleted, so a crash at
+//! any byte leaves exactly one recoverable generation.  Recovery
+//! ([`SessionStore::open`]) tolerates a torn tail on the newest segment by
+//! truncating at the last clean record boundary; corruption anywhere else
+//! is an error, never silence.
+//!
+//! ## Quick start: survive a kill
 //!
 //! ```
 //! use std::sync::Arc;
@@ -27,12 +58,14 @@
 //! use pkgrec_core::prelude::*;
 //! use pkgrec_serve::{RecommenderSpec, SessionConfig, SessionStore, StoreConfig};
 //!
-//! // A store with 2 shards, each keeping up to 8 sessions live in memory.
-//! let mut store = SessionStore::new(StoreConfig { shards: 2, capacity_per_shard: 8 }).unwrap();
+//! let dir = std::env::temp_dir().join(format!("pkgrec-quickstart-{}", std::process::id()));
+//! let config = StoreConfig { shards: 2, capacity_per_shard: 8 };
+//! // A durable store: every event lands in `dir` before memory changes.
+//! let mut store = SessionStore::open(&dir, config).unwrap();
 //!
 //! // Create a session: the config is plain serde data — catalog, profile,
 //! // φ, recommender recipe and a deterministic seed.  The catalog sits
-//! // behind an Arc so a whole fleet shares one copy.
+//! // behind an Arc in memory and an intern table on disk.
 //! let catalog = Arc::new(Catalog::from_rows(vec![
 //!     vec![0.6, 0.2],
 //!     vec![0.4, 0.4],
@@ -59,35 +92,48 @@
 //! store.feedback(id, Feedback::Click { index: 0 }).unwrap();
 //! let before = store.recommend(id).unwrap();
 //!
-//! // Evict the session (it spills to a snapshot checkpoint in the journal)
-//! // and touch it again: it rehydrates bit-identically.
-//! store.evict(id).unwrap();
-//! assert!(!store.is_live(id).unwrap());
-//! assert_eq!(store.recommend(id).unwrap(), before);
+//! // Kill the process image: fsync, then drop without destructors.
+//! store.sync().unwrap();
+//! std::mem::forget(store);
 //!
-//! // The journal alone rebuilds the whole store (e.g. after a restart).
-//! let journal = store.export_journal();
-//! let mut reborn = SessionStore::from_journal(
-//!     StoreConfig { shards: 4, capacity_per_shard: 8 }, &journal).unwrap();
+//! // Reopening the directory IS recovery: the segments replay into an
+//! // identical store, and the session recommends exactly what the killed
+//! // one would have.
+//! let mut reborn = SessionStore::open(&dir, config).unwrap();
 //! assert_eq!(reborn.recommend(id).unwrap(), before);
+//!
+//! // Fold history into checkpoints; the compacted log replays the same.
+//! reborn.compact().unwrap();
+//! assert_eq!(reborn.recommend(id).unwrap(), before);
+//! # drop(reborn);
+//! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 //!
-//! To serve whole elicitation sessions concurrently, pair each session with
-//! a [`SimulatedUser`](pkgrec_core::SimulatedUser) and hand the batch to
-//! [`ServingLoop::run`]; the `serving` example and the `fig_serving` bench
-//! drive 100+ sessions this way.
+//! [`SessionStore::new`] still builds a memory-only store (tests,
+//! simulations); [`SessionStore::from_journal`] adopts an exported
+//! [`Journal`] wholesale.  To serve whole elicitation sessions
+//! concurrently, pair each session with a
+//! [`SimulatedUser`](pkgrec_core::SimulatedUser) and hand the batch to
+//! [`ServingLoop::run`]; the `serving` example kills and recovers a
+//! 100-session fleet this way, and the `fig_serving` bench measures the
+//! interning + compaction byte cut and recovery time.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod durable;
 pub mod journal;
+pub mod segment;
 pub mod serving;
 pub mod store;
 
 pub use config::{
-    op_rng, shard_of, user_rng, LiveSession, RecommenderSpec, SessionConfig, SessionId,
+    catalog_fingerprint, op_rng, shard_of, user_rng, LiveSession, RecommenderSpec, SessionConfig,
+    SessionId,
 };
+pub use durable::DurabilityConfig;
 pub use journal::{Journal, JournalRecord, ReplayedSession, SessionEvent};
+pub use segment::{CatalogId, WireEvent, WireRecord};
 pub use serving::{ServingLoop, SessionDriver, SessionOutcome};
-pub use store::{SessionStore, StoreConfig, StoreStats};
+pub use store::{CompactionStats, SessionStore, StoreConfig, StoreStats};

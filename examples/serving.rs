@@ -1,20 +1,27 @@
-//! Serving many elicitation sessions at once: the `pkgrec-serve` session
-//! store end to end — create 100 sessions, give each a round of feedback,
-//! evict them all, and rebuild the whole store from its journal alone.
+//! Serving many elicitation sessions on top of a durable journal: create
+//! 100 sessions in a store whose log is the database, kill the process
+//! image without a graceful shutdown, reopen the directory, and verify the
+//! recovered store recommends byte-for-byte what the killed one would have.
 //!
-//! The store owns the session lifecycle the way a production frontend would
-//! need it to: sessions are addressed by id, spill to snapshots under
-//! memory pressure, rehydrate transparently, and survive a "process
-//! restart" because the append-only journal is their durable form.
+//! The store owns the session lifecycle the way a production frontend
+//! would need it to: sessions are addressed by id, spill to snapshot
+//! checkpoints under memory pressure, rehydrate transparently — and
+//! survive a real restart, because every event lands in an append-only
+//! segmented journal (catalogs interned, records CRC-framed) before it
+//! mutates memory.  Compaction then folds each session's history into its
+//! latest checkpoint.
 //!
 //! ```text
 //! cargo run --release -p pkgrec-examples --bin serving
 //! ```
 
+use std::time::Instant;
+
 use pkgrec_baselines::{BaselineSpec, EmRefitConfig, FeatureDirection};
 use pkgrec_core::prelude::*;
 use pkgrec_serve::{
-    user_rng, RecommenderSpec, SessionConfig, SessionId, SessionStore, StoreConfig,
+    user_rng, DurabilityConfig, RecommenderSpec, SessionConfig, SessionId, SessionStore,
+    StoreConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -32,18 +39,30 @@ fn main() -> Result<()> {
             vec![price, rating]
         })
         .collect();
-    // One Arc-shared catalog serves the whole fleet (each session config
-    // clones a pointer, not the 60 rows).
+    // One Arc-shared catalog serves the whole fleet in memory; on disk the
+    // journal interns it too, so the 60 rows are written once per shard —
+    // not once per session.
     let catalog = std::sync::Arc::new(Catalog::from_rows(rows)?);
     let profile = Profile::cost_quality();
     let context = AggregationContext::new(profile.clone(), &catalog, 2)?;
 
-    // A store with 4 shards, each keeping at most 10 sessions live: with 100
-    // sessions the LRU spill path is exercised continuously.
-    let mut store = SessionStore::new(StoreConfig {
+    // The durable root: segment files + manifest live here, and reopening
+    // this directory IS the recovery path.
+    let dir = std::env::temp_dir().join(format!("pkgrec-serving-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = StoreConfig {
         shards: 4,
         capacity_per_shard: 10,
-    })?;
+    };
+    // Write-through group commit (flush_every_ops: 1): every event reaches
+    // the filesystem before the operation returns.  Production would batch.
+    let mut store = SessionStore::open_with(
+        config,
+        DurabilityConfig {
+            flush_every_ops: 1,
+            ..DurabilityConfig::at(&dir)
+        },
+    )?;
 
     // ---- create: 100 sessions, a mixed fleet -----------------------------
     let mut ids: Vec<SessionId> = Vec::new();
@@ -85,9 +104,10 @@ fn main() -> Result<()> {
         ids.push(id);
     }
     println!(
-        "created {} sessions across {} shards (≤10 live per shard)",
+        "created {} sessions across {} shards (≤10 live per shard), journaled under {}",
         store.len(),
-        store.shard_count()
+        store.shard_count(),
+        dir.display()
     );
 
     // ---- feedback: one presented round + click per session ---------------
@@ -98,61 +118,77 @@ fn main() -> Result<()> {
     }
     let stats = store.stats();
     println!(
-        "after one feedback round: {} hits, {} evictions, {} snapshot checkpoints, {} journal-replay restores",
-        stats.hits, stats.evictions, stats.snapshots, stats.restores
+        "after one feedback round: {} hits, {} evictions, {} snapshot checkpoints, \
+         {} segments holding {:.1} KB ({} group commits)",
+        stats.hits,
+        stats.evictions,
+        stats.snapshots,
+        stats.segments_written,
+        store.durable_bytes()? as f64 / 1024.0,
+        stats.group_commits,
     );
 
-    // ---- evict: spill every session explicitly ---------------------------
-    for id in &ids {
-        store.evict(*id)?;
-    }
-    let live = ids
-        .iter()
-        .filter(|id| store.is_live(**id).unwrap_or(false))
-        .count();
-    println!("after evicting everything: {live} sessions live in memory (all state in journals)");
-
-    // A spilled session is still addressable — the store rehydrates it.
-    let probe = ids[0];
-    let recs_before = store.recommend(probe)?;
-    println!(
-        "touching {probe} rehydrated it transparently: top package score {:.4}",
-        recs_before[0].score
-    );
-
-    // ---- restore-from-journal: a brand-new store, different sharding -----
-    let journal = store.export_journal();
-    println!(
-        "exported journal: {} events across {} sessions",
-        journal.len(),
-        SESSIONS
-    );
-    let mut reborn = SessionStore::from_journal(
-        StoreConfig {
-            shards: 8,
-            capacity_per_shard: 10,
-        },
-        &journal,
-    )?;
-    // Every adopted session replays bit-identically; spot-check a handful
-    // of engine sessions by comparing their next recommendation.
-    let mut checked = 0usize;
+    // ---- kill: no graceful shutdown --------------------------------------
+    // Remember what a handful of probe sessions recommend, fsync the log
+    // (the one durability point a careful server controls), then drop the
+    // store without running a single destructor — the moral equivalent of
+    // `kill -9`.
+    let mut probes: Vec<(SessionId, Vec<RankedPackage>)> = Vec::new();
     for id in ids.iter().step_by(17) {
-        let original = store.recommend(*id)?;
-        let adopted = reborn.recommend(*id)?;
-        assert_eq!(original, adopted, "journal replay diverged for {id}");
-        checked += 1;
+        probes.push((*id, store.recommend(*id)?));
     }
+    store.sync()?;
+    std::mem::forget(store);
     println!(
-        "rebuilt a fresh {}-shard store from the journal alone; {} spot-checked sessions \
-         recommend identically",
-        reborn.shard_count(),
-        checked
+        "killed the store mid-flight ({} probe sessions remembered)",
+        probes.len()
     );
+
+    // ---- recover: reopen the directory -----------------------------------
+    let start = Instant::now();
+    let mut reborn = SessionStore::open(&dir, config)?;
+    let recovery = start.elapsed();
     let reborn_stats = reborn.stats();
     println!(
-        "rebuild cost: {} journal-replay restores, {} evictions while rehydrating",
-        reborn_stats.restores, reborn_stats.evictions
+        "reopened in {:.2} ms: {} sessions rebuilt from segments ({} journal-replay restores)",
+        recovery.as_secs_f64() * 1e3,
+        reborn.len(),
+        reborn_stats.recovery_replays,
     );
+    assert_eq!(reborn.len() as u64, SESSIONS, "every session must survive");
+    for (id, expected) in &probes {
+        let recovered = reborn.recommend(*id)?;
+        assert_eq!(&recovered, expected, "recovery diverged for {id}");
+    }
+    println!(
+        "{} probe sessions recommend identically before and after the kill",
+        probes.len()
+    );
+
+    // ---- compact: fold history into checkpoints --------------------------
+    let before = reborn.durable_bytes()?;
+    let outcome = reborn.compact()?;
+    let after = reborn.durable_bytes()?;
+    println!(
+        "compaction: {:.1} KB -> {:.1} KB ({} checkpoints written, {} events dropped, \
+         {:.1} KB reclaimed)",
+        before as f64 / 1024.0,
+        after as f64 / 1024.0,
+        outcome.checkpoints_written,
+        outcome.events_dropped,
+        outcome.bytes_reclaimed as f64 / 1024.0,
+    );
+    // The compacted store still serves every probe identically.
+    for (id, expected) in &probes {
+        assert_eq!(
+            &reborn.recommend(*id)?,
+            expected,
+            "compaction diverged for {id}"
+        );
+    }
+    println!("compacted store still recommends identically — the log IS the database");
+
+    drop(reborn);
+    std::fs::remove_dir_all(&dir).ok();
     Ok(())
 }

@@ -10,6 +10,18 @@ use pkgrec_core::{
 };
 use pkgrec_data::Dataset;
 
+/// A unique scratch directory under the system temp dir for durable-store
+/// tests: namespaced by process id and tag so `cargo test` stays
+/// parallel-safe, created empty.  Callers remove it when the test passes.
+pub fn unique_temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pkgrec-test-{}-{tag}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("stale scratch dir removable");
+    }
+    std::fs::create_dir_all(&dir).expect("scratch dir creatable");
+    dir
+}
+
 /// Builds a normalised catalog from the first `features` columns of a dataset.
 pub fn catalog_from_dataset(dataset: &Dataset, features: usize) -> Catalog {
     let projected = dataset

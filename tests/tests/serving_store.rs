@@ -151,6 +151,100 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Checkpoint-anchored compaction is invisible to sessions: for random
+    /// interleavings of rounds, evictions, explicit checkpoints and
+    /// compaction passes, a compacting store stays bit-identical to a
+    /// shadow store that never compacts — same snapshots, same baseline
+    /// state, same recommendations — and its compacted journal still
+    /// replays every session exactly.
+    #[test]
+    fn compaction_preserves_replay_for_random_interleavings(
+        rows in catalog_strategy(8),
+        w0 in -1.0f64..1.0,
+        w1 in -1.0f64..1.0,
+        script in prop::collection::vec(0u8..6, 4..16),
+        seed in 0u64..1000,
+    ) {
+        let build = || {
+            let mut store =
+                SessionStore::new(StoreConfig { shards: 2, capacity_per_shard: 8 }).unwrap();
+            let ids = vec![
+                store.create(engine_config(&rows, seed)).unwrap(),
+                store.create(engine_config(&rows, seed ^ 0xBEEF)).unwrap(),
+                store.create(em_refit_config(&rows, seed ^ 0xCAFE)).unwrap(),
+            ];
+            (store, ids)
+        };
+        let (mut compacting, ids) = build();
+        let (mut shadow, shadow_ids) = build();
+        prop_assert_eq!(&ids, &shadow_ids);
+        let user = hidden_user(&compacting.session_config(ids[0]).unwrap().catalog.clone(),
+                               vec![w0, w1]);
+
+        for (step, action) in script.iter().enumerate() {
+            match action {
+                // A feedback round on one of the three sessions.
+                0..=2 => {
+                    let id = ids[*action as usize];
+                    let kinds = [*action + step as u8];
+                    drive_rounds(&mut compacting, id, &user, 1, &kinds);
+                    drive_rounds(&mut shadow, id, &user, 1, &kinds);
+                }
+                // Spill an engine session (writes a checkpoint) on both.
+                3 => {
+                    let id = ids[step % 2];
+                    if compacting.is_live(id).unwrap() {
+                        compacting.evict(id).unwrap();
+                    }
+                    if shadow.is_live(id).unwrap() {
+                        shadow.evict(id).unwrap();
+                    }
+                }
+                // Explicit checkpoint of an engine session on both.
+                4 => {
+                    let id = ids[step % 2];
+                    compacting.snapshot(id).unwrap();
+                    shadow.snapshot(id).unwrap();
+                }
+                // Compact — only the compacting store.  The shadow keeps
+                // its full history as the reference.
+                _ => {
+                    compacting.compact().unwrap();
+                }
+            }
+        }
+        compacting.compact().unwrap();
+
+        // The compacted journal never outgrows the full history.
+        prop_assert!(compacting.export_journal().len() <= shadow.export_journal().len());
+
+        // Engine sessions: identical snapshots, byte for byte.
+        for &id in &ids[..2] {
+            prop_assert_eq!(compacting.snapshot(id).unwrap(), shadow.snapshot(id).unwrap());
+        }
+        // The baseline session: identical observable state.
+        prop_assert_eq!(
+            compacting.state(ids[2]).unwrap(),
+            shadow.state(ids[2]).unwrap()
+        );
+        // And every session still recommends identically — both live and
+        // after replaying the compacted journal into a fresh store.
+        let journal = compacting.export_journal();
+        let mut replayed = SessionStore::from_journal(
+            StoreConfig { shards: 1, capacity_per_shard: 8 },
+            &journal,
+        ).unwrap();
+        for &id in &ids {
+            let expected = shadow.recommend(id).unwrap();
+            prop_assert_eq!(compacting.recommend(id).unwrap(), expected.clone());
+            prop_assert_eq!(replayed.recommend(id).unwrap(), expected);
+        }
+    }
+}
+
 /// Builds one mixed fleet (engine / em-refit / skyline sessions) in a store
 /// of the given shape and serves every session to convergence.
 fn serve_fleet(

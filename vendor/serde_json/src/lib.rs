@@ -1,6 +1,8 @@
 //! Minimal vendored stand-in for the `serde_json` API surface used by the
 //! `pkgrec` workspace: [`to_string`], [`to_string_pretty`], [`to_value`],
-//! [`from_str`] and the [`Value`] tree (shared with the vendored `serde`).
+//! [`from_str`], the byte-level [`to_vec`] / [`from_slice`] pair used by the
+//! `pkgrec-serve` segment codec, and the [`Value`] tree (shared with the
+//! vendored `serde`).
 
 #![forbid(unsafe_code)]
 
@@ -53,6 +55,21 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
 /// Parses a JSON string into a [`Value`] tree.
 pub fn value_from_str(s: &str) -> Result<Value> {
     from_str::<Value>(s)
+}
+
+/// Serializes a value to compact JSON bytes (the byte-level twin of
+/// [`to_string`], used where the payload is framed into a binary record).
+pub fn to_vec<T: Serialize>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from JSON bytes.  The payload must be valid UTF-8
+/// (JSON is a text format); anything else is a deserialization error, not a
+/// panic — binary readers lean on this to detect corrupt frames.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes)
+        .map_err(|e| Error(format!("payload is not valid UTF-8: {e}")))?;
+    from_str(s)
 }
 
 // ---------------------------------------------------------------------------
@@ -355,6 +372,23 @@ mod tests {
         let pretty = to_string_pretty(&v).unwrap();
         assert_eq!(value_from_str(&pretty).unwrap(), v);
         assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn byte_surface_round_trips_and_rejects_non_utf8() {
+        let v = Value::Object(vec![
+            ("id".into(), Value::Number(7.0)),
+            ("name".into(), Value::String("päckage \"x\"".into())),
+        ]);
+        let bytes = to_vec(&v).unwrap();
+        assert_eq!(bytes, to_string(&v).unwrap().into_bytes());
+        assert_eq!(from_slice::<Value>(&bytes).unwrap(), v);
+
+        // Invalid UTF-8 is a clean error (framed binary readers rely on it).
+        let err = from_slice::<Value>(&[b'"', 0xFF, 0xFE, b'"']).unwrap_err();
+        assert!(err.0.contains("UTF-8"));
+        // And so is a truncated payload.
+        assert!(from_slice::<Value>(&bytes[..bytes.len() - 3]).is_err());
     }
 
     #[test]
