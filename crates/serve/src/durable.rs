@@ -584,7 +584,7 @@ impl ShardLog {
                 let catalog = <Catalog as Deserialize>::from_json_value(&slot.1)
                     .map_err(|e| CoreError::Io(format!("parse snapshot catalog: {e}")))?;
                 let id = self.intern_catalog(&Arc::new(catalog))?;
-                slot.1 = Value::Number(id.0 as f64);
+                slot.1 = Value::Int(id.0 as i128);
                 WireEvent::Snapshot {
                     snapshot,
                     ops: *ops,
@@ -648,11 +648,11 @@ impl ShardLog {
                     })?;
                 let id = slot
                     .1
-                    .as_f64()
-                    .filter(|n| n.fract() == 0.0)
+                    .as_i128()
+                    .and_then(|i| u64::try_from(i).ok())
                     .ok_or_else(|| {
                         CoreError::Io("recovered snapshot catalog reference is not an id".into())
-                    })? as u64;
+                    })?;
                 slot.1 = catalog_values
                     .get(&id)
                     .ok_or_else(|| CoreError::Io(format!("dangling catalog reference {id}")))?

@@ -117,6 +117,11 @@
 //! [`ServingLoop::run`]; the `serving` example kills and recovers a
 //! 100-session fleet this way, and the `fig_serving` bench measures the
 //! interning + compaction byte cut and recovery time.
+//!
+//! To reach a store over the network instead of in-process, see the
+//! `pkgrec-server` crate: it fronts a `SessionStore` with a CRC-framed TCP
+//! wire protocol and routes requests to per-shard worker threads through
+//! the same [`SessionStore::shards_mut`] ownership seam.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -136,4 +141,4 @@ pub use durable::DurabilityConfig;
 pub use journal::{Journal, JournalRecord, ReplayedSession, SessionEvent};
 pub use segment::{CatalogId, WireEvent, WireRecord};
 pub use serving::{ServingLoop, SessionDriver, SessionOutcome};
-pub use store::{CompactionStats, SessionStore, StoreConfig, StoreStats};
+pub use store::{CompactionStats, SessionStore, Shard, StoreConfig, StoreStats};

@@ -264,9 +264,9 @@ mod tests {
 
     fn sample_records() -> Vec<WireRecord> {
         let snapshot_obj = Value::Object(vec![
-            ("version".into(), Value::Number(1.0)),
-            ("catalog".into(), Value::Number(0.0)),
-            ("rounds".into(), Value::Number(2.0)),
+            ("version".into(), Value::Int(1)),
+            ("catalog".into(), Value::Int(0)),
+            ("rounds".into(), Value::Int(2)),
         ]);
         vec![
             WireRecord::Catalog {

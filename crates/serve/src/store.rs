@@ -163,6 +163,13 @@ struct SessionEntry {
 }
 
 /// One shard: a self-contained map of sessions plus their journal.
+///
+/// A shard is the unit of exclusive ownership: the serving loop and the
+/// `pkgrec-server` request loop both hand each worker thread `&mut` access
+/// to a disjoint set of shards ([`SessionStore::shards_mut`]), so the
+/// public per-shard operations below never contend with another thread.
+/// Callers are responsible for routing: session `id` belongs on shard
+/// [`shard_of`]`(id, store.shard_count())`.
 pub struct Shard {
     sessions: HashMap<SessionId, SessionEntry>,
     journal: Journal,
@@ -400,6 +407,22 @@ impl Shard {
         Ok(())
     }
 
+    /// Builds and registers a new session under a caller-chosen id — the
+    /// per-shard half of [`SessionStore::create`], public so an external
+    /// request loop that owns this shard `&mut` can create sessions without
+    /// routing back through the store.  The id must hash to this shard
+    /// ([`shard_of`]) and must not be in use; the config is validated (the
+    /// live session is built) before anything is journaled.
+    pub fn create(&mut self, id: SessionId, config: SessionConfig) -> Result<()> {
+        if self.sessions.contains_key(&id) {
+            return Err(CoreError::InvalidConfig(format!(
+                "session id {id} is already in use on this shard"
+            )));
+        }
+        let live = config.build()?;
+        self.insert(id, config, live)
+    }
+
     /// Registers a new session (journals `Created`, evicts down to capacity).
     fn insert(&mut self, id: SessionId, config: SessionConfig, live: LiveSession) -> Result<()> {
         self.append_event(
@@ -471,9 +494,9 @@ impl Shard {
 
     /// One `present` operation: derive the op RNG, run, journal, remember
     /// the shown list.  A failing run rolls the session back (see
-    /// [`Shard::rollback`]) so the journal stays bit-identical to the live
+    /// `Shard::rollback`) so the journal stays bit-identical to the live
     /// state.
-    pub(crate) fn op_present(&mut self, id: SessionId) -> Result<Vec<Package>> {
+    pub fn op_present(&mut self, id: SessionId) -> Result<Vec<Package>> {
         self.ensure_live(id)?;
         let entry = self.sessions.get_mut(&id).expect("live ensured");
         let mut rng = op_rng(entry.config.seed, entry.ops);
@@ -507,7 +530,7 @@ impl Shard {
     /// Malformed feedback is rejected before touching the session; a
     /// mid-mutation failure (e.g. the maintenance sampler running dry on a
     /// contradictory click) rolls the session back to its journaled state.
-    pub(crate) fn op_feedback(&mut self, id: SessionId, feedback: Feedback) -> Result<usize> {
+    pub fn op_feedback(&mut self, id: SessionId, feedback: Feedback) -> Result<usize> {
         self.ensure_live(id)?;
         let entry = self.sessions.get_mut(&id).expect("live ensured");
         if entry.last_shown.is_empty() {
@@ -545,7 +568,7 @@ impl Shard {
 
     /// One standalone `recommend` operation (rolls back on failure like the
     /// other operations — a recommend may lazily refill a sample pool).
-    pub(crate) fn op_recommend(&mut self, id: SessionId) -> Result<Vec<RankedPackage>> {
+    pub fn op_recommend(&mut self, id: SessionId) -> Result<Vec<RankedPackage>> {
         self.ensure_live(id)?;
         let entry = self.sessions.get_mut(&id).expect("live ensured");
         let mut rng = op_rng(entry.config.seed, entry.ops);
@@ -581,7 +604,45 @@ impl Shard {
             .map(|live| live.inspect().state())
     }
 
-    pub(crate) fn session_config(&self, id: SessionId) -> Result<&SessionConfig> {
+    /// Serialises the session's snapshot now, journaling it as a checkpoint
+    /// (the per-shard form of [`SessionStore::snapshot`]).  Errors for
+    /// baseline sessions, whose durable form is their journal.
+    pub fn snapshot_now(&mut self, id: SessionId) -> Result<String> {
+        self.ensure_live(id)?;
+        // Borrow dance: take the live session out so the shared checkpoint
+        // writer can borrow the shard, then put it straight back (the
+        // session stays conceptually live throughout).
+        let live = self
+            .sessions
+            .get_mut(&id)
+            .expect("live ensured")
+            .live
+            .take()
+            .expect("live ensured");
+        let checkpoint = self.write_checkpoint(id, &live);
+        self.sessions.get_mut(&id).expect("live ensured").live = Some(live);
+        let json = checkpoint?;
+        self.touch(id);
+        Ok(json)
+    }
+
+    /// Flushes (and fsyncs) this shard's durable log, if it has one — the
+    /// per-shard form of [`SessionStore::sync`], so a worker thread that
+    /// owns the shard exclusively can make its events durable at shutdown.
+    pub fn sync(&mut self) -> Result<()> {
+        match &mut self.log {
+            Some(log) => log.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Number of sessions registered on this shard (live and spilled).
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The session's configuration.
+    pub fn session_config(&self, id: SessionId) -> Result<&SessionConfig> {
         self.entry(id).map(|entry| &entry.config)
     }
 
@@ -590,7 +651,7 @@ impl Shard {
     }
 
     /// The shard's counters, with the durable log's folded in.
-    pub(crate) fn stats(&self) -> StoreStats {
+    pub fn stats(&self) -> StoreStats {
         let mut stats = self.stats;
         if let Some(log) = &self.log {
             let durable = log.stats();
@@ -798,9 +859,7 @@ impl SessionStore {
     /// No-op for memory-only stores.
     pub fn sync(&mut self) -> Result<()> {
         for shard in &mut self.shards {
-            if let Some(log) = &mut shard.log {
-                log.sync()?;
-            }
+            shard.sync()?;
         }
         Ok(())
     }
@@ -854,10 +913,11 @@ impl SessionStore {
 
     /// Creates a session from its configuration, returning its id.
     pub fn create(&mut self, config: SessionConfig) -> Result<SessionId> {
-        let live = config.build()?; // validate before assigning an id
         let id = SessionId(self.next_id);
+        // Shard::create validates (builds the live session) before anything
+        // is journaled, so a rejected config never burns an id.
+        self.shard_mut(id).create(id, config)?;
         self.next_id += 1;
-        self.shard_mut(id).insert(id, config, live)?;
         Ok(id)
     }
 
@@ -897,23 +957,7 @@ impl SessionStore {
     /// Serialises the session's snapshot, journaling it as a checkpoint.
     /// Errors for baseline sessions, whose durable form is their journal.
     pub fn snapshot(&mut self, id: SessionId) -> Result<String> {
-        let shard = self.shard_mut(id);
-        shard.ensure_live(id)?;
-        // Borrow dance: take the live session out so the shared checkpoint
-        // writer can borrow the shard, then put it straight back (the
-        // session stays conceptually live throughout).
-        let live = shard
-            .sessions
-            .get_mut(&id)
-            .expect("live ensured")
-            .live
-            .take()
-            .expect("live ensured");
-        let checkpoint = shard.write_checkpoint(id, &live);
-        shard.sessions.get_mut(&id).expect("live ensured").live = Some(live);
-        let json = checkpoint?;
-        shard.touch(id);
-        Ok(json)
+        self.shard_mut(id).snapshot_now(id)
     }
 
     /// Spills the session now (it stays addressable; the next operation
@@ -975,9 +1019,28 @@ impl SessionStore {
     }
 
     /// The shards as a mutable slice — the `&mut`-splitting seam the
-    /// serving loop parallelises over.
-    pub(crate) fn shards_mut(&mut self) -> &mut [Shard] {
+    /// serving loop and the `pkgrec-server` request loop parallelise over.
+    ///
+    /// Split the slice (e.g. with `chunks_mut` or `split_at_mut`) and hand
+    /// each worker thread its disjoint shards; route session `id` to index
+    /// [`shard_of`]`(id, store.shard_count())`.
+    pub fn shards_mut(&mut self) -> &mut [Shard] {
         &mut self.shards
+    }
+
+    /// The id the next [`SessionStore::create`] call would assign.
+    ///
+    /// Servers that allocate ids themselves (because they route `Create`
+    /// requests straight to shards) seed their allocator from this and
+    /// write it back with [`SessionStore::set_next_session_id`].
+    pub fn next_session_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Advances the id allocator to `next` (forward-only: a smaller value
+    /// is ignored, so ids are never reissued).
+    pub fn set_next_session_id(&mut self, next: u64) {
+        self.next_id = self.next_id.max(next);
     }
 
     /// Counters summed across all shards.

@@ -1,0 +1,146 @@
+//! A blocking client for the `pkgrec` wire protocol.
+//!
+//! [`Client`] exposes the same verbs as the in-process
+//! [`SessionStore`](pkgrec_serve::SessionStore) — `create`, `present`,
+//! `feedback`, `recommend`, `snapshot`, `stats`, `sync` — with identical
+//! result types, so code written against the store ports to the wire by
+//! swapping the receiver.  Typed [`WireError`](crate::protocol::WireError)
+//! replies are mapped back into [`CoreError`]
+//! variants (`UnknownSession` keeps its id through the round trip).
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use pkgrec_core::{CoreError, Feedback, Package, RankedPackage, Result};
+use pkgrec_serve::{SessionConfig, StoreStats};
+
+use crate::protocol::{
+    read_hello, read_message, write_frame, Request, Response, DEFAULT_MAX_FRAME_LEN,
+};
+
+/// A blocking connection to a [`Server`](crate::Server).
+pub struct Client {
+    stream: TcpStream,
+    max_frame_len: usize,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Connects with defaults: 30 s per request, 8 MiB frames.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client> {
+        Client::connect_with(addr, Duration::from_secs(30), DEFAULT_MAX_FRAME_LEN)
+    }
+
+    /// Connects, verifies the server hello, and configures limits.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Duration,
+        max_frame_len: usize,
+    ) -> Result<Client> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| CoreError::Io(format!("connect failed: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| CoreError::Io(format!("set_nodelay failed: {e}")))?;
+        // The hello is raw bytes (not framed): give it one blocking read
+        // bounded by the full request timeout, then drop to the short
+        // polling timeout the frame reader expects.
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| CoreError::Io(format!("set_read_timeout failed: {e}")))?;
+        let mut stream = stream;
+        read_hello(&mut stream)?;
+        stream
+            .set_read_timeout(Some(Duration::from_millis(5)))
+            .map_err(|e| CoreError::Io(format!("set_read_timeout failed: {e}")))?;
+        Ok(Client {
+            stream,
+            max_frame_len,
+            timeout,
+        })
+    }
+
+    /// Sends one request and awaits its reply (bounded by the timeout).
+    pub fn request(&mut self, request: &Request) -> Result<Response> {
+        write_frame(&mut self.stream, request)?;
+        self.read_reply::<Response>()
+    }
+
+    fn read_reply<T: serde::Deserialize>(&mut self) -> Result<T> {
+        let stop = crate::protocol::deadline_stop(self.timeout);
+        match read_message::<_, T>(&mut self.stream, self.max_frame_len, &stop) {
+            Ok(Ok(value)) => Ok(value),
+            Ok(Err(parse_error)) => Err(CoreError::Io(format!(
+                "unparseable server reply: {parse_error}"
+            ))),
+            Err(frame_error) => Err(frame_error.into_core()),
+        }
+    }
+
+    /// Creates a session on the server, returning its assigned id.
+    pub fn create(&mut self, config: SessionConfig) -> Result<u64> {
+        match self.request(&Request::Create { config })? {
+            Response::Created { session } => Ok(session),
+            other => unexpected("Create", other),
+        }
+    }
+
+    /// Builds one presentation round for the session.
+    pub fn present(&mut self, session: u64) -> Result<Vec<Package>> {
+        match self.request(&Request::Present { session })? {
+            Response::Presented { packages } => Ok(packages),
+            other => unexpected("Present", other),
+        }
+    }
+
+    /// Records typed feedback; returns the pairwise preferences derived.
+    pub fn feedback(&mut self, session: u64, feedback: Feedback) -> Result<usize> {
+        match self.request(&Request::Feedback { session, feedback })? {
+            Response::FeedbackRecorded { preferences } => Ok(preferences),
+            other => unexpected("Feedback", other),
+        }
+    }
+
+    /// The session's current top-k recommendation.
+    pub fn recommend(&mut self, session: u64) -> Result<Vec<RankedPackage>> {
+        match self.request(&Request::Recommend { session })? {
+            Response::Recommended { ranked } => Ok(ranked),
+            other => unexpected("Recommend", other),
+        }
+    }
+
+    /// Serialises the session's snapshot, journaling it as a checkpoint.
+    pub fn snapshot(&mut self, session: u64) -> Result<String> {
+        match self.request(&Request::Snapshot { session })? {
+            Response::Snapshotted { snapshot } => Ok(snapshot),
+            other => unexpected("Snapshot", other),
+        }
+    }
+
+    /// Store-wide counters plus the resident session count.
+    pub fn stats(&mut self) -> Result<(usize, StoreStats)> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { sessions, stats } => Ok((sessions, stats)),
+            other => unexpected("Stats", other),
+        }
+    }
+
+    /// Forces every shard's buffered journal bytes to disk.
+    pub fn sync(&mut self) -> Result<()> {
+        match self.request(&Request::Sync)? {
+            Response::Synced => Ok(()),
+            other => unexpected("Sync", other),
+        }
+    }
+}
+
+/// Collapses a mismatched reply: error replies become their `CoreError`,
+/// anything else is a protocol violation.
+fn unexpected<T>(verb: &str, response: Response) -> Result<T> {
+    match response {
+        Response::Error(wire) => Err(wire.to_core()),
+        other => Err(CoreError::Io(format!(
+            "protocol violation: {verb} answered with {other:?}"
+        ))),
+    }
+}

@@ -1,0 +1,487 @@
+//! A closed-loop load generator for the wire protocol.
+//!
+//! `clients` threads each hold one connection and drive a disjoint slice
+//! of elicitation sessions through `create → (present → feedback)* →
+//! recommend`, closed-loop: the next request leaves only after the reply
+//! lands.  Every wire call's latency feeds a log-linear
+//! [`LatencyHistogram`] (p50/p99/p999 without storing samples), and the
+//! run's throughput and tail latencies come back as a serialisable
+//! [`LoadReport`] — the payload of `BENCH_server.json`.
+//!
+//! The shadow check is the point: each client keeps a private, memory-only
+//! [`SessionStore`] and replays every operation against it.  Because a
+//! session's RNG streams derive from `(seed, op index)` alone — never the
+//! session id or the process — the wire results must be *byte-identical*
+//! to the in-process ones; any divergence increments
+//! [`LoadReport::mismatches`], which benches assert to be zero.  This
+//! extends the store's determinism contract across the network boundary.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pkgrec_baselines::{BaselineSpec, EmRefitConfig, FeatureDirection};
+use pkgrec_core::prelude::*;
+use pkgrec_serve::{user_rng, RecommenderSpec, SessionConfig, SessionStore, StoreConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::client::Client;
+
+/// Shape of one load-generation run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Concurrent connections (threads), each driving its own sessions.
+    pub clients: usize,
+    /// Total sessions across all clients (session `i` belongs to client
+    /// `i % clients`).
+    pub sessions: usize,
+    /// Present+feedback rounds per session before the final recommend.
+    pub rounds: usize,
+    /// Catalog size (items with price/rating features).
+    pub catalog_items: usize,
+    /// Maximum package size φ.
+    pub max_package_size: usize,
+    /// Master seed: catalog, ground-truth users and session seeds all
+    /// derive from it.
+    pub seed: u64,
+    /// Replay every op against a per-client in-process shadow store and
+    /// count divergences.
+    pub shadow_check: bool,
+    /// Per-request timeout handed to each [`Client`].
+    pub timeout: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            clients: 2,
+            sessions: 8,
+            rounds: 2,
+            catalog_items: 40,
+            max_package_size: 2,
+            seed: 2014,
+            shadow_check: true,
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Number of leading one-microsecond-exact buckets (also the sub-bucket
+/// resolution above them: ~1.6% relative error).
+const LINEAR_BUCKETS: u64 = 64;
+/// 58 power-of-two groups of 64 sub-buckets cover all of `u64`.
+const TOTAL_BUCKETS: usize = (LINEAR_BUCKETS as usize) * 59;
+
+/// A log-linear latency histogram in microseconds: exact below 64 µs,
+/// 64 sub-buckets per power of two above (HDR-style, fixed memory).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: vec![0; TOTAL_BUCKETS],
+            total: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        if us < LINEAR_BUCKETS {
+            us as usize
+        } else {
+            let exp = 63 - u64::from(us.leading_zeros()); // ≥ 6
+            let group = exp - 5;
+            let offset = (us >> (exp - 6)) - LINEAR_BUCKETS;
+            (group * LINEAR_BUCKETS + offset) as usize
+        }
+    }
+
+    /// Lower bound (µs) of the bucket at `index` — what quantiles report.
+    fn bucket_low(index: usize) -> u64 {
+        let index = index as u64;
+        if index < LINEAR_BUCKETS {
+            index
+        } else {
+            let group = index / LINEAR_BUCKETS - 1;
+            let offset = index % LINEAR_BUCKETS;
+            (LINEAR_BUCKETS + offset) << group
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.counts[Self::bucket_of(us)] += 1;
+        self.total += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest sample (µs).
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Mean latency (µs); 0 when empty.
+    pub fn mean_us(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.total as f64
+        }
+    }
+
+    /// The latency (µs, bucket lower bound) below which a fraction `q`
+    /// of samples fall.  `q` is clamped to `[0, 1]`; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (index, count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::bucket_low(index);
+            }
+        }
+        self.max_us
+    }
+}
+
+/// The outcome of one load run — serialised into `BENCH_server.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Concurrent connections driven.
+    pub clients: usize,
+    /// Sessions completed.
+    pub sessions: usize,
+    /// Present+feedback rounds per session.
+    pub rounds: usize,
+    /// Wire requests issued (create/present/feedback/recommend).
+    pub requests: usize,
+    /// Wire results that diverged from the in-process shadow store
+    /// (must be 0: the determinism contract extends across the wire).
+    pub mismatches: usize,
+    /// Whether the shadow comparison ran.
+    pub shadow_checked: bool,
+    /// Wall-clock for the whole run.
+    pub elapsed_secs: f64,
+    /// Completed sessions per second of wall-clock.
+    pub sessions_per_sec: f64,
+    /// Wire requests per second of wall-clock.
+    pub requests_per_sec: f64,
+    /// Median request latency (µs).
+    pub p50_us: u64,
+    /// 99th-percentile request latency (µs).
+    pub p99_us: u64,
+    /// 99.9th-percentile request latency (µs).
+    pub p999_us: u64,
+    /// Worst request latency (µs).
+    pub max_us: u64,
+    /// Mean request latency (µs).
+    pub mean_us: f64,
+}
+
+/// What one client thread brings home.
+struct ClientOutcome {
+    histogram: LatencyHistogram,
+    requests: usize,
+    mismatches: usize,
+    sessions: usize,
+}
+
+/// Builds the deterministic storefront catalog every load-generated
+/// session shops from (shared by the bench and the demo).
+pub fn build_catalog(seed: u64, items: usize) -> Result<Arc<Catalog>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..items)
+        .map(|_| {
+            let price: f64 = rng.gen_range(0.05..1.0f64).powf(1.3);
+            let rating: f64 = rng.gen_range(0.3..1.0);
+            vec![price, rating]
+        })
+        .collect();
+    Ok(Arc::new(Catalog::from_rows(rows)?))
+}
+
+/// The mixed-fleet recommender recipe for session `i` — the same blend of
+/// engine and baseline sessions the serving bench drives.
+pub fn session_spec(i: u64) -> RecommenderSpec {
+    match i % 4 {
+        2 => RecommenderSpec::Baseline(BaselineSpec::EmRefit(EmRefitConfig {
+            k: 3,
+            num_random: 2,
+            num_samples: 20,
+            samples_per_refit: 40,
+            ..EmRefitConfig::default()
+        })),
+        3 => RecommenderSpec::Baseline(BaselineSpec::Skyline {
+            cardinality: 2,
+            directions: vec![FeatureDirection::Minimize, FeatureDirection::Maximize],
+            k: 3,
+        }),
+        _ => RecommenderSpec::Engine(EngineConfig {
+            k: 3,
+            num_random: 2,
+            num_samples: 24,
+            ..EngineConfig::default()
+        }),
+    }
+}
+
+/// Runs one closed-loop load generation against a listening server.
+///
+/// Spawns `config.clients` threads; thread `c` drives sessions
+/// `{i : i % clients == c}` to completion and measures every wire call.
+/// Returns the merged report.  Fails if any connection fails — a load
+/// run against a dead or misbehaving server is not a result.
+pub fn run(addr: SocketAddr, config: &LoadConfig) -> Result<LoadReport> {
+    if config.clients == 0 || config.sessions == 0 {
+        return Err(CoreError::InvalidConfig(
+            "load generation needs at least one client and one session".into(),
+        ));
+    }
+    let catalog = build_catalog(config.seed, config.catalog_items)?;
+    let profile = Profile::cost_quality();
+    let context = AggregationContext::new(profile.clone(), &catalog, config.max_package_size)?;
+
+    let started = Instant::now();
+    let outcomes: Vec<Result<ClientOutcome>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|c| {
+                let catalog = catalog.clone();
+                let profile = profile.clone();
+                let context = context.clone();
+                scope.spawn(move || drive_client(c, addr, config, &catalog, &profile, &context))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(outcome) => outcome,
+                Err(_) => Err(CoreError::Io("load client thread panicked".into())),
+            })
+            .collect()
+    });
+
+    let elapsed = started.elapsed();
+    let mut histogram = LatencyHistogram::new();
+    let mut requests = 0usize;
+    let mut mismatches = 0usize;
+    let mut sessions = 0usize;
+    for outcome in outcomes {
+        let outcome = outcome?;
+        histogram.merge(&outcome.histogram);
+        requests += outcome.requests;
+        mismatches += outcome.mismatches;
+        sessions += outcome.sessions;
+    }
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    Ok(LoadReport {
+        clients: config.clients,
+        sessions,
+        rounds: config.rounds,
+        requests,
+        mismatches,
+        shadow_checked: config.shadow_check,
+        elapsed_secs: secs,
+        sessions_per_sec: sessions as f64 / secs,
+        requests_per_sec: requests as f64 / secs,
+        p50_us: histogram.quantile(0.50),
+        p99_us: histogram.quantile(0.99),
+        p999_us: histogram.quantile(0.999),
+        max_us: histogram.max_us(),
+        mean_us: histogram.mean_us(),
+    })
+}
+
+/// One client thread: connect once, drive this client's sessions.
+fn drive_client(
+    client_index: usize,
+    addr: SocketAddr,
+    config: &LoadConfig,
+    catalog: &Arc<Catalog>,
+    profile: &Profile,
+    context: &AggregationContext,
+) -> Result<ClientOutcome> {
+    let mut wire =
+        Client::connect_with(addr, config.timeout, crate::protocol::DEFAULT_MAX_FRAME_LEN)?;
+    // The shadow: a private, memory-only store.  Session ids differ from
+    // the server's (each client's shadow numbers its own sessions from 0)
+    // but results cannot: every op's RNG derives from (seed, op index).
+    let mut shadow = if config.shadow_check {
+        Some(SessionStore::new(StoreConfig {
+            shards: 1,
+            capacity_per_shard: config.sessions.max(1),
+        })?)
+    } else {
+        None
+    };
+
+    let mut outcome = ClientOutcome {
+        histogram: LatencyHistogram::new(),
+        requests: 0,
+        mismatches: 0,
+        sessions: 0,
+    };
+
+    for i in (0..config.sessions as u64).filter(|i| *i as usize % config.clients == client_index) {
+        let session_seed = config.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i + 1));
+        let session_config = SessionConfig {
+            catalog: catalog.clone(),
+            profile: profile.clone(),
+            max_package_size: config.max_package_size,
+            spec: session_spec(i),
+            seed: session_seed,
+        };
+        // The hidden user behind this session, deterministic in (seed, i).
+        let mut taste_rng = user_rng(session_seed);
+        let weights = random_ground_truth_weights(context.dim(), &mut taste_rng);
+        let user = SimulatedUser::new(LinearUtility::new(context.clone(), weights)?);
+        let mut choice_rng = user_rng(session_seed ^ 0x5ee5);
+
+        let wire_id = timed(&mut outcome, |_| wire.create(session_config.clone()))?;
+        let shadow_id = match &mut shadow {
+            Some(store) => Some(store.create(session_config.clone())?),
+            None => None,
+        };
+
+        for _round in 0..config.rounds {
+            let shown = timed(&mut outcome, |_| wire.present(wire_id))?;
+            if let (Some(store), Some(sid)) = (&mut shadow, shadow_id) {
+                let expected = store.present(sid)?;
+                if serde_json::to_string(&shown) != serde_json::to_string(&expected) {
+                    outcome.mismatches += 1;
+                }
+            }
+            let choice = user.choose(catalog, &shown, &mut choice_rng)?;
+            let feedback = Feedback::Click { index: choice };
+            timed(&mut outcome, |_| wire.feedback(wire_id, feedback))?;
+            if let (Some(store), Some(sid)) = (&mut shadow, shadow_id) {
+                store.feedback(sid, feedback)?;
+            }
+        }
+
+        let ranked = timed(&mut outcome, |_| wire.recommend(wire_id))?;
+        if let (Some(store), Some(sid)) = (&mut shadow, shadow_id) {
+            let expected = store.recommend(sid)?;
+            if serde_json::to_string(&ranked) != serde_json::to_string(&expected) {
+                outcome.mismatches += 1;
+            }
+        }
+        outcome.sessions += 1;
+    }
+    Ok(outcome)
+}
+
+/// Times one wire call into the outcome's histogram.
+fn timed<T>(
+    outcome: &mut ClientOutcome,
+    call: impl FnOnce(&mut ClientOutcome) -> Result<T>,
+) -> Result<T> {
+    let start = Instant::now();
+    let result = call(outcome);
+    outcome.histogram.record(start.elapsed());
+    outcome.requests += 1;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_is_exact_below_64us() {
+        let mut h = LatencyHistogram::new();
+        for us in [0u64, 1, 5, 63] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 63);
+        assert_eq!(h.max_us(), 63);
+    }
+
+    #[test]
+    fn histogram_buckets_invert() {
+        for us in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1000,
+            4096,
+            1_000_000,
+            u64::MAX / 2,
+        ] {
+            let bucket = LatencyHistogram::bucket_of(us);
+            let low = LatencyHistogram::bucket_low(bucket);
+            assert!(low <= us, "bucket_low({bucket})={low} must be ≤ {us}");
+            // The bucket's relative width is ≤ 1/64 above the linear range.
+            if us >= LINEAR_BUCKETS {
+                assert!(
+                    us - low <= us / LINEAR_BUCKETS,
+                    "bucket too wide at {us}: low {low}"
+                );
+            } else {
+                assert_eq!(low, us);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotonic_and_merge_adds() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            a.record(Duration::from_micros(i));
+            b.record(Duration::from_micros(10 * i));
+        }
+        let (p50, p99, p999) = (a.quantile(0.5), a.quantile(0.99), a.quantile(0.999));
+        assert!(p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
+        // p50 of 0..1000 µs lands on the bucket holding ~500 µs.
+        assert!((400..=520).contains(&p50), "p50 {p50}");
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.total(), 2000);
+        assert_eq!(merged.max_us(), b.max_us());
+        assert!(merged.quantile(0.5) >= a.quantile(0.5));
+    }
+}

@@ -1,0 +1,158 @@
+//! The network front door, end to end: start a `pkgrec-server` over a
+//! durable store on an ephemeral loopback port, drive an elicitation
+//! session entirely over the wire, shut the server down gracefully, then
+//! start a **new** server over the same journal directory and keep
+//! serving the same session — the recommendation after the restart is
+//! byte-for-byte the one the first server would have given.
+//!
+//! Everything a frontend needs crosses the wire as CRC-framed JSON:
+//! create, present, feedback, recommend, snapshot, stats, sync.  The
+//! server is just a sharded request loop around `SessionStore`, so every
+//! durability and determinism guarantee of the store holds verbatim at
+//! the network boundary.
+//!
+//! ```text
+//! cargo run --release -p pkgrec-examples --bin server_demo
+//! ```
+
+use pkgrec_core::prelude::*;
+use pkgrec_serve::{
+    user_rng, DurabilityConfig, RecommenderSpec, SessionConfig, SessionStore, StoreConfig,
+};
+use pkgrec_server::loadgen::build_catalog;
+use pkgrec_server::{Client, Server, ServerConfig};
+
+const ROUNDS: usize = 3;
+
+fn main() -> Result<()> {
+    // A small storefront catalog: 40 products with (price, rating).
+    let catalog = build_catalog(2014, 40)?;
+    let profile = Profile::cost_quality();
+    let context = AggregationContext::new(profile.clone(), &catalog, 2)?;
+
+    // The durable root: the journal under this directory IS the database,
+    // and reopening it under a fresh server IS the recovery path.
+    let dir = std::env::temp_dir().join(format!("pkgrec-server-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = SessionStore::open_with(
+        StoreConfig {
+            shards: 2,
+            capacity_per_shard: 4,
+        },
+        DurabilityConfig::at(&dir),
+    )?;
+
+    // ---- serve: bind an ephemeral port, run the loop on its own thread ---
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default())
+        .map_err(|e| CoreError::Io(format!("bind: {e}")))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CoreError::Io(format!("local addr: {e}")))?;
+    let control = server.control();
+    let handle = std::thread::spawn(move || {
+        let mut store = store;
+        let report = server.serve(&mut store)?;
+        Ok::<_, CoreError>((store, report))
+    });
+    println!(
+        "server listening on {addr}, journaling under {}",
+        dir.display()
+    );
+
+    // ---- elicit: one session, driven entirely over the wire --------------
+    let mut client = Client::connect(addr)?;
+    let session = client.create(SessionConfig {
+        catalog: catalog.clone(),
+        profile: profile.clone(),
+        max_package_size: 2,
+        spec: RecommenderSpec::Engine(EngineConfig {
+            k: 3,
+            num_random: 2,
+            num_samples: 30,
+            ..EngineConfig::default()
+        }),
+        seed: 42,
+    })?;
+
+    // The hidden shopper behind the session: clicks whatever its secret
+    // linear taste scores highest among the shown packages.
+    let weights = random_ground_truth_weights(context.dim(), &mut user_rng(42));
+    let user = SimulatedUser::new(LinearUtility::new(context, weights)?);
+    let mut choice_rng = user_rng(0x5ee5);
+
+    for round in 1..=ROUNDS {
+        let shown = client.present(session)?;
+        let choice = user.choose(&catalog, &shown, &mut choice_rng)?;
+        let learned = client.feedback(session, Feedback::Click { index: choice })?;
+        println!(
+            "round {round}: {shown_count} packages shown over the wire, clicked #{choice} \
+             ({learned} preferences learned)",
+            shown_count = shown.len(),
+        );
+    }
+    let before = client.recommend(session)?;
+    println!(
+        "top recommendation before restart: score {:.4}, items {:?}",
+        before[0].score,
+        before[0].package.items(),
+    );
+
+    // ---- restart: graceful shutdown, then a new server on the same log ---
+    client.sync()?;
+    control.shutdown();
+    let (store, report) = handle.join().expect("server thread join")?;
+    println!(
+        "server stopped ({} connections, {} requests served); store dropped",
+        report.connections, report.requests,
+    );
+    drop(store); // release the journal directory like a real process exit
+
+    let reborn = SessionStore::open(
+        &dir,
+        StoreConfig {
+            shards: 2,
+            capacity_per_shard: 4,
+        },
+    )?;
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default())
+        .map_err(|e| CoreError::Io(format!("rebind: {e}")))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CoreError::Io(format!("local addr: {e}")))?;
+    let control = server.control();
+    let handle = std::thread::spawn(move || {
+        let mut store = reborn;
+        let report = server.serve(&mut store)?;
+        Ok::<_, CoreError>((store, report))
+    });
+
+    // The same session id, served by a different process image on a
+    // different port, recommends byte-for-byte the same packages.
+    let mut client = Client::connect(addr)?;
+    let after = client.recommend(session)?;
+    assert_eq!(
+        serde_json::to_string(&before).ok(),
+        serde_json::to_string(&after).ok(),
+        "recovered server diverged from the killed one"
+    );
+    println!("new server on {addr} recommends identically after recovery");
+
+    // And the session is still live: elicitation continues where it left off.
+    let shown = client.present(session)?;
+    let choice = user.choose(&catalog, &shown, &mut choice_rng)?;
+    client.feedback(session, Feedback::Click { index: choice })?;
+    let final_ranked = client.recommend(session)?;
+    let (sessions, stats) = client.stats()?;
+    println!(
+        "one more round after the restart: top score {:.4} \
+         ({sessions} sessions live, {} journal events across restarts)",
+        final_ranked[0].score, stats.journal_events,
+    );
+
+    control.shutdown();
+    let (store, _) = handle.join().expect("server thread join")?;
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+    println!("the wire is just a window onto the log — restarts are invisible");
+    Ok(())
+}

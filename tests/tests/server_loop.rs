@@ -1,0 +1,558 @@
+//! The network front door (`pkgrec-server`) under test:
+//!
+//! * the wire protocol v1 is pinned by a golden byte fixture
+//!   (`fixtures/server_frame_v1.bin`) — hello + one frame of every
+//!   `Request` and `Response` variant; a PR that changes the framing, the
+//!   CRC, or the payload JSON must bump `PROTOCOL_VERSION` and regenerate
+//!   the fixture deliberately,
+//! * property tests round-trip every enum variant through the codec,
+//! * torn, oversized and CRC-corrupted frames are rejected with typed
+//!   error replies and never take the accept loop down,
+//! * and the headline: a loopback client driving a served, durable store
+//!   gets **bit-for-bit** the same presents, recommendations and
+//!   snapshots as an in-process shadow store replaying the identical
+//!   operations — the determinism contract extends across the wire.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pkgrec_core::prelude::*;
+use pkgrec_integration_tests::unique_temp_dir;
+use pkgrec_serve::segment::crc32;
+use pkgrec_serve::StoreStats;
+use pkgrec_serve::{DurabilityConfig, RecommenderSpec, SessionConfig, SessionStore, StoreConfig};
+use pkgrec_server::loadgen::{build_catalog, session_spec};
+use pkgrec_server::protocol::{
+    encode_frame, never_stop, read_hello, read_message, write_hello, ErrorKind, FrameError,
+    Request, Response, WireError, DEFAULT_MAX_FRAME_LEN, FRAME_PREFIX_LEN, HELLO_LEN,
+    PROTOCOL_VERSION,
+};
+use pkgrec_server::{Client, Server, ServerConfig};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Golden wire-format fixture
+// ---------------------------------------------------------------------------
+
+/// The session configuration used by fixture and property frames: small,
+/// fully deterministic, engine-flavoured.
+fn fixture_config(seed: u64) -> SessionConfig {
+    SessionConfig {
+        catalog: Arc::new(
+            Catalog::from_rows(vec![
+                vec![0.6, 0.2],
+                vec![0.4, 0.4],
+                vec![0.2, 0.4],
+                vec![0.9, 0.8],
+            ])
+            .unwrap(),
+        ),
+        profile: Profile::cost_quality(),
+        max_package_size: 2,
+        spec: RecommenderSpec::Engine(EngineConfig {
+            k: 2,
+            num_random: 2,
+            num_samples: 20,
+            ..EngineConfig::default()
+        }),
+        seed,
+    }
+}
+
+/// One of every request variant, in declaration order.
+fn fixture_requests() -> Vec<Request> {
+    vec![
+        Request::Create {
+            config: fixture_config(41),
+        },
+        Request::Present { session: 3 },
+        Request::Feedback {
+            session: 3,
+            feedback: Feedback::Click { index: 1 },
+        },
+        Request::Recommend { session: 3 },
+        Request::Snapshot { session: 3 },
+        Request::Stats,
+        Request::Sync,
+    ]
+}
+
+/// One of every response variant, in declaration order.
+fn fixture_responses() -> Vec<Response> {
+    let stats = StoreStats {
+        created: 1,
+        hits: 2,
+        journal_events: 4,
+        ..StoreStats::default()
+    };
+    vec![
+        Response::Created { session: 3 },
+        Response::Presented {
+            packages: vec![
+                Package::new(vec![0, 2]).unwrap(),
+                Package::new(vec![1]).unwrap(),
+            ],
+        },
+        Response::FeedbackRecorded { preferences: 1 },
+        Response::Recommended {
+            ranked: vec![RankedPackage {
+                package: Package::new(vec![0, 3]).unwrap(),
+                score: 0.625,
+            }],
+        },
+        Response::Snapshotted {
+            snapshot: r#"{"version":1,"rounds":2}"#.to_string(),
+        },
+        Response::Stats { sessions: 1, stats },
+        Response::Synced,
+        Response::Error(WireError {
+            kind: ErrorKind::UnknownSession,
+            message: "session 9 is not in the store".to_string(),
+            session: Some(9),
+        }),
+    ]
+}
+
+/// The fixture byte stream: the 11-byte hello followed by one frame per
+/// message — exactly what a wire capture of these messages would hold.
+fn fixture_frame_bytes() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_hello(&mut bytes).unwrap();
+    for request in fixture_requests() {
+        bytes.extend(encode_frame(&request).unwrap());
+    }
+    for response in fixture_responses() {
+        bytes.extend(encode_frame(&response).unwrap());
+    }
+    bytes
+}
+
+const GOLDEN_FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/server_frame_v1.bin");
+
+/// Wire-format compatibility gate for the server protocol.  Regenerate with
+/// `UPDATE_SNAPSHOT_FIXTURE=1 cargo test -p pkgrec-integration-tests golden`.
+#[test]
+fn golden_server_frame_fixture_stays_decodable() {
+    if std::env::var_os("UPDATE_SNAPSHOT_FIXTURE").is_some() {
+        std::fs::write(GOLDEN_FIXTURE, fixture_frame_bytes()).unwrap();
+    }
+    let disk = std::fs::read(GOLDEN_FIXTURE)
+        .expect("golden fixture exists (regenerate with UPDATE_SNAPSHOT_FIXTURE=1)");
+
+    // The fixture file name pins v1; bump both together, deliberately.
+    assert_eq!(PROTOCOL_VERSION, 1, "fixture file is named for v1");
+
+    // Encoding today must reproduce the checked-in bytes exactly: hello,
+    // framing, CRC table, JSON field order and float formatting.
+    assert_eq!(
+        fixture_frame_bytes(),
+        disk,
+        "server wire format drifted; bump PROTOCOL_VERSION and regenerate the fixture"
+    );
+
+    // And the checked-in bytes must decode back into the same messages.
+    let mut cursor = &disk[..];
+    assert_eq!(read_hello(&mut cursor).unwrap(), PROTOCOL_VERSION);
+    for expected in fixture_requests() {
+        let decoded: Request = read_message(&mut cursor, DEFAULT_MAX_FRAME_LEN, &never_stop)
+            .unwrap()
+            .unwrap();
+        assert_eq!(decoded, expected);
+    }
+    for expected in fixture_responses() {
+        let decoded: Response = read_message(&mut cursor, DEFAULT_MAX_FRAME_LEN, &never_stop)
+            .unwrap()
+            .unwrap();
+        assert_eq!(decoded, expected);
+    }
+    assert!(cursor.is_empty(), "no trailing bytes in the fixture");
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: every variant survives the codec
+// ---------------------------------------------------------------------------
+
+/// Builds one request variant from plain integers (the vendored proptest
+/// has no `prop_oneof`, so selection happens in the test body).
+fn arbitrary_request(selector: u8, session: u64, a: usize, b: usize) -> Request {
+    match selector % 7 {
+        0 => Request::Create {
+            config: fixture_config(session),
+        },
+        1 => Request::Present { session },
+        2 => Request::Feedback {
+            session,
+            feedback: match a % 3 {
+                0 => Feedback::Click { index: b % 5 },
+                1 => Feedback::Pairwise {
+                    preferred: a % 5,
+                    over: b % 5,
+                },
+                _ => Feedback::Skip,
+            },
+        },
+        3 => Request::Recommend { session },
+        4 => Request::Snapshot { session },
+        5 => Request::Stats,
+        _ => Request::Sync,
+    }
+}
+
+/// Builds one response variant from plain integers.
+fn arbitrary_response(selector: u8, session: u64, a: usize, score: f64) -> Response {
+    match selector % 8 {
+        0 => Response::Created { session },
+        1 => Response::Presented {
+            packages: vec![Package::new(vec![a % 7, (a % 7) + 1]).unwrap()],
+        },
+        2 => Response::FeedbackRecorded { preferences: a },
+        3 => Response::Recommended {
+            ranked: vec![RankedPackage {
+                package: Package::new(vec![a % 9]).unwrap(),
+                score,
+            }],
+        },
+        4 => Response::Snapshotted {
+            snapshot: format!("{{\"ops\":{a}}}"),
+        },
+        5 => Response::Stats {
+            sessions: a,
+            stats: StoreStats {
+                created: a,
+                evictions: a / 2,
+                ..StoreStats::default()
+            },
+        },
+        6 => Response::Synced,
+        _ => Response::Error(WireError {
+            kind: match a % 8 {
+                0 => ErrorKind::UnknownSession,
+                1 => ErrorKind::InvalidRequest,
+                2 => ErrorKind::MalformedFrame,
+                3 => ErrorKind::Oversized,
+                4 => ErrorKind::Timeout,
+                5 => ErrorKind::ShuttingDown,
+                6 => ErrorKind::Io,
+                _ => ErrorKind::Internal,
+            },
+            message: format!("error {a} on {session}"),
+            session: if a.is_multiple_of(2) {
+                Some(session)
+            } else {
+                None
+            },
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every request variant encodes to one frame and decodes back equal.
+    #[test]
+    fn request_frames_round_trip(
+        selector in 0u8..7,
+        session in 0u64..10_000,
+        a in 0usize..50,
+        b in 0usize..50,
+    ) {
+        let request = arbitrary_request(selector, session, a, b);
+        let frame = encode_frame(&request).unwrap();
+        let mut cursor = &frame[..];
+        let decoded: Request = read_message(&mut cursor, DEFAULT_MAX_FRAME_LEN, &never_stop)
+            .unwrap()
+            .unwrap();
+        prop_assert_eq!(decoded, request);
+        prop_assert!(cursor.is_empty());
+    }
+
+    /// Every response variant encodes to one frame and decodes back equal.
+    #[test]
+    fn response_frames_round_trip(
+        selector in 0u8..8,
+        session in 0u64..10_000,
+        a in 0usize..50,
+        score in -1.0f64..1.0,
+    ) {
+        let response = arbitrary_response(selector, session, a, score);
+        let frame = encode_frame(&response).unwrap();
+        let mut cursor = &frame[..];
+        let decoded: Response = read_message(&mut cursor, DEFAULT_MAX_FRAME_LEN, &never_stop)
+            .unwrap()
+            .unwrap();
+        prop_assert_eq!(decoded, response);
+        prop_assert!(cursor.is_empty());
+    }
+
+    /// Flipping any single byte of a frame is caught: either the CRC
+    /// rejects the payload or the length prefix no longer matches the
+    /// stream (torn / oversized) — a corrupted frame never decodes
+    /// silently into a different message.
+    #[test]
+    fn any_single_byte_flip_is_detected(
+        session in 0u64..10_000,
+        flip in 0usize..200,
+    ) {
+        let request = Request::Present { session };
+        let mut frame = encode_frame(&request).unwrap();
+        let index = flip % frame.len();
+        frame[index] ^= 0x01;
+        let mut cursor = &frame[..];
+        match read_message::<_, Request>(&mut cursor, DEFAULT_MAX_FRAME_LEN, &never_stop) {
+            Err(FrameError::Corrupt(_)) | Err(FrameError::Oversized { .. }) => {}
+            Ok(Ok(decoded)) => prop_assert!(
+                false,
+                "flipped byte {} decoded into {:?}",
+                index,
+                decoded
+            ),
+            Ok(Err(_)) => prop_assert!(
+                false,
+                "CRC must catch payload corruption before JSON parsing"
+            ),
+            Err(other) => prop_assert!(false, "unexpected frame error {:?}", other),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed frames never take the server down
+// ---------------------------------------------------------------------------
+
+/// A raw (non-`Client`) connection for speaking broken protocol on purpose.
+fn raw_connect(addr: std::net::SocketAddr) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut hello = [0u8; HELLO_LEN];
+    stream.read_exact(&mut hello).expect("hello");
+    stream
+}
+
+/// Reads one response frame off a raw connection.
+fn raw_read_response(stream: &mut TcpStream) -> std::result::Result<Response, FrameError> {
+    match read_message::<_, Response>(stream, DEFAULT_MAX_FRAME_LEN, &never_stop) {
+        Ok(Ok(response)) => Ok(response),
+        Ok(Err(parse)) => panic!("server sent unparseable response: {parse}"),
+        Err(e) => Err(e),
+    }
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_and_spare_the_accept_loop() {
+    let store = SessionStore::new(StoreConfig {
+        shards: 2,
+        capacity_per_shard: 8,
+    })
+    .unwrap();
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let control = server.control();
+    let handle = std::thread::spawn(move || {
+        let mut store = store;
+        server.serve(&mut store).unwrap()
+    });
+
+    // 1. CRC corruption: typed MalformedFrame reply, then the connection
+    //    closes (a byte stream cannot resync after a bad frame).
+    {
+        let mut stream = raw_connect(addr);
+        let mut frame = encode_frame(&Request::Stats).unwrap();
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF;
+        stream.write_all(&frame).unwrap();
+        match raw_read_response(&mut stream).unwrap() {
+            Response::Error(wire) => assert_eq!(wire.kind, ErrorKind::MalformedFrame),
+            other => panic!("expected MalformedFrame error, got {other:?}"),
+        }
+        assert_eq!(
+            raw_read_response(&mut stream),
+            Err(FrameError::Closed),
+            "server closes the connection after a corrupt frame"
+        );
+    }
+
+    // 2. Oversized length prefix: typed reply, no allocation, close.
+    {
+        let mut stream = raw_connect(addr);
+        let mut prefix = [0u8; FRAME_PREFIX_LEN];
+        prefix[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        stream.write_all(&prefix).unwrap();
+        match raw_read_response(&mut stream).unwrap() {
+            Response::Error(wire) => assert_eq!(wire.kind, ErrorKind::Oversized),
+            other => panic!("expected Oversized error, got {other:?}"),
+        }
+    }
+
+    // 3. An intact frame with garbage JSON: typed InvalidRequest reply and
+    //    the connection SURVIVES — the next request on it still works.
+    {
+        let mut stream = raw_connect(addr);
+        let payload = b"{definitely not a request".to_vec();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        stream.write_all(&frame).unwrap();
+        match raw_read_response(&mut stream).unwrap() {
+            Response::Error(wire) => assert_eq!(wire.kind, ErrorKind::InvalidRequest),
+            other => panic!("expected InvalidRequest error, got {other:?}"),
+        }
+        stream
+            .write_all(&encode_frame(&Request::Stats).unwrap())
+            .unwrap();
+        match raw_read_response(&mut stream).unwrap() {
+            Response::Stats { sessions, .. } => assert_eq!(sessions, 0),
+            other => panic!("expected Stats after the invalid request, got {other:?}"),
+        }
+    }
+
+    // 4. After all that abuse a well-behaved client is served normally.
+    let mut client = Client::connect(addr).unwrap();
+    let id = client.create(fixture_config(7)).unwrap();
+    assert!(!client.present(id).unwrap().is_empty());
+    let (sessions, _) = client.stats().unwrap();
+    assert_eq!(sessions, 1);
+    drop(client);
+
+    control.shutdown();
+    let report = handle.join().unwrap();
+    assert!(
+        report.malformed_frames >= 2,
+        "CRC + oversized both counted: {report:?}"
+    );
+    assert!(report.invalid_requests >= 1, "{report:?}");
+    assert_eq!(report.connections, 4, "{report:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Loopback equivalence: the wire changes nothing
+// ---------------------------------------------------------------------------
+
+/// Wire results must be byte-identical to an in-process shadow store
+/// replaying the same operations: session RNG streams derive from
+/// `(seed, op index)` alone, so the network boundary, the server's shard
+/// routing and its id assignment must all be unobservable in the results.
+#[test]
+fn loopback_results_equal_in_process_results_bit_for_bit() {
+    let dir = unique_temp_dir("server-loop");
+    let store = SessionStore::open_with(
+        StoreConfig {
+            shards: 2,
+            capacity_per_shard: 4,
+        },
+        DurabilityConfig::at(&dir),
+    )
+    .unwrap();
+    // The shadow deliberately uses a different shape (one shard, ample
+    // capacity): shard routing and eviction pressure must not show up in
+    // results either.
+    let mut shadow = SessionStore::new(StoreConfig {
+        shards: 1,
+        capacity_per_shard: 16,
+    })
+    .unwrap();
+
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let control = server.control();
+    let handle = std::thread::spawn(move || {
+        let mut store = store;
+        let report = server.serve(&mut store).unwrap();
+        (store, report)
+    });
+    let mut client = Client::connect(addr).unwrap();
+
+    let catalog = build_catalog(2014, 24).unwrap();
+    let profile = Profile::cost_quality();
+    const SESSIONS: u64 = 6;
+    const ROUNDS: usize = 2;
+
+    let mut pairs: Vec<(u64, pkgrec_serve::SessionId)> = Vec::new();
+    for i in 0..SESSIONS {
+        let config = SessionConfig {
+            catalog: catalog.clone(),
+            profile: profile.clone(),
+            max_package_size: 2,
+            spec: session_spec(i),
+            seed: 9_000 + i,
+        };
+        let wire_id = client.create(config.clone()).unwrap();
+        let shadow_id = shadow.create(config).unwrap();
+        pairs.push((wire_id, shadow_id));
+    }
+
+    for round in 0..ROUNDS {
+        for (i, (wire_id, shadow_id)) in pairs.iter().enumerate() {
+            let shown = client.present(*wire_id).unwrap();
+            let expected = shadow.present(*shadow_id).unwrap();
+            assert_eq!(
+                serde_json::to_string(&shown).unwrap(),
+                serde_json::to_string(&expected).unwrap(),
+                "present diverged for session {i} round {round}"
+            );
+            // Deterministic, session-dependent feedback covering all kinds.
+            let feedback = match (i + round) % 3 {
+                0 => Feedback::Click {
+                    index: i % shown.len(),
+                },
+                1 if shown.len() >= 2 => Feedback::Pairwise {
+                    preferred: 0,
+                    over: 1,
+                },
+                _ => Feedback::Skip,
+            };
+            let wire_prefs = client.feedback(*wire_id, feedback).unwrap();
+            let shadow_prefs = shadow.feedback(*shadow_id, feedback).unwrap();
+            assert_eq!(wire_prefs, shadow_prefs, "session {i} round {round}");
+        }
+    }
+
+    for (i, (wire_id, shadow_id)) in pairs.iter().enumerate() {
+        let ranked = client.recommend(*wire_id).unwrap();
+        let expected = shadow.recommend(*shadow_id).unwrap();
+        assert_eq!(
+            serde_json::to_string(&ranked).unwrap(),
+            serde_json::to_string(&expected).unwrap(),
+            "recommend diverged for session {i}"
+        );
+        // Engine sessions snapshot; their checkpoints must match too.
+        if matches!(session_spec(i as u64), RecommenderSpec::Engine(_)) {
+            let wire_snapshot = client.snapshot(*wire_id).unwrap();
+            let shadow_snapshot = shadow.snapshot(*shadow_id).unwrap();
+            assert_eq!(wire_snapshot, shadow_snapshot, "snapshot diverged for {i}");
+        }
+    }
+
+    // The error surface crosses the wire typed: unknown ids come back as
+    // CoreError::UnknownSession with the id intact.
+    match client.present(987_654) {
+        Err(CoreError::UnknownSession(id)) => assert_eq!(id, 987_654),
+        other => panic!("expected UnknownSession, got {other:?}"),
+    }
+
+    let (sessions, stats) = client.stats().unwrap();
+    assert_eq!(sessions as u64, SESSIONS);
+    assert_eq!(stats.created as u64, SESSIONS);
+    client.sync().unwrap();
+
+    drop(client);
+    control.shutdown();
+    let (store, report) = handle.join().unwrap();
+    assert_eq!(store.len() as u64, SESSIONS);
+    assert_eq!(report.connections, 1);
+    assert_eq!(report.malformed_frames, 0);
+    assert_eq!(report.timeouts, 0);
+    // create + rounds * (present + feedback) + recommend per session, the
+    // snapshots, the failed present, stats and sync.
+    assert!(
+        report.requests as u64 >= SESSIONS * (2 + 2 * ROUNDS as u64) + 3,
+        "{report:?}"
+    );
+
+    drop(shadow);
+    std::fs::remove_dir_all(&dir).ok();
+}

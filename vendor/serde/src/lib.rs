@@ -23,7 +23,11 @@ pub mod json_model {
         Null,
         /// `true` / `false`
         Bool(bool),
-        /// Any JSON number (stored as `f64`).
+        /// A JSON integer, kept lossless (JSON integers are arbitrary
+        /// precision; `i128` covers every Rust integer type so `u64`
+        /// values above 2^53 survive a round trip intact).
+        Int(i128),
+        /// Any other JSON number (stored as `f64`).
         Number(f64),
         /// A string.
         String(String),
@@ -42,10 +46,27 @@ pub mod json_model {
             }
         }
 
-        /// The numeric payload, if this is a `Number`.
+        /// The numeric payload, if this is a `Number` or an `Int` (the
+        /// latter converted, possibly rounding above 2^53 — use
+        /// [`Value::as_i128`] where exactness matters).
         pub fn as_f64(&self) -> Option<f64> {
             match self {
+                Value::Int(i) => Some(*i as f64),
                 Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The exact integer payload: an `Int` verbatim, or a `Number`
+        /// that happens to be integral and in range.
+        pub fn as_i128(&self) -> Option<i128> {
+            match self {
+                Value::Int(i) => Some(*i),
+                Value::Number(n)
+                    if n.fract() == 0.0 && *n >= i128::MIN as f64 && *n <= i128::MAX as f64 =>
+                {
+                    Some(*n as i128)
+                }
                 _ => None,
             }
         }
@@ -88,7 +109,7 @@ impl DeError {
         let shape = match got {
             Value::Null => "null",
             Value::Bool(_) => "a boolean",
-            Value::Number(_) => "a number",
+            Value::Int(_) | Value::Number(_) => "a number",
             Value::String(_) => "a string",
             Value::Array(_) => "an array",
             Value::Object(_) => "an object",
@@ -154,20 +175,31 @@ macro_rules! impl_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_json_value(&self) -> Value {
-                Value::Number(*self as f64)
+                // `i128` holds every Rust integer type exactly; going
+                // through `f64` here would silently corrupt `u64`/`i64`
+                // values above 2^53.
+                Value::Int(*self as i128)
             }
         }
         impl Deserialize for $t {
             fn from_json_value(v: &Value) -> Result<Self, DeError> {
-                let n = v.as_f64().ok_or_else(|| DeError::expected("a number", v))?;
-                // Reject fractional or out-of-range values instead of letting
-                // `as` silently truncate/saturate (matches real serde).
-                if n.fract() != 0.0 || n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
-                    return Err(DeError(format!(
-                        "number {n} is not a valid {}", stringify!($t)
-                    )));
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i).map_err(|_| DeError(format!(
+                        "integer {i} is out of range for {}", stringify!($t)
+                    ))),
+                    // Reject fractional or out-of-range values instead of
+                    // letting `as` silently truncate/saturate (matches real
+                    // serde).
+                    Value::Number(n) => {
+                        if n.fract() != 0.0 || *n < <$t>::MIN as f64 || *n > <$t>::MAX as f64 {
+                            return Err(DeError(format!(
+                                "number {n} is not a valid {}", stringify!($t)
+                            )));
+                        }
+                        Ok(*n as $t)
+                    }
+                    other => Err(DeError::expected("a number", other)),
                 }
-                Ok(n as $t)
             }
         }
     )*};
@@ -374,6 +406,34 @@ impl<V: Deserialize> Deserialize for HashMap<String, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn integers_round_trip_losslessly_above_2_pow_53() {
+        // `u64` seeds above 2^53 must survive the value tree exactly; a
+        // detour through `f64` would corrupt the low bits silently.
+        for x in [u64::MAX, (1u64 << 53) + 1, 0x9e37_79b9_7f4a_7c15] {
+            let v = x.to_json_value();
+            assert_eq!(v, Value::Int(x as i128));
+            assert_eq!(u64::from_json_value(&v).unwrap(), x);
+        }
+        let v = i64::MIN.to_json_value();
+        assert_eq!(i64::from_json_value(&v).unwrap(), i64::MIN);
+    }
+
+    #[test]
+    fn int_deserialisation_checks_range_and_floats_accept_ints() {
+        assert!(u8::from_json_value(&Value::Int(256)).is_err());
+        assert!(u64::from_json_value(&Value::Int(-1)).is_err());
+        assert_eq!(u8::from_json_value(&Value::Int(255)).unwrap(), 255);
+        // Integral `Number`s are still accepted (pre-`Int` journal frames).
+        assert_eq!(u64::from_json_value(&Value::Number(12.0)).unwrap(), 12);
+        assert!(u64::from_json_value(&Value::Number(12.5)).is_err());
+        // Float fields tolerate values parsed as integers.
+        assert_eq!(f64::from_json_value(&Value::Int(3)).unwrap(), 3.0);
+        assert_eq!(Value::Int(7).as_i128(), Some(7));
+        assert_eq!(Value::Number(7.0).as_i128(), Some(7));
+        assert_eq!(Value::Number(7.5).as_i128(), None);
+    }
 
     #[test]
     fn arc_serialises_transparently_and_deserialises_fresh() {

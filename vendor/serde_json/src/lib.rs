@@ -81,6 +81,10 @@ fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize)
         Value::Null => out.push_str("null"),
         Value::Bool(true) => out.push_str("true"),
         Value::Bool(false) => out.push_str("false"),
+        // Integers print identically from `Int` and from an integral
+        // `Number` (f64 Display never emits a trailing `.0`), so moving a
+        // value between the two variants cannot change serialised bytes.
+        Value::Int(i) => out.push_str(&i.to_string()),
         Value::Number(n) => {
             if n.is_finite() {
                 // Rust's shortest-roundtrip Display keeps `from_str` lossless.
@@ -229,6 +233,14 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| Error(format!("invalid number at offset {start}")))?;
+        // Plain integer literals parse losslessly into `Int`; anything with
+        // a fraction or exponent (or beyond i128, or `-0`, whose sign only
+        // an f64 can carry) falls back to `Number`.
+        if !text.bytes().any(|b| matches!(b, b'.' | b'e' | b'E')) && text != "-0" {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Value::Int(i));
+            }
+        }
         text.parse::<f64>()
             .map(Value::Number)
             .map_err(|_| Error(format!("invalid number `{text}` at offset {start}")))
@@ -361,7 +373,7 @@ mod tests {
                 Value::Array(vec![
                     Value::Number(0.1),
                     Value::Number(-3.25e-7),
-                    Value::Number(12.0),
+                    Value::Int(12),
                 ]),
             ),
             ("ok".into(), Value::Bool(true)),
@@ -377,7 +389,7 @@ mod tests {
     #[test]
     fn byte_surface_round_trips_and_rejects_non_utf8() {
         let v = Value::Object(vec![
-            ("id".into(), Value::Number(7.0)),
+            ("id".into(), Value::Int(7)),
             ("name".into(), Value::String("päckage \"x\"".into())),
         ]);
         let bytes = to_vec(&v).unwrap();
@@ -398,5 +410,35 @@ mod tests {
             let back: f64 = from_str(&s).unwrap();
             assert_eq!(back, x);
         }
+    }
+
+    #[test]
+    fn roundtrips_large_integers_exactly() {
+        // Values above 2^53 are indistinguishable after an f64 detour; the
+        // `Int` variant must carry them bit-exactly through text.
+        for x in [u64::MAX, (1u64 << 53) + 1, 0x9e37_79b9_7f4a_7c15, 0] {
+            let s = to_string(&x).unwrap();
+            assert_eq!(s, x.to_string());
+            let back: u64 = from_str(&s).unwrap();
+            assert_eq!(back, x);
+        }
+        let s = to_string(&i64::MIN).unwrap();
+        assert_eq!(from_str::<i64>(&s).unwrap(), i64::MIN);
+        // Integral text re-serialises byte-identically whether it entered
+        // the tree as an `Int` or as an integral `Number`.
+        assert_eq!(to_string(&Value::Int(42)).unwrap(), "42");
+        assert_eq!(to_string(&Value::Number(42.0)).unwrap(), "42");
+        assert_eq!(value_from_str("42").unwrap(), Value::Int(42));
+        assert_eq!(value_from_str("42.0").unwrap(), Value::Number(42.0));
+        // `-0` keeps its sign only as a float; the integer fast path must
+        // not collapse it to `0`.
+        assert_eq!(value_from_str("-0").unwrap(), Value::Number(-0.0));
+        assert_eq!(to_string(&value_from_str("-0").unwrap()).unwrap(), "-0");
+        // Integers beyond i128 still parse (as an approximate float),
+        // matching the old behaviour rather than erroring.
+        assert!(matches!(
+            value_from_str("340282366920938463463374607431768211456").unwrap(),
+            Value::Number(_)
+        ));
     }
 }
