@@ -14,6 +14,7 @@
 use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pkgrec_bench::report::{bench_environment, BenchEnvironment};
 use pkgrec_bench::workload::{DatasetId, Workload, WorkloadConfig};
 use pkgrec_core::{
     top_k_packages_reference, top_k_packages_with_lists, LinearUtility, SearchResult,
@@ -40,6 +41,7 @@ struct SweepRecord {
 #[derive(Debug, Serialize)]
 struct BenchRecord {
     bench: &'static str,
+    environment: BenchEnvironment,
     dataset: &'static str,
     rows: usize,
     k: usize,
@@ -146,6 +148,7 @@ fn bench_pkgsearch(_c: &mut Criterion) {
     if !test_mode {
         let record = BenchRecord {
             bench: "fig_pkgsearch",
+            environment: bench_environment(),
             dataset: "UNI",
             rows: ROWS,
             k: K,

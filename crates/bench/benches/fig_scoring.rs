@@ -1,17 +1,62 @@
 //! Criterion benchmark for the batched scoring kernel: the candidate ×
 //! sample utility evaluation that dominates every elicitation round, measured
 //! scalar (row-at-a-time over per-sample `Vec`s, the pre-columnar code shape)
-//! versus batched ([`score_batch`]) versus threaded
-//! ([`score_batch_threaded`]), on a Figure-8-scale workload (5 features,
-//! a full candidate slate, thousands of pooled samples).
+//! versus lane-blocked ([`score_batch`]) versus manually unrolled
+//! ([`score_batch_unrolled`]) versus threaded ([`score_batch_threaded`]), on
+//! a Figure-8-scale workload (5 features, a full candidate slate, thousands
+//! of pooled samples).
+//!
+//! Besides the Criterion groups, the bench manually times one sweep per
+//! kernel shape and — outside `-- --test` smoke mode — writes the series to
+//! `BENCH_scoring.json` at the repository root, with the machine/build
+//! environment header every benchmark artifact carries.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pkgrec_bench::report::{bench_environment, BenchEnvironment};
 use pkgrec_bench::workload::{Workload, WorkloadConfig};
 use pkgrec_core::constraints::{ConstraintChecker, ConstraintSource};
 use pkgrec_core::sampler::{RejectionSampler, WeightSampler};
-use pkgrec_core::scoring::{score_batch, score_batch_threaded, CandidateMatrix};
+use pkgrec_core::scoring::{
+    score_batch, score_batch_threaded, score_batch_unrolled, CandidateMatrix,
+};
 use pkgrec_core::utility::dot;
 use pkgrec_core::{package_space_size, random_package};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One manually timed kernel shape in `BENCH_scoring.json`.
+#[derive(Debug, Serialize)]
+struct ScoringPoint {
+    /// Kernel shape ("scalar" / "lane-blocked" / "unrolled" / "threaded_N").
+    path: String,
+    /// Mean nanoseconds per full candidate × sample sweep.
+    mean_ns: f64,
+    /// Score-matrix cells produced per second.
+    cells_per_sec: f64,
+    /// Throughput relative to the scalar row (scalar = 1.0).
+    speedup_vs_scalar: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchRecord {
+    bench: &'static str,
+    environment: BenchEnvironment,
+    candidates: usize,
+    samples: usize,
+    features: usize,
+    points: Vec<ScoringPoint>,
+}
+
+/// Times `iters` full sweeps of `f` after one warmup call, returning the
+/// mean seconds per sweep.
+fn time_sweeps(mut f: impl FnMut(), iters: usize) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
 
 const CANDIDATES: usize = 256;
 const SAMPLES: usize = 2_000;
@@ -117,15 +162,111 @@ fn bench_fig_scoring(c: &mut Criterion) {
     );
     group.finish();
 
-    // Correctness backing for the timing: the three paths agree to 1e-12.
+    // Correctness backing for the timing: all four paths agree (the
+    // blocked/unrolled/threaded kernels bit-identically, the scalar shape to
+    // 1e-12 — it sums in a different association order).
     let scalar = scalar_phase(&candidate_rows, &sample_rows, &importances);
     let batched =
         score_batch(&candidates, pool.weight_matrix()).weighted_expectations(&importances);
+    let unrolled =
+        score_batch_unrolled(&candidates, pool.weight_matrix()).weighted_expectations(&importances);
     let threaded = score_batch_threaded(&candidates, pool.weight_matrix(), threads)
         .weighted_expectations(&importances);
     assert_eq!(batched, threaded);
+    assert_eq!(batched, unrolled);
     for (s, b) in scalar.iter().zip(batched.iter()) {
         assert!((s - b).abs() < 1e-12, "scalar {s} vs batched {b}");
+    }
+
+    // The recorded series: one manually timed sweep per kernel shape.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let iters = if test_mode { 3 } else { 50 };
+    let timed: Vec<(String, f64)> = vec![
+        (
+            "scalar".to_string(),
+            time_sweeps(
+                || {
+                    black_box(scalar_phase(
+                        black_box(&candidate_rows),
+                        black_box(&sample_rows),
+                        &importances,
+                    ));
+                },
+                iters,
+            ),
+        ),
+        (
+            "lane-blocked".to_string(),
+            time_sweeps(
+                || {
+                    black_box(score_batch(
+                        black_box(&candidates),
+                        black_box(pool.weight_matrix()),
+                    ));
+                },
+                iters,
+            ),
+        ),
+        (
+            "unrolled".to_string(),
+            time_sweeps(
+                || {
+                    black_box(score_batch_unrolled(
+                        black_box(&candidates),
+                        black_box(pool.weight_matrix()),
+                    ));
+                },
+                iters,
+            ),
+        ),
+        (
+            format!("threaded_{threads}"),
+            time_sweeps(
+                || {
+                    black_box(score_batch_threaded(
+                        black_box(&candidates),
+                        black_box(pool.weight_matrix()),
+                        threads,
+                    ));
+                },
+                iters,
+            ),
+        ),
+    ];
+    let cells = (CANDIDATES * SAMPLES) as f64;
+    let scalar_secs = timed[0].1;
+    let points: Vec<ScoringPoint> = timed
+        .into_iter()
+        .map(|(path, secs)| ScoringPoint {
+            path,
+            mean_ns: secs * 1e9,
+            cells_per_sec: cells / secs.max(1e-12),
+            speedup_vs_scalar: scalar_secs / secs.max(1e-12),
+        })
+        .collect();
+    for p in &points {
+        println!(
+            "bench: fig_scoring/{:<14} {:>10.1} us/sweep  {:>8.1} Mcells/s  ({:.2}x vs scalar)",
+            p.path,
+            p.mean_ns / 1e3,
+            p.cells_per_sec / 1e6,
+            p.speedup_vs_scalar
+        );
+    }
+
+    if !test_mode {
+        let record = BenchRecord {
+            bench: "fig_scoring",
+            environment: bench_environment(),
+            candidates: CANDIDATES,
+            samples: SAMPLES,
+            features: 5,
+            points,
+        };
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scoring.json");
+        let payload = serde_json::to_string_pretty(&record).expect("records serialise");
+        std::fs::write(path, payload + "\n").expect("write BENCH_scoring.json");
+        println!("fig_scoring: measurements written to BENCH_scoring.json");
     }
 }
 

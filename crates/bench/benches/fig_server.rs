@@ -18,6 +18,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pkgrec_bench::report::{bench_environment, BenchEnvironment};
 use pkgrec_serve::{DurabilityConfig, SessionStore, StoreConfig};
 use pkgrec_server::loadgen::{self, LoadConfig, LoadReport};
 use pkgrec_server::{Server, ServerConfig};
@@ -26,6 +27,7 @@ use serde::Serialize;
 #[derive(Debug, Serialize)]
 struct BenchRecord {
     bench: &'static str,
+    environment: BenchEnvironment,
     dataset: &'static str,
     catalog_items: usize,
     rounds: usize,
@@ -127,6 +129,7 @@ fn bench_server(_c: &mut Criterion) {
     if !test_mode {
         let record = BenchRecord {
             bench: "fig_server",
+            environment: bench_environment(),
             dataset: "UNI",
             catalog_items: load.catalog_items,
             rounds: load.rounds,

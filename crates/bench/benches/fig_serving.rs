@@ -1,12 +1,14 @@
 //! `fig_serving` — throughput of the sharded session-serving layer.
 //!
 //! Serves the same mixed fleet of elicitation sessions (engine + baseline
-//! adapters, one hidden-utility user each) through four store shapes:
-//! `{1, N}` shards × `{store-hit, snapshot-restore}` paths.  The hit path
-//! keeps every session live; the restore path caps each shard at one live
+//! adapters, one hidden-utility user each) through six store shapes:
+//! `{1, N}` shards × `{store-hit, batched, snapshot-restore}` paths.  The
+//! hit path keeps every session live; the batched path additionally drives
+//! each shard's sessions in lockstep so same-catalog engine sessions share
+//! one kernel sweep per round; the restore path caps each shard at one live
 //! session, so nearly every operation pays a spill (snapshot checkpoint)
 //! plus a rehydrate (journal replay).  Per-session outcomes are identical
-//! across all four shapes — the serving layer's core guarantee — and the
+//! across all six shapes — the serving layer's core guarantee — and the
 //! bench asserts it before timing anything.
 //!
 //! Outside `-- --test` smoke mode the measured throughputs are written to
@@ -15,14 +17,17 @@
 //! overhead there, not a speedup.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pkgrec_bench::report::{bench_environment, BenchEnvironment};
 use pkgrec_bench::serving::{
-    durability_point, serve_point, DurabilityPoint, ServingConfig, ServingPoint,
+    durability_point, serve_point, serve_point_batched, DurabilityPoint, ServingConfig,
+    ServingPoint,
 };
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
 struct BenchRecord {
     bench: &'static str,
+    environment: BenchEnvironment,
     dataset: &'static str,
     rows: usize,
     sessions: usize,
@@ -53,12 +58,17 @@ fn bench_serving(_c: &mut Criterion) {
             threads: shards,
             ..config.clone()
         };
-        for (path, capacity) in [
-            ("store-hit", shaped.sessions.max(1)),
-            ("snapshot-restore", 1usize),
+        for (path, capacity, batched) in [
+            ("store-hit", shaped.sessions.max(1), false),
+            ("batched", shaped.sessions.max(1), true),
+            ("snapshot-restore", 1usize, false),
         ] {
-            let point =
-                serve_point(&shaped, path, capacity).expect("serving fleet runs to completion");
+            let point = if batched {
+                serve_point_batched(&shaped, path, capacity)
+            } else {
+                serve_point(&shaped, path, capacity)
+            }
+            .expect("serving fleet runs to completion");
             println!(
                 "bench: fig_serving/{}shard/{:<16} {:>8.2} sessions/s  ({} sessions, {} evictions, {} restores)",
                 shards, path, point.sessions_per_sec, point.sessions,
@@ -79,6 +89,44 @@ fn bench_serving(_c: &mut Criterion) {
             "{}",
             point.path
         );
+    }
+    // Every batched point must have actually run shared kernel sweeps
+    // (the fleet's single interned catalog makes engine sessions groupable).
+    for point in points.iter().filter(|p| p.path == "batched") {
+        assert!(
+            point.store.batched_presents > 0,
+            "batched path never batched"
+        );
+        assert!(
+            point.store.batched_presents > point.store.batched_groups,
+            "batched sweeps should cover more sessions than kernel calls"
+        );
+    }
+    // Outside smoke mode, batching must pay for itself: at least parity
+    // with the per-session store-hit path, and strictly better when real
+    // cores are available (the batched kernel amortises sweep setup and
+    // feeds wider score matrices to the lane-blocked kernel).
+    if !test_mode {
+        let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+        for pair in points.chunks(3) {
+            let (hit, batched) = (&pair[0], &pair[1]);
+            if parallelism > 1 {
+                assert!(
+                    batched.sessions_per_sec > hit.sessions_per_sec,
+                    "batched ({:.2}/s) must beat store-hit ({:.2}/s) on {} cores",
+                    batched.sessions_per_sec,
+                    hit.sessions_per_sec,
+                    parallelism
+                );
+            } else {
+                assert!(
+                    batched.sessions_per_sec >= hit.sessions_per_sec * 0.95,
+                    "batched ({:.2}/s) must hold parity with store-hit ({:.2}/s) on 1 core",
+                    batched.sessions_per_sec,
+                    hit.sessions_per_sec
+                );
+            }
+        }
     }
 
     // Durability series: the 100-session workload served through the
@@ -130,6 +178,7 @@ fn bench_serving(_c: &mut Criterion) {
     if !test_mode {
         let record = BenchRecord {
             bench: "fig_serving",
+            environment: bench_environment(),
             dataset: "UNI",
             rows: config.rows,
             sessions: config.sessions,

@@ -56,6 +56,41 @@ impl std::fmt::Display for Table {
     }
 }
 
+/// The machine/build context a benchmark artifact was produced under.
+///
+/// Every `BENCH_*.json` embeds one of these so a number can be read next to
+/// the hardware that produced it — a throughput figure from a 2-core CI
+/// runner and one from a 32-core workstation are not comparable, and the
+/// header makes the difference visible instead of silent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchEnvironment {
+    /// `std::thread::available_parallelism()` at measurement time (1 when
+    /// the query fails).
+    pub available_parallelism: usize,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// `"release"` or `"debug"` — debug numbers are never comparable.
+    pub build_profile: String,
+}
+
+/// Captures the current [`BenchEnvironment`].
+pub fn bench_environment() -> BenchEnvironment {
+    BenchEnvironment {
+        available_parallelism: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        os: std::env::consts::OS.to_string(),
+        arch: std::env::consts::ARCH.to_string(),
+        build_profile: if cfg!(debug_assertions) {
+            "debug".to_string()
+        } else {
+            "release".to_string()
+        },
+    }
+}
+
 /// Formats a duration in seconds with three significant decimals, matching the
 /// paper's "overall processing time (s)" axes.
 pub fn seconds(duration: std::time::Duration) -> String {
@@ -90,6 +125,18 @@ mod tests {
     fn mismatched_row_width_panics() {
         let mut t = Table::new("Example", &["a", "b"]);
         t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn environment_header_is_well_formed() {
+        let env = bench_environment();
+        assert!(env.available_parallelism >= 1);
+        assert!(!env.os.is_empty());
+        assert!(!env.arch.is_empty());
+        assert!(env.build_profile == "release" || env.build_profile == "debug");
+        let json = serde_json::to_string(&env).unwrap();
+        let back: BenchEnvironment = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, env);
     }
 
     #[test]

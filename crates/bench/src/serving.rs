@@ -192,7 +192,21 @@ pub fn serve_point(
     capacity_per_shard: usize,
 ) -> Result<ServingPoint> {
     let (mut store, fleet) = build_fleet(config, capacity_per_shard)?;
-    serve_fleet(&mut store, &fleet, config, path, capacity_per_shard)
+    serve_fleet(&mut store, &fleet, config, path, capacity_per_shard, false)
+}
+
+/// [`serve_point`] through [`ServingLoop::run_batched`]: each shard drives
+/// its sessions in lockstep rounds so same-catalog engine sessions share one
+/// batched kernel sweep per round.  Outcomes are identical to the serial
+/// paths (the fleet's interned catalog makes every engine session groupable);
+/// only the throughput changes.
+pub fn serve_point_batched(
+    config: &ServingConfig,
+    path: &str,
+    capacity_per_shard: usize,
+) -> Result<ServingPoint> {
+    let (mut store, fleet) = build_fleet(config, capacity_per_shard)?;
+    serve_fleet(&mut store, &fleet, config, path, capacity_per_shard, true)
 }
 
 /// The measurement half of [`serve_point`]: drives an already-built fleet
@@ -203,13 +217,19 @@ fn serve_fleet(
     config: &ServingConfig,
     path: &str,
     capacity_per_shard: usize,
+    batched: bool,
 ) -> Result<ServingPoint> {
     let elicitation = ElicitationConfig {
         max_rounds: config.max_rounds,
         stable_rounds: 2,
     };
     let start = Instant::now();
-    let outcomes = ServingLoop::new(store).run(fleet, elicitation, config.threads)?;
+    let mut serving = ServingLoop::new(store);
+    let outcomes = if batched {
+        serving.run_batched(fleet, elicitation, config.threads)?
+    } else {
+        serving.run(fleet, elicitation, config.threads)?
+    };
     let elapsed = start.elapsed();
 
     let mut search = AggregatedSearchStats::default();
@@ -293,7 +313,7 @@ pub fn durability_point(config: &ServingConfig) -> Result<DurabilityPoint> {
     // reclaims.
     let capacity = (config.sessions / (config.shards.max(1) * 2)).max(1);
     let (mut store, fleet) = build_durable_fleet(config, capacity, DurabilityConfig::at(&dir))?;
-    let serving = serve_fleet(&mut store, &fleet, config, "durable-log", capacity)?;
+    let serving = serve_fleet(&mut store, &fleet, config, "durable-log", capacity, false)?;
 
     // Footprints: the v1 serialisation embeds a full catalog copy per
     // `Created` event; the segmented log interns it and, after compaction,
@@ -462,15 +482,16 @@ impl ServingResult {
     }
 }
 
-/// Runs the serving experiment: the same fleet through the store-hit and
-/// snapshot-restore memory paths, then through the durable segmented log
-/// (with compaction and kill/recover measurements).
+/// Runs the serving experiment: the same fleet through the store-hit,
+/// batched and snapshot-restore memory paths, then through the durable
+/// segmented log (with compaction and kill/recover measurements).
 pub fn run(config: &ServingConfig) -> Result<ServingResult> {
     let hit = serve_point(config, "store-hit", config.sessions.max(1))?;
+    let batched = serve_point_batched(config, "batched", config.sessions.max(1))?;
     let restore = serve_point(config, "snapshot-restore", 1)?;
     let durability = durability_point(config)?;
     Ok(ServingResult {
-        points: vec![hit, restore],
+        points: vec![hit, batched, restore],
         durability,
     })
 }
@@ -494,22 +515,34 @@ mod tests {
     #[test]
     fn serving_experiment_runs_and_reports() {
         let result = run(&tiny()).unwrap();
-        assert_eq!(result.points.len(), 2);
+        assert_eq!(result.points.len(), 3);
         let hit = &result.points[0];
-        let restore = &result.points[1];
+        let batched = &result.points[1];
+        let restore = &result.points[2];
         assert_eq!(hit.path, "store-hit");
+        assert_eq!(batched.path, "batched");
         assert_eq!(restore.path, "snapshot-restore");
         assert_eq!(hit.sessions, 6);
         // The ample store never rehydrates; the starved store must.
         assert_eq!(hit.store.restores, 0);
         assert!(restore.store.restores > 0);
         assert!(restore.store.evictions > 0);
-        // Same fleet, same deterministic outcomes on both paths.
+        // Same fleet, same deterministic outcomes on every path — including
+        // the lockstep batched one.
         assert_eq!(hit.mean_clicks, restore.mean_clicks);
         assert_eq!(hit.converged, restore.converged);
+        assert_eq!(hit.mean_clicks, batched.mean_clicks);
+        assert_eq!(hit.converged, batched.converged);
+        assert_eq!(hit.mean_precision, batched.mean_precision);
+        // The interned catalog makes engine sessions groupable, so the
+        // batched path actually ran shared kernel sweeps.
+        assert!(batched.store.batched_presents > 0);
+        assert!(batched.store.batched_groups > 0);
+        assert!(batched.store.batched_presents > batched.store.batched_groups);
         assert!(hit.search.searches > 0);
         let markdown = result.table().to_markdown();
         assert!(markdown.contains("store-hit"));
+        assert!(markdown.contains("batched"));
         assert!(markdown.contains("snapshot-restore"));
         assert!(markdown.contains("durable-log"));
 

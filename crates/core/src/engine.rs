@@ -22,7 +22,7 @@ use crate::preferences::{Preference, PreferenceStore};
 use crate::profile::{AggregationContext, Profile};
 use crate::ranking::{aggregate, PerSampleRanking, RankedPackage, RankingSemantics};
 use crate::recommender::{self, Feedback};
-use crate::sampler::{SamplePool, SamplerKind, WeightSampler};
+use crate::sampler::{SamplePool, SamplerKind};
 use crate::search::AggregatedSearchStats;
 
 /// Configuration of the recommender engine.
@@ -126,6 +126,11 @@ pub struct RecommenderEngine {
     /// (process-local observability, not session state — snapshots neither
     /// store nor restore it).
     search_stats: AggregatedSearchStats,
+    /// Pool samples carried over by incremental resampling instead of being
+    /// re-drawn, accumulated across every [`RecommenderEngine::resample`]
+    /// call (process-local observability like `search_stats`; snapshots
+    /// neither store nor restore it).
+    samples_reused: usize,
 }
 
 impl RecommenderEngine {
@@ -174,6 +179,7 @@ impl RecommenderEngine {
             num_threads,
             sorted_lists,
             search_stats: AggregatedSearchStats::default(),
+            samples_reused: 0,
         }
     }
 
@@ -248,15 +254,33 @@ impl RecommenderEngine {
         ConstraintChecker::reduced(&self.preferences, self.context.dim())
     }
 
-    /// (Re)fills the sample pool from scratch with `num_samples` valid samples.
+    /// (Re)fills the sample pool with `num_samples` valid samples —
+    /// incrementally: pool rows that already satisfy the current constraints
+    /// are kept in place (reusing the flat weight-matrix allocation) and
+    /// only the shortfall is re-drawn (see [`SamplePool::resample`]).  The
+    /// carried-over rows accumulate into
+    /// [`RecommenderEngine::samples_reused`]; an empty pool degenerates to
+    /// the historical full rebuild, drawing the same samples in the same
+    /// order.
     pub fn resample(&mut self, rng: &mut dyn RngCore) -> Result<()> {
         let checker = self.checker();
-        let outcome =
-            self.config
-                .sampler
-                .generate(&self.prior, &checker, self.config.num_samples, rng)?;
-        self.pool = outcome.pool;
+        let reused = self.pool.resample(
+            self.config.num_samples,
+            &self.config.sampler,
+            &self.prior,
+            &checker,
+            rng,
+        )?;
+        self.samples_reused += reused;
         Ok(())
+    }
+
+    /// Cumulative number of pool samples incremental resampling carried over
+    /// instead of re-drawing, across every [`RecommenderEngine::resample`]
+    /// call of this engine's lifetime (the reuse-rate counter for perf work;
+    /// process-local, like [`RecommenderEngine::search_stats`]).
+    pub fn samples_reused(&self) -> usize {
+        self.samples_reused
     }
 
     fn per_sample_k(&self) -> usize {
@@ -317,6 +341,145 @@ impl RecommenderEngine {
             rng,
         );
         Ok(shown)
+    }
+
+    /// Builds one presentation round for a whole *group* of engines that
+    /// share a catalog, profile and maximum package size, feeding the union
+    /// of every session's discovered candidates and the concatenation of
+    /// every session's pool through **one** batched
+    /// [`score_batch`](crate::scoring::score_batch) invocation instead of
+    /// one kernel call per session.
+    ///
+    /// Each element pairs an engine with the RNG its `present` would have
+    /// received; the returned lists are positionally aligned with the input
+    /// and **bit-identical** to calling [`RecommenderEngine::present`] on
+    /// each engine with its own RNG:
+    ///
+    /// * empty pools resample through their own RNG first, exactly where the
+    ///   serial path would,
+    /// * candidate discovery (`Top-k-Pkg`) is the same per-engine call,
+    /// * every score cell is the same feature-ordered dot product — stacking
+    ///   more sample columns next to it cannot change its value — and the
+    ///   union rows reuse the per-engine candidate vectors, which equal
+    ///   contexts compute identically,
+    /// * the random exploration tail draws from each session's own RNG in
+    ///   the serial order.
+    ///
+    /// The grouping precondition (equal catalogs and aggregation contexts)
+    /// is the caller's to uphold and is checked in debug builds only —
+    /// the serving layer groups sessions by their interned catalog handle.
+    pub fn present_batch(
+        sessions: &mut [(&mut RecommenderEngine, &mut dyn RngCore)],
+    ) -> Result<Vec<Vec<Package>>> {
+        if sessions.is_empty() {
+            return Ok(Vec::new());
+        }
+        debug_assert!(
+            sessions
+                .iter()
+                .all(|(e, _)| e.catalog == sessions[0].0.catalog
+                    && e.context == sessions[0].0.context),
+            "present_batch groups must share one catalog and aggregation context"
+        );
+        // The serial `present` resamples an empty pool from the caller's RNG
+        // before anything else; keep that stream position.
+        for (engine, rng) in sessions.iter_mut() {
+            if engine.pool.is_empty() {
+                engine.resample(&mut **rng)?;
+            }
+        }
+        let dim = sessions[0].0.context.dim();
+
+        // Per-engine discovery artefacts plus the remap of each engine's
+        // local candidate indices into the group-wide union slate.
+        struct Discovery {
+            per_sample: Vec<Vec<usize>>,
+            remap: Vec<usize>,
+            col_offset: usize,
+        }
+        let mut union_candidates: Vec<Package> = Vec::new();
+        let mut union_index: std::collections::HashMap<Package, usize> =
+            std::collections::HashMap::new();
+        let mut union_vectors = crate::scoring::CandidateMatrix::new(dim);
+        let mut stacked = crate::scoring::WeightMatrix::new(dim);
+        let mut discoveries = Vec::with_capacity(sessions.len());
+        let mut threads = 1usize;
+        for (engine, _) in sessions.iter_mut() {
+            let depth = engine.per_sample_k();
+            let (candidates, vectors, per_sample, stats) = recommender::discover_candidates(
+                &engine.context,
+                &engine.catalog,
+                &engine.sorted_lists,
+                &engine.pool,
+                depth,
+                engine.num_threads,
+            )?;
+            engine.search_stats.merge(&stats);
+            threads = threads.max(engine.num_threads);
+            let remap: Vec<usize> = candidates
+                .into_iter()
+                .enumerate()
+                .map(|(i, package)| match union_index.get(&package) {
+                    Some(&u) => u,
+                    None => {
+                        let u = union_candidates.len();
+                        union_vectors.push_row(vectors.row(i));
+                        union_index.insert(package.clone(), u);
+                        union_candidates.push(package);
+                        u
+                    }
+                })
+                .collect();
+            let col_offset = stacked.len();
+            for sample in engine.pool.samples() {
+                stacked.push(sample.weights, sample.importance);
+            }
+            discoveries.push(Discovery {
+                per_sample,
+                remap,
+                col_offset,
+            });
+        }
+
+        // The one batched kernel sweep the whole group shares.
+        let scores = crate::scoring::score_batch_threaded(&union_vectors, &stacked, threads);
+
+        let mut shown_lists = Vec::with_capacity(sessions.len());
+        for ((engine, rng), disc) in sessions.iter_mut().zip(discoveries) {
+            let importances = engine.pool.importances();
+            let rankings: Vec<PerSampleRanking> = disc
+                .per_sample
+                .iter()
+                .enumerate()
+                .map(|(s, indices)| {
+                    let ranked = indices
+                        .iter()
+                        .map(|&c| {
+                            let u = disc.remap[c];
+                            (
+                                union_candidates[u].clone(),
+                                scores.get(u, disc.col_offset + s),
+                            )
+                        })
+                        .collect();
+                    PerSampleRanking::new(importances[s], ranked)
+                })
+                .collect();
+            let mut shown: Vec<Package> =
+                aggregate(engine.config.semantics, &rankings, engine.config.k)
+                    .into_iter()
+                    .map(|r| r.package)
+                    .collect();
+            recommender::extend_with_random_packages(
+                &mut shown,
+                engine.config.k + engine.config.num_random,
+                engine.catalog.len(),
+                engine.context.max_package_size(),
+                &mut **rng,
+            );
+            shown_lists.push(shown);
+        }
+        Ok(shown_lists)
     }
 
     /// Absorbs one pairwise preference `better ≻ worse` (with the better
@@ -667,6 +830,88 @@ mod tests {
             assert!(!p.is_empty() && p.len() <= 3);
             assert!(p.items().iter().all(|&i| i < engine.catalog().len()));
         }
+    }
+
+    #[test]
+    fn present_batch_is_bit_identical_to_serial_presents() {
+        // A mixed group: different seeds, different k, one engine mid-session
+        // (so one pool is constrained), one empty-pool engine (resamples
+        // through its own RNG inside the batch).
+        let configs = [
+            fast_config(),
+            EngineConfig {
+                k: 2,
+                num_samples: 25,
+                ..fast_config()
+            },
+            EngineConfig {
+                semantics: RankingSemantics::Tkp { sigma: 4 },
+                ..fast_config()
+            },
+        ];
+        let mut serial: Vec<RecommenderEngine> =
+            configs.iter().map(|c| engine(c.clone())).collect();
+        // Engine 0 absorbs a click first so its pool differs from the prior.
+        {
+            let mut rng = StdRng::seed_from_u64(41);
+            let shown = serial[0].present(&mut rng).unwrap();
+            serial[0]
+                .record_feedback(&shown, Feedback::Click { index: 0 }, &mut rng)
+                .unwrap();
+        }
+        let mut batched = serial.clone();
+
+        for round in 0..2 {
+            let mut serial_rngs: Vec<StdRng> = (0..serial.len())
+                .map(|i| StdRng::seed_from_u64(1000 + round * 10 + i as u64))
+                .collect();
+            let mut batched_rngs = serial_rngs.clone();
+            let expected: Vec<Vec<Package>> = serial
+                .iter_mut()
+                .zip(serial_rngs.iter_mut())
+                .map(|(e, rng)| e.present(rng).unwrap())
+                .collect();
+            let mut group: Vec<(&mut RecommenderEngine, &mut dyn RngCore)> = batched
+                .iter_mut()
+                .zip(batched_rngs.iter_mut())
+                .map(|(e, rng)| (e, rng as &mut dyn RngCore))
+                .collect();
+            let got = RecommenderEngine::present_batch(&mut group).unwrap();
+            assert_eq!(got, expected, "round {round}");
+            // The RNG streams advanced identically.
+            for (a, b) in serial_rngs.iter_mut().zip(batched_rngs.iter_mut()) {
+                assert_eq!(rand::RngCore::next_u64(a), rand::RngCore::next_u64(b));
+            }
+            // Both arms absorb the same feedback to keep evolving together.
+            // A contradictory click can exhaust the maintenance sampler;
+            // that failure is deterministic, so it must strike both arms
+            // identically (a failed round rolls the comparison forward
+            // without new constraints).
+            let mut poisoned = false;
+            for ((a, b), shown) in serial
+                .iter_mut()
+                .zip(batched.iter_mut())
+                .zip(expected.iter())
+            {
+                let mut rng_a = StdRng::seed_from_u64(7 + round);
+                let mut rng_b = rng_a.clone();
+                let fed_a = a.record_feedback(shown, Feedback::Click { index: 1 }, &mut rng_a);
+                let fed_b = b.record_feedback(shown, Feedback::Click { index: 1 }, &mut rng_b);
+                assert_eq!(fed_a.is_ok(), fed_b.is_ok(), "round {round}");
+                poisoned |= fed_a.is_err();
+            }
+            if poisoned {
+                break;
+            }
+        }
+        // Search statistics accumulated identically through both arms.
+        for (a, b) in serial.iter().zip(batched.iter()) {
+            assert_eq!(a.search_stats(), b.search_stats());
+            assert_eq!(a.pool(), b.pool());
+        }
+        assert!(RecommenderEngine::present_batch(&mut [])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -118,10 +118,13 @@ pub use sampler::{
     ImportanceSampler, McmcSampler, RejectionSampler, SamplePool, SampleRef, SamplerKind,
     SamplingOutcome, WeightSample, WeightSampler,
 };
-pub use scoring::{score_batch, score_batch_threaded, CandidateMatrix, ScoreMatrix, WeightMatrix};
+pub use scoring::{
+    score_batch, score_batch_threaded, score_batch_unrolled, CandidateMatrix, ScoreMatrix,
+    WeightMatrix, SAMPLE_BLOCK, WEIGHT_STRIDE_LANES,
+};
 pub use search::{
     top_k_packages, top_k_packages_exhaustive, top_k_packages_reference, top_k_packages_with_lists,
-    AggregatedSearchStats, SearchResult, SearchStats,
+    top_k_packages_with_scratch, AggregatedSearchStats, SearchResult, SearchScratch, SearchStats,
 };
 pub use snapshot::{SessionSnapshot, SNAPSHOT_VERSION};
 pub use utility::{clamp_weights, weights_in_range, LinearUtility, WeightVector};

@@ -80,7 +80,8 @@ fn violation_query(preference: &Preference) -> Vec<f64> {
 /// and hybrid strategies.  The index must be rebuilt (or incrementally
 /// refreshed) whenever pool entries are replaced.
 pub fn index_pool(pool: &SamplePool) -> SortedLists {
-    SortedLists::from_flat(pool.dim(), pool.weight_matrix().weights_flat())
+    let matrix = pool.weight_matrix();
+    SortedLists::from_strided(pool.dim(), matrix.stride(), matrix.weights_flat())
 }
 
 /// Locates the samples of `pool` that violate `preference` using the given

@@ -27,7 +27,7 @@ use crate::profile::AggregationContext;
 use crate::ranking::{self, PerSampleRanking, RankedPackage};
 use crate::sampler::SamplePool;
 use crate::scoring::{score_batch_threaded, CandidateMatrix};
-use crate::search::{top_k_packages_with_lists, AggregatedSearchStats};
+use crate::search::{top_k_packages_with_scratch, AggregatedSearchStats, SearchScratch};
 use crate::utility::LinearUtility;
 
 /// One round of typed user feedback over the packages a recommender showed.
@@ -112,7 +112,7 @@ pub fn per_sample_rankings(
 /// accumulate in one flat [`CandidateMatrix`], plus the aggregated search
 /// statistics of every run.
 #[allow(clippy::type_complexity)] // one tuple slot per discovery artefact
-fn discover_candidates(
+pub(crate) fn discover_candidates(
     context: &AggregationContext,
     catalog: &Catalog,
     lists: &SortedLists,
@@ -131,19 +131,22 @@ fn discover_candidates(
     // Per-sample package lists, best first, in pool order.
     let discovered: Vec<Vec<Package>> = if threads <= 1 {
         let mut utility = LinearUtility::new(context.clone(), vec![0.0; context.dim()])?;
+        let mut scratch = SearchScratch::new();
         let mut found = Vec::with_capacity(sample_count);
         for sample in pool.samples() {
             utility.set_weights(sample.weights)?;
-            let result = top_k_packages_with_lists(&utility, catalog, lists, depth)?;
+            let result =
+                top_k_packages_with_scratch(&utility, catalog, lists, depth, &mut scratch)?;
             stats.record(&result.stats);
             found.push(result.into_packages());
         }
         found
     } else {
         // Data-parallel split: contiguous chunks of the pool per OS thread,
-        // each with its own utility but all sharing the one immutable index;
-        // chunk results are re-joined in pool order, so the outcome is
-        // identical to the serial path.
+        // each owning its utility, its candidate arena and its per-access
+        // scratch buffers ([`SearchScratch`]) but all sharing the one
+        // immutable index; chunk results are re-joined in pool order, so the
+        // outcome is identical to the serial path.
         let chunk = sample_count.div_ceil(threads);
         type ChunkResult = Result<(Vec<Vec<Package>>, AggregatedSearchStats)>;
         let chunks: Vec<ChunkResult> = std::thread::scope(|scope| {
@@ -154,12 +157,18 @@ fn discover_candidates(
                     scope.spawn(move || -> ChunkResult {
                         let mut utility =
                             LinearUtility::new(context.clone(), vec![0.0; context.dim()])?;
+                        let mut scratch = SearchScratch::new();
                         let mut chunk_stats = AggregatedSearchStats::default();
                         let found = (first..last)
                             .map(|s| {
                                 utility.set_weights(pool.get(s).weights)?;
-                                let result =
-                                    top_k_packages_with_lists(&utility, catalog, lists, depth)?;
+                                let result = top_k_packages_with_scratch(
+                                    &utility,
+                                    catalog,
+                                    lists,
+                                    depth,
+                                    &mut scratch,
+                                )?;
                                 chunk_stats.record(&result.stats);
                                 Ok(result.into_packages())
                             })

@@ -192,6 +192,44 @@ impl SamplePool {
         effective_number_of_samples_from_weights(self.matrix.importances())
     }
 
+    /// Incrementally refills the pool to `target` samples valid under
+    /// `checker`: rows that still satisfy the constraints are retained
+    /// in place and in order (compacting the flat [`WeightMatrix`] without
+    /// releasing its allocation), surplus valid rows are truncated, and only
+    /// the shortfall is re-drawn through `sampler`.  Returns the number of
+    /// samples reused.
+    ///
+    /// Retention is statistically sound for samplers whose target is the
+    /// prior restricted to the constraint region (Section 3.4): a new
+    /// constraint multiplies the posterior by an indicator function, so
+    /// surviving samples remain draws from the updated posterior and keep
+    /// their importance weights.  On an empty pool the call degenerates to a
+    /// fresh `sampler.generate(prior, checker, target, rng)` fill — the same
+    /// draws in the same order — so callers that previously rebuilt from
+    /// scratch observe bit-identical pools there.
+    pub fn resample<S: WeightSampler + ?Sized>(
+        &mut self,
+        target: usize,
+        sampler: &S,
+        prior: &GaussianMixture,
+        checker: &ConstraintChecker,
+        rng: &mut dyn RngCore,
+    ) -> Result<usize> {
+        let kept = self.matrix.retain_rows(|_, w| checker.is_valid(w));
+        if kept > target {
+            self.matrix.truncate(target);
+        }
+        let reused = kept.min(target);
+        let shortfall = target - reused;
+        if shortfall > 0 {
+            let outcome = sampler.generate(prior, checker, shortfall, rng)?;
+            for sample in outcome.pool.samples() {
+                self.push_sample(sample.weights, sample.importance);
+            }
+        }
+        Ok(reused)
+    }
+
     /// Indices of samples violating the given validity predicate.
     pub fn violating_indices<F: Fn(&[f64]) -> bool>(&self, is_valid: F) -> Vec<usize> {
         self.matrix
@@ -410,6 +448,98 @@ mod tests {
         let ragged = "{\"samples\":[{\"weights\":[0.5],\"importance\":1},\
                       {\"weights\":[0,1],\"importance\":1}]}";
         assert!(serde_json::from_str::<SamplePool>(ragged).is_err());
+    }
+
+    #[test]
+    fn incremental_resample_on_an_empty_pool_equals_a_fresh_rebuild() {
+        let prior = GaussianMixture::default_prior(2, 1, 0.5).unwrap();
+        let checker = positive_quadrant_checker();
+        for sampler in [
+            SamplerKind::rejection(),
+            SamplerKind::importance(),
+            SamplerKind::mcmc(),
+        ] {
+            let mut fresh_rng = StdRng::seed_from_u64(2024);
+            let fresh = sampler
+                .generate(&prior, &checker, 25, &mut fresh_rng)
+                .unwrap()
+                .pool;
+            let mut incremental_rng = StdRng::seed_from_u64(2024);
+            let mut pool = SamplePool::new();
+            let reused = pool
+                .resample(25, &sampler, &prior, &checker, &mut incremental_rng)
+                .unwrap();
+            assert_eq!(reused, 0, "{}", sampler.name());
+            assert_eq!(pool, fresh, "{}", sampler.name());
+        }
+    }
+
+    #[test]
+    fn incremental_resample_keeps_valid_rows_and_redraws_only_the_shortfall() {
+        let prior = GaussianMixture::default_prior(2, 1, 0.5).unwrap();
+        let checker = positive_quadrant_checker();
+        let sampler = SamplerKind::mcmc();
+        // Two valid rows, one violator, in a known order.
+        let mut pool = SamplePool::from_samples(vec![
+            WeightSample::unweighted(vec![0.3, 0.4]),
+            WeightSample {
+                weights: vec![-0.5, 0.2],
+                importance: 2.0,
+            },
+            WeightSample::unweighted(vec![0.6, 0.1]),
+        ]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let reused = pool
+            .resample(10, &sampler, &prior, &checker, &mut rng)
+            .unwrap();
+        assert_eq!(reused, 2);
+        assert_eq!(pool.len(), 10);
+        // Survivors stay in order at the front, importances intact.
+        assert_eq!(pool.get(0).weights, &[0.3, 0.4]);
+        assert_eq!(pool.get(1).weights, &[0.6, 0.1]);
+        assert_eq!(pool.get(1).importance, 1.0);
+        for sample in pool.samples() {
+            assert!(checker.is_valid(sample.weights));
+        }
+    }
+
+    #[test]
+    fn incremental_resample_with_a_fully_valid_pool_consumes_no_rng() {
+        let prior = GaussianMixture::default_prior(2, 1, 0.5).unwrap();
+        let checker = positive_quadrant_checker();
+        let sampler = SamplerKind::rejection();
+        let mut rng = StdRng::seed_from_u64(55);
+        let mut pool = SamplePool::new();
+        pool.resample(12, &sampler, &prior, &checker, &mut rng)
+            .unwrap();
+        let before = pool.clone();
+        let mut untouched = rng.clone();
+        let reused = pool
+            .resample(12, &sampler, &prior, &checker, &mut rng)
+            .unwrap();
+        assert_eq!(reused, 12);
+        assert_eq!(pool, before);
+        use rand::RngCore as _;
+        assert_eq!(rng.next_u64(), untouched.next_u64());
+    }
+
+    #[test]
+    fn incremental_resample_truncates_a_surplus_of_valid_rows() {
+        let prior = GaussianMixture::default_prior(2, 1, 0.5).unwrap();
+        let checker = positive_quadrant_checker();
+        let sampler = SamplerKind::rejection();
+        let mut pool = SamplePool::from_samples(
+            (1..=6)
+                .map(|i| WeightSample::unweighted(vec![0.1 * i as f64, 0.05 * i as f64]))
+                .collect(),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let reused = pool
+            .resample(4, &sampler, &prior, &checker, &mut rng)
+            .unwrap();
+        assert_eq!(reused, 4);
+        assert_eq!(pool.len(), 4);
+        assert_eq!(pool.get(3).weights, &[0.4, 0.2]);
     }
 
     #[test]

@@ -23,6 +23,37 @@
 //! [`crate::utility::dot`] only `debug_assert`s and would silently
 //! zip-truncate a mismatched pair.
 //!
+//! # Layout invariants the autovectorizer relies on
+//!
+//! The kernel is written so that rustc/LLVM can turn the inner loops into
+//! SIMD without any `unsafe` or intrinsics.  Three invariants make that
+//! possible, and every [`WeightMatrix`] upholds them by construction:
+//!
+//! * **Padded stride** — weight rows are stored at a fixed stride of
+//!   [`WeightMatrix::stride`] floats, the dimensionality rounded up to a
+//!   multiple of [`WEIGHT_STRIDE_LANES`] (4 × f64 = one 256-bit vector).
+//!   Row starts therefore sit on vector-width boundaries relative to the
+//!   buffer start, and the address of sample `s` is the single multiply
+//!   `s * stride` with a power-friendly stride, not a data-dependent scan.
+//!   The pad lanes are always zero ([`WeightMatrix::push`] /
+//!   [`WeightMatrix::set_row`] maintain this), so strided reads past `dim`
+//!   are defined and harmless.
+//! * **Sample-lane blocking** — [`score_batch`] walks the sample dimension
+//!   in fixed blocks of [`SAMPLE_BLOCK`] rows, keeping one accumulator per
+//!   lane.  The feature loop is outermost inside a block, so each step is a
+//!   broadcast of `candidate[j]` against [`SAMPLE_BLOCK`] strided loads —
+//!   the exact shape LLVM recognises as a vectorisable
+//!   broadcast-multiply-accumulate.  Per-cell summation still runs feature
+//!   index `j = 0..dim` in ascending order, so every score is bit-identical
+//!   to the scalar [`dot`] and to the unrolled comparison arm.
+//! * **Monomorphised dimensionality** — dimensionalities up to
+//!   [`MAX_UNROLLED_DIM`] dispatch to a `const D` kernel, so the feature
+//!   loop has a compile-time trip count and no bounds checks survive.
+//!
+//! The previous production kernel — per-cell unrolled dots with no lane
+//! blocking — is kept as [`score_batch_unrolled`], the comparison arm that
+//! `fig_scoring` measures against (`BENCH_scoring.json`).
+//!
 //! # Example
 //!
 //! Score two candidate packages against a three-sample pool and reduce to
@@ -59,7 +90,22 @@ use crate::utility::dot;
 
 /// Largest dimensionality with a fully unrolled, bounds-check-free inner
 /// kernel; the workspace's catalogs use 2–10 features, comfortably inside.
-const MAX_UNROLLED_DIM: usize = 16;
+pub const MAX_UNROLLED_DIM: usize = 16;
+
+/// Stride granularity of [`WeightMatrix`] rows, in `f64` lanes: every row
+/// starts at a multiple of this many floats (4 × f64 = one 256-bit SIMD
+/// vector), with zeroed pad lanes between `dim` and the next boundary.
+pub const WEIGHT_STRIDE_LANES: usize = 4;
+
+/// Number of weight samples each lane-blocked kernel step scores together
+/// (one accumulator per lane; two 256-bit vectors' worth of `f64`).
+pub const SAMPLE_BLOCK: usize = 8;
+
+/// The padded row stride for a given dimensionality: `dim` rounded up to a
+/// multiple of [`WEIGHT_STRIDE_LANES`] (0 stays 0 — an empty layout).
+fn padded_stride(dim: usize) -> usize {
+    dim.div_ceil(WEIGHT_STRIDE_LANES) * WEIGHT_STRIDE_LANES
+}
 
 /// Row-major flat storage of weight samples (`samples × dim`) plus their
 /// importance weights — the columnar backbone of
@@ -74,6 +120,9 @@ const MAX_UNROLLED_DIM: usize = 16;
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct WeightMatrix {
     dim: usize,
+    /// Row stride in floats: `dim` rounded up to [`WEIGHT_STRIDE_LANES`].
+    /// The lanes between `dim` and `stride` of every row are zero.
+    stride: usize,
     weights: Vec<f64>,
     importances: Vec<f64>,
 }
@@ -83,6 +132,7 @@ impl WeightMatrix {
     pub fn new(dim: usize) -> Self {
         WeightMatrix {
             dim,
+            stride: padded_stride(dim),
             weights: Vec::new(),
             importances: Vec::new(),
         }
@@ -92,7 +142,8 @@ impl WeightMatrix {
     pub fn with_capacity(dim: usize, rows: usize) -> Self {
         WeightMatrix {
             dim,
-            weights: Vec::with_capacity(dim * rows),
+            stride: padded_stride(dim),
+            weights: Vec::with_capacity(padded_stride(dim) * rows),
             importances: Vec::with_capacity(rows),
         }
     }
@@ -128,6 +179,10 @@ impl WeightMatrix {
             self.dim
         );
         self.weights.extend_from_slice(weights);
+        // Zero the pad lanes up to the row stride (the layout invariant the
+        // lane-blocked kernel reads through).
+        self.weights
+            .extend(std::iter::repeat_n(0.0, self.stride - self.dim));
         self.importances.push(importance);
     }
 
@@ -143,7 +198,8 @@ impl WeightMatrix {
             weights.len(),
             self.dim
         );
-        self.weights[row * self.dim..(row + 1) * self.dim].copy_from_slice(weights);
+        let start = row * self.stride;
+        self.weights[start..start + self.dim].copy_from_slice(weights);
         self.importances[row] = importance;
     }
 
@@ -164,7 +220,8 @@ impl WeightMatrix {
 
     /// The weight vector of one sample.
     pub fn row(&self, row: usize) -> &[f64] {
-        &self.weights[row * self.dim..(row + 1) * self.dim]
+        let start = row * self.stride;
+        &self.weights[start..start + self.dim]
     }
 
     /// The importance weight of one sample.
@@ -172,7 +229,16 @@ impl WeightMatrix {
         self.importances[row]
     }
 
-    /// The flat row-major weight storage (`len × dim`).
+    /// The row stride of the flat storage, in floats: `dim` rounded up to a
+    /// multiple of [`WEIGHT_STRIDE_LANES`].  Sample `s` starts at
+    /// `s * stride` in [`WeightMatrix::weights_flat`]; lanes `dim..stride`
+    /// of every row are zero.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The flat, stride-padded row-major weight storage (`len × stride`
+    /// floats; see [`WeightMatrix::stride`] for the layout contract).
     pub fn weights_flat(&self) -> &[f64] {
         &self.weights
     }
@@ -182,9 +248,41 @@ impl WeightMatrix {
         &self.importances
     }
 
-    /// Iterates over the sample rows.
+    /// Iterates over the sample rows (pad lanes excluded).
     pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f64]> + '_ {
-        self.weights.chunks_exact(self.dim.max(1))
+        self.weights
+            .chunks_exact(self.stride.max(1))
+            .map(move |row| &row[..self.dim])
+    }
+
+    /// Drops every row past `rows`, keeping the allocation.
+    pub fn truncate(&mut self, rows: usize) {
+        if rows < self.len() {
+            self.weights.truncate(rows * self.stride);
+            self.importances.truncate(rows);
+        }
+    }
+
+    /// Keeps exactly the rows `keep` approves (called in order with the row
+    /// index and the weight slice), compacting survivors toward the front
+    /// in their original order **in place** — the flat allocation is reused,
+    /// not reallocated.  Returns the number of rows kept.
+    pub fn retain_rows(&mut self, mut keep: impl FnMut(usize, &[f64]) -> bool) -> usize {
+        let mut kept = 0usize;
+        for i in 0..self.len() {
+            let start = i * self.stride;
+            let keep_row = keep(i, &self.weights[start..start + self.dim]);
+            if keep_row {
+                if kept != i {
+                    self.weights
+                        .copy_within(start..start + self.stride, kept * self.stride);
+                    self.importances[kept] = self.importances[i];
+                }
+                kept += 1;
+            }
+        }
+        self.truncate(kept);
+        kept
     }
 }
 
@@ -420,8 +518,9 @@ enum Sink<'a> {
 }
 
 /// Scores the candidate rows `first..first + count` into the sink in
-/// row-major order.  Dispatches to a monomorphised kernel whose inner dot is
-/// fully unrolled for the catalog dimensionalities that occur in practice.
+/// row-major order through the lane-blocked kernel.  Dispatches to a
+/// monomorphised kernel for the catalog dimensionalities that occur in
+/// practice, so the feature loop has a compile-time trip count.
 fn score_rows_into(
     candidates: &CandidateMatrix,
     weights: &WeightMatrix,
@@ -439,7 +538,7 @@ fn score_rows_into(
     macro_rules! dispatch {
         ($($d:literal),+) => {
             match dim {
-                $($d => score_rows_const::<$d>(candidates, weights, first, count, sink),)+
+                $($d => score_rows_blocked::<$d>(candidates, weights, first, count, sink),)+
                 _ => score_rows_generic(candidates, weights, first, count, sink),
             }
         };
@@ -447,12 +546,41 @@ fn score_rows_into(
     dispatch!(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16);
 }
 
-/// The unrolled kernel: `D` is a compile-time constant, so the per-cell dot
-/// product compiles to straight-line code with no bounds checks (rows are
-/// converted to `&[f64; D]` once per access) and no loop overhead.  The
-/// summation order matches [`dot`], so results are bit-identical to the
-/// scalar path.
-fn score_rows_const<const D: usize>(
+/// One lane block: scores one candidate against [`SAMPLE_BLOCK`] consecutive
+/// weight rows (`block` starts at the first row and spans
+/// `SAMPLE_BLOCK * stride` floats).  The feature loop is outermost, so each
+/// step broadcasts `cand[j]` against [`SAMPLE_BLOCK`] strided loads into
+/// independent accumulators — the autovectorizer's broadcast-FMA shape.
+/// Each accumulator still sums features in ascending order, so every lane is
+/// bit-identical to [`dot`].
+#[inline(always)]
+fn block_dot<const D: usize>(cand: &[f64; D], block: &[f64], stride: usize) -> [f64; SAMPLE_BLOCK] {
+    let mut acc = [0.0f64; SAMPLE_BLOCK];
+    for j in 0..D {
+        let cj = cand[j];
+        for l in 0..SAMPLE_BLOCK {
+            acc[l] += cj * block[l * stride + j];
+        }
+    }
+    acc
+}
+
+/// One remainder lane: the fully unrolled per-cell dot (ascending feature
+/// order, bit-identical to [`dot`]).
+#[inline(always)]
+fn lane_dot<const D: usize>(cand: &[f64; D], w: &[f64]) -> f64 {
+    let w: &[f64; D] = w[..D].try_into().expect("weight rows are rectangular");
+    let mut acc = 0.0;
+    for j in 0..D {
+        acc += cand[j] * w[j];
+    }
+    acc
+}
+
+/// The lane-blocked kernel (the production path): walks the sample dimension
+/// in [`SAMPLE_BLOCK`]-wide blocks over the stride-padded weight storage,
+/// with a per-cell unrolled tail for the remainder samples.
+fn score_rows_blocked<const D: usize>(
     candidates: &CandidateMatrix,
     weights: &WeightMatrix,
     first: usize,
@@ -460,26 +588,38 @@ fn score_rows_const<const D: usize>(
     mut sink: Sink<'_>,
 ) {
     debug_assert!(D <= MAX_UNROLLED_DIM);
+    let stride = weights.stride();
     let flat = weights.weights_flat();
+    let samples = weights.len();
+    let blocks = samples / SAMPLE_BLOCK;
     for c in first..first + count {
         let cand: &[f64; D] = candidates
             .row(c)
             .try_into()
             .expect("candidate rows match the dispatched dimensionality");
-        let score = |w: &[f64]| -> f64 {
-            let w: &[f64; D] = w.try_into().expect("weight rows are rectangular");
-            let mut acc = 0.0;
-            for j in 0..D {
-                acc += cand[j] * w[j];
-            }
-            acc
-        };
         match &mut sink {
-            Sink::Append(data) => data.extend(flat.chunks_exact(D).map(score)),
+            Sink::Append(data) => {
+                data.reserve(samples);
+                for b in 0..blocks {
+                    let base = b * SAMPLE_BLOCK * stride;
+                    let block = &flat[base..base + SAMPLE_BLOCK * stride];
+                    data.extend_from_slice(&block_dot::<D>(cand, block, stride));
+                }
+                for s in blocks * SAMPLE_BLOCK..samples {
+                    data.push(lane_dot::<D>(cand, &flat[s * stride..]));
+                }
+            }
             Sink::Fill(out) => {
-                let row = &mut out[(c - first) * weights.len()..(c - first + 1) * weights.len()];
-                for (slot, w) in row.iter_mut().zip(flat.chunks_exact(D)) {
-                    *slot = score(w);
+                let row = &mut out[(c - first) * samples..(c - first + 1) * samples];
+                let (full, tail) = row.split_at_mut(blocks * SAMPLE_BLOCK);
+                for (b, chunk) in full.chunks_exact_mut(SAMPLE_BLOCK).enumerate() {
+                    let base = b * SAMPLE_BLOCK * stride;
+                    let block = &flat[base..base + SAMPLE_BLOCK * stride];
+                    chunk.copy_from_slice(&block_dot::<D>(cand, block, stride));
+                }
+                for (i, slot) in tail.iter_mut().enumerate() {
+                    let s = blocks * SAMPLE_BLOCK + i;
+                    *slot = lane_dot::<D>(cand, &flat[s * stride..]);
                 }
             }
         }
@@ -495,18 +635,72 @@ fn score_rows_generic(
     mut sink: Sink<'_>,
 ) {
     let dim = weights.dim();
+    let stride = weights.stride();
     let flat = weights.weights_flat();
     for c in first..first + count {
         let cand = candidates.row(c);
         match &mut sink {
-            Sink::Append(data) => data.extend(flat.chunks_exact(dim).map(|w| dot(cand, w))),
+            Sink::Append(data) => {
+                data.extend(flat.chunks_exact(stride).map(|w| dot(cand, &w[..dim])))
+            }
             Sink::Fill(out) => {
                 let row = &mut out[(c - first) * weights.len()..(c - first + 1) * weights.len()];
-                for (slot, w) in row.iter_mut().zip(flat.chunks_exact(dim)) {
-                    *slot = dot(cand, w);
+                for (slot, w) in row.iter_mut().zip(flat.chunks_exact(stride)) {
+                    *slot = dot(cand, &w[..dim]);
                 }
             }
         }
+    }
+}
+
+/// [`score_batch`] through the *pre-blocking* production kernel: per-cell
+/// fully unrolled dots with no sample-lane blocking.  Kept as the comparison
+/// arm `fig_scoring` measures the lane-blocked kernel against; results are
+/// bit-identical to [`score_batch`] (same ascending-feature summation).
+pub fn score_batch_unrolled(candidates: &CandidateMatrix, weights: &WeightMatrix) -> ScoreMatrix {
+    if !candidates.is_empty() && !weights.is_empty() {
+        assert_eq!(
+            candidates.dim(),
+            weights.dim(),
+            "candidate dimensionality {} does not match sample dimensionality {}",
+            candidates.dim(),
+            weights.dim()
+        );
+    }
+    let rows = candidates.len();
+    let samples = weights.len();
+    let dim = weights.dim();
+    let mut data = Vec::with_capacity(rows * samples);
+    if dim == 0 || samples == 0 || rows == 0 {
+        data.resize(rows * samples, 0.0);
+    } else {
+        macro_rules! dispatch {
+            ($($d:literal),+) => {
+                match dim {
+                    $($d => {
+                        let stride = weights.stride();
+                        let flat = weights.weights_flat();
+                        for c in 0..rows {
+                            let cand: &[f64; $d] = candidates
+                                .row(c)
+                                .try_into()
+                                .expect("candidate rows match the dispatched dimensionality");
+                            data.extend(
+                                flat.chunks_exact(stride)
+                                    .map(|w| lane_dot::<$d>(cand, w)),
+                            );
+                        }
+                    })+
+                    _ => score_rows_generic(candidates, weights, 0, rows, Sink::Append(&mut data)),
+                }
+            };
+        }
+        dispatch!(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16);
+    }
+    ScoreMatrix {
+        candidates: rows,
+        samples,
+        data,
     }
 }
 
@@ -645,9 +839,16 @@ mod tests {
         assert_eq!(weights.dim(), 2);
         assert_eq!(weights.row(1), &[0.3, 0.4]);
         assert_eq!(weights.importance(1), 2.0);
-        assert_eq!(weights.weights_flat(), &[0.1, 0.2, 0.3, 0.4]);
+        // The flat storage is stride-padded: dim 2 rounds up to one 4-lane
+        // stride, with zeroed pad lanes after each row.
+        assert_eq!(weights.stride(), 4);
+        assert_eq!(
+            weights.weights_flat(),
+            &[0.1, 0.2, 0.0, 0.0, 0.3, 0.4, 0.0, 0.0]
+        );
         let rows: Vec<&[f64]> = weights.rows().collect();
         assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], &[0.3, 0.4]);
         weights.set_row(0, &[0.5, 0.6], 3.0);
         assert_eq!(weights.row(0), &[0.5, 0.6]);
         assert_eq!(weights.importances(), &[3.0, 2.0]);
@@ -660,5 +861,72 @@ mod tests {
         assert_eq!(cand.len(), 1);
         assert!(!cand.is_empty());
         assert_eq!(cand.row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn stride_is_padded_to_the_lane_width() {
+        for (dim, stride) in [(0, 0), (1, 4), (2, 4), (4, 4), (5, 8), (8, 8), (9, 12)] {
+            let m = WeightMatrix::new(dim);
+            assert_eq!(m.stride(), stride, "dim {dim}");
+        }
+        // Pad lanes stay zero through set_row as well as push.
+        let mut m = WeightMatrix::new(3);
+        m.push(&[1.0, 2.0, 3.0], 1.0);
+        m.set_row(0, &[4.0, 5.0, 6.0], 2.0);
+        assert_eq!(m.weights_flat(), &[4.0, 5.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn blocked_kernel_is_bit_identical_to_the_unrolled_arm() {
+        // Shapes straddling the SAMPLE_BLOCK boundary (remainder lanes) and
+        // the unrolled-dim ceiling (generic fallback).
+        for (candidates, samples, dim) in [
+            (1, 1, 2),
+            (3, 7, 5),
+            (5, 8, 3),
+            (7, 9, 4),
+            (11, 1000, 6),
+            (13, 257, 17),
+        ] {
+            let (cand, weights) = random_matrices(candidates, samples, dim, 11);
+            let blocked = score_batch(&cand, &weights);
+            let unrolled = score_batch_unrolled(&cand, &weights);
+            assert_eq!(blocked, unrolled, "{candidates}x{samples}x{dim}");
+            for c in 0..candidates {
+                for s in 0..samples {
+                    assert_eq!(
+                        blocked.get(c, s),
+                        dot(cand.row(c), weights.row(s)),
+                        "{candidates}x{samples}x{dim} cell ({c},{s})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retain_rows_compacts_in_place_and_keeps_the_allocation() {
+        let mut m = WeightMatrix::new(2);
+        for i in 0..6 {
+            m.push(&[i as f64, -(i as f64)], 1.0 + i as f64);
+        }
+        let capacity = m.weights.capacity();
+        let kept = m.retain_rows(|i, row| {
+            assert_eq!(row[0], i as f64, "callback sees the original row");
+            i % 2 == 0
+        });
+        assert_eq!(kept, 3);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.row(0), &[0.0, -0.0]);
+        assert_eq!(m.row(1), &[2.0, -2.0]);
+        assert_eq!(m.row(2), &[4.0, -4.0]);
+        assert_eq!(m.importances(), &[1.0, 3.0, 5.0]);
+        assert_eq!(m.weights.capacity(), capacity, "no reallocation");
+        // Pad lanes survive compaction (the kernel reads through them).
+        assert_eq!(m.weights_flat().len(), 3 * m.stride());
+        m.truncate(1);
+        assert_eq!(m.len(), 1);
+        m.truncate(5); // no-op past the end
+        assert_eq!(m.len(), 1);
     }
 }

@@ -64,6 +64,22 @@ impl CandidateArena {
         self.parent.len()
     }
 
+    /// Empties the arena for a new search while keeping every column's
+    /// allocation, re-shaping it for `mm_stride` min/max slots per candidate.
+    /// A reset arena behaves exactly like `CandidateArena::new(mm_stride)` —
+    /// this is what lets one worker-owned arena serve a whole chunk of
+    /// per-sample searches without reallocating per sample.
+    pub(crate) fn reset(&mut self, mm_stride: usize) {
+        self.mm_stride = mm_stride;
+        self.parent.clear();
+        self.item.clear();
+        self.size.clear();
+        self.utility.clear();
+        self.lin.clear();
+        self.avg_num.clear();
+        self.mm.clear();
+    }
+
     /// The cached utility `U(p)` of a candidate.
     pub(crate) fn utility(&self, id: u32) -> f64 {
         self.utility[id as usize]

@@ -198,6 +198,36 @@ const COMPACT_FLOOR: usize = 4_096;
 /// collection cost per created candidate constant.
 const COMPACT_SLACK: usize = 8;
 
+/// Reusable working memory for one `Top-k-Pkg` run: the candidate arena plus
+/// every per-access buffer the scan touches.
+///
+/// One search allocates all of this from scratch; a loop that runs one search
+/// per weight sample per round (the engine's ranking step) instead keeps a
+/// `SearchScratch` per worker thread and passes it to
+/// [`top_k_packages_with_scratch`], so after the first search of a chunk the
+/// inner loop allocates nothing.  The scratch carries no state between
+/// searches — every buffer is cleared or overwritten on entry — so results
+/// are bit-identical to the fresh-allocation path.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    arena: Option<CandidateArena>,
+    q_plus: Vec<u32>,
+    next_q_plus: Vec<(u32, f64)>,
+    seen: Vec<bool>,
+    tau_point: Vec<f64>,
+    item_mm: Vec<f64>,
+    scratch_mm: Vec<f64>,
+    items_buf: Vec<ItemId>,
+}
+
+impl SearchScratch {
+    /// An empty scratch; buffers grow to the working-set size of the first
+    /// search and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The `Top-k-Pkg` algorithm (Algorithm 2): returns the top-k packages for a
 /// fixed utility function over the catalog, where package size ranges from 1
 /// to the context's maximum package size φ.
@@ -227,6 +257,21 @@ pub fn top_k_packages_with_lists(
     catalog: &Catalog,
     lists: &SortedLists,
     k: usize,
+) -> Result<SearchResult> {
+    let mut scratch = SearchScratch::new();
+    top_k_packages_with_scratch(utility, catalog, lists, k, &mut scratch)
+}
+
+/// [`top_k_packages_with_lists`] with caller-owned working memory: the
+/// allocation-free form for loops that search once per weight sample.  The
+/// scratch is reset on entry, so any `SearchScratch` (fresh or reused) yields
+/// results bit-identical to [`top_k_packages_with_lists`].
+pub fn top_k_packages_with_scratch(
+    utility: &LinearUtility,
+    catalog: &Catalog,
+    lists: &SortedLists,
+    k: usize,
+    scratch: &mut SearchScratch,
 ) -> Result<SearchResult> {
     let dim = utility.dim();
     debug_assert_eq!(lists.dim(), dim, "index dimensionality matches catalog");
@@ -258,20 +303,37 @@ pub fn top_k_packages_with_lists(
         .collect();
     let mut cursor = RoundRobinCursor::for_query(lists, &effective_query);
 
-    let mut arena = CandidateArena::new(plan.mm_len());
-    let mut q_plus: Vec<u32> = Vec::new();
-    let mut next_q_plus: Vec<(u32, f64)> = Vec::new();
+    // Split the scratch into disjoint field borrows and restore every buffer
+    // to its fresh-allocation state (the contents never survive between
+    // searches, only the capacity does).
+    let SearchScratch {
+        arena: arena_slot,
+        q_plus,
+        next_q_plus,
+        seen,
+        tau_point,
+        item_mm,
+        scratch_mm,
+        items_buf,
+    } = scratch;
+    let arena = arena_slot.get_or_insert_with(|| CandidateArena::new(plan.mm_len()));
+    arena.reset(plan.mm_len());
+    q_plus.clear();
+    next_q_plus.clear();
     let mut best: TopKHeap<Vec<ItemId>> = TopKHeap::new(k);
-    let mut seen = vec![false; catalog.len()];
+    seen.clear();
+    seen.resize(catalog.len(), false);
     let mut items_accessed = 0usize;
     let mut candidates_created = 0usize;
     let mut terminated_early = false;
     // Reusable per-access buffers: the loop allocates nothing once warm.
-    let mut tau_point = vec![0.0; dim];
+    tau_point.clear();
+    tau_point.resize(dim, 0.0);
     let mut tau = TauScalars::default();
-    let mut item_mm = vec![0.0; plan.mm_len()];
-    let mut scratch_mm = vec![0.0; plan.mm_len()];
-    let mut items_buf: Vec<ItemId> = Vec::new();
+    item_mm.clear();
+    item_mm.resize(plan.mm_len(), 0.0);
+    scratch_mm.clear();
+    scratch_mm.resize(plan.mm_len(), 0.0);
 
     // Offers a newly created candidate to the top-k heap, materialising its
     // item vector only if it would actually be retained (created candidate
@@ -301,10 +363,10 @@ pub fn top_k_packages_with_lists(
         seen[access.id] = true;
         items_accessed += 1;
         let features = catalog.item_unchecked(access.id);
-        cursor.write_boundary(&mut tau_point);
-        plan.prepare_tau(&tau_point, &mut tau);
+        cursor.write_boundary(tau_point);
+        plan.prepare_tau(tau_point, &mut tau);
         let item_scalars = plan.point_scalars(features);
-        plan.write_mm_values(features, &mut item_mm);
+        plan.write_mm_values(features, item_mm);
 
         // Expansion phase (Algorithm 4): seed a singleton candidate for the
         // newly accessed item (seeding every singleton — rather than only
@@ -312,21 +374,16 @@ pub fn top_k_packages_with_lists(
         // is individually unattractive can still be assembled), then try to
         // extend every expandable candidate with it.
         let first_new = arena.len() as u32;
-        let singleton = arena.push_singleton(&plan, access.id, item_scalars, &item_mm);
+        let singleton = arena.push_singleton(&plan, access.id, item_scalars, item_mm);
         candidates_created += 1;
-        record(&mut best, &arena, singleton, &mut items_buf);
-        for &node in &q_plus {
+        record(&mut best, arena, singleton, items_buf);
+        for &node in q_plus.iter() {
             if arena.size(node) < phi {
-                if let Some(extended) = arena.try_extend(
-                    &plan,
-                    node,
-                    access.id,
-                    item_scalars,
-                    &item_mm,
-                    &mut scratch_mm,
-                ) {
+                if let Some(extended) =
+                    arena.try_extend(&plan, node, access.id, item_scalars, item_mm, scratch_mm)
+                {
                     candidates_created += 1;
-                    record(&mut best, &arena, extended, &mut items_buf);
+                    record(&mut best, arena, extended, items_buf);
                 }
             }
         }
@@ -377,7 +434,7 @@ pub fn top_k_packages_with_lists(
         // dead fraction dominates the worst-case live set |Q+| · φ.
         let live_upper = q_plus.len() * phi + 1;
         if arena.len() > COMPACT_FLOOR && arena.len() > COMPACT_SLACK * live_upper {
-            arena.compact(&mut q_plus);
+            arena.compact(q_plus);
         }
     }
 
@@ -624,6 +681,45 @@ mod tests {
                 );
             }
             assert_eq!(fast.stats, reference.stats, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn a_reused_scratch_is_bit_identical_to_fresh_allocation() {
+        // One scratch driven across many searches of wildly different shapes
+        // (dimensionality, catalog size, φ, aggregate mix) must reproduce the
+        // fresh-allocation path exactly — packages, utilities and statistics.
+        let mut rng = StdRng::seed_from_u64(4242);
+        let aggregates = [
+            AggregateFn::Sum,
+            AggregateFn::Avg,
+            AggregateFn::Max,
+            AggregateFn::Min,
+            AggregateFn::Null,
+        ];
+        let mut scratch = SearchScratch::new();
+        for trial in 0..30 {
+            let dim = rng.gen_range(1..5);
+            let n = rng.gen_range(3..20);
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())
+                .collect();
+            let catalog = Catalog::from_rows(rows).unwrap();
+            let profile = crate::profile::Profile::new(
+                (0..dim)
+                    .map(|_| aggregates[rng.gen_range(0..aggregates.len())])
+                    .collect(),
+            );
+            let phi = rng.gen_range(1..5);
+            let ctx = AggregationContext::new(profile, &catalog, phi).unwrap();
+            let weights: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let u = LinearUtility::new(ctx, weights).unwrap();
+            let k = rng.gen_range(1..6);
+            let lists = SortedLists::new(catalog.rows());
+            let fresh = top_k_packages_with_lists(&u, &catalog, &lists, k).unwrap();
+            let reused =
+                top_k_packages_with_scratch(&u, &catalog, &lists, k, &mut scratch).unwrap();
+            assert_eq!(fresh, reused, "trial {trial}");
         }
     }
 

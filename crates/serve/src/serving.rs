@@ -120,6 +120,40 @@ impl<'a> ServingLoop<'a> {
         elicitation: ElicitationConfig,
         threads: usize,
     ) -> Result<Vec<SessionOutcome>> {
+        self.run_with(sessions, elicitation, threads, false)
+    }
+
+    /// [`ServingLoop::run`] with each shard's sessions driven in *lockstep*:
+    /// every round presents the shard's still-active sessions through one
+    /// [`Shard::op_present_batch`] call, so same-catalog engine sessions
+    /// share a single batched kernel sweep per round instead of one each.
+    ///
+    /// Outcomes are identical to [`ServingLoop::run`]: every session draws
+    /// from its own `(seed, ops)` operation streams and its own user RNG, so
+    /// interleaving rounds across sessions cannot change what any session
+    /// sees — the `serving_store` suite and `fig_serving` assert the
+    /// equality.
+    pub fn run_batched(
+        &mut self,
+        sessions: &[(SessionId, SimulatedUser)],
+        elicitation: ElicitationConfig,
+        threads: usize,
+    ) -> Result<Vec<SessionOutcome>> {
+        self.run_with(sessions, elicitation, threads, true)
+    }
+
+    fn run_with(
+        &mut self,
+        sessions: &[(SessionId, SimulatedUser)],
+        elicitation: ElicitationConfig,
+        threads: usize,
+        batched: bool,
+    ) -> Result<Vec<SessionOutcome>> {
+        let serve: ShardServeFn = if batched {
+            serve_shard_batched
+        } else {
+            serve_shard
+        };
         let shard_count = self.store.shard_count();
         let mut groups: Vec<Vec<(SessionId, &SimulatedUser)>> = vec![Vec::new(); shard_count];
         for (id, user) in sessions {
@@ -132,7 +166,7 @@ impl<'a> ServingLoop<'a> {
         let mut outcomes: Vec<SessionOutcome> = if threads <= 1 {
             let mut all = Vec::with_capacity(sessions.len());
             for (shard, group) in shards.iter_mut().zip(groups.iter()) {
-                serve_shard(shard, group, elicitation, &mut all)?;
+                serve(shard, group, elicitation, &mut all)?;
             }
             all
         } else {
@@ -144,7 +178,7 @@ impl<'a> ServingLoop<'a> {
                         scope.spawn(move || -> Result<Vec<SessionOutcome>> {
                             let mut chunk_outcomes = Vec::new();
                             for (shard, group) in shard_chunk.iter_mut().zip(group_chunk.iter()) {
-                                serve_shard(shard, group, elicitation, &mut chunk_outcomes)?;
+                                serve(shard, group, elicitation, &mut chunk_outcomes)?;
                             }
                             Ok(chunk_outcomes)
                         })
@@ -166,6 +200,16 @@ impl<'a> ServingLoop<'a> {
     }
 }
 
+/// The per-shard serving body [`ServingLoop::run_with`] dispatches on:
+/// session-at-a-time ([`serve_shard`]) or lockstep batched
+/// ([`serve_shard_batched`]).
+type ShardServeFn = fn(
+    &mut Shard,
+    &[(SessionId, &SimulatedUser)],
+    ElicitationConfig,
+    &mut Vec<SessionOutcome>,
+) -> Result<()>;
+
 /// Serves one shard's sessions sequentially (the per-thread body).
 fn serve_shard(
     shard: &mut Shard,
@@ -186,6 +230,127 @@ fn serve_shard(
             converged: report.converged,
             precision: report.precision,
             search: report.search,
+        });
+    }
+    Ok(())
+}
+
+/// Serves one shard's sessions in lockstep rounds (the batched per-thread
+/// body): each round presents every still-active session through one
+/// [`Shard::op_present_batch`] call, then mirrors the generic elicitation
+/// driver's convergence/feedback step per session.  The control flow is an
+/// exact transcript of [`run_elicitation`] — each session observes the same
+/// sequence of store operations and user-RNG draws it would serially, so the
+/// outcomes are identical; only the interleaving (and hence the kernel batch
+/// shape) changes.
+fn serve_shard_batched(
+    shard: &mut Shard,
+    group: &[(SessionId, &SimulatedUser)],
+    elicitation: ElicitationConfig,
+    outcomes: &mut Vec<SessionOutcome>,
+) -> Result<()> {
+    if elicitation.max_rounds == 0 || elicitation.stable_rounds == 0 {
+        return Err(pkgrec_core::CoreError::InvalidConfig(
+            "max_rounds and stable_rounds must be at least 1".into(),
+        ));
+    }
+
+    /// Per-session elicitation state, exactly the locals of
+    /// [`run_elicitation`] plus a `done` flag for the lockstep scheduler.
+    struct Lockstep<'u> {
+        id: SessionId,
+        user: &'u SimulatedUser,
+        catalog: std::sync::Arc<Catalog>,
+        label: String,
+        k: usize,
+        start_search: AggregatedSearchStats,
+        ground_truth: Vec<Package>,
+        rng: rand::rngs::StdRng,
+        previous: Option<Vec<Package>>,
+        stable: usize,
+        clicks: usize,
+        converged: bool,
+        last_recommendation: Vec<Package>,
+        done: bool,
+    }
+
+    let mut states: Vec<Lockstep> = Vec::with_capacity(group.len());
+    for &(id, user) in group {
+        let config = shard.session_config(id)?;
+        let seed = config.seed;
+        let catalog = std::sync::Arc::clone(&config.catalog);
+        shard.ensure_live(id)?;
+        let state = shard.peek_state(id).expect("session was just made live");
+        let ground_truth = user.ground_truth_top_k(&catalog, state.k)?.into_packages();
+        states.push(Lockstep {
+            id,
+            user,
+            catalog,
+            label: state.label.clone(),
+            k: state.k,
+            start_search: state.search,
+            ground_truth,
+            rng: user_rng(seed),
+            previous: None,
+            stable: 0,
+            clicks: 0,
+            converged: false,
+            last_recommendation: Vec::new(),
+            done: false,
+        });
+    }
+
+    for _ in 0..elicitation.max_rounds {
+        let active: Vec<usize> = (0..states.len()).filter(|&i| !states[i].done).collect();
+        if active.is_empty() {
+            break;
+        }
+        let ids: Vec<SessionId> = active.iter().map(|&i| states[i].id).collect();
+        let shown_lists = shard.op_present_batch(&ids)?;
+        for (&i, shown) in active.iter().zip(shown_lists) {
+            let s = &mut states[i];
+            s.last_recommendation = shown.iter().take(s.k).cloned().collect();
+            // Convergence check on the recommended (exploitation) part only —
+            // a converged session takes no feedback, mirroring the serial
+            // driver's `break`.
+            if s.previous.as_ref() == Some(&s.last_recommendation) {
+                s.stable += 1;
+                if s.stable + 1 >= elicitation.stable_rounds {
+                    s.converged = true;
+                    s.done = true;
+                    continue;
+                }
+            } else {
+                s.stable = 0;
+            }
+            s.previous = Some(s.last_recommendation.clone());
+
+            let choice = s.user.choose(&s.catalog, &shown, &mut s.rng)?;
+            shard.op_feedback(s.id, Feedback::Click { index: choice })?;
+            s.clicks += 1;
+        }
+    }
+
+    for s in states {
+        let hits = s
+            .last_recommendation
+            .iter()
+            .filter(|p| s.ground_truth.contains(p))
+            .count();
+        let precision = if s.last_recommendation.is_empty() {
+            0.0
+        } else {
+            hits as f64 / s.last_recommendation.len() as f64
+        };
+        shard.ensure_live(s.id)?;
+        let end = shard.peek_state(s.id).expect("session was just made live");
+        outcomes.push(SessionOutcome {
+            id: s.id,
+            label: s.label,
+            clicks: s.clicks,
+            converged: s.converged,
+            precision,
+            search: end.search.delta_since(&s.start_search),
         });
     }
     Ok(())
@@ -235,15 +400,25 @@ mod tests {
         SimulatedUser::new(LinearUtility::new(context, weights).unwrap())
     }
 
-    fn serve(shards: usize, capacity: usize, threads: usize) -> Vec<SessionOutcome> {
+    fn serve_with(
+        shards: usize,
+        capacity: usize,
+        threads: usize,
+        batched: bool,
+    ) -> Vec<SessionOutcome> {
         let mut store = SessionStore::new(StoreConfig {
             shards,
             capacity_per_shard: capacity,
         })
         .unwrap();
+        // One interned catalog across the fleet so the batched path actually
+        // groups sessions into shared kernel sweeps.
+        let catalog = std::sync::Arc::new(catalog());
         let mut sessions = Vec::new();
         for i in 0..6u64 {
-            let id = store.create(session(100 + i)).unwrap();
+            let mut config = session(100 + i);
+            config.catalog = std::sync::Arc::clone(&catalog);
+            let id = store.create(config).unwrap();
             let lean = if i % 2 == 0 { -0.8 } else { 0.5 };
             sessions.push((id, user(vec![lean, 0.6])));
         }
@@ -251,9 +426,22 @@ mod tests {
             max_rounds: 5,
             stable_rounds: 2,
         };
-        ServingLoop::new(&mut store)
-            .run(&sessions, config, threads)
-            .unwrap()
+        let mut serving = ServingLoop::new(&mut store);
+        let outcomes = if batched {
+            serving.run_batched(&sessions, config, threads).unwrap()
+        } else {
+            serving.run(&sessions, config, threads).unwrap()
+        };
+        if batched && capacity >= sessions.len() {
+            // At ample capacity every engine round goes through the batched
+            // sweep rather than the serial fallback.
+            assert!(store.stats().batched_presents > 0);
+        }
+        outcomes
+    }
+
+    fn serve(shards: usize, capacity: usize, threads: usize) -> Vec<SessionOutcome> {
+        serve_with(shards, capacity, threads, false)
     }
 
     #[test]
@@ -273,6 +461,38 @@ mod tests {
         let single = serve(4, 16, 1);
         let multi = serve(4, 16, 4);
         assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn batched_serving_matches_serial_serving_exactly() {
+        // At ample capacity nothing ever spills, so even the accumulated
+        // search statistics must agree outcome-for-outcome.
+        let serial = serve_with(2, 16, 1, false);
+        let batched = serve_with(2, 16, 1, true);
+        assert_eq!(serial, batched);
+    }
+
+    #[test]
+    fn batched_outcomes_are_independent_of_thread_count() {
+        let single = serve_with(4, 16, 1, true);
+        let multi = serve_with(4, 16, 4, true);
+        assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn batched_serving_survives_capacity_pressure() {
+        // Capacity 1 forces the batched path into its serial fallback on
+        // most rounds; session-visible outcomes must not notice.  (Search
+        // deltas are excluded: spill resets the in-memory counters at
+        // different moments under the two drive orders.)
+        let ample = serve_with(2, 16, 2, true);
+        let starved = serve_with(2, 1, 2, true);
+        for (a, s) in ample.iter().zip(starved.iter()) {
+            assert_eq!(a.id, s.id);
+            assert_eq!(a.clicks, s.clicks);
+            assert_eq!(a.converged, s.converged);
+            assert_eq!(a.precision, s.precision);
+        }
     }
 
     #[test]

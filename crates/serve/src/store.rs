@@ -113,6 +113,13 @@ pub struct StoreStats {
     /// most two per eviction (the head, plus one skip when the head is the
     /// session being rehydrated), never the shard population.
     pub eviction_probes: usize,
+    /// Group-scored `present` operations: sessions whose round went through
+    /// a shared [`Shard::op_present_batch`] kernel sweep instead of an
+    /// individual scoring call.
+    pub batched_presents: usize,
+    /// Batched kernel sweeps executed (one per same-catalog group per
+    /// [`Shard::op_present_batch`] call).
+    pub batched_groups: usize,
 }
 
 impl StoreStats {
@@ -131,6 +138,8 @@ impl StoreStats {
         self.group_commits += other.group_commits;
         self.recovery_replays += other.recovery_replays;
         self.eviction_probes += other.eviction_probes;
+        self.batched_presents += other.batched_presents;
+        self.batched_groups += other.batched_groups;
     }
 }
 
@@ -524,6 +533,169 @@ impl Shard {
         entry.last_shown = shown.clone();
         self.touch(id);
         Ok(shown)
+    }
+
+    /// One `present` operation for *each* of `ids`, scoring every group of
+    /// same-catalog engine sessions through one shared batched kernel sweep
+    /// ([`pkgrec_core::RecommenderEngine::present_batch`]) instead of one per
+    /// session.
+    ///
+    /// The returned lists are positionally aligned with `ids` and
+    /// bit-identical to calling [`Shard::op_present`] on each id in order:
+    /// every session draws from its own `(seed, ops)` RNG stream, so neither
+    /// grouping nor scheduling can change any session's outcome, and each
+    /// session's journal gains the same `Presented` event.  Sessions the
+    /// batch cannot cover — baseline adapters, or sessions capacity pressure
+    /// spilled again while the rest of the batch rehydrated — fall back to
+    /// the serial operation.
+    ///
+    /// Engine sessions group by their shared catalog handle
+    /// ([`std::sync::Arc::as_ptr`] — the store hands sessions of one
+    /// storefront one interned `Arc`) plus profile and φ equality; content-
+    /// equal catalogs behind distinct allocations simply form smaller
+    /// groups, which is slower but identical.
+    ///
+    /// On any mid-batch failure every batch member rolls back to its
+    /// journaled state (the same rollback path a failed feedback uses) — a
+    /// batched computation may
+    /// have advanced live state (e.g. an empty-pool resample) for sessions
+    /// whose `Presented` event was never journaled, and dropping the live
+    /// forms makes the journal authoritative again.  The next touch
+    /// rehydrates the pre-batch state.
+    pub fn op_present_batch(&mut self, ids: &[SessionId]) -> Result<Vec<Vec<Package>>> {
+        // Rehydrate every member first; under capacity pressure a later
+        // rehydration can re-spill an earlier member, which the collection
+        // pass below routes to the serial fallback.
+        for &id in ids {
+            self.ensure_live(id)?;
+        }
+        let mut pos_of: HashMap<SessionId, usize> = HashMap::with_capacity(ids.len());
+        for (pos, &id) in ids.iter().enumerate() {
+            // A duplicated id would alias `&mut` engine state inside one
+            // batch; serve it twice through the serial path instead.
+            pos_of.entry(id).or_insert(pos);
+        }
+        let mut results: Vec<Option<Vec<Package>>> = vec![None; ids.len()];
+        let mut batched_groups = 0usize;
+
+        // Compute phase: borrow all batchable engines at once (disjoint map
+        // entries via `iter_mut`), group them, and run one batched present
+        // per group.  The scope ends before any journaling so the entry map
+        // is free again.
+        let compute: Result<()> = {
+            struct BatchEntry<'a> {
+                pos: usize,
+                group: usize,
+                config: &'a SessionConfig,
+                rng: rand::rngs::StdRng,
+                engine: &'a mut pkgrec_core::RecommenderEngine,
+            }
+            let mut batchable: Vec<BatchEntry<'_>> = Vec::new();
+            for (id, entry) in self.sessions.iter_mut() {
+                let Some(&pos) = pos_of.get(id) else { continue };
+                let SessionEntry {
+                    config, live, ops, ..
+                } = entry;
+                if let Some(LiveSession::Engine(engine)) = live {
+                    batchable.push(BatchEntry {
+                        pos,
+                        group: 0,
+                        config,
+                        rng: op_rng(config.seed, *ops),
+                        engine: engine.as_mut(),
+                    });
+                }
+            }
+            // Deterministic grouping: first-appearance order over `ids`.
+            batchable.sort_unstable_by_key(|e| e.pos);
+            let mut group_keys: Vec<usize> = Vec::new(); // index of each group's first entry
+            for i in 0..batchable.len() {
+                let group = group_keys
+                    .iter()
+                    .position(|&first| {
+                        let a = batchable[first].config;
+                        let b = batchable[i].config;
+                        std::sync::Arc::as_ptr(&a.catalog) == std::sync::Arc::as_ptr(&b.catalog)
+                            && a.profile == b.profile
+                            && a.max_package_size == b.max_package_size
+                    })
+                    .unwrap_or_else(|| {
+                        group_keys.push(i);
+                        group_keys.len() - 1
+                    });
+                batchable[i].group = group;
+            }
+            batchable.sort_by_key(|e| (e.group, e.pos));
+
+            let mut outcome = Ok(());
+            let mut rest: &mut [BatchEntry<'_>] = &mut batchable[..];
+            while !rest.is_empty() {
+                let group = rest[0].group;
+                let end = rest
+                    .iter()
+                    .position(|e| e.group != group)
+                    .unwrap_or(rest.len());
+                let (chunk, tail) = rest.split_at_mut(end);
+                let mut refs: Vec<(&mut pkgrec_core::RecommenderEngine, &mut dyn rand::RngCore)> =
+                    chunk
+                        .iter_mut()
+                        .map(|e| (&mut *e.engine, &mut e.rng as &mut dyn rand::RngCore))
+                        .collect();
+                match pkgrec_core::RecommenderEngine::present_batch(&mut refs) {
+                    Ok(shown_lists) => {
+                        batched_groups += 1;
+                        for (e, shown) in chunk.iter().zip(shown_lists) {
+                            results[e.pos] = Some(shown);
+                        }
+                    }
+                    Err(e) => {
+                        outcome = Err(e);
+                        break;
+                    }
+                }
+                rest = tail;
+            }
+            outcome
+        };
+        if let Err(e) = compute {
+            for &id in ids {
+                self.rollback(id);
+            }
+            return Err(e);
+        }
+
+        // Journal phase: commit each batched present exactly as the serial
+        // operation would.  A failing append rolls back every member whose
+        // computation has not been journaled yet (their live state ran ahead
+        // of the journal); already-committed members stay consistent.
+        for (pos, &id) in ids.iter().enumerate() {
+            let Some(shown) = &results[pos] else { continue };
+            if let Err(e) = self.append_event(id, SessionEvent::Presented) {
+                for (later, &other) in ids.iter().enumerate().skip(pos) {
+                    if results[later].is_some() {
+                        self.rollback(other);
+                    }
+                }
+                return Err(e);
+            }
+            let entry = self.sessions.get_mut(&id).expect("live ensured");
+            entry.ops += 1;
+            entry.last_shown = shown.clone();
+            self.touch(id);
+            self.stats.batched_presents += 1;
+        }
+        self.stats.batched_groups += batched_groups;
+
+        // Serial fallback for everything the batch could not cover.
+        for (pos, &id) in ids.iter().enumerate() {
+            if results[pos].is_none() {
+                results[pos] = Some(self.op_present(id)?);
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every id resolved"))
+            .collect())
     }
 
     /// One `record_feedback` operation against the last presented list.
@@ -1578,5 +1750,118 @@ mod tests {
             .events_for(baseline)
             .iter()
             .any(|event| matches!(event, SessionEvent::Created { .. })));
+    }
+
+    /// Builds a single-shard store whose engine sessions share one interned
+    /// catalog `Arc` (the storefront shape the batched present groups on),
+    /// plus one baseline and one engine on a private catalog allocation.
+    fn batch_fixture(capacity: usize) -> (SessionStore, Vec<SessionId>) {
+        let mut store = SessionStore::new(StoreConfig {
+            shards: 1,
+            capacity_per_shard: capacity,
+        })
+        .unwrap();
+        let shared = std::sync::Arc::new(catalog());
+        let mut ids = Vec::new();
+        for seed in [11u64, 12, 13] {
+            ids.push(
+                store
+                    .create(SessionConfig {
+                        catalog: shared.clone(),
+                        ..engine_session(seed)
+                    })
+                    .unwrap(),
+            );
+        }
+        ids.push(store.create(skyline_session(14)).unwrap());
+        ids.push(store.create(engine_session(15)).unwrap()); // private Arc
+        (store, ids)
+    }
+
+    #[test]
+    fn batched_present_is_bit_identical_to_serial_presents() {
+        for capacity in [16usize, 1] {
+            let (mut batched, ids) = batch_fixture(capacity);
+            let (mut serial, _) = batch_fixture(capacity);
+            for round in 0..3 {
+                let got = batched.shards_mut()[0].op_present_batch(&ids).unwrap();
+                let expected: Vec<Vec<Package>> = ids
+                    .iter()
+                    .map(|&id| serial.shards_mut()[0].op_present(id).unwrap())
+                    .collect();
+                assert_eq!(got, expected, "capacity {capacity} round {round}");
+                for (&id, shown) in ids.iter().zip(expected.iter()) {
+                    let index = choose(&batched.session_config(id).unwrap().catalog.clone(), shown);
+                    let a = batched.feedback(id, Feedback::Click { index }).unwrap();
+                    let b = serial.feedback(id, Feedback::Click { index }).unwrap();
+                    assert_eq!(a, b);
+                }
+            }
+            // Both stores now recommend identically, and their journals
+            // record the same operation sequences (spill checkpoints may
+            // differ — capacity pressure hits the two drive orders at
+            // different moments, which is invisible to session state).
+            for &id in &ids {
+                assert_eq!(
+                    batched.recommend(id).unwrap(),
+                    serial.recommend(id).unwrap()
+                );
+                let ops = |store: &SessionStore| {
+                    store
+                        .export_journal()
+                        .events_for(id)
+                        .iter()
+                        .filter(|e| {
+                            matches!(
+                                e,
+                                SessionEvent::Presented
+                                    | SessionEvent::Feedback(_)
+                                    | SessionEvent::Recommended
+                            )
+                        })
+                        .count()
+                };
+                assert_eq!(ops(&batched), ops(&serial));
+            }
+        }
+    }
+
+    #[test]
+    fn batched_present_groups_shared_catalogs_and_falls_back_otherwise() {
+        let (mut store, ids) = batch_fixture(16);
+        store.shards_mut()[0].op_present_batch(&ids).unwrap();
+        let stats = store.stats();
+        // The three shared-catalog engines batch as one group, the
+        // private-catalog engine as another; the baseline falls back.
+        assert_eq!(stats.batched_presents, 4);
+        assert_eq!(stats.batched_groups, 2);
+
+        // Under capacity 1 every rehydration spills the previous member, so
+        // the whole batch degrades to the serial path — and still works.
+        let (mut starved, ids) = batch_fixture(1);
+        starved.shards_mut()[0].op_present_batch(&ids).unwrap();
+        let stats = starved.stats();
+        assert_eq!(stats.batched_presents, 1, "only the last member stays live");
+        assert!(stats.restores > 0 || stats.evictions > 0);
+    }
+
+    #[test]
+    fn batched_present_rejects_unknown_sessions_without_side_effects() {
+        let (mut store, mut ids) = batch_fixture(16);
+        ids.push(SessionId(99));
+        assert!(matches!(
+            store.shards_mut()[0].op_present_batch(&ids),
+            Err(CoreError::UnknownSession(99))
+        ));
+        // Nothing was journaled: a fresh batch over the valid ids equals a
+        // fresh serial store's first round.
+        ids.pop();
+        let (mut serial, _) = batch_fixture(16);
+        let got = store.shards_mut()[0].op_present_batch(&ids).unwrap();
+        let expected: Vec<Vec<Package>> = ids
+            .iter()
+            .map(|&id| serial.shards_mut()[0].op_present(id).unwrap())
+            .collect();
+        assert_eq!(got, expected);
     }
 }

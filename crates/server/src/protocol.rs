@@ -35,7 +35,7 @@ use serde::{Deserialize, Serialize};
 pub const HELLO_MAGIC: [u8; 7] = *b"PKGSRV\0";
 
 /// Wire protocol version, bumped on any framing or payload schema change.
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Hello length: magic + u32 LE version.
 pub const HELLO_LEN: usize = HELLO_MAGIC.len() + 4;

@@ -116,6 +116,37 @@ impl SortedLists {
         }
     }
 
+    /// Builds sorted lists over a *stride-padded* row-major buffer: rows of
+    /// `dim` meaningful floats stored every `stride` floats (pad lanes
+    /// ignored) — the layout of the core crate's SIMD-shaped weight matrix.
+    /// The index densifies the rows into its own tight `len × dim` buffer,
+    /// so cursors and serialisation are unaffected by the caller's padding.
+    ///
+    /// # Panics
+    /// Panics if `stride < dim` or `values.len()` is not a multiple of
+    /// `stride` (a `stride` of 0 requires an empty buffer and `dim` 0).
+    pub fn from_strided(dim: usize, stride: usize, values: &[f64]) -> Self {
+        assert!(
+            stride >= dim,
+            "row stride {stride} cannot be smaller than the dimensionality {dim}"
+        );
+        if stride == dim {
+            return SortedLists::from_flat(dim, values);
+        }
+        assert_eq!(
+            values.len() % stride,
+            0,
+            "strided buffer length {} is not a multiple of the stride {stride}",
+            values.len()
+        );
+        let len = values.len() / stride;
+        let mut flat = Vec::with_capacity(len * dim);
+        for row in values.chunks_exact(stride) {
+            flat.extend_from_slice(&row[..dim]);
+        }
+        SortedLists::from_flat(dim, &flat)
+    }
+
     /// Number of indexed points.
     pub fn len(&self) -> usize {
         self.len

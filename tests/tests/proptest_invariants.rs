@@ -200,6 +200,66 @@ proptest! {
         }
     }
 
+    /// Incremental resampling honours the `(seed, ops)` RNG derivation
+    /// contract of the serving layer: from an empty pool it reproduces the
+    /// fresh rebuild bit for bit under the same derived RNG, and after a new
+    /// constraint it keeps exactly the still-valid rows (in order, with
+    /// their importances) while every re-drawn row satisfies the updated
+    /// constraints.
+    #[test]
+    fn incremental_resample_matches_fresh_rebuild_under_derived_rngs(
+        better in prop::collection::vec(0.0f64..1.0, 2),
+        worse in prop::collection::vec(0.0f64..1.0, 2),
+        n in 1usize..32,
+        seed in 0u64..1_000,
+        ops in 0u64..64,
+    ) {
+        use pkgrec_core::sampler::{SamplerKind, WeightSampler};
+        use pkgrec_serve::config::op_rng;
+
+        let unconstrained = ConstraintChecker::from_constraints(2, vec![], ConstraintSource::Full);
+        let prior = pkgrec_gmm::GaussianMixture::default_prior(2, 1, 0.5).unwrap();
+        let sampler = SamplerKind::mcmc();
+
+        // Fresh rebuild and incremental fill, both under op_rng(seed, ops).
+        let fresh = sampler
+            .generate(&prior, &unconstrained, n, &mut op_rng(seed, ops))
+            .unwrap()
+            .pool;
+        let mut pool = SamplePool::new();
+        let reused = pool
+            .resample(n, &sampler, &prior, &unconstrained, &mut op_rng(seed, ops))
+            .unwrap();
+        prop_assert_eq!(reused, 0);
+        prop_assert_eq!(&pool, &fresh);
+
+        // A new constraint arrives; the next op derives op_rng(seed, ops + 1).
+        let pref = Preference::new(better, worse);
+        let checker = ConstraintChecker::from_constraints(
+            2,
+            vec![pref.constraint()],
+            ConstraintSource::Full,
+        );
+        let survivors: Vec<(Vec<f64>, f64)> = fresh
+            .samples()
+            .filter(|s| checker.is_valid(s.weights))
+            .map(|s| (s.weights.to_vec(), s.importance))
+            .collect();
+        if let Ok(reused) =
+            pool.resample(n, &sampler, &prior, &checker, &mut op_rng(seed, ops + 1))
+        {
+            prop_assert_eq!(reused, survivors.len().min(n));
+            prop_assert_eq!(pool.len(), n);
+            for (i, (weights, importance)) in survivors.iter().take(n).enumerate() {
+                prop_assert_eq!(pool.get(i).weights, &weights[..]);
+                prop_assert_eq!(pool.get(i).importance, *importance);
+            }
+            for s in pool.samples() {
+                prop_assert!(checker.is_valid(s.weights));
+            }
+        }
+    }
+
     /// Rejection sampling only ever emits samples that satisfy every feedback
     /// constraint and lie inside the weight cube.
     #[test]

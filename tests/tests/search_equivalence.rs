@@ -21,8 +21,9 @@
 //! it must not change any search result.
 
 use pkgrec_core::prelude::*;
+use pkgrec_core::recommender::per_sample_rankings_indexed;
 use pkgrec_core::search::top_k_packages_reference;
-use pkgrec_core::AggregatedSearchStats;
+use pkgrec_core::{top_k_packages_with_scratch, AggregatedSearchStats, SearchScratch};
 use pkgrec_topk::SortedLists;
 use proptest::prelude::*;
 
@@ -127,6 +128,110 @@ proptest! {
             prop_assert_eq!(fp, sp);
             prop_assert!((fs - ss).abs() < 1e-9, "utilities diverge: {} vs {}", fs, ss);
         }
+    }
+
+    /// Sample-parallel discovery (`std::thread::scope` workers, each owning
+    /// its candidate arena and scratch buffers) is bit-identical to the
+    /// serial path: same rankings, same merged statistics, across thread
+    /// counts {1, 2, 4}.
+    #[test]
+    fn sample_parallel_rankings_are_bit_identical_to_serial(
+        rows in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 3), 4..12),
+        aggregates in prop::collection::vec(0usize..5, 3),
+        sample_rows in prop::collection::vec(prop::collection::vec(-1.0f64..1.0, 3), 1..24),
+        phi in 1usize..4,
+        depth in 1usize..5,
+    ) {
+        let catalog = Catalog::from_rows(rows.to_vec()).unwrap();
+        let profile = Profile::new(aggregates.iter().map(|&a| aggregate_of(a)).collect());
+        let context = AggregationContext::new(profile, &catalog, phi).unwrap();
+        let mut pool = SamplePool::new();
+        for weights in &sample_rows {
+            pool.push_sample(weights, 1.0);
+        }
+        let lists = SortedLists::new(catalog.rows());
+        let (serial, serial_stats) =
+            per_sample_rankings_indexed(&context, &catalog, &lists, &pool, depth, 1).unwrap();
+        for threads in [2usize, 4] {
+            let (parallel, stats) =
+                per_sample_rankings_indexed(&context, &catalog, &lists, &pool, depth, threads)
+                    .unwrap();
+            prop_assert_eq!(&serial, &parallel, "{} threads", threads);
+            prop_assert_eq!(serial_stats, stats, "{} threads", threads);
+        }
+    }
+
+    /// A worker-style reused [`SearchScratch`] replays any sequence of
+    /// searches bit-identically to fresh allocations — packages, utilities
+    /// and statistics.
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_a_search_sequence(
+        rows in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 3), 3..10),
+        aggregates in prop::collection::vec(0usize..5, 3),
+        weight_seq in prop::collection::vec(prop::collection::vec(-1.0f64..1.0, 3), 1..8),
+        phi in 1usize..4,
+        k in 1usize..5,
+    ) {
+        let catalog = Catalog::from_rows(rows.to_vec()).unwrap();
+        let profile = Profile::new(aggregates.iter().map(|&a| aggregate_of(a)).collect());
+        let lists = SortedLists::new(catalog.rows());
+        let mut scratch = SearchScratch::new();
+        for weights in weight_seq {
+            let context = AggregationContext::new(profile.clone(), &catalog, phi).unwrap();
+            let utility = LinearUtility::new(context, weights).unwrap();
+            let fresh = top_k_packages_with_lists(&utility, &catalog, &lists, k).unwrap();
+            let reused =
+                top_k_packages_with_scratch(&utility, &catalog, &lists, k, &mut scratch).unwrap();
+            prop_assert_eq!(fresh, reused);
+        }
+    }
+
+    /// Whole-engine behaviour is thread-count independent: engines configured
+    /// with 1, 2 and 4 worker threads, driven through identical rounds with
+    /// identically seeded RNGs, present and recommend exactly the same
+    /// packages.
+    #[test]
+    fn engine_recommendations_are_thread_count_independent(
+        rows in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 2), 5..10),
+        seed in 0u64..1000,
+        rounds in 1usize..3,
+    ) {
+        use rand::SeedableRng;
+        let mut outputs = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let mut engine = RecommenderEngine::builder(
+                Catalog::from_rows(rows.to_vec()).unwrap(),
+                Profile::cost_quality(),
+            )
+            .max_package_size(2)
+            .k(2)
+            .num_random(1)
+            .num_samples(16)
+            .num_threads(threads)
+            .build()
+            .unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut transcript = Vec::new();
+            for _ in 0..rounds {
+                let shown = engine.present(&mut rng).unwrap();
+                transcript.push(shown.clone());
+                // A click on a degenerate random catalog can make the
+                // constraint region infeasible (sampling exhausted); the
+                // failure is deterministic — independent of the thread count
+                // — so every engine stops at the same round and the
+                // transcripts stay comparable.
+                if engine
+                    .record_feedback(&shown, Feedback::Click { index: 0 }, &mut rng)
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            let recommendations = engine.recommend(&mut rng).unwrap();
+            outputs.push((transcript, recommendations));
+        }
+        prop_assert_eq!(&outputs[0], &outputs[1]);
+        prop_assert_eq!(&outputs[0], &outputs[2]);
     }
 
     /// On arbitrary (possibly non-monotone) utilities the optimised search is

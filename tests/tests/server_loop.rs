@@ -1,7 +1,7 @@
 //! The network front door (`pkgrec-server`) under test:
 //!
 //! * the wire protocol v1 is pinned by a golden byte fixture
-//!   (`fixtures/server_frame_v1.bin`) — hello + one frame of every
+//!   (`fixtures/server_frame_v2.bin`) — hello + one frame of every
 //!   `Request` and `Response` variant; a PR that changes the framing, the
 //!   CRC, or the payload JSON must bump `PROTOCOL_VERSION` and regenerate
 //!   the fixture deliberately,
@@ -129,7 +129,7 @@ fn fixture_frame_bytes() -> Vec<u8> {
     bytes
 }
 
-const GOLDEN_FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/server_frame_v1.bin");
+const GOLDEN_FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/server_frame_v2.bin");
 
 /// Wire-format compatibility gate for the server protocol.  Regenerate with
 /// `UPDATE_SNAPSHOT_FIXTURE=1 cargo test -p pkgrec-integration-tests golden`.
@@ -141,8 +141,10 @@ fn golden_server_frame_fixture_stays_decodable() {
     let disk = std::fs::read(GOLDEN_FIXTURE)
         .expect("golden fixture exists (regenerate with UPDATE_SNAPSHOT_FIXTURE=1)");
 
-    // The fixture file name pins v1; bump both together, deliberately.
-    assert_eq!(PROTOCOL_VERSION, 1, "fixture file is named for v1");
+    // The fixture file name pins v2; bump both together, deliberately.
+    // (v1 -> v2: the Stats payload gained the batched_presents /
+    // batched_groups StoreStats counters.)
+    assert_eq!(PROTOCOL_VERSION, 2, "fixture file is named for v2");
 
     // Encoding today must reproduce the checked-in bytes exactly: hello,
     // framing, CRC table, JSON field order and float formatting.

@@ -94,6 +94,14 @@ pub mod json_model {
                 _ => None,
             }
         }
+
+        /// The value under `key`, if this is an `Object` containing it.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
     }
 }
 
@@ -406,6 +414,19 @@ impl<V: Deserialize> Deserialize for HashMap<String, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn value_get_looks_up_object_keys() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::Int(1)),
+            ("b".to_string(), Value::Bool(true)),
+        ]);
+        assert_eq!(v.get("a"), Some(&Value::Int(1)));
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Null.get("a"), None);
+        assert_eq!(Value::Array(vec![]).get("a"), None);
+    }
 
     #[test]
     fn integers_round_trip_losslessly_above_2_pow_53() {
