@@ -320,7 +320,7 @@ pub fn durability_point(config: &ServingConfig) -> Result<DurabilityPoint> {
     // keeps only each session's checkpoint tail.
     store.sync()?;
     let v1_journal_bytes = serde_json::to_string(&store.export_journal())
-        .map_err(|e| CoreError::Io(format!("v1 journal serialisation: {e}")))?
+        .map_err(|e| CoreError::io_data(format!("v1 journal serialisation: {e}")))?
         .len();
     let segment_bytes_before = store.durable_bytes()?;
     let compaction = store.compact()?;

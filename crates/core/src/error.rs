@@ -53,9 +53,41 @@ pub enum CoreError {
     /// A session id does not exist in the session store addressed.
     UnknownSession(u64),
     /// An I/O failure in a durable store (journal segments, checkpoints).
-    /// Carries the rendered OS error plus context, so the enum stays
-    /// `Clone + PartialEq` (a raw `std::io::Error` is neither).
-    Io(String),
+    /// Carries the OS error class plus the rendered error and context, so
+    /// the enum stays `Clone + PartialEq` (a raw `std::io::Error` is
+    /// neither) while callers can still match on the fault class instead
+    /// of string-matching the message.
+    Io {
+        /// The OS-level error class (`std::io::ErrorKind` is `Copy + Eq`).
+        kind: std::io::ErrorKind,
+        /// Rendered error plus context (path, action).
+        message: String,
+    },
+    /// A store shard whose durable appends kept failing past its retry
+    /// budget entered read-only degraded mode; mutating operations are
+    /// refused until a successful `sync()` re-arms the shard.
+    Degraded {
+        /// Index of the degraded shard.
+        shard: usize,
+        /// Rendered description of the fault that degraded the shard.
+        reason: String,
+    },
+}
+
+impl CoreError {
+    /// Build a [`CoreError::Io`] preserving the OS error class.
+    pub fn io(kind: std::io::ErrorKind, message: impl Into<String>) -> Self {
+        CoreError::Io {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// Build a [`CoreError::Io`] for a failure with no OS error behind it
+    /// (serialisation, framing, wire decode); classified `InvalidData`.
+    pub fn io_data(message: impl Into<String>) -> Self {
+        CoreError::io(std::io::ErrorKind::InvalidData, message)
+    }
 }
 
 impl std::fmt::Display for CoreError {
@@ -90,7 +122,12 @@ impl std::fmt::Display for CoreError {
             CoreError::UnknownSession(id) => {
                 write!(f, "session {id} is not in the session store")
             }
-            CoreError::Io(msg) => write!(f, "journal I/O error: {msg}"),
+            CoreError::Io { kind, message } => {
+                write!(f, "journal I/O error ({kind:?}): {message}")
+            }
+            CoreError::Degraded { shard, reason } => {
+                write!(f, "shard {shard} is degraded (read-only): {reason}")
+            }
         }
     }
 }
@@ -157,8 +194,22 @@ mod tests {
             ),
             (CoreError::UnknownSession(7), "session 7"),
             (
-                CoreError::Io("segment-00000001: disk full".into()),
+                CoreError::io(
+                    std::io::ErrorKind::StorageFull,
+                    "segment-00000001: disk full",
+                ),
                 "segment-00000001",
+            ),
+            (
+                CoreError::io(std::io::ErrorKind::PermissionDenied, "flush"),
+                "PermissionDenied",
+            ),
+            (
+                CoreError::Degraded {
+                    shard: 2,
+                    reason: "append retry budget exhausted".into(),
+                },
+                "shard 2 is degraded",
             ),
         ];
         for (err, needle) in cases {

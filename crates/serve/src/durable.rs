@@ -20,10 +20,24 @@
 //!
 //! Segment files are named `seg-<generation>-<sequence>.pkj`; a generation
 //! is *committed* by an empty `gen-<generation>.ok` marker file.  Compaction
-//! (`ShardLog::rewrite`) writes the retained records into a fresh
-//! generation, fsyncs it, commits its marker, and only then deletes the old
-//! generation — so a crash at any point leaves exactly one recoverable
-//! committed generation (plus garbage files the next recovery sweeps).
+//! (`ShardLog::rewrite`) builds the retained records into a fresh
+//! generation using a scratch `SegmentWriter`, fsyncs it, commits its
+//! marker, and only then swaps it in and deletes the old generation — so a
+//! crash *or an IO failure* at any point leaves exactly one recoverable
+//! committed generation (plus garbage files the next recovery sweeps), and
+//! a failed rewrite leaves the log appending to the old generation as if
+//! compaction had never been attempted.
+//!
+//! ## Fault injection
+//!
+//! Every IO site — append, group-commit flush, fsync, segment rotation,
+//! compaction rewrite, generation-marker commit (and, at the store level,
+//! the manifest write) — consults the [`FaultPlan`] carried by
+//! [`DurabilityConfig::fault_plan`] *before* touching the filesystem, so a
+//! test can fail an exact `(site, hit-count)` coordinate cleanly.  A
+//! failed append is transactional: the write buffer, the intern table and
+//! the catalog list roll back to their pre-append state, keeping the
+//! on-disk journal replay-equal to a store that never saw the operation.
 //!
 //! ## Interning
 //!
@@ -46,6 +60,7 @@ use serde::{Deserialize, Serialize};
 use serde_json::Value;
 
 use crate::config::{catalog_fingerprint, SessionConfig, SessionId};
+use crate::fault::{FaultInjector, FaultPlan, FaultSite};
 use crate::journal::SessionEvent;
 use crate::segment::{
     decode_segment, encode_record, write_header, CatalogId, WireEvent, WireRecord,
@@ -71,17 +86,29 @@ pub struct DurabilityConfig {
     /// [`SessionStore::sync`](crate::SessionStore::sync) forces durability
     /// at the moments that matter (checkpoints, shutdown, compaction).
     pub sync_on_flush: bool,
+    /// Deterministic fault-injection schedule for the durable path; the
+    /// default empty plan injects nothing.
+    pub fault_plan: FaultPlan,
+    /// How many *consecutive* failed durable appends a shard tolerates
+    /// before entering read-only degraded mode (each failed append still
+    /// rolls its operation back).  A successful append — or a successful
+    /// [`SessionStore::sync`](crate::SessionStore::sync) — re-arms the
+    /// shard.
+    pub append_retry_budget: usize,
 }
 
 impl DurabilityConfig {
     /// The default durability shape rooted at `dir`: group commit every 8
-    /// events, 1 MiB segments, no fsync-per-flush.
+    /// events, 1 MiB segments, no fsync-per-flush, no injected faults, a
+    /// 3-failure retry budget before a shard degrades.
     pub fn at(dir: impl Into<PathBuf>) -> Self {
         DurabilityConfig {
             dir: dir.into(),
             flush_every_ops: 8,
             segment_max_bytes: 1 << 20,
             sync_on_flush: false,
+            fault_plan: FaultPlan::none(),
+            append_retry_budget: 3,
         }
     }
 
@@ -97,6 +124,11 @@ impl DurabilityConfig {
             return Err(CoreError::InvalidConfig(format!(
                 "segment_max_bytes must be at least the {SEGMENT_HEADER_LEN}-byte header"
             )));
+        }
+        if self.append_retry_budget == 0 {
+            return Err(CoreError::InvalidConfig(
+                "append_retry_budget must be at least 1".into(),
+            ));
         }
         Ok(())
     }
@@ -115,6 +147,8 @@ pub(crate) struct LogStats {
     pub bytes_reclaimed: usize,
     /// Write batches flushed to the active segment.
     pub group_commits: usize,
+    /// Faults injected by the [`FaultPlan`] so far.
+    pub injected_faults: usize,
 }
 
 /// The `store.json` manifest at the root of a durable store's directory.
@@ -137,19 +171,23 @@ pub(crate) fn read_manifest(root: &Path) -> Result<Option<Manifest>> {
     }
     let bytes = fs::read(&path).map_err(|e| io_err(&path, "read manifest", e))?;
     let manifest: Manifest = serde_json::from_slice(&bytes)
-        .map_err(|e| CoreError::Io(format!("parse manifest {}: {e}", path.display())))?;
+        .map_err(|e| CoreError::io_data(format!("parse manifest {}: {e}", path.display())))?;
     Ok(Some(manifest))
 }
 
-/// Writes (and fsyncs) the manifest.
-pub(crate) fn write_manifest(root: &Path, shards: usize) -> Result<()> {
+/// Writes (and fsyncs) the manifest.  The [`FaultSite::Manifest`] failpoint
+/// fires here, from the store-level injector.
+pub(crate) fn write_manifest(root: &Path, shards: usize, faults: &mut FaultInjector) -> Result<()> {
     let manifest = Manifest {
         version: SEGMENT_VERSION,
         shards,
     };
     let path = root.join(MANIFEST_NAME);
+    faults
+        .check(FaultSite::Manifest)
+        .map_err(|e| io_err(&path, "write manifest", e))?;
     let bytes = serde_json::to_vec(&manifest)
-        .map_err(|e| CoreError::Io(format!("serialise manifest: {e}")))?;
+        .map_err(|e| CoreError::io_data(format!("serialise manifest: {e}")))?;
     let mut file = fs::File::create(&path).map_err(|e| io_err(&path, "create manifest", e))?;
     file.write_all(&bytes)
         .and_then(|()| file.sync_all())
@@ -162,7 +200,7 @@ pub(crate) fn shard_dir(root: &Path, index: usize) -> PathBuf {
 }
 
 fn io_err(path: &Path, action: &str, e: std::io::Error) -> CoreError {
-    CoreError::Io(format!("{action} {}: {e}", path.display()))
+    CoreError::io(e.kind(), format!("{action} {}: {e}", path.display()))
 }
 
 fn segment_name(generation: u64, sequence: u64) -> String {
@@ -183,18 +221,50 @@ fn parse_marker_name(name: &str) -> Option<u64> {
     name.strip_prefix("gen-")?.strip_suffix(".ok")?.parse().ok()
 }
 
+/// Commits generation `generation` in `dir` by fsyncing its empty
+/// `gen-<g>.ok` marker.  The [`FaultSite::Marker`] failpoint fires here.
+fn commit_marker(dir: &Path, generation: u64, faults: &mut FaultInjector) -> Result<()> {
+    let path = dir.join(marker_name(generation));
+    faults
+        .check(FaultSite::Marker)
+        .map_err(|e| io_err(&path, "commit generation marker", e))?;
+    fs::File::create(&path)
+        .and_then(|file| file.sync_all())
+        .map_err(|e| io_err(&path, "commit generation marker", e))
+}
+
+/// The write-path knobs every [`SegmentWriter`] call needs.
+#[derive(Debug, Clone, Copy)]
+struct WriteKnobs {
+    flush_every_ops: usize,
+    segment_max_bytes: u64,
+    sync_on_flush: bool,
+}
+
+impl WriteKnobs {
+    fn from_config(config: &DurabilityConfig) -> WriteKnobs {
+        WriteKnobs {
+            flush_every_ops: config.flush_every_ops,
+            segment_max_bytes: config.segment_max_bytes,
+            sync_on_flush: config.sync_on_flush,
+        }
+    }
+}
+
 struct ActiveSegment {
     file: fs::File,
     path: PathBuf,
     bytes: u64,
 }
 
-/// One shard's durable journal: write buffer + segment files + intern table.
-pub(crate) struct ShardLog {
+/// Encodes records into the segment files of one generation: write buffer,
+/// active segment, rotation, catalog interning.  [`ShardLog`] owns one for
+/// its live generation; a compaction rewrite builds the *next* generation
+/// in a scratch writer and swaps it in only after the new marker commits,
+/// which is what makes a failed rewrite invisible.
+struct SegmentWriter {
     dir: PathBuf,
-    flush_every_ops: usize,
-    segment_max_bytes: u64,
-    sync_on_flush: bool,
+    knobs: WriteKnobs,
     generation: u64,
     next_sequence: u64,
     active: Option<ActiveSegment>,
@@ -204,113 +274,13 @@ pub(crate) struct ShardLog {
     intern: HashMap<u64, Vec<CatalogId>>,
     /// id (dense) → the interned catalog.
     catalogs: Vec<Arc<Catalog>>,
-    stats: LogStats,
 }
 
-impl ShardLog {
-    /// Creates an empty shard log (fresh directory, committed generation 0).
-    pub(crate) fn create(dir: PathBuf, config: &DurabilityConfig) -> Result<Self> {
-        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, "create shard directory", e))?;
-        let log = ShardLog {
+impl SegmentWriter {
+    fn new(dir: PathBuf, knobs: WriteKnobs, generation: u64, next_sequence: u64) -> SegmentWriter {
+        SegmentWriter {
             dir,
-            flush_every_ops: config.flush_every_ops,
-            segment_max_bytes: config.segment_max_bytes,
-            sync_on_flush: config.sync_on_flush,
-            generation: 0,
-            next_sequence: 0,
-            active: None,
-            pending: Vec::new(),
-            pending_records: 0,
-            intern: HashMap::new(),
-            catalogs: Vec::new(),
-            stats: LogStats::default(),
-        };
-        log.commit_marker()?;
-        Ok(log)
-    }
-
-    /// Reopens a shard directory, returning the log positioned for new
-    /// appends plus every recovered event in append order.
-    ///
-    /// Recovery reads the newest *committed* generation (highest marker),
-    /// sweeps files of any other generation (stale pre- or mid-compaction
-    /// leftovers), and tolerates a torn record at the tail of the newest
-    /// segment by truncating the file back to its last clean record.
-    pub(crate) fn recover(
-        dir: PathBuf,
-        config: &DurabilityConfig,
-    ) -> Result<(Self, Vec<(SessionId, SessionEvent)>)> {
-        let mut markers: Vec<u64> = Vec::new();
-        let mut segments: Vec<(u64, u64, PathBuf)> = Vec::new();
-        let entries = fs::read_dir(&dir).map_err(|e| io_err(&dir, "read shard directory", e))?;
-        for entry in entries {
-            let entry = entry.map_err(|e| io_err(&dir, "read shard directory", e))?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
-            if let Some(generation) = parse_marker_name(name) {
-                markers.push(generation);
-            } else if let Some((generation, sequence)) = parse_segment_name(name) {
-                segments.push((generation, sequence, entry.path()));
-            }
-        }
-        let generation = markers.iter().copied().max().ok_or_else(|| {
-            CoreError::Io(format!(
-                "shard directory {} has no committed generation marker",
-                dir.display()
-            ))
-        })?;
-
-        // Sweep everything that is not part of the committed generation:
-        // superseded generations and half-written compaction output.
-        for &stale in markers.iter().filter(|&&g| g != generation) {
-            let path = dir.join(marker_name(stale));
-            fs::remove_file(&path).map_err(|e| io_err(&path, "sweep stale marker", e))?;
-        }
-        segments.retain(|(g, _, path)| {
-            if *g == generation {
-                return true;
-            }
-            // Best-effort sweep; a leftover costs bytes, not correctness.
-            let _ = fs::remove_file(path);
-            false
-        });
-        segments.sort_by_key(|(_, sequence, _)| *sequence);
-
-        let mut records: Vec<WireRecord> = Vec::new();
-        let mut next_sequence = 0;
-        let last = segments.len().saturating_sub(1);
-        for (index, (_, sequence, path)) in segments.iter().enumerate() {
-            next_sequence = sequence + 1;
-            let bytes = fs::read(path).map_err(|e| io_err(path, "read segment", e))?;
-            let decoded = decode_segment(&bytes)?;
-            if let Some(reason) = decoded.torn {
-                if index != last {
-                    return Err(CoreError::Io(format!(
-                        "sealed segment {} is corrupt ({reason})",
-                        path.display()
-                    )));
-                }
-                // Torn tail on the newest segment: truncate at corruption.
-                if decoded.clean_len < SEGMENT_HEADER_LEN as u64 {
-                    fs::remove_file(path).map_err(|e| io_err(path, "drop torn segment", e))?;
-                } else {
-                    let file = fs::OpenOptions::new()
-                        .write(true)
-                        .open(path)
-                        .map_err(|e| io_err(path, "reopen torn segment", e))?;
-                    file.set_len(decoded.clean_len)
-                        .and_then(|()| file.sync_all())
-                        .map_err(|e| io_err(path, "truncate torn segment", e))?;
-                }
-            }
-            records.extend(decoded.records);
-        }
-
-        let mut log = ShardLog {
-            dir,
-            flush_every_ops: config.flush_every_ops,
-            segment_max_bytes: config.segment_max_bytes,
-            sync_on_flush: config.sync_on_flush,
+            knobs,
             generation,
             next_sequence,
             active: None,
@@ -318,39 +288,49 @@ impl ShardLog {
             pending_records: 0,
             intern: HashMap::new(),
             catalogs: Vec::new(),
-            stats: LogStats::default(),
-        };
-
-        // Resolve interned references in one forward pass, re-seeding the
-        // intern table so new appends reuse the recovered definitions.
-        let mut catalog_values: HashMap<u64, Value> = HashMap::new();
-        let mut events = Vec::new();
-        for record in records {
-            match record {
-                WireRecord::Catalog { id, catalog } => {
-                    if id.0 as usize != log.catalogs.len() {
-                        return Err(CoreError::Io(format!(
-                            "catalog definition {} out of order (expected {})",
-                            id.0,
-                            log.catalogs.len()
-                        )));
-                    }
-                    catalog_values.insert(id.0, catalog.to_json_value());
-                    let fingerprint = catalog_fingerprint(&catalog);
-                    log.intern.entry(fingerprint).or_default().push(id);
-                    log.catalogs.push(Arc::new(catalog));
-                }
-                WireRecord::Event { session, event } => {
-                    events.push((session, log.wire_to_event(event, &catalog_values)?));
-                }
-            }
         }
-        Ok((log, events))
     }
 
     /// Buffers one event (plus any new catalog definition it needs), group
-    /// committing when the window fills.
-    pub(crate) fn append(&mut self, session: SessionId, event: &SessionEvent) -> Result<()> {
+    /// committing when the window fills.  Transactional: on any failure —
+    /// injected or real — the write buffer, the intern table and the
+    /// catalog list roll back to their pre-append state, so the bytes of a
+    /// rolled-back operation can never reach disk later.
+    fn append(
+        &mut self,
+        session: SessionId,
+        event: &SessionEvent,
+        faults: &mut FaultInjector,
+        stats: &mut LogStats,
+    ) -> Result<()> {
+        faults
+            .check(FaultSite::Append)
+            .map_err(|e| io_err(&self.dir, "append event", e))?;
+        let pending_mark = self.pending.len();
+        let records_mark = self.pending_records;
+        let catalogs_mark = self.catalogs.len();
+        let result = self.append_unchecked(session, event, faults, stats);
+        if result.is_err() {
+            self.pending.truncate(pending_mark);
+            self.pending_records = records_mark;
+            if self.catalogs.len() > catalogs_mark {
+                self.catalogs.truncate(catalogs_mark);
+                self.intern.retain(|_, ids| {
+                    ids.retain(|id| (id.0 as usize) < catalogs_mark);
+                    !ids.is_empty()
+                });
+            }
+        }
+        result
+    }
+
+    fn append_unchecked(
+        &mut self,
+        session: SessionId,
+        event: &SessionEvent,
+        faults: &mut FaultInjector,
+        stats: &mut LogStats,
+    ) -> Result<()> {
         let wire = self.event_to_wire(event)?;
         encode_record(
             &WireRecord::Event {
@@ -360,27 +340,30 @@ impl ShardLog {
             &mut self.pending,
         )?;
         self.pending_records += 1;
-        if self.pending_records >= self.flush_every_ops {
-            self.flush()?;
+        if self.pending_records >= self.knobs.flush_every_ops {
+            self.flush(faults, stats)?;
         }
         Ok(())
     }
 
     /// Writes the buffered batch to the active segment (one group commit).
-    pub(crate) fn flush(&mut self) -> Result<()> {
+    fn flush(&mut self, faults: &mut FaultInjector, stats: &mut LogStats) -> Result<()> {
         if self.pending.is_empty() {
             return Ok(());
         }
-        self.ensure_active()?;
+        faults
+            .check(FaultSite::Flush)
+            .map_err(|e| io_err(&self.dir, "flush batch", e))?;
+        self.ensure_active(faults, stats)?;
         let active = self.active.as_mut().expect("ensured above");
         active
             .file
             .write_all(&self.pending)
             .map_err(|e| io_err(&active.path, "append batch", e))?;
         active.bytes += self.pending.len() as u64;
-        self.stats.bytes_appended += self.pending.len();
-        self.stats.group_commits += 1;
-        if self.sync_on_flush {
+        stats.bytes_appended += self.pending.len();
+        stats.group_commits += 1;
+        if self.knobs.sync_on_flush {
             active
                 .file
                 .sync_data()
@@ -393,8 +376,11 @@ impl ShardLog {
 
     /// Flushes and `fsync`s the active segment: everything appended so far
     /// survives a crash.
-    pub(crate) fn sync(&mut self) -> Result<()> {
-        self.flush()?;
+    fn sync(&mut self, faults: &mut FaultInjector, stats: &mut LogStats) -> Result<()> {
+        self.flush(faults, stats)?;
+        faults
+            .check(FaultSite::Sync)
+            .map_err(|e| io_err(&self.dir, "sync shard log", e))?;
         if let Some(active) = &mut self.active {
             active
                 .file
@@ -404,101 +390,18 @@ impl ShardLog {
         Ok(())
     }
 
-    /// Rewrites the log as a fresh generation holding exactly `records`
-    /// (checkpoint-anchored compaction's disk half), committing the new
-    /// generation before deleting the old one so a crash at any point
-    /// leaves one recoverable committed generation.
-    pub(crate) fn rewrite<'a>(
-        &mut self,
-        records: impl IntoIterator<Item = (SessionId, &'a SessionEvent)>,
-    ) -> Result<()> {
-        self.sync()?;
-        if let Some(sealed) = self.active.take() {
-            drop(sealed);
-        }
-        let old_generation = self.generation;
-        let old_bytes = self.generation_bytes(old_generation)?;
-
-        self.generation += 1;
-        self.next_sequence = 0;
-        self.intern.clear();
-        self.catalogs.clear();
-        for (session, event) in records {
-            self.append(session, event)?;
-        }
-        self.sync()?;
-        self.commit_marker()?;
-
-        // The new generation is committed; the old one is garbage now.
-        let old_marker = self.dir.join(marker_name(old_generation));
-        fs::remove_file(&old_marker).map_err(|e| io_err(&old_marker, "remove old marker", e))?;
-        let mut sequence = 0;
-        loop {
-            let path = self.dir.join(segment_name(old_generation, sequence));
-            if !path.exists() {
-                break;
-            }
-            fs::remove_file(&path).map_err(|e| io_err(&path, "remove old segment", e))?;
-            sequence += 1;
-        }
-        let new_bytes = self.generation_bytes(self.generation)?;
-        self.stats.bytes_reclaimed += old_bytes.saturating_sub(new_bytes) as usize;
-        Ok(())
-    }
-
-    /// Total bytes of this shard's directory (all segment files + markers).
-    pub(crate) fn disk_bytes(&self) -> Result<u64> {
-        let mut total = 0;
-        let entries =
-            fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, "read shard directory", e))?;
-        for entry in entries {
-            let entry = entry.map_err(|e| io_err(&self.dir, "read shard directory", e))?;
-            total += entry
-                .metadata()
-                .map_err(|e| io_err(&entry.path(), "stat", e))?
-                .len();
-        }
-        Ok(total)
-    }
-
-    pub(crate) fn stats(&self) -> LogStats {
-        self.stats
-    }
-
-    fn generation_bytes(&self, generation: u64) -> Result<u64> {
-        let mut total = 0;
-        let entries =
-            fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, "read shard directory", e))?;
-        for entry in entries {
-            let entry = entry.map_err(|e| io_err(&self.dir, "read shard directory", e))?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
-            if parse_segment_name(name).is_some_and(|(g, _)| g == generation) {
-                total += entry
-                    .metadata()
-                    .map_err(|e| io_err(&entry.path(), "stat", e))?
-                    .len();
-            }
-        }
-        Ok(total)
-    }
-
-    fn commit_marker(&self) -> Result<()> {
-        let path = self.dir.join(marker_name(self.generation));
-        fs::File::create(&path)
-            .and_then(|file| file.sync_all())
-            .map_err(|e| io_err(&path, "commit generation marker", e))
-    }
-
     /// Seals the active segment if full and opens a fresh one if needed.
-    fn ensure_active(&mut self) -> Result<()> {
+    fn ensure_active(&mut self, faults: &mut FaultInjector, stats: &mut LogStats) -> Result<()> {
         let full = match &self.active {
             None => true,
-            Some(active) => active.bytes >= self.segment_max_bytes,
+            Some(active) => active.bytes >= self.knobs.segment_max_bytes,
         };
         if !full {
             return Ok(());
         }
+        faults
+            .check(FaultSite::Rotate)
+            .map_err(|e| io_err(&self.dir, "rotate segment", e))?;
         if let Some(sealed) = self.active.take() {
             sealed
                 .file
@@ -514,7 +417,7 @@ impl ShardLog {
         write_header(&mut header);
         file.write_all(&header)
             .map_err(|e| io_err(&path, "write segment header", e))?;
-        self.stats.segments_written += 1;
+        stats.segments_written += 1;
         self.active = Some(ActiveSegment {
             file,
             path,
@@ -566,23 +469,23 @@ impl ShardLog {
                 last_shown,
             } => {
                 let mut snapshot: Value = serde_json::from_str(json)
-                    .map_err(|e| CoreError::Io(format!("parse snapshot checkpoint: {e}")))?;
+                    .map_err(|e| CoreError::io_data(format!("parse snapshot checkpoint: {e}")))?;
                 let Value::Object(entries) = &mut snapshot else {
-                    return Err(CoreError::Io(
-                        "snapshot checkpoint is not a JSON object".into(),
+                    return Err(CoreError::io_data(
+                        "snapshot checkpoint is not a JSON object",
                     ));
                 };
                 let slot = entries
                     .iter_mut()
                     .find(|(key, _)| key == "catalog")
                     .ok_or_else(|| {
-                        CoreError::Io("snapshot checkpoint has no catalog field".into())
+                        CoreError::io_data("snapshot checkpoint has no catalog field")
                     })?;
                 // Intern the snapshot's *own* parsed catalog (not the
                 // session config's): substituting its serialised form back
                 // on decode is then exactly inverse, byte for byte.
                 let catalog = <Catalog as Deserialize>::from_json_value(&slot.1)
-                    .map_err(|e| CoreError::Io(format!("parse snapshot catalog: {e}")))?;
+                    .map_err(|e| CoreError::io_data(format!("parse snapshot catalog: {e}")))?;
                 let id = self.intern_catalog(&Arc::new(catalog))?;
                 slot.1 = Value::Int(id.0 as i128);
                 WireEvent::Snapshot {
@@ -592,6 +495,289 @@ impl ShardLog {
                 }
             }
         })
+    }
+}
+
+/// One shard's durable journal: write buffer + segment files + intern table.
+pub(crate) struct ShardLog {
+    dir: PathBuf,
+    knobs: WriteKnobs,
+    writer: SegmentWriter,
+    faults: FaultInjector,
+    stats: LogStats,
+}
+
+impl ShardLog {
+    /// Creates an empty shard log (fresh directory, committed generation 0).
+    pub(crate) fn create(dir: PathBuf, config: &DurabilityConfig) -> Result<Self> {
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, "create shard directory", e))?;
+        let knobs = WriteKnobs::from_config(config);
+        let mut faults = FaultInjector::new(config.fault_plan.clone());
+        commit_marker(&dir, 0, &mut faults)?;
+        Ok(ShardLog {
+            writer: SegmentWriter::new(dir.clone(), knobs, 0, 0),
+            dir,
+            knobs,
+            faults,
+            stats: LogStats::default(),
+        })
+    }
+
+    /// Reopens a shard directory, returning the log positioned for new
+    /// appends plus every recovered event in append order.
+    ///
+    /// Recovery reads the newest *committed* generation (highest marker),
+    /// sweeps files of any other generation (stale pre- or mid-compaction
+    /// leftovers), and tolerates a torn record at the tail of the newest
+    /// segment by truncating the file back to its last clean record.
+    ///
+    /// Fault-plan hit counters start fresh: the plan describes the *new*
+    /// process, not the one that wrote the recovered bytes.
+    pub(crate) fn recover(
+        dir: PathBuf,
+        config: &DurabilityConfig,
+    ) -> Result<(Self, Vec<(SessionId, SessionEvent)>)> {
+        let mut markers: Vec<u64> = Vec::new();
+        let mut segments: Vec<(u64, u64, PathBuf)> = Vec::new();
+        let entries = fs::read_dir(&dir).map_err(|e| io_err(&dir, "read shard directory", e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&dir, "read shard directory", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(generation) = parse_marker_name(name) {
+                markers.push(generation);
+            } else if let Some((generation, sequence)) = parse_segment_name(name) {
+                segments.push((generation, sequence, entry.path()));
+            }
+        }
+        let generation = markers.iter().copied().max().ok_or_else(|| {
+            CoreError::io_data(format!(
+                "shard directory {} has no committed generation marker",
+                dir.display()
+            ))
+        })?;
+
+        // Sweep everything that is not part of the committed generation:
+        // superseded generations and half-written compaction output.
+        for &stale in markers.iter().filter(|&&g| g != generation) {
+            let path = dir.join(marker_name(stale));
+            fs::remove_file(&path).map_err(|e| io_err(&path, "sweep stale marker", e))?;
+        }
+        segments.retain(|(g, _, path)| {
+            if *g == generation {
+                return true;
+            }
+            // Best-effort sweep; a leftover costs bytes, not correctness.
+            let _ = fs::remove_file(path);
+            false
+        });
+        segments.sort_by_key(|(_, sequence, _)| *sequence);
+
+        let mut records: Vec<WireRecord> = Vec::new();
+        let mut next_sequence = 0;
+        let last = segments.len().saturating_sub(1);
+        for (index, (_, sequence, path)) in segments.iter().enumerate() {
+            next_sequence = sequence + 1;
+            let bytes = fs::read(path).map_err(|e| io_err(path, "read segment", e))?;
+            let decoded = decode_segment(&bytes)?;
+            if let Some(reason) = decoded.torn {
+                if index != last {
+                    return Err(CoreError::io_data(format!(
+                        "sealed segment {} is corrupt ({reason})",
+                        path.display()
+                    )));
+                }
+                // Torn tail on the newest segment: truncate at corruption.
+                if decoded.clean_len < SEGMENT_HEADER_LEN as u64 {
+                    fs::remove_file(path).map_err(|e| io_err(path, "drop torn segment", e))?;
+                } else {
+                    let file = fs::OpenOptions::new()
+                        .write(true)
+                        .open(path)
+                        .map_err(|e| io_err(path, "reopen torn segment", e))?;
+                    file.set_len(decoded.clean_len)
+                        .and_then(|()| file.sync_all())
+                        .map_err(|e| io_err(path, "truncate torn segment", e))?;
+                }
+            }
+            records.extend(decoded.records);
+        }
+
+        let knobs = WriteKnobs::from_config(config);
+        let mut log = ShardLog {
+            writer: SegmentWriter::new(dir.clone(), knobs, generation, next_sequence),
+            dir,
+            knobs,
+            faults: FaultInjector::new(config.fault_plan.clone()),
+            stats: LogStats::default(),
+        };
+
+        // Resolve interned references in one forward pass, re-seeding the
+        // intern table so new appends reuse the recovered definitions.
+        let mut catalog_values: HashMap<u64, Value> = HashMap::new();
+        let mut events = Vec::new();
+        for record in records {
+            match record {
+                WireRecord::Catalog { id, catalog } => {
+                    if id.0 as usize != log.writer.catalogs.len() {
+                        return Err(CoreError::io_data(format!(
+                            "catalog definition {} out of order (expected {})",
+                            id.0,
+                            log.writer.catalogs.len()
+                        )));
+                    }
+                    catalog_values.insert(id.0, catalog.to_json_value());
+                    let fingerprint = catalog_fingerprint(&catalog);
+                    log.writer.intern.entry(fingerprint).or_default().push(id);
+                    log.writer.catalogs.push(Arc::new(catalog));
+                }
+                WireRecord::Event { session, event } => {
+                    events.push((session, log.wire_to_event(event, &catalog_values)?));
+                }
+            }
+        }
+        Ok((log, events))
+    }
+
+    /// Buffers one event (plus any new catalog definition it needs), group
+    /// committing when the window fills.  Failures roll the buffer back —
+    /// see [`SegmentWriter::append`].
+    pub(crate) fn append(&mut self, session: SessionId, event: &SessionEvent) -> Result<()> {
+        let ShardLog {
+            writer,
+            faults,
+            stats,
+            ..
+        } = self;
+        writer.append(session, event, faults, stats)
+    }
+
+    /// Writes the buffered batch to the active segment (one group commit).
+    pub(crate) fn flush(&mut self) -> Result<()> {
+        let ShardLog {
+            writer,
+            faults,
+            stats,
+            ..
+        } = self;
+        writer.flush(faults, stats)
+    }
+
+    /// Flushes and `fsync`s the active segment: everything appended so far
+    /// survives a crash.
+    pub(crate) fn sync(&mut self) -> Result<()> {
+        let ShardLog {
+            writer,
+            faults,
+            stats,
+            ..
+        } = self;
+        writer.sync(faults, stats)
+    }
+
+    /// Rewrites the log as a fresh generation holding exactly `records`
+    /// (checkpoint-anchored compaction's disk half).
+    ///
+    /// The new generation is built in a scratch [`SegmentWriter`], synced,
+    /// and committed by its marker *before* this log switches over and the
+    /// old generation is deleted.  On any failure — injected or real — the
+    /// scratch output is swept best-effort and `self` is untouched: the
+    /// old generation stays committed and appendable, exactly as if the
+    /// rewrite had never been attempted (the invariant recovery offers for
+    /// crashes, extended to in-process IO failure).
+    pub(crate) fn rewrite<'a>(
+        &mut self,
+        records: impl IntoIterator<Item = (SessionId, &'a SessionEvent)>,
+    ) -> Result<()> {
+        self.sync()?;
+        self.faults
+            .check(FaultSite::Rewrite)
+            .map_err(|e| io_err(&self.dir, "begin rewrite", e))?;
+        let old_generation = self.writer.generation;
+        let old_bytes = self.generation_bytes(old_generation)?;
+        let new_generation = old_generation + 1;
+
+        let mut scratch = SegmentWriter::new(self.dir.clone(), self.knobs, new_generation, 0);
+        let built = (|| -> Result<()> {
+            for (session, event) in records {
+                scratch.append(session, event, &mut self.faults, &mut self.stats)?;
+            }
+            scratch.sync(&mut self.faults, &mut self.stats)?;
+            commit_marker(&self.dir, new_generation, &mut self.faults)
+        })();
+        if let Err(error) = built {
+            // The new generation never committed: sweep its files
+            // best-effort (recovery would sweep any leftovers too) and
+            // keep appending to the old generation.
+            drop(scratch);
+            let mut sequence = 0;
+            loop {
+                let path = self.dir.join(segment_name(new_generation, sequence));
+                if !path.exists() {
+                    break;
+                }
+                let _ = fs::remove_file(&path);
+                sequence += 1;
+            }
+            return Err(error);
+        }
+
+        // The new generation is committed; the old one is garbage now.
+        self.writer = scratch;
+        let old_marker = self.dir.join(marker_name(old_generation));
+        fs::remove_file(&old_marker).map_err(|e| io_err(&old_marker, "remove old marker", e))?;
+        let mut sequence = 0;
+        loop {
+            let path = self.dir.join(segment_name(old_generation, sequence));
+            if !path.exists() {
+                break;
+            }
+            fs::remove_file(&path).map_err(|e| io_err(&path, "remove old segment", e))?;
+            sequence += 1;
+        }
+        let new_bytes = self.generation_bytes(new_generation)?;
+        self.stats.bytes_reclaimed += old_bytes.saturating_sub(new_bytes) as usize;
+        Ok(())
+    }
+
+    /// Total bytes of this shard's directory (all segment files + markers).
+    pub(crate) fn disk_bytes(&self) -> Result<u64> {
+        let mut total = 0;
+        let entries =
+            fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, "read shard directory", e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&self.dir, "read shard directory", e))?;
+            total += entry
+                .metadata()
+                .map_err(|e| io_err(&entry.path(), "stat", e))?
+                .len();
+        }
+        Ok(total)
+    }
+
+    pub(crate) fn stats(&self) -> LogStats {
+        LogStats {
+            injected_faults: self.faults.injected() as usize,
+            ..self.stats
+        }
+    }
+
+    fn generation_bytes(&self, generation: u64) -> Result<u64> {
+        let mut total = 0;
+        let entries =
+            fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, "read shard directory", e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&self.dir, "read shard directory", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if parse_segment_name(name).is_some_and(|(g, _)| g == generation) {
+                total += entry
+                    .metadata()
+                    .map_err(|e| io_err(&entry.path(), "stat", e))?
+                    .len();
+            }
+        }
+        Ok(total)
     }
 
     /// Resolves a recovered wire event back to a journal event, using the
@@ -611,10 +797,11 @@ impl ShardLog {
                 seed,
             } => {
                 let shared = self
+                    .writer
                     .catalogs
                     .get(catalog.0 as usize)
                     .ok_or_else(|| {
-                        CoreError::Io(format!("dangling catalog reference {}", catalog.0))
+                        CoreError::io_data(format!("dangling catalog reference {}", catalog.0))
                     })?
                     .clone();
                 SessionEvent::Created {
@@ -636,29 +823,27 @@ impl ShardLog {
                 last_shown,
             } => {
                 let Value::Object(entries) = &mut snapshot else {
-                    return Err(CoreError::Io(
-                        "recovered snapshot checkpoint is not a JSON object".into(),
+                    return Err(CoreError::io_data(
+                        "recovered snapshot checkpoint is not a JSON object",
                     ));
                 };
                 let slot = entries
                     .iter_mut()
                     .find(|(key, _)| key == "catalog")
-                    .ok_or_else(|| {
-                        CoreError::Io("recovered snapshot has no catalog field".into())
-                    })?;
+                    .ok_or_else(|| CoreError::io_data("recovered snapshot has no catalog field"))?;
                 let id = slot
                     .1
                     .as_i128()
                     .and_then(|i| u64::try_from(i).ok())
                     .ok_or_else(|| {
-                        CoreError::Io("recovered snapshot catalog reference is not an id".into())
+                        CoreError::io_data("recovered snapshot catalog reference is not an id")
                     })?;
                 slot.1 = catalog_values
                     .get(&id)
-                    .ok_or_else(|| CoreError::Io(format!("dangling catalog reference {id}")))?
+                    .ok_or_else(|| CoreError::io_data(format!("dangling catalog reference {id}")))?
                     .clone();
                 let json = serde_json::to_string(&snapshot)
-                    .map_err(|e| CoreError::Io(format!("reserialise snapshot: {e}")))?;
+                    .map_err(|e| CoreError::io_data(format!("reserialise snapshot: {e}")))?;
                 SessionEvent::Snapshot {
                     json,
                     ops,
@@ -681,6 +866,7 @@ impl Drop for ShardLog {
 mod tests {
     use super::*;
     use crate::config::RecommenderSpec;
+    use crate::fault::FaultKind;
     use pkgrec_core::{EngineConfig, Feedback, Profile};
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -771,7 +957,7 @@ mod tests {
         assert_eq!(replayed, events);
         // Both Created events and the Snapshot reference ONE interned
         // catalog, and recovery shares one Arc across them.
-        assert_eq!(recovered.catalogs.len(), 1);
+        assert_eq!(recovered.writer.catalogs.len(), 1);
         let (SessionEvent::Created { config: a }, SessionEvent::Created { config: b }) =
             (&replayed[0].1, &replayed[3].1)
         else {
@@ -869,7 +1055,7 @@ mod tests {
         drop(next);
         assert!(matches!(
             ShardLog::recover(dir.clone(), &config),
-            Err(CoreError::Io(_))
+            Err(CoreError::Io { .. })
         ));
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -930,6 +1116,134 @@ mod tests {
             ..DurabilityConfig::at("unused")
         };
         assert!(config.validate().is_err());
+        let config = DurabilityConfig {
+            append_retry_budget: 0,
+            ..DurabilityConfig::at("unused")
+        };
+        assert!(config.validate().is_err());
         assert!(DurabilityConfig::at("unused").validate().is_ok());
+    }
+
+    #[test]
+    fn injected_flush_failure_rolls_the_failed_append_out_of_the_buffer() {
+        let dir = temp_dir("fault-flush");
+        let shared = Arc::new(catalog());
+        let events = sample_events(&shared);
+        // Window of 2: the second append triggers the first flush, which
+        // the plan poisons once.
+        let config = DurabilityConfig {
+            flush_every_ops: 2,
+            fault_plan: FaultPlan::once(FaultSite::Flush, 0, FaultKind::StorageFull),
+            ..DurabilityConfig::at(&dir)
+        };
+        let mut log = ShardLog::create(dir.clone(), &config).unwrap();
+        log.append(events[0].0, &events[0].1).unwrap();
+        let err = log.append(events[1].0, &events[1].1).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::Io {
+                    kind: std::io::ErrorKind::StorageFull,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert_eq!(log.stats().injected_faults, 1);
+        // The failed append's bytes rolled back; the first (acked) event is
+        // still buffered and reaches disk with later appends.
+        for (session, event) in &events[2..] {
+            log.append(*session, event).unwrap();
+        }
+        log.sync().unwrap();
+        drop(log);
+        let (_, replayed) = ShardLog::recover(dir.clone(), &config).unwrap();
+        let mut expected = events.clone();
+        expected.remove(1);
+        assert_eq!(replayed, expected);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_append_rolls_back_its_interned_catalog_definition() {
+        let dir = temp_dir("fault-intern");
+        let shared = Arc::new(catalog());
+        // Write-through so the very first append (which interns the
+        // catalog) hits the poisoned flush.
+        let config = DurabilityConfig {
+            flush_every_ops: 1,
+            fault_plan: FaultPlan::once(FaultSite::Flush, 0, FaultKind::WriteZero),
+            ..DurabilityConfig::at(&dir)
+        };
+        let mut log = ShardLog::create(dir.clone(), &config).unwrap();
+        let created = SessionEvent::Created {
+            config: session_config(7, &shared),
+        };
+        let err = log.append(SessionId(0), &created).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Io {
+                kind: std::io::ErrorKind::WriteZero,
+                ..
+            }
+        ));
+        assert!(
+            log.writer.catalogs.is_empty(),
+            "interned catalog rolled back"
+        );
+        assert!(log.writer.intern.is_empty());
+        // Retrying re-interns at a dense id and recovery sees one catalog.
+        log.append(SessionId(0), &created).unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let (recovered, replayed) = ShardLog::recover(dir.clone(), &config).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(recovered.writer.catalogs.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_rewrite_leaves_the_old_generation_committed_and_appendable() {
+        let dir = temp_dir("fault-rewrite");
+        let shared = Arc::new(catalog());
+        let events = sample_events(&shared);
+        // Marker hit 0 is generation 0's create-time commit; hit 1 is the
+        // rewrite's new-generation commit.
+        let config = DurabilityConfig {
+            flush_every_ops: 1,
+            fault_plan: FaultPlan::once(FaultSite::Marker, 1, FaultKind::PermissionDenied),
+            ..DurabilityConfig::at(&dir)
+        };
+        let mut log = ShardLog::create(dir.clone(), &config).unwrap();
+        for (session, event) in &events {
+            log.append(*session, event).unwrap();
+        }
+        log.sync().unwrap();
+
+        let retained: Vec<(SessionId, &SessionEvent)> =
+            events.iter().take(2).map(|(s, e)| (*s, e)).collect();
+        let err = log.rewrite(retained).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Io {
+                kind: std::io::ErrorKind::PermissionDenied,
+                ..
+            }
+        ));
+        // The old generation is still the committed truth and the scratch
+        // output was swept.
+        assert!(dir.join(marker_name(0)).exists());
+        assert!(!dir.join(marker_name(1)).exists());
+        assert!(!dir.join(segment_name(1, 0)).exists());
+
+        // Appends continue in the old generation; a reopen replays the
+        // full, uncompacted history plus the post-failure append.
+        log.append(SessionId(1), &SessionEvent::Presented).unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let (_, replayed) = ShardLog::recover(dir.clone(), &config).unwrap();
+        assert_eq!(replayed.len(), events.len() + 1);
+        assert_eq!(replayed[..events.len()], events[..]);
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

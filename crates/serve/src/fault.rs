@@ -1,0 +1,261 @@
+//! Deterministic fault injection for the durable path.
+//!
+//! A [`FaultPlan`] is plain serde data carried by
+//! [`DurabilityConfig`](crate::DurabilityConfig): a list of
+//! [`PlannedFault`]s, each naming an IO *site* in the durable path
+//! ([`FaultSite`]), the hit index at which it starts firing, how many
+//! consecutive hits it poisons, and the [`std::io::ErrorKind`] class the
+//! injected error carries ([`FaultKind`]).  Every `ShardLog` consults
+//! its injector *before* performing the real IO at each site, so an
+//! injected failure is always clean — no partial bytes reach the
+//! filesystem — and a test can place a failure at an exact `(site, hit)`
+//! coordinate and then prove the store rolled the operation back to a
+//! state bit-for-bit replay-equal to a shadow store that never saw the
+//! fault.
+//!
+//! Hit counters are per shard (each shard builds its injector from the
+//! same plan), except [`FaultSite::Manifest`], whose counter lives in the
+//! store-level injector used while opening or resharding.
+
+use serde::{Deserialize, Serialize};
+
+/// An IO site in the durable path where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultSite {
+    /// A single event append (before it is encoded into the write buffer).
+    Append,
+    /// A group-commit flush of the write buffer to the active segment.
+    Flush,
+    /// An explicit `sync` (`fsync` of the active segment).
+    Sync,
+    /// Sealing a full segment and opening the next one (rotation; the
+    /// very first segment of a generation also opens through this site).
+    Rotate,
+    /// A compaction rewrite (building the next generation).
+    Rewrite,
+    /// Committing a `gen-<g>.ok` generation marker.
+    Marker,
+    /// Writing the `store.json` manifest (store-level open/reshard).
+    Manifest,
+}
+
+impl FaultSite {
+    /// All sites, for building a one-fault-per-site matrix.
+    pub const ALL: [FaultSite; 7] = [
+        FaultSite::Append,
+        FaultSite::Flush,
+        FaultSite::Sync,
+        FaultSite::Rotate,
+        FaultSite::Rewrite,
+        FaultSite::Marker,
+        FaultSite::Manifest,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::Append => 0,
+            FaultSite::Flush => 1,
+            FaultSite::Sync => 2,
+            FaultSite::Rotate => 3,
+            FaultSite::Rewrite => 4,
+            FaultSite::Marker => 5,
+            FaultSite::Manifest => 6,
+        }
+    }
+}
+
+/// The error class an injected fault carries, mirroring the stable
+/// [`std::io::ErrorKind`]s a real disk produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// `ErrorKind::StorageFull` — the disk ran out of space.
+    StorageFull,
+    /// `ErrorKind::PermissionDenied` — the file became unwritable.
+    PermissionDenied,
+    /// `ErrorKind::Interrupted` — a transient signal-interrupted write.
+    Interrupted,
+    /// `ErrorKind::WriteZero` — the device accepted none of the bytes.
+    WriteZero,
+    /// `ErrorKind::Other` — an unclassified failure.
+    Other,
+}
+
+impl FaultKind {
+    /// The `std::io::ErrorKind` this fault class injects.
+    pub fn error_kind(self) -> std::io::ErrorKind {
+        match self {
+            FaultKind::StorageFull => std::io::ErrorKind::StorageFull,
+            FaultKind::PermissionDenied => std::io::ErrorKind::PermissionDenied,
+            FaultKind::Interrupted => std::io::ErrorKind::Interrupted,
+            FaultKind::WriteZero => std::io::ErrorKind::WriteZero,
+            FaultKind::Other => std::io::ErrorKind::Other,
+        }
+    }
+}
+
+/// One planned failure: fire at a `(site, hit-count)` coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedFault {
+    /// The IO site to poison.
+    pub site: FaultSite,
+    /// Zero-based hit index at which the fault starts firing (0 = the
+    /// first time the site is reached).
+    pub after: u64,
+    /// How many consecutive hits fail once firing starts (`u64::MAX` for
+    /// a persistent fault that never clears).
+    pub count: u64,
+    /// The error class the injected failure carries.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of injected IO failures (plain serde data).
+///
+/// The empty plan (the [`Default`]) injects nothing and costs nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The planned failures; multiple faults may target the same site.
+    pub faults: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// A plan with no injected faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan injecting one failure: the `after`-th hit of `site` fails
+    /// once with `kind`, and every later hit succeeds.
+    pub fn once(site: FaultSite, after: u64, kind: FaultKind) -> FaultPlan {
+        FaultPlan::default().and(PlannedFault {
+            site,
+            after,
+            count: 1,
+            kind,
+        })
+    }
+
+    /// A plan injecting a persistent failure: every hit of `site` from
+    /// `after` onwards fails with `kind` until the process restarts the
+    /// store with a different plan.
+    pub fn persistent(site: FaultSite, after: u64, kind: FaultKind) -> FaultPlan {
+        FaultPlan::default().and(PlannedFault {
+            site,
+            after,
+            count: u64::MAX,
+            kind,
+        })
+    }
+
+    /// Adds one more planned fault (builder-style).
+    pub fn and(mut self, fault: PlannedFault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Runtime state of a [`FaultPlan`]: per-site hit counters plus the count
+/// of faults actually injected (surfaced as
+/// [`StoreStats::injected_faults`](crate::StoreStats::injected_faults)).
+#[derive(Debug, Clone)]
+pub(crate) struct FaultInjector {
+    plan: FaultPlan,
+    hits: [u64; FaultSite::ALL.len()],
+    injected: u64,
+}
+
+impl FaultInjector {
+    pub(crate) fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            hits: [0; FaultSite::ALL.len()],
+            injected: 0,
+        }
+    }
+
+    /// Consumes one hit of `site`; returns the injected error if the plan
+    /// poisons this hit.  Called *before* the real IO, so an injected
+    /// failure never leaves partial bytes behind.
+    pub(crate) fn check(&mut self, site: FaultSite) -> std::result::Result<(), std::io::Error> {
+        let hit = self.hits[site.index()];
+        self.hits[site.index()] += 1;
+        for fault in &self.plan.faults {
+            if fault.site == site && hit >= fault.after && hit - fault.after < fault.count {
+                self.injected += 1;
+                return Err(std::io::Error::new(
+                    fault.kind.error_kind(),
+                    format!("injected {:?} fault at {site:?} hit {hit}", fault.kind),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Faults injected so far.
+    pub(crate) fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let mut injector = FaultInjector::new(FaultPlan::none());
+        for site in FaultSite::ALL {
+            for _ in 0..100 {
+                assert!(injector.check(site).is_ok());
+            }
+        }
+        assert_eq!(injector.injected(), 0);
+    }
+
+    #[test]
+    fn once_fires_at_exactly_the_requested_hit() {
+        let mut injector =
+            FaultInjector::new(FaultPlan::once(FaultSite::Flush, 2, FaultKind::StorageFull));
+        assert!(injector.check(FaultSite::Flush).is_ok());
+        assert!(injector.check(FaultSite::Flush).is_ok());
+        let err = injector.check(FaultSite::Flush).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+        assert!(injector.check(FaultSite::Flush).is_ok(), "fires once only");
+        // Other sites are untouched.
+        assert!(injector.check(FaultSite::Append).is_ok());
+        assert_eq!(injector.injected(), 1);
+    }
+
+    #[test]
+    fn persistent_faults_never_clear() {
+        let mut injector = FaultInjector::new(FaultPlan::persistent(
+            FaultSite::Sync,
+            1,
+            FaultKind::PermissionDenied,
+        ));
+        assert!(injector.check(FaultSite::Sync).is_ok());
+        for _ in 0..50 {
+            let err = injector.check(FaultSite::Sync).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
+        }
+        assert_eq!(injector.injected(), 50);
+    }
+
+    #[test]
+    fn plans_are_plain_serde_data() {
+        let plan =
+            FaultPlan::once(FaultSite::Marker, 3, FaultKind::Interrupted).and(PlannedFault {
+                site: FaultSite::Append,
+                after: 0,
+                count: 2,
+                kind: FaultKind::WriteZero,
+            });
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

@@ -109,6 +109,28 @@
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 //!
+//! ## Fault injection & degraded mode
+//!
+//! The durable path is built to be *attacked*: [`DurabilityConfig`]
+//! carries a [`FaultPlan`] (plain serde data) that injects a typed
+//! `std::io::Error` at an exact `(site, hit)` coordinate of any IO site
+//! in the path ([`FaultSite::ALL`] — append, group-commit flush, fsync,
+//! segment rotation, compaction rewrite, generation marker, manifest).
+//! Injection happens *before* the real IO, so no partial bytes ever
+//! land, and the write-ahead contract holds at every site: the failing
+//! operation rolls back and the store stays bit-for-bit replay-equal to
+//! one that never saw the fault.  Failure is also product behaviour,
+//! not an abort: a shard whose durable appends fail
+//! `append_retry_budget` times in a row degrades to read-only —
+//! mutating ops return [`CoreError::Degraded`](pkgrec_core::CoreError)
+//! with the shard attribution, reads and stats keep serving, and a
+//! successful [`SessionStore::sync`] re-arms it once the fault clears.
+//! [`StoreStats`] counts `injected_faults`, `degraded_shards` and
+//! `rolled_back_ops`; the adversarial harness in
+//! `tests/tests/consistency_harness.rs` sweeps the full fault matrix
+//! and fuzzes seeded concurrent schedules against single-threaded
+//! replay.
+//!
 //! [`SessionStore::new`] still builds a memory-only store (tests,
 //! simulations); [`SessionStore::from_journal`] adopts an exported
 //! [`Journal`] wholesale.  To serve whole elicitation sessions
@@ -128,6 +150,7 @@
 
 pub mod config;
 pub mod durable;
+pub mod fault;
 pub mod journal;
 pub mod segment;
 pub mod serving;
@@ -138,6 +161,7 @@ pub use config::{
     SessionId,
 };
 pub use durable::DurabilityConfig;
+pub use fault::{FaultKind, FaultPlan, FaultSite, PlannedFault};
 pub use journal::{Journal, JournalRecord, ReplayedSession, SessionEvent};
 pub use segment::{CatalogId, WireEvent, WireRecord};
 pub use serving::{ServingLoop, SessionDriver, SessionOutcome};

@@ -160,9 +160,9 @@ pub fn write_header(out: &mut Vec<u8>) {
 /// Appends one framed record (`len | crc | payload`) to `out`.
 pub fn encode_record(record: &WireRecord, out: &mut Vec<u8>) -> pkgrec_core::Result<()> {
     let payload = serde_json::to_vec(record)
-        .map_err(|e| pkgrec_core::CoreError::Io(format!("record serialisation: {e}")))?;
+        .map_err(|e| pkgrec_core::CoreError::io_data(format!("record serialisation: {e}")))?;
     let len = u32::try_from(payload.len()).map_err(|_| {
-        pkgrec_core::CoreError::Io(format!(
+        pkgrec_core::CoreError::io_data(format!(
             "record payload of {} bytes overflows the frame",
             payload.len()
         ))
@@ -208,7 +208,7 @@ pub fn decode_segment(bytes: &[u8]) -> pkgrec_core::Result<DecodedSegment> {
             .expect("slice is 4 bytes"),
     );
     if version != SEGMENT_VERSION {
-        return Err(pkgrec_core::CoreError::Io(format!(
+        return Err(pkgrec_core::CoreError::io_data(format!(
             "segment declares wire version {version}, this build speaks {SEGMENT_VERSION}"
         )));
     }

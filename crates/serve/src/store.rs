@@ -38,6 +38,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::{op_rng, shard_of, LiveSession, SessionConfig, SessionId};
 use crate::durable::{read_manifest, shard_dir, write_manifest, DurabilityConfig, ShardLog};
+use crate::fault::FaultInjector;
 use crate::journal::{Journal, SessionEvent};
 use crate::segment::SEGMENT_VERSION;
 
@@ -120,6 +121,15 @@ pub struct StoreStats {
     /// Batched kernel sweeps executed (one per same-catalog group per
     /// [`Shard::op_present_batch`] call).
     pub batched_groups: usize,
+    /// IO failures injected by the [`FaultPlan`](crate::FaultPlan) carried
+    /// in [`DurabilityConfig`]; zero in production (the empty plan).
+    pub injected_faults: usize,
+    /// Shards currently in degraded (read-only) mode — a gauge, not a
+    /// counter: it reflects the state at the moment [`Shard::stats`] ran.
+    pub degraded_shards: usize,
+    /// Operations undone because their durable append failed (a subset of
+    /// `rollbacks`, which also counts compute-failure rollbacks).
+    pub rolled_back_ops: usize,
 }
 
 impl StoreStats {
@@ -140,6 +150,9 @@ impl StoreStats {
         self.eviction_probes += other.eviction_probes;
         self.batched_presents += other.batched_presents;
         self.batched_groups += other.batched_groups;
+        self.injected_faults += other.injected_faults;
+        self.degraded_shards += other.degraded_shards;
+        self.rolled_back_ops += other.rolled_back_ops;
     }
 }
 
@@ -198,10 +211,21 @@ pub struct Shard {
     live_sessions: usize,
     clock: u64,
     stats: StoreStats,
+    /// This shard's index within the store (degraded-error attribution).
+    index: usize,
+    /// Consecutive durable-append failures; reaching the retry budget
+    /// trips the shard into degraded (read-only) mode.
+    append_failures: usize,
+    /// [`DurabilityConfig::append_retry_budget`]; irrelevant for
+    /// memory-only shards, whose appends cannot fail.
+    append_retry_budget: usize,
+    /// Degraded (read-only) mode: mutating operations are refused with
+    /// [`CoreError::Degraded`] until a [`Shard::sync`] succeeds.
+    degraded: bool,
 }
 
 impl Shard {
-    fn new(capacity: usize) -> Self {
+    fn new(index: usize, capacity: usize) -> Self {
         Shard {
             sessions: HashMap::new(),
             journal: Journal::new(),
@@ -212,16 +236,68 @@ impl Shard {
             live_sessions: 0,
             clock: 0,
             stats: StoreStats::default(),
+            index,
+            append_failures: 0,
+            append_retry_budget: usize::MAX,
+            degraded: false,
+        }
+    }
+
+    /// The error every mutating operation returns while the shard is
+    /// degraded.
+    fn degraded_error(&self) -> CoreError {
+        CoreError::Degraded {
+            shard: self.index,
+            reason: format!(
+                "durable append failed {} consecutive times (budget {}); \
+                 the shard serves reads only until a sync() succeeds",
+                self.append_failures, self.append_retry_budget
+            ),
+        }
+    }
+
+    /// Refuses mutating operations while the shard is degraded — checked
+    /// at operation entry, before any compute is spent.
+    fn check_writable(&self) -> Result<()> {
+        if self.degraded {
+            Err(self.degraded_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Whether this shard is currently degraded (read-only).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Books one durable-append failure: the op is being rolled back, and
+    /// exhausting the retry budget trips degraded mode instead of letting
+    /// every future request burn a failing IO path.
+    fn note_append_failure(&mut self) {
+        self.stats.rolled_back_ops += 1;
+        self.append_failures += 1;
+        if self.append_failures >= self.append_retry_budget {
+            self.degraded = true;
         }
     }
 
     /// Appends one event: durable log first (write-ahead), then the
     /// in-memory journal.  When the durable append fails nothing reached
     /// the in-memory journal either, so the caller can roll the session
-    /// back to a consistent state.
+    /// back to a consistent state.  A degraded shard refuses the append
+    /// outright (this is the backstop guard — operations also check at
+    /// entry via `check_writable`, before spending compute).
     fn append_event(&mut self, id: SessionId, event: SessionEvent) -> Result<()> {
+        if self.degraded {
+            return Err(self.degraded_error());
+        }
         if let Some(log) = &mut self.log {
-            log.append(id, &event)?;
+            if let Err(error) = log.append(id, &event) {
+                self.note_append_failure();
+                return Err(error);
+            }
+            self.append_failures = 0;
         }
         self.adopt_record(id, event);
         Ok(())
@@ -423,6 +499,7 @@ impl Shard {
     /// ([`shard_of`]) and must not be in use; the config is validated (the
     /// live session is built) before anything is journaled.
     pub fn create(&mut self, id: SessionId, config: SessionConfig) -> Result<()> {
+        self.check_writable()?;
         if self.sessions.contains_key(&id) {
             return Err(CoreError::InvalidConfig(format!(
                 "session id {id} is already in use on this shard"
@@ -506,6 +583,7 @@ impl Shard {
     /// `Shard::rollback`) so the journal stays bit-identical to the live
     /// state.
     pub fn op_present(&mut self, id: SessionId) -> Result<Vec<Package>> {
+        self.check_writable()?;
         self.ensure_live(id)?;
         let entry = self.sessions.get_mut(&id).expect("live ensured");
         let mut rng = op_rng(entry.config.seed, entry.ops);
@@ -563,6 +641,7 @@ impl Shard {
     /// forms makes the journal authoritative again.  The next touch
     /// rehydrates the pre-batch state.
     pub fn op_present_batch(&mut self, ids: &[SessionId]) -> Result<Vec<Vec<Package>>> {
+        self.check_writable()?;
         // Rehydrate every member first; under capacity pressure a later
         // rehydration can re-spill an earlier member, which the collection
         // pass below routes to the serial fallback.
@@ -703,6 +782,7 @@ impl Shard {
     /// mid-mutation failure (e.g. the maintenance sampler running dry on a
     /// contradictory click) rolls the session back to its journaled state.
     pub fn op_feedback(&mut self, id: SessionId, feedback: Feedback) -> Result<usize> {
+        self.check_writable()?;
         self.ensure_live(id)?;
         let entry = self.sessions.get_mut(&id).expect("live ensured");
         if entry.last_shown.is_empty() {
@@ -741,6 +821,7 @@ impl Shard {
     /// One standalone `recommend` operation (rolls back on failure like the
     /// other operations — a recommend may lazily refill a sample pool).
     pub fn op_recommend(&mut self, id: SessionId) -> Result<Vec<RankedPackage>> {
+        self.check_writable()?;
         self.ensure_live(id)?;
         let entry = self.sessions.get_mut(&id).expect("live ensured");
         let mut rng = op_rng(entry.config.seed, entry.ops);
@@ -780,6 +861,7 @@ impl Shard {
     /// (the per-shard form of [`SessionStore::snapshot`]).  Errors for
     /// baseline sessions, whose durable form is their journal.
     pub fn snapshot_now(&mut self, id: SessionId) -> Result<String> {
+        self.check_writable()?;
         self.ensure_live(id)?;
         // Borrow dance: take the live session out so the shared checkpoint
         // writer can borrow the shard, then put it straight back (the
@@ -801,11 +883,18 @@ impl Shard {
     /// Flushes (and fsyncs) this shard's durable log, if it has one — the
     /// per-shard form of [`SessionStore::sync`], so a worker thread that
     /// owns the shard exclusively can make its events durable at shutdown.
+    ///
+    /// A successful sync also *re-arms* a degraded shard: the sync proved
+    /// the device accepts writes again, so mutating operations resume.  (If
+    /// the underlying fault persists, the next failing appends simply trip
+    /// degraded mode again once the retry budget is spent.)
     pub fn sync(&mut self) -> Result<()> {
-        match &mut self.log {
-            Some(log) => log.sync(),
-            None => Ok(()),
+        if let Some(log) = &mut self.log {
+            log.sync()?;
         }
+        self.append_failures = 0;
+        self.degraded = false;
+        Ok(())
     }
 
     /// Number of sessions registered on this shard (live and spilled).
@@ -831,6 +920,10 @@ impl Shard {
             stats.bytes_appended += durable.bytes_appended;
             stats.bytes_reclaimed += durable.bytes_reclaimed;
             stats.group_commits += durable.group_commits;
+            stats.injected_faults += durable.injected_faults;
+        }
+        if self.degraded {
+            stats.degraded_shards += 1;
         }
         stats
     }
@@ -918,7 +1011,7 @@ impl SessionStore {
         config.validate()?;
         Ok(SessionStore {
             shards: (0..config.shards)
-                .map(|_| Shard::new(config.capacity_per_shard))
+                .map(|i| Shard::new(i, config.capacity_per_shard))
                 .collect(),
             next_id: 0,
         })
@@ -965,19 +1058,28 @@ impl SessionStore {
         durability.validate()?;
         let root = durability.dir.clone();
         std::fs::create_dir_all(&root).map_err(|e| {
-            CoreError::Io(format!("create store directory {}: {e}", root.display()))
+            CoreError::io(
+                e.kind(),
+                format!("create store directory {}: {e}", root.display()),
+            )
         })?;
+        // Store-level injector: owns the hit counter of the Manifest site
+        // (per-shard sites count inside each shard's own `ShardLog`).
+        let mut faults = FaultInjector::new(durability.fault_plan.clone());
         let mut store = SessionStore::new(config)?;
+        for shard in &mut store.shards {
+            shard.append_retry_budget = durability.append_retry_budget;
+        }
         match read_manifest(&root)? {
             None => {
                 // Fresh durable store.
                 for (i, shard) in store.shards.iter_mut().enumerate() {
                     shard.log = Some(ShardLog::create(shard_dir(&root, i), &durability)?);
                 }
-                write_manifest(&root, config.shards)?;
+                write_manifest(&root, config.shards, &mut faults)?;
             }
             Some(manifest) if manifest.version != SEGMENT_VERSION => {
-                return Err(CoreError::Io(format!(
+                return Err(CoreError::io_data(format!(
                     "store at {} has wire version {}, this build speaks {SEGMENT_VERSION}",
                     root.display(),
                     manifest.version
@@ -1006,7 +1108,10 @@ impl SessionStore {
                 for i in 0..manifest.shards {
                     let dir = shard_dir(&root, i);
                     std::fs::remove_dir_all(&dir).map_err(|e| {
-                        CoreError::Io(format!("remove old shard directory {}: {e}", dir.display()))
+                        CoreError::io(
+                            e.kind(),
+                            format!("remove old shard directory {}: {e}", dir.display()),
+                        )
                     })?;
                 }
                 for (i, shard) in store.shards.iter_mut().enumerate() {
@@ -1021,7 +1126,7 @@ impl SessionStore {
                     store.next_id = store.next_id.max(next);
                     shard.persist_journal()?;
                 }
-                write_manifest(&root, config.shards)?;
+                write_manifest(&root, config.shards, &mut faults)?;
             }
         }
         Ok(store)
@@ -1863,5 +1968,109 @@ mod tests {
             .map(|&id| serial.shards_mut()[0].op_present(id).unwrap())
             .collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn persistent_append_failure_degrades_the_shard_and_sync_rearms() {
+        use crate::fault::{FaultKind, FaultPlan, FaultSite, PlannedFault};
+        let dir = temp_dir("degraded");
+        let config = StoreConfig {
+            shards: 1,
+            capacity_per_shard: 8,
+        };
+        let durability = DurabilityConfig {
+            flush_every_ops: 1,
+            append_retry_budget: 2,
+            // Flush hits 0-2 carry Created/Presented/Feedback; hits 3 and 4
+            // are poisoned, then the "disk" recovers.
+            fault_plan: FaultPlan::default().and(PlannedFault {
+                site: FaultSite::Flush,
+                after: 3,
+                count: 2,
+                kind: FaultKind::StorageFull,
+            }),
+            ..DurabilityConfig::at(&dir)
+        };
+        let mut store = SessionStore::open_with(config, durability).unwrap();
+        let id = store.create(engine_session(11)).unwrap();
+        let shown = store.present(id).unwrap();
+        let index = choose(&catalog(), &shown);
+        store.feedback(id, Feedback::Click { index }).unwrap();
+
+        // Both poisoned appends fail with the injected IO class and roll
+        // back; the second exhausts the retry budget.
+        for attempt in 0..2 {
+            assert!(
+                matches!(
+                    store.present(id),
+                    Err(CoreError::Io {
+                        kind: std::io::ErrorKind::StorageFull,
+                        ..
+                    })
+                ),
+                "attempt {attempt} surfaces the injected fault class"
+            );
+        }
+        // Degraded: mutations are refused with the typed error...
+        assert!(matches!(
+            store.present(id),
+            Err(CoreError::Degraded { shard: 0, .. })
+        ));
+        assert!(matches!(
+            store.create(engine_session(12)),
+            Err(CoreError::Degraded { .. })
+        ));
+        // ...while reads (rehydration included) keep serving.
+        assert_eq!(store.state(id).unwrap().rounds, 1);
+        assert!(store.session_config(id).is_ok());
+        let stats = store.stats();
+        assert_eq!(stats.degraded_shards, 1);
+        assert_eq!(stats.rolled_back_ops, 2);
+        assert_eq!(stats.injected_faults, 2);
+        assert!(stats.rollbacks >= 2);
+
+        // The fault cleared after two hits; a successful sync re-arms the
+        // shard and elicitation continues exactly where the journal left it.
+        store.sync().unwrap();
+        assert_eq!(store.stats().degraded_shards, 0);
+        let resumed = store.present(id).unwrap();
+
+        // The failed attempts consumed nothing: a shadow store that never
+        // saw a fault presents the same rounds from the same op indices.
+        let mut shadow = SessionStore::new(config).unwrap();
+        let sid = shadow.create(engine_session(11)).unwrap();
+        assert_eq!(shadow.present(sid).unwrap(), shown);
+        shadow.feedback(sid, Feedback::Click { index }).unwrap();
+        assert_eq!(shadow.present(sid).unwrap(), resumed);
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_write_fault_fails_the_open_loudly_and_cleanly() {
+        use crate::fault::{FaultKind, FaultPlan, FaultSite};
+        let dir = temp_dir("manifest-fault");
+        let config = StoreConfig {
+            shards: 2,
+            capacity_per_shard: 4,
+        };
+        let poisoned = DurabilityConfig {
+            fault_plan: FaultPlan::once(FaultSite::Manifest, 0, FaultKind::PermissionDenied),
+            ..DurabilityConfig::at(&dir)
+        };
+        assert!(matches!(
+            SessionStore::open_with(config, poisoned),
+            Err(CoreError::Io {
+                kind: std::io::ErrorKind::PermissionDenied,
+                ..
+            })
+        ));
+        // No manifest was written, so a clean reopen starts the store
+        // fresh and serves normally.
+        let mut store = SessionStore::open_with(config, DurabilityConfig::at(&dir)).unwrap();
+        let id = store.create(engine_session(3)).unwrap();
+        store.present(id).unwrap();
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

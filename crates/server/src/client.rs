@@ -7,8 +7,18 @@
 //! swapping the receiver.  Typed [`WireError`](crate::protocol::WireError)
 //! replies are mapped back into [`CoreError`]
 //! variants (`UnknownSession` keeps its id through the round trip).
+//!
+//! ## Retries
+//!
+//! *Idempotent* verbs — [`Client::recommend`], [`Client::snapshot`],
+//! [`Client::stats`] — transparently survive a lost connection: on a
+//! connection-loss error class the client reconnects to the resolved
+//! address with bounded exponential backoff ([`RetryPolicy`]) and resends
+//! the request.  Mutating verbs (`create`, `present`, `feedback`) never
+//! retry automatically — a resend could double-apply the operation — so
+//! their connection-loss errors surface to the caller.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use pkgrec_core::{CoreError, Feedback, Package, RankedPackage, Result};
@@ -18,11 +28,56 @@ use crate::protocol::{
     read_hello, read_message, write_frame, Request, Response, DEFAULT_MAX_FRAME_LEN,
 };
 
+/// Bounded exponential backoff for reconnect-and-resend of idempotent
+/// requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Reconnect attempts per request beyond the first try (0 disables
+    /// retries entirely).
+    pub attempts: usize,
+    /// Backoff before the first reconnect; doubles per attempt.
+    pub initial_backoff: Duration,
+    /// Ceiling the doubling backoff saturates at.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Whether an error means "the connection is gone" (worth a reconnect)
+/// rather than "the server answered with an error" (never retried).
+fn is_connection_loss(error: &CoreError) -> bool {
+    use std::io::ErrorKind;
+    matches!(
+        error,
+        CoreError::Io { kind, .. } if matches!(
+            kind,
+            ErrorKind::BrokenPipe
+                | ErrorKind::ConnectionReset
+                | ErrorKind::ConnectionAborted
+                | ErrorKind::ConnectionRefused
+                | ErrorKind::NotConnected
+                | ErrorKind::UnexpectedEof
+        )
+    )
+}
+
 /// A blocking connection to a [`Server`](crate::Server).
 pub struct Client {
     stream: TcpStream,
+    /// The resolved address, kept for reconnects.
+    addr: SocketAddr,
     max_frame_len: usize,
     timeout: Duration,
+    retry: RetryPolicy,
+    retries: u64,
 }
 
 impl Client {
@@ -37,40 +92,92 @@ impl Client {
         timeout: Duration,
         max_frame_len: usize,
     ) -> Result<Client> {
-        let stream =
-            TcpStream::connect(addr).map_err(|e| CoreError::Io(format!("connect failed: {e}")))?;
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| CoreError::io(e.kind(), format!("resolve failed: {e}")))?
+            .next()
+            .ok_or_else(|| CoreError::io_data("address resolved to nothing"))?;
+        let stream = Client::open_stream(addr, timeout)?;
+        Ok(Client {
+            stream,
+            addr,
+            max_frame_len,
+            timeout,
+            retry: RetryPolicy::default(),
+            retries: 0,
+        })
+    }
+
+    /// Dials the resolved address, verifies the hello, sets the timeouts.
+    fn open_stream(addr: SocketAddr, timeout: Duration) -> Result<TcpStream> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| CoreError::io(e.kind(), format!("connect failed: {e}")))?;
         stream
             .set_nodelay(true)
-            .map_err(|e| CoreError::Io(format!("set_nodelay failed: {e}")))?;
+            .map_err(|e| CoreError::io(e.kind(), format!("set_nodelay failed: {e}")))?;
         // The hello is raw bytes (not framed): give it one blocking read
         // bounded by the full request timeout, then drop to the short
         // polling timeout the frame reader expects.
         stream
             .set_read_timeout(Some(timeout))
-            .map_err(|e| CoreError::Io(format!("set_read_timeout failed: {e}")))?;
+            .map_err(|e| CoreError::io(e.kind(), format!("set_read_timeout failed: {e}")))?;
         let mut stream = stream;
         read_hello(&mut stream)?;
         stream
             .set_read_timeout(Some(Duration::from_millis(5)))
-            .map_err(|e| CoreError::Io(format!("set_read_timeout failed: {e}")))?;
-        Ok(Client {
-            stream,
-            max_frame_len,
-            timeout,
-        })
+            .map_err(|e| CoreError::io(e.kind(), format!("set_read_timeout failed: {e}")))?;
+        Ok(stream)
+    }
+
+    /// Replaces the default [`RetryPolicy`] for the idempotent verbs.
+    pub fn set_retry(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Reconnect attempts made so far (successful or not) — one per
+    /// connection-loss retry of an idempotent request.
+    pub fn retries(&self) -> u64 {
+        self.retries
     }
 
     /// Sends one request and awaits its reply (bounded by the timeout).
+    /// Never retries: use the typed verbs to get retry semantics.
     pub fn request(&mut self, request: &Request) -> Result<Response> {
         write_frame(&mut self.stream, request)?;
         self.read_reply::<Response>()
+    }
+
+    /// [`Client::request`] for idempotent verbs: a connection-loss error
+    /// triggers reconnect-and-resend under the bounded backoff policy.
+    fn request_idempotent(&mut self, request: &Request) -> Result<Response> {
+        let mut backoff = self.retry.initial_backoff;
+        let mut attempt = 0;
+        loop {
+            let error = match self.request(request) {
+                Ok(response) => return Ok(response),
+                Err(e) if is_connection_loss(&e) => e,
+                Err(e) => return Err(e),
+            };
+            if attempt >= self.retry.attempts {
+                return Err(error);
+            }
+            attempt += 1;
+            self.retries += 1;
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(self.retry.max_backoff);
+            // A failed reconnect keeps the dead stream; the next loop
+            // iteration fails fast and consumes another attempt.
+            if let Ok(stream) = Client::open_stream(self.addr, self.timeout) {
+                self.stream = stream;
+            }
+        }
     }
 
     fn read_reply<T: serde::Deserialize>(&mut self) -> Result<T> {
         let stop = crate::protocol::deadline_stop(self.timeout);
         match read_message::<_, T>(&mut self.stream, self.max_frame_len, &stop) {
             Ok(Ok(value)) => Ok(value),
-            Ok(Err(parse_error)) => Err(CoreError::Io(format!(
+            Ok(Err(parse_error)) => Err(CoreError::io_data(format!(
                 "unparseable server reply: {parse_error}"
             ))),
             Err(frame_error) => Err(frame_error.into_core()),
@@ -101,25 +208,30 @@ impl Client {
         }
     }
 
-    /// The session's current top-k recommendation.
+    /// The session's current top-k recommendation.  Idempotent: survives
+    /// a lost connection by reconnecting under the [`RetryPolicy`].
     pub fn recommend(&mut self, session: u64) -> Result<Vec<RankedPackage>> {
-        match self.request(&Request::Recommend { session })? {
+        match self.request_idempotent(&Request::Recommend { session })? {
             Response::Recommended { ranked } => Ok(ranked),
             other => unexpected("Recommend", other),
         }
     }
 
     /// Serialises the session's snapshot, journaling it as a checkpoint.
+    /// Idempotent (a re-sent checkpoint replays identically): survives a
+    /// lost connection by reconnecting under the [`RetryPolicy`].
     pub fn snapshot(&mut self, session: u64) -> Result<String> {
-        match self.request(&Request::Snapshot { session })? {
+        match self.request_idempotent(&Request::Snapshot { session })? {
             Response::Snapshotted { snapshot } => Ok(snapshot),
             other => unexpected("Snapshot", other),
         }
     }
 
-    /// Store-wide counters plus the resident session count.
+    /// Store-wide counters plus the resident session count.  Idempotent:
+    /// survives a lost connection by reconnecting under the
+    /// [`RetryPolicy`].
     pub fn stats(&mut self) -> Result<(usize, StoreStats)> {
-        match self.request(&Request::Stats)? {
+        match self.request_idempotent(&Request::Stats)? {
             Response::Stats { sessions, stats } => Ok((sessions, stats)),
             other => unexpected("Stats", other),
         }
@@ -139,7 +251,7 @@ impl Client {
 fn unexpected<T>(verb: &str, response: Response) -> Result<T> {
     match response {
         Response::Error(wire) => Err(wire.to_core()),
-        other => Err(CoreError::Io(format!(
+        other => Err(CoreError::io_data(format!(
             "protocol violation: {verb} answered with {other:?}"
         ))),
     }

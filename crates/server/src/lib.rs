@@ -90,7 +90,7 @@ pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use loadgen::{LatencyHistogram, LoadConfig, LoadReport};
 pub use protocol::{Request, Response};
 pub use server::{ServeReport, Server, ServerConfig, ServerControl};

@@ -192,6 +192,9 @@ pub struct LoadReport {
     pub rounds: usize,
     /// Wire requests issued (create/present/feedback/recommend).
     pub requests: usize,
+    /// Reconnect-and-resend attempts the clients' idempotent verbs made
+    /// after a lost connection (0 against a healthy server).
+    pub retries: u64,
     /// Wire results that diverged from the in-process shadow store
     /// (must be 0: the determinism contract extends across the wire).
     pub mismatches: usize,
@@ -221,6 +224,7 @@ struct ClientOutcome {
     requests: usize,
     mismatches: usize,
     sessions: usize,
+    retries: u64,
 }
 
 /// Builds the deterministic storefront catalog every load-generated
@@ -292,7 +296,10 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> Result<LoadReport> {
             .into_iter()
             .map(|h| match h.join() {
                 Ok(outcome) => outcome,
-                Err(_) => Err(CoreError::Io("load client thread panicked".into())),
+                Err(_) => Err(CoreError::io(
+                    std::io::ErrorKind::Other,
+                    "load client thread panicked",
+                )),
             })
             .collect()
     });
@@ -302,12 +309,14 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> Result<LoadReport> {
     let mut requests = 0usize;
     let mut mismatches = 0usize;
     let mut sessions = 0usize;
+    let mut retries = 0u64;
     for outcome in outcomes {
         let outcome = outcome?;
         histogram.merge(&outcome.histogram);
         requests += outcome.requests;
         mismatches += outcome.mismatches;
         sessions += outcome.sessions;
+        retries += outcome.retries;
     }
     let secs = elapsed.as_secs_f64().max(1e-9);
     Ok(LoadReport {
@@ -315,6 +324,7 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> Result<LoadReport> {
         sessions,
         rounds: config.rounds,
         requests,
+        retries,
         mismatches,
         shadow_checked: config.shadow_check,
         elapsed_secs: secs,
@@ -356,6 +366,7 @@ fn drive_client(
         requests: 0,
         mismatches: 0,
         sessions: 0,
+        retries: 0,
     };
 
     for i in (0..config.sessions as u64).filter(|i| *i as usize % config.clients == client_index) {
@@ -404,6 +415,7 @@ fn drive_client(
         }
         outcome.sessions += 1;
     }
+    outcome.retries = wire.retries();
     Ok(outcome)
 }
 

@@ -35,7 +35,7 @@ use serde::{Deserialize, Serialize};
 pub const HELLO_MAGIC: [u8; 7] = *b"PKGSRV\0";
 
 /// Wire protocol version, bumped on any framing or payload schema change.
-pub const PROTOCOL_VERSION: u32 = 2;
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Hello length: magic + u32 LE version.
 pub const HELLO_LEN: usize = HELLO_MAGIC.len() + 4;
@@ -161,6 +161,10 @@ pub enum ErrorKind {
     ShuttingDown,
     /// An I/O failure inside the store (durable journal).
     Io,
+    /// The addressed shard is in read-only degraded mode after persistent
+    /// durable-IO failure; mutating requests are refused until a
+    /// successful `Sync` re-arms it.
+    Degraded,
     /// Any other store-side failure; `message` carries the rendered error.
     Internal,
 }
@@ -174,6 +178,11 @@ pub struct WireError {
     pub message: String,
     /// The session the failing request addressed, when known.
     pub session: Option<u64>,
+    /// For [`ErrorKind::Io`]: the `std::io::ErrorKind` name (its `Debug`
+    /// rendering), so clients assert on the fault class, not the message.
+    pub io_kind: Option<String>,
+    /// For [`ErrorKind::Degraded`]: the index of the degraded shard.
+    pub shard: Option<u64>,
 }
 
 impl WireError {
@@ -183,6 +192,8 @@ impl WireError {
             kind,
             message: message.into(),
             session: None,
+            io_kind: None,
+            shard: None,
         }
     }
 
@@ -192,8 +203,20 @@ impl WireError {
         self
     }
 
+    /// Attaches the I/O fault class (for [`ErrorKind::Io`]).
+    pub fn with_io_kind(mut self, kind: std::io::ErrorKind) -> WireError {
+        self.io_kind = Some(format!("{kind:?}"));
+        self
+    }
+
+    /// Attaches the degraded shard index (for [`ErrorKind::Degraded`]).
+    pub fn with_shard(mut self, shard: usize) -> WireError {
+        self.shard = Some(shard as u64);
+        self
+    }
+
     /// Maps a store error onto the wire, preserving the variants a client
-    /// can act on (`UnknownSession`, `InvalidConfig`, `Io`).
+    /// can act on (`UnknownSession`, `InvalidConfig`, `Io`, `Degraded`).
     pub fn from_core(error: &CoreError) -> WireError {
         match error {
             CoreError::UnknownSession(id) => {
@@ -202,7 +225,12 @@ impl WireError {
             CoreError::InvalidConfig(_) => {
                 WireError::new(ErrorKind::InvalidRequest, error.to_string())
             }
-            CoreError::Io(_) => WireError::new(ErrorKind::Io, error.to_string()),
+            CoreError::Io { kind, message } => {
+                WireError::new(ErrorKind::Io, message.clone()).with_io_kind(*kind)
+            }
+            CoreError::Degraded { shard, reason } => {
+                WireError::new(ErrorKind::Degraded, reason.clone()).with_shard(*shard)
+            }
             other => WireError::new(ErrorKind::Internal, other.to_string()),
         }
     }
@@ -215,9 +243,52 @@ impl WireError {
                 CoreError::UnknownSession(self.session.unwrap_or(u64::MAX))
             }
             ErrorKind::InvalidRequest => CoreError::InvalidConfig(self.message.clone()),
-            ErrorKind::Io => CoreError::Io(self.message.clone()),
-            _ => CoreError::Io(format!("server error ({:?}): {}", self.kind, self.message)),
+            ErrorKind::Io => CoreError::io(
+                self.io_kind
+                    .as_deref()
+                    .map(parse_io_kind)
+                    .unwrap_or(std::io::ErrorKind::Other),
+                self.message.clone(),
+            ),
+            ErrorKind::Degraded => CoreError::Degraded {
+                shard: self.shard.unwrap_or(u64::MAX) as usize,
+                reason: self.message.clone(),
+            },
+            _ => CoreError::io(
+                std::io::ErrorKind::Other,
+                format!("server error ({:?}): {}", self.kind, self.message),
+            ),
         }
+    }
+}
+
+/// Parses a `std::io::ErrorKind` back from its `Debug` name (the inverse
+/// of [`WireError::with_io_kind`]); unknown names collapse to `Other`.
+pub fn parse_io_kind(name: &str) -> std::io::ErrorKind {
+    use std::io::ErrorKind::*;
+    match name {
+        "NotFound" => NotFound,
+        "PermissionDenied" => PermissionDenied,
+        "ConnectionRefused" => ConnectionRefused,
+        "ConnectionReset" => ConnectionReset,
+        "ConnectionAborted" => ConnectionAborted,
+        "NotConnected" => NotConnected,
+        "AddrInUse" => AddrInUse,
+        "AddrNotAvailable" => AddrNotAvailable,
+        "BrokenPipe" => BrokenPipe,
+        "AlreadyExists" => AlreadyExists,
+        "WouldBlock" => WouldBlock,
+        "InvalidInput" => InvalidInput,
+        "InvalidData" => InvalidData,
+        "TimedOut" => TimedOut,
+        "WriteZero" => WriteZero,
+        "StorageFull" => StorageFull,
+        "QuotaExceeded" => QuotaExceeded,
+        "Interrupted" => Interrupted,
+        "Unsupported" => Unsupported,
+        "UnexpectedEof" => UnexpectedEof,
+        "OutOfMemory" => OutOfMemory,
+        _ => Other,
     }
 }
 
@@ -236,7 +307,12 @@ pub enum FrameError {
         len: usize,
     },
     /// A hard I/O error (not a read timeout) on the socket.
-    Io(String),
+    Io {
+        /// The OS error class, preserved for retry decisions.
+        kind: std::io::ErrorKind,
+        /// Rendered error.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for FrameError {
@@ -246,22 +322,32 @@ impl std::fmt::Display for FrameError {
             FrameError::Stopped => write!(f, "stopped while waiting for a frame"),
             FrameError::Corrupt(msg) => write!(f, "corrupt frame: {msg}"),
             FrameError::Oversized { len } => write!(f, "oversized frame: {len} bytes"),
-            FrameError::Io(msg) => write!(f, "i/o error: {msg}"),
+            FrameError::Io { message, .. } => write!(f, "i/o error: {message}"),
         }
     }
 }
 
 impl FrameError {
-    /// Renders this as the store's error type (for client-side bubbling).
+    /// Renders this as the store's error type (for client-side bubbling),
+    /// mapping each framing failure onto the I/O class a caller would
+    /// retry on: a clean hang-up is `ConnectionAborted`, a deadline is
+    /// `TimedOut`, torn or mismatched bytes are `InvalidData`.
     pub fn into_core(self) -> CoreError {
-        CoreError::Io(self.to_string())
+        let kind = match &self {
+            FrameError::Closed => std::io::ErrorKind::ConnectionAborted,
+            FrameError::Stopped => std::io::ErrorKind::TimedOut,
+            FrameError::Corrupt(_) => std::io::ErrorKind::InvalidData,
+            FrameError::Oversized { .. } => std::io::ErrorKind::InvalidData,
+            FrameError::Io { kind, .. } => *kind,
+        };
+        CoreError::io(kind, self.to_string())
     }
 }
 
 /// Encodes a value as one frame: `[len|crc32|JSON]`.
 pub fn encode_frame<T: Serialize>(value: &T) -> Result<Vec<u8>> {
     let payload = serde_json::to_vec(value)
-        .map_err(|e| CoreError::Io(format!("frame encode failed: {e}")))?;
+        .map_err(|e| CoreError::io_data(format!("frame encode failed: {e}")))?;
     let mut frame = Vec::with_capacity(FRAME_PREFIX_LEN + payload.len());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -275,7 +361,7 @@ pub fn write_frame<W: Write, T: Serialize>(writer: &mut W, value: &T) -> Result<
     writer
         .write_all(&frame)
         .and_then(|()| writer.flush())
-        .map_err(|e| CoreError::Io(format!("frame write failed: {e}")))
+        .map_err(|e| CoreError::io(e.kind(), format!("frame write failed: {e}")))
 }
 
 /// Writes the 11-byte hello (magic + version) that opens a connection.
@@ -286,7 +372,7 @@ pub fn write_hello<W: Write>(writer: &mut W) -> Result<()> {
     writer
         .write_all(&hello)
         .and_then(|()| writer.flush())
-        .map_err(|e| CoreError::Io(format!("hello write failed: {e}")))
+        .map_err(|e| CoreError::io(e.kind(), format!("hello write failed: {e}")))
 }
 
 /// Reads and verifies the hello, returning the server's protocol version.
@@ -295,15 +381,13 @@ pub fn read_hello<R: Read>(reader: &mut R) -> Result<u32> {
     let mut hello = [0u8; HELLO_LEN];
     reader
         .read_exact(&mut hello)
-        .map_err(|e| CoreError::Io(format!("hello read failed: {e}")))?;
+        .map_err(|e| CoreError::io(e.kind(), format!("hello read failed: {e}")))?;
     if hello[..HELLO_MAGIC.len()] != HELLO_MAGIC {
-        return Err(CoreError::Io(
-            "not a pkgrec server (bad hello magic)".into(),
-        ));
+        return Err(CoreError::io_data("not a pkgrec server (bad hello magic)"));
     }
     let version = u32::from_le_bytes(hello[HELLO_MAGIC.len()..].try_into().expect("4 bytes"));
     if version != PROTOCOL_VERSION {
-        return Err(CoreError::Io(format!(
+        return Err(CoreError::io_data(format!(
             "protocol version mismatch: server speaks v{version}, client speaks v{PROTOCOL_VERSION}"
         )));
     }
@@ -343,7 +427,12 @@ fn read_exact_polling<R: Read>(
                     return Err(FrameError::Stopped);
                 }
             }
-            Err(e) => return Err(FrameError::Io(e.to_string())),
+            Err(e) => {
+                return Err(FrameError::Io {
+                    kind: e.kind(),
+                    message: e.to_string(),
+                })
+            }
         }
     }
     Ok(())
@@ -492,6 +581,46 @@ mod tests {
             ErrorKind::Internal => {}
             kind => panic!("expected Internal, got {kind:?}"),
         }
+    }
+
+    #[test]
+    fn wire_error_round_trips_io_kind_and_degraded_shard() {
+        let io = CoreError::io(std::io::ErrorKind::StorageFull, "segment write: disk full");
+        let wire = WireError::from_core(&io);
+        assert_eq!(wire.kind, ErrorKind::Io);
+        assert_eq!(wire.io_kind.as_deref(), Some("StorageFull"));
+        assert_eq!(wire.to_core(), io);
+
+        let degraded = CoreError::Degraded {
+            shard: 3,
+            reason: "append retry budget exhausted".into(),
+        };
+        let wire = WireError::from_core(&degraded);
+        assert_eq!(wire.kind, ErrorKind::Degraded);
+        assert_eq!(wire.shard, Some(3));
+        assert_eq!(wire.to_core(), degraded);
+    }
+
+    #[test]
+    fn io_kind_names_parse_back_to_themselves() {
+        use std::io::ErrorKind::*;
+        for kind in [
+            NotFound,
+            PermissionDenied,
+            ConnectionReset,
+            ConnectionAborted,
+            BrokenPipe,
+            InvalidData,
+            TimedOut,
+            WriteZero,
+            StorageFull,
+            Interrupted,
+            UnexpectedEof,
+            Other,
+        ] {
+            assert_eq!(parse_io_kind(&format!("{kind:?}")), kind);
+        }
+        assert_eq!(parse_io_kind("SomeFutureKind"), Other);
     }
 
     #[test]

@@ -315,7 +315,9 @@ fn serve_connection(
                 }
                 continue;
             }
-            Err(FrameError::Closed) | Err(FrameError::Stopped) | Err(FrameError::Io(_)) => return,
+            Err(FrameError::Closed) | Err(FrameError::Stopped) | Err(FrameError::Io { .. }) => {
+                return
+            }
             Err(FrameError::Oversized { len }) => {
                 // The declared payload was never read, so the stream can't
                 // resync: reply once, then close.

@@ -44,10 +44,10 @@ fn main() -> Result<()> {
 
     // ---- serve: bind an ephemeral port, run the loop on its own thread ---
     let server = Server::bind("127.0.0.1:0", ServerConfig::default())
-        .map_err(|e| CoreError::Io(format!("bind: {e}")))?;
+        .map_err(|e| CoreError::io(e.kind(), format!("bind: {e}")))?;
     let addr = server
         .local_addr()
-        .map_err(|e| CoreError::Io(format!("local addr: {e}")))?;
+        .map_err(|e| CoreError::io(e.kind(), format!("local addr: {e}")))?;
     let control = server.control();
     let handle = std::thread::spawn(move || {
         let mut store = store;
@@ -115,10 +115,10 @@ fn main() -> Result<()> {
         },
     )?;
     let server = Server::bind("127.0.0.1:0", ServerConfig::default())
-        .map_err(|e| CoreError::Io(format!("rebind: {e}")))?;
+        .map_err(|e| CoreError::io(e.kind(), format!("rebind: {e}")))?;
     let addr = server
         .local_addr()
-        .map_err(|e| CoreError::Io(format!("local addr: {e}")))?;
+        .map_err(|e| CoreError::io(e.kind(), format!("local addr: {e}")))?;
     let control = server.control();
     let handle = std::thread::spawn(move || {
         let mut store = reborn;
