@@ -343,6 +343,101 @@ impl RecommenderEngine {
         Ok(shown)
     }
 
+    /// Runs the *mutating* half of one `present` round and captures every
+    /// artefact the scoring sweep needs, without running the sweep itself.
+    ///
+    /// This is the submission side of the batched-present decomposition
+    /// (`prepare_present` → [`score_stacked`] → [`RecommenderEngine::present_from_scores`]):
+    /// an empty pool resamples through the caller's RNG exactly where the
+    /// serial [`RecommenderEngine::present`] would, candidate discovery
+    /// (`Top-k-Pkg`) runs the same per-engine call and merges its search
+    /// stats, and the current pool rows are copied out so the sweep can run
+    /// *after* the engine borrow ends — on another thread, stacked with
+    /// other sessions' preps, or locally as a singleton group.
+    ///
+    /// The RNG must not be touched between this call and the matching
+    /// [`RecommenderEngine::present_from_scores`]: the serial stream order
+    /// within one present is resample → discovery (no draws) → random
+    /// exploration tail.
+    pub fn prepare_present(&mut self, rng: &mut dyn RngCore) -> Result<PresentPrep> {
+        // The serial `present` resamples an empty pool from the caller's RNG
+        // before anything else; keep that stream position.
+        if self.pool.is_empty() {
+            self.resample(rng)?;
+        }
+        let (candidates, vectors, per_sample, stats) = recommender::discover_candidates(
+            &self.context,
+            &self.catalog,
+            &self.sorted_lists,
+            &self.pool,
+            self.per_sample_k(),
+            self.num_threads,
+        )?;
+        self.search_stats.merge(&stats);
+        Ok(PresentPrep {
+            candidates,
+            vectors,
+            per_sample,
+            samples: self.pool.weight_matrix().clone(),
+            num_threads: self.num_threads,
+        })
+    }
+
+    /// Runs the post-sweep half of one `present` round: per-sample rankings
+    /// read back through the union remap, semantic aggregation, and the
+    /// random exploration tail drawn from the *same* RNG that was handed to
+    /// [`RecommenderEngine::prepare_present`].
+    ///
+    /// `member` is this prep's position in the `preps` slice handed to
+    /// [`score_stacked`].  The result is bit-identical to what the serial
+    /// [`RecommenderEngine::present`] would have returned from the same
+    /// state and RNG — every score cell is the same feature-ordered dot
+    /// product regardless of what else shares the stack.
+    ///
+    /// # Panics
+    /// Panics if `member` does not index this prep's slot in `stacked`.
+    pub fn present_from_scores(
+        &self,
+        prep: &PresentPrep,
+        member: usize,
+        stacked: &StackedScores,
+        rng: &mut dyn RngCore,
+    ) -> Vec<Package> {
+        let remap = &stacked.remaps[member];
+        let col_offset = stacked.col_offsets[member];
+        let importances = prep.samples.importances();
+        let rankings: Vec<PerSampleRanking> = prep
+            .per_sample
+            .iter()
+            .enumerate()
+            .map(|(s, indices)| {
+                let ranked = indices
+                    .iter()
+                    .map(|&c| {
+                        let u = remap[c];
+                        (
+                            stacked.union[u].clone(),
+                            stacked.scores.get(u, col_offset + s),
+                        )
+                    })
+                    .collect();
+                PerSampleRanking::new(importances[s], ranked)
+            })
+            .collect();
+        let mut shown: Vec<Package> = aggregate(self.config.semantics, &rankings, self.config.k)
+            .into_iter()
+            .map(|r| r.package)
+            .collect();
+        recommender::extend_with_random_packages(
+            &mut shown,
+            self.config.k + self.config.num_random,
+            self.catalog.len(),
+            self.context.max_package_size(),
+            rng,
+        );
+        shown
+    }
+
     /// Builds one presentation round for a whole *group* of engines that
     /// share a catalog, profile and maximum package size, feeding the union
     /// of every session's discovered candidates and the concatenation of
@@ -368,6 +463,12 @@ impl RecommenderEngine {
     /// The grouping precondition (equal catalogs and aggregation contexts)
     /// is the caller's to uphold and is checked in debug builds only —
     /// the serving layer groups sessions by their interned catalog handle.
+    ///
+    /// This is exactly [`RecommenderEngine::prepare_present`] →
+    /// [`score_stacked`] → [`RecommenderEngine::present_from_scores`] with
+    /// all three stages on the calling thread; the cross-shard scoring
+    /// service in `pkgrec-serve` runs the same stages with the sweep hoisted
+    /// onto a shared batcher.
     pub fn present_batch(
         sessions: &mut [(&mut RecommenderEngine, &mut dyn RngCore)],
     ) -> Result<Vec<Vec<Package>>> {
@@ -381,105 +482,19 @@ impl RecommenderEngine {
                     && e.context == sessions[0].0.context),
             "present_batch groups must share one catalog and aggregation context"
         );
-        // The serial `present` resamples an empty pool from the caller's RNG
-        // before anything else; keep that stream position.
+        let mut preps = Vec::with_capacity(sessions.len());
         for (engine, rng) in sessions.iter_mut() {
-            if engine.pool.is_empty() {
-                engine.resample(&mut **rng)?;
-            }
+            preps.push(engine.prepare_present(&mut **rng)?);
         }
-        let dim = sessions[0].0.context.dim();
-
-        // Per-engine discovery artefacts plus the remap of each engine's
-        // local candidate indices into the group-wide union slate.
-        struct Discovery {
-            per_sample: Vec<Vec<usize>>,
-            remap: Vec<usize>,
-            col_offset: usize,
-        }
-        let mut union_candidates: Vec<Package> = Vec::new();
-        let mut union_index: std::collections::HashMap<Package, usize> =
-            std::collections::HashMap::new();
-        let mut union_vectors = crate::scoring::CandidateMatrix::new(dim);
-        let mut stacked = crate::scoring::WeightMatrix::new(dim);
-        let mut discoveries = Vec::with_capacity(sessions.len());
-        let mut threads = 1usize;
-        for (engine, _) in sessions.iter_mut() {
-            let depth = engine.per_sample_k();
-            let (candidates, vectors, per_sample, stats) = recommender::discover_candidates(
-                &engine.context,
-                &engine.catalog,
-                &engine.sorted_lists,
-                &engine.pool,
-                depth,
-                engine.num_threads,
-            )?;
-            engine.search_stats.merge(&stats);
-            threads = threads.max(engine.num_threads);
-            let remap: Vec<usize> = candidates
-                .into_iter()
-                .enumerate()
-                .map(|(i, package)| match union_index.get(&package) {
-                    Some(&u) => u,
-                    None => {
-                        let u = union_candidates.len();
-                        union_vectors.push_row(vectors.row(i));
-                        union_index.insert(package.clone(), u);
-                        union_candidates.push(package);
-                        u
-                    }
-                })
-                .collect();
-            let col_offset = stacked.len();
-            for sample in engine.pool.samples() {
-                stacked.push(sample.weights, sample.importance);
-            }
-            discoveries.push(Discovery {
-                per_sample,
-                remap,
-                col_offset,
-            });
-        }
-
-        // The one batched kernel sweep the whole group shares.
-        let scores = crate::scoring::score_batch_threaded(&union_vectors, &stacked, threads);
-
-        let mut shown_lists = Vec::with_capacity(sessions.len());
-        for ((engine, rng), disc) in sessions.iter_mut().zip(discoveries) {
-            let importances = engine.pool.importances();
-            let rankings: Vec<PerSampleRanking> = disc
-                .per_sample
-                .iter()
-                .enumerate()
-                .map(|(s, indices)| {
-                    let ranked = indices
-                        .iter()
-                        .map(|&c| {
-                            let u = disc.remap[c];
-                            (
-                                union_candidates[u].clone(),
-                                scores.get(u, disc.col_offset + s),
-                            )
-                        })
-                        .collect();
-                    PerSampleRanking::new(importances[s], ranked)
-                })
-                .collect();
-            let mut shown: Vec<Package> =
-                aggregate(engine.config.semantics, &rankings, engine.config.k)
-                    .into_iter()
-                    .map(|r| r.package)
-                    .collect();
-            recommender::extend_with_random_packages(
-                &mut shown,
-                engine.config.k + engine.config.num_random,
-                engine.catalog.len(),
-                engine.context.max_package_size(),
-                &mut **rng,
-            );
-            shown_lists.push(shown);
-        }
-        Ok(shown_lists)
+        let refs: Vec<&PresentPrep> = preps.iter().collect();
+        let stacked = score_stacked(&refs);
+        Ok(sessions
+            .iter_mut()
+            .zip(preps.iter().enumerate())
+            .map(|((engine, rng), (member, prep))| {
+                engine.present_from_scores(prep, member, &stacked, &mut **rng)
+            })
+            .collect())
     }
 
     /// Absorbs one pairwise preference `better ≻ worse` (with the better
@@ -571,6 +586,118 @@ impl RecommenderEngine {
         };
         self.rounds += 1;
         Ok(added)
+    }
+}
+
+/// The per-session artefacts of one batched `present` round, produced by
+/// [`RecommenderEngine::prepare_present`] and consumed by
+/// [`RecommenderEngine::present_from_scores`].
+///
+/// A prep is self-contained — the discovered candidate slate, its feature
+/// vectors, the per-sample candidate indices, and a copy of the pool's
+/// weight rows — so it can leave the engine borrow, travel to a shared
+/// batcher, and be scored next to preps from *other* sessions (or alone:
+/// a singleton stack computes exactly the serial result).
+#[derive(Debug, Clone)]
+pub struct PresentPrep {
+    candidates: Vec<Package>,
+    vectors: crate::scoring::CandidateMatrix,
+    per_sample: Vec<Vec<usize>>,
+    samples: crate::scoring::WeightMatrix,
+    num_threads: usize,
+}
+
+impl PresentPrep {
+    /// Number of candidate packages this session discovered (a cost hint
+    /// for admission policies: the sweep is `candidates × samples` cells).
+    pub fn num_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Number of weight samples this session contributes to the stack.
+    pub fn num_samples(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+/// One kernel sweep's results over a stack of [`PresentPrep`]s: the union
+/// candidate slate, the score matrix, and each member's remap/column-offset
+/// into them.  Produced by [`score_stacked`], consumed by
+/// [`RecommenderEngine::present_from_scores`] — immutable, so one sweep can
+/// be shared (e.g. behind an `Arc`) by every member session's readback.
+#[derive(Debug)]
+pub struct StackedScores {
+    union: Vec<Package>,
+    scores: crate::scoring::ScoreMatrix,
+    remaps: Vec<Vec<usize>>,
+    col_offsets: Vec<usize>,
+}
+
+impl StackedScores {
+    /// Number of member preps the stack was built from.
+    pub fn members(&self) -> usize {
+        self.remaps.len()
+    }
+
+    /// Size of the union candidate slate the sweep scored.
+    pub fn union_len(&self) -> usize {
+        self.union.len()
+    }
+}
+
+/// Scores a stack of [`PresentPrep`]s in **one** batched
+/// [`score_batch`](crate::scoring::score_batch) sweep: member candidate
+/// slates are deduplicated into a union (first appearance wins, reusing the
+/// introducing member's feature vectors — equal contexts compute identical
+/// vectors), member sample rows are concatenated into one
+/// [`WeightMatrix`](crate::scoring::WeightMatrix), and the kernel runs once
+/// over `union × stack` with the largest member thread hint.
+///
+/// Every prep in the stack must come from engines sharing one catalog and
+/// aggregation context (the same precondition as
+/// [`RecommenderEngine::present_batch`], upheld by the caller).  Because
+/// each score cell is an independent dot product and the kernel is
+/// bit-stable across thread counts, member results never depend on who else
+/// shares the stack.
+pub fn score_stacked(preps: &[&PresentPrep]) -> StackedScores {
+    let dim = preps.first().map_or(0, |prep| prep.vectors.dim());
+    let mut union: Vec<Package> = Vec::new();
+    let mut union_index: std::collections::HashMap<Package, usize> =
+        std::collections::HashMap::new();
+    let mut union_vectors = crate::scoring::CandidateMatrix::new(dim);
+    let mut stacked = crate::scoring::WeightMatrix::new(dim);
+    let mut remaps = Vec::with_capacity(preps.len());
+    let mut col_offsets = Vec::with_capacity(preps.len());
+    let mut threads = 1usize;
+    for prep in preps {
+        threads = threads.max(prep.num_threads);
+        let remap: Vec<usize> = prep
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(i, package)| match union_index.get(package) {
+                Some(&u) => u,
+                None => {
+                    let u = union.len();
+                    union_vectors.push_row(prep.vectors.row(i));
+                    union_index.insert(package.clone(), u);
+                    union.push(package.clone());
+                    u
+                }
+            })
+            .collect();
+        col_offsets.push(stacked.len());
+        for s in 0..prep.samples.len() {
+            stacked.push(prep.samples.row(s), prep.samples.importance(s));
+        }
+        remaps.push(remap);
+    }
+    let scores = crate::scoring::score_batch_threaded(&union_vectors, &stacked, threads);
+    StackedScores {
+        union,
+        scores,
+        remaps,
+        col_offsets,
     }
 }
 

@@ -102,7 +102,7 @@ pub use elicitation::{
     random_ground_truth_weights, run_elicitation, ElicitationConfig, ElicitationReport,
     SimulatedUser,
 };
-pub use engine::{EngineConfig, RecommenderEngine};
+pub use engine::{score_stacked, EngineConfig, PresentPrep, RecommenderEngine, StackedScores};
 pub use error::{CoreError, Result};
 pub use item::{Catalog, ItemId};
 pub use maintenance::{

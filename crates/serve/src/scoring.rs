@@ -1,0 +1,662 @@
+//! The cross-shard **scoring service**: a shared submission queue that
+//! batches pending `present` work from many shards into group-wide kernel
+//! sweeps, plus the **adaptive admission policy** that decides per group
+//! whether a sweep pays.
+//!
+//! Shard owners (the [`ServingLoop`](crate::ServingLoop) workers, the
+//! `pkgrec-server` request workers, or a single-threaded driver via
+//! [`SessionStore::present_many`](crate::SessionStore::present_many)) run
+//! the *mutating* half of each present on their own shard
+//! ([`Shard::prepare_presents`](crate::Shard::prepare_presents)), hand the
+//! resulting [`PresentPrep`]s to [`ScoringService::submit`], and finish
+//! with [`Shard::commit_present`](crate::Shard::commit_present) once the
+//! verdicts come back.  The service groups submissions *fleet-wide* by
+//! interned catalog handle (`Arc` pointer), profile and φ, concatenates
+//! each group's sample pools into one stacked
+//! [`WeightMatrix`](pkgrec_core::WeightMatrix) over the union candidate
+//! slate, and runs a single [`score_stacked`] sweep per admitted group.
+//!
+//! Journaling, `(seed, ops)` RNG streams and rollback never leave the
+//! owning shard, and every score cell is an independent dot product, so
+//! the batch/serial choice can change *when* work is scored but never
+//! *what* it computes: results are bit-identical to serial serving.  That
+//! invariant is what lets the admission policy be a measured heuristic
+//! rather than a correctness concern.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use pkgrec_core::{score_stacked, Catalog, PresentPrep, Profile, StackedScores};
+use serde::{Deserialize, Serialize};
+
+/// How the admission policy decides whether a group's sweep is worth it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionMode {
+    /// Measured: group-size and queue-depth floors, then an EWMA
+    /// comparison of observed per-session batched vs serial cost
+    /// (optimistic — a group is admitted until measurements say
+    /// otherwise).
+    Adaptive,
+    /// Every group is admitted (benchmarking the always-batch arm).
+    Always,
+    /// Every group falls back to serial scoring (the policy's off switch).
+    Never,
+    /// A scripted decision sequence, applied to groups in flush order and
+    /// cycled when exhausted.  For property tests: *any* decision sequence
+    /// must leave every session's results bit-identical to serial.
+    Scripted(Vec<bool>),
+}
+
+/// Configuration of a [`ScoringService`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoringConfig {
+    /// The batching window: how long an open-mode flush leader waits for
+    /// more submissions before sweeping, and the anti-straggler timeout of
+    /// a lockstep rendezvous ([`ScoringService::with_workers`]).  Lockstep
+    /// flushes as soon as every registered worker has checked in, so the
+    /// window is an upper bound, not added latency; a zero window in open
+    /// mode means "sweep whatever has accumulated, immediately" (the
+    /// group-commit idiom — submissions arriving during a sweep form the
+    /// next group).
+    pub window: Duration,
+    /// Groups smaller than this fall back to serial scoring.
+    pub min_group: usize,
+    /// Flushes with fewer than this many pending sessions in total decline
+    /// every group — a shallow queue means batching has nothing to amortise.
+    pub min_queue: usize,
+    /// EWMA smoothing factor for the observed per-session costs, in
+    /// `(0, 1]`; higher weighs recent rounds more.
+    pub ewma_alpha: f64,
+    /// The decision procedure.
+    pub mode: AdmissionMode,
+}
+
+impl Default for ScoringConfig {
+    fn default() -> Self {
+        ScoringConfig {
+            window: Duration::from_millis(2),
+            min_group: 2,
+            min_queue: 2,
+            ewma_alpha: 0.25,
+            mode: AdmissionMode::Adaptive,
+        }
+    }
+}
+
+/// The decision inputs and outcomes of an [`AdmissionPolicy`], exported so
+/// the policy is auditable (benches record it next to the store counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PolicySnapshot {
+    /// Groups admitted to a shared sweep.
+    pub admitted_groups: usize,
+    /// Sessions those admitted groups contained.
+    pub admitted_sessions: usize,
+    /// Groups declined for being smaller than `min_group`.
+    pub declined_small_group: usize,
+    /// Groups declined because the whole flush was shallower than
+    /// `min_queue` sessions.
+    pub declined_shallow_queue: usize,
+    /// Groups declined because the batched-cost EWMA exceeded the serial
+    /// one.
+    pub declined_cost: usize,
+    /// Groups declined by a scripted or `Never` decision.
+    pub declined_scripted: usize,
+    /// Sessions across all declined groups (they scored serially).
+    pub fallback_sessions: usize,
+    /// EWMA of observed per-session batched sweep cost, in nanoseconds
+    /// (`None` until the first admitted sweep is measured).
+    pub batched_ns_per_session: Option<f64>,
+    /// EWMA of observed per-session serial scoring cost, in nanoseconds
+    /// (`None` until the first fallback is measured).
+    pub serial_ns_per_session: Option<f64>,
+}
+
+/// The adaptive batch/serial decision procedure: static floors plus EWMAs
+/// of the measured per-session cost of both paths.
+///
+/// The policy only ever picks *which* code path scores a group — both
+/// paths compute bit-identical results — so a bad decision costs
+/// microseconds, never correctness.
+#[derive(Debug, Clone)]
+pub struct AdmissionPolicy {
+    mode: AdmissionMode,
+    min_group: usize,
+    min_queue: usize,
+    alpha: f64,
+    batched_ns: Option<f64>,
+    serial_ns: Option<f64>,
+    scripted_next: usize,
+    snapshot: PolicySnapshot,
+}
+
+impl AdmissionPolicy {
+    /// A policy implementing `config`'s mode and thresholds.
+    pub fn new(config: &ScoringConfig) -> Self {
+        AdmissionPolicy {
+            mode: config.mode.clone(),
+            min_group: config.min_group,
+            min_queue: config.min_queue,
+            alpha: config.ewma_alpha.clamp(f64::EPSILON, 1.0),
+            batched_ns: None,
+            serial_ns: None,
+            scripted_next: 0,
+            snapshot: PolicySnapshot::default(),
+        }
+    }
+
+    /// Decides whether a group of `group_size` sessions, inside a flush of
+    /// `queue_depth` pending sessions total, gets a shared sweep.
+    pub fn admit(&mut self, group_size: usize, queue_depth: usize) -> bool {
+        let admitted = match &self.mode {
+            AdmissionMode::Always => true,
+            AdmissionMode::Never => {
+                self.snapshot.declined_scripted += 1;
+                false
+            }
+            AdmissionMode::Scripted(decisions) => {
+                let decision = if decisions.is_empty() {
+                    false
+                } else {
+                    decisions[self.scripted_next % decisions.len()]
+                };
+                self.scripted_next += 1;
+                if !decision {
+                    self.snapshot.declined_scripted += 1;
+                }
+                decision
+            }
+            AdmissionMode::Adaptive => {
+                if group_size < self.min_group {
+                    self.snapshot.declined_small_group += 1;
+                    false
+                } else if queue_depth < self.min_queue {
+                    self.snapshot.declined_shallow_queue += 1;
+                    false
+                } else {
+                    match (self.batched_ns, self.serial_ns) {
+                        // Measured on both arms and batching is losing:
+                        // stand down until the serial EWMA drifts up.
+                        (Some(batched), Some(serial)) if batched > serial => {
+                            self.snapshot.declined_cost += 1;
+                            false
+                        }
+                        // Optimistic until measured.
+                        _ => true,
+                    }
+                }
+            }
+        };
+        if admitted {
+            self.snapshot.admitted_groups += 1;
+            self.snapshot.admitted_sessions += group_size;
+        } else {
+            self.snapshot.fallback_sessions += group_size;
+        }
+        admitted
+    }
+
+    /// Feeds one admitted sweep's measured cost into the batched EWMA.
+    pub fn observe_batched(&mut self, sessions: usize, elapsed: Duration) {
+        let per_session = elapsed.as_nanos() as f64 / sessions.max(1) as f64;
+        self.batched_ns = Some(Self::ewma(self.batched_ns, per_session, self.alpha));
+        self.snapshot.batched_ns_per_session = self.batched_ns;
+    }
+
+    /// Feeds one serially scored session's measured cost into the serial
+    /// EWMA.
+    pub fn observe_serial(&mut self, sessions: usize, elapsed: Duration) {
+        let per_session = elapsed.as_nanos() as f64 / sessions.max(1) as f64;
+        self.serial_ns = Some(Self::ewma(self.serial_ns, per_session, self.alpha));
+        self.snapshot.serial_ns_per_session = self.serial_ns;
+    }
+
+    fn ewma(previous: Option<f64>, sample: f64, alpha: f64) -> f64 {
+        match previous {
+            Some(previous) => alpha * sample + (1.0 - alpha) * previous,
+            None => sample,
+        }
+    }
+
+    /// The auditable decision counters.
+    pub fn snapshot(&self) -> PolicySnapshot {
+        self.snapshot
+    }
+}
+
+/// One session's pending present, handed to the service by the shard that
+/// owns the session (see
+/// [`Shard::prepare_presents`](crate::Shard::prepare_presents)).
+#[derive(Debug)]
+pub struct Submission {
+    /// The session's interned catalog handle — groups compare it by
+    /// pointer, which is why the store interns content-equal catalogs.
+    pub catalog: Arc<Catalog>,
+    /// The session's scoring profile (part of the group key).
+    pub profile: Profile,
+    /// The session's maximum package size φ (part of the group key).
+    pub max_package_size: usize,
+    /// The prepared present round (discovery artefacts + pool copy).
+    pub prep: PresentPrep,
+}
+
+/// What the service decided and computed for one [`Submission`]; returned
+/// positionally aligned with the submitted batch.  The prep travels back
+/// so a declined session can score locally without re-running discovery.
+#[derive(Debug)]
+pub struct Verdict {
+    /// The prep the submission carried, returned to its owner.
+    pub prep: PresentPrep,
+    /// The admission outcome.
+    pub outcome: VerdictOutcome,
+}
+
+/// The two ways a submission comes back.
+#[derive(Debug)]
+pub enum VerdictOutcome {
+    /// Admitted: read this session's rankings out of the shared sweep.
+    Batched {
+        /// The group's one stacked sweep, shared by every member.
+        scores: Arc<StackedScores>,
+        /// This session's member index into the stack.
+        member: usize,
+        /// Whether this session was the group's first member — the one
+        /// whose shard accounts the group in its counters.
+        group_lead: bool,
+    },
+    /// Declined by the admission policy: score the prep locally (a
+    /// singleton stack computes exactly the serial result).
+    Fallback,
+}
+
+struct ServiceState {
+    policy: AdmissionPolicy,
+    /// Lockstep rendezvous: how many registered workers a flush waits for
+    /// (0 = open mode, flush on the window alone).
+    expected: usize,
+    /// Submit calls since the last flush (lockstep check-ins, including
+    /// empty ones).
+    arrived: usize,
+    /// Pending submissions in ticket order.
+    pending: Vec<(u64, Vec<Submission>)>,
+    /// When the current accumulation cycle opened (first pending arrival).
+    cycle_opened: Option<Instant>,
+    /// A flush leader is sweeping outside the lock.
+    sweeping: bool,
+    /// Finished verdicts awaiting pickup, keyed by ticket.
+    results: Vec<(u64, Vec<Verdict>)>,
+    next_ticket: u64,
+}
+
+/// The shared submission queue + batcher.  One instance serves a whole
+/// fleet; it is `Sync` and meant to be shared by reference (or `Arc`)
+/// across shard-owning worker threads.
+///
+/// Two flush disciplines cover the two serving shapes:
+///
+/// * **lockstep** ([`ScoringService::with_workers`]) — round-synchronous
+///   drivers like [`ServingLoop`](crate::ServingLoop): a flush fires as
+///   soon as every registered worker has checked in (empty submissions
+///   count), with [`ScoringConfig::window`] as the anti-straggler bound;
+///   workers that finish for good [`depart`](ScoringWorker) so the
+///   rendezvous shrinks,
+/// * **open** ([`ScoringService::new`]) — request loops: the first
+///   submitter leads, sweeping immediately at a zero window (submissions
+///   arriving during a sweep form the next group — the group-commit
+///   idiom) or waiting up to the window for company.
+pub struct ScoringService {
+    window: Duration,
+    state: Mutex<ServiceState>,
+    arrivals: Condvar,
+}
+
+impl ScoringService {
+    /// An open-mode service (request loops; no rendezvous).
+    pub fn new(config: ScoringConfig) -> Self {
+        Self::with_expected(config, 0)
+    }
+
+    /// A lockstep service expecting `workers` round-synchronous submitters.
+    pub fn with_workers(config: ScoringConfig, workers: usize) -> Self {
+        Self::with_expected(config, workers)
+    }
+
+    fn with_expected(config: ScoringConfig, expected: usize) -> Self {
+        ScoringService {
+            window: config.window,
+            state: Mutex::new(ServiceState {
+                policy: AdmissionPolicy::new(&config),
+                expected,
+                arrived: 0,
+                pending: Vec::new(),
+                cycle_opened: None,
+                sweeping: false,
+                results: Vec::new(),
+                next_ticket: 0,
+            }),
+            arrivals: Condvar::new(),
+        }
+    }
+
+    /// Registers this thread as one of the lockstep workers; dropping the
+    /// handle departs the rendezvous so the remaining workers stop waiting
+    /// for it.
+    pub fn worker(&self) -> ScoringWorker<'_> {
+        ScoringWorker { service: self }
+    }
+
+    /// Submits one round of pending work and blocks until the flush that
+    /// covers it completes.  Returns the verdicts (positionally aligned
+    /// with `submissions`) and the wall-clock time spent blocked — the
+    /// batching wait the caller attributes to its shard's
+    /// [`batch_wait_us`](crate::StoreStats::batch_wait_us).
+    ///
+    /// An empty submission is a valid lockstep check-in: it unblocks the
+    /// rendezvous and returns no verdicts.
+    pub fn submit(&self, submissions: Vec<Submission>) -> (Vec<Verdict>, Duration) {
+        self.submit_inner(submissions, false)
+    }
+
+    /// Like [`ScoringService::submit`] but flushes immediately instead of
+    /// waiting out the window or rendezvous — the entry point for
+    /// single-threaded drivers that have already gathered the whole
+    /// fleet's round (e.g.
+    /// [`SessionStore::present_many`](crate::SessionStore::present_many)).
+    pub fn submit_now(&self, submissions: Vec<Submission>) -> (Vec<Verdict>, Duration) {
+        self.submit_inner(submissions, true)
+    }
+
+    fn submit_inner(
+        &self,
+        submissions: Vec<Submission>,
+        flush_now: bool,
+    ) -> (Vec<Verdict>, Duration) {
+        let entered = Instant::now();
+        let mut state = self.state.lock().expect("scoring service poisoned");
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        if state.cycle_opened.is_none() {
+            state.cycle_opened = Some(entered);
+        }
+        state.pending.push((ticket, submissions));
+        state.arrived += 1;
+        // Wake any waiter whose rendezvous this arrival may complete.
+        self.arrivals.notify_all();
+        loop {
+            if let Some(at) = state.results.iter().position(|(t, _)| *t == ticket) {
+                let (_, verdicts) = state.results.swap_remove(at);
+                return (verdicts, entered.elapsed());
+            }
+            let ours_pending = state.pending.iter().any(|(t, _)| *t == ticket);
+            if ours_pending && !state.sweeping {
+                let all_in = state.expected > 0 && state.arrived >= state.expected;
+                let window_over = state
+                    .cycle_opened
+                    .is_none_or(|opened| opened.elapsed() >= self.window);
+                if flush_now || all_in || window_over {
+                    state = self.flush(state);
+                    continue;
+                }
+            }
+            // Short ticks guard against missed wakeups (and bound how stale
+            // the window/rendezvous re-check can get); the notifies above
+            // make the common case prompt.
+            let (next, _) = self
+                .arrivals
+                .wait_timeout(state, Duration::from_millis(1))
+                .expect("scoring service poisoned");
+            state = next;
+        }
+    }
+
+    /// Runs one flush: takes the pending batch, groups it, applies the
+    /// admission policy, sweeps admitted groups *outside* the lock, then
+    /// deposits verdicts.  Returns with the lock re-held.
+    fn flush<'a>(
+        &'a self,
+        mut state: MutexGuard<'a, ServiceState>,
+    ) -> MutexGuard<'a, ServiceState> {
+        state.sweeping = true;
+        let batch = std::mem::take(&mut state.pending);
+        state.arrived = 0;
+        state.cycle_opened = None;
+
+        // Flatten in ticket order (deterministic grouping: first appearance
+        // over the flattened batch, mirroring `Shard::op_present_batch`).
+        let mut tickets: Vec<u64> = Vec::with_capacity(batch.len());
+        let mut flat: Vec<(u64, Submission)> = Vec::new();
+        for (ticket, submissions) in batch {
+            tickets.push(ticket);
+            for submission in submissions {
+                flat.push((ticket, submission));
+            }
+        }
+        let queue_depth = flat.len();
+        let mut groups: Vec<(Vec<usize>, bool)> = Vec::new();
+        let mut leads: Vec<usize> = Vec::new();
+        for (at, (_, submission)) in flat.iter().enumerate() {
+            match leads.iter().position(|&lead| {
+                let first = &flat[lead].1;
+                Arc::ptr_eq(&first.catalog, &submission.catalog)
+                    && first.profile == submission.profile
+                    && first.max_package_size == submission.max_package_size
+            }) {
+                Some(group) => groups[group].0.push(at),
+                None => {
+                    leads.push(at);
+                    groups.push((vec![at], false));
+                }
+            }
+        }
+        for (members, admit) in groups.iter_mut() {
+            *admit = state.policy.admit(members.len(), queue_depth);
+        }
+
+        // Sweep outside the lock: new submissions can queue up for the next
+        // flush while the kernel runs.
+        drop(state);
+        let mut outcomes: Vec<Option<VerdictOutcome>> = (0..flat.len()).map(|_| None).collect();
+        let mut observations: Vec<(usize, Duration)> = Vec::new();
+        for (members, admit) in &groups {
+            if *admit {
+                let preps: Vec<&PresentPrep> = members.iter().map(|&at| &flat[at].1.prep).collect();
+                let started = Instant::now();
+                let scores = Arc::new(score_stacked(&preps));
+                observations.push((members.len(), started.elapsed()));
+                for (member, &at) in members.iter().enumerate() {
+                    outcomes[at] = Some(VerdictOutcome::Batched {
+                        scores: Arc::clone(&scores),
+                        member,
+                        group_lead: member == 0,
+                    });
+                }
+            } else {
+                for &at in members {
+                    outcomes[at] = Some(VerdictOutcome::Fallback);
+                }
+            }
+        }
+
+        let mut state = self.state.lock().expect("scoring service poisoned");
+        for (sessions, elapsed) in observations {
+            state.policy.observe_batched(sessions, elapsed);
+        }
+        // Reassemble per-ticket verdicts in submission order (flat is
+        // ticket-major, index-minor), including empty check-ins.
+        let mut deposits: Vec<(u64, Vec<Verdict>)> =
+            tickets.into_iter().map(|t| (t, Vec::new())).collect();
+        for ((ticket, submission), outcome) in flat.into_iter().zip(outcomes) {
+            let slot = deposits
+                .iter_mut()
+                .find(|(t, _)| *t == ticket)
+                .expect("every flat entry has a ticket deposit");
+            slot.1.push(Verdict {
+                prep: submission.prep,
+                outcome: outcome.expect("every submission got an outcome"),
+            });
+        }
+        state.results.extend(deposits);
+        state.sweeping = false;
+        self.arrivals.notify_all();
+        state
+    }
+
+    /// Feeds a declined session's measured local scoring cost back into
+    /// the policy's serial EWMA.
+    pub fn observe_serial(&self, sessions: usize, elapsed: Duration) {
+        let mut state = self.state.lock().expect("scoring service poisoned");
+        state.policy.observe_serial(sessions, elapsed);
+    }
+
+    /// The policy's auditable decision counters, as of now.
+    pub fn policy_snapshot(&self) -> PolicySnapshot {
+        self.state
+            .lock()
+            .expect("scoring service poisoned")
+            .policy
+            .snapshot()
+    }
+
+    fn depart(&self) {
+        let mut state = self.state.lock().expect("scoring service poisoned");
+        state.expected = state.expected.saturating_sub(1);
+        self.arrivals.notify_all();
+    }
+}
+
+/// A lockstep worker's registration handle (see
+/// [`ScoringService::worker`]); dropping it departs the rendezvous.
+pub struct ScoringWorker<'a> {
+    service: &'a ScoringService,
+}
+
+impl ScoringWorker<'_> {
+    /// Submits this worker's round; see [`ScoringService::submit`].
+    pub fn submit(&self, submissions: Vec<Submission>) -> (Vec<Verdict>, Duration) {
+        self.service.submit(submissions)
+    }
+
+    /// The underlying service (for [`ScoringService::observe_serial`]
+    /// etc.).
+    pub fn service(&self) -> &ScoringService {
+        self.service
+    }
+}
+
+impl Drop for ScoringWorker<'_> {
+    fn drop(&mut self) {
+        self.service.depart();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(mode: AdmissionMode) -> ScoringConfig {
+        ScoringConfig {
+            mode,
+            ..ScoringConfig::default()
+        }
+    }
+
+    #[test]
+    fn adaptive_policy_applies_floors_then_costs() {
+        let mut policy = AdmissionPolicy::new(&config(AdmissionMode::Adaptive));
+        // Optimistic before any measurements.
+        assert!(policy.admit(2, 4));
+        // Group-size floor.
+        assert!(!policy.admit(1, 4));
+        // Queue-depth floor.
+        assert!(!policy.admit(2, 1));
+        // Batched measured slower than serial: decline.
+        policy.observe_batched(1, Duration::from_micros(100));
+        policy.observe_serial(1, Duration::from_micros(10));
+        assert!(!policy.admit(4, 8));
+        // Serial EWMA drifting above batched re-admits.
+        for _ in 0..64 {
+            policy.observe_serial(1, Duration::from_millis(10));
+        }
+        assert!(policy.admit(4, 8));
+        let snapshot = policy.snapshot();
+        assert_eq!(snapshot.admitted_groups, 2);
+        assert_eq!(snapshot.admitted_sessions, 6);
+        assert_eq!(snapshot.declined_small_group, 1);
+        assert_eq!(snapshot.declined_shallow_queue, 1);
+        assert_eq!(snapshot.declined_cost, 1);
+        assert_eq!(snapshot.fallback_sessions, 7);
+        assert!(snapshot.batched_ns_per_session.is_some());
+        assert!(snapshot.serial_ns_per_session.is_some());
+    }
+
+    #[test]
+    fn scripted_policy_cycles_its_decisions() {
+        let mut policy =
+            AdmissionPolicy::new(&config(AdmissionMode::Scripted(vec![true, false, false])));
+        let decisions: Vec<bool> = (0..6).map(|_| policy.admit(3, 9)).collect();
+        assert_eq!(decisions, vec![true, false, false, true, false, false]);
+        assert_eq!(policy.snapshot().declined_scripted, 4);
+    }
+
+    #[test]
+    fn never_mode_declines_everything_always_mode_admits_everything() {
+        let mut never = AdmissionPolicy::new(&config(AdmissionMode::Never));
+        let mut always = AdmissionPolicy::new(&config(AdmissionMode::Always));
+        for _ in 0..4 {
+            assert!(!never.admit(8, 32));
+            // `Always` ignores the floors too.
+            assert!(always.admit(1, 1));
+        }
+        assert_eq!(never.snapshot().fallback_sessions, 32);
+        assert_eq!(always.snapshot().admitted_sessions, 4);
+    }
+
+    #[test]
+    fn empty_lockstep_checkins_rendezvous_and_return() {
+        // Four workers, nothing to score: every submit must still return
+        // (the all-in rendezvous fires on check-ins, not submissions).
+        let service = ScoringService::with_workers(
+            ScoringConfig {
+                window: Duration::from_secs(5),
+                ..ScoringConfig::default()
+            },
+            4,
+        );
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let worker = service.worker();
+                        let (verdicts, _) = worker.submit(Vec::new());
+                        assert!(verdicts.is_empty());
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn departed_workers_shrink_the_rendezvous() {
+        // Expect 2 workers; one departs without ever submitting.  The
+        // remaining worker's submit must complete on the shrunken
+        // rendezvous instead of waiting out the 5s window.
+        let service = ScoringService::with_workers(
+            ScoringConfig {
+                window: Duration::from_secs(5),
+                ..ScoringConfig::default()
+            },
+            2,
+        );
+        drop(service.worker());
+        let started = Instant::now();
+        let worker = service.worker();
+        let (verdicts, _) = worker.submit(Vec::new());
+        assert!(verdicts.is_empty());
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "submit rendezvoused on the shrunken worker count"
+        );
+    }
+}

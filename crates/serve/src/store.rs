@@ -30,16 +30,20 @@
 //! identical, which is what the serving proptests exercise.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::{Duration, Instant};
 
 use pkgrec_core::{
-    CoreError, Feedback, Package, RankedPackage, Recommender, RecommenderState, Result,
+    score_stacked, Catalog, CoreError, Feedback, Package, PresentPrep, Profile, RankedPackage,
+    Recommender, RecommenderState, Result,
 };
 use serde::{Deserialize, Serialize};
 
-use crate::config::{op_rng, shard_of, LiveSession, SessionConfig, SessionId};
+use crate::config::{catalog_fingerprint, op_rng, shard_of, LiveSession, SessionConfig, SessionId};
 use crate::durable::{read_manifest, shard_dir, write_manifest, DurabilityConfig, ShardLog};
 use crate::fault::FaultInjector;
 use crate::journal::{Journal, SessionEvent};
+use crate::scoring::{ScoringService, Submission, Verdict, VerdictOutcome};
 use crate::segment::SEGMENT_VERSION;
 
 /// Shape of a [`SessionStore`].
@@ -115,12 +119,26 @@ pub struct StoreStats {
     /// session being rehydrated), never the shard population.
     pub eviction_probes: usize,
     /// Group-scored `present` operations: sessions whose round went through
-    /// a shared [`Shard::op_present_batch`] kernel sweep instead of an
-    /// individual scoring call.
+    /// a shared kernel sweep instead of an individual scoring call — via
+    /// [`Shard::op_present_batch`] or the cross-shard scoring service
+    /// ([`Shard::commit_present`] with an admitted verdict).
     pub batched_presents: usize,
-    /// Batched kernel sweeps executed (one per same-catalog group per
-    /// [`Shard::op_present_batch`] call).
+    /// Batched kernel sweeps executed: one per same-catalog group per
+    /// [`Shard::op_present_batch`] call, plus one per admitted scoring-
+    /// service group (accounted by the group-lead member's shard).
     pub batched_groups: usize,
+    /// Sessions presented through the cross-shard scoring service's shared
+    /// sweep (the [`Shard::prepare_presents`] → submit →
+    /// [`Shard::commit_present`] path; a subset of `batched_presents`).
+    pub batched_sessions: usize,
+    /// Scoring-service submissions the admission policy declined: the
+    /// session scored locally (serial-equivalent) instead of sharing a
+    /// sweep.
+    pub admission_fallbacks: usize,
+    /// Microseconds shard owners spent blocked in scoring-service
+    /// submission (batching window + rendezvous wait), attributed via
+    /// [`Shard::note_batch_wait`].
+    pub batch_wait_us: usize,
     /// IO failures injected by the [`FaultPlan`](crate::FaultPlan) carried
     /// in [`DurabilityConfig`]; zero in production (the empty plan).
     pub injected_faults: usize,
@@ -150,6 +168,9 @@ impl StoreStats {
         self.eviction_probes += other.eviction_probes;
         self.batched_presents += other.batched_presents;
         self.batched_groups += other.batched_groups;
+        self.batched_sessions += other.batched_sessions;
+        self.admission_fallbacks += other.admission_fallbacks;
+        self.batch_wait_us += other.batch_wait_us;
         self.injected_faults += other.injected_faults;
         self.degraded_shards += other.degraded_shards;
         self.rolled_back_ops += other.rolled_back_ops;
@@ -170,6 +191,41 @@ pub struct CompactionStats {
     pub bytes_reclaimed: usize,
 }
 
+/// The store-wide catalog intern table: content-equal catalogs resolve to
+/// one shared `Arc`, so sessions created through *any* shard — including
+/// ones whose configs were deserialised off the wire, each with its own
+/// fresh allocation — group together under the `Arc`-pointer grouping of
+/// [`Shard::op_present_batch`] and the cross-shard scoring service.
+///
+/// Keyed by [`catalog_fingerprint`] with full content verification on hit
+/// (a colliding fingerprint forms its own entry).  Holds [`Weak`] handles,
+/// so dropping a fleet releases its catalogs.  The mutex is touched only
+/// at session creation and journal adoption, never on the per-op hot path.
+#[derive(Clone, Default)]
+pub(crate) struct CatalogInterner {
+    by_fingerprint: Arc<Mutex<HashMap<u64, Vec<Weak<Catalog>>>>>,
+}
+
+impl CatalogInterner {
+    /// Resolves `catalog` to the store's canonical `Arc` for its content,
+    /// registering it as the canonical handle if the content is new.
+    fn intern(&self, catalog: Arc<Catalog>) -> Arc<Catalog> {
+        let fingerprint = catalog_fingerprint(&catalog);
+        let mut table = self.by_fingerprint.lock().expect("interner poisoned");
+        let slot = table.entry(fingerprint).or_default();
+        slot.retain(|weak| weak.strong_count() > 0);
+        for weak in slot.iter() {
+            if let Some(existing) = weak.upgrade() {
+                if Arc::ptr_eq(&existing, &catalog) || *existing == *catalog {
+                    return existing;
+                }
+            }
+        }
+        slot.push(Arc::downgrade(&catalog));
+        catalog
+    }
+}
+
 /// One session's store entry: its recipe, its (live or spilled) state and
 /// the drive bookkeeping.
 struct SessionEntry {
@@ -182,6 +238,86 @@ struct SessionEntry {
     last_shown: Vec<Package>,
     /// LRU stamp from the owning shard's clock.
     last_used: u64,
+}
+
+/// One session's in-flight `present`, between [`Shard::prepare_presents`]
+/// and [`Shard::commit_present`].  Holds the op RNG mid-stream (the serial
+/// order within one present is resample → discovery → random tail) plus
+/// the prepared artefacts and group key for submission to the
+/// [`ScoringService`].
+#[derive(Debug)]
+pub struct PendingPresent {
+    id: SessionId,
+    kind: PendingKind,
+}
+
+#[derive(Debug)]
+enum PendingKind {
+    /// A live engine session the scoring service can cover.
+    Batched {
+        rng: rand::rngs::StdRng,
+        catalog: Arc<Catalog>,
+        profile: Profile,
+        max_package_size: usize,
+        /// `Some` until [`PendingPresent::take_submission`] moves it to
+        /// the service; the matching [`Verdict`] carries it back.
+        prep: Option<PresentPrep>,
+    },
+    /// A session the service cannot cover (baseline adapter, duplicate id,
+    /// re-spilled engine): commit runs the whole serial op.
+    Serial,
+    /// Prepare failed; the session already rolled back and the error
+    /// surfaces at commit (taken by value there).
+    Failed(Option<CoreError>),
+}
+
+impl PendingPresent {
+    /// The session this pending present belongs to.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// Whether this pending is a prepared engine round (submittable, and
+    /// required to commit before the batch's serial pendings).
+    pub fn is_batched(&self) -> bool {
+        matches!(self.kind, PendingKind::Batched { .. })
+    }
+
+    /// Moves the prepared round out as a scoring-service [`Submission`]
+    /// (`None` for serial/failed pendings, or if already taken).  The
+    /// service's [`Verdict`] returns the prep at commit.
+    pub fn take_submission(&mut self) -> Option<Submission> {
+        if let PendingKind::Batched {
+            catalog,
+            profile,
+            max_package_size,
+            prep,
+            ..
+        } = &mut self.kind
+        {
+            prep.take().map(|prep| Submission {
+                catalog: Arc::clone(catalog),
+                profile: profile.clone(),
+                max_package_size: *max_package_size,
+                prep,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// What [`Shard::commit_present`] produced for one session.
+#[derive(Debug)]
+pub struct CommittedPresent {
+    /// The presented list — bit-identical to what [`Shard::op_present`]
+    /// would have returned.
+    pub shown: Vec<Package>,
+    /// Wall-clock cost of scoring this session locally, when the admission
+    /// policy declined it (or it was never submitted).  Callers feed it to
+    /// [`ScoringService::observe_serial`] so the policy's serial EWMA
+    /// stays current; `None` for shared-sweep and fully serial commits.
+    pub fallback_cost: Option<Duration>,
 }
 
 /// One shard: a self-contained map of sessions plus their journal.
@@ -222,10 +358,13 @@ pub struct Shard {
     /// Degraded (read-only) mode: mutating operations are refused with
     /// [`CoreError::Degraded`] until a [`Shard::sync`] succeeds.
     degraded: bool,
+    /// The store-wide catalog intern table (shared by every shard; touched
+    /// only at create/adopt).
+    interner: CatalogInterner,
 }
 
 impl Shard {
-    fn new(index: usize, capacity: usize) -> Self {
+    fn new(index: usize, capacity: usize, interner: CatalogInterner) -> Self {
         Shard {
             sessions: HashMap::new(),
             journal: Journal::new(),
@@ -240,6 +379,7 @@ impl Shard {
             append_failures: 0,
             append_retry_budget: usize::MAX,
             degraded: false,
+            interner,
         }
     }
 
@@ -306,7 +446,15 @@ impl Shard {
     /// The memory half of an append — also the adoption path for records
     /// that already live on disk (journal import, crash recovery), which
     /// must not be re-written through the durable log.
-    fn adopt_record(&mut self, id: SessionId, event: SessionEvent) {
+    fn adopt_record(&mut self, id: SessionId, mut event: SessionEvent) {
+        // Adopted `Created` records carry their own catalog allocations
+        // (per-record on recovery); interning here lets rehydrated
+        // sessions keep grouping by pointer.  Rehydration replays build
+        // their engines from this journal record, so the interned handle
+        // is the one live sessions end up holding.
+        if let SessionEvent::Created { config } = &mut event {
+            config.catalog = self.interner.intern(config.catalog.clone());
+        }
         self.journal.append(id, event);
         self.event_index
             .entry(id)
@@ -498,13 +646,18 @@ impl Shard {
     /// routing back through the store.  The id must hash to this shard
     /// ([`shard_of`]) and must not be in use; the config is validated (the
     /// live session is built) before anything is journaled.
-    pub fn create(&mut self, id: SessionId, config: SessionConfig) -> Result<()> {
+    pub fn create(&mut self, id: SessionId, mut config: SessionConfig) -> Result<()> {
         self.check_writable()?;
         if self.sessions.contains_key(&id) {
             return Err(CoreError::InvalidConfig(format!(
                 "session id {id} is already in use on this shard"
             )));
         }
+        // Resolve the catalog to the store's canonical handle first, so
+        // content-equal catalogs — notably configs deserialised off the
+        // wire, which arrive one fresh allocation each — share one `Arc`
+        // and their sessions group under pointer-keyed batching.
+        config.catalog = self.interner.intern(config.catalog);
         let live = config.build()?;
         self.insert(id, config, live)
     }
@@ -777,6 +930,216 @@ impl Shard {
             .collect())
     }
 
+    /// The submission half of a scoring-service `present`: rehydrates each
+    /// id, runs the mutating prepare (empty-pool resample + candidate
+    /// discovery) on every live engine session, and returns one
+    /// [`PendingPresent`] per id, positionally aligned.
+    ///
+    /// Sessions the service cannot cover — baseline adapters, duplicate
+    /// ids (which would alias engine state within one round), or sessions
+    /// capacity pressure re-spilled while later members rehydrated — come
+    /// back as serial pendings and run through [`Shard::op_present`] at
+    /// commit.  A session whose prepare *fails* rolls back immediately and
+    /// comes back as a failed pending whose error surfaces at commit.
+    ///
+    /// The contract between this call and the matching
+    /// [`Shard::commit_present`]s: no other operation may touch this shard
+    /// in between (prepared live state runs ahead of the journal until the
+    /// commit lands), and batched pendings must commit before serial ones
+    /// (a serial fallback's rehydration could otherwise evict a prepared
+    /// engine).  [`SessionStore::present_many`], the serving loop, and the
+    /// server request workers all follow this discipline; a batch that has
+    /// to be abandoned wholesale goes through [`Shard::abort_presents`].
+    pub fn prepare_presents(&mut self, ids: &[SessionId]) -> Result<Vec<PendingPresent>> {
+        self.check_writable()?;
+        for &id in ids {
+            self.ensure_live(id)?;
+        }
+        let mut first_pos: HashMap<SessionId, usize> = HashMap::with_capacity(ids.len());
+        let mut pendings = Vec::with_capacity(ids.len());
+        for (pos, &id) in ids.iter().enumerate() {
+            if *first_pos.entry(id).or_insert(pos) != pos {
+                pendings.push(PendingPresent {
+                    id,
+                    kind: PendingKind::Serial,
+                });
+                continue;
+            }
+            let entry = self.sessions.get_mut(&id).expect("ensured above");
+            let SessionEntry {
+                config, live, ops, ..
+            } = entry;
+            let prepared = match live {
+                Some(LiveSession::Engine(engine)) => {
+                    let mut rng = op_rng(config.seed, *ops);
+                    engine.prepare_present(&mut rng).map(|prep| {
+                        Some(PendingKind::Batched {
+                            rng,
+                            catalog: config.catalog.clone(),
+                            profile: config.profile.clone(),
+                            max_package_size: config.max_package_size,
+                            prep: Some(prep),
+                        })
+                    })
+                }
+                _ => Ok(None),
+            };
+            match prepared {
+                Ok(Some(kind)) => pendings.push(PendingPresent { id, kind }),
+                Ok(None) => pendings.push(PendingPresent {
+                    id,
+                    kind: PendingKind::Serial,
+                }),
+                Err(e) => {
+                    self.rollback(id);
+                    pendings.push(PendingPresent {
+                        id,
+                        kind: PendingKind::Failed(Some(e)),
+                    });
+                }
+            }
+        }
+        Ok(pendings)
+    }
+
+    /// The commit half of a scoring-service `present`: finishes the round
+    /// from the service's [`Verdict`] (shared-sweep readback for admitted
+    /// groups, local singleton scoring for declined ones — both
+    /// bit-identical to [`Shard::op_present`]), journals the `Presented`
+    /// event exactly as the serial operation would, and books the
+    /// counters.  Serial pendings run the whole serial operation here;
+    /// failed pendings surface their prepare error.
+    ///
+    /// Every failure path rolls this session back to its journaled state
+    /// before returning, so a caller may keep committing the batch's other
+    /// members after an error — each commit is self-contained.
+    pub fn commit_present(
+        &mut self,
+        pending: PendingPresent,
+        verdict: Option<Verdict>,
+    ) -> Result<CommittedPresent> {
+        let id = pending.id;
+        let (mut rng, kept_prep) = match pending.kind {
+            PendingKind::Failed(error) => {
+                return Err(error.unwrap_or(CoreError::UnknownSession(id.0)))
+            }
+            PendingKind::Serial => {
+                return self.op_present(id).map(|shown| CommittedPresent {
+                    shown,
+                    fallback_cost: None,
+                });
+            }
+            PendingKind::Batched { rng, prep, .. } => (rng, prep),
+        };
+        // The prepared live state ran ahead of the journal; any refusal
+        // from here on rolls the session back to its journaled form.
+        if let Err(e) = self.check_writable() {
+            self.rollback(id);
+            return Err(e);
+        }
+        let engine_live = matches!(
+            self.sessions.get(&id).and_then(|entry| entry.live.as_ref()),
+            Some(LiveSession::Engine(_))
+        );
+        if !engine_live {
+            self.rollback(id);
+            return Err(CoreError::InvalidConfig(format!(
+                "session {id} lost its prepared live state between \
+                 prepare_presents and commit_present"
+            )));
+        }
+        let entry = self.sessions.get(&id).expect("checked above");
+        let Some(LiveSession::Engine(engine)) = entry.live.as_ref() else {
+            unreachable!("liveness checked above")
+        };
+        // Which scoring path, and what it computed.  All three arms are
+        // bit-identical: a singleton stack computes exactly the serial
+        // result, and shared-sweep cells are independent dot products.
+        let was_submitted = kept_prep.is_none();
+        let (shown, fallback_cost, admitted_lead, admitted) = match verdict {
+            Some(Verdict {
+                prep,
+                outcome:
+                    VerdictOutcome::Batched {
+                        scores,
+                        member,
+                        group_lead,
+                    },
+            }) => (
+                engine.present_from_scores(&prep, member, &scores, &mut rng),
+                None,
+                group_lead,
+                true,
+            ),
+            Some(Verdict {
+                prep,
+                outcome: VerdictOutcome::Fallback,
+            }) => {
+                let started = Instant::now();
+                let stacked = score_stacked(&[&prep]);
+                let shown = engine.present_from_scores(&prep, 0, &stacked, &mut rng);
+                (shown, Some(started.elapsed()), false, false)
+            }
+            None => {
+                // Never submitted: the caller kept the prep local (e.g. a
+                // round with nothing worth batching).  Score the singleton
+                // stack here; it is the serial computation.
+                let Some(prep) = kept_prep else {
+                    self.rollback(id);
+                    return Err(CoreError::InvalidConfig(format!(
+                        "session {id} was submitted to the scoring service \
+                         but committed without its verdict"
+                    )));
+                };
+                let started = Instant::now();
+                let stacked = score_stacked(&[&prep]);
+                let shown = engine.present_from_scores(&prep, 0, &stacked, &mut rng);
+                (shown, Some(started.elapsed()), false, false)
+            }
+        };
+        let was_submitted_fallback = fallback_cost.is_some() && was_submitted;
+        if let Err(e) = self.append_event(id, SessionEvent::Presented) {
+            self.rollback(id);
+            return Err(e);
+        }
+        let entry = self.sessions.get_mut(&id).expect("live ensured");
+        entry.ops += 1;
+        entry.last_shown = shown.clone();
+        self.touch(id);
+        if admitted {
+            self.stats.batched_presents += 1;
+            self.stats.batched_sessions += 1;
+            if admitted_lead {
+                self.stats.batched_groups += 1;
+            }
+        } else if was_submitted_fallback {
+            self.stats.admission_fallbacks += 1;
+        }
+        Ok(CommittedPresent {
+            shown,
+            fallback_cost,
+        })
+    }
+
+    /// Abandons a prepared batch wholesale: rolls every batched pending's
+    /// session back to its journaled state (their live forms ran ahead of
+    /// the journal during [`Shard::prepare_presents`]).  Serial and failed
+    /// pendings need no undo — serial ones never ran, failed ones already
+    /// rolled back.
+    pub fn abort_presents(&mut self, pendings: Vec<PendingPresent>) {
+        for pending in pendings {
+            if matches!(pending.kind, PendingKind::Batched { .. }) {
+                self.rollback(pending.id);
+            }
+        }
+    }
+
+    /// Books wall-clock time this shard's owner spent blocked in scoring-
+    /// service submission (the batching window / rendezvous wait).
+    pub fn note_batch_wait(&mut self, wait: Duration) {
+        self.stats.batch_wait_us += wait.as_micros() as usize;
+    }
+
     /// One `record_feedback` operation against the last presented list.
     /// Malformed feedback is rejected before touching the session; a
     /// mid-mutation failure (e.g. the maintenance sampler running dry on a
@@ -1009,9 +1372,10 @@ impl SessionStore {
     /// Creates an empty store with the given shape.
     pub fn new(config: StoreConfig) -> Result<Self> {
         config.validate()?;
+        let interner = CatalogInterner::default();
         Ok(SessionStore {
             shards: (0..config.shards)
-                .map(|i| Shard::new(i, config.capacity_per_shard))
+                .map(|i| Shard::new(i, config.capacity_per_shard, interner.clone()))
                 .collect(),
             next_id: 0,
         })
@@ -1201,6 +1565,116 @@ impl SessionStore {
     /// Builds one presentation round for the session.
     pub fn present(&mut self, id: SessionId) -> Result<Vec<Package>> {
         self.shard_mut(id).op_present(id)
+    }
+
+    /// One `present` for *each* of `ids`, batched **across shards** through
+    /// the scoring service: every shard prepares its members
+    /// ([`Shard::prepare_presents`]), the whole fleet's preps go up in one
+    /// flushed submission, and each shard commits its verdicts
+    /// ([`Shard::commit_present`]).  The returned lists are positionally
+    /// aligned with `ids` and bit-identical to calling
+    /// [`SessionStore::present`] on each id in order — grouping, admission
+    /// decisions and scheduling can change *when* work is scored, never
+    /// *what* it computes.
+    ///
+    /// This is the single-threaded driver ([`ScoringService::submit_now`]);
+    /// the `ServingLoop` and `pkgrec-server` submit from their own worker
+    /// threads instead.  If any session's prepare fails the whole round is
+    /// abandoned ([`Shard::abort_presents`]) and the error returned; a
+    /// failure while committing finishes the remaining members first (each
+    /// commit is self-contained) and returns the first error.
+    pub fn present_many(
+        &mut self,
+        ids: &[SessionId],
+        service: &ScoringService,
+    ) -> Result<Vec<Vec<Package>>> {
+        let shard_count = self.shards.len();
+        let mut buckets: Vec<Vec<(usize, SessionId)>> = vec![Vec::new(); shard_count];
+        for (pos, &id) in ids.iter().enumerate() {
+            buckets[shard_of(id, shard_count)].push((pos, id));
+        }
+        // Prepare phase, shard by shard; a whole-shard refusal (degraded,
+        // unknown id) abandons every shard's prepared work.
+        let mut pendings: Vec<Vec<PendingPresent>> = Vec::with_capacity(shard_count);
+        for (index, bucket) in buckets.iter().enumerate() {
+            let shard_ids: Vec<SessionId> = bucket.iter().map(|&(_, id)| id).collect();
+            match self.shards[index].prepare_presents(&shard_ids) {
+                Ok(prepared) => pendings.push(prepared),
+                Err(e) => {
+                    for (earlier, prepared) in pendings.into_iter().enumerate() {
+                        self.shards[earlier].abort_presents(prepared);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        // One submission for the whole fleet, flushed immediately.
+        let mut submissions = Vec::new();
+        let mut routes: Vec<(usize, usize)> = Vec::new();
+        for (index, prepared) in pendings.iter_mut().enumerate() {
+            for (at, pending) in prepared.iter_mut().enumerate() {
+                if let Some(submission) = pending.take_submission() {
+                    submissions.push(submission);
+                    routes.push((index, at));
+                }
+            }
+        }
+        let (verdicts, wait) = service.submit_now(submissions);
+        if let Some(&(index, _)) = routes.first() {
+            self.shards[index].note_batch_wait(wait);
+        }
+        let mut slots: Vec<Vec<Option<Verdict>>> = pendings
+            .iter()
+            .map(|prepared| prepared.iter().map(|_| None).collect())
+            .collect();
+        for ((index, at), verdict) in routes.into_iter().zip(verdicts) {
+            slots[index][at] = Some(verdict);
+        }
+        // Commit phase: batched members first (a serial fallback's
+        // rehydration could evict a prepared engine), then serial ones, in
+        // ids order within each class.  Each commit is self-contained, so
+        // an error finishes the batch before surfacing.
+        let mut taken: Vec<Vec<Option<PendingPresent>>> = pendings
+            .into_iter()
+            .map(|prepared| prepared.into_iter().map(Some).collect())
+            .collect();
+        let mut results: Vec<Option<Vec<Package>>> = vec![None; ids.len()];
+        let mut first_error = None;
+        for batched_pass in [true, false] {
+            for (index, bucket) in buckets.iter().enumerate() {
+                for (at, &(pos, _)) in bucket.iter().enumerate() {
+                    let committable = taken[index][at]
+                        .as_ref()
+                        .is_some_and(|pending| pending.is_batched() == batched_pass);
+                    if !committable {
+                        continue;
+                    }
+                    let pending = taken[index][at].take().expect("checked above");
+                    let verdict = slots[index][at].take();
+                    match self.shards[index].commit_present(pending, verdict) {
+                        Ok(committed) => {
+                            if let Some(cost) = committed.fallback_cost {
+                                service.observe_serial(1, cost);
+                            }
+                            results[pos] = Some(committed.shown);
+                        }
+                        Err(e) => {
+                            if first_error.is_none() {
+                                first_error = Some(e);
+                            }
+                            results[pos] = Some(Vec::new());
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        Ok(results
+            .into_iter()
+            .map(|shown| shown.expect("every id resolved"))
+            .collect())
     }
 
     /// Records typed feedback against the session's last presented list.
@@ -1934,12 +2408,20 @@ mod tests {
     #[test]
     fn batched_present_groups_shared_catalogs_and_falls_back_otherwise() {
         let (mut store, ids) = batch_fixture(16);
+        // The store-wide intern table resolves the fourth engine's private
+        // (content-equal) allocation to the canonical shared handle at
+        // create time, so all four engines group by `Arc` pointer...
+        let canonical = store.session_config(ids[0]).unwrap().catalog.clone();
+        let adopted = store.session_config(ids[4]).unwrap().catalog.clone();
+        assert!(
+            std::sync::Arc::ptr_eq(&canonical, &adopted),
+            "content-equal catalogs intern to one handle"
+        );
         store.shards_mut()[0].op_present_batch(&ids).unwrap();
         let stats = store.stats();
-        // The three shared-catalog engines batch as one group, the
-        // private-catalog engine as another; the baseline falls back.
+        // ...and batch as one group; the baseline falls back.
         assert_eq!(stats.batched_presents, 4);
-        assert_eq!(stats.batched_groups, 2);
+        assert_eq!(stats.batched_groups, 1);
 
         // Under capacity 1 every rehydration spills the previous member, so
         // the whole batch degrades to the serial path — and still works.

@@ -35,7 +35,9 @@ use serde::{Deserialize, Serialize};
 pub const HELLO_MAGIC: [u8; 7] = *b"PKGSRV\0";
 
 /// Wire protocol version, bumped on any framing or payload schema change.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// v4 grew [`StoreStats`] with the cross-shard batching counters
+/// (`batched_sessions`, `admission_fallbacks`, `batch_wait_us`).
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Hello length: magic + u32 LE version.
 pub const HELLO_LEN: usize = HELLO_MAGIC.len() + 4;

@@ -102,7 +102,13 @@ fn serving_artifact_records_the_batched_path() {
     assert_eq!(str_field(name, &record, "bench"), "fig_serving");
     assert_environment(name, &record);
     let paths = series_paths(name, &record, "points");
-    for required in ["store-hit", "batched", "snapshot-restore"] {
+    for required in [
+        "store-hit",
+        "batched",
+        "batched-xshard",
+        "admission-fallback",
+        "snapshot-restore",
+    ] {
         assert!(
             paths.iter().any(|p| p == required),
             "{name} must record the `{required}` path, got {paths:?}"
@@ -115,14 +121,40 @@ fn serving_artifact_records_the_batched_path() {
                 .is_some_and(|v| v > 0.0),
             "{name}: every point needs a positive `sessions_per_sec`"
         );
-        if str_field(name, point, "path") == "batched" {
-            let store = field(name, point, "store");
-            assert!(
-                field(name, store, "batched_presents")
-                    .as_i128()
-                    .is_some_and(|n| n > 0),
-                "{name}: batched points must have run batched sweeps"
-            );
+        let store = field(name, point, "store");
+        match str_field(name, point, "path").as_str() {
+            "batched" => {
+                assert!(
+                    field(name, store, "batched_presents")
+                        .as_i128()
+                        .is_some_and(|n| n > 0),
+                    "{name}: batched points must have run batched sweeps"
+                );
+            }
+            // The cross-shard scoring service must have admitted groups ...
+            "batched-xshard" => {
+                for key in ["batched_sessions", "batched_groups"] {
+                    assert!(
+                        field(name, store, key).as_i128().is_some_and(|n| n > 0),
+                        "{name}: batched-xshard points need a positive `{key}`"
+                    );
+                }
+            }
+            // ... and the forced-fallback shape must audit every decline.
+            "admission-fallback" => {
+                assert!(
+                    field(name, store, "admission_fallbacks")
+                        .as_i128()
+                        .is_some_and(|n| n > 0),
+                    "{name}: admission-fallback points must record fallbacks"
+                );
+                assert_eq!(
+                    field(name, store, "batched_sessions").as_i128(),
+                    Some(0),
+                    "{name}: admission-fallback points must not batch"
+                );
+            }
+            _ => {}
         }
     }
     field(name, &record, "durability");
@@ -155,11 +187,58 @@ fn server_artifact_records_load_levels() {
     let record = artifact(name);
     assert_eq!(str_field(name, &record, "bench"), "fig_server");
     assert_environment(name, &record);
-    for level in points(name, &record, "levels") {
+    let levels = points(name, &record, "levels");
+    // Every concurrency level runs both request-loop modes, and both must
+    // be shadow-clean: neither the wire nor the batcher may be observable.
+    for required in ["serial", "batched"] {
+        assert!(
+            levels
+                .iter()
+                .any(|l| str_field(name, l, "mode") == required),
+            "{name} must record the `{required}` request-loop mode"
+        );
+    }
+    for level in levels {
+        let report = field(name, level, "report");
         assert_eq!(
-            field(name, level, "mismatches").as_i128(),
+            field(name, report, "mismatches").as_i128(),
             Some(0),
             "{name}: recorded levels must have zero shadow mismatches"
         );
+        assert!(
+            field(name, report, "sessions_per_sec")
+                .as_f64()
+                .is_some_and(|v| v > 0.0),
+            "{name}: every level needs a positive `sessions_per_sec`"
+        );
+        let store = field(name, level, "store");
+        match str_field(name, level, "mode").as_str() {
+            "serial" => {
+                assert_eq!(
+                    field(name, level, "batch_window_us").as_i128(),
+                    Some(0),
+                    "{name}: serial levels must run with a zero batch window"
+                );
+            }
+            "batched" => {
+                assert!(
+                    field(name, level, "batch_window_us")
+                        .as_i128()
+                        .is_some_and(|w| w > 0),
+                    "{name}: batched levels must run with a batch window"
+                );
+                // Every engine present consulted the admission policy, so
+                // its audit counters must have moved.
+                let consulted = ["batched_sessions", "admission_fallbacks"]
+                    .iter()
+                    .map(|key| field(name, store, key).as_i128().unwrap_or(0))
+                    .sum::<i128>();
+                assert!(
+                    consulted > 0,
+                    "{name}: batched levels must exercise the admission policy"
+                );
+            }
+            other => panic!("{name}: unknown request-loop mode `{other}`"),
+        }
     }
 }

@@ -1,0 +1,252 @@
+//! Integration tests for the cross-shard scoring service and its adaptive
+//! admission policy, driven through the store-level batching seam
+//! ([`SessionStore::present_many`]) and the serving loop
+//! ([`ServingLoop::run_scored`]).
+//!
+//! The single invariant under test: the batcher may change *when* pending
+//! presents are scored — stacked fleet-wide, or serially after an
+//! admission decline — but never *what* they compute.  Every test holds
+//! the batched path against a serial shadow store, bit for bit, while
+//! pinning the admission audit counters for its edge case: a group of
+//! one, an all-converged round, a fleet where no group clears the
+//! thresholds, content-equal catalogs grouped by the interner, and (as a
+//! property) arbitrary scripted admission decision sequences.
+
+use std::sync::Arc;
+
+use pkgrec_core::prelude::*;
+use pkgrec_core::{AggregationContext, LinearUtility, SimulatedUser};
+use pkgrec_serve::{
+    user_rng, AdmissionMode, RecommenderSpec, ScoringConfig, ScoringService, ServingLoop,
+    SessionConfig, SessionId, SessionStore, StoreConfig,
+};
+use proptest::prelude::*;
+
+/// A small deterministic catalog: 2 features in (0, 1), `items` rows.
+fn catalog(seed: u64, items: usize) -> Arc<Catalog> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        0.05 + (state % 90) as f64 / 100.0
+    };
+    let rows = (0..items).map(|_| vec![next(), next()]).collect();
+    Arc::new(Catalog::from_rows(rows).expect("test rows are valid items"))
+}
+
+/// A cheap engine session over the given catalog.
+fn engine_session(catalog: Arc<Catalog>, seed: u64) -> SessionConfig {
+    SessionConfig {
+        catalog,
+        profile: Profile::cost_quality(),
+        max_package_size: 2,
+        spec: RecommenderSpec::Engine(EngineConfig {
+            k: 2,
+            num_random: 2,
+            num_samples: 20,
+            ..EngineConfig::default()
+        }),
+        seed,
+    }
+}
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("test values serialise")
+}
+
+/// A deterministic, always-satisfiable click index for the shown list.
+fn click(user: &SimulatedUser, catalog: &Catalog, shown: &[Package]) -> usize {
+    user.choose(catalog, shown, &mut user_rng(0))
+        .expect("shown lists are non-empty")
+}
+
+fn store(shards: usize, capacity: usize) -> SessionStore {
+    SessionStore::new(StoreConfig {
+        shards,
+        capacity_per_shard: capacity,
+    })
+    .expect("memory store opens")
+}
+
+/// Drives `rounds` of batched presents (plus one feedback per session, to
+/// evolve the engines' constraint state) against a serial shadow, and
+/// asserts every shown list is bit-identical.  Returns the batched store
+/// for counter assertions.
+fn assert_batched_matches_serial(
+    sessions: Vec<SessionConfig>,
+    service: &ScoringService,
+    rounds: usize,
+) -> SessionStore {
+    let mut batched = store(2, sessions.len().max(1));
+    let mut shadow = store(2, sessions.len().max(1));
+    let mut ids: Vec<SessionId> = Vec::new();
+    let mut users: Vec<SimulatedUser> = Vec::new();
+    for config in sessions {
+        let context = AggregationContext::new(config.profile.clone(), &config.catalog, 2).unwrap();
+        users.push(SimulatedUser::new(
+            LinearUtility::new(context, vec![-0.7, 0.6]).unwrap(),
+        ));
+        let id = batched.create(config.clone()).unwrap();
+        assert_eq!(id, shadow.create(config).unwrap());
+        ids.push(id);
+    }
+    for _round in 0..rounds {
+        let shown = batched.present_many(&ids, service).unwrap();
+        assert_eq!(shown.len(), ids.len());
+        for (i, &id) in ids.iter().enumerate() {
+            let serial = shadow.present(id).unwrap();
+            assert_eq!(
+                json(&shown[i]),
+                json(&serial),
+                "session {i}: batched present diverged from serial"
+            );
+            let shown_catalog = shadow.session_config(id).unwrap().catalog.clone();
+            let index = click(&users[i], &shown_catalog, &serial);
+            assert_eq!(
+                batched.feedback(id, Feedback::Click { index }).unwrap(),
+                shadow.feedback(id, Feedback::Click { index }).unwrap()
+            );
+        }
+    }
+    batched
+}
+
+/// A group of one never clears the admission floors: every round falls
+/// back to serial scoring (audited), batches nothing, and still matches
+/// the serial shadow exactly.
+#[test]
+fn a_group_of_one_falls_back_and_matches_serial() {
+    let service = ScoringService::new(ScoringConfig::default());
+    let sessions = vec![engine_session(catalog(7, 8), 41)];
+    let batched = assert_batched_matches_serial(sessions, &service, 3);
+    let stats = batched.stats();
+    assert_eq!(stats.batched_sessions, 0, "a singleton must not batch");
+    assert_eq!(stats.batched_groups, 0);
+    assert!(
+        stats.admission_fallbacks >= 3,
+        "every declined round must be audited, got {}",
+        stats.admission_fallbacks
+    );
+}
+
+/// A fleet of content-distinct catalogs yields only singleton groups, so
+/// no group clears the thresholds even though the queue is deep — every
+/// session falls back, and the results still match the serial shadow.
+#[test]
+fn a_mixed_catalog_fleet_where_no_group_clears_the_floors_falls_back() {
+    let service = ScoringService::new(ScoringConfig::default());
+    let sessions: Vec<SessionConfig> = (0..4)
+        .map(|i| engine_session(catalog(100 + i, 8), 50 + i))
+        .collect();
+    let batched = assert_batched_matches_serial(sessions, &service, 2);
+    let stats = batched.stats();
+    assert_eq!(stats.batched_sessions, 0);
+    assert_eq!(stats.batched_groups, 0);
+    assert!(
+        stats.admission_fallbacks >= 8,
+        "4 sessions x 2 rounds of declines must be audited, got {}",
+        stats.admission_fallbacks
+    );
+}
+
+/// Content-equal catalogs arriving as distinct `Arc`s (as they do off the
+/// wire) are canonicalised by the store's interner, so the batcher groups
+/// them — with admission forced on, every session batches and the stacked
+/// sweep still matches the serial shadow.
+#[test]
+fn content_equal_catalogs_group_through_the_interner() {
+    let service = ScoringService::new(ScoringConfig {
+        mode: AdmissionMode::Always,
+        ..ScoringConfig::default()
+    });
+    // Each call to `catalog(7, _)` builds its own Arc of identical rows.
+    let sessions: Vec<SessionConfig> = (0..4)
+        .map(|i| engine_session(catalog(7, 8), 60 + i))
+        .collect();
+    let batched = assert_batched_matches_serial(sessions, &service, 2);
+    let stats = batched.stats();
+    assert_eq!(
+        stats.batched_sessions, 8,
+        "every present must have been admitted"
+    );
+    assert!(
+        stats.batched_groups >= 2,
+        "each round's fleet must stack into at least one group"
+    );
+    assert_eq!(stats.admission_fallbacks, 0);
+}
+
+/// The scored serving loop terminates when every session converges before
+/// the round budget (all-converged rounds submit nothing, which must read
+/// as "done", not hang a rendezvous), and its outcomes equal the serial
+/// loop's exactly.
+#[test]
+fn an_all_converged_fleet_terminates_the_scored_loop() {
+    let shared = catalog(9, 8);
+    let context = AggregationContext::new(Profile::cost_quality(), &shared, 2).unwrap();
+    let build_fleet = |store: &mut SessionStore| -> Vec<(SessionId, SimulatedUser)> {
+        (0..4)
+            .map(|i| {
+                let id = store
+                    .create(engine_session(shared.clone(), 70 + i))
+                    .unwrap();
+                let utility = LinearUtility::new(context.clone(), vec![-0.7, 0.6]).unwrap();
+                (id, SimulatedUser::new(utility))
+            })
+            .collect()
+    };
+    // A generous round budget with a short stability bar: every session
+    // converges well before `max_rounds`, so the loop's tail is
+    // all-converged rounds.
+    let elicitation = ElicitationConfig {
+        max_rounds: 12,
+        stable_rounds: 1,
+    };
+
+    let mut serial_store = store(2, 4);
+    let serial_fleet = build_fleet(&mut serial_store);
+    let serial = ServingLoop::new(&mut serial_store)
+        .run(&serial_fleet, elicitation, 2)
+        .unwrap();
+
+    let mut scored_store = store(2, 4);
+    let scored_fleet = build_fleet(&mut scored_store);
+    let scored = ServingLoop::new(&mut scored_store)
+        .run_scored(&scored_fleet, elicitation, 2, &ScoringConfig::default())
+        .unwrap();
+
+    assert_eq!(json(&serial), json(&scored));
+    assert!(
+        scored.iter().all(|outcome| outcome.converged),
+        "the short stability bar must converge every session"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any admission decision sequence — arbitrary scripted admit/decline
+    /// patterns, cycled over the rounds — yields presents bit-identical
+    /// to serial scoring.  Admission is a performance policy, never a
+    /// correctness lever.
+    #[test]
+    fn any_admission_script_is_bit_identical_to_serial(
+        script in prop::collection::vec(0u8..2, 0..8),
+        sessions in 1usize..4,
+        rounds in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let script: Vec<bool> = script.into_iter().map(|bit| bit == 1).collect();
+        let service = ScoringService::new(ScoringConfig {
+            mode: AdmissionMode::Scripted(script),
+            ..ScoringConfig::default()
+        });
+        let configs: Vec<SessionConfig> = (0..sessions)
+            .map(|i| engine_session(catalog(seed, 8), seed ^ (i as u64 + 1)))
+            .collect();
+        // `assert_batched_matches_serial` panics on any divergence, which
+        // proptest reports (and shrinks) as a failing case.
+        assert_batched_matches_serial(configs, &service, rounds);
+    }
+}
